@@ -1,0 +1,114 @@
+//! Attack composition: run several attacker hooks against the same world.
+//!
+//! Some of the catalog's attack descriptions are *combined* attacks —
+//! AD23 of Use Case I jams the channel and then spoofs a fallback speed
+//! limit during the reception gap. [`Composed`] runs any number of hooks
+//! in order on every tick, so such descriptions compile to one executable
+//! attacker.
+
+use saseval_types::SimTime;
+use vehicle_sim::AttackerHook;
+
+/// Runs the contained hooks in order on every tick.
+pub struct Composed<W> {
+    hooks: Vec<Box<dyn AttackerHook<W>>>,
+}
+
+impl<W> Default for Composed<W> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<W> std::fmt::Debug for Composed<W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Composed").field("hooks", &self.hooks.len()).finish()
+    }
+}
+
+impl<W> Composed<W> {
+    /// Creates an empty composition (a no-op attacker).
+    pub fn new() -> Self {
+        Composed { hooks: Vec::new() }
+    }
+
+    /// Appends a hook (consulted after the ones already added).
+    pub fn with(mut self, hook: impl AttackerHook<W> + 'static) -> Self {
+        self.hooks.push(Box::new(hook));
+        self
+    }
+
+    /// Number of composed hooks.
+    pub fn len(&self) -> usize {
+        self.hooks.len()
+    }
+
+    /// Whether the composition is empty.
+    pub fn is_empty(&self) -> bool {
+        self.hooks.is_empty()
+    }
+}
+
+impl<W> AttackerHook<W> for Composed<W> {
+    fn on_tick(&mut self, world: &mut W, now: SimTime) {
+        for hook in &mut self.hooks {
+            hook.on_tick(world, now);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attacks::v2x::{JamChannel, SignedSpoofLimit};
+    use saseval_types::Ftti;
+    use vehicle_sim::config::ControlSelection;
+    use vehicle_sim::construction::{ConstructionConfig, ConstructionWorld};
+
+    struct Counter(u32);
+
+    impl AttackerHook<ConstructionWorld> for Counter {
+        fn on_tick(&mut self, _world: &mut ConstructionWorld, _now: SimTime) {
+            self.0 += 1;
+        }
+    }
+
+    #[test]
+    fn empty_composition_is_noop() {
+        let mut composed: Composed<ConstructionWorld> = Composed::new();
+        assert!(composed.is_empty());
+        let outcome = ConstructionWorld::new(ConstructionConfig::default()).run(&mut composed);
+        assert!(!outcome.any_violation());
+    }
+
+    #[test]
+    fn all_hooks_tick() {
+        let composed = Composed::new().with(Counter(0)).with(Counter(0));
+        assert_eq!(composed.len(), 2);
+        let mut composed = composed;
+        let config = ConstructionConfig {
+            initial_speed_mps: 0.0,
+            horizon: Ftti::from_millis(50),
+            ..Default::default()
+        };
+        let _ = ConstructionWorld::new(config).run(&mut composed);
+        // Both counters ran every tick; we can only observe indirectly via
+        // no panic — compose order is covered by the AD23 test below.
+    }
+
+    #[test]
+    fn ad23_jam_then_spoof_fallback_limit() {
+        // AD23: jam the channel during the approach, then (as an insider)
+        // transmit the forged limit right after the jam window. With the
+        // full stack the spoofed limit is signed and inside the plausible
+        // range, so SG03 falls — exactly the combined residual risk the
+        // catalog's AD23 describes.
+        let jam_until = SimTime::from_secs(40);
+        let mut attack: Composed<ConstructionWorld> = Composed::new()
+            .with(JamChannel::new(SimTime::ZERO, jam_until))
+            .with(SignedSpoofLimit::new(100, Ftti::from_millis(100)));
+        let config = ConstructionConfig { controls: ControlSelection::all(), ..Default::default() };
+        let outcome = ConstructionWorld::new(config).run(&mut attack);
+        assert!(outcome.sg03_violated, "{outcome:?}");
+    }
+}

@@ -1,0 +1,14 @@
+//! Executable attack implementations, grouped by targeted medium.
+//!
+//! Every struct here implements
+//! [`AttackerHook`](vehicle_sim::AttackerHook) for one of the simulated
+//! worlds and corresponds to one or more attack types of the paper's
+//! Table IV (see the per-struct docs).
+
+pub mod ble;
+pub mod compose;
+pub mod v2x;
+
+pub use ble::{AllowlistTamper, BleJam, CanStubInject, KeyGuessStrategy, KeyIdSpoof, ReplayOpen, ServiceFlood, SpoofClose};
+pub use compose::Composed;
+pub use v2x::{AuthenticatedFlood, DelayedDelivery, JamChannel, ReplayStaleWarning, SignedSpoofLimit, UnsignedSpoof};

@@ -1,0 +1,319 @@
+//! Ready-to-run bindings of the paper's concrete attack descriptions.
+//!
+//! Each function returns the [`TestCase`]s that implement one published
+//! attack description (or a family), typically in two configurations: the
+//! undefended SUT (demonstrating the safety impact the description
+//! predicts) and the SUT with the description's "Expected Measures"
+//! deployed (demonstrating the "Attack Fails" criterion).
+
+use vehicle_sim::config::ControlSelection;
+
+use crate::attacks::KeyGuessStrategy;
+use crate::executor::{AttackKind, TestCase};
+
+fn case(
+    attack_id: &str,
+    label: &str,
+    kind: AttackKind,
+    controls: ControlSelection,
+) -> TestCase {
+    TestCase {
+        attack_id: attack_id.to_owned(),
+        label: label.to_owned(),
+        kind,
+        controls,
+        seed: 42,
+    }
+}
+
+/// Table VI's AD20 (packet flooding), without and with the
+/// message-counter control.
+pub fn ad20_cases() -> Vec<TestCase> {
+    let kind = AttackKind::V2xFlood { per_tick: 40 };
+    vec![
+        case(
+            "AD20",
+            "without message counter",
+            kind.clone(),
+            ControlSelection { flood_protection: false, ..ControlSelection::all() },
+        ),
+        case("AD20", "with message counter", kind, ControlSelection::all()),
+    ]
+}
+
+/// Table VII's AD08 (modified keys), variants (a) random and (b)
+/// incrementing IDs, without and with the allow-list.
+pub fn ad08_cases() -> Vec<TestCase> {
+    let no_cr = ControlSelection { challenge_response: false, ..ControlSelection::all() };
+    let no_allowlist = ControlSelection { allow_list: false, ..no_cr };
+    vec![
+        case(
+            "AD08",
+            "random IDs, with allow-list",
+            AttackKind::KeySpoof { strategy: KeyGuessStrategy::Random, budget: 1_000 },
+            no_cr,
+        ),
+        case(
+            "AD08",
+            "incrementing IDs, with allow-list",
+            AttackKind::KeySpoof {
+                strategy: KeyGuessStrategy::Incrementing { base: 0x0DE5_1234 - 10_000 },
+                budget: 1_000,
+            },
+            no_cr,
+        ),
+        case(
+            "AD08",
+            "random IDs, without allow-list",
+            AttackKind::KeySpoof { strategy: KeyGuessStrategy::Random, budget: 10 },
+            no_allowlist,
+        ),
+    ]
+}
+
+/// The replay attacks named in the §IV prose: the opening-command replay
+/// of Use Case II and the stale-warning replay against SG05 of Use Case I.
+pub fn replay_cases() -> Vec<TestCase> {
+    vec![
+        case(
+            "UC2-AD01",
+            "opening replay, full controls",
+            AttackKind::BleReplayOpen,
+            ControlSelection { challenge_response: false, ..ControlSelection::all() },
+        ),
+        case(
+            "UC2-AD01",
+            "opening replay, authentication only",
+            AttackKind::BleReplayOpen,
+            ControlSelection { authentication: true, allow_list: true, ..ControlSelection::none() },
+        ),
+        case(
+            "UC1-AD17",
+            "warning replay, full controls",
+            AttackKind::V2xReplayWarning { staleness_s: 30 },
+            ControlSelection::all(),
+        ),
+        case(
+            "UC1-AD17",
+            "warning replay, no freshness",
+            AttackKind::V2xReplayWarning { staleness_s: 30 },
+            ControlSelection {
+                freshness: false,
+                replay_protection: false,
+                ..ControlSelection::all()
+            },
+        ),
+    ]
+}
+
+/// The CAN-flooding-via-BLE attack (SG03 of Use Case II, §IV-B prose).
+pub fn can_flood_cases() -> Vec<TestCase> {
+    let kind = AttackKind::BleCanFlood { per_tick: 30 };
+    vec![
+        case(
+            "UC2-AD14",
+            "without gateway rate limit",
+            kind.clone(),
+            ControlSelection { flood_protection: false, ..ControlSelection::all() },
+        ),
+        case("UC2-AD14", "with gateway rate limit", kind, ControlSelection::all()),
+    ]
+}
+
+/// The store-and-forward delay attack (AD05/AD16 family): buffered
+/// warnings released 40 s into the run, stale.
+pub fn delay_cases() -> Vec<TestCase> {
+    let kind = AttackKind::V2xDelay { release_s: 40 };
+    vec![
+        case("UC1-AD05", "delay, full controls", kind.clone(), ControlSelection::all()),
+        case(
+            "UC1-AD05",
+            "delay, no freshness",
+            kind,
+            ControlSelection {
+                freshness: false,
+                replay_protection: false,
+                ..ControlSelection::all()
+            },
+        ),
+    ]
+}
+
+/// Jamming attacks on both interfaces — the attacks message-level
+/// controls cannot defeat.
+pub fn jamming_cases() -> Vec<TestCase> {
+    vec![
+        case("UC1-AD06", "V2X jam, full controls", AttackKind::V2xJam, ControlSelection::all()),
+        case("UC2-AD15", "BLE jam, full controls", AttackKind::BleJamming, ControlSelection::all()),
+    ]
+}
+
+/// The full built-in campaign: every bound attack description in both
+/// configurations.
+pub fn full_campaign() -> Vec<TestCase> {
+    let mut cases = Vec::new();
+    cases.extend(ad20_cases());
+    cases.extend(ad08_cases());
+    cases.extend(replay_cases());
+    cases.extend(can_flood_cases());
+    cases.extend(delay_cases());
+    cases.extend(jamming_cases());
+    cases.push(case(
+        "UC2-AD18",
+        "close spoof, full controls",
+        AttackKind::BleSpoofClose,
+        ControlSelection::all(),
+    ));
+    cases.push(case(
+        "UC2-AD18",
+        "close spoof, no challenge-response",
+        AttackKind::BleSpoofClose,
+        ControlSelection { challenge_response: false, ..ControlSelection::all() },
+    ));
+    cases.push(case(
+        "UC2-AD24",
+        "allow-list tamper, outsider",
+        AttackKind::AllowlistTamper { insider: false },
+        ControlSelection { challenge_response: false, ..ControlSelection::all() },
+    ));
+    cases.push(case(
+        "UC2-AD24",
+        "allow-list tamper, insider",
+        AttackKind::AllowlistTamper { insider: true },
+        ControlSelection { challenge_response: false, ..ControlSelection::all() },
+    ));
+    cases.push(case(
+        "UC2-AD09",
+        "CAN stub injection, gateway filtering",
+        AttackKind::CanStubInject,
+        ControlSelection::all(),
+    ));
+    cases.push(case(
+        "UC2-AD09",
+        "CAN stub injection, no filtering",
+        AttackKind::CanStubInject,
+        ControlSelection { can_filtering: false, ..ControlSelection::all() },
+    ));
+    cases.push(case(
+        "UC1-AD10",
+        "fake limit, full controls",
+        AttackKind::V2xFakeLimit { limit: 120 },
+        ControlSelection::all(),
+    ));
+    cases.push(case(
+        "UC1-AD10",
+        "fake limit, no controls",
+        AttackKind::V2xFakeLimit { limit: 120 },
+        ControlSelection::none(),
+    ));
+    cases.push(case(
+        "UC1-AD13",
+        "insider limit inside plausible range",
+        AttackKind::V2xInsiderLimit { limit: 100 },
+        ControlSelection::all(),
+    ));
+    cases
+}
+
+/// The control-ablation grid: representative attacks × control presets
+/// (none / authentication only / authentication+freshness+replay / full),
+/// the workload of the `bench_ablation_controls` bench.
+pub fn ablation_grid() -> Vec<TestCase> {
+    let presets: [(&str, ControlSelection); 4] = [
+        ("none", ControlSelection::none()),
+        ("auth-only", ControlSelection::auth_only()),
+        (
+            "auth+freshness+replay",
+            ControlSelection {
+                authentication: true,
+                freshness: true,
+                replay_protection: true,
+                allow_list: true,
+                ..ControlSelection::none()
+            },
+        ),
+        ("full", ControlSelection::all()),
+    ];
+    let attacks: [(&str, AttackKind); 5] = [
+        ("AD20", AttackKind::V2xFlood { per_tick: 40 }),
+        ("UC1-AD10", AttackKind::V2xFakeLimit { limit: 120 }),
+        ("UC1-AD17", AttackKind::V2xReplayWarning { staleness_s: 30 }),
+        ("UC2-AD01", AttackKind::BleReplayOpen),
+        ("UC2-AD14", AttackKind::BleCanFlood { per_tick: 30 }),
+    ];
+    let mut cases = Vec::new();
+    for (attack_id, kind) in &attacks {
+        for (preset, controls) in &presets {
+            cases.push(case(attack_id, preset, kind.clone(), *controls));
+        }
+    }
+    cases
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::run_campaign;
+
+    #[test]
+    fn ad20_without_counter_succeeds_with_counter_fails() {
+        let report = run_campaign(&ad20_cases());
+        assert!(report.results[0].attack_succeeded, "{:?}", report.results[0].label);
+        assert!(!report.results[1].attack_succeeded);
+        assert!(report.results[1].detected);
+    }
+
+    #[test]
+    fn ad08_allowlist_decides() {
+        let report = run_campaign(&ad08_cases());
+        assert!(!report.results[0].attack_succeeded, "random vs allow-list");
+        assert!(!report.results[1].attack_succeeded, "incrementing vs allow-list");
+        assert!(report.results[2].attack_succeeded, "no allow-list");
+    }
+
+    #[test]
+    fn replay_defeated_by_freshness_not_by_auth() {
+        let report = run_campaign(&replay_cases());
+        assert!(!report.results[0].attack_succeeded, "full controls stop BLE replay");
+        assert!(report.results[1].attack_succeeded, "auth alone does not");
+        assert!(!report.results[2].attack_succeeded, "full controls stop warning replay");
+        assert!(report.results[3].attack_succeeded, "no freshness: replay lands");
+    }
+
+    #[test]
+    fn jamming_beats_message_level_controls() {
+        let report = run_campaign(&jamming_cases());
+        assert!(report.results.iter().all(|r| r.attack_succeeded));
+    }
+
+    #[test]
+    fn full_campaign_runs_clean() {
+        let report = run_campaign(&full_campaign());
+        assert!(report.total() >= 22);
+        // The defended configurations must collectively stop most attacks;
+        // the undefended ones must collectively succeed.
+        assert!(report.successes() >= 7);
+        assert!(report.successes() < report.total());
+    }
+
+    #[test]
+    fn ablation_grid_shape() {
+        let grid = ablation_grid();
+        assert_eq!(grid.len(), 20);
+        // More controls never increase the success count per attack.
+        let report = run_campaign(&grid);
+        for attack in ["AD20", "UC1-AD10", "UC2-AD01", "UC2-AD14"] {
+            let by_label = |label: &str| {
+                report
+                    .for_attack(attack)
+                    .find(|r| r.label == label)
+                    .map(|r| r.attack_succeeded)
+                    .unwrap()
+            };
+            let none = by_label("none");
+            let full = by_label("full");
+            assert!(none, "{attack} succeeds undefended");
+            assert!(!full, "{attack} defeated by the full stack");
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Campaign runner: executes suites of test cases and aggregates results.
+
+use serde::{Deserialize, Serialize};
+
+use crate::executor::{execute, ExecutionResult, TestCase};
+
+/// Aggregated results of a campaign.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CampaignReport {
+    /// Per-case results, in case order.
+    pub results: Vec<ExecutionResult>,
+}
+
+impl CampaignReport {
+    /// Number of executed cases.
+    pub fn total(&self) -> usize {
+        self.results.len()
+    }
+
+    /// Number of cases where the attack succeeded (a safety impact
+    /// materialized).
+    pub fn successes(&self) -> usize {
+        self.results.iter().filter(|r| r.attack_succeeded).count()
+    }
+
+    /// Number of cases with detection evidence.
+    pub fn detections(&self) -> usize {
+        self.results.iter().filter(|r| r.detected).count()
+    }
+
+    /// Attack success rate over the campaign (0.0–1.0); 0.0 for an empty
+    /// campaign.
+    pub fn success_rate(&self) -> f64 {
+        if self.results.is_empty() {
+            return 0.0;
+        }
+        self.successes() as f64 / self.results.len() as f64
+    }
+
+    /// Results for one attack description.
+    pub fn for_attack<'a>(&'a self, attack_id: &'a str) -> impl Iterator<Item = &'a ExecutionResult> {
+        self.results.iter().filter(move |r| r.attack_id == attack_id)
+    }
+}
+
+/// Runs all cases serially, preserving order.
+pub fn run_campaign(cases: &[TestCase]) -> CampaignReport {
+    CampaignReport { results: cases.iter().map(execute).collect() }
+}
+
+/// Runs all cases on a crossbeam-scoped thread pool, preserving result
+/// order. Each case is independent (worlds are self-contained), so this
+/// is embarrassingly parallel.
+pub fn run_campaign_parallel(cases: &[TestCase], threads: usize) -> CampaignReport {
+    let threads = threads.max(1);
+    let mut results: Vec<Option<ExecutionResult>> = Vec::new();
+    results.resize_with(cases.len(), || None);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results_mutex = parking_lot::Mutex::new(&mut results);
+
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= cases.len() {
+                    break;
+                }
+                let result = execute(&cases[i]);
+                results_mutex.lock()[i] = Some(result);
+            });
+        }
+    })
+    .expect("campaign worker panicked");
+
+    CampaignReport {
+        results: results.into_iter().map(|r| r.expect("all cases executed")).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::AttackKind;
+    use vehicle_sim::config::ControlSelection;
+
+    fn small_suite() -> Vec<TestCase> {
+        vec![
+            TestCase {
+                attack_id: "AD20".into(),
+                label: "undefended".into(),
+                kind: AttackKind::V2xFlood { per_tick: 40 },
+                controls: ControlSelection::none(),
+                seed: 1,
+            },
+            TestCase {
+                attack_id: "AD20".into(),
+                label: "defended".into(),
+                kind: AttackKind::V2xFlood { per_tick: 40 },
+                controls: ControlSelection::all(),
+                seed: 1,
+            },
+            TestCase {
+                attack_id: "AD06".into(),
+                label: "jam".into(),
+                kind: AttackKind::V2xJam,
+                controls: ControlSelection::all(),
+                seed: 1,
+            },
+        ]
+    }
+
+    #[test]
+    fn serial_campaign_aggregates() {
+        let report = run_campaign(&small_suite());
+        assert_eq!(report.total(), 3);
+        assert_eq!(report.successes(), 2, "undefended flood + jam succeed");
+        assert!(report.success_rate() > 0.6 && report.success_rate() < 0.7);
+        assert_eq!(report.for_attack("AD20").count(), 2);
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let suite = small_suite();
+        let serial = run_campaign(&suite);
+        let parallel = run_campaign_parallel(&suite, 4);
+        assert_eq!(serial.total(), parallel.total());
+        for (s, p) in serial.results.iter().zip(&parallel.results) {
+            assert_eq!(s.attack_id, p.attack_id);
+            assert_eq!(s.attack_succeeded, p.attack_succeeded);
+            assert_eq!(s.detected, p.detected);
+            assert_eq!(s.violated_goals, p.violated_goals);
+        }
+    }
+
+    #[test]
+    fn empty_campaign() {
+        let report = run_campaign(&[]);
+        assert_eq!(report.total(), 0);
+        assert_eq!(report.success_rate(), 0.0);
+    }
+}

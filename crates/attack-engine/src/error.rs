@@ -1,0 +1,46 @@
+//! Error type for the attack engine.
+
+use std::fmt;
+
+/// Error returned by attack construction and execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AttackError {
+    /// The attack kind does not apply to the bound world.
+    WorldMismatch {
+        /// The attack's identifier.
+        attack: String,
+    },
+    /// An attack parameter is out of range.
+    InvalidParameter {
+        /// The parameter name.
+        name: &'static str,
+        /// Why it is invalid.
+        reason: String,
+    },
+}
+
+impl fmt::Display for AttackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttackError::WorldMismatch { attack } => {
+                write!(f, "attack {attack} does not apply to the bound world")
+            }
+            AttackError::InvalidParameter { name, reason } => {
+                write!(f, "invalid attack parameter {name}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AttackError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = AttackError::WorldMismatch { attack: "AD20".into() };
+        assert!(e.to_string().contains("AD20"));
+    }
+}

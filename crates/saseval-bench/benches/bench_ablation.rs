@@ -1,0 +1,72 @@
+//! Ablation benchmarks over the design choices DESIGN.md calls out:
+//! control subsets per attack type, flooding-rate sweep, and the ASIL
+//! test-effort scaling of RQ2.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use attack_engine::builtin::ablation_grid;
+use attack_engine::executor::{execute, AttackKind, TestCase};
+use saseval_core::catalog::use_case_1;
+use saseval_core::derive::{derive_candidates, DerivationConfig};
+use saseval_core::identify_safety_concerns;
+use saseval_threat::builtin::automotive_library;
+use vehicle_sim::config::ControlSelection;
+
+fn bench_ablation_controls(c: &mut Criterion) {
+    let grid = ablation_grid();
+    let mut group = c.benchmark_group("ablation_controls");
+    group.sample_size(10);
+    for case in grid.iter().filter(|case| case.attack_id == "AD20") {
+        group.bench_with_input(
+            BenchmarkId::new("AD20", &case.label),
+            case,
+            |b, case| b.iter(|| black_box(execute(case))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_ablation_floodrate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_floodrate");
+    group.sample_size(10);
+    for per_tick in [1usize, 10, 40, 80] {
+        let case = TestCase {
+            attack_id: "AD20".into(),
+            label: format!("rate-{per_tick}"),
+            kind: AttackKind::V2xFlood { per_tick },
+            controls: ControlSelection::all(),
+            seed: 42,
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(per_tick), &case, |b, case| {
+            b.iter(|| black_box(execute(case)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_ablation_asil_effort(c: &mut Criterion) {
+    // RQ2: candidate derivation effort scales with the min-priority
+    // filter — the lever that keeps the test space tractable.
+    let uc1 = use_case_1();
+    let lib = automotive_library();
+    let concerns = identify_safety_concerns(&uc1.hara);
+    let mut group = c.benchmark_group("ablation_rq2_priority");
+    for min_priority in [0u8, 2, 3, 4] {
+        let config = DerivationConfig::new().min_priority(min_priority);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(min_priority),
+            &config,
+            |b, config| b.iter(|| black_box(derive_candidates(&concerns, &lib, config))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_ablation_controls,
+    bench_ablation_floodrate,
+    bench_ablation_asil_effort
+);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Benchmarks of the attack-path-guided fuzzer (§II-B testing type 2):
+//! input generation, end-to-end fuzzing throughput, coverage accounting.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use saseval_fuzz::coverage::CoverageMap;
+use saseval_fuzz::fuzzer::{Fuzzer, TargetResponse};
+use saseval_fuzz::model::{keyless_command_model, v2x_warning_model};
+use saseval_fuzz::mutate::Mutator;
+use saseval_tara::tree::{AttackTree, TreeNode};
+use vehicle_sim::keyless::Command;
+
+fn paths() -> Vec<saseval_tara::AttackPath> {
+    AttackTree::new(
+        "open the vehicle",
+        TreeNode::or(
+            "ways",
+            vec![
+                TreeNode::leaf_on("replay", "BLE_PHONE"),
+                TreeNode::leaf_on("forge", "ECU_GW"),
+            ],
+        ),
+    )
+    .expect("tree")
+    .paths()
+    .expect("paths")
+}
+
+fn bench_mutation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fuzz_mutation");
+    for (name, model) in
+        [("v2x", v2x_warning_model()), ("keyless", keyless_command_model())]
+    {
+        let mut mutator = Mutator::new(model, 1);
+        group.bench_function(BenchmarkId::new("generate", name), |b| {
+            b.iter(|| black_box(mutator.generate()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fuzz_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fuzz_throughput");
+    group.sample_size(10);
+    let attack_paths = paths();
+    for iterations in [1_000usize, 10_000] {
+        group.bench_with_input(
+            BenchmarkId::new("decode_target", iterations),
+            &iterations,
+            |b, &iterations| {
+                b.iter(|| {
+                    let mut fuzzer = Fuzzer::new(keyless_command_model(), 7);
+                    black_box(fuzzer.run(&attack_paths, iterations, |input| {
+                        if Command::decode(input).is_some() {
+                            TargetResponse::Accepted
+                        } else {
+                            TargetResponse::Rejected
+                        }
+                    }))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_coverage_accounting(c: &mut Criterion) {
+    let model = keyless_command_model();
+    let mut mutator = Mutator::new(model.clone(), 3);
+    let inputs: Vec<_> = (0..1_000).map(|_| mutator.generate()).collect();
+    c.bench_function("fuzz_coverage/record_1000", |b| {
+        b.iter(|| {
+            let mut map = CoverageMap::new(&model, 4);
+            for (i, input) in inputs.iter().enumerate() {
+                map.record(i % 4, input);
+            }
+            black_box(map.field_coverage_percent())
+        })
+    });
+}
+
+criterion_group!(benches, bench_mutation, bench_fuzz_throughput, bench_coverage_accounting);
+criterion_main!(benches);

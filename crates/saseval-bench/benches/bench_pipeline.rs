@@ -1,0 +1,90 @@
+//! Benchmarks of the SaSeVAL analysis pipeline (paper Fig. 1 and the
+//! Table I–V machinery): threat-library construction, HARA statistics,
+//! candidate derivation, full pipeline runs, DSL compilation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use saseval_core::catalog::{use_case_1, use_case_2};
+use saseval_core::derive::{derive_candidates, DerivationConfig};
+use saseval_core::identify_safety_concerns;
+use saseval_core::pipeline::run_pipeline;
+use saseval_dsl::{compile_document, parse_document};
+use saseval_threat::builtin::{automotive_library, SC_CONSTRUCTION};
+
+fn bench_threat_library(c: &mut Criterion) {
+    c.bench_function("threat_library/build_automotive", |b| {
+        b.iter(|| black_box(automotive_library()))
+    });
+    let lib = automotive_library();
+    c.bench_function("threat_library/stats", |b| b.iter(|| black_box(lib.stats())));
+}
+
+fn bench_hara(c: &mut Criterion) {
+    c.bench_function("hara/build_use_case_1", |b| b.iter(|| black_box(use_case_1())));
+    c.bench_function("hara/build_use_case_2", |b| b.iter(|| black_box(use_case_2())));
+    let uc1 = use_case_1();
+    c.bench_function("hara/distribution_uc1", |b| b.iter(|| black_box(uc1.hara.distribution())));
+    c.bench_function("hara/completeness_uc1", |b| b.iter(|| black_box(uc1.hara.completeness())));
+}
+
+fn bench_derivation(c: &mut Criterion) {
+    let uc1 = use_case_1();
+    let lib = automotive_library();
+    let concerns = identify_safety_concerns(&uc1.hara);
+    c.bench_function("derive/identify_concerns_uc1", |b| {
+        b.iter(|| black_box(identify_safety_concerns(&uc1.hara)))
+    });
+    c.bench_function("derive/candidates_unfiltered", |b| {
+        b.iter(|| black_box(derive_candidates(&concerns, &lib, &DerivationConfig::new())))
+    });
+    let filtered = DerivationConfig::new().scenario(SC_CONSTRUCTION).active_only().min_priority(3);
+    c.bench_function("derive/candidates_filtered_rq2", |b| {
+        b.iter(|| black_box(derive_candidates(&concerns, &lib, &filtered)))
+    });
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let lib = automotive_library();
+    let uc1 = use_case_1();
+    let uc2 = use_case_2();
+    c.bench_function("pipeline/run_use_case_1", |b| {
+        b.iter(|| black_box(run_pipeline(&uc1, &lib).expect("pipeline")))
+    });
+    c.bench_function("pipeline/run_use_case_2", |b| {
+        b.iter(|| black_box(run_pipeline(&uc2, &lib).expect("pipeline")))
+    });
+}
+
+fn bench_dsl(c: &mut Criterion) {
+    let source = r#"
+attack AD20 {
+    description: "Attacker tries to overload the ECU by packet flooding"
+    goals: SG01, SG02, SG03
+    interface: OBU_RSU
+    threat: TS-2.1.4
+    types: "Denial of service" / "Disable"
+    precondition: "Vehicle is approaching the construction side"
+    measures: "Message counter for broken messages"
+    success: "Shutdown of service"
+    fails: "Security control identifies unwanted sender"
+    comments: "Authenticated extra sender"
+    execute: v2x-flood(per_tick = 40)
+}
+"#;
+    c.bench_function("dsl/parse", |b| b.iter(|| black_box(parse_document(source).expect("parse"))));
+    let document = parse_document(source).expect("parse");
+    c.bench_function("dsl/compile", |b| {
+        b.iter(|| black_box(compile_document(&document).expect("compile")))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_threat_library,
+    bench_hara,
+    bench_derivation,
+    bench_pipeline,
+    bench_dsl
+);
+criterion_main!(benches);

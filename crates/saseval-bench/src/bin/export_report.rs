@@ -1,0 +1,45 @@
+//! Exports the full SaSeVAL validation reports (Markdown) and the raw
+//! campaign results (JSON) for both use cases.
+//!
+//! ```sh
+//! cargo run -p saseval-bench --bin export_report [out-dir]
+//! ```
+
+use std::fs;
+use std::path::PathBuf;
+
+use attack_engine::builtin::full_campaign;
+use attack_engine::campaign::run_campaign;
+use saseval_core::catalog::{use_case_1, use_case_2};
+use saseval_core::export::render_validation_report;
+use saseval_threat::builtin::automotive_library;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let out_dir = PathBuf::from(
+        std::env::args().nth(1).unwrap_or_else(|| "target/saseval-reports".to_owned()),
+    );
+    fs::create_dir_all(&out_dir)?;
+
+    let library = automotive_library();
+    for (catalog, file) in [
+        (use_case_1(), "use_case_1_validation_report.md"),
+        (use_case_2(), "use_case_2_validation_report.md"),
+    ] {
+        let report = render_validation_report(&catalog, &library)?;
+        let path = out_dir.join(file);
+        fs::write(&path, &report)?;
+        println!("wrote {} ({} bytes)", path.display(), report.len());
+    }
+
+    let campaign = run_campaign(&full_campaign());
+    let json = serde_json::to_string_pretty(&campaign.results)?;
+    let path = out_dir.join("attack_campaign_results.json");
+    fs::write(&path, &json)?;
+    println!(
+        "wrote {} ({} cases, {} safety impacts)",
+        path.display(),
+        campaign.total(),
+        campaign.successes()
+    );
+    Ok(())
+}

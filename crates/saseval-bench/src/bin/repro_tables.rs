@@ -1,0 +1,44 @@
+//! Regenerates every table and figure of the paper.
+//!
+//! ```sh
+//! cargo run -p saseval-bench --bin repro_tables            # everything
+//! cargo run -p saseval-bench --bin repro_tables table6     # one experiment
+//! cargo run -p saseval-bench --bin repro_tables --list
+//! ```
+
+use saseval_bench::all_experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let experiments = all_experiments();
+
+    if args.iter().any(|a| a == "--list") {
+        for (name, _) in &experiments {
+            println!("{name}");
+        }
+        return;
+    }
+
+    let selected: Vec<&str> = args.iter().map(String::as_str).collect();
+    let mut ran = 0;
+    let mut mismatches = 0;
+    for (name, f) in &experiments {
+        if !selected.is_empty() && !selected.contains(name) {
+            continue;
+        }
+        let output = f();
+        println!("==== {name} ====");
+        print!("{output}");
+        println!();
+        ran += 1;
+        mismatches += output.matches("MISMATCH").count();
+    }
+    if ran == 0 {
+        eprintln!("no experiment matched {selected:?}; use --list");
+        std::process::exit(2);
+    }
+    println!("{ran} experiment(s), {mismatches} paper-vs-measured mismatch(es).");
+    if mismatches > 0 {
+        std::process::exit(1);
+    }
+}

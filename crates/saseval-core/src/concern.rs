@@ -1,0 +1,161 @@
+//! Step 2 — safety concern identification (paper §III-B).
+
+use serde::{Deserialize, Serialize};
+
+use saseval_hara::Hara;
+use saseval_types::{AsilLevel, Ftti, SafetyGoalId};
+
+/// A safety concern: the validation test objective extracted from a safety
+/// goal.
+///
+/// "The safety concern is determined via safety analysis. It expresses
+/// which kind of accident may happen, if it is not fulfilled. It serves as
+/// test objective that the validation should address." (§III-B)
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SafetyConcern {
+    goal: SafetyGoalId,
+    statement: String,
+    asil: AsilLevel,
+    ftti: Option<Ftti>,
+    safe_state: String,
+}
+
+impl SafetyConcern {
+    /// The underlying safety goal.
+    pub fn goal(&self) -> &SafetyGoalId {
+        &self.goal
+    }
+
+    /// The goal statement (what accident happens if violated).
+    pub fn statement(&self) -> &str {
+        &self.statement
+    }
+
+    /// The ASIL determining the test effort (RQ2).
+    pub fn asil(&self) -> AsilLevel {
+        self.asil
+    }
+
+    /// The reaction deadline for the SUT's measures, if assigned.
+    pub fn ftti(&self) -> Option<Ftti> {
+        self.ftti
+    }
+
+    /// The safe state the SUT must reach under attack.
+    pub fn safe_state(&self) -> &str {
+        &self.safe_state
+    }
+
+    /// The number of situation variations the validation should exercise
+    /// for this concern — the paper justifies greater testing effort by
+    /// higher ASIL (RQ2).
+    pub fn test_effort(&self) -> u32 {
+        self.asil.test_effort_weight()
+    }
+}
+
+/// Extracts the safety concerns from a HARA: one per safety goal that
+/// carries an ASIL, ordered by descending ASIL (highest integrity first),
+/// ties broken by goal ID.
+///
+/// Goals covering only QM ratings yield no concern — they need no
+/// safety-driven security validation.
+///
+/// # Example
+///
+/// ```
+/// use saseval_core::identify_safety_concerns;
+/// use saseval_core::catalog::use_case_1;
+///
+/// let uc1 = use_case_1();
+/// let concerns = identify_safety_concerns(&uc1.hara);
+/// assert_eq!(concerns.len(), 6);
+/// // SG03 "Communicate Speed Limits safely" is ASIL D and sorts first.
+/// assert_eq!(concerns[0].goal().as_str(), "SG03");
+/// ```
+pub fn identify_safety_concerns(hara: &Hara) -> Vec<SafetyConcern> {
+    let mut concerns: Vec<SafetyConcern> = hara
+        .safety_goals()
+        .filter_map(|goal| {
+            hara.goal_asil(goal).map(|asil| SafetyConcern {
+                goal: goal.id().clone(),
+                statement: goal.name().to_owned(),
+                asil,
+                ftti: goal.ftti(),
+                safe_state: goal.safe_state().to_owned(),
+            })
+        })
+        .collect();
+    concerns.sort_by(|a, b| b.asil.cmp(&a.asil).then_with(|| a.goal.cmp(&b.goal)));
+    concerns
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saseval_hara::{HazardRating, ItemFunction, SafetyGoal};
+    use saseval_types::{Controllability, Exposure, FailureMode, Severity};
+
+    fn hara() -> Hara {
+        let mut hara = Hara::new("item");
+        hara.add_function(ItemFunction::new("F1", "f").unwrap()).unwrap();
+        let specs = [
+            ("R1", FailureMode::No, Severity::S3, Exposure::E4, Controllability::C3), // D
+            ("R2", FailureMode::More, Severity::S2, Exposure::E3, Controllability::C2), // A
+            ("R3", FailureMode::Less, Severity::S1, Exposure::E1, Controllability::C1), // QM
+        ];
+        for (id, fm, s, e, c) in specs {
+            hara.add_rating(
+                HazardRating::builder(id, "F1", fm)
+                    .hazard("h")
+                    .situation(id)
+                    .rate(s, e, c)
+                    .build()
+                    .unwrap(),
+            )
+            .unwrap();
+        }
+        hara.add_safety_goal(
+            SafetyGoal::builder("SG-A", "minor goal")
+                .covers("R2")
+                .ftti(Ftti::from_millis(100))
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        hara.add_safety_goal(SafetyGoal::builder("SG-D", "major goal").covers("R1").build().unwrap())
+            .unwrap();
+        hara.add_safety_goal(SafetyGoal::builder("SG-QM", "qm goal").covers("R3").build().unwrap())
+            .unwrap();
+        hara
+    }
+
+    #[test]
+    fn concerns_sorted_by_descending_asil() {
+        let concerns = identify_safety_concerns(&hara());
+        assert_eq!(concerns.len(), 2); // QM goal excluded
+        assert_eq!(concerns[0].goal().as_str(), "SG-D");
+        assert_eq!(concerns[0].asil(), AsilLevel::D);
+        assert_eq!(concerns[1].goal().as_str(), "SG-A");
+    }
+
+    #[test]
+    fn qm_goal_yields_no_concern() {
+        let concerns = identify_safety_concerns(&hara());
+        assert!(concerns.iter().all(|c| c.goal().as_str() != "SG-QM"));
+    }
+
+    #[test]
+    fn effort_scales_with_asil() {
+        let concerns = identify_safety_concerns(&hara());
+        assert_eq!(concerns[0].test_effort(), 8);
+        assert_eq!(concerns[1].test_effort(), 1);
+    }
+
+    #[test]
+    fn ftti_propagated() {
+        let concerns = identify_safety_concerns(&hara());
+        assert_eq!(concerns[1].ftti(), Some(Ftti::from_millis(100)));
+        assert_eq!(concerns[0].ftti(), None);
+    }
+}

@@ -1,0 +1,268 @@
+//! Coverage analysis — SaSeVAL's completeness argument (RQ1, paper §III).
+//!
+//! Two complementary checks:
+//!
+//! * **Deductive** ([`deductive_coverage`]): top-down from safety. Every
+//!   safety concern (ASIL-rated safety goal) must be addressed by at least
+//!   one attack description. "This deductive approach guarantees that the
+//!   system is tested against critical unwanted effects."
+//! * **Inductive** ([`inductive_coverage`]): bottom-up from threats. Every
+//!   threat in the library (restricted to the SUT's scenarios) must be
+//!   covered by an attack description or carry a written justification.
+//!   "This inductive approach contributes to addressing all threats."
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use serde::{Deserialize, Serialize};
+
+use saseval_hara::Hara;
+use saseval_threat::ThreatLibrary;
+use saseval_types::{AttackDescriptionId, SafetyGoalId, ScenarioId, ThreatScenarioId};
+
+use crate::description::{AttackDescription, Justification};
+
+/// Result of the deductive (safety-goal-driven) coverage check.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeductiveReport {
+    /// Safety goals with at least one attack description, and which.
+    pub covered: BTreeMap<SafetyGoalId, Vec<AttackDescriptionId>>,
+    /// ASIL-rated safety goals without any attack description.
+    pub uncovered: Vec<SafetyGoalId>,
+}
+
+impl DeductiveReport {
+    /// Whether every ASIL-rated safety goal traces to at least one attack.
+    pub fn is_complete(&self) -> bool {
+        self.uncovered.is_empty()
+    }
+
+    /// Number of attack descriptions addressing `goal` (0 if none).
+    pub fn attacks_for(&self, goal: &str) -> usize {
+        self.covered.get(goal).map_or(0, Vec::len)
+    }
+}
+
+/// Checks that every ASIL-rated safety goal of `hara` is addressed by at
+/// least one of `attacks`.
+///
+/// Goals with only QM coverage need no security validation and are
+/// excluded, matching [`crate::identify_safety_concerns`].
+pub fn deductive_coverage(hara: &Hara, attacks: &[AttackDescription]) -> DeductiveReport {
+    let mut covered: BTreeMap<SafetyGoalId, Vec<AttackDescriptionId>> = BTreeMap::new();
+    let mut uncovered = Vec::new();
+    for goal in hara.safety_goals() {
+        if hara.goal_asil(goal).is_none() {
+            continue;
+        }
+        let addressing: Vec<AttackDescriptionId> = attacks
+            .iter()
+            .filter(|ad| ad.safety_goals().contains(goal.id()))
+            .map(|ad| ad.id().clone())
+            .collect();
+        if addressing.is_empty() {
+            uncovered.push(goal.id().clone());
+        } else {
+            covered.insert(goal.id().clone(), addressing);
+        }
+    }
+    DeductiveReport { covered, uncovered }
+}
+
+/// Coverage status of one threat scenario in the inductive check.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ThreatCoverage {
+    /// Covered by these attack descriptions.
+    Attacked(Vec<AttackDescriptionId>),
+    /// Deliberately not attacked, with a written justification.
+    Justified(String),
+    /// Neither attacked nor justified — a completeness gap.
+    Uncovered,
+}
+
+/// Result of the inductive (threat-driven) coverage check.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InductiveReport {
+    /// Per-threat coverage status, in threat-ID order.
+    pub threats: BTreeMap<ThreatScenarioId, ThreatCoverage>,
+}
+
+impl InductiveReport {
+    /// Whether every threat is attacked or justified.
+    pub fn is_complete(&self) -> bool {
+        !self.threats.values().any(|c| matches!(c, ThreatCoverage::Uncovered))
+    }
+
+    /// The uncovered threats.
+    pub fn uncovered(&self) -> impl Iterator<Item = &ThreatScenarioId> {
+        self.threats
+            .iter()
+            .filter(|(_, c)| matches!(c, ThreatCoverage::Uncovered))
+            .map(|(id, _)| id)
+    }
+
+    /// Counts of (attacked, justified, uncovered) threats.
+    pub fn counts(&self) -> (usize, usize, usize) {
+        let mut c = (0, 0, 0);
+        for cov in self.threats.values() {
+            match cov {
+                ThreatCoverage::Attacked(_) => c.0 += 1,
+                ThreatCoverage::Justified(_) => c.1 += 1,
+                ThreatCoverage::Uncovered => c.2 += 1,
+            }
+        }
+        c
+    }
+
+    /// Fraction of threats covered (attacked or justified); 1.0 for an
+    /// empty threat set.
+    pub fn coverage_ratio(&self) -> f64 {
+        if self.threats.is_empty() {
+            return 1.0;
+        }
+        let (a, j, _) = self.counts();
+        (a + j) as f64 / self.threats.len() as f64
+    }
+}
+
+/// Checks that every threat scenario of `library` belonging to one of
+/// `scenarios` (all threats if `scenarios` is empty) is covered by an
+/// attack description or a justification.
+pub fn inductive_coverage(
+    library: &ThreatLibrary,
+    scenarios: &[ScenarioId],
+    attacks: &[AttackDescription],
+    justifications: &[Justification],
+) -> InductiveReport {
+    let scenario_filter: BTreeSet<&ScenarioId> = scenarios.iter().collect();
+    let mut threats = BTreeMap::new();
+    for threat in library.threat_scenarios() {
+        if !scenario_filter.is_empty() {
+            match threat.scenario() {
+                Some(sc) if scenario_filter.contains(sc) => {}
+                _ => continue,
+            }
+        }
+        let attacking: Vec<AttackDescriptionId> = attacks
+            .iter()
+            .filter(|ad| ad.threat_scenario() == threat.id())
+            .map(|ad| ad.id().clone())
+            .collect();
+        let coverage = if !attacking.is_empty() {
+            ThreatCoverage::Attacked(attacking)
+        } else if let Some(j) =
+            justifications.iter().find(|j| j.threat_scenario() == threat.id())
+        {
+            ThreatCoverage::Justified(j.rationale().to_owned())
+        } else {
+            ThreatCoverage::Uncovered
+        };
+        threats.insert(threat.id().clone(), coverage);
+    }
+    InductiveReport { threats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::description::AttackDescription;
+    use saseval_hara::{HazardRating, ItemFunction, SafetyGoal};
+    use saseval_threat::builtin::{automotive_library, SC_KEYLESS};
+    use saseval_types::{AttackType, Controllability, Exposure, FailureMode, Severity, ThreatType};
+
+    fn tiny_hara() -> Hara {
+        let mut hara = Hara::new("item");
+        hara.add_function(ItemFunction::new("F1", "f").unwrap()).unwrap();
+        hara.add_rating(
+            HazardRating::builder("R1", "F1", FailureMode::No)
+                .hazard("h")
+                .rate(Severity::S3, Exposure::E4, Controllability::C3)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        hara.add_rating(
+            HazardRating::builder("R2", "F1", FailureMode::More)
+                .hazard("h")
+                .rate(Severity::S1, Exposure::E1, Controllability::C1)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        hara.add_safety_goal(SafetyGoal::builder("SG01", "g1").covers("R1").build().unwrap())
+            .unwrap();
+        hara.add_safety_goal(SafetyGoal::builder("SG02", "g2 (qm)").covers("R2").build().unwrap())
+            .unwrap();
+        hara
+    }
+
+    fn attack(id: &str, goal: &str, threat: &str, at: AttackType, tt: ThreatType) -> AttackDescription {
+        AttackDescription::builder(id, "attack")
+            .safety_goal(goal)
+            .threat_scenario(threat)
+            .threat_type(tt)
+            .attack_type(at)
+            .precondition("p")
+            .attack_success("s")
+            .attack_fails("f")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn deductive_detects_gap_and_coverage() {
+        let hara = tiny_hara();
+        let report = deductive_coverage(&hara, &[]);
+        assert!(!report.is_complete());
+        assert_eq!(report.uncovered, ["SG01".parse().unwrap()]);
+
+        let ads = [attack(
+            "AD1",
+            "SG01",
+            "TS-X",
+            AttackType::DenialOfService,
+            ThreatType::DenialOfService,
+        )];
+        let report = deductive_coverage(&hara, &ads);
+        assert!(report.is_complete());
+        assert_eq!(report.attacks_for("SG01"), 1);
+        assert_eq!(report.attacks_for("SG02"), 0); // QM goal, excluded
+    }
+
+    #[test]
+    fn inductive_classifies_all_three_states() {
+        let lib = automotive_library();
+        let scenarios = [ScenarioId::new(SC_KEYLESS).unwrap()];
+        let ads = [attack(
+            "AD1",
+            "SG01",
+            "TS-BLE-REPLAY",
+            AttackType::Replay,
+            ThreatType::Repudiation,
+        )];
+        let justs = [Justification::new("TS-BLE-TRACK", "privacy handled separately").unwrap()];
+        let report = inductive_coverage(&lib, &scenarios, &ads, &justs);
+        assert!(!report.is_complete());
+        let (attacked, justified, uncovered) = report.counts();
+        assert_eq!(attacked, 1);
+        assert_eq!(justified, 1);
+        assert!(uncovered >= 4);
+        assert!(report.coverage_ratio() < 1.0);
+        assert!(report.uncovered().any(|t| t.as_str() == "TS-BLE-FLOOD"));
+    }
+
+    #[test]
+    fn empty_scenario_filter_means_whole_library() {
+        let lib = automotive_library();
+        let report = inductive_coverage(&lib, &[], &[], &[]);
+        assert_eq!(report.threats.len(), lib.stats().threat_scenarios);
+        assert_eq!(report.coverage_ratio(), 0.0);
+    }
+
+    #[test]
+    fn empty_threat_set_is_fully_covered() {
+        let lib = ThreatLibrary::new();
+        let report = inductive_coverage(&lib, &[], &[], &[]);
+        assert!(report.is_complete());
+        assert_eq!(report.coverage_ratio(), 1.0);
+    }
+}

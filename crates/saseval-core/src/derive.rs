@@ -1,0 +1,234 @@
+//! Step 3 — systematic derivation of candidate attacks (paper §III,
+//! §III-C).
+//!
+//! "For each combination of safety goal and attack type the potential
+//! attacks and the safety and/or security measures to be active are
+//! identified." This module enumerates those combinations: for every
+//! safety concern and every threat scenario applicable to the SUT's
+//! scenarios (optionally filtered by asset priority — RQ2 — and attacker
+//! profile), it proposes one candidate per Table IV attack type. The test
+//! engineer (or the authored catalogs in [`crate::catalog`]) turns
+//! candidates into full [`crate::AttackDescription`]s.
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+use saseval_threat::ThreatLibrary;
+use saseval_types::{
+    AttackType, AttackerProfile, SafetyGoalId, ScenarioId, ThreatScenarioId, ThreatType,
+};
+
+use crate::concern::SafetyConcern;
+
+/// Configuration of the candidate derivation.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct DerivationConfig {
+    /// Restrict to threats identified in these driving scenarios
+    /// (empty = all scenarios).
+    pub scenarios: Vec<ScenarioId>,
+    /// Minimum asset priority (RQ2); 0 = no filtering.
+    pub min_asset_priority: u8,
+    /// Restrict to threats mountable by this attacker profile.
+    pub attacker: Option<AttackerProfile>,
+    /// Skip passive (information-disclosure-only) attack types, which
+    /// cannot violate safety goals directly (§IV-B separates privacy
+    /// attacks).
+    pub active_attacks_only: bool,
+}
+
+impl DerivationConfig {
+    /// Creates the default configuration (no filtering).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Restricts derivation to one driving scenario (repeatable).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scenario` is not a valid identifier (dataset bug).
+    pub fn scenario(mut self, scenario: &str) -> Self {
+        self.scenarios.push(ScenarioId::new(scenario).expect("valid scenario id"));
+        self
+    }
+
+    /// Sets the minimum asset priority (RQ2 test-space reduction).
+    pub fn min_priority(mut self, priority: u8) -> Self {
+        self.min_asset_priority = priority;
+        self
+    }
+
+    /// Restricts to threats mountable by `attacker`.
+    pub fn attacker_profile(mut self, attacker: AttackerProfile) -> Self {
+        self.attacker = Some(attacker);
+        self
+    }
+
+    /// Skips passive attack types.
+    pub fn active_only(mut self) -> Self {
+        self.active_attacks_only = true;
+        self
+    }
+}
+
+/// A derived candidate: one (safety goal × threat scenario × attack type)
+/// combination the validation should consider.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CandidateAttack {
+    /// The safety goal at stake.
+    pub safety_goal: SafetyGoalId,
+    /// The threat-library entry to exploit.
+    pub threat_scenario: ThreatScenarioId,
+    /// The STRIDE threat type.
+    pub threat_type: ThreatType,
+    /// The attack type to implement.
+    pub attack_type: AttackType,
+    /// Situation variations to test, scaled by the concern's ASIL (RQ2).
+    pub situation_variations: u32,
+}
+
+/// Enumerates candidate attacks for the given safety concerns against the
+/// threat library.
+///
+/// # Example
+///
+/// ```
+/// use saseval_core::derive::{derive_candidates, DerivationConfig};
+/// use saseval_core::identify_safety_concerns;
+/// use saseval_core::catalog::use_case_1;
+/// use saseval_threat::builtin::{automotive_library, SC_CONSTRUCTION};
+///
+/// let uc1 = use_case_1();
+/// let concerns = identify_safety_concerns(&uc1.hara);
+/// let lib = automotive_library();
+/// let config = DerivationConfig::new().scenario(SC_CONSTRUCTION).active_only();
+/// let candidates = derive_candidates(&concerns, &lib, &config);
+/// // 6 concerns × threats of the construction scenario × their attack types.
+/// assert!(candidates.len() > 100);
+/// ```
+pub fn derive_candidates(
+    concerns: &[SafetyConcern],
+    library: &ThreatLibrary,
+    config: &DerivationConfig,
+) -> Vec<CandidateAttack> {
+    let scenario_filter: BTreeSet<&ScenarioId> = config.scenarios.iter().collect();
+    let mut candidates = Vec::new();
+    for concern in concerns {
+        for threat in library.threat_scenarios() {
+            if !scenario_filter.is_empty() {
+                match threat.scenario() {
+                    Some(sc) if scenario_filter.contains(sc) => {}
+                    _ => continue,
+                }
+            }
+            if config.min_asset_priority > 0 {
+                let reaches = threat
+                    .assets()
+                    .iter()
+                    .filter_map(|a| library.asset(a.as_str()))
+                    .any(|a| a.priority() >= config.min_asset_priority);
+                if !reaches {
+                    continue;
+                }
+            }
+            if let Some(profile) = config.attacker {
+                if !threat.allows_attacker(profile) {
+                    continue;
+                }
+            }
+            for attack_type in threat.attack_types() {
+                if config.active_attacks_only && !attack_type.is_active() {
+                    continue;
+                }
+                candidates.push(CandidateAttack {
+                    safety_goal: concern.goal().clone(),
+                    threat_scenario: threat.id().clone(),
+                    threat_type: threat.threat_type(),
+                    attack_type: *attack_type,
+                    situation_variations: concern.test_effort(),
+                });
+            }
+        }
+    }
+    candidates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::use_case_1;
+    use crate::concern::identify_safety_concerns;
+    use saseval_threat::builtin::{automotive_library, SC_CONSTRUCTION, SC_KEYLESS};
+
+    fn setup() -> (Vec<SafetyConcern>, ThreatLibrary) {
+        let uc1 = use_case_1();
+        (identify_safety_concerns(&uc1.hara), automotive_library())
+    }
+
+    #[test]
+    fn unfiltered_derivation_covers_all_threats() {
+        let (concerns, lib) = setup();
+        let candidates = derive_candidates(&concerns, &lib, &DerivationConfig::new());
+        let threats: BTreeSet<_> = candidates.iter().map(|c| &c.threat_scenario).collect();
+        assert_eq!(threats.len(), lib.stats().threat_scenarios);
+    }
+
+    #[test]
+    fn scenario_filter_limits_threats() {
+        let (concerns, lib) = setup();
+        let config = DerivationConfig::new().scenario(SC_CONSTRUCTION);
+        let candidates = derive_candidates(&concerns, &lib, &config);
+        for c in &candidates {
+            let threat = lib.threat_scenario(c.threat_scenario.as_str()).unwrap();
+            assert_eq!(threat.scenario().unwrap().as_str(), SC_CONSTRUCTION);
+        }
+        assert!(!candidates.is_empty());
+    }
+
+    #[test]
+    fn active_only_drops_passive_types() {
+        let (concerns, lib) = setup();
+        let config = DerivationConfig::new().active_only();
+        let candidates = derive_candidates(&concerns, &lib, &config);
+        assert!(candidates.iter().all(|c| c.attack_type.is_active()));
+    }
+
+    #[test]
+    fn attacker_filter_respects_restrictions() {
+        let (concerns, lib) = setup();
+        let config = DerivationConfig::new().attacker_profile(AttackerProfile::RemoteAttacker);
+        let candidates = derive_candidates(&concerns, &lib, &config);
+        // TS-GW-INSIDER and TS-LIFE-2/TS-KEY-THEFT are restricted to
+        // physical-access profiles and must not appear.
+        assert!(candidates.iter().all(|c| c.threat_scenario.as_str() != "TS-GW-INSIDER"));
+    }
+
+    #[test]
+    fn priority_filter_reduces_candidates() {
+        let (concerns, lib) = setup();
+        let all = derive_candidates(&concerns, &lib, &DerivationConfig::new()).len();
+        let high =
+            derive_candidates(&concerns, &lib, &DerivationConfig::new().min_priority(4)).len();
+        assert!(high < all);
+        assert!(high > 0);
+    }
+
+    #[test]
+    fn variations_scale_with_asil() {
+        let (concerns, lib) = setup();
+        let config = DerivationConfig::new().scenario(SC_KEYLESS);
+        let candidates = derive_candidates(&concerns, &lib, &config);
+        // UC1 concerns: SG03 is ASIL D (weight 8), SG06 is A (weight 1).
+        let sg03 = candidates.iter().find(|c| c.safety_goal.as_str() == "SG03").unwrap();
+        let sg06 = candidates.iter().find(|c| c.safety_goal.as_str() == "SG06").unwrap();
+        assert_eq!(sg03.situation_variations, 8);
+        assert_eq!(sg06.situation_variations, 1);
+    }
+
+    #[test]
+    fn empty_concerns_yield_no_candidates() {
+        let (_, lib) = setup();
+        assert!(derive_candidates(&[], &lib, &DerivationConfig::new()).is_empty());
+    }
+}

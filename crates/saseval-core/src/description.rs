@@ -1,0 +1,545 @@
+//! Attack descriptions — the central artifact of SaSeVAL (paper §III-C).
+
+use serde::{Deserialize, Serialize};
+
+use saseval_types::{
+    AttackDescriptionId, AttackType, AttackerProfile, InterfaceId, SafetyGoalId, ThreatScenarioId,
+    ThreatType,
+};
+
+use crate::error::CoreError;
+
+/// A structured attack description on the concept level.
+///
+/// Per §III-C an attack description must contain: the **attack
+/// description** text (with attacker motivation and goal), the
+/// **precondition** (the situation in which the attack can start), the
+/// **expected measures** (security controls or safety fallbacks), the
+/// **attack success** criteria, the **attack fails** criteria, and
+/// **attack implementation comments** — plus the explicit links to the
+/// safety goal(s) and the threat scenario it addresses, and the targeted
+/// interface/ECU (Tables VI and VII).
+///
+/// The builder validates all of this so that a constructed description is
+/// precise and reproducible (RQ3).
+///
+/// # Example — paper Table VI, attack AD20
+///
+/// ```
+/// use saseval_core::AttackDescription;
+/// use saseval_types::{AttackType, ThreatType};
+///
+/// let ad20 = AttackDescription::builder(
+///     "AD20",
+///     "Attacker tries to overload the ECU by packet flooding",
+/// )
+/// .safety_goal("SG01")
+/// .safety_goal("SG02")
+/// .safety_goal("SG03")
+/// .interface("OBU_RSU")
+/// .threat_scenario("TS-2.1.4")
+/// .threat_type(ThreatType::DenialOfService)
+/// .attack_type(AttackType::Disable)
+/// .precondition("Vehicle is approaching the construction site")
+/// .expected_measures("Message counter for broken messages")
+/// .attack_success("Shutdown of service")
+/// .attack_fails("Security control identifies unwanted sender, enforces change of frequency")
+/// .impl_comments(
+///     "Create an authenticated sender as attacker besides the original sender; the attacker \
+///      sender should send extra messages with high frequency or in a chaotic way",
+/// )
+/// .build()?;
+/// assert_eq!(ad20.safety_goals().len(), 3);
+/// # Ok::<(), saseval_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AttackDescription {
+    id: AttackDescriptionId,
+    description: String,
+    safety_goals: Vec<SafetyGoalId>,
+    interface: Option<InterfaceId>,
+    threat_scenario: ThreatScenarioId,
+    threat_type: ThreatType,
+    attack_type: AttackType,
+    precondition: String,
+    expected_measures: String,
+    attack_success: String,
+    attack_fails: String,
+    impl_comments: String,
+    attacker: Option<AttackerProfile>,
+    privacy_relevant: bool,
+}
+
+impl AttackDescription {
+    /// Starts building an attack description.
+    pub fn builder(
+        id: impl AsRef<str>,
+        description: impl Into<String>,
+    ) -> AttackDescriptionBuilder {
+        AttackDescriptionBuilder {
+            id: id.as_ref().to_owned(),
+            description: description.into(),
+            safety_goals: Vec::new(),
+            interface: None,
+            threat_scenario: None,
+            threat_type: None,
+            attack_type: None,
+            precondition: String::new(),
+            expected_measures: String::new(),
+            attack_success: String::new(),
+            attack_fails: String::new(),
+            impl_comments: String::new(),
+            attacker: None,
+            privacy_relevant: false,
+        }
+    }
+
+    /// The attack description's identifier (e.g. `AD20`).
+    pub fn id(&self) -> &AttackDescriptionId {
+        &self.id
+    }
+
+    /// The concept-level attack description text.
+    pub fn description(&self) -> &str {
+        &self.description
+    }
+
+    /// The safety goals whose violation this attack attempts.
+    pub fn safety_goals(&self) -> &[SafetyGoalId] {
+        &self.safety_goals
+    }
+
+    /// The targeted interface/ECU (e.g. `OBU_RSU`), if specified.
+    pub fn interface(&self) -> Option<&InterfaceId> {
+        self.interface.as_ref()
+    }
+
+    /// The linked threat-library entry.
+    pub fn threat_scenario(&self) -> &ThreatScenarioId {
+        &self.threat_scenario
+    }
+
+    /// The STRIDE threat type (the "Threat:" half of the Types row).
+    pub fn threat_type(&self) -> ThreatType {
+        self.threat_type
+    }
+
+    /// The attack type (the "Attack:" half of the Types row).
+    pub fn attack_type(&self) -> AttackType {
+        self.attack_type
+    }
+
+    /// The situation in which the attack can get started.
+    pub fn precondition(&self) -> &str {
+        &self.precondition
+    }
+
+    /// The security controls or safety measures expected to react.
+    pub fn expected_measures(&self) -> &str {
+        &self.expected_measures
+    }
+
+    /// The criteria under which the attack counts as successful (safety
+    /// goal violated).
+    pub fn attack_success(&self) -> &str {
+        &self.attack_success
+    }
+
+    /// The criteria by which a failed (mitigated) attack is detected.
+    pub fn attack_fails(&self) -> &str {
+        &self.attack_fails
+    }
+
+    /// Comments for the upcoming attack implementation.
+    pub fn impl_comments(&self) -> &str {
+        &self.impl_comments
+    }
+
+    /// The assumed attacker profile, if restricted.
+    pub fn attacker(&self) -> Option<AttackerProfile> {
+        self.attacker
+    }
+
+    /// Whether this attack addresses privacy rather than (only) safety —
+    /// Use Case II reports "additionally two attacks, which deal with
+    /// privacy issues" (§IV-B).
+    pub fn is_privacy_relevant(&self) -> bool {
+        self.privacy_relevant
+    }
+
+    /// Re-validates the builder invariants — required after deserializing
+    /// a description from external data, since serde bypasses
+    /// [`AttackDescriptionBuilder::build`]'s checks. The pipeline calls
+    /// this on every catalog attack.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant as a [`CoreError`].
+    pub fn validate(&self) -> Result<(), CoreError> {
+        if self.safety_goals.is_empty() && !self.privacy_relevant {
+            return Err(CoreError::NoSafetyGoal(self.id.clone()));
+        }
+        if self.precondition.trim().is_empty() {
+            return Err(CoreError::MissingPrecondition(self.id.clone()));
+        }
+        if self.attack_success.trim().is_empty() {
+            return Err(CoreError::MissingSuccessCriteria(self.id.clone()));
+        }
+        if self.attack_fails.trim().is_empty() {
+            return Err(CoreError::MissingFailCriteria(self.id.clone()));
+        }
+        if !saseval_types::attack_types_for(self.threat_type).contains(&self.attack_type) {
+            return Err(CoreError::AttackTypeMismatch {
+                attack: self.id.clone(),
+                threat: self.threat_scenario.clone(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`AttackDescription`] (see [`AttackDescription::builder`]).
+#[derive(Debug, Clone)]
+pub struct AttackDescriptionBuilder {
+    id: String,
+    description: String,
+    safety_goals: Vec<String>,
+    interface: Option<String>,
+    threat_scenario: Option<String>,
+    threat_type: Option<ThreatType>,
+    attack_type: Option<AttackType>,
+    precondition: String,
+    expected_measures: String,
+    attack_success: String,
+    attack_fails: String,
+    impl_comments: String,
+    attacker: Option<AttackerProfile>,
+    privacy_relevant: bool,
+}
+
+impl AttackDescriptionBuilder {
+    /// Links a safety goal (repeatable).
+    pub fn safety_goal(mut self, goal: impl AsRef<str>) -> Self {
+        self.safety_goals.push(goal.as_ref().to_owned());
+        self
+    }
+
+    /// Sets the targeted interface/ECU.
+    pub fn interface(mut self, interface: impl AsRef<str>) -> Self {
+        self.interface = Some(interface.as_ref().to_owned());
+        self
+    }
+
+    /// Links the threat-library entry.
+    pub fn threat_scenario(mut self, threat: impl AsRef<str>) -> Self {
+        self.threat_scenario = Some(threat.as_ref().to_owned());
+        self
+    }
+
+    /// Sets the STRIDE threat type.
+    pub fn threat_type(mut self, threat_type: ThreatType) -> Self {
+        self.threat_type = Some(threat_type);
+        self
+    }
+
+    /// Sets the attack type.
+    pub fn attack_type(mut self, attack_type: AttackType) -> Self {
+        self.attack_type = Some(attack_type);
+        self
+    }
+
+    /// Sets the precondition.
+    pub fn precondition(mut self, precondition: impl Into<String>) -> Self {
+        self.precondition = precondition.into();
+        self
+    }
+
+    /// Sets the expected measures.
+    pub fn expected_measures(mut self, measures: impl Into<String>) -> Self {
+        self.expected_measures = measures.into();
+        self
+    }
+
+    /// Sets the attack-success criteria.
+    pub fn attack_success(mut self, criteria: impl Into<String>) -> Self {
+        self.attack_success = criteria.into();
+        self
+    }
+
+    /// Sets the attack-fails criteria.
+    pub fn attack_fails(mut self, criteria: impl Into<String>) -> Self {
+        self.attack_fails = criteria.into();
+        self
+    }
+
+    /// Sets the implementation comments.
+    pub fn impl_comments(mut self, comments: impl Into<String>) -> Self {
+        self.impl_comments = comments.into();
+        self
+    }
+
+    /// Sets the assumed attacker profile.
+    pub fn attacker(mut self, attacker: AttackerProfile) -> Self {
+        self.attacker = Some(attacker);
+        self
+    }
+
+    /// Marks the attack as privacy-relevant (it may then omit safety-goal
+    /// links).
+    pub fn privacy_relevant(mut self) -> Self {
+        self.privacy_relevant = true;
+        self
+    }
+
+    /// Builds and validates the attack description.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::Id`] for malformed identifiers.
+    /// * [`CoreError::NoSafetyGoal`] if no goal is linked and the attack is
+    ///   not privacy-relevant.
+    /// * [`CoreError::NoThreatScenario`] if no threat scenario is linked.
+    /// * [`CoreError::MissingPrecondition`] /
+    ///   [`CoreError::MissingSuccessCriteria`] /
+    ///   [`CoreError::MissingFailCriteria`] if the RQ3 reproducibility
+    ///   fields are empty.
+    /// * [`CoreError::AttackTypeMismatch`] if the attack type is not a
+    ///   Table IV manifestation of the declared threat type.
+    pub fn build(self) -> Result<AttackDescription, CoreError> {
+        let id = AttackDescriptionId::new(self.id)?;
+        if self.safety_goals.is_empty() && !self.privacy_relevant {
+            return Err(CoreError::NoSafetyGoal(id));
+        }
+        let threat_scenario = match self.threat_scenario {
+            Some(t) => ThreatScenarioId::new(t)?,
+            None => return Err(CoreError::NoThreatScenario(id)),
+        };
+        if self.precondition.trim().is_empty() {
+            return Err(CoreError::MissingPrecondition(id));
+        }
+        if self.attack_success.trim().is_empty() {
+            return Err(CoreError::MissingSuccessCriteria(id));
+        }
+        if self.attack_fails.trim().is_empty() {
+            return Err(CoreError::MissingFailCriteria(id));
+        }
+        // Threat/attack types default from each other where unambiguous.
+        let (threat_type, attack_type) = match (self.threat_type, self.attack_type) {
+            (Some(tt), Some(at)) => (tt, at),
+            (Some(tt), None) => (tt, saseval_types::attack_types_for(tt)[0]),
+            (None, Some(at)) => (at.threat_types()[0], at),
+            (None, None) => {
+                return Err(CoreError::AttackTypeMismatch { attack: id, threat: threat_scenario })
+            }
+        };
+        if !saseval_types::attack_types_for(threat_type).contains(&attack_type) {
+            return Err(CoreError::AttackTypeMismatch { attack: id, threat: threat_scenario });
+        }
+        let safety_goals = self
+            .safety_goals
+            .into_iter()
+            .map(SafetyGoalId::new)
+            .collect::<Result<Vec<_>, _>>()?;
+        let interface = self.interface.map(InterfaceId::new).transpose()?;
+        Ok(AttackDescription {
+            id,
+            description: self.description,
+            safety_goals,
+            interface,
+            threat_scenario,
+            threat_type,
+            attack_type,
+            precondition: self.precondition,
+            expected_measures: self.expected_measures,
+            attack_success: self.attack_success,
+            attack_fails: self.attack_fails,
+            impl_comments: self.impl_comments,
+            attacker: self.attacker,
+            privacy_relevant: self.privacy_relevant,
+        })
+    }
+}
+
+/// A written justification for a threat that is deliberately *not* covered
+/// by any attack description (paper §III: "the test engineer should
+/// consider either creating an additional attack description or writing a
+/// justification on why the threat is not applied for the given SUT").
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Justification {
+    threat_scenario: ThreatScenarioId,
+    rationale: String,
+}
+
+impl Justification {
+    /// Creates a justification.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Id`] if the threat-scenario ID is malformed.
+    pub fn new(
+        threat_scenario: impl AsRef<str>,
+        rationale: impl Into<String>,
+    ) -> Result<Self, CoreError> {
+        Ok(Justification {
+            threat_scenario: ThreatScenarioId::new(threat_scenario.as_ref())?,
+            rationale: rationale.into(),
+        })
+    }
+
+    /// The justified (deliberately untested) threat scenario.
+    pub fn threat_scenario(&self) -> &ThreatScenarioId {
+        &self.threat_scenario
+    }
+
+    /// Why the threat is not applied for the given SUT.
+    pub fn rationale(&self) -> &str {
+        &self.rationale
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn minimal() -> AttackDescriptionBuilder {
+        AttackDescription::builder("AD01", "attack")
+            .safety_goal("SG01")
+            .threat_scenario("TS-1")
+            .threat_type(ThreatType::DenialOfService)
+            .attack_type(AttackType::DenialOfService)
+            .precondition("vehicle driving")
+            .attack_success("service down")
+            .attack_fails("sender isolated")
+    }
+
+    #[test]
+    fn minimal_builds() {
+        let ad = minimal().build().unwrap();
+        assert_eq!(ad.id().as_str(), "AD01");
+        assert_eq!(ad.threat_type(), ThreatType::DenialOfService);
+        assert!(!ad.is_privacy_relevant());
+        assert_eq!(ad.attacker(), None);
+    }
+
+    #[test]
+    fn missing_fields_rejected() {
+        let err = AttackDescription::builder("AD02", "x")
+            .threat_scenario("TS-1")
+            .precondition("p")
+            .attack_success("s")
+            .attack_fails("f")
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, CoreError::NoSafetyGoal(_)));
+
+        let err = AttackDescription::builder("AD02", "x")
+            .safety_goal("SG01")
+            .precondition("p")
+            .attack_success("s")
+            .attack_fails("f")
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, CoreError::NoThreatScenario(_)));
+
+        let err = minimal().precondition("  ").build().unwrap_err();
+        assert!(matches!(err, CoreError::MissingPrecondition(_)));
+        let err = minimal().attack_success("").build().unwrap_err();
+        assert!(matches!(err, CoreError::MissingSuccessCriteria(_)));
+        let err = minimal().attack_fails("").build().unwrap_err();
+        assert!(matches!(err, CoreError::MissingFailCriteria(_)));
+    }
+
+    #[test]
+    fn privacy_attack_may_omit_goals() {
+        let ad = AttackDescription::builder("AD28", "profile building")
+            .privacy_relevant()
+            .threat_scenario("TS-BLE-TRACK")
+            .threat_type(ThreatType::InformationDisclosure)
+            .attack_type(AttackType::Eavesdropping)
+            .precondition("vehicle parked in public")
+            .attack_success("usage profile reconstructed")
+            .attack_fails("advertisements unlinkable")
+            .build()
+            .unwrap();
+        assert!(ad.is_privacy_relevant());
+        assert!(ad.safety_goals().is_empty());
+    }
+
+    #[test]
+    fn attack_type_must_match_threat_type() {
+        let err = minimal().attack_type(AttackType::Replay).build().unwrap_err();
+        assert!(matches!(err, CoreError::AttackTypeMismatch { .. }));
+    }
+
+    #[test]
+    fn attack_type_defaults_from_threat_type() {
+        let ad = AttackDescription::builder("AD03", "x")
+            .safety_goal("SG01")
+            .threat_scenario("TS-1")
+            .threat_type(ThreatType::Spoofing)
+            .precondition("p")
+            .attack_success("s")
+            .attack_fails("f")
+            .build()
+            .unwrap();
+        assert_eq!(ad.attack_type(), AttackType::FakeMessages);
+    }
+
+    #[test]
+    fn threat_type_defaults_from_attack_type() {
+        let ad = AttackDescription::builder("AD04", "x")
+            .safety_goal("SG01")
+            .threat_scenario("TS-1")
+            .attack_type(AttackType::Jamming)
+            .precondition("p")
+            .attack_success("s")
+            .attack_fails("f")
+            .build()
+            .unwrap();
+        assert_eq!(ad.threat_type(), ThreatType::DenialOfService);
+    }
+
+    #[test]
+    fn neither_type_rejected() {
+        let err = AttackDescription::builder("AD05", "x")
+            .safety_goal("SG01")
+            .threat_scenario("TS-1")
+            .precondition("p")
+            .attack_success("s")
+            .attack_fails("f")
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, CoreError::AttackTypeMismatch { .. }));
+    }
+
+    #[test]
+    fn validate_catches_serde_bypass() {
+        let ad = minimal().build().unwrap();
+        assert!(ad.validate().is_ok());
+        // Deserialize a JSON blob the builder would reject: Replay is not
+        // a Table IV manifestation of Denial of service, and the
+        // precondition is blank.
+        let json = serde_json::to_string(&ad).unwrap();
+        let tampered = json
+            .replace("\"attack_type\":\"DenialOfService\"", "\"attack_type\":\"Replay\"");
+        let bypassed: AttackDescription = serde_json::from_str(&tampered).unwrap();
+        assert!(matches!(bypassed.validate(), Err(CoreError::AttackTypeMismatch { .. })));
+        let blank = json.replace("\"precondition\":\"vehicle driving\"", "\"precondition\":\"\"");
+        let bypassed: AttackDescription = serde_json::from_str(&blank).unwrap();
+        assert!(matches!(bypassed.validate(), Err(CoreError::MissingPrecondition(_))));
+    }
+
+    #[test]
+    fn justification_round_trip() {
+        let j = Justification::new("TS-9", "asset not present in this SUT variant").unwrap();
+        assert_eq!(j.threat_scenario().as_str(), "TS-9");
+        assert!(j.rationale().contains("variant"));
+        assert!(Justification::new("bad id", "x").is_err());
+    }
+
+    #[test]
+    fn attacker_profile_recorded() {
+        let ad = minimal().attacker(AttackerProfile::RemoteAttacker).build().unwrap();
+        assert_eq!(ad.attacker(), Some(AttackerProfile::RemoteAttacker));
+    }
+}

@@ -1,0 +1,117 @@
+//! Error type for the SaSeVAL core pipeline.
+
+use std::fmt;
+
+use saseval_types::{AttackDescriptionId, IdError, SafetyGoalId, ThreatScenarioId};
+
+/// Error returned by attack-description construction and pipeline
+/// operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// An identifier string was malformed.
+    Id(IdError),
+    /// The attack description links no safety goal and is not marked
+    /// privacy-relevant — it would validate nothing (paper §III-C: "the
+    /// description has to name the safety goal as well as the threat
+    /// scenario addressed").
+    NoSafetyGoal(AttackDescriptionId),
+    /// The attack description names no threat scenario.
+    NoThreatScenario(AttackDescriptionId),
+    /// The success criteria are missing (RQ3 requires reproducible
+    /// pass/fail decisions).
+    MissingSuccessCriteria(AttackDescriptionId),
+    /// The fail criteria are missing.
+    MissingFailCriteria(AttackDescriptionId),
+    /// The precondition is missing — SaSeVAL specifies the situations in
+    /// which the SUT could be attacked (paper §I).
+    MissingPrecondition(AttackDescriptionId),
+    /// The attack type is not a Table IV manifestation of the threat
+    /// scenario's STRIDE threat type.
+    AttackTypeMismatch {
+        /// The offending attack description.
+        attack: AttackDescriptionId,
+        /// The named threat scenario.
+        threat: ThreatScenarioId,
+    },
+    /// A duplicate attack-description ID.
+    DuplicateAttack(AttackDescriptionId),
+    /// The attack description references a safety goal the HARA does not
+    /// define.
+    UnknownSafetyGoal {
+        /// The offending attack description.
+        attack: AttackDescriptionId,
+        /// The unknown goal.
+        goal: SafetyGoalId,
+    },
+    /// The attack description references a threat scenario the library
+    /// does not contain.
+    UnknownThreatScenario {
+        /// The offending attack description.
+        attack: AttackDescriptionId,
+        /// The unknown threat scenario.
+        threat: ThreatScenarioId,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Id(e) => write!(f, "invalid identifier: {e}"),
+            CoreError::NoSafetyGoal(id) => write!(
+                f,
+                "attack description {id} links no safety goal and is not privacy-relevant"
+            ),
+            CoreError::NoThreatScenario(id) => {
+                write!(f, "attack description {id} names no threat scenario")
+            }
+            CoreError::MissingSuccessCriteria(id) => {
+                write!(f, "attack description {id} lacks attack-success criteria")
+            }
+            CoreError::MissingFailCriteria(id) => {
+                write!(f, "attack description {id} lacks attack-fails criteria")
+            }
+            CoreError::MissingPrecondition(id) => {
+                write!(f, "attack description {id} lacks a precondition")
+            }
+            CoreError::AttackTypeMismatch { attack, threat } => write!(
+                f,
+                "attack description {attack}: attack type is not a Table IV manifestation of \
+                 threat scenario {threat}'s threat type"
+            ),
+            CoreError::DuplicateAttack(id) => write!(f, "duplicate attack description {id}"),
+            CoreError::UnknownSafetyGoal { attack, goal } => {
+                write!(f, "attack description {attack} references unknown safety goal {goal}")
+            }
+            CoreError::UnknownThreatScenario { attack, threat } => write!(
+                f,
+                "attack description {attack} references unknown threat scenario {threat}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Id(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<IdError> for CoreError {
+    fn from(e: IdError) -> Self {
+        CoreError::Id(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_artifacts() {
+        let id = AttackDescriptionId::new("AD20").unwrap();
+        assert!(CoreError::MissingPrecondition(id).to_string().contains("AD20"));
+    }
+}

@@ -1,0 +1,60 @@
+//! The SaSeVAL pipeline: safety-driven derivation of security attack
+//! descriptions (paper §III).
+//!
+//! SaSeVAL links security validation explicitly to safety goals. This
+//! crate implements the four process steps of the paper's Fig. 1 on top of
+//! the threat library (`saseval-threat`), the HARA (`saseval-hara`) and the
+//! TARA (`saseval-tara`):
+//!
+//! 1. **Threat library creation** — consumed from `saseval-threat`.
+//! 2. **Safety concern identification** ([`concern`]) — extracts the
+//!    validation test objectives (safety goals with their ASIL and FTTI)
+//!    from a HARA.
+//! 3. **Attack description** ([`AttackDescription`], [`derive`](mod@derive)) — the
+//!    structured, reproducible attack specification of §III-C with all
+//!    seven information items (description, precondition, expected
+//!    measures, success criteria, fail criteria, implementation comments,
+//!    plus the explicit links to safety goal and threat).
+//! 4. **Attack implementation** — compiled by `saseval-dsl` /
+//!    `attack-engine` (out of scope for the paper, in scope for us).
+//!
+//! The two completeness arguments of RQ1 are checkable predicates here:
+//! the **deductive** check (every safety concern traces to attacks) and
+//! the **inductive** check (every library threat is covered by an attack
+//! description or an explicit justification) live in [`coverage`].
+//!
+//! The authored catalogs for the paper's two §IV use cases — with the
+//! exact published counts (29 HARA ratings / 6 safety goals / 23 attack
+//! descriptions for Use Case I; 20 ratings / 4 goals / 27+2 attack
+//! descriptions for Use Case II) — are in [`catalog`].
+//!
+//! # Example
+//!
+//! ```
+//! use saseval_core::catalog::use_case_1;
+//! use saseval_core::coverage::{deductive_coverage, inductive_coverage};
+//!
+//! let uc1 = use_case_1();
+//! assert_eq!(uc1.hara.rating_count(), 29);
+//! assert_eq!(uc1.attacks.len(), 23);
+//!
+//! let deductive = deductive_coverage(&uc1.hara, &uc1.attacks);
+//! assert!(deductive.is_complete());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod concern;
+pub mod coverage;
+pub mod derive;
+mod description;
+mod error;
+pub mod export;
+pub mod pipeline;
+pub mod report;
+
+pub use concern::{identify_safety_concerns, SafetyConcern};
+pub use description::{AttackDescription, AttackDescriptionBuilder, Justification};
+pub use error::CoreError;

@@ -1,0 +1,313 @@
+//! The end-to-end SaSeVAL pipeline (paper Fig. 1).
+//!
+//! [`run_pipeline`] executes the four process steps against a use-case
+//! dataset and a threat library, validating cross-artifact consistency and
+//! recording a per-stage trace — the executable counterpart of the
+//! process-overview figure.
+
+use serde::{Deserialize, Serialize};
+
+use saseval_threat::ThreatLibrary;
+
+use crate::catalog::UseCaseCatalog;
+use crate::concern::{identify_safety_concerns, SafetyConcern};
+use crate::coverage::{deductive_coverage, inductive_coverage, DeductiveReport, InductiveReport};
+use crate::description::AttackDescription;
+use crate::error::CoreError;
+
+/// Trace record for one pipeline stage.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StageTrace {
+    /// Stage number (1–4) as in the paper's Fig. 1.
+    pub stage: u8,
+    /// Stage title.
+    pub title: String,
+    /// What the stage produced.
+    pub summary: String,
+}
+
+/// Result of running the full pipeline.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PipelineReport {
+    /// The use-case name.
+    pub use_case: String,
+    /// Per-stage trace in execution order.
+    pub stages: Vec<StageTrace>,
+    /// The identified safety concerns (stage 2 output).
+    pub concerns: Vec<SafetyConcern>,
+    /// Deductive coverage (safety goals → attacks).
+    pub deductive: DeductiveReport,
+    /// Inductive coverage (threats → attacks/justifications).
+    pub inductive: InductiveReport,
+    /// Number of validated attack descriptions.
+    pub attack_count: usize,
+}
+
+impl PipelineReport {
+    /// Whether both completeness arguments of RQ1 hold.
+    pub fn is_complete(&self) -> bool {
+        self.deductive.is_complete() && self.inductive.is_complete()
+    }
+}
+
+/// Validates one attack description against the HARA and the threat
+/// library.
+///
+/// # Errors
+///
+/// * Any [`CoreError`] from [`AttackDescription::validate`] (the builder
+///   invariants, re-checked so descriptions deserialized from external
+///   data cannot bypass them).
+/// * [`CoreError::UnknownSafetyGoal`] if the description references a goal
+///   the HARA does not define.
+/// * [`CoreError::UnknownThreatScenario`] if it references a threat the
+///   library does not contain.
+/// * [`CoreError::AttackTypeMismatch`] if its declared threat type differs
+///   from the library entry's STRIDE classification.
+pub fn validate_attack(
+    attack: &AttackDescription,
+    catalog: &UseCaseCatalog,
+    library: &ThreatLibrary,
+) -> Result<(), CoreError> {
+    attack.validate()?;
+    for goal in attack.safety_goals() {
+        if catalog.hara.safety_goal(goal.as_str()).is_none() {
+            return Err(CoreError::UnknownSafetyGoal {
+                attack: attack.id().clone(),
+                goal: goal.clone(),
+            });
+        }
+    }
+    match library.threat_scenario(attack.threat_scenario().as_str()) {
+        None => Err(CoreError::UnknownThreatScenario {
+            attack: attack.id().clone(),
+            threat: attack.threat_scenario().clone(),
+        }),
+        Some(threat) if threat.threat_type() != attack.threat_type() => {
+            Err(CoreError::AttackTypeMismatch {
+                attack: attack.id().clone(),
+                threat: attack.threat_scenario().clone(),
+            })
+        }
+        Some(_) => Ok(()),
+    }
+}
+
+/// Runs the four-stage SaSeVAL pipeline for a use case.
+///
+/// Stages (paper Fig. 1):
+///
+/// 1. **Threat library creation** — takes stock of the library contents.
+/// 2. **Safety concern identification** — extracts concerns from the HARA.
+/// 3. **Attack description** — validates every authored attack description
+///    against HARA and library, then checks deductive and inductive
+///    coverage.
+/// 4. **Attack implementation** — reported as a hand-off (the executable
+///    side lives in `attack-engine`/`saseval-dsl`).
+///
+/// # Errors
+///
+/// Returns the first [`CoreError`] found while validating attack
+/// descriptions; duplicate attack IDs are also rejected.
+///
+/// # Example
+///
+/// ```
+/// use saseval_core::catalog::use_case_2;
+/// use saseval_core::pipeline::run_pipeline;
+/// use saseval_threat::builtin::automotive_library;
+///
+/// let report = run_pipeline(&use_case_2(), &automotive_library())?;
+/// assert!(report.is_complete());
+/// assert_eq!(report.attack_count, 29);
+/// # Ok::<(), saseval_core::CoreError>(())
+/// ```
+pub fn run_pipeline(
+    catalog: &UseCaseCatalog,
+    library: &ThreatLibrary,
+) -> Result<PipelineReport, CoreError> {
+    let mut stages = Vec::new();
+
+    let stats = library.stats();
+    stages.push(StageTrace {
+        stage: 1,
+        title: "Threat Library Creation".to_owned(),
+        summary: format!(
+            "{} scenarios, {} assets, {} threat scenarios classified by STRIDE",
+            stats.scenarios, stats.assets, stats.threat_scenarios
+        ),
+    });
+
+    let concerns = identify_safety_concerns(&catalog.hara);
+    stages.push(StageTrace {
+        stage: 2,
+        title: "Safety Concern Identification".to_owned(),
+        summary: format!(
+            "{} ratings ({}), {} safety concerns",
+            catalog.hara.rating_count(),
+            catalog.hara.distribution(),
+            concerns.len()
+        ),
+    });
+
+    let mut seen = std::collections::BTreeSet::new();
+    for attack in &catalog.attacks {
+        if !seen.insert(attack.id().clone()) {
+            return Err(CoreError::DuplicateAttack(attack.id().clone()));
+        }
+        validate_attack(attack, catalog, library)?;
+    }
+    let deductive = deductive_coverage(&catalog.hara, &catalog.attacks);
+    let inductive = inductive_coverage(
+        library,
+        &catalog.scenarios,
+        &catalog.attacks,
+        &catalog.justifications,
+    );
+    stages.push(StageTrace {
+        stage: 3,
+        title: "Attack Description".to_owned(),
+        summary: format!(
+            "{} attack descriptions validated; deductive coverage {}; inductive coverage {:.0}%",
+            catalog.attacks.len(),
+            if deductive.is_complete() { "complete" } else { "INCOMPLETE" },
+            inductive.coverage_ratio() * 100.0
+        ),
+    });
+
+    stages.push(StageTrace {
+        stage: 4,
+        title: "Attack Implementation".to_owned(),
+        summary: format!(
+            "{} descriptions ready for compilation to executable test cases",
+            catalog.attacks.len()
+        ),
+    });
+
+    Ok(PipelineReport {
+        use_case: catalog.name.clone(),
+        stages,
+        concerns,
+        deductive,
+        inductive,
+        attack_count: catalog.attacks.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{use_case_1, use_case_2};
+    use saseval_threat::builtin::automotive_library;
+
+    #[test]
+    fn uc1_pipeline_complete() {
+        let report = run_pipeline(&use_case_1(), &automotive_library()).unwrap();
+        assert!(report.is_complete());
+        assert_eq!(report.attack_count, 23);
+        assert_eq!(report.concerns.len(), 6);
+        assert_eq!(report.stages.len(), 4);
+        // All six safety goals are attacked (deductive).
+        for goal in ["SG01", "SG02", "SG03", "SG04", "SG05", "SG06"] {
+            assert!(report.deductive.attacks_for(goal) > 0, "goal {goal} uncovered");
+        }
+        // All construction-site threats are covered (inductive).
+        assert_eq!(report.inductive.coverage_ratio(), 1.0);
+    }
+
+    #[test]
+    fn uc2_pipeline_complete() {
+        let report = run_pipeline(&use_case_2(), &automotive_library()).unwrap();
+        assert!(report.is_complete());
+        assert_eq!(report.attack_count, 29);
+        assert_eq!(report.concerns.len(), 4);
+        assert_eq!(report.inductive.coverage_ratio(), 1.0);
+    }
+
+    #[test]
+    fn asil_scales_attack_counts_uc2() {
+        // RQ2: the ASIL D goal (SG01) receives the most attacks.
+        let report = run_pipeline(&use_case_2(), &automotive_library()).unwrap();
+        let sg01 = report.deductive.attacks_for("SG01");
+        for goal in ["SG02", "SG03", "SG04"] {
+            assert!(sg01 > report.deductive.attacks_for(goal));
+        }
+    }
+
+    #[test]
+    fn unknown_goal_rejected() {
+        let mut catalog = use_case_1();
+        let bad = AttackDescription::builder("AD99", "bad")
+            .safety_goal("SG99")
+            .threat_scenario("TS-2.1.4")
+            .threat_type(saseval_types::ThreatType::DenialOfService)
+            .precondition("p")
+            .attack_success("s")
+            .attack_fails("f")
+            .build()
+            .unwrap();
+        catalog.attacks.push(bad);
+        let err = run_pipeline(&catalog, &automotive_library()).unwrap_err();
+        assert!(matches!(err, CoreError::UnknownSafetyGoal { .. }));
+    }
+
+    #[test]
+    fn unknown_threat_rejected() {
+        let mut catalog = use_case_1();
+        let bad = AttackDescription::builder("AD99", "bad")
+            .safety_goal("SG01")
+            .threat_scenario("TS-NOPE")
+            .threat_type(saseval_types::ThreatType::DenialOfService)
+            .precondition("p")
+            .attack_success("s")
+            .attack_fails("f")
+            .build()
+            .unwrap();
+        catalog.attacks.push(bad);
+        let err = run_pipeline(&catalog, &automotive_library()).unwrap_err();
+        assert!(matches!(err, CoreError::UnknownThreatScenario { .. }));
+    }
+
+    #[test]
+    fn threat_type_mismatch_rejected() {
+        let mut catalog = use_case_1();
+        // TS-2.1.4 is DenialOfService; declare it Spoofing.
+        let bad = AttackDescription::builder("AD99", "bad")
+            .safety_goal("SG01")
+            .threat_scenario("TS-2.1.4")
+            .threat_type(saseval_types::ThreatType::Spoofing)
+            .precondition("p")
+            .attack_success("s")
+            .attack_fails("f")
+            .build()
+            .unwrap();
+        catalog.attacks.push(bad);
+        let err = run_pipeline(&catalog, &automotive_library()).unwrap_err();
+        assert!(matches!(err, CoreError::AttackTypeMismatch { .. }));
+    }
+
+    #[test]
+    fn duplicate_attack_id_rejected() {
+        let mut catalog = use_case_1();
+        let dup = catalog.attacks[0].clone();
+        catalog.attacks.push(dup);
+        let err = run_pipeline(&catalog, &automotive_library()).unwrap_err();
+        assert!(matches!(err, CoreError::DuplicateAttack(_)));
+    }
+
+    #[test]
+    fn stage_trace_describes_fig1() {
+        let report = run_pipeline(&use_case_1(), &automotive_library()).unwrap();
+        let titles: Vec<&str> = report.stages.iter().map(|s| s.title.as_str()).collect();
+        assert_eq!(
+            titles,
+            [
+                "Threat Library Creation",
+                "Safety Concern Identification",
+                "Attack Description",
+                "Attack Implementation"
+            ]
+        );
+        assert!(report.stages[1].summary.contains("29 ratings"));
+    }
+}

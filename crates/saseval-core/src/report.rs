@@ -1,0 +1,220 @@
+//! Traceability reporting — the explicit safety-goal → threat → attack
+//! links SaSeVAL maintains ("It traces safety goals to threats and to
+//! attacks explicitly", paper abstract).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use saseval_types::{
+    AttackDescriptionId, AttackType, SafetyGoalId, ThreatScenarioId, ThreatType,
+};
+
+use crate::catalog::UseCaseCatalog;
+
+/// One row of the traceability matrix: an attack description with its
+/// resolved links.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceRow {
+    /// The attack description.
+    pub attack: AttackDescriptionId,
+    /// The safety goals it targets.
+    pub safety_goals: Vec<SafetyGoalId>,
+    /// The threat-library entry it exploits.
+    pub threat_scenario: ThreatScenarioId,
+    /// STRIDE classification.
+    pub threat_type: ThreatType,
+    /// Concrete attack type.
+    pub attack_type: AttackType,
+    /// Whether the attack is privacy-relevant.
+    pub privacy: bool,
+}
+
+/// The full traceability matrix of a use case.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceMatrix {
+    /// The use-case name.
+    pub use_case: String,
+    /// One row per attack description, in catalog order.
+    pub rows: Vec<TraceRow>,
+}
+
+impl TraceMatrix {
+    /// Builds the matrix from a use-case catalog.
+    pub fn from_catalog(catalog: &UseCaseCatalog) -> Self {
+        let rows = catalog
+            .attacks
+            .iter()
+            .map(|a| TraceRow {
+                attack: a.id().clone(),
+                safety_goals: a.safety_goals().to_vec(),
+                threat_scenario: a.threat_scenario().clone(),
+                threat_type: a.threat_type(),
+                attack_type: a.attack_type(),
+                privacy: a.is_privacy_relevant(),
+            })
+            .collect();
+        TraceMatrix { use_case: catalog.name.clone(), rows }
+    }
+
+    /// Attack counts per safety goal, in goal-ID order.
+    pub fn attacks_per_goal(&self) -> BTreeMap<SafetyGoalId, usize> {
+        let mut counts = BTreeMap::new();
+        for row in &self.rows {
+            for goal in &row.safety_goals {
+                *counts.entry(goal.clone()).or_insert(0) += 1;
+            }
+        }
+        counts
+    }
+
+    /// Attack counts per STRIDE threat type.
+    pub fn attacks_per_threat_type(&self) -> BTreeMap<ThreatType, usize> {
+        let mut counts = BTreeMap::new();
+        for row in &self.rows {
+            *counts.entry(row.threat_type).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// The (safety goal × attack type) combination matrix — the paper's
+    /// §IV-A derivation grid ("We identified for each combination of
+    /// safety goal and attack type the potential attacks").
+    pub fn goal_attack_type_matrix(&self) -> BTreeMap<(SafetyGoalId, AttackType), usize> {
+        let mut matrix = BTreeMap::new();
+        for row in &self.rows {
+            for goal in &row.safety_goals {
+                *matrix.entry((goal.clone(), row.attack_type)).or_insert(0) += 1;
+            }
+        }
+        matrix
+    }
+
+    /// Renders the combination matrix as a Markdown table (goals as rows,
+    /// the attack types that occur as columns).
+    pub fn render_goal_attack_type_matrix(&self) -> String {
+        use std::collections::BTreeSet;
+        let matrix = self.goal_attack_type_matrix();
+        let goals: BTreeSet<&SafetyGoalId> = matrix.keys().map(|(g, _)| g).collect();
+        let types: BTreeSet<AttackType> = matrix.keys().map(|(_, t)| *t).collect();
+        let mut out = String::new();
+        out.push_str("| goal \\ attack type |");
+        for t in &types {
+            out.push_str(&format!(" {t} |"));
+        }
+        out.push('\n');
+        out.push_str("|---|");
+        for _ in &types {
+            out.push_str("---|");
+        }
+        out.push('\n');
+        for goal in goals {
+            out.push_str(&format!("| {goal} |"));
+            for t in &types {
+                let count = matrix.get(&(goal.clone(), *t)).copied().unwrap_or(0);
+                if count == 0 {
+                    out.push_str(" |");
+                } else {
+                    out.push_str(&format!(" {count} |"));
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for TraceMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Traceability matrix: {}", self.use_case)?;
+        for row in &self.rows {
+            let goals: Vec<&str> = row.safety_goals.iter().map(|g| g.as_str()).collect();
+            writeln!(
+                f,
+                "  {} -> goals [{}] threat {} ({} / {}){}",
+                row.attack,
+                goals.join(" "),
+                row.threat_scenario,
+                row.threat_type,
+                row.attack_type,
+                if row.privacy { " [privacy]" } else { "" }
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{use_case_1, use_case_2};
+
+    #[test]
+    fn matrix_covers_all_attacks() {
+        let uc1 = use_case_1();
+        let matrix = TraceMatrix::from_catalog(&uc1);
+        assert_eq!(matrix.rows.len(), 23);
+    }
+
+    #[test]
+    fn per_goal_counts_sum_to_goal_links() {
+        let uc2 = use_case_2();
+        let matrix = TraceMatrix::from_catalog(&uc2);
+        let per_goal = matrix.attacks_per_goal();
+        let total_links: usize = per_goal.values().sum();
+        let expected: usize = uc2.attacks.iter().map(|a| a.safety_goals().len()).sum();
+        assert_eq!(total_links, expected);
+        // SG01 (ASIL D) dominates.
+        assert!(per_goal["SG01"] > per_goal["SG04"]);
+    }
+
+    #[test]
+    fn per_threat_type_counts() {
+        let matrix = TraceMatrix::from_catalog(&use_case_1());
+        let per_type = matrix.attacks_per_threat_type();
+        let total: usize = per_type.values().sum();
+        assert_eq!(total, 23);
+        assert!(per_type[&ThreatType::DenialOfService] >= 3);
+    }
+
+    #[test]
+    fn display_contains_links() {
+        let matrix = TraceMatrix::from_catalog(&use_case_1());
+        let text = matrix.to_string();
+        assert!(text.contains("AD20"));
+        assert!(text.contains("TS-2.1.4"));
+    }
+
+    #[test]
+    fn goal_attack_type_matrix_counts() {
+        let matrix = TraceMatrix::from_catalog(&use_case_1());
+        let grid = matrix.goal_attack_type_matrix();
+        // AD20 alone links {SG01, SG02, SG03} x Disable.
+        let disable_cells: usize = grid
+            .iter()
+            .filter(|((_, t), _)| *t == saseval_types::AttackType::Disable)
+            .map(|(_, c)| *c)
+            .sum();
+        assert!(disable_cells >= 3);
+        // Total cells equal total goal links.
+        let total: usize = grid.values().sum();
+        let links: usize = matrix.rows.iter().map(|r| r.safety_goals.len()).sum();
+        assert_eq!(total, links);
+    }
+
+    #[test]
+    fn matrix_renders_markdown() {
+        let matrix = TraceMatrix::from_catalog(&use_case_1());
+        let table = matrix.render_goal_attack_type_matrix();
+        assert!(table.starts_with("| goal \\ attack type |"));
+        assert!(table.contains("| SG01 |"));
+        assert!(table.contains("Disable"));
+    }
+
+    #[test]
+    fn privacy_rows_flagged() {
+        let matrix = TraceMatrix::from_catalog(&use_case_2());
+        assert_eq!(matrix.rows.iter().filter(|r| r.privacy).count(), 2);
+    }
+}

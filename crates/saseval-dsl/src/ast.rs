@@ -1,0 +1,106 @@
+//! The DSL abstract syntax tree.
+
+use serde::{Deserialize, Serialize};
+
+/// A whole DSL document: a sequence of attack declarations.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Document {
+    /// The attack declarations in source order.
+    pub attacks: Vec<AttackDecl>,
+}
+
+/// One `attack <ID> { … }` declaration.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AttackDecl {
+    /// The attack description ID (e.g. `AD20`).
+    pub id: String,
+    /// `description:` text.
+    pub description: String,
+    /// `goals:` safety-goal IDs (may be empty for privacy attacks).
+    pub goals: Vec<String>,
+    /// `interface:` targeted interface/ECU, if given.
+    pub interface: Option<String>,
+    /// `threat:` the linked threat-scenario ID.
+    pub threat: String,
+    /// `types:` STRIDE threat type name (left of `/`).
+    pub threat_type: String,
+    /// `types:` attack type name (right of `/`).
+    pub attack_type: String,
+    /// `precondition:` text.
+    pub precondition: String,
+    /// `measures:` expected measures text.
+    pub measures: String,
+    /// `success:` attack-success criteria text.
+    pub success: String,
+    /// `fails:` attack-fails criteria text.
+    pub fails: String,
+    /// `comments:` implementation comments text.
+    pub comments: String,
+    /// `attacker:` profile name, if given.
+    pub attacker: Option<String>,
+    /// `privacy` flag.
+    pub privacy: bool,
+    /// `execute:` binding, if given.
+    pub execute: Option<ExecSpec>,
+}
+
+/// An `execute: name(arg = value, …)` binding to an executable attack.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExecSpec {
+    /// The executable attack name (e.g. `v2x-flood`).
+    pub name: String,
+    /// Named arguments in source order.
+    pub args: Vec<(String, ExecArg)>,
+}
+
+impl ExecSpec {
+    /// Looks up a named argument.
+    pub fn arg(&self, name: &str) -> Option<&ExecArg> {
+        self.args.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+
+    /// Looks up an integer argument.
+    pub fn int_arg(&self, name: &str) -> Option<u64> {
+        match self.arg(name) {
+            Some(ExecArg::Int(n)) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Looks up a word argument.
+    pub fn word_arg(&self, name: &str) -> Option<&str> {
+        match self.arg(name) {
+            Some(ExecArg::Word(w)) => Some(w),
+            _ => None,
+        }
+    }
+}
+
+/// An argument value in an [`ExecSpec`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExecArg {
+    /// Unsigned integer.
+    Int(u64),
+    /// Bare word.
+    Word(String),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exec_spec_lookups() {
+        let spec = ExecSpec {
+            name: "key-spoof".into(),
+            args: vec![
+                ("budget".into(), ExecArg::Int(100)),
+                ("strategy".into(), ExecArg::Word("random".into())),
+            ],
+        };
+        assert_eq!(spec.int_arg("budget"), Some(100));
+        assert_eq!(spec.word_arg("strategy"), Some("random"));
+        assert_eq!(spec.int_arg("strategy"), None);
+        assert_eq!(spec.arg("missing"), None);
+    }
+}

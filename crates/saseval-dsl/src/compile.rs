@@ -1,0 +1,224 @@
+//! Compilation of parsed DSL documents into validated attack descriptions
+//! and executable test-case bindings.
+
+use attack_engine::attacks::KeyGuessStrategy;
+use attack_engine::executor::AttackKind;
+use saseval_core::AttackDescription;
+use saseval_types::{AttackType, AttackerProfile, ThreatType};
+
+use crate::ast::{AttackDecl, Document, ExecSpec};
+use crate::error::DslError;
+
+/// A compiled attack: the validated description plus, when the
+/// declaration carried an `execute:` clause, the executable binding.
+#[derive(Debug, Clone)]
+pub struct CompiledAttack {
+    /// The validated attack description (paper §III-C structure).
+    pub description: AttackDescription,
+    /// The executable attack kind, if bound.
+    pub executable: Option<AttackKind>,
+}
+
+fn compile_exec(spec: &ExecSpec) -> Result<AttackKind, DslError> {
+    let fail = |msg: String| DslError::new(0, 0, msg);
+    match spec.name.as_str() {
+        "v2x-flood" => Ok(AttackKind::V2xFlood {
+            per_tick: spec.int_arg("per_tick").unwrap_or(40) as usize,
+        }),
+        "v2x-fake-limit" => Ok(AttackKind::V2xFakeLimit {
+            limit: spec
+                .int_arg("limit")
+                .ok_or_else(|| fail("v2x-fake-limit requires limit".to_owned()))?
+                as u8,
+        }),
+        "v2x-insider-limit" => Ok(AttackKind::V2xInsiderLimit {
+            limit: spec
+                .int_arg("limit")
+                .ok_or_else(|| fail("v2x-insider-limit requires limit".to_owned()))?
+                as u8,
+        }),
+        "v2x-replay-warning" => Ok(AttackKind::V2xReplayWarning {
+            staleness_s: spec.int_arg("staleness_s").unwrap_or(30),
+        }),
+        "v2x-jam" => Ok(AttackKind::V2xJam),
+        "v2x-delay" => Ok(AttackKind::V2xDelay { release_s: spec.int_arg("release_s").unwrap_or(40) }),
+        "key-spoof" => {
+            let strategy = match spec.word_arg("strategy") {
+                Some("random") | None => KeyGuessStrategy::Random,
+                Some("increment") | Some("incrementing") => KeyGuessStrategy::Incrementing {
+                    base: spec
+                        .int_arg("base")
+                        .ok_or_else(|| fail("incrementing strategy requires base".to_owned()))?,
+                },
+                Some(other) => return Err(fail(format!("unknown key-spoof strategy `{other}`"))),
+            };
+            Ok(AttackKind::KeySpoof {
+                strategy,
+                budget: spec.int_arg("budget").unwrap_or(1_000) as u32,
+            })
+        }
+        "ble-replay-open" => Ok(AttackKind::BleReplayOpen),
+        "ble-can-flood" => Ok(AttackKind::BleCanFlood {
+            per_tick: spec.int_arg("per_tick").unwrap_or(30) as usize,
+        }),
+        "ble-jam" => Ok(AttackKind::BleJamming),
+        "ble-spoof-close" => Ok(AttackKind::BleSpoofClose),
+        "allowlist-tamper" => Ok(AttackKind::AllowlistTamper {
+            insider: spec.word_arg("insider") == Some("true"),
+        }),
+        "can-stub-inject" => Ok(AttackKind::CanStubInject),
+        other => Err(fail(format!("unknown executable attack `{other}`"))),
+    }
+}
+
+fn compile_attack(decl: &AttackDecl) -> Result<CompiledAttack, DslError> {
+    let fail = |msg: String| DslError::new(0, 0, format!("attack {}: {msg}", decl.id));
+
+    let threat_type: ThreatType = decl
+        .threat_type
+        .parse()
+        .map_err(|e| fail(format!("invalid threat type: {e}")))?;
+    let attack_type: AttackType = decl
+        .attack_type
+        .parse()
+        .map_err(|e| fail(format!("invalid attack type: {e}")))?;
+
+    let mut builder = AttackDescription::builder(&decl.id, &decl.description)
+        .threat_scenario(&decl.threat)
+        .threat_type(threat_type)
+        .attack_type(attack_type)
+        .precondition(&decl.precondition)
+        .expected_measures(&decl.measures)
+        .attack_success(&decl.success)
+        .attack_fails(&decl.fails)
+        .impl_comments(&decl.comments);
+    for goal in &decl.goals {
+        builder = builder.safety_goal(goal);
+    }
+    if let Some(interface) = &decl.interface {
+        builder = builder.interface(interface);
+    }
+    if let Some(attacker) = &decl.attacker {
+        let profile: AttackerProfile =
+            attacker.parse().map_err(|e| fail(format!("invalid attacker: {e}")))?;
+        builder = builder.attacker(profile);
+    }
+    if decl.privacy {
+        builder = builder.privacy_relevant();
+    }
+    let description = builder.build().map_err(|e| fail(e.to_string()))?;
+    let executable = decl.execute.as_ref().map(compile_exec).transpose().map_err(
+        |e| fail(e.message().to_owned()),
+    )?;
+    Ok(CompiledAttack { description, executable })
+}
+
+/// Compiles a parsed document into validated attack descriptions and
+/// executable bindings.
+///
+/// # Errors
+///
+/// Returns a [`DslError`] naming the offending attack for the first
+/// semantic problem: unknown threat/attack type names, attack types
+/// outside the declared threat type's Table IV row, missing RQ3 fields,
+/// malformed IDs, or unknown `execute:` bindings.
+pub fn compile_document(document: &Document) -> Result<Vec<CompiledAttack>, DslError> {
+    document.attacks.iter().map(compile_attack).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_document;
+
+    fn compile_src(src: &str) -> Result<Vec<CompiledAttack>, DslError> {
+        compile_document(&parse_document(src)?)
+    }
+
+    const VALID: &str = r#"
+attack AD20 {
+    description: "Attacker tries to overload the ECU by packet flooding"
+    goals: SG01, SG02, SG03
+    interface: OBU_RSU
+    threat: TS-2.1.4
+    types: "Denial of service" / "Disable"
+    precondition: "Vehicle is approaching the construction side"
+    measures: "Message counter for broken messages"
+    success: "Shutdown of service"
+    fails: "Security control identifies unwanted sender"
+    comments: "Authenticated extra sender"
+    attacker: "remote attacker"
+    execute: v2x-flood(per_tick = 40)
+}
+"#;
+
+    #[test]
+    fn compiles_valid_attack() {
+        let compiled = compile_src(VALID).unwrap();
+        let ad = &compiled[0].description;
+        assert_eq!(ad.id().as_str(), "AD20");
+        assert_eq!(ad.threat_type(), ThreatType::DenialOfService);
+        assert_eq!(ad.attack_type(), AttackType::Disable);
+        assert_eq!(ad.attacker(), Some(AttackerProfile::RemoteAttacker));
+        assert!(matches!(
+            compiled[0].executable,
+            Some(AttackKind::V2xFlood { per_tick: 40 })
+        ));
+    }
+
+    #[test]
+    fn rejects_type_mismatch() {
+        // "Replay" is not in the Denial-of-service row of Table IV.
+        let src = VALID.replace("\"Disable\"", "\"Replay\"");
+        let err = compile_src(&src).unwrap_err();
+        assert!(err.message().contains("AD20"), "{err}");
+    }
+
+    #[test]
+    fn rejects_unknown_threat_type() {
+        let src = VALID.replace("\"Denial of service\"", "\"Quantum\"");
+        let err = compile_src(&src).unwrap_err();
+        assert!(err.message().contains("invalid threat type"));
+    }
+
+    #[test]
+    fn rejects_missing_success() {
+        let src = VALID.replace("success: \"Shutdown of service\"", "success: \"\"");
+        let err = compile_src(&src).unwrap_err();
+        assert!(err.message().contains("success"), "{err}");
+    }
+
+    #[test]
+    fn rejects_unknown_executable() {
+        let src = VALID.replace("v2x-flood(per_tick = 40)", "teleport");
+        let err = compile_src(&src).unwrap_err();
+        assert!(err.message().contains("unknown executable attack"));
+    }
+
+    #[test]
+    fn key_spoof_strategies() {
+        let src = r#"attack A { description: "d" goals: SG01 threat: TS-3.1.4
+            types: "Spoofing" / "Spoofing" precondition: "p" success: "s" fails: "f"
+            execute: key-spoof(strategy = incrementing, base = 1000, budget = 50) }"#;
+        let compiled = compile_src(src).unwrap();
+        assert!(matches!(
+            compiled[0].executable,
+            Some(AttackKind::KeySpoof {
+                strategy: KeyGuessStrategy::Incrementing { base: 1000 },
+                budget: 50
+            })
+        ));
+        let err = compile_src(&src.replace("incrementing, base = 1000,", "psychic,")).unwrap_err();
+        assert!(err.message().contains("unknown key-spoof strategy"));
+    }
+
+    #[test]
+    fn privacy_attack_without_goals_compiles() {
+        let src = r#"attack AD28 { description: "profiles" threat: TS-BLE-TRACK
+            types: "Information disclosure" / "Eavesdropping"
+            precondition: "p" success: "s" fails: "f" privacy }"#;
+        let compiled = compile_src(src).unwrap();
+        assert!(compiled[0].description.is_privacy_relevant());
+        assert!(compiled[0].executable.is_none());
+    }
+}

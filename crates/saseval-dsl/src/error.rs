@@ -1,0 +1,54 @@
+//! Error type for the DSL.
+
+use std::fmt;
+
+/// Error produced while lexing, parsing or compiling DSL source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DslError {
+    line: u32,
+    column: u32,
+    message: String,
+}
+
+impl DslError {
+    /// Creates an error anchored at a source position (1-based).
+    pub fn new(line: u32, column: u32, message: impl Into<String>) -> Self {
+        DslError { line, column, message: message.into() }
+    }
+
+    /// The 1-based source line.
+    pub fn line(&self) -> u32 {
+        self.line
+    }
+
+    /// The 1-based source column.
+    pub fn column(&self) -> u32 {
+        self.column
+    }
+
+    /// The diagnostic message.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for DslError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.column, self.message)
+    }
+}
+
+impl std::error::Error for DslError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_has_position() {
+        let e = DslError::new(3, 14, "unexpected token");
+        assert_eq!(e.to_string(), "3:14: unexpected token");
+        assert_eq!(e.line(), 3);
+        assert_eq!(e.column(), 14);
+    }
+}

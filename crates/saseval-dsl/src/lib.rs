@@ -1,0 +1,63 @@
+//! The SaSeVAL attack-description DSL.
+//!
+//! The paper's conclusion (§V) announces "a first version of a domain
+//! specific language (DSL). It encodes the attacks such that it can be
+//! automatically translated to test cases." This crate is that DSL:
+//!
+//! * a textual syntax mirroring the attack-description structure of
+//!   Tables VI/VII (description, safety goals, interface, threat link,
+//!   types, precondition, measures, success/fail criteria, comments),
+//! * a lexer ([`token`]) and recursive-descent parser ([`parser`]) with
+//!   line/column diagnostics,
+//! * a compiler ([`compile`]) producing validated
+//!   [`AttackDescription`](saseval_core::AttackDescription)s and — when
+//!   the declaration carries an `execute:` clause — executable
+//!   [`AttackKind`](attack_engine::executor::AttackKind) bindings for the
+//!   attack engine,
+//! * a pretty-printer ([`pretty`]) whose output round-trips through the
+//!   parser (property-tested).
+//!
+//! # Example
+//!
+//! ```
+//! use saseval_dsl::{compile_document, parse_document};
+//!
+//! let source = r#"
+//! // Table VI, AD20.
+//! attack AD20 {
+//!     description: "Attacker tries to overload the ECU by packet flooding"
+//!     goals: SG01, SG02, SG03
+//!     interface: OBU_RSU
+//!     threat: TS-2.1.4
+//!     types: "Denial of service" / "Disable"
+//!     precondition: "Vehicle is approaching the construction side"
+//!     measures: "Message counter for broken messages"
+//!     success: "Shutdown of service"
+//!     fails: "Security control identifies unwanted sender"
+//!     comments: "Authenticated extra sender with high message frequency"
+//!     execute: v2x-flood(per_tick = 40)
+//! }
+//! "#;
+//!
+//! let document = parse_document(source)?;
+//! let compiled = compile_document(&document)?;
+//! assert_eq!(compiled.len(), 1);
+//! assert_eq!(compiled[0].description.id().as_str(), "AD20");
+//! assert!(compiled[0].executable.is_some());
+//! # Ok::<(), saseval_dsl::DslError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod compile;
+mod error;
+pub mod parser;
+pub mod pretty;
+pub mod token;
+
+pub use compile::{compile_document, CompiledAttack};
+pub use error::DslError;
+pub use parser::parse_document;
+pub use pretty::print_document;

@@ -1,0 +1,338 @@
+//! Recursive-descent parser for the attack-description DSL.
+//!
+//! Grammar (EBNF-ish):
+//!
+//! ```text
+//! document   := attack*
+//! attack     := "attack" IDENT "{" field* "}"
+//! field      := "description" ":" STR
+//!             | "goals" ":" IDENT ("," IDENT)*
+//!             | "interface" ":" IDENT
+//!             | "threat" ":" IDENT
+//!             | "types" ":" STR "/" STR
+//!             | "precondition" ":" STR
+//!             | "measures" ":" STR
+//!             | "success" ":" STR
+//!             | "fails" ":" STR
+//!             | "comments" ":" STR
+//!             | "attacker" ":" STR
+//!             | "privacy"
+//!             | "execute" ":" IDENT [ "(" arg ("," arg)* ")" ]
+//! arg        := IDENT "=" (INT | IDENT)
+//! ```
+
+use crate::ast::{AttackDecl, Document, ExecArg, ExecSpec};
+use crate::error::DslError;
+use crate::token::{lex, Token, TokenKind};
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let tok = self.tokens.get(self.pos).cloned();
+        if tok.is_some() {
+            self.pos += 1;
+        }
+        tok
+    }
+
+    fn eof_error(&self, expected: &str) -> DslError {
+        let (line, column) = self
+            .tokens
+            .last()
+            .map(|t| (t.line, t.column))
+            .unwrap_or((1, 1));
+        DslError::new(line, column, format!("unexpected end of input, expected {expected}"))
+    }
+
+    fn expect_ident(&mut self, expected: &str) -> Result<String, DslError> {
+        match self.next() {
+            Some(Token { kind: TokenKind::Ident(s), .. }) => Ok(s),
+            Some(tok) => Err(DslError::new(
+                tok.line,
+                tok.column,
+                format!("expected {expected}, found {}", tok.kind.describe()),
+            )),
+            None => Err(self.eof_error(expected)),
+        }
+    }
+
+    fn expect_string(&mut self, field: &str) -> Result<String, DslError> {
+        match self.next() {
+            Some(Token { kind: TokenKind::Str(s), .. }) => Ok(s),
+            Some(tok) => Err(DslError::new(
+                tok.line,
+                tok.column,
+                format!("field `{field}` expects a string literal, found {}", tok.kind.describe()),
+            )),
+            None => Err(self.eof_error("string literal")),
+        }
+    }
+
+    fn expect_kind(&mut self, kind: &TokenKind) -> Result<(), DslError> {
+        match self.next() {
+            Some(tok) if tok.kind == *kind => Ok(()),
+            Some(tok) => Err(DslError::new(
+                tok.line,
+                tok.column,
+                format!("expected {}, found {}", kind.describe(), tok.kind.describe()),
+            )),
+            None => Err(self.eof_error(&kind.describe())),
+        }
+    }
+
+    fn eat_kind(&mut self, kind: &TokenKind) -> bool {
+        if self.peek().is_some_and(|t| t.kind == *kind) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_exec(&mut self) -> Result<ExecSpec, DslError> {
+        let name = self.expect_ident("executable attack name")?;
+        let mut args = Vec::new();
+        if self.eat_kind(&TokenKind::LParen)
+            && !self.eat_kind(&TokenKind::RParen) {
+                loop {
+                    let arg_name = self.expect_ident("argument name")?;
+                    self.expect_kind(&TokenKind::Eq)?;
+                    let value = match self.next() {
+                        Some(Token { kind: TokenKind::Int(n), .. }) => ExecArg::Int(n),
+                        Some(Token { kind: TokenKind::Ident(w), .. }) => ExecArg::Word(w),
+                        Some(tok) => {
+                            return Err(DslError::new(
+                                tok.line,
+                                tok.column,
+                                format!(
+                                    "argument value must be an integer or word, found {}",
+                                    tok.kind.describe()
+                                ),
+                            ))
+                        }
+                        None => return Err(self.eof_error("argument value")),
+                    };
+                    args.push((arg_name, value));
+                    if self.eat_kind(&TokenKind::RParen) {
+                        break;
+                    }
+                    self.expect_kind(&TokenKind::Comma)?;
+                }
+            }
+        Ok(ExecSpec { name, args })
+    }
+
+    fn parse_attack(&mut self) -> Result<AttackDecl, DslError> {
+        let id = self.expect_ident("attack ID")?;
+        self.expect_kind(&TokenKind::LBrace)?;
+
+        let mut decl = AttackDecl {
+            id,
+            description: String::new(),
+            goals: Vec::new(),
+            interface: None,
+            threat: String::new(),
+            threat_type: String::new(),
+            attack_type: String::new(),
+            precondition: String::new(),
+            measures: String::new(),
+            success: String::new(),
+            fails: String::new(),
+            comments: String::new(),
+            attacker: None,
+            privacy: false,
+            execute: None,
+        };
+
+        loop {
+            let tok = self.next().ok_or_else(|| self.eof_error("field or `}`"))?;
+            let field = match tok.kind {
+                TokenKind::RBrace => break,
+                TokenKind::Ident(name) => name,
+                other => {
+                    return Err(DslError::new(
+                        tok.line,
+                        tok.column,
+                        format!("expected a field name or `}}`, found {}", other.describe()),
+                    ))
+                }
+            };
+            if field == "privacy" {
+                decl.privacy = true;
+                continue;
+            }
+            self.expect_kind(&TokenKind::Colon)?;
+            match field.as_str() {
+                "description" => decl.description = self.expect_string("description")?,
+                "goals" => {
+                    decl.goals.push(self.expect_ident("safety-goal ID")?);
+                    while self.eat_kind(&TokenKind::Comma) {
+                        decl.goals.push(self.expect_ident("safety-goal ID")?);
+                    }
+                }
+                "interface" => decl.interface = Some(self.expect_ident("interface ID")?),
+                "threat" => decl.threat = self.expect_ident("threat-scenario ID")?,
+                "types" => {
+                    decl.threat_type = self.expect_string("types")?;
+                    self.expect_kind(&TokenKind::Slash)?;
+                    decl.attack_type = self.expect_string("types")?;
+                }
+                "precondition" => decl.precondition = self.expect_string("precondition")?,
+                "measures" => decl.measures = self.expect_string("measures")?,
+                "success" => decl.success = self.expect_string("success")?,
+                "fails" => decl.fails = self.expect_string("fails")?,
+                "comments" => decl.comments = self.expect_string("comments")?,
+                "attacker" => decl.attacker = Some(self.expect_string("attacker")?),
+                "execute" => decl.execute = Some(self.parse_exec()?),
+                unknown => {
+                    return Err(DslError::new(
+                        tok.line,
+                        tok.column,
+                        format!("unknown field `{unknown}`"),
+                    ))
+                }
+            }
+        }
+        Ok(decl)
+    }
+
+    fn parse_document(&mut self) -> Result<Document, DslError> {
+        let mut document = Document::default();
+        while let Some(tok) = self.next() {
+            match &tok.kind {
+                TokenKind::Ident(word) if word == "attack" => {
+                    document.attacks.push(self.parse_attack()?);
+                }
+                other => {
+                    return Err(DslError::new(
+                        tok.line,
+                        tok.column,
+                        format!("expected `attack`, found {}", other.describe()),
+                    ))
+                }
+            }
+        }
+        Ok(document)
+    }
+}
+
+/// Parses DSL source into a [`Document`].
+///
+/// # Errors
+///
+/// Returns the first lexical or syntactic [`DslError`], with its source
+/// position.
+pub fn parse_document(source: &str) -> Result<Document, DslError> {
+    let tokens = lex(source)?;
+    Parser { tokens, pos: 0 }.parse_document()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const AD08: &str = r#"
+attack AD08 {
+    description: "The attacker uses modified keys to gain access to the vehicle"
+    goals: SG01
+    interface: ECU_GW
+    threat: TS-3.1.4
+    types: "Spoofing" / "Spoofing"
+    precondition: "Vehicle is closed. Attacker has an authenticated communication link"
+    measures: "Check received vehicles electronic ID with list of allowed IDs"
+    success: "Open the vehicle"
+    fails: "Opening is rejected"
+    comments: "a) Randomly replace IDs of keys and b) test against increasing IDs"
+    attacker: "thief"
+    execute: key-spoof(strategy = random, budget = 1000)
+}
+"#;
+
+    #[test]
+    fn parses_table_vii_attack() {
+        let doc = parse_document(AD08).unwrap();
+        assert_eq!(doc.attacks.len(), 1);
+        let ad = &doc.attacks[0];
+        assert_eq!(ad.id, "AD08");
+        assert_eq!(ad.goals, ["SG01"]);
+        assert_eq!(ad.interface.as_deref(), Some("ECU_GW"));
+        assert_eq!(ad.threat, "TS-3.1.4");
+        assert_eq!(ad.threat_type, "Spoofing");
+        assert_eq!(ad.attack_type, "Spoofing");
+        assert_eq!(ad.attacker.as_deref(), Some("thief"));
+        assert!(!ad.privacy);
+        let exec = ad.execute.as_ref().unwrap();
+        assert_eq!(exec.name, "key-spoof");
+        assert_eq!(exec.word_arg("strategy"), Some("random"));
+        assert_eq!(exec.int_arg("budget"), Some(1000));
+    }
+
+    #[test]
+    fn parses_multiple_attacks_and_privacy_flag() {
+        let src = r#"
+attack A1 { description: "d" goals: SG01 threat: TS-1 types: "Spoofing" / "Spoofing"
+            precondition: "p" success: "s" fails: "f" }
+attack A2 { description: "d" threat: TS-2 types: "Information disclosure" / "Listen"
+            precondition: "p" success: "s" fails: "f" privacy }
+"#;
+        let doc = parse_document(src).unwrap();
+        assert_eq!(doc.attacks.len(), 2);
+        assert!(!doc.attacks[0].privacy);
+        assert!(doc.attacks[1].privacy);
+        assert!(doc.attacks[1].goals.is_empty());
+    }
+
+    #[test]
+    fn exec_without_args() {
+        let src = r#"attack A { description: "d" goals: G threat: T
+            types: "Denial of service" / "Jamming"
+            precondition: "p" success: "s" fails: "f" execute: v2x-jam }"#;
+        let doc = parse_document(src).unwrap();
+        assert_eq!(doc.attacks[0].execute.as_ref().unwrap().name, "v2x-jam");
+        assert!(doc.attacks[0].execute.as_ref().unwrap().args.is_empty());
+    }
+
+    #[test]
+    fn error_on_unknown_field() {
+        let err = parse_document("attack A { bogus: \"x\" }").unwrap_err();
+        assert!(err.message().contains("unknown field"), "{err}");
+    }
+
+    #[test]
+    fn error_on_missing_brace() {
+        let err = parse_document("attack A description").unwrap_err();
+        assert!(err.message().contains("`{`"), "{err}");
+    }
+
+    #[test]
+    fn error_on_wrong_value_type() {
+        let err = parse_document("attack A { description: SG01 }").unwrap_err();
+        assert!(err.message().contains("string literal"), "{err}");
+    }
+
+    #[test]
+    fn error_positions_point_into_source() {
+        let err = parse_document("attack A {\n  wrong: \"x\"\n}").unwrap_err();
+        assert_eq!(err.line(), 2);
+    }
+
+    #[test]
+    fn error_on_top_level_garbage() {
+        let err = parse_document("defend A {}").unwrap_err();
+        assert!(err.message().contains("expected `attack`"));
+    }
+
+    #[test]
+    fn error_on_eof_inside_block() {
+        let err = parse_document("attack A { description: \"d\"").unwrap_err();
+        assert!(err.message().contains("unexpected end of input"));
+    }
+}

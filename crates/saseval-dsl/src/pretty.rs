@@ -1,0 +1,154 @@
+//! Pretty-printer: renders documents back to DSL source.
+//!
+//! `parse_document(print_document(&doc))` reproduces `doc` exactly — the
+//! round-trip is property-tested in the workspace integration tests.
+
+use std::fmt::Write as _;
+
+use crate::ast::{AttackDecl, Document, ExecArg};
+
+fn escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len() + 2);
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+fn print_attack(out: &mut String, decl: &AttackDecl) {
+    writeln!(out, "attack {} {{", decl.id).expect("string write");
+    writeln!(out, "    description: \"{}\"", escape(&decl.description)).expect("string write");
+    if !decl.goals.is_empty() {
+        writeln!(out, "    goals: {}", decl.goals.join(", ")).expect("string write");
+    }
+    if let Some(interface) = &decl.interface {
+        writeln!(out, "    interface: {interface}").expect("string write");
+    }
+    writeln!(out, "    threat: {}", decl.threat).expect("string write");
+    writeln!(
+        out,
+        "    types: \"{}\" / \"{}\"",
+        escape(&decl.threat_type),
+        escape(&decl.attack_type)
+    )
+    .expect("string write");
+    writeln!(out, "    precondition: \"{}\"", escape(&decl.precondition)).expect("string write");
+    writeln!(out, "    measures: \"{}\"", escape(&decl.measures)).expect("string write");
+    writeln!(out, "    success: \"{}\"", escape(&decl.success)).expect("string write");
+    writeln!(out, "    fails: \"{}\"", escape(&decl.fails)).expect("string write");
+    writeln!(out, "    comments: \"{}\"", escape(&decl.comments)).expect("string write");
+    if let Some(attacker) = &decl.attacker {
+        writeln!(out, "    attacker: \"{}\"", escape(attacker)).expect("string write");
+    }
+    if decl.privacy {
+        writeln!(out, "    privacy").expect("string write");
+    }
+    if let Some(exec) = &decl.execute {
+        let args = exec
+            .args
+            .iter()
+            .map(|(name, value)| match value {
+                ExecArg::Int(n) => format!("{name} = {n}"),
+                ExecArg::Word(w) => format!("{name} = {w}"),
+            })
+            .collect::<Vec<_>>()
+            .join(", ");
+        if args.is_empty() {
+            writeln!(out, "    execute: {}", exec.name).expect("string write");
+        } else {
+            writeln!(out, "    execute: {}({args})", exec.name).expect("string write");
+        }
+    }
+    writeln!(out, "}}").expect("string write");
+}
+
+/// Renders a document to DSL source.
+pub fn print_document(document: &Document) -> String {
+    let mut out = String::new();
+    for (i, attack) in document.attacks.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        print_attack(&mut out, attack);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::ExecSpec;
+    use crate::parser::parse_document;
+
+    fn sample() -> Document {
+        Document {
+            attacks: vec![AttackDecl {
+                id: "AD08".into(),
+                description: "The attacker uses \"modified\" keys".into(),
+                goals: vec!["SG01".into()],
+                interface: Some("ECU_GW".into()),
+                threat: "TS-3.1.4".into(),
+                threat_type: "Spoofing".into(),
+                attack_type: "Spoofing".into(),
+                precondition: "Vehicle is closed".into(),
+                measures: "Allow-list check".into(),
+                success: "Open the vehicle".into(),
+                fails: "Opening is rejected".into(),
+                comments: "increment IDs".into(),
+                attacker: Some("thief".into()),
+                privacy: false,
+                execute: Some(ExecSpec {
+                    name: "key-spoof".into(),
+                    args: vec![
+                        ("strategy".into(), ExecArg::Word("random".into())),
+                        ("budget".into(), ExecArg::Int(100)),
+                    ],
+                }),
+            }],
+        }
+    }
+
+    #[test]
+    fn round_trip_sample() {
+        let doc = sample();
+        let printed = print_document(&doc);
+        let reparsed = parse_document(&printed).unwrap();
+        assert_eq!(reparsed, doc);
+    }
+
+    #[test]
+    fn escapes_survive_round_trip() {
+        let mut doc = sample();
+        doc.attacks[0].description = "line1\nline2 \\ \"q\"".into();
+        let reparsed = parse_document(&print_document(&doc)).unwrap();
+        assert_eq!(reparsed, doc);
+    }
+
+    #[test]
+    fn privacy_and_argless_exec_round_trip() {
+        let mut doc = sample();
+        doc.attacks[0].privacy = true;
+        doc.attacks[0].goals.clear();
+        doc.attacks[0].execute = Some(ExecSpec { name: "v2x-jam".into(), args: vec![] });
+        let reparsed = parse_document(&print_document(&doc)).unwrap();
+        assert_eq!(reparsed, doc);
+    }
+
+    #[test]
+    fn multiple_attacks_round_trip() {
+        let mut doc = sample();
+        let mut second = doc.attacks[0].clone();
+        second.id = "AD09".into();
+        second.execute = None;
+        second.attacker = None;
+        second.interface = None;
+        doc.attacks.push(second);
+        let reparsed = parse_document(&print_document(&doc)).unwrap();
+        assert_eq!(reparsed, doc);
+    }
+}

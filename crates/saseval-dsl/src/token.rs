@@ -1,0 +1,304 @@
+//! The DSL lexer.
+//!
+//! Token kinds: identifiers (which may contain `-`, `.` and `_`, matching
+//! SaSeVAL artifact IDs like `TS-2.1.4`), double-quoted strings with
+//! `\"`/`\\` escapes, unsigned integers, and the punctuation
+//! `{ } : , ( ) = /`. Line comments start with `//`. Every token carries
+//! its 1-based line/column for diagnostics.
+
+use crate::error::DslError;
+
+/// A lexical token kind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier / bare word.
+    Ident(String),
+    /// Double-quoted string (unescaped content).
+    Str(String),
+    /// Unsigned integer literal.
+    Int(u64),
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `:`
+    Colon,
+    /// `,`
+    Comma,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `=`
+    Eq,
+    /// `/`
+    Slash,
+}
+
+impl TokenKind {
+    /// Short human-readable description for diagnostics.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => format!("identifier `{s}`"),
+            TokenKind::Str(_) => "string literal".to_owned(),
+            TokenKind::Int(n) => format!("integer `{n}`"),
+            TokenKind::LBrace => "`{`".to_owned(),
+            TokenKind::RBrace => "`}`".to_owned(),
+            TokenKind::Colon => "`:`".to_owned(),
+            TokenKind::Comma => "`,`".to_owned(),
+            TokenKind::LParen => "`(`".to_owned(),
+            TokenKind::RParen => "`)`".to_owned(),
+            TokenKind::Eq => "`=`".to_owned(),
+            TokenKind::Slash => "`/`".to_owned(),
+        }
+    }
+}
+
+/// A token with its source position (1-based).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: TokenKind,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column.
+    pub column: u32,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_' || c == '-' || c == '.'
+}
+
+/// Lexes DSL source into tokens.
+///
+/// # Errors
+///
+/// Returns a [`DslError`] on unterminated strings, unknown escapes or
+/// unexpected characters.
+pub fn lex(source: &str) -> Result<Vec<Token>, DslError> {
+    let mut tokens = Vec::new();
+    let mut chars = source.chars().peekable();
+    let mut line: u32 = 1;
+    let mut column: u32 = 1;
+
+    macro_rules! bump {
+        () => {{
+            let c = chars.next();
+            if c == Some('\n') {
+                line += 1;
+                column = 1;
+            } else if c.is_some() {
+                column += 1;
+            }
+            c
+        }};
+    }
+
+    while let Some(&c) = chars.peek() {
+        let (tok_line, tok_column) = (line, column);
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                bump!();
+            }
+            '/' => {
+                bump!();
+                if chars.peek() == Some(&'/') {
+                    // Line comment.
+                    while let Some(&n) = chars.peek() {
+                        if n == '\n' {
+                            break;
+                        }
+                        bump!();
+                    }
+                } else {
+                    tokens.push(Token { kind: TokenKind::Slash, line: tok_line, column: tok_column });
+                }
+            }
+            '{' => {
+                bump!();
+                tokens.push(Token { kind: TokenKind::LBrace, line: tok_line, column: tok_column });
+            }
+            '}' => {
+                bump!();
+                tokens.push(Token { kind: TokenKind::RBrace, line: tok_line, column: tok_column });
+            }
+            ':' => {
+                bump!();
+                tokens.push(Token { kind: TokenKind::Colon, line: tok_line, column: tok_column });
+            }
+            ',' => {
+                bump!();
+                tokens.push(Token { kind: TokenKind::Comma, line: tok_line, column: tok_column });
+            }
+            '(' => {
+                bump!();
+                tokens.push(Token { kind: TokenKind::LParen, line: tok_line, column: tok_column });
+            }
+            ')' => {
+                bump!();
+                tokens.push(Token { kind: TokenKind::RParen, line: tok_line, column: tok_column });
+            }
+            '=' => {
+                bump!();
+                tokens.push(Token { kind: TokenKind::Eq, line: tok_line, column: tok_column });
+            }
+            '"' => {
+                bump!();
+                let mut value = String::new();
+                loop {
+                    match bump!() {
+                        None => {
+                            return Err(DslError::new(
+                                tok_line,
+                                tok_column,
+                                "unterminated string literal",
+                            ))
+                        }
+                        Some('"') => break,
+                        Some('\\') => match bump!() {
+                            Some('"') => value.push('"'),
+                            Some('\\') => value.push('\\'),
+                            Some('n') => value.push('\n'),
+                            other => {
+                                return Err(DslError::new(
+                                    line,
+                                    column,
+                                    format!("unknown escape {other:?} in string literal"),
+                                ))
+                            }
+                        },
+                        Some(other) => value.push(other),
+                    }
+                }
+                tokens.push(Token { kind: TokenKind::Str(value), line: tok_line, column: tok_column });
+            }
+            c if c.is_ascii_digit() => {
+                let mut text = String::new();
+                while let Some(&n) = chars.peek() {
+                    if is_ident_continue(n) {
+                        text.push(n);
+                        bump!();
+                    } else {
+                        break;
+                    }
+                }
+                // A digit-led word may still be an identifier (e.g. a
+                // hex-ish ID); it is an integer only if fully numeric.
+                if text.chars().all(|c| c.is_ascii_digit()) {
+                    let value = text.parse::<u64>().map_err(|_| {
+                        DslError::new(tok_line, tok_column, format!("integer {text} overflows u64"))
+                    })?;
+                    tokens.push(Token { kind: TokenKind::Int(value), line: tok_line, column: tok_column });
+                } else {
+                    tokens.push(Token {
+                        kind: TokenKind::Ident(text),
+                        line: tok_line,
+                        column: tok_column,
+                    });
+                }
+            }
+            c if is_ident_start(c) => {
+                let mut text = String::new();
+                while let Some(&n) = chars.peek() {
+                    if is_ident_continue(n) {
+                        text.push(n);
+                        bump!();
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token { kind: TokenKind::Ident(text), line: tok_line, column: tok_column });
+            }
+            other => {
+                return Err(DslError::new(
+                    tok_line,
+                    tok_column,
+                    format!("unexpected character {other:?}"),
+                ))
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn punctuation_and_idents() {
+        assert_eq!(
+            kinds("attack AD20 { goals: SG01, SG02 }"),
+            vec![
+                TokenKind::Ident("attack".into()),
+                TokenKind::Ident("AD20".into()),
+                TokenKind::LBrace,
+                TokenKind::Ident("goals".into()),
+                TokenKind::Colon,
+                TokenKind::Ident("SG01".into()),
+                TokenKind::Comma,
+                TokenKind::Ident("SG02".into()),
+                TokenKind::RBrace,
+            ]
+        );
+    }
+
+    #[test]
+    fn dotted_and_dashed_ids() {
+        assert_eq!(kinds("TS-2.1.4"), vec![TokenKind::Ident("TS-2.1.4".into())]);
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(
+            kinds(r#""a \"quoted\" word\n""#),
+            vec![TokenKind::Str("a \"quoted\" word\n".into())]
+        );
+    }
+
+    #[test]
+    fn integers_vs_numeric_prefixed_idents() {
+        assert_eq!(kinds("40"), vec![TokenKind::Int(40)]);
+        assert_eq!(kinds("2fast"), vec![TokenKind::Ident("2fast".into())]);
+    }
+
+    #[test]
+    fn comments_skipped_slash_kept() {
+        assert_eq!(
+            kinds("a // comment\n / b"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Slash,
+                TokenKind::Ident("b".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn positions_track_lines() {
+        let tokens = lex("a\n  b").unwrap();
+        assert_eq!((tokens[0].line, tokens[0].column), (1, 1));
+        assert_eq!((tokens[1].line, tokens[1].column), (2, 3));
+    }
+
+    #[test]
+    fn errors_are_positioned() {
+        let err = lex("abc $").unwrap_err();
+        assert_eq!((err.line(), err.column()), (1, 5));
+        let err = lex("\"open").unwrap_err();
+        assert!(err.message().contains("unterminated"));
+    }
+
+    #[test]
+    fn unknown_escape_rejected() {
+        assert!(lex(r#""\q""#).is_err());
+    }
+}

@@ -1,0 +1,114 @@
+//! Coverage measurement — "the coverage of tested protocol can then be
+//! measured with percent" (paper §II-B).
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+use crate::model::ProtocolModel;
+use crate::mutate::{GeneratedInput, ValueClass};
+
+/// Tracks which `(field, value class)` cells and which attack paths have
+/// been exercised.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoverageMap {
+    field_cells: BTreeSet<(usize, ValueClass)>,
+    total_fields: usize,
+    exercised_paths: BTreeSet<usize>,
+    total_paths: usize,
+    structural_seen: bool,
+}
+
+impl CoverageMap {
+    /// Creates a map for `model` and `total_paths` attack paths.
+    pub fn new(model: &ProtocolModel, total_paths: usize) -> Self {
+        CoverageMap {
+            field_cells: BTreeSet::new(),
+            total_fields: model.fields.len(),
+            exercised_paths: BTreeSet::new(),
+            total_paths,
+            structural_seen: false,
+        }
+    }
+
+    /// Records one generated input executed under attack path
+    /// `path_index`.
+    pub fn record(&mut self, path_index: usize, input: &GeneratedInput) {
+        self.exercised_paths.insert(path_index);
+        if input.structural {
+            self.structural_seen = true;
+        } else {
+            for &(field, class) in &input.choices {
+                self.field_cells.insert((field, class));
+            }
+        }
+    }
+
+    /// Percentage of `(field, class)` cells exercised (0–100).
+    pub fn field_coverage_percent(&self) -> f64 {
+        let total = self.total_fields * ValueClass::ALL.len();
+        if total == 0 {
+            return 100.0;
+        }
+        self.field_cells.len() as f64 / total as f64 * 100.0
+    }
+
+    /// Percentage of attack paths exercised (0–100).
+    pub fn path_coverage_percent(&self) -> f64 {
+        if self.total_paths == 0 {
+            return 100.0;
+        }
+        self.exercised_paths.len() as f64 / self.total_paths as f64 * 100.0
+    }
+
+    /// Whether at least one structural (length-changing) input ran.
+    pub fn structural_exercised(&self) -> bool {
+        self.structural_seen
+    }
+
+    /// Number of exercised `(field, class)` cells.
+    pub fn cells(&self) -> usize {
+        self.field_cells.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::v2x_warning_model;
+
+    fn input(field: usize, class: ValueClass) -> GeneratedInput {
+        GeneratedInput { bytes: vec![0], choices: vec![(field, class)], structural: false }
+    }
+
+    #[test]
+    fn coverage_accumulates() {
+        let model = v2x_warning_model(); // 2 fields → 8 cells
+        let mut map = CoverageMap::new(&model, 3);
+        assert_eq!(map.field_coverage_percent(), 0.0);
+        map.record(0, &input(0, ValueClass::Min));
+        map.record(0, &input(0, ValueClass::Min)); // duplicate: no change
+        assert_eq!(map.cells(), 1);
+        assert!((map.field_coverage_percent() - 12.5).abs() < 1e-9);
+        assert!((map.path_coverage_percent() - 100.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn structural_inputs_tracked_separately() {
+        let model = v2x_warning_model();
+        let mut map = CoverageMap::new(&model, 1);
+        let structural = GeneratedInput { bytes: vec![], choices: vec![], structural: true };
+        map.record(0, &structural);
+        assert!(map.structural_exercised());
+        assert_eq!(map.cells(), 0);
+        assert_eq!(map.path_coverage_percent(), 100.0);
+    }
+
+    #[test]
+    fn empty_denominators_are_full_coverage() {
+        let empty_model = ProtocolModel::new("e", vec![]);
+        let map = CoverageMap::new(&empty_model, 0);
+        assert_eq!(map.field_coverage_percent(), 100.0);
+        assert_eq!(map.path_coverage_percent(), 100.0);
+    }
+}

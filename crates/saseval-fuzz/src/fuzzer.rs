@@ -1,0 +1,226 @@
+//! The attack-path-guided fuzzing loop.
+
+use serde::{Deserialize, Serialize};
+
+use saseval_tara::AttackPath;
+
+use crate::coverage::CoverageMap;
+use crate::model::ProtocolModel;
+use crate::mutate::Mutator;
+
+/// What the target did with one fuzz input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TargetResponse {
+    /// Input accepted/processed normally.
+    Accepted,
+    /// Input rejected by validation.
+    Rejected,
+    /// The target crashed or violated an invariant — a finding.
+    Crash,
+}
+
+/// A crash/violation finding.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Finding {
+    /// Index of the attack path whose session produced the input.
+    pub path_index: usize,
+    /// The goal of that path.
+    pub path_goal: String,
+    /// The crashing input bytes.
+    pub input: Vec<u8>,
+    /// Iteration number at which it was found.
+    pub iteration: usize,
+}
+
+/// Result of a fuzzing run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FuzzReport {
+    /// Total inputs executed.
+    pub iterations: usize,
+    /// Inputs accepted by the target.
+    pub accepted: usize,
+    /// Inputs rejected by the target.
+    pub rejected: usize,
+    /// Crash findings (deduplicated by input bytes).
+    pub crashes: Vec<Finding>,
+    /// Field coverage in percent.
+    field_coverage: f64,
+    /// Path coverage in percent.
+    path_coverage: f64,
+}
+
+impl FuzzReport {
+    /// Field coverage in percent (0–100).
+    pub fn field_coverage_percent(&self) -> f64 {
+        self.field_coverage
+    }
+
+    /// Attack-path coverage in percent (0–100).
+    pub fn path_coverage_percent(&self) -> f64 {
+        self.path_coverage
+    }
+}
+
+/// The protocol fuzzer. Sessions are scheduled round-robin over the
+/// attack paths so every interface named by the TARA receives inputs.
+pub struct Fuzzer {
+    mutator: Mutator,
+}
+
+impl std::fmt::Debug for Fuzzer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Fuzzer").field("model", &self.mutator.model().name).finish()
+    }
+}
+
+impl Fuzzer {
+    /// Creates a fuzzer over `model` with a deterministic seed.
+    pub fn new(model: ProtocolModel, seed: u64) -> Self {
+        Fuzzer { mutator: Mutator::new(model, seed) }
+    }
+
+    /// Runs `iterations` inputs against `target`, cycling through the
+    /// attack paths. Every 10th input is a fully valid baseline (to keep
+    /// the target progressing past input validation).
+    ///
+    /// The `target` oracle receives the raw input bytes and reports the
+    /// observed behaviour.
+    pub fn run(
+        &mut self,
+        paths: &[AttackPath],
+        iterations: usize,
+        mut target: impl FnMut(&[u8]) -> TargetResponse,
+    ) -> FuzzReport {
+        let mut coverage = CoverageMap::new(self.mutator.model(), paths.len());
+        let mut report = FuzzReport {
+            iterations,
+            accepted: 0,
+            rejected: 0,
+            crashes: Vec::new(),
+            field_coverage: 0.0,
+            path_coverage: 0.0,
+        };
+        for i in 0..iterations {
+            let path_index = if paths.is_empty() { 0 } else { i % paths.len() };
+            let input = if i % 10 == 0 {
+                self.mutator.generate_valid()
+            } else {
+                self.mutator.generate()
+            };
+            if !paths.is_empty() {
+                coverage.record(path_index, &input);
+            }
+            match target(&input.bytes) {
+                TargetResponse::Accepted => report.accepted += 1,
+                TargetResponse::Rejected => report.rejected += 1,
+                TargetResponse::Crash => {
+                    if !report.crashes.iter().any(|f| f.input == input.bytes) {
+                        report.crashes.push(Finding {
+                            path_index,
+                            path_goal: paths
+                                .get(path_index)
+                                .map(|p| p.goal().to_owned())
+                                .unwrap_or_default(),
+                            input: input.bytes.clone(),
+                            iteration: i,
+                        });
+                    }
+                }
+            }
+        }
+        report.field_coverage = coverage.field_coverage_percent();
+        report.path_coverage = coverage.path_coverage_percent();
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{keyless_command_model, v2x_warning_model};
+    use saseval_tara::tree::{AttackTree, TreeNode};
+
+    fn paths() -> Vec<AttackPath> {
+        AttackTree::new(
+            "disrupt warnings",
+            TreeNode::or(
+                "ways",
+                vec![
+                    TreeNode::leaf_on("flood interface", "OBU_RSU"),
+                    TreeNode::leaf_on("spoof signage", "OBU_RSU"),
+                ],
+            ),
+        )
+        .unwrap()
+        .paths()
+        .unwrap()
+    }
+
+    #[test]
+    fn robust_target_yields_no_crashes_and_high_coverage() {
+        let mut fuzzer = Fuzzer::new(v2x_warning_model(), 1);
+        let report = fuzzer.run(&paths(), 1_000, |input| {
+            if input.len() == 2 && (1..=3).contains(&input[0]) {
+                TargetResponse::Accepted
+            } else {
+                TargetResponse::Rejected
+            }
+        });
+        assert_eq!(report.crashes.len(), 0);
+        assert_eq!(report.accepted + report.rejected, 1_000);
+        assert_eq!(report.path_coverage_percent(), 100.0);
+        assert!(report.field_coverage_percent() >= 87.5, "{}", report.field_coverage_percent());
+    }
+
+    #[test]
+    fn fuzzer_finds_seeded_parser_bug() {
+        // Seeded bug: the "decoder" crashes on a signage message whose
+        // limit byte is zero — a classic missed boundary.
+        let mut fuzzer = Fuzzer::new(v2x_warning_model(), 2);
+        let report = fuzzer.run(&paths(), 2_000, |input| match input {
+            [2, 0, ..] => TargetResponse::Crash,
+            [t, ..] if (1..=3).contains(t) => TargetResponse::Accepted,
+            _ => TargetResponse::Rejected,
+        });
+        assert!(!report.crashes.is_empty(), "boundary crash found");
+        assert!(report.crashes.iter().all(|f| f.input[..2] == [2, 0]));
+        assert!(report.crashes[0].path_goal.contains("disrupt"));
+    }
+
+    #[test]
+    fn crashes_deduplicated_by_input() {
+        let mut fuzzer = Fuzzer::new(v2x_warning_model(), 3);
+        let report = fuzzer.run(&paths(), 2_000, |input| {
+            if input.is_empty() {
+                TargetResponse::Crash // every truncation-to-empty crashes
+            } else {
+                TargetResponse::Rejected
+            }
+        });
+        assert_eq!(report.crashes.len(), 1, "identical inputs deduplicated");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = |seed| {
+            let mut fuzzer = Fuzzer::new(keyless_command_model(), seed);
+            fuzzer.run(&paths(), 500, |input| {
+                if input.len() == 33 {
+                    TargetResponse::Accepted
+                } else {
+                    TargetResponse::Rejected
+                }
+            })
+        };
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn empty_paths_still_fuzzes() {
+        let mut fuzzer = Fuzzer::new(v2x_warning_model(), 4);
+        let report = fuzzer.run(&[], 100, |_| TargetResponse::Rejected);
+        assert_eq!(report.iterations, 100);
+        assert_eq!(report.rejected, 100);
+        assert_eq!(report.path_coverage_percent(), 100.0);
+    }
+}

@@ -1,0 +1,52 @@
+//! Protocol-guided fuzz testing driven by TARA attack paths (paper
+//! §II-B, testing type 2).
+//!
+//! "The attack trees are used to create TARA attack paths, which define
+//! the interfaces for protocol-guided automated or semi-automated fuzz
+//! testing. The coverage of tested protocol can then be measured with
+//! percent."
+//!
+//! This crate implements that loop:
+//!
+//! * [`model`] describes a protocol's fields (the V2X warning payload and
+//!   the keyless command frame ship as built-ins),
+//! * [`mutate`] generates protocol-aware inputs: valid baselines, field
+//!   boundary values, and byte-level corruption — all from a seeded RNG,
+//! * [`coverage`] measures, in percent, how much of the protocol's field
+//!   classes and how many of the attack paths have been exercised,
+//! * [`fuzzer`] schedules fuzzing sessions over the interfaces named by
+//!   the attack paths of a [`saseval_tara::AttackTree`] and reports
+//!   crashes/violations found by the target oracle.
+//!
+//! # Example
+//!
+//! ```
+//! use saseval_fuzz::fuzzer::{Fuzzer, TargetResponse};
+//! use saseval_fuzz::model::keyless_command_model;
+//! use saseval_tara::tree::{AttackTree, TreeNode};
+//!
+//! let tree = AttackTree::new(
+//!     "Open the vehicle",
+//!     TreeNode::leaf_on("send forged open command", "BLE_PHONE"),
+//! )?;
+//! let mut fuzzer = Fuzzer::new(keyless_command_model(), 7);
+//! let report = fuzzer.run(&tree.paths()?, 500, |input| {
+//!     // A robust target: rejects everything malformed, never crashes.
+//!     if input.len() == 33 { TargetResponse::Accepted } else { TargetResponse::Rejected }
+//! });
+//! assert_eq!(report.crashes.len(), 0);
+//! assert!(report.field_coverage_percent() > 50.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coverage;
+pub mod fuzzer;
+pub mod model;
+pub mod mutate;
+
+pub use coverage::CoverageMap;
+pub use fuzzer::{FuzzReport, Fuzzer, TargetResponse};
+pub use model::{FieldKind, FieldSpec, ProtocolModel};

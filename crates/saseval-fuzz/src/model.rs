@@ -1,0 +1,135 @@
+//! Protocol field models — what "protocol-guided" means for the fuzzer.
+
+use serde::{Deserialize, Serialize};
+
+/// The kind (and constraints) of one protocol field.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FieldKind {
+    /// A single byte constrained to `[min, max]`.
+    Byte {
+        /// Minimum valid value.
+        min: u8,
+        /// Maximum valid value.
+        max: u8,
+    },
+    /// A little-endian u64.
+    U64,
+    /// A fixed-length opaque byte block.
+    Bytes {
+        /// Block length.
+        len: usize,
+    },
+    /// A constant byte (discriminator/magic).
+    Const {
+        /// The constant value.
+        value: u8,
+    },
+}
+
+impl FieldKind {
+    /// Encoded width in bytes.
+    pub fn width(&self) -> usize {
+        match self {
+            FieldKind::Byte { .. } | FieldKind::Const { .. } => 1,
+            FieldKind::U64 => 8,
+            FieldKind::Bytes { len } => *len,
+        }
+    }
+}
+
+/// One named protocol field.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FieldSpec {
+    /// Field name (for reports).
+    pub name: String,
+    /// Field kind and constraints.
+    pub kind: FieldKind,
+}
+
+impl FieldSpec {
+    /// Creates a field.
+    pub fn new(name: impl Into<String>, kind: FieldKind) -> Self {
+        FieldSpec { name: name.into(), kind }
+    }
+}
+
+/// A protocol message layout: a sequence of fields.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProtocolModel {
+    /// Protocol name.
+    pub name: String,
+    /// Fields in wire order.
+    pub fields: Vec<FieldSpec>,
+}
+
+impl ProtocolModel {
+    /// Creates a model.
+    pub fn new(name: impl Into<String>, fields: Vec<FieldSpec>) -> Self {
+        ProtocolModel { name: name.into(), fields }
+    }
+
+    /// Total encoded width in bytes.
+    pub fn width(&self) -> usize {
+        self.fields.iter().map(|f| f.kind.width()).sum()
+    }
+
+    /// Byte offset of field `index`.
+    pub fn offset(&self, index: usize) -> usize {
+        self.fields[..index].iter().map(|f| f.kind.width()).sum()
+    }
+}
+
+/// The V2X application payload of the construction-site world:
+/// `type ‖ value` (e.g. signage limit).
+pub fn v2x_warning_model() -> ProtocolModel {
+    ProtocolModel::new(
+        "v2x-warning",
+        vec![
+            FieldSpec::new("msg_type", FieldKind::Byte { min: 1, max: 3 }),
+            FieldSpec::new("value", FieldKind::Byte { min: 0, max: 255 }),
+        ],
+    )
+}
+
+/// The 33-byte keyless command frame of the keyless world:
+/// `cmd ‖ key_id ‖ ts ‖ response ‖ tag`.
+pub fn keyless_command_model() -> ProtocolModel {
+    ProtocolModel::new(
+        "keyless-command",
+        vec![
+            FieldSpec::new("cmd", FieldKind::Byte { min: 1, max: 2 }),
+            FieldSpec::new("key_id", FieldKind::U64),
+            FieldSpec::new("ts", FieldKind::U64),
+            FieldSpec::new("response", FieldKind::U64),
+            FieldSpec::new("tag", FieldKind::U64),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widths_and_offsets() {
+        let model = keyless_command_model();
+        assert_eq!(model.width(), 33);
+        assert_eq!(model.offset(0), 0);
+        assert_eq!(model.offset(1), 1);
+        assert_eq!(model.offset(4), 25);
+    }
+
+    #[test]
+    fn v2x_model_shape() {
+        let model = v2x_warning_model();
+        assert_eq!(model.width(), 2);
+        assert_eq!(model.fields[0].name, "msg_type");
+    }
+
+    #[test]
+    fn field_kind_widths() {
+        assert_eq!(FieldKind::Const { value: 9 }.width(), 1);
+        assert_eq!(FieldKind::U64.width(), 8);
+        assert_eq!(FieldKind::Bytes { len: 5 }.width(), 5);
+    }
+}

@@ -1,0 +1,230 @@
+//! Protocol-aware input generation and mutation.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::model::{FieldKind, ProtocolModel};
+
+/// The class of value a generated input puts into a field — the unit of
+/// field coverage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ValueClass {
+    /// The field's minimum valid value.
+    Min,
+    /// The field's maximum valid value.
+    Max,
+    /// A random in-range value.
+    Valid,
+    /// An out-of-range / corrupted value.
+    Invalid,
+}
+
+impl ValueClass {
+    /// All classes.
+    pub const ALL: [ValueClass; 4] =
+        [ValueClass::Min, ValueClass::Max, ValueClass::Valid, ValueClass::Invalid];
+}
+
+/// A generated input plus the field/class choices that produced it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GeneratedInput {
+    /// The wire bytes.
+    pub bytes: Vec<u8>,
+    /// `(field index, class)` choices, one per field (structural mutations
+    /// like truncation clear this).
+    pub choices: Vec<(usize, ValueClass)>,
+    /// Whether a structural mutation (truncate/extend) was applied.
+    pub structural: bool,
+}
+
+/// The protocol-aware mutator.
+pub struct Mutator {
+    model: ProtocolModel,
+    rng: StdRng,
+}
+
+impl std::fmt::Debug for Mutator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mutator").field("model", &self.model.name).finish()
+    }
+}
+
+impl Mutator {
+    /// Creates a mutator for `model` with a deterministic seed.
+    pub fn new(model: ProtocolModel, seed: u64) -> Self {
+        Mutator { model, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// The protocol model in use.
+    pub fn model(&self) -> &ProtocolModel {
+        &self.model
+    }
+
+    fn field_value(&mut self, kind: &FieldKind, class: ValueClass) -> Vec<u8> {
+        match kind {
+            FieldKind::Const { value } => match class {
+                ValueClass::Invalid => vec![value.wrapping_add(1)],
+                _ => vec![*value],
+            },
+            FieldKind::Byte { min, max } => match class {
+                ValueClass::Min => vec![*min],
+                ValueClass::Max => vec![*max],
+                ValueClass::Valid => vec![self.rng.random_range(*min..=*max)],
+                ValueClass::Invalid => {
+                    // Prefer a value outside the range; fall back to a
+                    // random byte when the range covers the whole domain.
+                    if *max < u8::MAX {
+                        vec![max.saturating_add(1)]
+                    } else if *min > 0 {
+                        vec![min - 1]
+                    } else {
+                        vec![self.rng.random()]
+                    }
+                }
+            },
+            FieldKind::U64 => {
+                let value: u64 = match class {
+                    ValueClass::Min => 0,
+                    ValueClass::Max => u64::MAX,
+                    ValueClass::Valid => self.rng.random(),
+                    ValueClass::Invalid => self.rng.random::<u64>() | 0x8000_0000_0000_0000,
+                };
+                value.to_le_bytes().to_vec()
+            }
+            FieldKind::Bytes { len } => {
+                let mut block = vec![0u8; *len];
+                match class {
+                    ValueClass::Min => {}
+                    ValueClass::Max => block.fill(0xFF),
+                    ValueClass::Valid | ValueClass::Invalid => {
+                        for b in &mut block {
+                            *b = self.rng.random();
+                        }
+                    }
+                }
+                block
+            }
+        }
+    }
+
+    /// Generates one input: per-field class choices, with a small chance
+    /// of a structural mutation (truncation or extension) on top.
+    pub fn generate(&mut self) -> GeneratedInput {
+        let mut bytes = Vec::with_capacity(self.model.width());
+        let mut choices = Vec::with_capacity(self.model.fields.len());
+        let field_kinds: Vec<FieldKind> =
+            self.model.fields.iter().map(|f| f.kind.clone()).collect();
+        for (index, kind) in field_kinds.iter().enumerate() {
+            let class = ValueClass::ALL[self.rng.random_range(0..ValueClass::ALL.len())];
+            bytes.extend(self.field_value(kind, class));
+            choices.push((index, class));
+        }
+        // 1 in 8 inputs receives a structural mutation.
+        let structural = self.rng.random_range(0..8u32) == 0;
+        if structural {
+            if self.rng.random_bool(0.5) && !bytes.is_empty() {
+                let keep = self.rng.random_range(0..bytes.len());
+                bytes.truncate(keep);
+            } else {
+                let extra = self.rng.random_range(1..=16usize);
+                for _ in 0..extra {
+                    bytes.push(self.rng.random());
+                }
+            }
+        }
+        GeneratedInput { bytes, choices, structural }
+    }
+
+    /// Generates a fully valid baseline message (all fields in-range).
+    pub fn generate_valid(&mut self) -> GeneratedInput {
+        let mut bytes = Vec::with_capacity(self.model.width());
+        let mut choices = Vec::with_capacity(self.model.fields.len());
+        let field_kinds: Vec<FieldKind> =
+            self.model.fields.iter().map(|f| f.kind.clone()).collect();
+        for (index, kind) in field_kinds.iter().enumerate() {
+            bytes.extend(self.field_value(kind, ValueClass::Valid));
+            choices.push((index, ValueClass::Valid));
+        }
+        GeneratedInput { bytes, choices, structural: false }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{keyless_command_model, v2x_warning_model, FieldSpec};
+
+    #[test]
+    fn valid_baseline_has_model_width() {
+        let mut m = Mutator::new(keyless_command_model(), 1);
+        let input = m.generate_valid();
+        assert_eq!(input.bytes.len(), 33);
+        assert!(!input.structural);
+        assert!(input.choices.iter().all(|(_, c)| *c == ValueClass::Valid));
+        // cmd byte is in range.
+        assert!((1..=2).contains(&input.bytes[0]));
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let gen = |seed| {
+            let mut m = Mutator::new(v2x_warning_model(), seed);
+            (0..50).map(|_| m.generate().bytes).collect::<Vec<_>>()
+        };
+        assert_eq!(gen(9), gen(9));
+        assert_ne!(gen(9), gen(10));
+    }
+
+    #[test]
+    fn invalid_byte_class_leaves_range() {
+        let model = ProtocolModel::new(
+            "t",
+            vec![FieldSpec::new("b", FieldKind::Byte { min: 1, max: 3 })],
+        );
+        let mut m = Mutator::new(model, 3);
+        for _ in 0..100 {
+            let input = m.generate();
+            if input.structural || input.bytes.is_empty() {
+                continue;
+            }
+            match input.choices[0].1 {
+                ValueClass::Min => assert_eq!(input.bytes[0], 1),
+                ValueClass::Max => assert_eq!(input.bytes[0], 3),
+                ValueClass::Valid => assert!((1..=3).contains(&input.bytes[0])),
+                ValueClass::Invalid => assert!(!(1..=3).contains(&input.bytes[0])),
+            }
+        }
+    }
+
+    #[test]
+    fn structural_mutations_change_length() {
+        let mut m = Mutator::new(v2x_warning_model(), 5);
+        let mut saw_structural = false;
+        for _ in 0..200 {
+            let input = m.generate();
+            if input.structural {
+                saw_structural = true;
+                assert_ne!(input.bytes.len(), m.model().width());
+            }
+        }
+        assert!(saw_structural, "structural mutations occur at ~1/8 rate");
+    }
+
+    #[test]
+    fn const_field_invalid_flips_value() {
+        let model =
+            ProtocolModel::new("t", vec![FieldSpec::new("magic", FieldKind::Const { value: 7 })]);
+        let mut m = Mutator::new(model, 1);
+        for _ in 0..50 {
+            let input = m.generate();
+            if input.structural {
+                continue;
+            }
+            match input.choices[0].1 {
+                ValueClass::Invalid => assert_eq!(input.bytes[0], 8),
+                _ => assert_eq!(input.bytes[0], 7),
+            }
+        }
+    }
+}

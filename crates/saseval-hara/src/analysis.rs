@@ -1,0 +1,524 @@
+//! The [`Hara`] container: functions, ratings, safety goals and the
+//! completeness/consistency checks over them.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use serde::{Deserialize, Serialize};
+
+use saseval_types::{
+    AsilLevel, FailureMode, FunctionId, HazardRatingId, RatingClass, SafetyGoalId,
+};
+
+use crate::error::HaraError;
+use crate::goal::SafetyGoal;
+use crate::item::ItemFunction;
+use crate::rating::HazardRating;
+use crate::stats::RatingDistribution;
+
+/// A complete hazard analysis and risk assessment for one item.
+///
+/// Invariants maintained by the mutators:
+///
+/// * every rating references a registered function,
+/// * every safety goal covers only registered ratings,
+/// * IDs are unique per artifact kind,
+/// * no (function, failure mode, situation) triple is rated twice.
+///
+/// See the [crate-level example](crate) for typical usage.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Hara {
+    item: String,
+    functions: BTreeMap<FunctionId, ItemFunction>,
+    ratings: BTreeMap<HazardRatingId, HazardRating>,
+    goals: BTreeMap<SafetyGoalId, SafetyGoal>,
+}
+
+impl Hara {
+    /// Creates an empty HARA for the named item.
+    pub fn new(item: impl Into<String>) -> Self {
+        Hara {
+            item: item.into(),
+            functions: BTreeMap::new(),
+            ratings: BTreeMap::new(),
+            goals: BTreeMap::new(),
+        }
+    }
+
+    /// The name of the item under analysis.
+    pub fn item(&self) -> &str {
+        &self.item
+    }
+
+    /// Registers an item function.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HaraError::DuplicateFunction`] if a function with the same
+    /// ID exists.
+    pub fn add_function(&mut self, function: ItemFunction) -> Result<(), HaraError> {
+        if self.functions.contains_key(function.id()) {
+            return Err(HaraError::DuplicateFunction(function.id().clone()));
+        }
+        self.functions.insert(function.id().clone(), function);
+        Ok(())
+    }
+
+    /// Registers a hazard rating.
+    ///
+    /// # Errors
+    ///
+    /// * [`HaraError::DuplicateRating`] if a rating with the same ID exists.
+    /// * [`HaraError::UnknownFunction`] if the rating's function is not
+    ///   registered.
+    /// * [`HaraError::DuplicateAssessmentRow`] if the same (function,
+    ///   failure mode, situation) triple was already rated — the paper
+    ///   allows several ratings per guideword ("failure modes may lead to
+    ///   more than one failure", §IV-A) but they must differ in situation.
+    pub fn add_rating(&mut self, rating: HazardRating) -> Result<(), HaraError> {
+        if self.ratings.contains_key(rating.id()) {
+            return Err(HaraError::DuplicateRating(rating.id().clone()));
+        }
+        if !self.functions.contains_key(rating.function()) {
+            return Err(HaraError::UnknownFunction(rating.function().clone()));
+        }
+        let clash = self.ratings.values().any(|existing| {
+            existing.function() == rating.function()
+                && existing.failure_mode() == rating.failure_mode()
+                && existing.situation() == rating.situation()
+        });
+        if clash {
+            return Err(HaraError::DuplicateAssessmentRow {
+                function: rating.function().clone(),
+                failure_mode: rating.failure_mode(),
+                situation: rating.situation().to_owned(),
+            });
+        }
+        self.ratings.insert(rating.id().clone(), rating);
+        Ok(())
+    }
+
+    /// Registers a safety goal.
+    ///
+    /// # Errors
+    ///
+    /// * [`HaraError::DuplicateSafetyGoal`] if a goal with the same ID
+    ///   exists.
+    /// * [`HaraError::UnknownRating`] if the goal covers an unregistered
+    ///   rating.
+    /// * [`HaraError::GoalCoversNoHazard`] if every covered rating is
+    ///   not-applicable (the goal would have no ASIL).
+    pub fn add_safety_goal(&mut self, goal: SafetyGoal) -> Result<(), HaraError> {
+        if self.goals.contains_key(goal.id()) {
+            return Err(HaraError::DuplicateSafetyGoal(goal.id().clone()));
+        }
+        let mut any_hazard = false;
+        for rating_id in goal.covered_ratings() {
+            match self.ratings.get(rating_id) {
+                None => return Err(HaraError::UnknownRating(rating_id.clone())),
+                Some(r) if r.is_hazardous() => any_hazard = true,
+                Some(_) => {}
+            }
+        }
+        if !any_hazard {
+            return Err(HaraError::GoalCoversNoHazard(goal.id().clone()));
+        }
+        self.goals.insert(goal.id().clone(), goal);
+        Ok(())
+    }
+
+    /// Looks up a function by ID.
+    pub fn function(&self, id: &str) -> Option<&ItemFunction> {
+        self.functions.get(id)
+    }
+
+    /// Looks up a rating by ID.
+    pub fn rating(&self, id: &str) -> Option<&HazardRating> {
+        self.ratings.get(id)
+    }
+
+    /// Looks up a safety goal by ID.
+    pub fn safety_goal(&self, id: &str) -> Option<&SafetyGoal> {
+        self.goals.get(id)
+    }
+
+    /// Iterates over all functions in ID order.
+    pub fn functions(&self) -> impl Iterator<Item = &ItemFunction> {
+        self.functions.values()
+    }
+
+    /// Iterates over all ratings in ID order.
+    pub fn ratings(&self) -> impl Iterator<Item = &HazardRating> {
+        self.ratings.values()
+    }
+
+    /// Iterates over all safety goals in ID order.
+    pub fn safety_goals(&self) -> impl Iterator<Item = &SafetyGoal> {
+        self.goals.values()
+    }
+
+    /// Number of registered functions.
+    pub fn function_count(&self) -> usize {
+        self.functions.len()
+    }
+
+    /// Number of registered ratings.
+    pub fn rating_count(&self) -> usize {
+        self.ratings.len()
+    }
+
+    /// Number of registered safety goals.
+    pub fn safety_goal_count(&self) -> usize {
+        self.goals.len()
+    }
+
+    /// The rating distribution over all ratings — the statistic the paper
+    /// reports per use case (§IV-A, §IV-B).
+    pub fn distribution(&self) -> RatingDistribution {
+        self.ratings.values().map(|r| r.rating_class()).collect()
+    }
+
+    /// The ASIL of a safety goal: the maximum rating class over the
+    /// hazardous ratings it covers.
+    ///
+    /// Returns `None` if the goal covers only QM ratings (no ASIL).
+    /// Covered rating IDs that this HARA does not contain are ignored —
+    /// pass goals obtained from [`Hara::safety_goal`] or
+    /// [`Hara::safety_goals`] so every covered rating resolves.
+    pub fn goal_asil(&self, goal: &SafetyGoal) -> Option<AsilLevel> {
+        goal.covered_ratings()
+            .iter()
+            .filter_map(|id| self.ratings.get(id))
+            .filter_map(|r| r.rating_class().asil())
+            .max()
+    }
+
+    /// Re-validates every invariant the mutators enforce — required after
+    /// deserializing a HARA from external data, since serde bypasses the
+    /// insertion-time checks.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant as a [`HaraError`].
+    pub fn validate(&self) -> Result<(), HaraError> {
+        let mut rows: Vec<(&FunctionId, FailureMode, &str)> = Vec::new();
+        for rating in self.ratings.values() {
+            if !self.functions.contains_key(rating.function()) {
+                return Err(HaraError::UnknownFunction(rating.function().clone()));
+            }
+            let row = (rating.function(), rating.failure_mode(), rating.situation());
+            if rows.contains(&row) {
+                return Err(HaraError::DuplicateAssessmentRow {
+                    function: rating.function().clone(),
+                    failure_mode: rating.failure_mode(),
+                    situation: rating.situation().to_owned(),
+                });
+            }
+            rows.push(row);
+        }
+        for goal in self.goals.values() {
+            if goal.covered_ratings().is_empty() {
+                return Err(HaraError::GoalCoversNothing(goal.id().clone()));
+            }
+            let mut any_hazard = false;
+            for rating_id in goal.covered_ratings() {
+                match self.ratings.get(rating_id) {
+                    None => return Err(HaraError::UnknownRating(rating_id.clone())),
+                    Some(r) if r.is_hazardous() => any_hazard = true,
+                    Some(_) => {}
+                }
+            }
+            if !any_hazard {
+                return Err(HaraError::GoalCoversNoHazard(goal.id().clone()));
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks guideword completeness (RQ1) and goal coverage.
+    ///
+    /// A HARA is complete when
+    ///
+    /// 1. every (function × guideword) cell has at least one rating, and
+    /// 2. every ASIL-rated hazard is covered by at least one safety goal.
+    pub fn completeness(&self) -> CompletenessReport {
+        let mut missing_guidewords = Vec::new();
+        for function in self.functions.keys() {
+            for guideword in FailureMode::ALL {
+                let rated = self
+                    .ratings
+                    .values()
+                    .any(|r| r.function() == function && r.failure_mode() == guideword);
+                if !rated {
+                    missing_guidewords.push((function.clone(), guideword));
+                }
+            }
+        }
+
+        let covered: BTreeSet<&HazardRatingId> = self
+            .goals
+            .values()
+            .flat_map(|g| g.covered_ratings().iter())
+            .collect();
+        let uncovered_hazards: Vec<HazardRatingId> = self
+            .ratings
+            .values()
+            .filter(|r| matches!(r.rating_class(), RatingClass::Asil(_)))
+            .filter(|r| !covered.contains(r.id()))
+            .map(|r| r.id().clone())
+            .collect();
+
+        CompletenessReport { missing_guidewords, uncovered_hazards }
+    }
+}
+
+/// Result of [`Hara::completeness`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CompletenessReport {
+    /// (function, guideword) cells with no rating.
+    pub missing_guidewords: Vec<(FunctionId, FailureMode)>,
+    /// ASIL-rated hazards not covered by any safety goal.
+    pub uncovered_hazards: Vec<HazardRatingId>,
+}
+
+impl CompletenessReport {
+    /// Whether the HARA passes both completeness checks.
+    pub fn is_complete(&self) -> bool {
+        self.missing_guidewords.is_empty() && self.uncovered_hazards.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saseval_types::{Controllability, Exposure, Severity};
+
+    fn hara_with_function() -> Hara {
+        let mut hara = Hara::new("test item");
+        hara.add_function(ItemFunction::new("F1", "warning").unwrap()).unwrap();
+        hara
+    }
+
+    fn rated(id: &str, fm: FailureMode, s: Severity, e: Exposure, c: Controllability) -> HazardRating {
+        HazardRating::builder(id, "F1", fm)
+            .hazard("hazard")
+            .situation(id.to_owned() + "-situation")
+            .rate(s, e, c)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn duplicate_function_rejected() {
+        let mut hara = hara_with_function();
+        let err = hara.add_function(ItemFunction::new("F1", "again").unwrap()).unwrap_err();
+        assert!(matches!(err, HaraError::DuplicateFunction(_)));
+    }
+
+    #[test]
+    fn rating_requires_known_function() {
+        let mut hara = hara_with_function();
+        let r = HazardRating::builder("R1", "F9", FailureMode::No)
+            .hazard("h")
+            .rate(Severity::S1, Exposure::E1, Controllability::C1)
+            .build()
+            .unwrap();
+        assert!(matches!(hara.add_rating(r), Err(HaraError::UnknownFunction(_))));
+    }
+
+    #[test]
+    fn duplicate_rating_id_rejected() {
+        let mut hara = hara_with_function();
+        hara.add_rating(rated("R1", FailureMode::No, Severity::S1, Exposure::E1, Controllability::C1))
+            .unwrap();
+        let again =
+            rated("R1", FailureMode::More, Severity::S1, Exposure::E1, Controllability::C1);
+        assert!(matches!(hara.add_rating(again), Err(HaraError::DuplicateRating(_))));
+    }
+
+    #[test]
+    fn duplicate_assessment_row_rejected() {
+        let mut hara = hara_with_function();
+        let a = HazardRating::builder("R1", "F1", FailureMode::No)
+            .hazard("h")
+            .situation("city")
+            .rate(Severity::S1, Exposure::E1, Controllability::C1)
+            .build()
+            .unwrap();
+        let b = HazardRating::builder("R2", "F1", FailureMode::No)
+            .hazard("h2")
+            .situation("city")
+            .rate(Severity::S2, Exposure::E2, Controllability::C2)
+            .build()
+            .unwrap();
+        hara.add_rating(a).unwrap();
+        assert!(matches!(
+            hara.add_rating(b),
+            Err(HaraError::DuplicateAssessmentRow { .. })
+        ));
+    }
+
+    #[test]
+    fn same_guideword_different_situation_allowed() {
+        // Paper §IV-A: "failure modes may lead to more than one failure",
+        // hence 29 ratings from 24 cells.
+        let mut hara = hara_with_function();
+        let a = HazardRating::builder("R1", "F1", FailureMode::No)
+            .hazard("h")
+            .situation("city")
+            .rate(Severity::S1, Exposure::E1, Controllability::C1)
+            .build()
+            .unwrap();
+        let b = HazardRating::builder("R2", "F1", FailureMode::No)
+            .hazard("h2")
+            .situation("motorway")
+            .rate(Severity::S3, Exposure::E4, Controllability::C3)
+            .build()
+            .unwrap();
+        hara.add_rating(a).unwrap();
+        hara.add_rating(b).unwrap();
+        assert_eq!(hara.rating_count(), 2);
+    }
+
+    #[test]
+    fn goal_asil_is_max_of_covered() {
+        let mut hara = hara_with_function();
+        hara.add_rating(rated("R1", FailureMode::No, Severity::S3, Exposure::E3, Controllability::C3))
+            .unwrap(); // ASIL C
+        hara.add_rating(rated("R2", FailureMode::More, Severity::S2, Exposure::E3, Controllability::C2))
+            .unwrap(); // ASIL A
+        hara.add_safety_goal(
+            SafetyGoal::builder("SG01", "goal").covers("R1").covers("R2").build().unwrap(),
+        )
+        .unwrap();
+        let goal = hara.safety_goal("SG01").unwrap();
+        assert_eq!(hara.goal_asil(goal), Some(AsilLevel::C));
+    }
+
+    #[test]
+    fn goal_over_unknown_rating_rejected() {
+        let mut hara = hara_with_function();
+        let goal = SafetyGoal::builder("SG01", "goal").covers("R404").build().unwrap();
+        assert!(matches!(hara.add_safety_goal(goal), Err(HaraError::UnknownRating(_))));
+    }
+
+    #[test]
+    fn goal_over_na_only_rejected() {
+        let mut hara = hara_with_function();
+        let na = HazardRating::builder("R1", "F1", FailureMode::Inverted)
+            .not_applicable("cannot invert")
+            .build()
+            .unwrap();
+        hara.add_rating(na).unwrap();
+        let goal = SafetyGoal::builder("SG01", "goal").covers("R1").build().unwrap();
+        assert!(matches!(hara.add_safety_goal(goal), Err(HaraError::GoalCoversNoHazard(_))));
+    }
+
+    #[test]
+    fn distribution_counts_all_classes() {
+        let mut hara = hara_with_function();
+        hara.add_rating(rated("R1", FailureMode::No, Severity::S3, Exposure::E4, Controllability::C3))
+            .unwrap(); // D
+        hara.add_rating(rated("R2", FailureMode::More, Severity::S1, Exposure::E1, Controllability::C1))
+            .unwrap(); // QM
+        let na = HazardRating::builder("R3", "F1", FailureMode::Inverted)
+            .not_applicable("n/a")
+            .build()
+            .unwrap();
+        hara.add_rating(na).unwrap();
+        let d = hara.distribution();
+        assert_eq!(d.total(), 3);
+        assert_eq!(d.count(RatingClass::Asil(AsilLevel::D)), 1);
+        assert_eq!(d.count(RatingClass::Qm), 1);
+        assert_eq!(d.count(RatingClass::NotApplicable), 1);
+    }
+
+    #[test]
+    fn completeness_flags_missing_guidewords() {
+        let mut hara = hara_with_function();
+        hara.add_rating(rated("R1", FailureMode::No, Severity::S1, Exposure::E1, Controllability::C1))
+            .unwrap();
+        let report = hara.completeness();
+        assert!(!report.is_complete());
+        // 7 of 8 guidewords unrated.
+        assert_eq!(report.missing_guidewords.len(), 7);
+    }
+
+    #[test]
+    fn completeness_flags_uncovered_hazards() {
+        let mut hara = hara_with_function();
+        for (i, fm) in FailureMode::ALL.iter().enumerate() {
+            hara.add_rating(rated(
+                &format!("R{i}"),
+                *fm,
+                Severity::S3,
+                Exposure::E3,
+                Controllability::C3,
+            ))
+            .unwrap();
+        }
+        let report = hara.completeness();
+        assert!(report.missing_guidewords.is_empty());
+        assert_eq!(report.uncovered_hazards.len(), 8);
+
+        hara.add_safety_goal(
+            FailureMode::ALL
+                .iter()
+                .enumerate()
+                .fold(SafetyGoal::builder("SG01", "covers all"), |b, (i, _)| {
+                    b.covers(format!("R{i}"))
+                })
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        assert!(hara.completeness().is_complete());
+    }
+
+    #[test]
+    fn qm_hazards_need_no_goal_coverage() {
+        let mut hara = hara_with_function();
+        for (i, fm) in FailureMode::ALL.iter().enumerate() {
+            hara.add_rating(rated(
+                &format!("R{i}"),
+                *fm,
+                Severity::S1,
+                Exposure::E1,
+                Controllability::C1,
+            ))
+            .unwrap();
+        }
+        // All QM: complete without any safety goal.
+        assert!(hara.completeness().is_complete());
+    }
+
+    #[test]
+    fn validate_accepts_consistent_and_rejects_tampered() {
+        let mut hara = hara_with_function();
+        hara.add_rating(rated("R1", FailureMode::No, Severity::S3, Exposure::E3, Controllability::C3))
+            .unwrap();
+        hara.add_safety_goal(SafetyGoal::builder("SG01", "g").covers("R1").build().unwrap())
+            .unwrap();
+        assert!(hara.validate().is_ok());
+        // Serde round trip keeps the invariants checkable.
+        let json = serde_json::to_string(&hara).unwrap();
+        let back: Hara = serde_json::from_str(&json).unwrap();
+        assert!(back.validate().is_ok());
+        // Tamper: goal covering a rating this HARA does not contain.
+        let tampered = {
+            let at = json.find("\"goals\"").expect("goals key");
+            format!("{}{}", &json[..at], json[at..].replace("R1", "R404"))
+        };
+        let broken: Hara = serde_json::from_str(&tampered).unwrap();
+        assert!(matches!(broken.validate(), Err(HaraError::UnknownRating(_))));
+    }
+
+    #[test]
+    fn lookup_by_str_via_borrow() {
+        let mut hara = hara_with_function();
+        hara.add_rating(rated("R1", FailureMode::No, Severity::S1, Exposure::E1, Controllability::C1))
+            .unwrap();
+        assert!(hara.function("F1").is_some());
+        assert!(hara.rating("R1").is_some());
+        assert!(hara.rating("R2").is_none());
+    }
+}

@@ -1,0 +1,115 @@
+//! Error type for the HARA engine.
+
+use std::fmt;
+
+use saseval_types::{FailureMode, FunctionId, HazardRatingId, IdError, SafetyGoalId};
+
+/// Error returned by HARA construction and analysis operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HaraError {
+    /// An identifier string was malformed.
+    Id(IdError),
+    /// A function with this ID is already registered.
+    DuplicateFunction(FunctionId),
+    /// A rating with this ID is already registered.
+    DuplicateRating(HazardRatingId),
+    /// A safety goal with this ID is already registered.
+    DuplicateSafetyGoal(SafetyGoalId),
+    /// The rating references a function the HARA does not contain.
+    UnknownFunction(FunctionId),
+    /// The safety goal covers a rating the HARA does not contain.
+    UnknownRating(HazardRatingId),
+    /// Lookup of a safety goal failed.
+    UnknownSafetyGoal(SafetyGoalId),
+    /// A rating marked hazardous is missing its S/E/C assessment.
+    MissingAssessment(HazardRatingId),
+    /// A rating marked not-applicable nevertheless carries an S/E/C
+    /// assessment.
+    AssessmentOnNotApplicable(HazardRatingId),
+    /// A rating describes a hazard but the hazard text is empty.
+    EmptyHazard(HazardRatingId),
+    /// A safety goal covers only not-applicable ratings (it would have no
+    /// ASIL and protect against nothing).
+    GoalCoversNoHazard(SafetyGoalId),
+    /// A safety goal lists no covered ratings at all.
+    GoalCoversNothing(SafetyGoalId),
+    /// The same (function, failure mode, situation) pair was rated twice.
+    DuplicateAssessmentRow {
+        /// The function rated twice.
+        function: FunctionId,
+        /// The failure mode rated twice.
+        failure_mode: FailureMode,
+        /// The operational situation of the duplicate rating.
+        situation: String,
+    },
+}
+
+impl fmt::Display for HaraError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HaraError::Id(e) => write!(f, "invalid identifier: {e}"),
+            HaraError::DuplicateFunction(id) => write!(f, "duplicate function {id}"),
+            HaraError::DuplicateRating(id) => write!(f, "duplicate rating {id}"),
+            HaraError::DuplicateSafetyGoal(id) => write!(f, "duplicate safety goal {id}"),
+            HaraError::UnknownFunction(id) => write!(f, "rating references unknown function {id}"),
+            HaraError::UnknownRating(id) => {
+                write!(f, "safety goal references unknown rating {id}")
+            }
+            HaraError::UnknownSafetyGoal(id) => write!(f, "unknown safety goal {id}"),
+            HaraError::MissingAssessment(id) => {
+                write!(f, "hazardous rating {id} is missing its S/E/C assessment")
+            }
+            HaraError::AssessmentOnNotApplicable(id) => {
+                write!(f, "not-applicable rating {id} must not carry an S/E/C assessment")
+            }
+            HaraError::EmptyHazard(id) => {
+                write!(f, "hazardous rating {id} has an empty hazard description")
+            }
+            HaraError::GoalCoversNoHazard(id) => {
+                write!(f, "safety goal {id} covers only not-applicable ratings")
+            }
+            HaraError::GoalCoversNothing(id) => {
+                write!(f, "safety goal {id} covers no ratings")
+            }
+            HaraError::DuplicateAssessmentRow { function, failure_mode, situation } => write!(
+                f,
+                "function {function} already rated for failure mode {failure_mode} in situation {situation:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for HaraError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HaraError::Id(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<IdError> for HaraError {
+    fn from(e: IdError) -> Self {
+        HaraError::Id(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let id = HazardRatingId::new("Rat01").unwrap();
+        let msg = HaraError::MissingAssessment(id).to_string();
+        assert!(msg.contains("Rat01"));
+        assert!(msg.contains("S/E/C"));
+    }
+
+    #[test]
+    fn id_error_converts_and_sources() {
+        use std::error::Error as _;
+        let err: HaraError = IdError::Empty.into();
+        assert!(err.source().is_some());
+    }
+}

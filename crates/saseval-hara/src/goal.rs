@@ -1,0 +1,202 @@
+//! Safety goals — the top-level safety requirements derived from the HARA.
+
+use serde::{Deserialize, Serialize};
+
+use saseval_types::{Ftti, HazardRatingId, SafetyGoalId};
+
+use crate::error::HaraError;
+
+/// A safety goal, e.g. *"SG01. Avoid ineffective location notification
+/// without returning driving control to human (ASIL C)"* (paper §III-B).
+///
+/// A goal covers one or more hazard ratings; its ASIL is the maximum ASIL
+/// of the covered ratings (computed by [`crate::Hara::goal_asil`], since the
+/// ratings live in the HARA). The *fault-tolerant time interval* is the
+/// reaction budget the SUT has to reach the goal's safe state after a
+/// malfunction — SaSeVAL uses it as the acceptance deadline when executing
+/// attacks (paper §I, §III-C).
+///
+/// Construct via [`SafetyGoal::builder`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SafetyGoal {
+    id: SafetyGoalId,
+    name: String,
+    ftti: Option<Ftti>,
+    safe_state: String,
+    covers: Vec<HazardRatingId>,
+}
+
+impl SafetyGoal {
+    /// Starts building a safety goal.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use saseval_hara::SafetyGoal;
+    /// use saseval_types::Ftti;
+    ///
+    /// let goal = SafetyGoal::builder("SG03", "Communicate Speed Limits safely")
+    ///     .ftti(Ftti::from_millis(200))
+    ///     .safe_state("Fall back to last plausible speed limit")
+    ///     .covers("Rat07")
+    ///     .covers("Rat12")
+    ///     .build()?;
+    /// assert_eq!(goal.covered_ratings().len(), 2);
+    /// # Ok::<(), saseval_hara::HaraError>(())
+    /// ```
+    pub fn builder(id: impl AsRef<str>, name: impl Into<String>) -> SafetyGoalBuilder {
+        SafetyGoalBuilder {
+            id: id.as_ref().to_owned(),
+            name: name.into(),
+            ftti: None,
+            safe_state: String::new(),
+            covers: Vec::new(),
+        }
+    }
+
+    /// The goal's identifier.
+    pub fn id(&self) -> &SafetyGoalId {
+        &self.id
+    }
+
+    /// The goal statement.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The fault-tolerant time interval, if one was assigned.
+    ///
+    /// The paper notes that determining appropriate reaction times can be
+    /// difficult in practice (§I); goals without an FTTI are validated via
+    /// situation preconditions instead.
+    pub fn ftti(&self) -> Option<Ftti> {
+        self.ftti
+    }
+
+    /// The safe state that must be reached when the goal is threatened.
+    pub fn safe_state(&self) -> &str {
+        &self.safe_state
+    }
+
+    /// The hazard ratings this goal covers.
+    pub fn covered_ratings(&self) -> &[HazardRatingId] {
+        &self.covers
+    }
+}
+
+/// Builder for [`SafetyGoal`] (see [`SafetyGoal::builder`]).
+#[derive(Debug, Clone)]
+pub struct SafetyGoalBuilder {
+    id: String,
+    name: String,
+    ftti: Option<Ftti>,
+    safe_state: String,
+    covers: Vec<HazardRatingId>,
+}
+
+impl SafetyGoalBuilder {
+    /// Sets the fault-tolerant time interval.
+    pub fn ftti(mut self, ftti: Ftti) -> Self {
+        self.ftti = Some(ftti);
+        self
+    }
+
+    /// Sets the safe-state description.
+    pub fn safe_state(mut self, safe_state: impl Into<String>) -> Self {
+        self.safe_state = safe_state.into();
+        self
+    }
+
+    /// Adds a covered hazard rating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rating` is not a valid identifier — malformed rating IDs
+    /// in a safety dataset are programming errors, not runtime conditions.
+    /// Use [`try_covers`](Self::try_covers) for fallible input.
+    pub fn covers(self, rating: impl AsRef<str>) -> Self {
+        match self.try_covers(rating.as_ref()) {
+            Ok(builder) => builder,
+            Err(e) => panic!("invalid covered rating ID {:?}: {e}", rating.as_ref()),
+        }
+    }
+
+    /// Adds a covered hazard rating, returning an error on malformed IDs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HaraError::Id`] if `rating` is not a valid identifier.
+    pub fn try_covers(mut self, rating: impl AsRef<str>) -> Result<Self, HaraError> {
+        self.covers.push(HazardRatingId::new(rating.as_ref())?);
+        Ok(self)
+    }
+
+    /// Builds the safety goal.
+    ///
+    /// # Errors
+    ///
+    /// * [`HaraError::Id`] if the goal ID is not a valid identifier.
+    /// * [`HaraError::GoalCoversNothing`] if no covered rating was added.
+    pub fn build(self) -> Result<SafetyGoal, HaraError> {
+        let id = SafetyGoalId::new(self.id)?;
+        if self.covers.is_empty() {
+            return Err(HaraError::GoalCoversNothing(id));
+        }
+        Ok(SafetyGoal {
+            id,
+            name: self.name,
+            ftti: self.ftti,
+            safe_state: self.safe_state,
+            covers: self.covers,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_minimal_goal() {
+        let g = SafetyGoal::builder("SG01", "Keep vehicle closed")
+            .covers("R1")
+            .build()
+            .unwrap();
+        assert_eq!(g.id().as_str(), "SG01");
+        assert_eq!(g.name(), "Keep vehicle closed");
+        assert_eq!(g.ftti(), None);
+        assert_eq!(g.covered_ratings().len(), 1);
+    }
+
+    #[test]
+    fn goal_with_ftti_and_safe_state() {
+        let g = SafetyGoal::builder("SG02", "Avoid intermittent control switches")
+            .ftti(Ftti::from_millis(300))
+            .safe_state("Hold last control owner")
+            .covers("R2")
+            .build()
+            .unwrap();
+        assert_eq!(g.ftti(), Some(Ftti::from_millis(300)));
+        assert_eq!(g.safe_state(), "Hold last control owner");
+    }
+
+    #[test]
+    fn goal_without_coverage_rejected() {
+        let err = SafetyGoal::builder("SG09", "x").build().unwrap_err();
+        assert!(matches!(err, HaraError::GoalCoversNothing(_)));
+    }
+
+    #[test]
+    fn invalid_goal_id_rejected() {
+        let err = SafetyGoal::builder("SG 1", "x").covers("R1").build().unwrap_err();
+        assert!(matches!(err, HaraError::Id(_)));
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_covered_rating_panics_in_covers() {
+        // covers() validates eagerly; an invalid rating ID is a programming
+        // error in dataset code and panics immediately.
+        let _ = SafetyGoal::builder("SG01", "x").covers("bad id");
+    }
+}

@@ -1,0 +1,91 @@
+//! Item functions — the units of analysis of a HARA.
+
+use serde::{Deserialize, Serialize};
+
+use saseval_types::{FunctionId, IdError};
+
+/// A function of the item under analysis, e.g. *"Hazardous location
+/// notifications (Road works warning)"* from the paper's §III-B excerpt.
+///
+/// The HARA applies every failure-mode guideword to every item function;
+/// the pair (function, guideword) spans the completeness grid of RQ1.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ItemFunction {
+    id: FunctionId,
+    name: String,
+    description: String,
+}
+
+impl ItemFunction {
+    /// Creates an item function with an empty long description.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IdError`] if `id` is not a valid identifier.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use saseval_hara::ItemFunction;
+    /// let f = ItemFunction::new("F1", "Road works warning")?;
+    /// assert_eq!(f.id().as_str(), "F1");
+    /// # Ok::<(), saseval_types::IdError>(())
+    /// ```
+    pub fn new(id: impl AsRef<str>, name: impl Into<String>) -> Result<Self, IdError> {
+        Ok(ItemFunction {
+            id: FunctionId::new(id.as_ref())?,
+            name: name.into(),
+            description: String::new(),
+        })
+    }
+
+    /// Creates an item function with a long description.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IdError`] if `id` is not a valid identifier.
+    pub fn with_description(
+        id: impl AsRef<str>,
+        name: impl Into<String>,
+        description: impl Into<String>,
+    ) -> Result<Self, IdError> {
+        let mut f = Self::new(id, name)?;
+        f.description = description.into();
+        Ok(f)
+    }
+
+    /// The function's identifier.
+    pub fn id(&self) -> &FunctionId {
+        &self.id
+    }
+
+    /// The short human-readable name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The long description (may be empty).
+    pub fn description(&self) -> &str {
+        &self.description
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction() {
+        let f = ItemFunction::with_description("F2", "In-vehicle speed limits", "Signage application")
+            .unwrap();
+        assert_eq!(f.id().as_str(), "F2");
+        assert_eq!(f.name(), "In-vehicle speed limits");
+        assert_eq!(f.description(), "Signage application");
+    }
+
+    #[test]
+    fn invalid_id_rejected() {
+        assert!(ItemFunction::new("", "x").is_err());
+        assert!(ItemFunction::new("has space", "x").is_err());
+    }
+}

@@ -1,0 +1,63 @@
+//! Hazard Analysis and Risk Assessment (HARA) engine per ISO 26262, as used
+//! by SaSeVAL's Step 2 "Safety Concern Identification" (paper §II-C, §III-B).
+//!
+//! A [`Hara`] collects the *item functions* under analysis, applies the
+//! eight failure-mode guidewords to each, rates every resulting hazardous
+//! event with Severity/Exposure/Controllability, determines the ASIL, and
+//! derives *safety goals* with fault-tolerant time intervals. The engine
+//! also provides the two artifacts the paper's evaluation reports:
+//!
+//! * the **rating distribution** (how many N/A, QM, ASIL A–D ratings —
+//!   §IV-A reports `5/5/7/3/7/2` for Use Case I, §IV-B reports
+//!   `7/5/2/4/1/1` for Use Case II), and
+//! * the **guideword completeness check** (RQ1): every function must have
+//!   been rated against every guideword.
+//!
+//! # Example
+//!
+//! ```
+//! use saseval_hara::{Hara, HazardRating, ItemFunction, SafetyGoal};
+//! use saseval_types::{
+//!     Controllability, Exposure, FailureMode, Ftti, Severity,
+//! };
+//!
+//! let mut hara = Hara::new("example item");
+//! hara.add_function(ItemFunction::new("F1", "Road works warning")?)?;
+//! hara.add_rating(
+//!     HazardRating::builder("Rat01", "F1", FailureMode::No)
+//!         .hazard("Driver not warned, control not returned")
+//!         .situation("Approaching road works in automated mode")
+//!         .rate(Severity::S3, Exposure::E3, Controllability::C3)
+//!         .build()?,
+//! )?;
+//! hara.add_safety_goal(
+//!     SafetyGoal::builder("SG01", "Avoid ineffective location notification")
+//!         .ftti(Ftti::from_millis(500))
+//!         .safe_state("Control returned to driver, vehicle decelerating")
+//!         .covers("Rat01")
+//!         .build()?,
+//! )?;
+//!
+//! let goal = hara.safety_goal("SG01").unwrap();
+//! assert_eq!(hara.goal_asil(goal).unwrap().to_string(), "ASIL C");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod analysis;
+mod error;
+mod goal;
+mod item;
+mod rating;
+mod stats;
+mod worksheet;
+
+pub use analysis::{CompletenessReport, Hara};
+pub use error::HaraError;
+pub use goal::{SafetyGoal, SafetyGoalBuilder};
+pub use item::ItemFunction;
+pub use rating::{HazardRating, HazardRatingBuilder};
+pub use stats::RatingDistribution;
+pub use worksheet::render_worksheet;

@@ -1,0 +1,285 @@
+//! Hazard ratings — one row of the HARA work sheet.
+
+use serde::{Deserialize, Serialize};
+
+use saseval_types::{
+    determine_asil, Controllability, Exposure, FailureMode, FunctionId, HazardRatingId,
+    RatingClass, Severity,
+};
+
+use crate::error::HaraError;
+
+/// One row of the HARA: a function, a failure-mode guideword, the hazardous
+/// event it causes in an operational situation, and the S/E/C assessment.
+///
+/// A rating is either *assessed* (it describes a hazard and carries S/E/C,
+/// from which the [`RatingClass`] is determined) or *not applicable* (the
+/// guideword produces no hazard for this function — e.g. "Inverted" for a
+/// pure notification function). The paper's §IV statistics count both kinds.
+///
+/// Construct via [`HazardRating::builder`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HazardRating {
+    id: HazardRatingId,
+    function: FunctionId,
+    failure_mode: FailureMode,
+    hazard: String,
+    situation: String,
+    assessment: Option<(Severity, Exposure, Controllability)>,
+    rationale: String,
+}
+
+impl HazardRating {
+    /// Starts building a rating for `function` under `failure_mode`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use saseval_hara::HazardRating;
+    /// use saseval_types::{Controllability, Exposure, FailureMode, Severity};
+    ///
+    /// // The paper's §III-B excerpt: Rat01, failure mode "No", E3/S3/C3.
+    /// let rating = HazardRating::builder("Rat01", "F1", FailureMode::No)
+    ///     .hazard("The driver can not be warned and control is not returned")
+    ///     .situation("Crash into road works")
+    ///     .rate(Severity::S3, Exposure::E3, Controllability::C3)
+    ///     .build()?;
+    /// assert_eq!(rating.rating_class().to_string(), "ASIL C");
+    /// # Ok::<(), saseval_hara::HaraError>(())
+    /// ```
+    pub fn builder(
+        id: impl AsRef<str>,
+        function: impl AsRef<str>,
+        failure_mode: FailureMode,
+    ) -> HazardRatingBuilder {
+        HazardRatingBuilder {
+            id: id.as_ref().to_owned(),
+            function: function.as_ref().to_owned(),
+            failure_mode,
+            hazard: String::new(),
+            situation: String::new(),
+            assessment: None,
+            not_applicable: false,
+            rationale: String::new(),
+        }
+    }
+
+    /// The rating's identifier.
+    pub fn id(&self) -> &HazardRatingId {
+        &self.id
+    }
+
+    /// The rated item function.
+    pub fn function(&self) -> &FunctionId {
+        &self.function
+    }
+
+    /// The failure-mode guideword applied.
+    pub fn failure_mode(&self) -> FailureMode {
+        self.failure_mode
+    }
+
+    /// The hazardous event description (empty for not-applicable ratings).
+    pub fn hazard(&self) -> &str {
+        &self.hazard
+    }
+
+    /// The operational situation in which the hazard was assessed.
+    pub fn situation(&self) -> &str {
+        &self.situation
+    }
+
+    /// The S/E/C assessment, if the rating is applicable.
+    pub fn assessment(&self) -> Option<(Severity, Exposure, Controllability)> {
+        self.assessment
+    }
+
+    /// The free-text rationale for the assessment (may be empty).
+    pub fn rationale(&self) -> &str {
+        &self.rationale
+    }
+
+    /// The rating class determined from the assessment: `N/A` when the
+    /// guideword is not applicable, otherwise the ISO 26262 table result.
+    pub fn rating_class(&self) -> RatingClass {
+        match self.assessment {
+            None => RatingClass::NotApplicable,
+            Some((s, e, c)) => determine_asil(s, e, c),
+        }
+    }
+
+    /// Whether this rating describes an actual hazard.
+    pub fn is_hazardous(&self) -> bool {
+        self.assessment.is_some()
+    }
+}
+
+/// Builder for [`HazardRating`] (see [`HazardRating::builder`]).
+#[derive(Debug, Clone)]
+pub struct HazardRatingBuilder {
+    id: String,
+    function: String,
+    failure_mode: FailureMode,
+    hazard: String,
+    situation: String,
+    assessment: Option<(Severity, Exposure, Controllability)>,
+    not_applicable: bool,
+    rationale: String,
+}
+
+impl HazardRatingBuilder {
+    /// Sets the hazardous-event description.
+    pub fn hazard(mut self, hazard: impl Into<String>) -> Self {
+        self.hazard = hazard.into();
+        self
+    }
+
+    /// Sets the operational situation.
+    pub fn situation(mut self, situation: impl Into<String>) -> Self {
+        self.situation = situation.into();
+        self
+    }
+
+    /// Provides the S/E/C assessment (marks the rating applicable).
+    pub fn rate(mut self, s: Severity, e: Exposure, c: Controllability) -> Self {
+        self.assessment = Some((s, e, c));
+        self
+    }
+
+    /// Marks the guideword as not applicable to the function, with a
+    /// rationale why.
+    pub fn not_applicable(mut self, rationale: impl Into<String>) -> Self {
+        self.not_applicable = true;
+        self.rationale = rationale.into();
+        self
+    }
+
+    /// Attaches a free-text rationale for the assessment.
+    pub fn rationale(mut self, rationale: impl Into<String>) -> Self {
+        self.rationale = rationale.into();
+        self
+    }
+
+    /// Builds the rating.
+    ///
+    /// # Errors
+    ///
+    /// * [`HaraError::Id`] if `id` or `function` is not a valid identifier.
+    /// * [`HaraError::AssessmentOnNotApplicable`] if both
+    ///   [`rate`](Self::rate) and [`not_applicable`](Self::not_applicable)
+    ///   were called.
+    /// * [`HaraError::MissingAssessment`] if the rating is applicable but
+    ///   no S/E/C was provided.
+    /// * [`HaraError::EmptyHazard`] if the rating is applicable but no
+    ///   hazard text was provided.
+    pub fn build(self) -> Result<HazardRating, HaraError> {
+        let id = HazardRatingId::new(self.id)?;
+        let function = FunctionId::new(self.function)?;
+        if self.not_applicable {
+            if self.assessment.is_some() {
+                return Err(HaraError::AssessmentOnNotApplicable(id));
+            }
+        } else {
+            if self.assessment.is_none() {
+                return Err(HaraError::MissingAssessment(id));
+            }
+            if self.hazard.trim().is_empty() {
+                return Err(HaraError::EmptyHazard(id));
+            }
+        }
+        Ok(HazardRating {
+            id,
+            function,
+            failure_mode: self.failure_mode,
+            hazard: self.hazard,
+            situation: self.situation,
+            assessment: self.assessment,
+            rationale: self.rationale,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saseval_types::AsilLevel;
+
+    fn assessed() -> HazardRating {
+        HazardRating::builder("R1", "F1", FailureMode::No)
+            .hazard("no warning")
+            .situation("motorway")
+            .rate(Severity::S3, Exposure::E4, Controllability::C3)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn assessed_rating_has_asil() {
+        let r = assessed();
+        assert_eq!(r.rating_class(), RatingClass::Asil(AsilLevel::D));
+        assert!(r.is_hazardous());
+        assert_eq!(r.failure_mode(), FailureMode::No);
+        assert_eq!(r.situation(), "motorway");
+    }
+
+    #[test]
+    fn not_applicable_rating() {
+        let r = HazardRating::builder("R2", "F1", FailureMode::Inverted)
+            .not_applicable("notification cannot act inversely")
+            .build()
+            .unwrap();
+        assert_eq!(r.rating_class(), RatingClass::NotApplicable);
+        assert!(!r.is_hazardous());
+        assert_eq!(r.rationale(), "notification cannot act inversely");
+    }
+
+    #[test]
+    fn qm_rating() {
+        let r = HazardRating::builder("R3", "F1", FailureMode::More)
+            .hazard("slightly too many warnings")
+            .rate(Severity::S1, Exposure::E2, Controllability::C1)
+            .build()
+            .unwrap();
+        assert_eq!(r.rating_class(), RatingClass::Qm);
+        assert!(r.is_hazardous());
+    }
+
+    #[test]
+    fn missing_assessment_rejected() {
+        let err = HazardRating::builder("R4", "F1", FailureMode::No)
+            .hazard("h")
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, HaraError::MissingAssessment(_)));
+    }
+
+    #[test]
+    fn empty_hazard_rejected() {
+        let err = HazardRating::builder("R5", "F1", FailureMode::No)
+            .rate(Severity::S1, Exposure::E1, Controllability::C1)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, HaraError::EmptyHazard(_)));
+    }
+
+    #[test]
+    fn conflicting_na_and_assessment_rejected() {
+        let err = HazardRating::builder("R6", "F1", FailureMode::No)
+            .hazard("h")
+            .rate(Severity::S1, Exposure::E1, Controllability::C1)
+            .not_applicable("n/a")
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, HaraError::AssessmentOnNotApplicable(_)));
+    }
+
+    #[test]
+    fn invalid_ids_rejected() {
+        assert!(matches!(
+            HazardRating::builder("bad id", "F1", FailureMode::No)
+                .not_applicable("x")
+                .build(),
+            Err(HaraError::Id(_))
+        ));
+    }
+}

@@ -1,0 +1,204 @@
+//! Rating-distribution statistics, as reported in the paper's §IV.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use saseval_types::{AsilLevel, RatingClass};
+
+/// Counts of HARA ratings per rating class.
+///
+/// The paper reports these distributions as its only hard numbers:
+/// Use Case I has 29 ratings split `N/A:5, No ASIL:5, A:7, B:3, C:7, D:2`
+/// (§IV-A) and Use Case II has 20 ratings split `N/A:7, No ASIL:5, A:2,
+/// B:4, C:1, D:1` (§IV-B).
+///
+/// # Example
+///
+/// ```
+/// use saseval_hara::RatingDistribution;
+/// use saseval_types::{AsilLevel, RatingClass};
+///
+/// let dist: RatingDistribution = [
+///     RatingClass::NotApplicable,
+///     RatingClass::Qm,
+///     RatingClass::Asil(AsilLevel::C),
+/// ]
+/// .into_iter()
+/// .collect();
+/// assert_eq!(dist.total(), 3);
+/// assert_eq!(dist.count(RatingClass::Asil(AsilLevel::C)), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct RatingDistribution {
+    not_applicable: usize,
+    qm: usize,
+    asil_a: usize,
+    asil_b: usize,
+    asil_c: usize,
+    asil_d: usize,
+}
+
+impl RatingDistribution {
+    /// An empty distribution.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a distribution directly from per-class counts, in the order
+    /// the paper prints them: N/A, No ASIL (QM), ASIL A, B, C, D.
+    pub fn from_counts(
+        not_applicable: usize,
+        qm: usize,
+        asil_a: usize,
+        asil_b: usize,
+        asil_c: usize,
+        asil_d: usize,
+    ) -> Self {
+        RatingDistribution { not_applicable, qm, asil_a, asil_b, asil_c, asil_d }
+    }
+
+    /// Records one rating.
+    pub fn record(&mut self, class: RatingClass) {
+        match class {
+            RatingClass::NotApplicable => self.not_applicable += 1,
+            RatingClass::Qm => self.qm += 1,
+            RatingClass::Asil(AsilLevel::A) => self.asil_a += 1,
+            RatingClass::Asil(AsilLevel::B) => self.asil_b += 1,
+            RatingClass::Asil(AsilLevel::C) => self.asil_c += 1,
+            RatingClass::Asil(AsilLevel::D) => self.asil_d += 1,
+        }
+    }
+
+    /// The count for one rating class.
+    pub fn count(&self, class: RatingClass) -> usize {
+        match class {
+            RatingClass::NotApplicable => self.not_applicable,
+            RatingClass::Qm => self.qm,
+            RatingClass::Asil(AsilLevel::A) => self.asil_a,
+            RatingClass::Asil(AsilLevel::B) => self.asil_b,
+            RatingClass::Asil(AsilLevel::C) => self.asil_c,
+            RatingClass::Asil(AsilLevel::D) => self.asil_d,
+        }
+    }
+
+    /// Total number of ratings recorded.
+    pub fn total(&self) -> usize {
+        self.not_applicable + self.qm + self.asil_a + self.asil_b + self.asil_c + self.asil_d
+    }
+
+    /// Number of ratings that carry an ASIL (A–D).
+    pub fn asil_rated(&self) -> usize {
+        self.asil_a + self.asil_b + self.asil_c + self.asil_d
+    }
+
+    /// Number of hazardous ratings (everything except N/A).
+    pub fn hazardous(&self) -> usize {
+        self.total() - self.not_applicable
+    }
+
+    /// The highest ASIL present, if any rating carries one.
+    pub fn max_asil(&self) -> Option<AsilLevel> {
+        if self.asil_d > 0 {
+            Some(AsilLevel::D)
+        } else if self.asil_c > 0 {
+            Some(AsilLevel::C)
+        } else if self.asil_b > 0 {
+            Some(AsilLevel::B)
+        } else if self.asil_a > 0 {
+            Some(AsilLevel::A)
+        } else {
+            None
+        }
+    }
+}
+
+impl FromIterator<RatingClass> for RatingDistribution {
+    fn from_iter<I: IntoIterator<Item = RatingClass>>(iter: I) -> Self {
+        let mut dist = RatingDistribution::new();
+        dist.extend(iter);
+        dist
+    }
+}
+
+impl Extend<RatingClass> for RatingDistribution {
+    fn extend<I: IntoIterator<Item = RatingClass>>(&mut self, iter: I) {
+        for class in iter {
+            self.record(class);
+        }
+    }
+}
+
+impl fmt::Display for RatingDistribution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ratings: {} N/A, {} No ASIL, {} ASIL A, {} ASIL B, {} ASIL C, {} ASIL D",
+            self.total(),
+            self.not_applicable,
+            self.qm,
+            self.asil_a,
+            self.asil_b,
+            self.asil_c,
+            self.asil_d
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uc1() -> RatingDistribution {
+        RatingDistribution::from_counts(5, 5, 7, 3, 7, 2)
+    }
+
+    #[test]
+    fn paper_use_case_1_distribution() {
+        let d = uc1();
+        assert_eq!(d.total(), 29);
+        assert_eq!(d.asil_rated(), 19);
+        assert_eq!(d.hazardous(), 24);
+        assert_eq!(d.max_asil(), Some(AsilLevel::D));
+    }
+
+    #[test]
+    fn paper_use_case_2_distribution() {
+        let d = RatingDistribution::from_counts(7, 5, 2, 4, 1, 1);
+        assert_eq!(d.total(), 20);
+        assert_eq!(d.asil_rated(), 8);
+    }
+
+    #[test]
+    fn record_and_count() {
+        let mut d = RatingDistribution::new();
+        d.record(RatingClass::Qm);
+        d.record(RatingClass::Asil(AsilLevel::B));
+        d.record(RatingClass::Asil(AsilLevel::B));
+        assert_eq!(d.count(RatingClass::Qm), 1);
+        assert_eq!(d.count(RatingClass::Asil(AsilLevel::B)), 2);
+        assert_eq!(d.count(RatingClass::Asil(AsilLevel::D)), 0);
+        assert_eq!(d.total(), 3);
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let d: RatingDistribution =
+            vec![RatingClass::NotApplicable; 4].into_iter().collect();
+        assert_eq!(d.count(RatingClass::NotApplicable), 4);
+    }
+
+    #[test]
+    fn max_asil_none_when_no_asil() {
+        let d = RatingDistribution::from_counts(2, 3, 0, 0, 0, 0);
+        assert_eq!(d.max_asil(), None);
+    }
+
+    #[test]
+    fn display_matches_paper_style() {
+        assert_eq!(
+            uc1().to_string(),
+            "29 ratings: 5 N/A, 5 No ASIL, 7 ASIL A, 3 ASIL B, 7 ASIL C, 2 ASIL D"
+        );
+    }
+}

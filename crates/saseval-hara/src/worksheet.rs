@@ -1,0 +1,152 @@
+//! HARA worksheet rendering — the tabular work product safety engineers
+//! review (the §III-B excerpt of the paper is one row of such a sheet).
+
+use std::fmt::Write as _;
+
+use crate::analysis::Hara;
+
+/// Renders the HARA as a Markdown worksheet: one table of ratings (the
+/// §III-B row format: function, failure mode, hazard, situation, E/S/C,
+/// class) followed by the safety-goal table.
+///
+/// # Example
+///
+/// ```
+/// use saseval_hara::{render_worksheet, Hara, HazardRating, ItemFunction};
+/// use saseval_types::{Controllability, Exposure, FailureMode, Severity};
+///
+/// let mut hara = Hara::new("demo item");
+/// hara.add_function(ItemFunction::new("F1", "warning")?)?;
+/// hara.add_rating(
+///     HazardRating::builder("Rat01", "F1", FailureMode::No)
+///         .hazard("driver not warned")
+///         .situation("road works ahead")
+///         .rate(Severity::S3, Exposure::E3, Controllability::C3)
+///         .build()?,
+/// )?;
+/// let sheet = render_worksheet(&hara);
+/// assert!(sheet.contains("| Rat01 |"));
+/// assert!(sheet.contains("ASIL C"));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn render_worksheet(hara: &Hara) -> String {
+    let mut out = String::new();
+    writeln!(out, "# HARA worksheet — {}", hara.item()).expect("write");
+    writeln!(out).expect("write");
+    writeln!(out, "## Ratings ({})", hara.distribution()).expect("write");
+    writeln!(out).expect("write");
+    writeln!(out, "| ID | Function | Failure mode | Hazard / rationale | Situation | E | S | C | Class |")
+        .expect("write");
+    writeln!(out, "|---|---|---|---|---|---|---|---|---|").expect("write");
+    for rating in hara.ratings() {
+        let function_name = hara
+            .function(rating.function().as_str())
+            .map(|f| f.name())
+            .unwrap_or_else(|| rating.function().as_str());
+        let (e, s, c) = match rating.assessment() {
+            Some((s, e, c)) => (e.to_string(), s.to_string(), c.to_string()),
+            None => ("-".to_owned(), "-".to_owned(), "-".to_owned()),
+        };
+        let text = if rating.is_hazardous() { rating.hazard() } else { rating.rationale() };
+        writeln!(
+            out,
+            "| {} | {} | {} | {} | {} | {} | {} | {} | {} |",
+            rating.id(),
+            function_name,
+            rating.failure_mode(),
+            text,
+            rating.situation(),
+            e,
+            s,
+            c,
+            rating.rating_class()
+        )
+        .expect("write");
+    }
+    writeln!(out).expect("write");
+    writeln!(out, "## Safety goals").expect("write");
+    writeln!(out).expect("write");
+    writeln!(out, "| ID | Goal | ASIL | FTTI | Safe state | Covers |").expect("write");
+    writeln!(out, "|---|---|---|---|---|---|").expect("write");
+    for goal in hara.safety_goals() {
+        let asil = hara
+            .goal_asil(goal)
+            .map(|a| a.to_string())
+            .unwrap_or_else(|| "QM".to_owned());
+        let ftti = goal.ftti().map(|f| f.to_string()).unwrap_or_else(|| "-".to_owned());
+        let covers: Vec<&str> = goal.covered_ratings().iter().map(|r| r.as_str()).collect();
+        writeln!(
+            out,
+            "| {} | {} | {} | {} | {} | {} |",
+            goal.id(),
+            goal.name(),
+            asil,
+            ftti,
+            goal.safe_state(),
+            covers.join(", ")
+        )
+        .expect("write");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::goal::SafetyGoal;
+    use crate::item::ItemFunction;
+    use crate::rating::HazardRating;
+    use saseval_types::{Controllability, Exposure, FailureMode, Ftti, Severity};
+
+    fn sample() -> Hara {
+        let mut hara = Hara::new("worksheet item");
+        hara.add_function(ItemFunction::new("F1", "road works warning").unwrap()).unwrap();
+        hara.add_rating(
+            HazardRating::builder("Rat01", "F1", FailureMode::No)
+                .hazard("driver not warned")
+                .situation("construction ahead")
+                .rate(Severity::S3, Exposure::E3, Controllability::C3)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        hara.add_rating(
+            HazardRating::builder("Rat02", "F1", FailureMode::Inverted)
+                .not_applicable("no meaningful inverse")
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        hara.add_safety_goal(
+            SafetyGoal::builder("SG01", "warn the driver")
+                .ftti(Ftti::from_millis(500))
+                .safe_state("control returned")
+                .covers("Rat01")
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        hara
+    }
+
+    #[test]
+    fn worksheet_contains_all_rows() {
+        let sheet = render_worksheet(&sample());
+        assert!(sheet.contains("# HARA worksheet — worksheet item"));
+        assert!(sheet.contains("| Rat01 | road works warning | No | driver not warned |"));
+        assert!(sheet.contains("ASIL C"));
+        // The N/A row shows the rationale and dashes for E/S/C.
+        assert!(sheet.contains("no meaningful inverse"));
+        assert!(sheet.contains("| - | - | - | N/A |"));
+        // The goal table shows ASIL, FTTI and coverage.
+        assert!(sheet.contains("| SG01 | warn the driver | ASIL C | 500ms | control returned | Rat01 |"));
+    }
+
+    #[test]
+    fn worksheet_row_count_matches() {
+        let sheet = render_worksheet(&sample());
+        let rating_rows =
+            sheet.lines().filter(|l| l.starts_with("| Rat")).count();
+        assert_eq!(rating_rows, 2);
+    }
+}

@@ -1,0 +1,268 @@
+//! The TARA–HARA cross-check (paper §II-B).
+//!
+//! "Cybersecurity experts collect the damage scenarios … that are assumed
+//! to be safety related. With safety experts and their consolidated HARA,
+//! they systematically crosscheck hazard events from the HARA against
+//! damage scenarios from the TARA."
+//!
+//! Two outcomes per damage scenario (paper §II-B):
+//!
+//! * **Comparable** — the damage scenario matches hazardous events; it can
+//!   be refined through the systematic process of the HARA.
+//! * **Cybersecurity-only** — motivated by malicious attacks, not by
+//!   faults; this end consequence is not captured in HARA.
+//!
+//! The matching heuristic is deliberately simple and transparent (this is
+//! an engineering review aid, not NLP): a damage scenario matches a hazard
+//! rating when they share the same asset-neutral keyword signature —
+//! lower-cased word overlap above a threshold — or when the caller
+//! supplies an explicit mapping.
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+use saseval_hara::Hara;
+use saseval_types::{DamageScenarioId, HazardRatingId};
+
+use crate::damage::DamageScenario;
+
+/// Outcome of cross-checking one damage scenario against the HARA.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CrossCheckOutcome {
+    /// Comparable to at least one hazardous event — refine via HARA.
+    Comparable,
+    /// Purely cybersecurity-oriented, no HARA overlap.
+    CybersecurityOnly,
+    /// Not safety-related; excluded from the cross-check selection.
+    NotSafetyRelated,
+}
+
+/// Match record for one damage scenario.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DamageScenarioMatch {
+    /// The damage scenario checked.
+    pub damage_scenario: DamageScenarioId,
+    /// The outcome class.
+    pub outcome: CrossCheckOutcome,
+    /// The hazardous events the scenario matched (empty unless
+    /// [`CrossCheckOutcome::Comparable`]).
+    pub matched_hazards: Vec<HazardRatingId>,
+}
+
+/// Report of a full TARA–HARA cross-check.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CrossCheckReport {
+    /// One match record per damage scenario, in input order.
+    pub matches: Vec<DamageScenarioMatch>,
+}
+
+impl CrossCheckReport {
+    /// Damage scenarios comparable to hazardous events.
+    pub fn comparable(&self) -> impl Iterator<Item = &DamageScenarioMatch> {
+        self.matches.iter().filter(|m| m.outcome == CrossCheckOutcome::Comparable)
+    }
+
+    /// Damage scenarios with no HARA overlap.
+    pub fn cybersecurity_only(&self) -> impl Iterator<Item = &DamageScenarioMatch> {
+        self.matches.iter().filter(|m| m.outcome == CrossCheckOutcome::CybersecurityOnly)
+    }
+
+    /// Count per outcome: (comparable, cybersecurity-only, not safety-related).
+    pub fn counts(&self) -> (usize, usize, usize) {
+        let mut c = (0, 0, 0);
+        for m in &self.matches {
+            match m.outcome {
+                CrossCheckOutcome::Comparable => c.0 += 1,
+                CrossCheckOutcome::CybersecurityOnly => c.1 += 1,
+                CrossCheckOutcome::NotSafetyRelated => c.2 += 1,
+            }
+        }
+        c
+    }
+}
+
+fn keywords(text: &str) -> BTreeSet<String> {
+    const STOPWORDS: [&str; 22] = [
+        "the", "a", "an", "is", "are", "of", "to", "into", "in", "on", "and", "or", "not", "can",
+        "be", "with", "by", "for", "at", "that", "this", "it",
+    ];
+    text.split(|c: char| !c.is_alphanumeric())
+        .map(|w| w.to_ascii_lowercase())
+        .filter(|w| w.len() > 2 && !STOPWORDS.contains(&w.as_str()))
+        .collect()
+}
+
+/// Minimum number of shared keywords for a heuristic match.
+const MATCH_THRESHOLD: usize = 2;
+
+/// Cross-checks TARA damage scenarios against the hazardous events of a
+/// HARA.
+///
+/// Only safety-related damage scenarios (per
+/// [`DamageScenario::is_safety_related`]) participate; others are reported
+/// as [`CrossCheckOutcome::NotSafetyRelated`]. A safety-related scenario is
+/// [`CrossCheckOutcome::Comparable`] when its description shares at least
+/// two significant keywords with a hazardous rating's hazard or situation
+/// text, else [`CrossCheckOutcome::CybersecurityOnly`].
+///
+/// # Example
+///
+/// ```
+/// use saseval_hara::{Hara, HazardRating, ItemFunction};
+/// use saseval_tara::{cross_check, CrossCheckOutcome, DamageScenario, ImpactCategory, ImpactLevel};
+/// use saseval_types::{Controllability, Exposure, FailureMode, Severity};
+///
+/// let mut hara = Hara::new("item");
+/// hara.add_function(ItemFunction::new("F1", "warning").unwrap()).unwrap();
+/// hara.add_rating(
+///     HazardRating::builder("R1", "F1", FailureMode::No)
+///         .hazard("Vehicle crashes into road works")
+///         .rate(Severity::S3, Exposure::E3, Controllability::C3)
+///         .build()
+///         .unwrap(),
+/// )
+/// .unwrap();
+///
+/// let ds = DamageScenario::builder("DS1", "Attacker causes crash into road works zone")
+///     .impact(ImpactCategory::Safety, ImpactLevel::Severe)
+///     .build()
+///     .unwrap();
+///
+/// let report = cross_check(&[ds], &hara);
+/// assert_eq!(report.matches[0].outcome, CrossCheckOutcome::Comparable);
+/// ```
+pub fn cross_check(damage_scenarios: &[DamageScenario], hara: &Hara) -> CrossCheckReport {
+    let hazard_keywords: Vec<(HazardRatingId, BTreeSet<String>)> = hara
+        .ratings()
+        .filter(|r| r.is_hazardous())
+        .map(|r| {
+            let mut kw = keywords(r.hazard());
+            kw.extend(keywords(r.situation()));
+            (r.id().clone(), kw)
+        })
+        .collect();
+
+    let matches = damage_scenarios
+        .iter()
+        .map(|ds| {
+            if !ds.is_safety_related() {
+                return DamageScenarioMatch {
+                    damage_scenario: ds.id().clone(),
+                    outcome: CrossCheckOutcome::NotSafetyRelated,
+                    matched_hazards: Vec::new(),
+                };
+            }
+            let ds_kw = keywords(ds.description());
+            let matched: Vec<HazardRatingId> = hazard_keywords
+                .iter()
+                .filter(|(_, kw)| kw.intersection(&ds_kw).count() >= MATCH_THRESHOLD)
+                .map(|(id, _)| id.clone())
+                .collect();
+            let outcome = if matched.is_empty() {
+                CrossCheckOutcome::CybersecurityOnly
+            } else {
+                CrossCheckOutcome::Comparable
+            };
+            DamageScenarioMatch {
+                damage_scenario: ds.id().clone(),
+                outcome,
+                matched_hazards: matched,
+            }
+        })
+        .collect();
+
+    CrossCheckReport { matches }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::damage::{ImpactCategory, ImpactLevel};
+    use saseval_hara::{HazardRating, ItemFunction};
+    use saseval_types::{Controllability, Exposure, FailureMode, Severity};
+
+    fn hara() -> Hara {
+        let mut hara = Hara::new("item");
+        hara.add_function(ItemFunction::new("F1", "warning").unwrap()).unwrap();
+        hara.add_rating(
+            HazardRating::builder("R1", "F1", FailureMode::No)
+                .hazard("Vehicle crashes into road works")
+                .situation("automated driving near construction")
+                .rate(Severity::S3, Exposure::E3, Controllability::C3)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        hara.add_rating(
+            HazardRating::builder("R2", "F1", FailureMode::Intermittent)
+                .hazard("Repeated unintended takeover warnings distract the driver")
+                .rate(Severity::S1, Exposure::E4, Controllability::C2)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        hara
+    }
+
+    fn ds(id: &str, desc: &str, cat: ImpactCategory) -> DamageScenario {
+        DamageScenario::builder(id, desc).impact(cat, ImpactLevel::Major).build().unwrap()
+    }
+
+    #[test]
+    fn comparable_scenario_matches_hazard() {
+        let scenarios =
+            [ds("DS1", "Attack causes vehicle crash into road works", ImpactCategory::Safety)];
+        let report = cross_check(&scenarios, &hara());
+        assert_eq!(report.matches[0].outcome, CrossCheckOutcome::Comparable);
+        assert_eq!(report.matches[0].matched_hazards[0].as_str(), "R1");
+    }
+
+    #[test]
+    fn cybersecurity_only_scenario() {
+        let scenarios = [ds(
+            "DS2",
+            "Ransomware encrypts infotainment storage demanding payment",
+            ImpactCategory::Safety,
+        )];
+        let report = cross_check(&scenarios, &hara());
+        assert_eq!(report.matches[0].outcome, CrossCheckOutcome::CybersecurityOnly);
+        assert!(report.matches[0].matched_hazards.is_empty());
+    }
+
+    #[test]
+    fn non_safety_scenarios_excluded() {
+        let scenarios = [ds("DS3", "Movement profile of the driver leaked", ImpactCategory::Privacy)];
+        let report = cross_check(&scenarios, &hara());
+        assert_eq!(report.matches[0].outcome, CrossCheckOutcome::NotSafetyRelated);
+    }
+
+    #[test]
+    fn counts_and_filters() {
+        let scenarios = [
+            ds("DS1", "crash into road works zone", ImpactCategory::Safety),
+            ds("DS2", "ransomware encrypts backend", ImpactCategory::Safety),
+            ds("DS3", "profile leak", ImpactCategory::Privacy),
+        ];
+        let report = cross_check(&scenarios, &hara());
+        assert_eq!(report.counts(), (1, 1, 1));
+        assert_eq!(report.comparable().count(), 1);
+        assert_eq!(report.cybersecurity_only().count(), 1);
+    }
+
+    #[test]
+    fn keyword_extraction_filters_stopwords() {
+        let kw = keywords("The vehicle is not closed");
+        assert!(kw.contains("vehicle"));
+        assert!(kw.contains("closed"));
+        assert!(!kw.contains("the"));
+        assert!(!kw.contains("is"));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let report = cross_check(&[], &hara());
+        assert!(report.matches.is_empty());
+        assert_eq!(report.counts(), (0, 0, 0));
+    }
+}

@@ -1,0 +1,228 @@
+//! Damage scenarios — the end consequences a TARA assesses.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use saseval_types::{AssetId, DamageScenarioId};
+
+use crate::error::TaraError;
+
+/// Impact category of a damage scenario per ISO/SAE 21434 ("SFOP").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ImpactCategory {
+    /// Harm to road users.
+    Safety,
+    /// Financial loss.
+    Financial,
+    /// Loss or degradation of vehicle functions.
+    Operational,
+    /// Disclosure of personal data.
+    Privacy,
+}
+
+impl ImpactCategory {
+    /// All four SFOP categories.
+    pub const ALL: [ImpactCategory; 4] = [
+        ImpactCategory::Safety,
+        ImpactCategory::Financial,
+        ImpactCategory::Operational,
+        ImpactCategory::Privacy,
+    ];
+}
+
+/// Impact level of a damage scenario in one category, per ISO/SAE 21434.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ImpactLevel {
+    /// No discernible impact.
+    Negligible,
+    /// Noticeable but limited impact.
+    Moderate,
+    /// Substantial impact.
+    Major,
+    /// Life-threatening or catastrophic impact.
+    Severe,
+}
+
+impl ImpactLevel {
+    /// All levels, ascending.
+    pub const ALL: [ImpactLevel; 4] = [
+        ImpactLevel::Negligible,
+        ImpactLevel::Moderate,
+        ImpactLevel::Major,
+        ImpactLevel::Severe,
+    ];
+}
+
+/// A damage scenario: the harm that materializes when a threat succeeds,
+/// rated per SFOP impact category.
+///
+/// The TARA–HARA cross-check (paper §II-B) selects the *safety-related*
+/// damage scenarios — those with a non-negligible [`ImpactCategory::Safety`]
+/// rating — for alignment with the HARA's hazardous events.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DamageScenario {
+    id: DamageScenarioId,
+    description: String,
+    impacts: BTreeMap<ImpactCategory, ImpactLevel>,
+    asset: Option<AssetId>,
+}
+
+impl DamageScenario {
+    /// Starts building a damage scenario.
+    pub fn builder(id: impl AsRef<str>, description: impl Into<String>) -> DamageScenarioBuilder {
+        DamageScenarioBuilder {
+            id: id.as_ref().to_owned(),
+            description: description.into(),
+            impacts: BTreeMap::new(),
+            asset: None,
+        }
+    }
+
+    /// The damage scenario's identifier.
+    pub fn id(&self) -> &DamageScenarioId {
+        &self.id
+    }
+
+    /// The natural-language description.
+    pub fn description(&self) -> &str {
+        &self.description
+    }
+
+    /// The impact level in one category ([`ImpactLevel::Negligible`] if
+    /// unrated).
+    pub fn impact(&self, category: ImpactCategory) -> ImpactLevel {
+        self.impacts.get(&category).copied().unwrap_or(ImpactLevel::Negligible)
+    }
+
+    /// The maximum impact level over all categories.
+    pub fn max_impact(&self) -> ImpactLevel {
+        self.impacts.values().copied().max().unwrap_or(ImpactLevel::Negligible)
+    }
+
+    /// Whether the scenario has safety impact — the selection criterion of
+    /// the TARA–HARA cross-check.
+    pub fn is_safety_related(&self) -> bool {
+        self.impact(ImpactCategory::Safety) > ImpactLevel::Negligible
+    }
+
+    /// Whether the scenario has privacy impact (the paper's Use Case II
+    /// separates two privacy-only attacks from the 27 safety attacks).
+    pub fn is_privacy_related(&self) -> bool {
+        self.impact(ImpactCategory::Privacy) > ImpactLevel::Negligible
+    }
+
+    /// The asset whose compromise causes this damage, if recorded.
+    pub fn asset(&self) -> Option<&AssetId> {
+        self.asset.as_ref()
+    }
+}
+
+/// Builder for [`DamageScenario`] (see [`DamageScenario::builder`]).
+#[derive(Debug, Clone)]
+pub struct DamageScenarioBuilder {
+    id: String,
+    description: String,
+    impacts: BTreeMap<ImpactCategory, ImpactLevel>,
+    asset: Option<String>,
+}
+
+impl DamageScenarioBuilder {
+    /// Rates the impact in one category. Rating a category twice keeps the
+    /// higher level.
+    pub fn impact(mut self, category: ImpactCategory, level: ImpactLevel) -> Self {
+        let entry = self.impacts.entry(category).or_insert(level);
+        if level > *entry {
+            *entry = level;
+        }
+        self
+    }
+
+    /// Records the asset whose compromise causes this damage.
+    pub fn asset(mut self, asset: impl AsRef<str>) -> Self {
+        self.asset = Some(asset.as_ref().to_owned());
+        self
+    }
+
+    /// Builds the damage scenario.
+    ///
+    /// # Errors
+    ///
+    /// * [`TaraError::Id`] if an identifier is malformed.
+    /// * [`TaraError::NoImpact`] if no category was rated above
+    ///   [`ImpactLevel::Negligible`].
+    pub fn build(self) -> Result<DamageScenario, TaraError> {
+        let id = DamageScenarioId::new(self.id)?;
+        if self.impacts.values().all(|l| *l == ImpactLevel::Negligible) {
+            return Err(TaraError::NoImpact(id));
+        }
+        let asset = self.asset.map(AssetId::new).transpose()?;
+        Ok(DamageScenario { id, description: self.description, impacts: self.impacts, asset })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn safety_related_detection() {
+        let ds = DamageScenario::builder("DS1", "crash")
+            .impact(ImpactCategory::Safety, ImpactLevel::Severe)
+            .build()
+            .unwrap();
+        assert!(ds.is_safety_related());
+        assert!(!ds.is_privacy_related());
+        assert_eq!(ds.max_impact(), ImpactLevel::Severe);
+    }
+
+    #[test]
+    fn privacy_only_scenario() {
+        let ds = DamageScenario::builder("DS2", "profile building")
+            .impact(ImpactCategory::Privacy, ImpactLevel::Moderate)
+            .build()
+            .unwrap();
+        assert!(!ds.is_safety_related());
+        assert!(ds.is_privacy_related());
+    }
+
+    #[test]
+    fn unrated_category_is_negligible() {
+        let ds = DamageScenario::builder("DS3", "x")
+            .impact(ImpactCategory::Operational, ImpactLevel::Major)
+            .build()
+            .unwrap();
+        assert_eq!(ds.impact(ImpactCategory::Financial), ImpactLevel::Negligible);
+    }
+
+    #[test]
+    fn no_impact_rejected() {
+        let err = DamageScenario::builder("DS4", "nothing").build().unwrap_err();
+        assert!(matches!(err, TaraError::NoImpact(_)));
+        let err = DamageScenario::builder("DS5", "nothing")
+            .impact(ImpactCategory::Safety, ImpactLevel::Negligible)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, TaraError::NoImpact(_)));
+    }
+
+    #[test]
+    fn double_rating_keeps_higher() {
+        let ds = DamageScenario::builder("DS6", "x")
+            .impact(ImpactCategory::Safety, ImpactLevel::Major)
+            .impact(ImpactCategory::Safety, ImpactLevel::Moderate)
+            .build()
+            .unwrap();
+        assert_eq!(ds.impact(ImpactCategory::Safety), ImpactLevel::Major);
+    }
+
+    #[test]
+    fn asset_reference() {
+        let ds = DamageScenario::builder("DS7", "x")
+            .impact(ImpactCategory::Safety, ImpactLevel::Moderate)
+            .asset("GATEWAY")
+            .build()
+            .unwrap();
+        assert_eq!(ds.asset().unwrap().as_str(), "GATEWAY");
+    }
+}

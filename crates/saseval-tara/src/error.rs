@@ -1,0 +1,73 @@
+//! Error type for the TARA engine.
+
+use std::fmt;
+
+use saseval_types::{DamageScenarioId, IdError};
+
+/// Error returned by TARA construction and analysis operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TaraError {
+    /// An identifier string was malformed.
+    Id(IdError),
+    /// The damage scenario carries no impact rating at all.
+    NoImpact(DamageScenarioId),
+    /// An attack tree was built without any leaf (no attack step).
+    EmptyTree {
+        /// The tree's goal description.
+        goal: String,
+    },
+    /// An inner tree node (AND/OR) has no children.
+    EmptyInnerNode {
+        /// The node's label.
+        label: String,
+    },
+    /// Attack-path enumeration hit the configured limit.
+    PathLimitExceeded {
+        /// The configured limit.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for TaraError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TaraError::Id(e) => write!(f, "invalid identifier: {e}"),
+            TaraError::NoImpact(id) => {
+                write!(f, "damage scenario {id} carries no impact rating")
+            }
+            TaraError::EmptyTree { goal } => write!(f, "attack tree {goal:?} has no leaves"),
+            TaraError::EmptyInnerNode { label } => {
+                write!(f, "attack-tree node {label:?} has no children")
+            }
+            TaraError::PathLimitExceeded { limit } => {
+                write!(f, "attack-path enumeration exceeded the limit of {limit} paths")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TaraError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TaraError::Id(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<IdError> for TaraError {
+    fn from(e: IdError) -> Self {
+        TaraError::Id(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        assert!(TaraError::EmptyTree { goal: "open car".into() }.to_string().contains("open car"));
+        assert!(TaraError::PathLimitExceeded { limit: 10 }.to_string().contains("10"));
+    }
+}

@@ -1,0 +1,244 @@
+//! HEAVENS — the HEAling Vulnerabilities to ENhance Software Security and
+//! Safety risk-assessment model (Lautenbach et al.), the third
+//! threat-analysis technique the paper names (§III-A2).
+//!
+//! HEAVENS rates each (asset, threat) pair with
+//!
+//! * a **threat level** (TL) from four attacker-effort parameters —
+//!   expertise, knowledge about the TOE, window of opportunity,
+//!   equipment — where *lower* summed effort means a *higher* threat, and
+//! * an **impact level** (IL) from four impact parameters — safety,
+//!   financial, operational, privacy & legislation —
+//!
+//! and combines them in a TL × IL matrix into a **security level**
+//! (QM, Low, Medium, High, Critical). SaSeVAL uses the outcome the same
+//! way as SAHARA's: high-security-level, safety-impacting threats are the
+//! ones the threat library must carry into attack descriptions.
+
+use serde::{Deserialize, Serialize};
+
+use crate::damage::{ImpactCategory, ImpactLevel};
+
+/// HEAVENS threat-level parameters (attacker effort; each 0–3 where
+/// higher means *harder* for the attacker).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct ThreatParameters {
+    /// Required expertise (0 = layman, 3 = multiple experts).
+    pub expertise: u8,
+    /// Required knowledge about the target of evaluation.
+    pub knowledge: u8,
+    /// Window of opportunity (0 = unlimited, 3 = very small).
+    pub window: u8,
+    /// Required equipment (0 = standard, 3 = multiple bespoke).
+    pub equipment: u8,
+}
+
+impl ThreatParameters {
+    /// Creates parameters, clamping each to 0–3.
+    pub fn new(expertise: u8, knowledge: u8, window: u8, equipment: u8) -> Self {
+        ThreatParameters {
+            expertise: expertise.min(3),
+            knowledge: knowledge.min(3),
+            window: window.min(3),
+            equipment: equipment.min(3),
+        }
+    }
+
+    /// The summed attacker effort (0–12).
+    pub fn effort(self) -> u8 {
+        self.expertise + self.knowledge + self.window + self.equipment
+    }
+
+    /// The HEAVENS threat level: low effort ⇒ high threat.
+    pub fn threat_level(self) -> ThreatLevel {
+        match self.effort() {
+            0..=2 => ThreatLevel::High,
+            3..=5 => ThreatLevel::Medium,
+            6..=9 => ThreatLevel::Low,
+            _ => ThreatLevel::None,
+        }
+    }
+}
+
+/// HEAVENS threat level (TL).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ThreatLevel {
+    /// Practically infeasible.
+    None,
+    /// Low threat.
+    Low,
+    /// Medium threat.
+    Medium,
+    /// High threat.
+    High,
+}
+
+/// HEAVENS impact level (IL) aggregated over the four impact categories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum HeavensImpact {
+    /// No impact.
+    None,
+    /// Low impact.
+    Low,
+    /// Medium impact.
+    Medium,
+    /// High impact.
+    High,
+}
+
+/// Aggregates SFOP impact ratings into the HEAVENS impact level.
+/// Safety impact dominates: a severe safety impact is always
+/// [`HeavensImpact::High`].
+pub fn impact_level(ratings: &[(ImpactCategory, ImpactLevel)]) -> HeavensImpact {
+    let mut score = 0u32;
+    for (category, level) in ratings {
+        let weight = match category {
+            ImpactCategory::Safety => 10,
+            ImpactCategory::Financial => 3,
+            ImpactCategory::Operational => 3,
+            ImpactCategory::Privacy => 2,
+        };
+        let magnitude = match level {
+            ImpactLevel::Negligible => 0,
+            ImpactLevel::Moderate => 1,
+            ImpactLevel::Major => 2,
+            ImpactLevel::Severe => 3,
+        };
+        score += weight * magnitude;
+    }
+    match score {
+        0 => HeavensImpact::None,
+        1..=6 => HeavensImpact::Low,
+        7..=19 => HeavensImpact::Medium,
+        _ => HeavensImpact::High,
+    }
+}
+
+/// HEAVENS security level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum HeavensSecurityLevel {
+    /// Quality management only.
+    Qm,
+    /// Low.
+    Low,
+    /// Medium.
+    Medium,
+    /// High.
+    High,
+    /// Critical.
+    Critical,
+}
+
+impl std::fmt::Display for HeavensSecurityLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            HeavensSecurityLevel::Qm => "QM",
+            HeavensSecurityLevel::Low => "Low",
+            HeavensSecurityLevel::Medium => "Medium",
+            HeavensSecurityLevel::High => "High",
+            HeavensSecurityLevel::Critical => "Critical",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The HEAVENS TL × IL security-level matrix.
+pub fn heavens_security_level(tl: ThreatLevel, il: HeavensImpact) -> HeavensSecurityLevel {
+    use HeavensImpact as I;
+    use HeavensSecurityLevel as S;
+    use ThreatLevel as T;
+    match (tl, il) {
+        (T::None, _) | (_, I::None) => S::Qm,
+        (T::Low, I::Low) => S::Low,
+        (T::Low, I::Medium) | (T::Medium, I::Low) => S::Low,
+        (T::Low, I::High) | (T::Medium, I::Medium) | (T::High, I::Low) => S::Medium,
+        (T::Medium, I::High) | (T::High, I::Medium) => S::High,
+        (T::High, I::High) => S::Critical,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effort_maps_to_threat_level() {
+        assert_eq!(ThreatParameters::new(0, 0, 0, 0).threat_level(), ThreatLevel::High);
+        assert_eq!(ThreatParameters::new(1, 1, 1, 1).threat_level(), ThreatLevel::Medium);
+        assert_eq!(ThreatParameters::new(2, 2, 2, 1).threat_level(), ThreatLevel::Low);
+        assert_eq!(ThreatParameters::new(3, 3, 3, 3).threat_level(), ThreatLevel::None);
+    }
+
+    #[test]
+    fn parameters_clamped() {
+        let p = ThreatParameters::new(9, 9, 9, 9);
+        assert_eq!(p.effort(), 12);
+    }
+
+    #[test]
+    fn safety_impact_dominates() {
+        let safety_only = impact_level(&[(ImpactCategory::Safety, ImpactLevel::Severe)]);
+        assert_eq!(safety_only, HeavensImpact::High);
+        let money_only = impact_level(&[(ImpactCategory::Financial, ImpactLevel::Severe)]);
+        assert!(money_only < HeavensImpact::High);
+    }
+
+    #[test]
+    fn no_impact_is_none() {
+        assert_eq!(impact_level(&[]), HeavensImpact::None);
+        assert_eq!(
+            impact_level(&[(ImpactCategory::Privacy, ImpactLevel::Negligible)]),
+            HeavensImpact::None
+        );
+    }
+
+    #[test]
+    fn matrix_corners() {
+        assert_eq!(
+            heavens_security_level(ThreatLevel::High, HeavensImpact::High),
+            HeavensSecurityLevel::Critical
+        );
+        assert_eq!(
+            heavens_security_level(ThreatLevel::None, HeavensImpact::High),
+            HeavensSecurityLevel::Qm
+        );
+        assert_eq!(
+            heavens_security_level(ThreatLevel::High, HeavensImpact::None),
+            HeavensSecurityLevel::Qm
+        );
+        assert_eq!(
+            heavens_security_level(ThreatLevel::Low, HeavensImpact::Low),
+            HeavensSecurityLevel::Low
+        );
+    }
+
+    #[test]
+    fn matrix_monotone() {
+        let threats = [ThreatLevel::None, ThreatLevel::Low, ThreatLevel::Medium, ThreatLevel::High];
+        let impacts =
+            [HeavensImpact::None, HeavensImpact::Low, HeavensImpact::Medium, HeavensImpact::High];
+        for (i, tl) in threats.iter().enumerate() {
+            for (j, il) in impacts.iter().enumerate() {
+                let here = heavens_security_level(*tl, *il);
+                if i + 1 < threats.len() {
+                    assert!(heavens_security_level(threats[i + 1], *il) >= here);
+                }
+                if j + 1 < impacts.len() {
+                    assert!(heavens_security_level(*tl, impacts[j + 1]) >= here);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn keyless_replay_example_is_critical() {
+        // The §IV-B replay: trivial effort, life-threatening when the
+        // vehicle opens in traffic.
+        let tl = ThreatParameters::new(0, 0, 1, 1).threat_level();
+        let il = impact_level(&[
+            (ImpactCategory::Safety, ImpactLevel::Severe),
+            (ImpactCategory::Financial, ImpactLevel::Major),
+        ]);
+        assert_eq!(heavens_security_level(tl, il), HeavensSecurityLevel::Critical);
+    }
+}

@@ -1,0 +1,51 @@
+//! Threat Analysis and Risk Assessment (TARA) engine (paper §II-B).
+//!
+//! SaSeVAL enriches the TARA with an explicit link to the ISO 26262 safety
+//! analysis. This crate provides the TARA side:
+//!
+//! * [`DamageScenario`]s with ISO/SAE 21434-style impact ratings in the
+//!   four SFOP categories (safety, financial, operational, privacy),
+//! * attack-**feasibility** rating via the attack-potential approach and
+//!   the impact × feasibility **risk matrix** ([`risk_level`]),
+//! * **attack trees** with the attack goal as root and ways of achieving
+//!   it as paths from leaf nodes ([`tree`]) — the paper uses the extracted
+//!   *attack paths* to drive protocol-guided fuzz testing (§II-B, type 2),
+//! * the **TARA–HARA cross-check** ([`cross_check`]) that aligns damage
+//!   scenarios with hazardous events, classifying each damage scenario as
+//!   *comparable to a hazardous event* (refine via HARA) or
+//!   *cybersecurity-only* (not captured in HARA).
+//!
+//! # Example
+//!
+//! ```
+//! use saseval_tara::{AttackFeasibility, DamageScenario, ImpactCategory, ImpactLevel, risk_level};
+//!
+//! let ds = DamageScenario::builder("DS01", "Vehicle crashes into road works")
+//!     .impact(ImpactCategory::Safety, ImpactLevel::Severe)
+//!     .impact(ImpactCategory::Operational, ImpactLevel::Major)
+//!     .build()?;
+//! assert!(ds.is_safety_related());
+//!
+//! let risk = risk_level(ds.max_impact(), AttackFeasibility::High);
+//! assert_eq!(risk.value(), 5);
+//! # Ok::<(), saseval_tara::TaraError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod crosscheck;
+mod damage;
+mod error;
+pub mod heavens;
+mod risk;
+pub mod sahara;
+pub mod tree;
+
+pub use crosscheck::{cross_check, CrossCheckOutcome, CrossCheckReport, DamageScenarioMatch};
+pub use heavens::{heavens_security_level, HeavensSecurityLevel, ThreatLevel, ThreatParameters};
+pub use damage::{DamageScenario, DamageScenarioBuilder, ImpactCategory, ImpactLevel};
+pub use error::TaraError;
+pub use risk::{risk_level, AttackFeasibility, FeasibilityFactors, RiskLevel};
+pub use sahara::{security_level as sahara_security_level, SaharaRating, SecurityLevel};
+pub use tree::{AttackPath, AttackTree, TreeNode};

@@ -1,0 +1,195 @@
+//! Attack-feasibility rating and the impact × feasibility risk matrix.
+//!
+//! The risk assessment follows the notion that risk depends on asset,
+//! threat and vulnerability (paper §II-A); operationally we implement the
+//! ISO/SAE 21434 attack-potential approach: five factors (elapsed time,
+//! specialist expertise, knowledge of the item, window of opportunity,
+//! equipment) sum to an attack-potential score which maps to an
+//! [`AttackFeasibility`] level, combined with the damage scenario's impact
+//! in a 4×3 risk matrix to a [`RiskLevel`] of 1–5.
+
+use serde::{Deserialize, Serialize};
+
+use crate::damage::ImpactLevel;
+
+/// Attack feasibility (the inverse of required attack potential).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum AttackFeasibility {
+    /// Attack requires very high potential — feasibility low.
+    Low,
+    /// Attack requires moderate potential.
+    Medium,
+    /// Attack is easy to mount — feasibility high.
+    High,
+}
+
+impl AttackFeasibility {
+    /// All feasibility levels, ascending.
+    pub const ALL: [AttackFeasibility; 3] =
+        [AttackFeasibility::Low, AttackFeasibility::Medium, AttackFeasibility::High];
+}
+
+/// The five attack-potential factors of the ISO/SAE 21434 annex, each on a
+/// 0–4 scale where **higher means harder for the attacker**.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct FeasibilityFactors {
+    /// Elapsed time needed (0 = hours, 4 = years).
+    pub elapsed_time: u8,
+    /// Specialist expertise (0 = layman, 4 = multiple experts).
+    pub expertise: u8,
+    /// Knowledge of the item (0 = public, 4 = strictly confidential).
+    pub knowledge: u8,
+    /// Window of opportunity (0 = unlimited, 4 = difficult).
+    pub window: u8,
+    /// Equipment (0 = standard, 4 = multiple bespoke).
+    pub equipment: u8,
+}
+
+impl FeasibilityFactors {
+    /// Creates factors, clamping each to the 0–4 scale.
+    pub fn new(elapsed_time: u8, expertise: u8, knowledge: u8, window: u8, equipment: u8) -> Self {
+        FeasibilityFactors {
+            elapsed_time: elapsed_time.min(4),
+            expertise: expertise.min(4),
+            knowledge: knowledge.min(4),
+            window: window.min(4),
+            equipment: equipment.min(4),
+        }
+    }
+
+    /// The attack-potential score (sum of factors, 0–20).
+    pub fn score(self) -> u8 {
+        self.elapsed_time + self.expertise + self.knowledge + self.window + self.equipment
+    }
+
+    /// Maps the score to a feasibility level: low potential required ⇒ high
+    /// feasibility.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use saseval_tara::{AttackFeasibility, FeasibilityFactors};
+    ///
+    /// // Script-kiddie replay with an off-the-shelf radio: feasible.
+    /// let easy = FeasibilityFactors::new(0, 1, 0, 1, 1);
+    /// assert_eq!(easy.feasibility(), AttackFeasibility::High);
+    ///
+    /// // Multi-expert, bespoke-equipment, months-long effort: hard.
+    /// let hard = FeasibilityFactors::new(4, 4, 3, 2, 3);
+    /// assert_eq!(hard.feasibility(), AttackFeasibility::Low);
+    /// ```
+    pub fn feasibility(self) -> AttackFeasibility {
+        match self.score() {
+            0..=6 => AttackFeasibility::High,
+            7..=13 => AttackFeasibility::Medium,
+            _ => AttackFeasibility::Low,
+        }
+    }
+}
+
+/// A risk level on the 1–5 scale of ISO/SAE 21434.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RiskLevel(u8);
+
+impl RiskLevel {
+    /// Creates a risk level, clamping to 1–5.
+    pub fn new(value: u8) -> Self {
+        RiskLevel(value.clamp(1, 5))
+    }
+
+    /// The numeric risk value (1–5).
+    pub fn value(self) -> u8 {
+        self.0
+    }
+
+    /// Whether this risk demands treatment (risk ≥ 3 by common convention).
+    pub fn needs_treatment(self) -> bool {
+        self.0 >= 3
+    }
+}
+
+impl std::fmt::Display for RiskLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "risk {}", self.0)
+    }
+}
+
+/// The impact × feasibility risk matrix.
+///
+/// Rows are impact levels (negligible → severe), columns feasibility
+/// (low → high); values follow the ISO/SAE 21434 example matrix.
+pub fn risk_level(impact: ImpactLevel, feasibility: AttackFeasibility) -> RiskLevel {
+    let row = match impact {
+        ImpactLevel::Negligible => [1, 1, 1],
+        ImpactLevel::Moderate => [1, 2, 3],
+        ImpactLevel::Major => [2, 3, 4],
+        ImpactLevel::Severe => [3, 4, 5],
+    };
+    let col = match feasibility {
+        AttackFeasibility::Low => 0,
+        AttackFeasibility::Medium => 1,
+        AttackFeasibility::High => 2,
+    };
+    RiskLevel::new(row[col])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factors_clamped() {
+        let f = FeasibilityFactors::new(9, 9, 9, 9, 9);
+        assert_eq!(f.score(), 20);
+        assert_eq!(f.feasibility(), AttackFeasibility::Low);
+    }
+
+    #[test]
+    fn score_boundaries() {
+        assert_eq!(FeasibilityFactors::new(2, 2, 2, 0, 0).feasibility(), AttackFeasibility::High); // 6
+        assert_eq!(FeasibilityFactors::new(3, 2, 2, 0, 0).feasibility(), AttackFeasibility::Medium); // 7
+        assert_eq!(FeasibilityFactors::new(4, 4, 4, 1, 0).feasibility(), AttackFeasibility::Medium); // 13
+        assert_eq!(FeasibilityFactors::new(4, 4, 4, 2, 0).feasibility(), AttackFeasibility::Low); // 14
+    }
+
+    #[test]
+    fn matrix_corners() {
+        assert_eq!(risk_level(ImpactLevel::Negligible, AttackFeasibility::Low).value(), 1);
+        assert_eq!(risk_level(ImpactLevel::Severe, AttackFeasibility::High).value(), 5);
+        assert_eq!(risk_level(ImpactLevel::Severe, AttackFeasibility::Low).value(), 3);
+        assert_eq!(risk_level(ImpactLevel::Negligible, AttackFeasibility::High).value(), 1);
+    }
+
+    #[test]
+    fn matrix_monotone() {
+        // Risk never decreases when impact or feasibility increases.
+        for (i, impact) in ImpactLevel::ALL.iter().enumerate() {
+            for (f, feas) in AttackFeasibility::ALL.iter().enumerate() {
+                let here = risk_level(*impact, *feas);
+                if i + 1 < ImpactLevel::ALL.len() {
+                    assert!(risk_level(ImpactLevel::ALL[i + 1], *feas) >= here);
+                }
+                if f + 1 < AttackFeasibility::ALL.len() {
+                    assert!(risk_level(*impact, AttackFeasibility::ALL[f + 1]) >= here);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn risk_level_clamps() {
+        assert_eq!(RiskLevel::new(0).value(), 1);
+        assert_eq!(RiskLevel::new(9).value(), 5);
+    }
+
+    #[test]
+    fn treatment_threshold() {
+        assert!(!RiskLevel::new(2).needs_treatment());
+        assert!(RiskLevel::new(3).needs_treatment());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(RiskLevel::new(4).to_string(), "risk 4");
+    }
+}

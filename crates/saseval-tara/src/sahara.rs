@@ -1,0 +1,234 @@
+//! SAHARA — the Security-Aware Hazard Analysis and Risk Assessment method
+//! (Macher et al., DATE 2015), one of the threat-analysis techniques the
+//! paper names for threat-scenario identification (§III-A2).
+//!
+//! SAHARA quantifies a threat with three parameters:
+//!
+//! * **R** — required resources (0 = none … 3 = advanced tools),
+//! * **K** — required know-how (0 = layman … 3 = domain expert),
+//! * **T** — threat criticality (0 = annoyance … 3 = life threatening),
+//!
+//! and combines them into a **security level** (SecL 0–4) via a lookup
+//! table: low required resources/know-how and high criticality yield high
+//! SecL. Threats whose criticality indicates possible safety impact
+//! (T ≥ 2 in this implementation, configurable) are handed to the safety
+//! analysis — exactly the SAHARA→HARA hand-over SaSeVAL's Step 1 relies
+//! on when it routes safety-relevant threat scenarios into attack
+//! descriptions.
+
+use serde::{Deserialize, Serialize};
+
+use saseval_types::ThreatScenarioId;
+
+/// Required attacker resources (R).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Resources {
+    /// No tools required.
+    R0,
+    /// Standard tools (laptop, off-the-shelf radio).
+    R1,
+    /// Non-standard tools (debuggers, custom boards).
+    R2,
+    /// Advanced tools (bespoke hardware, lab equipment).
+    R3,
+}
+
+/// Required attacker know-how (K).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum KnowHow {
+    /// No prior knowledge (black-box).
+    K0,
+    /// Technical knowledge.
+    K1,
+    /// Focused domain knowledge.
+    K2,
+    /// Insider/confidential knowledge.
+    K3,
+}
+
+/// Threat criticality (T).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Criticality {
+    /// No security impact beyond annoyance.
+    T0,
+    /// Moderate impact (privacy, availability nuisances).
+    T1,
+    /// Damage of goods, degraded vehicle functions.
+    T2,
+    /// Possible life-threatening impact.
+    T3,
+}
+
+/// The SAHARA security level (SecL).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SecurityLevel(u8);
+
+impl SecurityLevel {
+    /// Creates a security level, clamping to 0–4.
+    pub fn new(value: u8) -> Self {
+        SecurityLevel(value.min(4))
+    }
+
+    /// The numeric level (0–4).
+    pub fn value(self) -> u8 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for SecurityLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SecL {}", self.0)
+    }
+}
+
+/// Determines the SAHARA security level from R, K and T.
+///
+/// The table follows Macher et al.: the attack-effort sum `R + K`
+/// (0–6, lower = easier) selects how far the criticality can raise the
+/// level. A zero-criticality threat is always SecL 0.
+///
+/// # Example
+///
+/// ```
+/// use saseval_tara::sahara::{security_level, Criticality, KnowHow, Resources};
+///
+/// // Replay with an off-the-shelf radio threatening life: maximum level.
+/// let secl = security_level(Resources::R1, KnowHow::K0, Criticality::T3);
+/// assert_eq!(secl.value(), 4);
+/// // The same attack requiring insider knowledge and a lab: much lower.
+/// let secl = security_level(Resources::R3, KnowHow::K3, Criticality::T3);
+/// assert_eq!(secl.value(), 1);
+/// ```
+pub fn security_level(r: Resources, k: KnowHow, t: Criticality) -> SecurityLevel {
+    if t == Criticality::T0 {
+        return SecurityLevel::new(0);
+    }
+    let effort = r as u8 + k as u8; // 0..=6, lower is easier
+    let tv = t as u8; // 1..=3
+    // Base level from criticality, reduced by attack effort.
+    let level = (tv + 1).saturating_sub(effort / 2);
+    SecurityLevel::new(level)
+}
+
+/// One row of a SAHARA analysis.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SaharaRating {
+    /// The rated threat scenario.
+    pub threat_scenario: ThreatScenarioId,
+    /// Required resources.
+    pub resources: Resources,
+    /// Required know-how.
+    pub know_how: KnowHow,
+    /// Threat criticality.
+    pub criticality: Criticality,
+}
+
+impl SaharaRating {
+    /// Creates a rating.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`saseval_types::IdError`] if the threat-scenario ID is
+    /// malformed.
+    pub fn new(
+        threat_scenario: impl AsRef<str>,
+        resources: Resources,
+        know_how: KnowHow,
+        criticality: Criticality,
+    ) -> Result<Self, saseval_types::IdError> {
+        Ok(SaharaRating {
+            threat_scenario: ThreatScenarioId::new(threat_scenario.as_ref())?,
+            resources,
+            know_how,
+            criticality,
+        })
+    }
+
+    /// The security level of this rating.
+    pub fn security_level(&self) -> SecurityLevel {
+        security_level(self.resources, self.know_how, self.criticality)
+    }
+
+    /// Whether SAHARA hands this threat to the safety analysis
+    /// (criticality indicates possible safety impact).
+    pub fn is_safety_relevant(&self) -> bool {
+        self.criticality >= Criticality::T2
+    }
+}
+
+/// Filters a SAHARA analysis down to the threats the HARA must consider —
+/// the SAHARA→HARA hand-over of SaSeVAL Step 1.
+pub fn safety_relevant(ratings: &[SaharaRating]) -> Vec<&SaharaRating> {
+    ratings.iter().filter(|r| r.is_safety_relevant()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_criticality_is_secl_zero() {
+        for r in [Resources::R0, Resources::R3] {
+            for k in [KnowHow::K0, KnowHow::K3] {
+                assert_eq!(security_level(r, k, Criticality::T0).value(), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn easy_lethal_attacks_get_max_level() {
+        assert_eq!(security_level(Resources::R0, KnowHow::K0, Criticality::T3).value(), 4);
+        assert_eq!(security_level(Resources::R1, KnowHow::K0, Criticality::T3).value(), 4);
+    }
+
+    #[test]
+    fn effort_reduces_level() {
+        let easy = security_level(Resources::R0, KnowHow::K0, Criticality::T2);
+        let medium = security_level(Resources::R2, KnowHow::K1, Criticality::T2);
+        let hard = security_level(Resources::R3, KnowHow::K3, Criticality::T2);
+        assert!(easy > medium);
+        assert!(medium > hard);
+    }
+
+    #[test]
+    fn level_monotone_in_criticality() {
+        for r in [Resources::R0, Resources::R1, Resources::R2, Resources::R3] {
+            for k in [KnowHow::K0, KnowHow::K1, KnowHow::K2, KnowHow::K3] {
+                let mut last = security_level(r, k, Criticality::T0);
+                for t in [Criticality::T1, Criticality::T2, Criticality::T3] {
+                    let now = security_level(r, k, t);
+                    assert!(now >= last, "{r:?} {k:?} {t:?}");
+                    last = now;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn safety_relevance_threshold() {
+        let nuisance =
+            SaharaRating::new("TS-1", Resources::R0, KnowHow::K0, Criticality::T1).unwrap();
+        let lethal =
+            SaharaRating::new("TS-2", Resources::R0, KnowHow::K0, Criticality::T3).unwrap();
+        assert!(!nuisance.is_safety_relevant());
+        assert!(lethal.is_safety_relevant());
+        let ratings = [nuisance, lethal];
+        let relevant = safety_relevant(&ratings);
+        assert_eq!(relevant.len(), 1);
+        assert_eq!(relevant[0].threat_scenario.as_str(), "TS-2");
+    }
+
+    #[test]
+    fn rating_exposes_level() {
+        let rating =
+            SaharaRating::new("TS-BLE-REPLAY", Resources::R1, KnowHow::K1, Criticality::T3)
+                .unwrap();
+        assert_eq!(rating.security_level().value(), 3);
+        assert_eq!(rating.security_level().to_string(), "SecL 3");
+    }
+
+    #[test]
+    fn invalid_id_rejected() {
+        assert!(SaharaRating::new("bad id", Resources::R0, KnowHow::K0, Criticality::T1).is_err());
+    }
+}

@@ -1,0 +1,410 @@
+//! Attack trees and attack-path extraction (paper §II-B).
+//!
+//! "The TARA attack trees (with the goal as root node and ways of achieving
+//! that goal as paths from leaf nodes) provide a methodical way to
+//! describing the security of systems. The attack trees are used to create
+//! TARA attack paths, which define the interfaces for protocol-guided
+//! automated or semi-automated fuzz testing."
+//!
+//! A tree node is a [`TreeNode::Leaf`] (a concrete attack step, optionally
+//! bound to an attackable interface), an [`TreeNode::Or`] (any child
+//! achieves the parent) or an [`TreeNode::And`] (all children are needed).
+//! [`AttackTree::paths`] enumerates every minimal combination of leaves
+//! that achieves the root goal; `saseval-fuzz` schedules fuzzing campaigns
+//! over the interfaces those paths name and reports percentage coverage.
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+use saseval_types::InterfaceId;
+
+use crate::error::TaraError;
+
+/// One step of an attack path: the leaf label plus its bound interface.
+type PathStep = (String, Option<InterfaceId>);
+
+/// A node of an attack tree.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TreeNode {
+    /// A concrete attack step.
+    Leaf {
+        /// Human-readable step description.
+        label: String,
+        /// The interface the step acts on, if bound.
+        interface: Option<InterfaceId>,
+    },
+    /// All children must be achieved.
+    And {
+        /// Node label.
+        label: String,
+        /// Child nodes (non-empty, validated by [`AttackTree::new`]).
+        children: Vec<TreeNode>,
+    },
+    /// Any one child suffices.
+    Or {
+        /// Node label.
+        label: String,
+        /// Child nodes (non-empty, validated by [`AttackTree::new`]).
+        children: Vec<TreeNode>,
+    },
+}
+
+impl TreeNode {
+    /// Convenience constructor for an unbound leaf.
+    pub fn leaf(label: impl Into<String>) -> TreeNode {
+        TreeNode::Leaf { label: label.into(), interface: None }
+    }
+
+    /// Convenience constructor for a leaf bound to an interface.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interface` is not a valid identifier (dataset bug).
+    pub fn leaf_on(label: impl Into<String>, interface: &str) -> TreeNode {
+        TreeNode::Leaf {
+            label: label.into(),
+            interface: Some(
+                InterfaceId::new(interface).expect("valid interface id for attack-tree leaf"),
+            ),
+        }
+    }
+
+    /// Convenience constructor for an AND node.
+    pub fn and(label: impl Into<String>, children: Vec<TreeNode>) -> TreeNode {
+        TreeNode::And { label: label.into(), children }
+    }
+
+    /// Convenience constructor for an OR node.
+    pub fn or(label: impl Into<String>, children: Vec<TreeNode>) -> TreeNode {
+        TreeNode::Or { label: label.into(), children }
+    }
+
+    fn validate(&self) -> Result<(), TaraError> {
+        match self {
+            TreeNode::Leaf { .. } => Ok(()),
+            TreeNode::And { label, children } | TreeNode::Or { label, children } => {
+                if children.is_empty() {
+                    return Err(TaraError::EmptyInnerNode { label: label.clone() });
+                }
+                children.iter().try_for_each(TreeNode::validate)
+            }
+        }
+    }
+
+    fn count_leaves(&self) -> usize {
+        match self {
+            TreeNode::Leaf { .. } => 1,
+            TreeNode::And { children, .. } | TreeNode::Or { children, .. } => {
+                children.iter().map(TreeNode::count_leaves).sum()
+            }
+        }
+    }
+
+    fn collect_interfaces<'a>(&'a self, out: &mut BTreeSet<&'a InterfaceId>) {
+        match self {
+            TreeNode::Leaf { interface, .. } => {
+                if let Some(i) = interface {
+                    out.insert(i);
+                }
+            }
+            TreeNode::And { children, .. } | TreeNode::Or { children, .. } => {
+                children.iter().for_each(|c| c.collect_interfaces(out));
+            }
+        }
+    }
+
+    /// Enumerates paths bottom-up. Each returned path is a sequence of
+    /// (label, interface) steps.
+    fn paths(&self, limit: usize) -> Result<Vec<Vec<PathStep>>, TaraError> {
+        match self {
+            TreeNode::Leaf { label, interface } => {
+                Ok(vec![vec![(label.clone(), interface.clone())]])
+            }
+            TreeNode::Or { children, .. } => {
+                let mut all = Vec::new();
+                for child in children {
+                    all.extend(child.paths(limit)?);
+                    if all.len() > limit {
+                        return Err(TaraError::PathLimitExceeded { limit });
+                    }
+                }
+                Ok(all)
+            }
+            TreeNode::And { children, .. } => {
+                // Cartesian product of child path sets, concatenated in
+                // child order.
+                let mut acc: Vec<Vec<PathStep>> = vec![Vec::new()];
+                for child in children {
+                    let child_paths = child.paths(limit)?;
+                    let mut next = Vec::with_capacity(acc.len() * child_paths.len());
+                    for prefix in &acc {
+                        for cp in &child_paths {
+                            let mut path = prefix.clone();
+                            path.extend(cp.iter().cloned());
+                            next.push(path);
+                            if next.len() > limit {
+                                return Err(TaraError::PathLimitExceeded { limit });
+                            }
+                        }
+                    }
+                    acc = next;
+                }
+                Ok(acc)
+            }
+        }
+    }
+}
+
+/// One attack path: a minimal ordered sequence of attack steps that
+/// achieves the tree's goal.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AttackPath {
+    goal: String,
+    steps: Vec<PathStep>,
+}
+
+impl AttackPath {
+    /// The goal this path achieves (the tree root).
+    pub fn goal(&self) -> &str {
+        &self.goal
+    }
+
+    /// The step labels in execution order.
+    pub fn steps(&self) -> impl Iterator<Item = &str> {
+        self.steps.iter().map(|(label, _)| label.as_str())
+    }
+
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether the path has no steps (never true for validated trees).
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// The distinct interfaces this path touches — the fuzz-testing targets
+    /// of paper §II-B.
+    pub fn interfaces(&self) -> BTreeSet<&InterfaceId> {
+        self.steps.iter().filter_map(|(_, i)| i.as_ref()).collect()
+    }
+}
+
+/// An attack tree with the attack goal as root.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AttackTree {
+    goal: String,
+    root: TreeNode,
+}
+
+impl AttackTree {
+    /// Default bound on path enumeration.
+    pub const DEFAULT_PATH_LIMIT: usize = 10_000;
+
+    /// Creates and validates an attack tree.
+    ///
+    /// # Errors
+    ///
+    /// * [`TaraError::EmptyTree`] if the tree contains no leaf.
+    /// * [`TaraError::EmptyInnerNode`] if an AND/OR node has no children.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use saseval_tara::tree::{AttackTree, TreeNode};
+    ///
+    /// let tree = AttackTree::new(
+    ///     "Open the vehicle without authorization",
+    ///     TreeNode::or("entry", vec![
+    ///         TreeNode::and("relay attack", vec![
+    ///             TreeNode::leaf_on("relay BLE advertisement", "BLE_PHONE"),
+    ///             TreeNode::leaf_on("forward challenge to real key", "BLE_PHONE"),
+    ///         ]),
+    ///         TreeNode::leaf_on("replay recorded open command", "BLE_PHONE"),
+    ///     ]),
+    /// )?;
+    /// assert_eq!(tree.paths()?.len(), 2);
+    /// # Ok::<(), saseval_tara::TaraError>(())
+    /// ```
+    pub fn new(goal: impl Into<String>, root: TreeNode) -> Result<Self, TaraError> {
+        let goal = goal.into();
+        root.validate()?;
+        if root.count_leaves() == 0 {
+            return Err(TaraError::EmptyTree { goal });
+        }
+        Ok(AttackTree { goal, root })
+    }
+
+    /// The attack goal (root label).
+    pub fn goal(&self) -> &str {
+        &self.goal
+    }
+
+    /// The root node.
+    pub fn root(&self) -> &TreeNode {
+        &self.root
+    }
+
+    /// Total number of leaves (attack steps) in the tree.
+    pub fn leaf_count(&self) -> usize {
+        self.root.count_leaves()
+    }
+
+    /// All distinct interfaces named by leaves.
+    pub fn interfaces(&self) -> BTreeSet<&InterfaceId> {
+        let mut out = BTreeSet::new();
+        self.root.collect_interfaces(&mut out);
+        out
+    }
+
+    /// Enumerates all attack paths, bounded by
+    /// [`DEFAULT_PATH_LIMIT`](Self::DEFAULT_PATH_LIMIT).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TaraError::PathLimitExceeded`] if the tree has more paths
+    /// than the default limit; use [`paths_bounded`](Self::paths_bounded)
+    /// to raise it.
+    pub fn paths(&self) -> Result<Vec<AttackPath>, TaraError> {
+        self.paths_bounded(Self::DEFAULT_PATH_LIMIT)
+    }
+
+    /// Enumerates all attack paths, bounded by `limit`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TaraError::PathLimitExceeded`] if enumeration exceeds
+    /// `limit` paths.
+    pub fn paths_bounded(&self, limit: usize) -> Result<Vec<AttackPath>, TaraError> {
+        Ok(self
+            .root
+            .paths(limit)?
+            .into_iter()
+            .map(|steps| AttackPath { goal: self.goal.clone(), steps })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keyless_tree() -> AttackTree {
+        AttackTree::new(
+            "Open the vehicle",
+            TreeNode::or(
+                "entry",
+                vec![
+                    TreeNode::and(
+                        "relay",
+                        vec![
+                            TreeNode::leaf_on("relay advertisement", "BLE_PHONE"),
+                            TreeNode::leaf_on("forward challenge", "BLE_PHONE"),
+                        ],
+                    ),
+                    TreeNode::leaf_on("replay open command", "BLE_PHONE"),
+                    TreeNode::and(
+                        "spoof key",
+                        vec![
+                            TreeNode::leaf("guess key id"),
+                            TreeNode::leaf_on("send forged open", "ECU_GW"),
+                        ],
+                    ),
+                ],
+            ),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn single_leaf_tree() {
+        let t = AttackTree::new("g", TreeNode::leaf("step")).unwrap();
+        let paths = t.paths().unwrap();
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].steps().collect::<Vec<_>>(), ["step"]);
+        assert_eq!(t.leaf_count(), 1);
+    }
+
+    #[test]
+    fn or_yields_one_path_per_child() {
+        let t = keyless_tree();
+        let paths = t.paths().unwrap();
+        assert_eq!(paths.len(), 3);
+        // AND paths contain all their leaves, in order.
+        let relay = &paths[0];
+        assert_eq!(relay.len(), 2);
+        assert_eq!(
+            relay.steps().collect::<Vec<_>>(),
+            ["relay advertisement", "forward challenge"]
+        );
+    }
+
+    #[test]
+    fn nested_and_of_ors_is_cartesian() {
+        let t = AttackTree::new(
+            "g",
+            TreeNode::and(
+                "both",
+                vec![
+                    TreeNode::or("a", vec![TreeNode::leaf("a1"), TreeNode::leaf("a2")]),
+                    TreeNode::or("b", vec![TreeNode::leaf("b1"), TreeNode::leaf("b2"), TreeNode::leaf("b3")]),
+                ],
+            ),
+        )
+        .unwrap();
+        assert_eq!(t.paths().unwrap().len(), 6);
+    }
+
+    #[test]
+    fn interfaces_collected() {
+        let t = keyless_tree();
+        let ifaces: Vec<&str> = t.interfaces().iter().map(|i| i.as_str()).collect();
+        assert_eq!(ifaces, ["BLE_PHONE", "ECU_GW"]);
+        // Path-level interfaces.
+        let paths = t.paths().unwrap();
+        assert_eq!(paths[2].interfaces().len(), 1);
+    }
+
+    #[test]
+    fn empty_inner_node_rejected() {
+        let err = AttackTree::new("g", TreeNode::or("empty", vec![])).unwrap_err();
+        assert!(matches!(err, TaraError::EmptyInnerNode { .. }));
+        // Nested empties are caught too.
+        let err = AttackTree::new(
+            "g",
+            TreeNode::and("outer", vec![TreeNode::leaf("x"), TreeNode::or("inner", vec![])]),
+        )
+        .unwrap_err();
+        assert!(matches!(err, TaraError::EmptyInnerNode { .. }));
+    }
+
+    #[test]
+    fn path_limit_enforced() {
+        // AND of 4 ORs with 10 children each: 10^4 paths > limit 100.
+        let ors: Vec<TreeNode> = (0..4)
+            .map(|i| {
+                TreeNode::or(
+                    format!("or{i}"),
+                    (0..10).map(|j| TreeNode::leaf(format!("l{i}-{j}"))).collect(),
+                )
+            })
+            .collect();
+        let t = AttackTree::new("g", TreeNode::and("all", ors)).unwrap();
+        assert!(matches!(
+            t.paths_bounded(100),
+            Err(TaraError::PathLimitExceeded { limit: 100 })
+        ));
+        assert_eq!(t.paths_bounded(20_000).unwrap().len(), 10_000);
+    }
+
+    #[test]
+    fn goal_propagated_to_paths() {
+        let t = keyless_tree();
+        for p in t.paths().unwrap() {
+            assert_eq!(p.goal(), "Open the vehicle");
+            assert!(!p.is_empty());
+        }
+    }
+}

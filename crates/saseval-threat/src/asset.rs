@@ -1,0 +1,216 @@
+//! Assets — the targets an attacker can act on (paper Table II, §III-A1).
+
+use serde::{Deserialize, Serialize};
+
+use saseval_types::{AssetClass, AssetGroup, AssetId, InterfaceId, ScenarioId};
+
+use crate::error::ThreatLibraryError;
+
+/// An asset of a scenario, e.g. the *Gateway*, the *ECU* or the *V2X
+/// communications* of paper Table II.
+///
+/// An asset belongs to one or more [`AssetGroup`]s ("ECU" is
+/// Hardware **and** Software in Table II), is classified into
+/// [`AssetClass`]es for prioritization (§III-A2, RQ2) and exposes zero or
+/// more attackable interfaces (used by attack descriptions, e.g. `OBU_RSU`
+/// in Table VI).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Asset {
+    id: AssetId,
+    name: String,
+    groups: Vec<AssetGroup>,
+    classes: Vec<AssetClass>,
+    scenarios: Vec<ScenarioId>,
+    interfaces: Vec<InterfaceId>,
+}
+
+impl Asset {
+    /// Starts building an asset.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use saseval_threat::Asset;
+    /// use saseval_types::{AssetClass, AssetGroup};
+    ///
+    /// let ecu = Asset::builder("ECU", "Electronic control unit")
+    ///     .group(AssetGroup::Hardware)
+    ///     .group(AssetGroup::Software)
+    ///     .class(AssetClass::GenericCurrentVehicles)
+    ///     .interface("ECU_GW")
+    ///     .build()?;
+    /// assert_eq!(ecu.groups().len(), 2);
+    /// # Ok::<(), saseval_threat::ThreatLibraryError>(())
+    /// ```
+    pub fn builder(id: impl AsRef<str>, name: impl Into<String>) -> AssetBuilder {
+        AssetBuilder {
+            id: id.as_ref().to_owned(),
+            name: name.into(),
+            groups: Vec::new(),
+            classes: Vec::new(),
+            scenarios: Vec::new(),
+            interfaces: Vec::new(),
+        }
+    }
+
+    /// The asset's identifier.
+    pub fn id(&self) -> &AssetId {
+        &self.id
+    }
+
+    /// The asset's human-readable name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The asset groups this asset belongs to (at least one).
+    pub fn groups(&self) -> &[AssetGroup] {
+        &self.groups
+    }
+
+    /// The prioritization classes of this asset (may be empty).
+    pub fn classes(&self) -> &[AssetClass] {
+        &self.classes
+    }
+
+    /// The scenarios this asset appears in.
+    pub fn scenarios(&self) -> &[ScenarioId] {
+        &self.scenarios
+    }
+
+    /// The attackable interfaces this asset exposes.
+    pub fn interfaces(&self) -> &[InterfaceId] {
+        &self.interfaces
+    }
+
+    /// The highest analysis priority over this asset's classes
+    /// (0 if unclassified).
+    pub fn priority(&self) -> u8 {
+        self.classes.iter().map(|c| c.priority()).max().unwrap_or(0)
+    }
+}
+
+/// Builder for [`Asset`] (see [`Asset::builder`]).
+#[derive(Debug, Clone)]
+pub struct AssetBuilder {
+    id: String,
+    name: String,
+    groups: Vec<AssetGroup>,
+    classes: Vec<AssetClass>,
+    scenarios: Vec<String>,
+    interfaces: Vec<String>,
+}
+
+impl AssetBuilder {
+    /// Adds an asset group.
+    pub fn group(mut self, group: AssetGroup) -> Self {
+        if !self.groups.contains(&group) {
+            self.groups.push(group);
+        }
+        self
+    }
+
+    /// Adds a prioritization class.
+    pub fn class(mut self, class: AssetClass) -> Self {
+        if !self.classes.contains(&class) {
+            self.classes.push(class);
+        }
+        self
+    }
+
+    /// Associates the asset with a scenario.
+    pub fn scenario(mut self, scenario: impl AsRef<str>) -> Self {
+        self.scenarios.push(scenario.as_ref().to_owned());
+        self
+    }
+
+    /// Declares an attackable interface.
+    pub fn interface(mut self, interface: impl AsRef<str>) -> Self {
+        self.interfaces.push(interface.as_ref().to_owned());
+        self
+    }
+
+    /// Builds the asset.
+    ///
+    /// # Errors
+    ///
+    /// * [`ThreatLibraryError::Id`] if any identifier is malformed.
+    /// * [`ThreatLibraryError::AssetWithoutGroup`] if no group was added —
+    ///   Table II assigns every asset at least one group.
+    pub fn build(self) -> Result<Asset, ThreatLibraryError> {
+        let id = AssetId::new(self.id)?;
+        if self.groups.is_empty() {
+            return Err(ThreatLibraryError::AssetWithoutGroup(id));
+        }
+        let scenarios = self
+            .scenarios
+            .into_iter()
+            .map(ScenarioId::new)
+            .collect::<Result<Vec<_>, _>>()?;
+        let interfaces = self
+            .interfaces
+            .into_iter()
+            .map(InterfaceId::new)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Asset {
+            id,
+            name: self.name,
+            groups: self.groups,
+            classes: self.classes,
+            scenarios,
+            interfaces,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_ii_style_asset() {
+        let a = Asset::builder("V2X_COMM", "V2X communications")
+            .group(AssetGroup::Information)
+            .group(AssetGroup::Hardware)
+            .class(AssetClass::GenericConnected)
+            .scenario("SC-ACCESS")
+            .interface("OBU_RSU")
+            .build()
+            .unwrap();
+        assert_eq!(a.groups(), [AssetGroup::Information, AssetGroup::Hardware]);
+        assert_eq!(a.priority(), AssetClass::GenericConnected.priority());
+        assert_eq!(a.interfaces()[0].as_str(), "OBU_RSU");
+    }
+
+    #[test]
+    fn group_required() {
+        let err = Asset::builder("A1", "bare").build().unwrap_err();
+        assert!(matches!(err, ThreatLibraryError::AssetWithoutGroup(_)));
+    }
+
+    #[test]
+    fn duplicate_groups_deduplicated() {
+        let a = Asset::builder("A1", "x")
+            .group(AssetGroup::Hardware)
+            .group(AssetGroup::Hardware)
+            .build()
+            .unwrap();
+        assert_eq!(a.groups().len(), 1);
+    }
+
+    #[test]
+    fn unclassified_asset_has_zero_priority() {
+        let a = Asset::builder("A1", "x").group(AssetGroup::Person).build().unwrap();
+        assert_eq!(a.priority(), 0);
+    }
+
+    #[test]
+    fn malformed_interface_rejected() {
+        let err = Asset::builder("A1", "x")
+            .group(AssetGroup::Hardware)
+            .interface("has space")
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ThreatLibraryError::Id(_)));
+    }
+}

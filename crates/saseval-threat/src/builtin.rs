@@ -1,0 +1,676 @@
+//! The built-in automotive threat library.
+//!
+//! [`automotive_library`] reproduces the paper's proof-of-concept library:
+//! the driving scenarios of Table I, the assets of Table II, the threat
+//! scenarios of Table III, and the full mapping chain of Table V, extended
+//! with the threat scenarios referenced by the two §IV use cases (threat
+//! scenario 2.1.4 for attack AD20 of Table VI, threat scenario 3.1.4 for
+//! attack AD08 of Table VII, the replay/flooding threats discussed in the
+//! §IV prose).
+//!
+//! The table-accessor functions ([`table_i_rows`], [`table_ii_rows`],
+//! [`table_iii_rows`], [`table_v_rows`]) return exactly the rows the paper
+//! prints, in print order, so the `saseval-bench` repro binaries can
+//! regenerate the tables verbatim.
+
+use serde::{Deserialize, Serialize};
+
+use saseval_types::{AssetClass, AssetGroup, AttackType, AttackerProfile, ThreatType};
+
+use crate::asset::Asset;
+use crate::library::ThreatLibrary;
+use crate::scenario::{Scenario, SubScenario};
+use crate::threat::ThreatScenario;
+
+/// Scenario ID: road intersection (Table I, row 1).
+pub const SC_INTERSECTION: &str = "SC-INTERSECTION";
+/// Scenario ID: keep car secure for the whole product lifetime (Table I, row 2).
+pub const SC_SECURE_LIFETIME: &str = "SC-SECURE-LIFETIME";
+/// Scenario ID: advanced access to vehicle (Table I, row 3).
+pub const SC_ACCESS: &str = "SC-ACCESS";
+/// Scenario ID: Use Case I — autonomous vehicle approaching a construction
+/// site (paper Fig. 2).
+pub const SC_CONSTRUCTION: &str = "SC-CONSTRUCTION";
+/// Scenario ID: Use Case II — keyless car opener via smartphone/BLE.
+pub const SC_KEYLESS: &str = "SC-KEYLESS";
+
+/// Threat scenario 2.1.4 — the library entry Table VI's attack AD20 links to.
+pub const TS_GATEWAY_DOS: &str = "TS-2.1.4";
+/// Threat scenario 3.1.4 — the library entry Table VII's attack AD08 links to.
+pub const TS_SPOOF_IMPERSONATION: &str = "TS-3.1.4";
+
+/// Builds the complete built-in automotive threat library.
+///
+/// The library validates by construction; this function panics only on
+/// programming errors in the embedded dataset (it is exercised by tests).
+///
+/// # Example
+///
+/// ```
+/// use saseval_threat::builtin::automotive_library;
+/// let lib = automotive_library();
+/// assert!(lib.stats().threat_scenarios >= 17);
+/// ```
+pub fn automotive_library() -> ThreatLibrary {
+    let mut lib = ThreatLibrary::new();
+    add_scenarios(&mut lib);
+    add_assets(&mut lib);
+    add_threats(&mut lib);
+    lib
+}
+
+fn add_scenarios(lib: &mut ThreatLibrary) {
+    let mut intersection = Scenario::new(SC_INTERSECTION, "Road intersection").expect("id");
+    intersection
+        .push_sub_scenario(
+            SubScenario::new(
+                "SUB-INT-1",
+                "An intersection with traffic lights is approached by a hijacked automated \
+                 vehicle that has no intention to stop",
+            )
+            .expect("id"),
+        )
+        .push_sub_scenario(
+            SubScenario::new(
+                "SUB-INT-2",
+                "An automated vehicle approaches intersection which is equipped by a road-side \
+                 system providing information about vulnerable road users",
+            )
+            .expect("id"),
+        )
+        .push_sub_scenario(
+            SubScenario::new("SUB-INT-3", "Emergency vehicle approaches a crowded intersection")
+                .expect("id"),
+        );
+    lib.add_scenario(intersection).expect("scenario");
+
+    let mut lifetime = Scenario::new(
+        SC_SECURE_LIFETIME,
+        "Keep car secure for the whole vehicle product lifetime",
+    )
+    .expect("id");
+    lifetime.push_sub_scenario(
+        SubScenario::new(
+            "SUB-LIFE-1",
+            "Vehicle updates are changes made to the hardware or software of a security, \
+             safety, or privacy relevant item that is deployed in the field",
+        )
+        .expect("id"),
+    );
+    lib.add_scenario(lifetime).expect("scenario");
+
+    let mut access = Scenario::new(SC_ACCESS, "Advanced access to vehicle").expect("id");
+    access.push_sub_scenario(
+        SubScenario::new(
+            "SUB-ACC-1",
+            "Demonstrator is reflecting the trend for property (vehicle) sharing. The traveler \
+             orders a car in the target destination via cloud-based service",
+        )
+        .expect("id"),
+    );
+    lib.add_scenario(access).expect("scenario");
+
+    let mut construction =
+        Scenario::new(SC_CONSTRUCTION, "Autonomous vehicle approaches a construction site")
+            .expect("id");
+    construction.push_sub_scenario(
+        SubScenario::new(
+            "SUB-CON-1",
+            "The road side unit informs the vehicle via the on-board unit about the upcoming \
+             construction site; the OBU informs the driver so that control is transferred back",
+        )
+        .expect("id"),
+    );
+    lib.add_scenario(construction).expect("scenario");
+
+    let mut keyless = Scenario::new(SC_KEYLESS, "Keyless car opener").expect("id");
+    keyless.push_sub_scenario(
+        SubScenario::new(
+            "SUB-KEY-1",
+            "Opening and closing a vehicle via smartphone, which communicates via Bluetooth \
+             low energy with the car",
+        )
+        .expect("id"),
+    );
+    lib.add_scenario(keyless).expect("scenario");
+}
+
+fn add_assets(lib: &mut ThreatLibrary) {
+    let assets = [
+        // Table II assets (for the "advanced access to vehicle" scenario).
+        Asset::builder("GATEWAY", "Gateway")
+            .group(AssetGroup::Hardware)
+            .class(AssetClass::GenericCurrentVehicles)
+            .scenario(SC_ACCESS)
+            .scenario(SC_SECURE_LIFETIME)
+            .interface("CAN_GW")
+            .interface("ECU_GW"),
+        Asset::builder("DRIVER_MAINT", "Driver and Maintenance personal")
+            .group(AssetGroup::Person)
+            .class(AssetClass::Generic)
+            .scenario(SC_ACCESS),
+        Asset::builder("ECU", "ECU")
+            .group(AssetGroup::Hardware)
+            .group(AssetGroup::Software)
+            .class(AssetClass::GenericCurrentVehicles)
+            .scenario(SC_ACCESS)
+            .scenario(SC_SECURE_LIFETIME)
+            .interface("USB_PORT")
+            .interface("ECU_GW"),
+        Asset::builder("V2X_COMM", "V2X communications")
+            .group(AssetGroup::Information)
+            .group(AssetGroup::Hardware)
+            .class(AssetClass::GenericConnected)
+            .scenario(SC_ACCESS)
+            .scenario(SC_CONSTRUCTION)
+            .interface("OBU_RSU"),
+        // Use Case I assets.
+        Asset::builder("OBU", "On-board unit")
+            .group(AssetGroup::Hardware)
+            .group(AssetGroup::Software)
+            .class(AssetClass::GenericAdasAd)
+            .scenario(SC_CONSTRUCTION)
+            .interface("OBU_RSU"),
+        Asset::builder("RSU", "Road-side unit")
+            .group(AssetGroup::Hardware)
+            .group(AssetGroup::Service)
+            .class(AssetClass::GenericConnected)
+            .scenario(SC_CONSTRUCTION)
+            .interface("OBU_RSU"),
+        Asset::builder("TAKEOVER_SERVICE", "Driver take-over notification service")
+            .group(AssetGroup::Service)
+            .class(AssetClass::GenericAdasAd)
+            .scenario(SC_CONSTRUCTION),
+        // Use Case II assets.
+        Asset::builder("SMARTPHONE_KEY", "Smartphone key application")
+            .group(AssetGroup::Device)
+            .group(AssetGroup::Software)
+            .class(AssetClass::UseCaseSpecific)
+            .scenario(SC_KEYLESS)
+            .interface("BLE_PHONE"),
+        Asset::builder("BLE_LINK", "Bluetooth low energy link")
+            .group(AssetGroup::Information)
+            .class(AssetClass::GenericConnected)
+            .scenario(SC_KEYLESS)
+            .interface("BLE_PHONE"),
+        Asset::builder("CAN_BUS", "In-vehicle CAN bus")
+            .group(AssetGroup::Hardware)
+            .group(AssetGroup::Information)
+            .class(AssetClass::GenericCurrentVehicles)
+            .scenario(SC_KEYLESS)
+            .interface("CAN_GW"),
+        Asset::builder("LOCK_ACTUATOR", "Door lock actuator")
+            .group(AssetGroup::Hardware)
+            .class(AssetClass::GenericCurrentVehicles)
+            .scenario(SC_KEYLESS)
+            .interface("ECU_GW"),
+        Asset::builder("CLOUD_SHARING", "Cloud-based vehicle sharing service")
+            .group(AssetGroup::CloudService)
+            .group(AssetGroup::Server)
+            .class(AssetClass::UseCaseSpecific)
+            .scenario(SC_ACCESS)
+            .interface("CLOUD_API"),
+        Asset::builder("UPDATE_SERVER", "OEM software update server")
+            .group(AssetGroup::Server)
+            .class(AssetClass::GenericConnected)
+            .scenario(SC_SECURE_LIFETIME)
+            .interface("CLOUD_API"),
+    ];
+    for asset in assets {
+        lib.add_asset(asset.build().expect("asset")).expect("asset insert");
+    }
+}
+
+fn add_threats(lib: &mut ThreatLibrary) {
+    let threats = [
+        // --- Table III threat scenarios ("keep car secure ..."). ---
+        ThreatScenario::builder(
+            "TS-LIFE-1",
+            "Spoofing of messages by impersonation",
+            ThreatType::Spoofing,
+        )
+        .asset("V2X_COMM")
+        .asset("UPDATE_SERVER")
+        .scenario(SC_SECURE_LIFETIME),
+        ThreatScenario::builder(
+            "TS-LIFE-2",
+            "External interfaces (such as USB) may be used as a point of attack, for example \
+             through code injection",
+            ThreatType::ElevationOfPrivilege,
+        )
+        .asset("ECU")
+        .scenario(SC_SECURE_LIFETIME)
+        .attacker(AttackerProfile::EvilMechanic)
+        .attacker(AttackerProfile::OwnerDriver)
+        .attacker(AttackerProfile::Thief),
+        ThreatScenario::builder(
+            "TS-LIFE-3",
+            "Manipulation of functions to operate systems remotely, such as remote key, \
+             immobiliser, and charging pile",
+            ThreatType::Tampering,
+        )
+        .asset("GATEWAY")
+        .asset("LOCK_ACTUATOR")
+        .scenario(SC_SECURE_LIFETIME),
+        // --- Table V additional rows. ---
+        ThreatScenario::builder(
+            "TS-GW-INSIDER",
+            "Abuse of privileges by staff (insider attack)",
+            ThreatType::ElevationOfPrivilege,
+        )
+        .asset("GATEWAY")
+        .scenario(SC_SECURE_LIFETIME)
+        .attacker(AttackerProfile::EvilMechanic),
+        ThreatScenario::builder(
+            "TS-GW-INJECT",
+            "Code injection, e.g. tampered software binary might be injected into the \
+             communication stream",
+            ThreatType::Tampering,
+        )
+        .asset("GATEWAY")
+        .asset("CAN_BUS")
+        .scenario(SC_SECURE_LIFETIME),
+        ThreatScenario::builder(
+            "TS-ECU-PHISH",
+            "Innocent victim (e.g. owner, operator or maintenance engineer) being tricked into \
+             taking an action to unintentionally load malware or enable an attack",
+            ThreatType::Spoofing,
+        )
+        .asset("ECU")
+        .asset("DRIVER_MAINT")
+        .scenario(SC_SECURE_LIFETIME),
+        // --- Use Case I threat scenarios (construction site, RSU-OBU). ---
+        ThreatScenario::builder(
+            TS_GATEWAY_DOS,
+            "An attacker alters the functioning of the Vehicle Gateway (so that it crashes, \
+             halts, stops or runs slowly), in order to disrupt the service",
+            ThreatType::DenialOfService,
+        )
+        .asset("OBU")
+        .asset("GATEWAY")
+        .scenario(SC_CONSTRUCTION),
+        ThreatScenario::builder(
+            "TS-V2X-SPOOF",
+            "An attacker impersonates a road-side unit and sends forged hazardous location \
+             notifications",
+            ThreatType::Spoofing,
+        )
+        .asset("V2X_COMM")
+        .asset("RSU")
+        .scenario(SC_CONSTRUCTION),
+        ThreatScenario::builder(
+            "TS-V2X-TAMPER",
+            "An attacker alters warning payloads (location, speed limits) in transit on the \
+             RSU-OBU interface",
+            ThreatType::Tampering,
+        )
+        .asset("V2X_COMM")
+        .scenario(SC_CONSTRUCTION),
+        ThreatScenario::builder(
+            "TS-V2X-REPLAY",
+            "Warnings recorded at other locations or from other vehicles are replayed to \
+             trigger unintended warnings",
+            ThreatType::Repudiation,
+        )
+        .asset("V2X_COMM")
+        .asset("TAKEOVER_SERVICE")
+        .scenario(SC_CONSTRUCTION),
+        ThreatScenario::builder(
+            "TS-V2X-DELAY",
+            "Messages on the RSU-OBU interface are delayed beyond their validity so take-over \
+             warnings arrive too late",
+            ThreatType::Repudiation,
+        )
+        .asset("V2X_COMM")
+        .asset("TAKEOVER_SERVICE")
+        .scenario(SC_CONSTRUCTION),
+        ThreatScenario::builder(
+            "TS-V2X-JAM",
+            "The V2X radio channel is jammed so that road-works warnings cannot be received",
+            ThreatType::DenialOfService,
+        )
+        .asset("V2X_COMM")
+        .scenario(SC_CONSTRUCTION),
+        ThreatScenario::builder(
+            "TS-V2X-EAVESDROP",
+            "Warnings and vehicle state broadcasts are collected to build movement profiles",
+            ThreatType::InformationDisclosure,
+        )
+        .asset("V2X_COMM")
+        .scenario(SC_CONSTRUCTION),
+        // --- Use Case II threat scenarios (keyless opener). ---
+        ThreatScenario::builder(
+            TS_SPOOF_IMPERSONATION,
+            "Spoofing of messages (e.g. 802.11p V2X) by impersonation",
+            ThreatType::Spoofing,
+        )
+        .asset("BLE_LINK")
+        .asset("SMARTPHONE_KEY")
+        .scenario(SC_KEYLESS),
+        ThreatScenario::builder(
+            "TS-BLE-VULN",
+            "Exploitation of security vulnerabilities in the Bluetooth stack to gain access \
+             despite valid end-to-end encryption",
+            ThreatType::ElevationOfPrivilege,
+        )
+        .asset("BLE_LINK")
+        .scenario(SC_KEYLESS),
+        ThreatScenario::builder(
+            "TS-BLE-REPLAY",
+            "Replaying of the opening command by an attacker",
+            ThreatType::Repudiation,
+        )
+        .asset("BLE_LINK")
+        .asset("LOCK_ACTUATOR")
+        .scenario(SC_KEYLESS),
+        ThreatScenario::builder(
+            "TS-BLE-FLOOD",
+            "Flooding of the CAN bus by forwarded Bluetooth requests, reducing availability of \
+             the opening function",
+            ThreatType::DenialOfService,
+        )
+        .asset("CAN_BUS")
+        .asset("BLE_LINK")
+        .scenario(SC_KEYLESS),
+        ThreatScenario::builder(
+            "TS-BLE-SOCIAL",
+            "Social engineering attacks tricking the owner into pairing or approving an \
+             attacker-controlled device",
+            ThreatType::Spoofing,
+        )
+        .asset("SMARTPHONE_KEY")
+        .asset("DRIVER_MAINT")
+        .scenario(SC_KEYLESS),
+        ThreatScenario::builder(
+            "TS-BLE-TRACK",
+            "BLE advertisements and open/close events are collected to build usage profiles",
+            ThreatType::InformationDisclosure,
+        )
+        .asset("BLE_LINK")
+        .scenario(SC_KEYLESS),
+        ThreatScenario::builder(
+            "TS-KEY-THEFT",
+            "Illegal acquisition of key material from a stolen or compromised smartphone",
+            ThreatType::ElevationOfPrivilege,
+        )
+        .asset("SMARTPHONE_KEY")
+        .scenario(SC_KEYLESS)
+        .attacker(AttackerProfile::Thief),
+        ThreatScenario::builder(
+            "TS-CLOUD-TAMPER",
+            "Manipulation of booking/authorization records in the cloud-based sharing service",
+            ThreatType::Tampering,
+        )
+        .asset("CLOUD_SHARING")
+        .scenario(SC_ACCESS),
+    ];
+    for threat in threats {
+        lib.add_threat_scenario(threat.build().expect("threat")).expect("threat insert");
+    }
+}
+
+/// One row of the paper's Table I.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TableIRow {
+    /// Scenario name (left column).
+    pub scenario: &'static str,
+    /// Sub-scenario description (right column).
+    pub sub_scenario: &'static str,
+}
+
+/// The rows of the paper's Table I, in print order.
+pub fn table_i_rows() -> Vec<TableIRow> {
+    vec![
+        TableIRow {
+            scenario: "Road intersection",
+            sub_scenario: "An intersection with traffic lights is approached by a hijacked \
+                           automated vehicle that has no intention to stop",
+        },
+        TableIRow {
+            scenario: "Road intersection",
+            sub_scenario: "An automated vehicle approaches intersection which is equipped by a \
+                           road-side system providing information about vulnerable road users",
+        },
+        TableIRow {
+            scenario: "Road intersection",
+            sub_scenario: "Emergency vehicle approaches a crowded intersection",
+        },
+        TableIRow {
+            scenario: "Keep car secure for the whole vehicle product lifetime",
+            sub_scenario: "Vehicle updates are changes made to the hardware or software of a \
+                           security, safety, or privacy relevant item that is deployed in the \
+                           field",
+        },
+        TableIRow {
+            scenario: "Advanced access to vehicle",
+            sub_scenario: "Demonstrator is reflecting the trend for property (vehicle) sharing. \
+                           The traveler orders a car in the target destination via cloud-based \
+                           service",
+        },
+    ]
+}
+
+/// One row of the paper's Table II.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct TableIiRow {
+    /// Asset name.
+    pub asset: &'static str,
+    /// Asset groups, as printed (joined with "/").
+    pub groups: &'static [AssetGroup],
+}
+
+/// The rows of the paper's Table II, in print order.
+pub fn table_ii_rows() -> Vec<TableIiRow> {
+    vec![
+        TableIiRow { asset: "Gateway", groups: &[AssetGroup::Hardware] },
+        TableIiRow { asset: "Driver and Maintenance personal", groups: &[AssetGroup::Person] },
+        TableIiRow { asset: "ECU", groups: &[AssetGroup::Hardware, AssetGroup::Software] },
+        TableIiRow {
+            asset: "V2X communications",
+            groups: &[AssetGroup::Information, AssetGroup::Hardware],
+        },
+    ]
+}
+
+/// One row of the paper's Table III.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TableIiiRow {
+    /// Threat-scenario description.
+    pub threat_scenario: &'static str,
+    /// STRIDE classification.
+    pub threat_type: ThreatType,
+    /// ID of the library entry backing this row.
+    pub library_id: &'static str,
+}
+
+/// The rows of the paper's Table III, in print order.
+pub fn table_iii_rows() -> Vec<TableIiiRow> {
+    vec![
+        TableIiiRow {
+            threat_scenario: "Spoofing of messages by impersonation",
+            threat_type: ThreatType::Spoofing,
+            library_id: "TS-LIFE-1",
+        },
+        TableIiiRow {
+            threat_scenario: "External interfaces (such as USB) may be used as a point of \
+                              attack, for example through code injection",
+            threat_type: ThreatType::ElevationOfPrivilege,
+            library_id: "TS-LIFE-2",
+        },
+        TableIiiRow {
+            threat_scenario: "Manipulation of functions to operate systems remotely, such as \
+                              remote key, immobiliser, and charging pile",
+            threat_type: ThreatType::Tampering,
+            library_id: "TS-LIFE-3",
+        },
+    ]
+}
+
+/// One row of the paper's Table V.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TableVRow {
+    /// Targeted asset.
+    pub asset: &'static str,
+    /// Threat-scenario description.
+    pub threat_scenario: &'static str,
+    /// STRIDE classification.
+    pub threat_type: ThreatType,
+    /// Selected attack type.
+    pub attack_type: AttackType,
+    /// High-level attack example.
+    pub example: &'static str,
+    /// ID of the library entry backing this row.
+    pub library_id: &'static str,
+}
+
+/// The rows of the paper's Table V, in print order.
+pub fn table_v_rows() -> Vec<TableVRow> {
+    vec![
+        TableVRow {
+            asset: "Gateway",
+            threat_scenario: "Abuse of privileges by staff (insider attack)",
+            threat_type: ThreatType::ElevationOfPrivilege,
+            attack_type: AttackType::GainElevatedAccess,
+            example: "Technical staff creating backdoors or abusing their authorities",
+            library_id: "TS-GW-INSIDER",
+        },
+        TableVRow {
+            asset: "Gateway",
+            threat_scenario: "Code injection, e.g. tampered software binary might be injected \
+                              into the communication stream",
+            threat_type: ThreatType::Tampering,
+            attack_type: AttackType::Inject,
+            example: "Injection of communication data e.g. on the CAN communication link or \
+                      corruption of payload",
+            library_id: "TS-GW-INJECT",
+        },
+        TableVRow {
+            asset: "ECU",
+            threat_scenario: "External interfaces such as USB or other ports may be used as a \
+                              point of attack, for example through code injection",
+            threat_type: ThreatType::ElevationOfPrivilege,
+            attack_type: AttackType::GainUnauthorizedAccess,
+            example: "Connecting USB memories infected with malware to the infotainment unit",
+            library_id: "TS-LIFE-2",
+        },
+        TableVRow {
+            asset: "ECU",
+            threat_scenario: "Innocent victim (e.g. owner, operator or maintenance engineer) \
+                              being tricked into taking an action to unintentionally load \
+                              malware or enable an attack",
+            threat_type: ThreatType::Spoofing,
+            attack_type: AttackType::FakeMessages,
+            example: "Deceiving the user by sending an email pretending to be from the OEM, \
+                      asking the user to download a malware and install it on the vehicle",
+            library_id: "TS-ECU-PHISH",
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn library_builds_and_validates() {
+        let lib = automotive_library();
+        let stats = lib.stats();
+        assert_eq!(stats.scenarios, 5);
+        assert!(stats.assets >= 13);
+        assert!(stats.threat_scenarios >= 20);
+    }
+
+    #[test]
+    fn table_i_has_three_scenarios_five_subscenarios() {
+        let rows = table_i_rows();
+        assert_eq!(rows.len(), 5);
+        let scenarios: std::collections::BTreeSet<_> = rows.iter().map(|r| r.scenario).collect();
+        assert_eq!(scenarios.len(), 3);
+    }
+
+    #[test]
+    fn table_i_rows_exist_in_library() {
+        let lib = automotive_library();
+        let total_subs: usize = [SC_INTERSECTION, SC_SECURE_LIFETIME, SC_ACCESS]
+            .iter()
+            .map(|id| lib.scenario(id).expect("scenario").sub_scenarios().len())
+            .sum();
+        assert_eq!(total_subs, table_i_rows().len());
+    }
+
+    #[test]
+    fn table_ii_rows_match_library_groups() {
+        let lib = automotive_library();
+        for (row, asset_id) in
+            table_ii_rows().iter().zip(["GATEWAY", "DRIVER_MAINT", "ECU", "V2X_COMM"])
+        {
+            let asset = lib.asset(asset_id).expect("asset");
+            assert_eq!(asset.groups(), row.groups, "group mismatch for {asset_id}");
+        }
+    }
+
+    #[test]
+    fn table_iii_rows_match_library_types() {
+        let lib = automotive_library();
+        for row in table_iii_rows() {
+            let ts = lib.threat_scenario(row.library_id).expect("threat");
+            assert_eq!(ts.threat_type(), row.threat_type);
+            assert!(ts.scenario().unwrap().as_str() == SC_SECURE_LIFETIME);
+        }
+    }
+
+    #[test]
+    fn table_v_attack_types_consistent_with_table_iv() {
+        let lib = automotive_library();
+        for row in table_v_rows() {
+            let ts = lib.threat_scenario(row.library_id).expect("threat");
+            assert_eq!(ts.threat_type(), row.threat_type, "row {}", row.library_id);
+            assert!(
+                ts.attack_types().contains(&row.attack_type),
+                "attack type {} not in Table IV row for {}",
+                row.attack_type,
+                row.threat_type
+            );
+        }
+    }
+
+    #[test]
+    fn use_case_threats_present() {
+        let lib = automotive_library();
+        let dos = lib.threat_scenario(TS_GATEWAY_DOS).expect("2.1.4");
+        assert_eq!(dos.threat_type(), ThreatType::DenialOfService);
+        let spoof = lib.threat_scenario(TS_SPOOF_IMPERSONATION).expect("3.1.4");
+        assert_eq!(spoof.threat_type(), ThreatType::Spoofing);
+    }
+
+    #[test]
+    fn every_stride_type_is_represented() {
+        let lib = automotive_library();
+        for tt in ThreatType::ALL {
+            assert!(
+                lib.threats_by_type(tt).count() > 0,
+                "no threat scenario for {tt}"
+            );
+        }
+    }
+
+    #[test]
+    fn keyless_scenario_covers_paper_named_attacks() {
+        // §IV-B prose: CAN flooding via forwarded BLE, replay of opening
+        // command, BLE stack vulnerabilities, social engineering, profiles.
+        let lib = automotive_library();
+        for id in ["TS-BLE-FLOOD", "TS-BLE-REPLAY", "TS-BLE-VULN", "TS-BLE-SOCIAL", "TS-BLE-TRACK"]
+        {
+            let ts = lib.threat_scenario(id).expect(id);
+            assert_eq!(ts.scenario().unwrap().as_str(), SC_KEYLESS);
+        }
+    }
+
+    #[test]
+    fn insider_threat_restricted_to_mechanic() {
+        let lib = automotive_library();
+        let ts = lib.threat_scenario("TS-GW-INSIDER").unwrap();
+        assert!(ts.allows_attacker(AttackerProfile::EvilMechanic));
+        assert!(!ts.allows_attacker(AttackerProfile::RemoteAttacker));
+    }
+}

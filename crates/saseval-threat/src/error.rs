@@ -1,0 +1,80 @@
+//! Error type for threat-library operations.
+
+use std::fmt;
+
+use saseval_types::{AssetId, IdError, ScenarioId, SubScenarioId, ThreatScenarioId};
+
+/// Error returned by [`crate::ThreatLibrary`] mutators and validators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ThreatLibraryError {
+    /// An identifier string was malformed.
+    Id(IdError),
+    /// A scenario with this ID is already registered.
+    DuplicateScenario(ScenarioId),
+    /// A sub-scenario with this ID already exists in the scenario.
+    DuplicateSubScenario(SubScenarioId),
+    /// An asset with this ID is already registered.
+    DuplicateAsset(AssetId),
+    /// A threat scenario with this ID is already registered.
+    DuplicateThreatScenario(ThreatScenarioId),
+    /// The asset references a scenario the library does not contain.
+    UnknownScenario(ScenarioId),
+    /// The threat scenario references an asset the library does not contain.
+    UnknownAsset(AssetId),
+    /// The threat scenario references no assets at all.
+    ThreatWithoutAsset(ThreatScenarioId),
+    /// An asset belongs to no asset group.
+    AssetWithoutGroup(AssetId),
+}
+
+impl fmt::Display for ThreatLibraryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ThreatLibraryError::Id(e) => write!(f, "invalid identifier: {e}"),
+            ThreatLibraryError::DuplicateScenario(id) => write!(f, "duplicate scenario {id}"),
+            ThreatLibraryError::DuplicateSubScenario(id) => {
+                write!(f, "duplicate sub-scenario {id}")
+            }
+            ThreatLibraryError::DuplicateAsset(id) => write!(f, "duplicate asset {id}"),
+            ThreatLibraryError::DuplicateThreatScenario(id) => {
+                write!(f, "duplicate threat scenario {id}")
+            }
+            ThreatLibraryError::UnknownScenario(id) => {
+                write!(f, "reference to unknown scenario {id}")
+            }
+            ThreatLibraryError::UnknownAsset(id) => write!(f, "reference to unknown asset {id}"),
+            ThreatLibraryError::ThreatWithoutAsset(id) => {
+                write!(f, "threat scenario {id} references no assets")
+            }
+            ThreatLibraryError::AssetWithoutGroup(id) => {
+                write!(f, "asset {id} belongs to no asset group")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ThreatLibraryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ThreatLibraryError::Id(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<IdError> for ThreatLibraryError {
+    fn from(e: IdError) -> Self {
+        ThreatLibraryError::Id(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_artifact() {
+        let id = ThreatScenarioId::new("TS-1").unwrap();
+        assert!(ThreatLibraryError::ThreatWithoutAsset(id).to_string().contains("TS-1"));
+    }
+}

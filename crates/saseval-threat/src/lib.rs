@@ -1,0 +1,52 @@
+//! The SaSeVAL threat library (paper §III-A, Step 1).
+//!
+//! The threat library is the security half of SaSeVAL's input: it stores
+//! the driving **scenarios** under consideration (paper Table I), the
+//! **assets** those scenarios expose with their asset groups (Table II),
+//! and the **threat scenarios** identified per asset, classified by STRIDE
+//! threat type (Table III) and thereby mapped to concrete **attack types**
+//! (Table IV). The chain scenario → asset → threat scenario → threat type →
+//! attack type is the paper's Table V.
+//!
+//! The library supports the paper's two test-space levers:
+//!
+//! * **RQ1 (completeness)**: [`ThreatLibrary`] validates referential
+//!   integrity, and `saseval-core`'s inductive coverage check walks all
+//!   threats.
+//! * **RQ2 (prioritization)**: assets carry an [`AssetClass`](saseval_types::AssetClass)
+//!   (saseval-types) and queries can filter by class priority so the threat
+//!   analysis focuses on e.g. assets generic to all current vehicles.
+//!
+//! The built-in automotive library ([`builtin::automotive_library`])
+//! reproduces the paper's Tables I–V verbatim and extends them with the
+//! threat scenarios the two use cases of §IV reference (e.g. threat
+//! scenario 2.1.4 used by attack AD20 in Table VI).
+//!
+//! # Example
+//!
+//! ```
+//! use saseval_threat::builtin::automotive_library;
+//! use saseval_types::{AttackType, ThreatType};
+//!
+//! let lib = automotive_library();
+//! // Table VI links AD20 to threat scenario 2.1.4 (DoS on the gateway).
+//! let ts = lib.threat_scenario("TS-2.1.4").expect("built-in threat");
+//! assert_eq!(ts.threat_type(), ThreatType::DenialOfService);
+//! assert!(ts.attack_types().contains(&AttackType::Disable));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod asset;
+pub mod builtin;
+mod error;
+mod library;
+mod scenario;
+mod threat;
+
+pub use asset::Asset;
+pub use error::ThreatLibraryError;
+pub use library::{LibraryStats, ThreatLibrary};
+pub use scenario::{Scenario, SubScenario};
+pub use threat::ThreatScenario;

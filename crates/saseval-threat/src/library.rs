@@ -1,0 +1,467 @@
+//! The [`ThreatLibrary`] container and its queries.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use saseval_types::{AssetId, AttackType, ScenarioId, ThreatScenarioId, ThreatType};
+
+use crate::asset::Asset;
+use crate::error::ThreatLibraryError;
+use crate::scenario::Scenario;
+use crate::threat::ThreatScenario;
+
+/// The threat library of SaSeVAL Step 1 (paper §III-A): scenarios, assets
+/// and threat scenarios with referential integrity.
+///
+/// Mutators validate all cross-references at insertion time, so a library
+/// is always internally consistent: every asset's scenarios exist, every
+/// threat scenario's assets exist.
+///
+/// Queries support the derivation step of `saseval-core`
+/// ([`threats_for_asset`](Self::threats_for_asset),
+/// [`threats_by_type`](Self::threats_by_type),
+/// [`threats_with_attack_type`](Self::threats_with_attack_type)) and the
+/// RQ2 prioritization ([`threats_with_min_priority`](Self::threats_with_min_priority)).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ThreatLibrary {
+    scenarios: BTreeMap<ScenarioId, Scenario>,
+    assets: BTreeMap<AssetId, Asset>,
+    threats: BTreeMap<ThreatScenarioId, ThreatScenario>,
+}
+
+impl ThreatLibrary {
+    /// Creates an empty threat library.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a driving scenario.
+    ///
+    /// # Errors
+    ///
+    /// * [`ThreatLibraryError::DuplicateScenario`] on ID collision.
+    /// * [`ThreatLibraryError::DuplicateSubScenario`] if the scenario
+    ///   contains two sub-scenarios with the same ID.
+    pub fn add_scenario(&mut self, scenario: Scenario) -> Result<(), ThreatLibraryError> {
+        if self.scenarios.contains_key(scenario.id()) {
+            return Err(ThreatLibraryError::DuplicateScenario(scenario.id().clone()));
+        }
+        for (i, sub) in scenario.sub_scenarios().iter().enumerate() {
+            if scenario.sub_scenarios()[..i].iter().any(|s| s.id() == sub.id()) {
+                return Err(ThreatLibraryError::DuplicateSubScenario(sub.id().clone()));
+            }
+        }
+        self.scenarios.insert(scenario.id().clone(), scenario);
+        Ok(())
+    }
+
+    /// Registers an asset.
+    ///
+    /// # Errors
+    ///
+    /// * [`ThreatLibraryError::DuplicateAsset`] on ID collision.
+    /// * [`ThreatLibraryError::UnknownScenario`] if the asset references an
+    ///   unregistered scenario.
+    pub fn add_asset(&mut self, asset: Asset) -> Result<(), ThreatLibraryError> {
+        if self.assets.contains_key(asset.id()) {
+            return Err(ThreatLibraryError::DuplicateAsset(asset.id().clone()));
+        }
+        for scenario in asset.scenarios() {
+            if !self.scenarios.contains_key(scenario) {
+                return Err(ThreatLibraryError::UnknownScenario(scenario.clone()));
+            }
+        }
+        self.assets.insert(asset.id().clone(), asset);
+        Ok(())
+    }
+
+    /// Registers a threat scenario.
+    ///
+    /// # Errors
+    ///
+    /// * [`ThreatLibraryError::DuplicateThreatScenario`] on ID collision.
+    /// * [`ThreatLibraryError::UnknownAsset`] if it endangers an
+    ///   unregistered asset.
+    /// * [`ThreatLibraryError::UnknownScenario`] if it references an
+    ///   unregistered driving scenario.
+    pub fn add_threat_scenario(&mut self, threat: ThreatScenario) -> Result<(), ThreatLibraryError> {
+        if self.threats.contains_key(threat.id()) {
+            return Err(ThreatLibraryError::DuplicateThreatScenario(threat.id().clone()));
+        }
+        for asset in threat.assets() {
+            if !self.assets.contains_key(asset) {
+                return Err(ThreatLibraryError::UnknownAsset(asset.clone()));
+            }
+        }
+        if let Some(scenario) = threat.scenario() {
+            if !self.scenarios.contains_key(scenario) {
+                return Err(ThreatLibraryError::UnknownScenario(scenario.clone()));
+            }
+        }
+        self.threats.insert(threat.id().clone(), threat);
+        Ok(())
+    }
+
+    /// Looks up a scenario by ID.
+    pub fn scenario(&self, id: &str) -> Option<&Scenario> {
+        self.scenarios.get(id)
+    }
+
+    /// Looks up an asset by ID.
+    pub fn asset(&self, id: &str) -> Option<&Asset> {
+        self.assets.get(id)
+    }
+
+    /// Looks up a threat scenario by ID.
+    pub fn threat_scenario(&self, id: &str) -> Option<&ThreatScenario> {
+        self.threats.get(id)
+    }
+
+    /// Iterates over all scenarios in ID order.
+    pub fn scenarios(&self) -> impl Iterator<Item = &Scenario> {
+        self.scenarios.values()
+    }
+
+    /// Iterates over all assets in ID order.
+    pub fn assets(&self) -> impl Iterator<Item = &Asset> {
+        self.assets.values()
+    }
+
+    /// Iterates over all threat scenarios in ID order.
+    pub fn threat_scenarios(&self) -> impl Iterator<Item = &ThreatScenario> {
+        self.threats.values()
+    }
+
+    /// All threat scenarios endangering the given asset.
+    pub fn threats_for_asset<'a>(
+        &'a self,
+        asset: &'a str,
+    ) -> impl Iterator<Item = &'a ThreatScenario> + 'a {
+        self.threats.values().filter(move |t| t.assets().iter().any(|a| a.as_str() == asset))
+    }
+
+    /// All threat scenarios of the given STRIDE threat type.
+    pub fn threats_by_type(&self, threat_type: ThreatType) -> impl Iterator<Item = &ThreatScenario> {
+        self.threats.values().filter(move |t| t.threat_type() == threat_type)
+    }
+
+    /// All threat scenarios whose Table IV attack-type row contains the
+    /// given attack type — the lookup the attack-description step uses to
+    /// select "corresponding threats of the threat library" (§III, step 3).
+    pub fn threats_with_attack_type(
+        &self,
+        attack_type: AttackType,
+    ) -> impl Iterator<Item = &ThreatScenario> {
+        self.threats.values().filter(move |t| t.attack_types().contains(&attack_type))
+    }
+
+    /// All threat scenarios whose endangered assets include at least one
+    /// with priority ≥ `min_priority` (RQ2 test-space reduction, §III-A2).
+    pub fn threats_with_min_priority(
+        &self,
+        min_priority: u8,
+    ) -> impl Iterator<Item = &ThreatScenario> {
+        self.threats.values().filter(move |t| {
+            t.assets()
+                .iter()
+                .filter_map(|a| self.assets.get(a))
+                .any(|a| a.priority() >= min_priority)
+        })
+    }
+
+    /// Re-validates the library's referential integrity — required after
+    /// deserializing a library from external data, since serde bypasses
+    /// the insertion-time checks.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant as a [`ThreatLibraryError`].
+    pub fn validate(&self) -> Result<(), ThreatLibraryError> {
+        for scenario in self.scenarios.values() {
+            for (i, sub) in scenario.sub_scenarios().iter().enumerate() {
+                if scenario.sub_scenarios()[..i].iter().any(|s| s.id() == sub.id()) {
+                    return Err(ThreatLibraryError::DuplicateSubScenario(sub.id().clone()));
+                }
+            }
+        }
+        for asset in self.assets.values() {
+            for scenario in asset.scenarios() {
+                if !self.scenarios.contains_key(scenario) {
+                    return Err(ThreatLibraryError::UnknownScenario(scenario.clone()));
+                }
+            }
+            if asset.groups().is_empty() {
+                return Err(ThreatLibraryError::AssetWithoutGroup(asset.id().clone()));
+            }
+        }
+        for threat in self.threats.values() {
+            if threat.assets().is_empty() {
+                return Err(ThreatLibraryError::ThreatWithoutAsset(threat.id().clone()));
+            }
+            for asset in threat.assets() {
+                if !self.assets.contains_key(asset) {
+                    return Err(ThreatLibraryError::UnknownAsset(asset.clone()));
+                }
+            }
+            if let Some(scenario) = threat.scenario() {
+                if !self.scenarios.contains_key(scenario) {
+                    return Err(ThreatLibraryError::UnknownScenario(scenario.clone()));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Merges another library into this one. Artifacts are inserted in ID
+    /// order with full validation; the first conflict (duplicate ID) or
+    /// dangling reference aborts the merge, leaving `self` partially
+    /// extended up to that point — merge into a clone when atomicity
+    /// matters.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ThreatLibraryError`] raised by the insertions.
+    pub fn merge(&mut self, other: ThreatLibrary) -> Result<(), ThreatLibraryError> {
+        for (_, scenario) in other.scenarios {
+            self.add_scenario(scenario)?;
+        }
+        for (_, asset) in other.assets {
+            self.add_asset(asset)?;
+        }
+        for (_, threat) in other.threats {
+            self.add_threat_scenario(threat)?;
+        }
+        Ok(())
+    }
+
+    /// Summary statistics of the library contents.
+    pub fn stats(&self) -> LibraryStats {
+        let mut by_type = BTreeMap::new();
+        for t in self.threats.values() {
+            *by_type.entry(t.threat_type()).or_insert(0usize) += 1;
+        }
+        LibraryStats {
+            scenarios: self.scenarios.len(),
+            sub_scenarios: self.scenarios.values().map(|s| s.sub_scenarios().len()).sum(),
+            assets: self.assets.len(),
+            threat_scenarios: self.threats.len(),
+            threats_by_type: by_type,
+        }
+    }
+}
+
+/// Summary counts of a [`ThreatLibrary`] (see [`ThreatLibrary::stats`]).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LibraryStats {
+    /// Number of driving scenarios.
+    pub scenarios: usize,
+    /// Total number of sub-scenarios across all scenarios.
+    pub sub_scenarios: usize,
+    /// Number of assets.
+    pub assets: usize,
+    /// Number of threat scenarios.
+    pub threat_scenarios: usize,
+    /// Threat scenarios per STRIDE threat type.
+    pub threats_by_type: BTreeMap<ThreatType, usize>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::SubScenario;
+    use saseval_types::AssetGroup;
+
+    fn seeded() -> ThreatLibrary {
+        let mut lib = ThreatLibrary::new();
+        let mut sc = Scenario::new("SC1", "Road intersection").unwrap();
+        sc.push_sub_scenario(SubScenario::new("SUB1", "hijacked AV").unwrap());
+        lib.add_scenario(sc).unwrap();
+        lib.add_asset(
+            Asset::builder("GATEWAY", "Gateway")
+                .group(AssetGroup::Hardware)
+                .scenario("SC1")
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        lib.add_threat_scenario(
+            ThreatScenario::builder("TS1", "flooding", ThreatType::DenialOfService)
+                .asset("GATEWAY")
+                .scenario("SC1")
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        lib
+    }
+
+    #[test]
+    fn referential_integrity_enforced() {
+        let mut lib = ThreatLibrary::new();
+        // Asset referencing unknown scenario.
+        let asset = Asset::builder("A", "a")
+            .group(AssetGroup::Hardware)
+            .scenario("SC404")
+            .build()
+            .unwrap();
+        assert!(matches!(lib.add_asset(asset), Err(ThreatLibraryError::UnknownScenario(_))));
+        // Threat referencing unknown asset.
+        let threat = ThreatScenario::builder("T", "d", ThreatType::Spoofing)
+            .asset("A404")
+            .build()
+            .unwrap();
+        assert!(matches!(
+            lib.add_threat_scenario(threat),
+            Err(ThreatLibraryError::UnknownAsset(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_detection() {
+        let mut lib = seeded();
+        assert!(matches!(
+            lib.add_scenario(Scenario::new("SC1", "again").unwrap()),
+            Err(ThreatLibraryError::DuplicateScenario(_))
+        ));
+        let dup_asset =
+            Asset::builder("GATEWAY", "again").group(AssetGroup::Hardware).build().unwrap();
+        assert!(matches!(lib.add_asset(dup_asset), Err(ThreatLibraryError::DuplicateAsset(_))));
+        let dup_threat = ThreatScenario::builder("TS1", "again", ThreatType::Tampering)
+            .asset("GATEWAY")
+            .build()
+            .unwrap();
+        assert!(matches!(
+            lib.add_threat_scenario(dup_threat),
+            Err(ThreatLibraryError::DuplicateThreatScenario(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_sub_scenarios_rejected() {
+        let mut lib = ThreatLibrary::new();
+        let mut sc = Scenario::new("SC2", "x").unwrap();
+        sc.push_sub_scenario(SubScenario::new("SUB", "a").unwrap());
+        sc.push_sub_scenario(SubScenario::new("SUB", "b").unwrap());
+        assert!(matches!(
+            lib.add_scenario(sc),
+            Err(ThreatLibraryError::DuplicateSubScenario(_))
+        ));
+    }
+
+    #[test]
+    fn queries() {
+        let lib = seeded();
+        assert_eq!(lib.threats_for_asset("GATEWAY").count(), 1);
+        assert_eq!(lib.threats_for_asset("NOPE").count(), 0);
+        assert_eq!(lib.threats_by_type(ThreatType::DenialOfService).count(), 1);
+        assert_eq!(lib.threats_by_type(ThreatType::Spoofing).count(), 0);
+        assert_eq!(lib.threats_with_attack_type(AttackType::Jamming).count(), 1);
+        assert_eq!(lib.threats_with_attack_type(AttackType::Replay).count(), 0);
+    }
+
+    #[test]
+    fn priority_filter() {
+        let mut lib = seeded();
+        lib.add_asset(
+            Asset::builder("OBU", "On-board unit")
+                .group(AssetGroup::Hardware)
+                .class(saseval_types::AssetClass::GenericCurrentVehicles)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        lib.add_threat_scenario(
+            ThreatScenario::builder("TS2", "spoof", ThreatType::Spoofing)
+                .asset("OBU")
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        // GATEWAY is unclassified (priority 0); OBU has max priority.
+        assert_eq!(lib.threats_with_min_priority(4).count(), 1);
+        assert_eq!(lib.threats_with_min_priority(0).count(), 2);
+    }
+
+    #[test]
+    fn validate_accepts_consistent_and_rejects_tampered() {
+        let lib = seeded();
+        assert!(lib.validate().is_ok());
+        // Round-trip through JSON and re-validate: still consistent.
+        let json = serde_json::to_string(&lib).unwrap();
+        let back: ThreatLibrary = serde_json::from_str(&json).unwrap();
+        assert!(back.validate().is_ok());
+        // Tamper: rewrite the asset reference inside the threats section
+        // only, leaving the asset map untouched — a dangling reference.
+        let threats_at = json.find("\"threats\"").expect("threats key");
+        let tampered =
+            format!("{}{}", &json[..threats_at], json[threats_at..].replace("GATEWAY", "GHOST"));
+        let broken: ThreatLibrary = serde_json::from_str(&tampered).unwrap();
+        assert!(matches!(broken.validate(), Err(ThreatLibraryError::UnknownAsset(_))));
+    }
+
+    #[test]
+    fn validate_rejects_duplicate_sub_scenarios() {
+        let lib = seeded();
+        let json = serde_json::to_string(&lib).unwrap();
+        // Duplicate the sub-scenario entry inside the scenario list.
+        let tampered = json.replace(
+            "\"sub_scenarios\":[{",
+            "\"sub_scenarios\":[{\"id\":\"SUB1\",\"description\":\"dup\"},{",
+        );
+        let broken: ThreatLibrary = serde_json::from_str(&tampered).unwrap();
+        assert!(matches!(
+            broken.validate(),
+            Err(ThreatLibraryError::DuplicateSubScenario(_))
+        ));
+    }
+
+    #[test]
+    fn merge_combines_disjoint_libraries() {
+        let mut base = seeded();
+        let mut extra = ThreatLibrary::new();
+        extra.add_scenario(Scenario::new("SC9", "extra").unwrap()).unwrap();
+        extra
+            .add_asset(
+                Asset::builder("NEW", "new asset")
+                    .group(AssetGroup::Software)
+                    .scenario("SC9")
+                    .build()
+                    .unwrap(),
+            )
+            .unwrap();
+        extra
+            .add_threat_scenario(
+                ThreatScenario::builder("TS9", "new threat", ThreatType::Tampering)
+                    .asset("NEW")
+                    .build()
+                    .unwrap(),
+            )
+            .unwrap();
+        base.merge(extra).unwrap();
+        assert_eq!(base.stats().scenarios, 2);
+        assert_eq!(base.stats().threat_scenarios, 2);
+        assert!(base.validate().is_ok());
+    }
+
+    #[test]
+    fn merge_rejects_conflicts() {
+        let mut base = seeded();
+        let conflicting = seeded();
+        assert!(matches!(
+            base.merge(conflicting),
+            Err(ThreatLibraryError::DuplicateScenario(_))
+        ));
+    }
+
+    #[test]
+    fn stats() {
+        let lib = seeded();
+        let stats = lib.stats();
+        assert_eq!(stats.scenarios, 1);
+        assert_eq!(stats.sub_scenarios, 1);
+        assert_eq!(stats.assets, 1);
+        assert_eq!(stats.threat_scenarios, 1);
+        assert_eq!(stats.threats_by_type[&ThreatType::DenialOfService], 1);
+    }
+}

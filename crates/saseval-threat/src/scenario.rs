@@ -1,0 +1,117 @@
+//! Driving scenarios and sub-scenarios (paper Table I, §III-A1).
+
+use serde::{Deserialize, Serialize};
+
+use saseval_types::{IdError, ScenarioId, SubScenarioId};
+
+/// A sub-scenario refining a [`Scenario`], e.g. *"An intersection with
+/// traffic lights is approached by a hijacked automated vehicle that has no
+/// intention to stop"*.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SubScenario {
+    id: SubScenarioId,
+    description: String,
+}
+
+impl SubScenario {
+    /// Creates a sub-scenario.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IdError`] if `id` is not a valid identifier.
+    pub fn new(id: impl AsRef<str>, description: impl Into<String>) -> Result<Self, IdError> {
+        Ok(SubScenario { id: SubScenarioId::new(id.as_ref())?, description: description.into() })
+    }
+
+    /// The sub-scenario's identifier.
+    pub fn id(&self) -> &SubScenarioId {
+        &self.id
+    }
+
+    /// The natural-language description.
+    pub fn description(&self) -> &str {
+        &self.description
+    }
+}
+
+/// A general driving scenario from the Scenario Description input of the
+/// SaSeVAL process (paper Fig. 1 and Table I), e.g. *"Road intersection"*
+/// or *"Keep car secure for the whole vehicle product lifetime"*.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Scenario {
+    id: ScenarioId,
+    name: String,
+    sub_scenarios: Vec<SubScenario>,
+}
+
+impl Scenario {
+    /// Creates a scenario without sub-scenarios.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IdError`] if `id` is not a valid identifier.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use saseval_threat::{Scenario, SubScenario};
+    ///
+    /// let mut s = Scenario::new("SC-INTERSECTION", "Road intersection")?;
+    /// s.push_sub_scenario(SubScenario::new(
+    ///     "SUB-1",
+    ///     "Emergency vehicle approaches a crowded intersection",
+    /// )?);
+    /// assert_eq!(s.sub_scenarios().len(), 1);
+    /// # Ok::<(), saseval_types::IdError>(())
+    /// ```
+    pub fn new(id: impl AsRef<str>, name: impl Into<String>) -> Result<Self, IdError> {
+        Ok(Scenario {
+            id: ScenarioId::new(id.as_ref())?,
+            name: name.into(),
+            sub_scenarios: Vec::new(),
+        })
+    }
+
+    /// Appends a sub-scenario. Duplicate sub-scenario IDs are rejected by
+    /// [`crate::ThreatLibrary::add_scenario`].
+    pub fn push_sub_scenario(&mut self, sub: SubScenario) -> &mut Self {
+        self.sub_scenarios.push(sub);
+        self
+    }
+
+    /// The scenario's identifier.
+    pub fn id(&self) -> &ScenarioId {
+        &self.id
+    }
+
+    /// The scenario's short name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The sub-scenarios in insertion order.
+    pub fn sub_scenarios(&self) -> &[SubScenario] {
+        &self.sub_scenarios
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_scenario_with_subs() {
+        let mut s = Scenario::new("SC1", "Road intersection").unwrap();
+        s.push_sub_scenario(SubScenario::new("SUB1", "hijacked AV").unwrap())
+            .push_sub_scenario(SubScenario::new("SUB2", "road-side VRU info").unwrap());
+        assert_eq!(s.id().as_str(), "SC1");
+        assert_eq!(s.sub_scenarios().len(), 2);
+        assert_eq!(s.sub_scenarios()[1].description(), "road-side VRU info");
+    }
+
+    #[test]
+    fn invalid_ids_rejected() {
+        assert!(Scenario::new("", "x").is_err());
+        assert!(SubScenario::new("a b", "x").is_err());
+    }
+}

@@ -1,0 +1,230 @@
+//! Threat scenarios — the entries of the threat library (paper Table III).
+
+use serde::{Deserialize, Serialize};
+
+use saseval_types::{
+    attack_types_for, AssetId, AttackType, AttackerProfile, IdError, ScenarioId, ThreatScenarioId,
+    ThreatType,
+};
+
+use crate::error::ThreatLibraryError;
+
+/// A threat scenario, e.g. *"Spoofing of messages by impersonation"*
+/// (paper Table III), tied to the assets it endangers and classified by
+/// STRIDE threat type.
+///
+/// The STRIDE classification is what makes the library systematic
+/// (§III-A3): the mapping to concrete [`AttackType`]s then follows
+/// mechanically from the paper's Table IV via [`ThreatScenario::attack_types`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ThreatScenario {
+    id: ThreatScenarioId,
+    description: String,
+    threat_type: ThreatType,
+    assets: Vec<AssetId>,
+    scenario: Option<ScenarioId>,
+    attackers: Vec<AttackerProfile>,
+}
+
+impl ThreatScenario {
+    /// Starts building a threat scenario.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use saseval_threat::ThreatScenario;
+    /// use saseval_types::{AttackType, ThreatType};
+    ///
+    /// // Table III, first row.
+    /// let ts = ThreatScenario::builder(
+    ///     "TS-3.1.4",
+    ///     "Spoofing of messages (e.g. 802.11p V2X) by impersonation",
+    ///     ThreatType::Spoofing,
+    /// )
+    /// .asset("V2X_COMM")
+    /// .build()?;
+    /// assert!(ts.attack_types().contains(&AttackType::Spoofing));
+    /// # Ok::<(), saseval_threat::ThreatLibraryError>(())
+    /// ```
+    pub fn builder(
+        id: impl AsRef<str>,
+        description: impl Into<String>,
+        threat_type: ThreatType,
+    ) -> ThreatScenarioBuilder {
+        ThreatScenarioBuilder {
+            id: id.as_ref().to_owned(),
+            description: description.into(),
+            threat_type,
+            assets: Vec::new(),
+            scenario: None,
+            attackers: Vec::new(),
+        }
+    }
+
+    /// The threat scenario's identifier.
+    pub fn id(&self) -> &ThreatScenarioId {
+        &self.id
+    }
+
+    /// The natural-language description.
+    pub fn description(&self) -> &str {
+        &self.description
+    }
+
+    /// The STRIDE classification.
+    pub fn threat_type(&self) -> ThreatType {
+        self.threat_type
+    }
+
+    /// The endangered assets (at least one).
+    pub fn assets(&self) -> &[AssetId] {
+        &self.assets
+    }
+
+    /// The driving scenario this threat was identified in, if recorded.
+    pub fn scenario(&self) -> Option<&ScenarioId> {
+        self.scenario.as_ref()
+    }
+
+    /// The attacker profiles able to mount this threat. Empty means
+    /// unrestricted (any attacker).
+    pub fn attackers(&self) -> &[AttackerProfile] {
+        &self.attackers
+    }
+
+    /// The attack types that manifest this threat, per the paper's
+    /// Table IV mapping from the STRIDE threat type.
+    pub fn attack_types(&self) -> &'static [AttackType] {
+        attack_types_for(self.threat_type)
+    }
+
+    /// Whether the given attacker profile can mount this threat.
+    pub fn allows_attacker(&self, profile: AttackerProfile) -> bool {
+        self.attackers.is_empty() || self.attackers.contains(&profile)
+    }
+}
+
+/// Builder for [`ThreatScenario`] (see [`ThreatScenario::builder`]).
+#[derive(Debug, Clone)]
+pub struct ThreatScenarioBuilder {
+    id: String,
+    description: String,
+    threat_type: ThreatType,
+    assets: Vec<String>,
+    scenario: Option<String>,
+    attackers: Vec<AttackerProfile>,
+}
+
+impl ThreatScenarioBuilder {
+    /// Adds an endangered asset.
+    pub fn asset(mut self, asset: impl AsRef<str>) -> Self {
+        self.assets.push(asset.as_ref().to_owned());
+        self
+    }
+
+    /// Records the driving scenario the threat was identified in.
+    pub fn scenario(mut self, scenario: impl AsRef<str>) -> Self {
+        self.scenario = Some(scenario.as_ref().to_owned());
+        self
+    }
+
+    /// Restricts the threat to an attacker profile (repeatable).
+    pub fn attacker(mut self, profile: AttackerProfile) -> Self {
+        if !self.attackers.contains(&profile) {
+            self.attackers.push(profile);
+        }
+        self
+    }
+
+    /// Builds the threat scenario.
+    ///
+    /// # Errors
+    ///
+    /// * [`ThreatLibraryError::Id`] if any identifier is malformed.
+    /// * [`ThreatLibraryError::ThreatWithoutAsset`] if no asset was added.
+    pub fn build(self) -> Result<ThreatScenario, ThreatLibraryError> {
+        let id = ThreatScenarioId::new(self.id)?;
+        if self.assets.is_empty() {
+            return Err(ThreatLibraryError::ThreatWithoutAsset(id));
+        }
+        let assets =
+            self.assets.into_iter().map(AssetId::new).collect::<Result<Vec<_>, IdError>>()?;
+        let scenario = self.scenario.map(ScenarioId::new).transpose()?;
+        Ok(ThreatScenario {
+            id,
+            description: self.description,
+            threat_type: self.threat_type,
+            assets,
+            scenario,
+            attackers: self.attackers,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_iii_rows_classify() {
+        let rows = [
+            ("Spoofing of messages by impersonation", ThreatType::Spoofing),
+            (
+                "External interfaces (such as USB) may be used as a point of attack",
+                ThreatType::ElevationOfPrivilege,
+            ),
+            (
+                "Manipulation of functions to operate systems remotely",
+                ThreatType::Tampering,
+            ),
+        ];
+        for (i, (desc, tt)) in rows.iter().enumerate() {
+            let ts = ThreatScenario::builder(format!("TS-{i}"), *desc, *tt)
+                .asset("ECU")
+                .build()
+                .unwrap();
+            assert_eq!(ts.threat_type(), *tt);
+            assert!(!ts.attack_types().is_empty());
+        }
+    }
+
+    #[test]
+    fn asset_required() {
+        let err = ThreatScenario::builder("TS-1", "d", ThreatType::Tampering)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ThreatLibraryError::ThreatWithoutAsset(_)));
+    }
+
+    #[test]
+    fn attacker_restriction() {
+        let ts = ThreatScenario::builder("TS-1", "insider", ThreatType::ElevationOfPrivilege)
+            .asset("GATEWAY")
+            .attacker(AttackerProfile::EvilMechanic)
+            .build()
+            .unwrap();
+        assert!(ts.allows_attacker(AttackerProfile::EvilMechanic));
+        assert!(!ts.allows_attacker(AttackerProfile::RemoteAttacker));
+    }
+
+    #[test]
+    fn unrestricted_allows_everyone() {
+        let ts = ThreatScenario::builder("TS-1", "d", ThreatType::Spoofing)
+            .asset("A")
+            .build()
+            .unwrap();
+        for p in AttackerProfile::ALL {
+            assert!(ts.allows_attacker(p));
+        }
+    }
+
+    #[test]
+    fn scenario_reference_recorded() {
+        let ts = ThreatScenario::builder("TS-1", "d", ThreatType::Spoofing)
+            .asset("A")
+            .scenario("SC-SECURE-LIFETIME")
+            .build()
+            .unwrap();
+        assert_eq!(ts.scenario().unwrap().as_str(), "SC-SECURE-LIFETIME");
+    }
+}

@@ -1,0 +1,544 @@
+//! ISO 26262 risk-rating vocabulary: severity, exposure, controllability and
+//! ASIL determination.
+//!
+//! The HARA (paper §II-C) rates every hazardous event with three parameters
+//! and looks the Automotive Safety Integrity Level (ASIL) up in the
+//! ISO 26262-3 determination table, implemented here by [`determine_asil`].
+//!
+//! The paper's running example (§III-B) rates the "road works warning"
+//! function at E=3, S=3, C=3 which yields **ASIL C** — the doctest on
+//! [`determine_asil`] pins that down.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+/// Severity of harm (S) per ISO 26262-3.
+///
+/// `S0` means "no injuries"; hazards rated `S0` do not receive an ASIL.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Severity {
+    /// No injuries.
+    S0,
+    /// Light and moderate injuries.
+    S1,
+    /// Severe and life-threatening injuries (survival probable).
+    S2,
+    /// Life-threatening injuries (survival uncertain), fatal injuries.
+    S3,
+}
+
+/// Probability of exposure (E) to the operational situation per ISO 26262-3.
+///
+/// `E0` means "incredible"; hazards rated `E0` do not receive an ASIL.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Exposure {
+    /// Incredible.
+    E0,
+    /// Very low probability.
+    E1,
+    /// Low probability.
+    E2,
+    /// Medium probability.
+    E3,
+    /// High probability.
+    E4,
+}
+
+/// Controllability (C) of the hazardous event per ISO 26262-3.
+///
+/// `C0` means "controllable in general"; hazards rated `C0` do not receive
+/// an ASIL.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Controllability {
+    /// Controllable in general.
+    C0,
+    /// Simply controllable.
+    C1,
+    /// Normally controllable.
+    C2,
+    /// Difficult to control or uncontrollable.
+    C3,
+}
+
+/// Automotive Safety Integrity Level, A (lowest) to D (highest).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum AsilLevel {
+    /// ASIL A — lowest integrity requirements.
+    A,
+    /// ASIL B.
+    B,
+    /// ASIL C.
+    C,
+    /// ASIL D — highest integrity requirements.
+    D,
+}
+
+/// Outcome class of a single HARA rating row.
+///
+/// The paper's Use Case statistics (§IV-A, §IV-B) bucket ratings into
+/// "N/A", "No ASIL" (quality management, QM) and ASIL A–D; this enum is
+/// exactly that bucket set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum RatingClass {
+    /// The failure mode is not applicable to the function — no hazard.
+    NotApplicable,
+    /// A hazard exists but the risk is low enough that quality management
+    /// suffices ("No ASIL" in the paper's terminology).
+    Qm,
+    /// The hazard carries an ASIL.
+    Asil(AsilLevel),
+}
+
+impl RatingClass {
+    /// Returns the ASIL level if this rating carries one.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use saseval_types::{AsilLevel, RatingClass};
+    /// assert_eq!(RatingClass::Asil(AsilLevel::B).asil(), Some(AsilLevel::B));
+    /// assert_eq!(RatingClass::Qm.asil(), None);
+    /// ```
+    pub fn asil(self) -> Option<AsilLevel> {
+        match self {
+            RatingClass::Asil(level) => Some(level),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` if this rating represents an actual hazard (QM or
+    /// ASIL), i.e. anything except [`RatingClass::NotApplicable`].
+    pub fn is_hazardous(self) -> bool {
+        !matches!(self, RatingClass::NotApplicable)
+    }
+}
+
+impl Severity {
+    /// Numeric S value (0–3) as used in the ISO 26262 notation `S{n}`.
+    pub fn value(self) -> u8 {
+        self as u8
+    }
+
+    /// All severity values, ascending.
+    pub const ALL: [Severity; 4] = [Severity::S0, Severity::S1, Severity::S2, Severity::S3];
+}
+
+impl Exposure {
+    /// Numeric E value (0–4) as used in the ISO 26262 notation `E{n}`.
+    pub fn value(self) -> u8 {
+        self as u8
+    }
+
+    /// All exposure values, ascending.
+    pub const ALL: [Exposure; 5] = [
+        Exposure::E0,
+        Exposure::E1,
+        Exposure::E2,
+        Exposure::E3,
+        Exposure::E4,
+    ];
+}
+
+impl Controllability {
+    /// Numeric C value (0–3) as used in the ISO 26262 notation `C{n}`.
+    pub fn value(self) -> u8 {
+        self as u8
+    }
+
+    /// All controllability values, ascending.
+    pub const ALL: [Controllability; 4] = [
+        Controllability::C0,
+        Controllability::C1,
+        Controllability::C2,
+        Controllability::C3,
+    ];
+}
+
+impl AsilLevel {
+    /// All ASIL levels, ascending (A to D).
+    pub const ALL: [AsilLevel; 4] = [AsilLevel::A, AsilLevel::B, AsilLevel::C, AsilLevel::D];
+
+    /// A relative test-effort weight for this ASIL.
+    ///
+    /// The paper (§III-B) notes that "a higher ASIL rating may be used to
+    /// justify a greater testing effort" (RQ2). The derivation pipeline uses
+    /// this weight to scale the number of situation variations generated per
+    /// attack description.
+    pub fn test_effort_weight(self) -> u32 {
+        match self {
+            AsilLevel::A => 1,
+            AsilLevel::B => 2,
+            AsilLevel::C => 4,
+            AsilLevel::D => 8,
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "S{}", self.value())
+    }
+}
+
+impl fmt::Display for Exposure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "E{}", self.value())
+    }
+}
+
+impl fmt::Display for Controllability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "C{}", self.value())
+    }
+}
+
+impl fmt::Display for AsilLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AsilLevel::A => "ASIL A",
+            AsilLevel::B => "ASIL B",
+            AsilLevel::C => "ASIL C",
+            AsilLevel::D => "ASIL D",
+        };
+        f.write_str(s)
+    }
+}
+
+impl fmt::Display for RatingClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RatingClass::NotApplicable => f.write_str("N/A"),
+            RatingClass::Qm => f.write_str("QM"),
+            RatingClass::Asil(level) => level.fmt(f),
+        }
+    }
+}
+
+/// Error returned when parsing an S/E/C/ASIL token fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRatingError {
+    token: String,
+    expected: &'static str,
+}
+
+impl fmt::Display for ParseRatingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid {} token {:?}", self.expected, self.token)
+    }
+}
+
+impl std::error::Error for ParseRatingError {}
+
+impl FromStr for Severity {
+    type Err = ParseRatingError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "S0" => Ok(Severity::S0),
+            "S1" => Ok(Severity::S1),
+            "S2" => Ok(Severity::S2),
+            "S3" => Ok(Severity::S3),
+            _ => Err(ParseRatingError { token: s.to_owned(), expected: "severity" }),
+        }
+    }
+}
+
+impl FromStr for Exposure {
+    type Err = ParseRatingError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "E0" => Ok(Exposure::E0),
+            "E1" => Ok(Exposure::E1),
+            "E2" => Ok(Exposure::E2),
+            "E3" => Ok(Exposure::E3),
+            "E4" => Ok(Exposure::E4),
+            _ => Err(ParseRatingError { token: s.to_owned(), expected: "exposure" }),
+        }
+    }
+}
+
+impl FromStr for Controllability {
+    type Err = ParseRatingError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "C0" => Ok(Controllability::C0),
+            "C1" => Ok(Controllability::C1),
+            "C2" => Ok(Controllability::C2),
+            "C3" => Ok(Controllability::C3),
+            _ => Err(ParseRatingError { token: s.to_owned(), expected: "controllability" }),
+        }
+    }
+}
+
+impl FromStr for AsilLevel {
+    type Err = ParseRatingError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "A" | "ASIL A" => Ok(AsilLevel::A),
+            "B" | "ASIL B" => Ok(AsilLevel::B),
+            "C" | "ASIL C" => Ok(AsilLevel::C),
+            "D" | "ASIL D" => Ok(AsilLevel::D),
+            _ => Err(ParseRatingError { token: s.to_owned(), expected: "ASIL" }),
+        }
+    }
+}
+
+impl FromStr for RatingClass {
+    type Err = ParseRatingError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "N/A" | "NA" => Ok(RatingClass::NotApplicable),
+            "QM" | "No ASIL" => Ok(RatingClass::Qm),
+            other => other.parse::<AsilLevel>().map(RatingClass::Asil).map_err(|_| {
+                ParseRatingError { token: s.to_owned(), expected: "rating class" }
+            }),
+        }
+    }
+}
+
+/// Determines the ASIL for a hazardous event from its severity, exposure and
+/// controllability, per the ISO 26262-3 determination table.
+///
+/// Any parameter at its zero class (`S0`, `E0`, `C0`) means the event is not
+/// safety-relevant in that dimension and the result is [`RatingClass::Qm`]
+/// ("No ASIL"). Otherwise the table assigns QM or ASIL A–D; the assignment
+/// is equivalent to the sum rule `S+E+C: 7→A, 8→B, 9→C, 10→D, else QM`,
+/// which a property test in this module verifies against the explicit table.
+///
+/// # Example
+///
+/// ```
+/// use saseval_types::{determine_asil, AsilLevel, Controllability, Exposure, RatingClass, Severity};
+///
+/// // Paper §III-B: crash into road works, E3/S3/C3 → ASIL C.
+/// assert_eq!(
+///     determine_asil(Severity::S3, Exposure::E3, Controllability::C3),
+///     RatingClass::Asil(AsilLevel::C)
+/// );
+/// // Worst case → ASIL D.
+/// assert_eq!(
+///     determine_asil(Severity::S3, Exposure::E4, Controllability::C3),
+///     RatingClass::Asil(AsilLevel::D)
+/// );
+/// ```
+pub fn determine_asil(s: Severity, e: Exposure, c: Controllability) -> RatingClass {
+    use AsilLevel::*;
+    use RatingClass::{Asil, Qm};
+
+    // Zero classes carry no ASIL by definition.
+    if s == Severity::S0 || e == Exposure::E0 || c == Controllability::C0 {
+        return Qm;
+    }
+
+    // Explicit ISO 26262-3 table, indexed [S1..S3][E1..E4][C1..C3].
+    const TABLE: [[[RatingClass; 3]; 4]; 3] = [
+        // S1
+        [
+            [Qm, Qm, Qm],          // E1
+            [Qm, Qm, Qm],          // E2
+            [Qm, Qm, Asil(A)],     // E3
+            [Qm, Asil(A), Asil(B)], // E4
+        ],
+        // S2
+        [
+            [Qm, Qm, Qm],               // E1
+            [Qm, Qm, Asil(A)],          // E2
+            [Qm, Asil(A), Asil(B)],     // E3
+            [Asil(A), Asil(B), Asil(C)], // E4
+        ],
+        // S3
+        [
+            [Qm, Qm, Asil(A)],           // E1
+            [Qm, Asil(A), Asil(B)],      // E2
+            [Asil(A), Asil(B), Asil(C)], // E3
+            [Asil(B), Asil(C), Asil(D)], // E4
+        ],
+    ];
+
+    TABLE[s.value() as usize - 1][e.value() as usize - 1][c.value() as usize - 1]
+}
+
+/// Picks an `(S, E, C)` triple that produces the requested rating class.
+///
+/// This is the inverse of [`determine_asil`], used by dataset authors and
+/// property tests that need representative ratings for a target class.
+/// Returns a canonical triple; for [`RatingClass::NotApplicable`] there is
+/// no triple (N/A means the failure mode produced no hazard at all), so the
+/// function returns `None`.
+///
+/// # Example
+///
+/// ```
+/// use saseval_types::{asil::representative_sec, determine_asil, AsilLevel, RatingClass};
+///
+/// let (s, e, c) = representative_sec(RatingClass::Asil(AsilLevel::D)).unwrap();
+/// assert_eq!(determine_asil(s, e, c), RatingClass::Asil(AsilLevel::D));
+/// ```
+pub fn representative_sec(class: RatingClass) -> Option<(Severity, Exposure, Controllability)> {
+    match class {
+        RatingClass::NotApplicable => None,
+        RatingClass::Qm => Some((Severity::S1, Exposure::E2, Controllability::C2)),
+        RatingClass::Asil(AsilLevel::A) => {
+            Some((Severity::S2, Exposure::E3, Controllability::C2))
+        }
+        RatingClass::Asil(AsilLevel::B) => {
+            Some((Severity::S2, Exposure::E3, Controllability::C3))
+        }
+        RatingClass::Asil(AsilLevel::C) => {
+            Some((Severity::S3, Exposure::E3, Controllability::C3))
+        }
+        RatingClass::Asil(AsilLevel::D) => {
+            Some((Severity::S3, Exposure::E4, Controllability::C3))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_is_asil_c() {
+        // §III-B HARA excerpt: E=3, S=3, C=3 → SG01 "Avoid ineffective
+        // location notification …" (ASIL C).
+        assert_eq!(
+            determine_asil(Severity::S3, Exposure::E3, Controllability::C3),
+            RatingClass::Asil(AsilLevel::C)
+        );
+    }
+
+    #[test]
+    fn zero_classes_are_qm() {
+        assert_eq!(
+            determine_asil(Severity::S0, Exposure::E4, Controllability::C3),
+            RatingClass::Qm
+        );
+        assert_eq!(
+            determine_asil(Severity::S3, Exposure::E0, Controllability::C3),
+            RatingClass::Qm
+        );
+        assert_eq!(
+            determine_asil(Severity::S3, Exposure::E4, Controllability::C0),
+            RatingClass::Qm
+        );
+    }
+
+    #[test]
+    fn extreme_corners() {
+        assert_eq!(
+            determine_asil(Severity::S1, Exposure::E1, Controllability::C1),
+            RatingClass::Qm
+        );
+        assert_eq!(
+            determine_asil(Severity::S3, Exposure::E4, Controllability::C3),
+            RatingClass::Asil(AsilLevel::D)
+        );
+    }
+
+    #[test]
+    fn table_matches_sum_rule() {
+        // ISO 26262's determination table is equivalent to the sum rule for
+        // non-zero classes; exhaustively verify all 36 cells.
+        for s in [Severity::S1, Severity::S2, Severity::S3] {
+            for e in [Exposure::E1, Exposure::E2, Exposure::E3, Exposure::E4] {
+                for c in [Controllability::C1, Controllability::C2, Controllability::C3] {
+                    let sum = s.value() + e.value() + c.value();
+                    let expected = match sum {
+                        7 => RatingClass::Asil(AsilLevel::A),
+                        8 => RatingClass::Asil(AsilLevel::B),
+                        9 => RatingClass::Asil(AsilLevel::C),
+                        10 => RatingClass::Asil(AsilLevel::D),
+                        _ => RatingClass::Qm,
+                    };
+                    assert_eq!(
+                        determine_asil(s, e, c),
+                        expected,
+                        "mismatch at {s}/{e}/{c} (sum {sum})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn representative_sec_inverts_determination() {
+        for class in [
+            RatingClass::Qm,
+            RatingClass::Asil(AsilLevel::A),
+            RatingClass::Asil(AsilLevel::B),
+            RatingClass::Asil(AsilLevel::C),
+            RatingClass::Asil(AsilLevel::D),
+        ] {
+            let (s, e, c) = representative_sec(class).unwrap();
+            assert_eq!(determine_asil(s, e, c), class);
+        }
+        assert_eq!(representative_sec(RatingClass::NotApplicable), None);
+    }
+
+    #[test]
+    fn asil_ordering() {
+        assert!(AsilLevel::A < AsilLevel::D);
+        assert!(RatingClass::NotApplicable < RatingClass::Qm);
+        assert!(RatingClass::Qm < RatingClass::Asil(AsilLevel::A));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Severity::S3.to_string(), "S3");
+        assert_eq!(Exposure::E4.to_string(), "E4");
+        assert_eq!(Controllability::C1.to_string(), "C1");
+        assert_eq!(AsilLevel::D.to_string(), "ASIL D");
+        assert_eq!(RatingClass::NotApplicable.to_string(), "N/A");
+        assert_eq!(RatingClass::Qm.to_string(), "QM");
+        assert_eq!(RatingClass::Asil(AsilLevel::B).to_string(), "ASIL B");
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        assert_eq!("S2".parse::<Severity>().unwrap(), Severity::S2);
+        assert_eq!("E1".parse::<Exposure>().unwrap(), Exposure::E1);
+        assert_eq!("C3".parse::<Controllability>().unwrap(), Controllability::C3);
+        assert_eq!("ASIL C".parse::<AsilLevel>().unwrap(), AsilLevel::C);
+        assert_eq!("C".parse::<AsilLevel>().unwrap(), AsilLevel::C);
+        assert_eq!("N/A".parse::<RatingClass>().unwrap(), RatingClass::NotApplicable);
+        assert_eq!("No ASIL".parse::<RatingClass>().unwrap(), RatingClass::Qm);
+        assert_eq!(
+            "ASIL D".parse::<RatingClass>().unwrap(),
+            RatingClass::Asil(AsilLevel::D)
+        );
+    }
+
+    #[test]
+    fn parse_errors_are_informative() {
+        let err = "S9".parse::<Severity>().unwrap_err();
+        assert!(err.to_string().contains("S9"));
+        assert!("".parse::<RatingClass>().is_err());
+    }
+
+    #[test]
+    fn effort_weights_increase_with_asil() {
+        let weights: Vec<u32> = AsilLevel::ALL.iter().map(|a| a.test_effort_weight()).collect();
+        assert!(weights.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn rating_class_helpers() {
+        assert!(RatingClass::Qm.is_hazardous());
+        assert!(!RatingClass::NotApplicable.is_hazardous());
+        assert_eq!(RatingClass::Asil(AsilLevel::A).asil(), Some(AsilLevel::A));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let class = RatingClass::Asil(AsilLevel::C);
+        let json = serde_json::to_string(&class).unwrap();
+        let back: RatingClass = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, class);
+    }
+}

@@ -1,0 +1,201 @@
+//! Asset classification (paper §III-A1, §III-A2).
+//!
+//! Assets are the things an attacker targets. Because the number of assets
+//! per scenario is substantial, the paper classifies them into *asset
+//! groups* (Table II) for simpler reference, and into *asset classes* that
+//! let the analyst limit the threat analysis to the assets of interest —
+//! the paper's answer to RQ2 (reducing the test space).
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+/// The group an asset belongs to (paper Table II and §III-A1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum AssetGroup {
+    /// Cloud-hosted services, e.g. a vehicle-sharing backend.
+    CloudService,
+    /// End-user devices such as smartphones or key fobs.
+    Device,
+    /// Physical computing hardware: ECUs, gateways, sensors.
+    Hardware,
+    /// Software artifacts: firmware images, applications.
+    Software,
+    /// Information assets: communication data, stored records.
+    Information,
+    /// People: drivers, owners, maintenance personnel.
+    Person,
+    /// Backend servers, e.g. OEM update infrastructure.
+    Server,
+    /// In-vehicle or roadside services.
+    Service,
+}
+
+impl AssetGroup {
+    /// All asset groups in the order the paper lists them (§III-A1).
+    pub const ALL: [AssetGroup; 8] = [
+        AssetGroup::CloudService,
+        AssetGroup::Device,
+        AssetGroup::Hardware,
+        AssetGroup::Software,
+        AssetGroup::Information,
+        AssetGroup::Person,
+        AssetGroup::Server,
+        AssetGroup::Service,
+    ];
+
+    /// The group name as printed in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            AssetGroup::CloudService => "Cloud services",
+            AssetGroup::Device => "Devices",
+            AssetGroup::Hardware => "Hardware",
+            AssetGroup::Software => "Software",
+            AssetGroup::Information => "Information",
+            AssetGroup::Person => "Person",
+            AssetGroup::Server => "Server",
+            AssetGroup::Service => "Service",
+        }
+    }
+
+    /// Whether assets of this group are reachable by purely remote attacks
+    /// (no physical presence required). Persons are reachable remotely via
+    /// social engineering; physical hardware requires access.
+    pub fn remotely_reachable(self) -> bool {
+        !matches!(self, AssetGroup::Hardware | AssetGroup::Device)
+    }
+}
+
+impl fmt::Display for AssetGroup {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error returned when parsing an asset group fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseAssetGroupError(String);
+
+impl fmt::Display for ParseAssetGroupError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown asset group {:?}", self.0)
+    }
+}
+
+impl std::error::Error for ParseAssetGroupError {}
+
+impl FromStr for AssetGroup {
+    type Err = ParseAssetGroupError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let norm = s.trim().to_ascii_lowercase();
+        match norm.as_str() {
+            "cloud services" | "cloud service" | "cloud" => Ok(AssetGroup::CloudService),
+            "devices" | "device" => Ok(AssetGroup::Device),
+            "hardware" => Ok(AssetGroup::Hardware),
+            "software" => Ok(AssetGroup::Software),
+            "information" => Ok(AssetGroup::Information),
+            "person" | "people" => Ok(AssetGroup::Person),
+            "server" => Ok(AssetGroup::Server),
+            "service" => Ok(AssetGroup::Service),
+            _ => Err(ParseAssetGroupError(s.to_owned())),
+        }
+    }
+}
+
+/// The asset *class* used to prioritize which assets a threat analysis
+/// focuses on (paper §III-A2). Classes answer RQ2: the threat analysis can
+/// be limited to, say, only assets generic to all current vehicles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum AssetClass {
+    /// Relevant for multiple scenarios.
+    Generic,
+    /// Interesting from a specific use case's perspective.
+    UseCaseSpecific,
+    /// Generic for all current vehicles — highest priority per the paper.
+    GenericCurrentVehicles,
+    /// Generic for vehicles with ADAS/AD systems.
+    GenericAdasAd,
+    /// Generic for connected (bidirectionally communicating) vehicles.
+    GenericConnected,
+}
+
+impl AssetClass {
+    /// All asset classes in the order the paper lists them.
+    pub const ALL: [AssetClass; 5] = [
+        AssetClass::Generic,
+        AssetClass::UseCaseSpecific,
+        AssetClass::GenericCurrentVehicles,
+        AssetClass::GenericAdasAd,
+        AssetClass::GenericConnected,
+    ];
+
+    /// Analysis priority, higher means analysed first. The paper singles
+    /// out [`AssetClass::GenericCurrentVehicles`] as "having the highest
+    /// priority".
+    pub fn priority(self) -> u8 {
+        match self {
+            AssetClass::GenericCurrentVehicles => 4,
+            AssetClass::GenericAdasAd => 3,
+            AssetClass::GenericConnected => 3,
+            AssetClass::Generic => 2,
+            AssetClass::UseCaseSpecific => 1,
+        }
+    }
+
+    /// Descriptive name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AssetClass::Generic => "Generic",
+            AssetClass::UseCaseSpecific => "Use-case specific",
+            AssetClass::GenericCurrentVehicles => "Generic for current vehicles",
+            AssetClass::GenericAdasAd => "Generic for ADAS/AD",
+            AssetClass::GenericConnected => "Generic for connected vehicles",
+        }
+    }
+}
+
+impl fmt::Display for AssetClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_distinct_groups() {
+        use std::collections::HashSet;
+        let set: HashSet<_> = AssetGroup::ALL.iter().collect();
+        assert_eq!(set.len(), 8);
+    }
+
+    #[test]
+    fn display_parse_round_trip() {
+        for g in AssetGroup::ALL {
+            assert_eq!(g.to_string().parse::<AssetGroup>().unwrap(), g);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_unknown() {
+        assert!("blockchain".parse::<AssetGroup>().is_err());
+    }
+
+    #[test]
+    fn current_vehicles_class_has_highest_priority() {
+        for class in AssetClass::ALL {
+            assert!(class.priority() <= AssetClass::GenericCurrentVehicles.priority());
+        }
+    }
+
+    #[test]
+    fn hardware_requires_physical_access() {
+        assert!(!AssetGroup::Hardware.remotely_reachable());
+        assert!(AssetGroup::Information.remotely_reachable());
+        assert!(AssetGroup::Person.remotely_reachable());
+    }
+}

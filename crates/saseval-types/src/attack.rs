@@ -1,0 +1,352 @@
+//! The attack-type taxonomy of the paper's Table IV.
+//!
+//! Table IV maps every STRIDE threat type to the concrete *attack types*
+//! that manifest it. An attack type is the level at which the attack engine
+//! provides an executable implementation; an attack *description*
+//! (`saseval-core`) instantiates an attack type against a specific asset and
+//! safety goal.
+//!
+//! Two attack types appear under more than one threat type in the paper
+//! ("Config. change" under Tampering and Information disclosure, "Illegal
+//! acquisition" under Information disclosure and Elevation of privilege);
+//! [`AttackType::threat_types`] therefore returns a slice. The paper's
+//! Table V additionally uses the attack type "Gain unauthorized access"
+//! (vs. Table IV's "Gain elevated access"); we keep both and map both to
+//! Elevation of privilege, preserving the paper's vocabulary exactly.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::stride::ThreatType;
+
+/// A concrete attack type from the paper's Table IV (plus
+/// [`AttackType::GainUnauthorizedAccess`] from Table V).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum AttackType {
+    // --- Spoofing ---
+    /// Sending fabricated messages that appear legitimate.
+    FakeMessages,
+    /// Impersonating another entity (sender identity forgery).
+    Spoofing,
+    // --- Tampering ---
+    /// Corrupting stored data or program code.
+    CorruptDataOrCode,
+    /// Delivering malware to the target.
+    DeliverMalware,
+    /// Altering legitimate content in transit or at rest.
+    Alter,
+    /// Injecting additional content into a communication stream.
+    Inject,
+    /// Corrupting messages on the wire (bit errors, truncation).
+    CorruptMessages,
+    /// Manipulating system behaviour through crafted inputs.
+    Manipulate,
+    /// Changing configuration parameters without authorization.
+    ConfigChange,
+    // --- Repudiation ---
+    /// Replaying previously recorded legitimate messages.
+    Replay,
+    /// Denying that a message transmission took place.
+    RepudiationOfTransmission,
+    /// Delaying messages beyond their validity window.
+    Delay,
+    // --- Information disclosure ---
+    /// Passively listening on a communication medium.
+    Listen,
+    /// Intercepting messages in transit (man-in-the-middle read).
+    Intercept,
+    /// Eavesdropping on wireless communication.
+    Eavesdropping,
+    /// Illegally acquiring credentials, keys or data.
+    IllegalAcquisition,
+    /// Exfiltrating information over a covert channel.
+    CovertChannel,
+    // --- Denial of service ---
+    /// Disabling a component or service outright.
+    Disable,
+    /// Exhausting resources, e.g. by packet flooding.
+    DenialOfService,
+    /// Jamming a wireless channel at the physical layer.
+    Jamming,
+    // --- Elevation of privilege ---
+    /// Gaining elevated (administrative) access.
+    GainElevatedAccess,
+    /// Gaining any unauthorized access (Table V vocabulary).
+    GainUnauthorizedAccess,
+}
+
+impl AttackType {
+    /// Every attack type, grouped by owning threat type in Table IV order.
+    pub const ALL: [AttackType; 22] = [
+        AttackType::FakeMessages,
+        AttackType::Spoofing,
+        AttackType::CorruptDataOrCode,
+        AttackType::DeliverMalware,
+        AttackType::Alter,
+        AttackType::Inject,
+        AttackType::CorruptMessages,
+        AttackType::Manipulate,
+        AttackType::ConfigChange,
+        AttackType::Replay,
+        AttackType::RepudiationOfTransmission,
+        AttackType::Delay,
+        AttackType::Listen,
+        AttackType::Intercept,
+        AttackType::Eavesdropping,
+        AttackType::IllegalAcquisition,
+        AttackType::CovertChannel,
+        AttackType::Disable,
+        AttackType::DenialOfService,
+        AttackType::Jamming,
+        AttackType::GainElevatedAccess,
+        AttackType::GainUnauthorizedAccess,
+    ];
+
+    /// The attack-type name as printed in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            AttackType::FakeMessages => "Fake messages",
+            AttackType::Spoofing => "Spoofing",
+            AttackType::CorruptDataOrCode => "Corrupt data or code",
+            AttackType::DeliverMalware => "Deliver malware",
+            AttackType::Alter => "Alter",
+            AttackType::Inject => "Inject",
+            AttackType::CorruptMessages => "Corrupt messages",
+            AttackType::Manipulate => "Manipulate",
+            AttackType::ConfigChange => "Config. change",
+            AttackType::Replay => "Replay",
+            AttackType::RepudiationOfTransmission => "Repudiation of message transmission",
+            AttackType::Delay => "Delay",
+            AttackType::Listen => "Listen",
+            AttackType::Intercept => "Intercept",
+            AttackType::Eavesdropping => "Eavesdropping",
+            AttackType::IllegalAcquisition => "Illegal acquisition",
+            AttackType::CovertChannel => "Covert channel",
+            AttackType::Disable => "Disable",
+            AttackType::DenialOfService => "Denial of service",
+            AttackType::Jamming => "Jamming",
+            AttackType::GainElevatedAccess => "Gain elevated access",
+            AttackType::GainUnauthorizedAccess => "Gain unauthorized access",
+        }
+    }
+
+    /// The STRIDE threat types under which Table IV (and Table V) list this
+    /// attack type. Most attack types belong to exactly one threat type;
+    /// "Config. change" and "Illegal acquisition" belong to two.
+    pub fn threat_types(self) -> &'static [ThreatType] {
+        use ThreatType::*;
+        match self {
+            AttackType::FakeMessages | AttackType::Spoofing => &[Spoofing],
+            AttackType::CorruptDataOrCode
+            | AttackType::DeliverMalware
+            | AttackType::Alter
+            | AttackType::Inject
+            | AttackType::CorruptMessages
+            | AttackType::Manipulate => &[Tampering],
+            AttackType::ConfigChange => &[Tampering, InformationDisclosure],
+            AttackType::Replay | AttackType::RepudiationOfTransmission | AttackType::Delay => {
+                &[Repudiation]
+            }
+            AttackType::Listen
+            | AttackType::Intercept
+            | AttackType::Eavesdropping
+            | AttackType::CovertChannel => &[InformationDisclosure],
+            AttackType::IllegalAcquisition => &[InformationDisclosure, ElevationOfPrivilege],
+            AttackType::Disable | AttackType::DenialOfService | AttackType::Jamming => {
+                &[DenialOfService]
+            }
+            AttackType::GainElevatedAccess | AttackType::GainUnauthorizedAccess => {
+                &[ElevationOfPrivilege]
+            }
+        }
+    }
+
+    /// Whether this attack type is *active* (changes system state or
+    /// traffic) as opposed to purely passive observation. Passive attacks
+    /// can violate privacy goals but never safety goals directly — a fact
+    /// the derivation pipeline uses when filtering attacks for
+    /// safety-critical impact (paper §IV-B distinguishes 27 safety attacks
+    /// from 2 privacy attacks).
+    pub fn is_active(self) -> bool {
+        !matches!(
+            self,
+            AttackType::Listen
+                | AttackType::Intercept
+                | AttackType::Eavesdropping
+                | AttackType::CovertChannel
+        )
+    }
+}
+
+/// Returns the attack types that manifest the given STRIDE threat type,
+/// i.e. one row of the paper's Table IV.
+///
+/// # Example
+///
+/// ```
+/// use saseval_types::{attack_types_for, AttackType, ThreatType};
+///
+/// let row = attack_types_for(ThreatType::DenialOfService);
+/// assert_eq!(row, [AttackType::Disable, AttackType::DenialOfService, AttackType::Jamming]);
+/// ```
+pub fn attack_types_for(threat: ThreatType) -> &'static [AttackType] {
+    use AttackType::*;
+    match threat {
+        ThreatType::Spoofing => &[FakeMessages, Spoofing],
+        ThreatType::Tampering => &[
+            CorruptDataOrCode,
+            DeliverMalware,
+            Alter,
+            Inject,
+            CorruptMessages,
+            Manipulate,
+            ConfigChange,
+        ],
+        ThreatType::Repudiation => &[Replay, RepudiationOfTransmission, Delay],
+        ThreatType::InformationDisclosure => &[
+            Listen,
+            Intercept,
+            Eavesdropping,
+            IllegalAcquisition,
+            CovertChannel,
+            ConfigChange,
+        ],
+        ThreatType::DenialOfService => &[Disable, DenialOfService, Jamming],
+        ThreatType::ElevationOfPrivilege => {
+            &[IllegalAcquisition, GainElevatedAccess, GainUnauthorizedAccess]
+        }
+    }
+}
+
+impl fmt::Display for AttackType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error returned when parsing an attack type fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseAttackTypeError(String);
+
+impl fmt::Display for ParseAttackTypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown attack type {:?}", self.0)
+    }
+}
+
+impl std::error::Error for ParseAttackTypeError {}
+
+impl FromStr for AttackType {
+    type Err = ParseAttackTypeError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let norm = s.trim().to_ascii_lowercase().replace(['_', '-'], " ");
+        let found = AttackType::ALL
+            .iter()
+            .find(|a| a.name().to_ascii_lowercase() == norm)
+            .copied();
+        match found {
+            Some(a) => Ok(a),
+            None => match norm.as_str() {
+                "config change" | "configuration change" => Ok(AttackType::ConfigChange),
+                "dos" | "flooding" | "packet flooding" => Ok(AttackType::DenialOfService),
+                _ => Err(ParseAttackTypeError(s.to_owned())),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn all_types_are_distinct() {
+        let set: HashSet<_> = AttackType::ALL.iter().collect();
+        assert_eq!(set.len(), AttackType::ALL.len());
+    }
+
+    #[test]
+    fn table_iv_row_sizes_match_paper() {
+        assert_eq!(attack_types_for(ThreatType::Spoofing).len(), 2);
+        assert_eq!(attack_types_for(ThreatType::Tampering).len(), 7);
+        assert_eq!(attack_types_for(ThreatType::Repudiation).len(), 3);
+        assert_eq!(attack_types_for(ThreatType::InformationDisclosure).len(), 6);
+        assert_eq!(attack_types_for(ThreatType::DenialOfService).len(), 3);
+        // Table IV lists 2 for EoP; we add Table V's "Gain unauthorized access".
+        assert_eq!(attack_types_for(ThreatType::ElevationOfPrivilege).len(), 3);
+    }
+
+    #[test]
+    fn forward_and_inverse_maps_agree() {
+        for threat in ThreatType::ALL {
+            for attack in attack_types_for(threat) {
+                assert!(
+                    attack.threat_types().contains(&threat),
+                    "{attack} listed under {threat} but inverse map disagrees"
+                );
+            }
+        }
+        for attack in AttackType::ALL {
+            for threat in attack.threat_types() {
+                assert!(
+                    attack_types_for(*threat).contains(&attack),
+                    "{attack} claims {threat} but row lacks it"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_attack_type_has_a_threat_type() {
+        for attack in AttackType::ALL {
+            assert!(!attack.threat_types().is_empty(), "{attack} unmapped");
+        }
+    }
+
+    #[test]
+    fn duplicated_attack_types_match_paper() {
+        assert_eq!(
+            AttackType::ConfigChange.threat_types(),
+            &[ThreatType::Tampering, ThreatType::InformationDisclosure]
+        );
+        assert_eq!(
+            AttackType::IllegalAcquisition.threat_types(),
+            &[ThreatType::InformationDisclosure, ThreatType::ElevationOfPrivilege]
+        );
+    }
+
+    #[test]
+    fn passive_attacks_are_information_disclosure_only() {
+        for attack in AttackType::ALL {
+            if !attack.is_active() {
+                assert_eq!(attack.threat_types(), &[ThreatType::InformationDisclosure]);
+            }
+        }
+    }
+
+    #[test]
+    fn display_parse_round_trip() {
+        for attack in AttackType::ALL {
+            assert_eq!(attack.to_string().parse::<AttackType>().unwrap(), attack);
+        }
+    }
+
+    #[test]
+    fn parse_aliases() {
+        assert_eq!("flooding".parse::<AttackType>().unwrap(), AttackType::DenialOfService);
+        assert_eq!("config change".parse::<AttackType>().unwrap(), AttackType::ConfigChange);
+        assert!("quantum attack".parse::<AttackType>().is_err());
+    }
+
+    #[test]
+    fn table_vi_and_vii_vocabulary_present() {
+        // Table VI: "Threat: Denial of Service - Attack: Disable".
+        assert!(attack_types_for(ThreatType::DenialOfService).contains(&AttackType::Disable));
+        // Table VII: "Threat: Spoofing - Attack: Spoofing".
+        assert!(attack_types_for(ThreatType::Spoofing).contains(&AttackType::Spoofing));
+    }
+}

@@ -1,0 +1,135 @@
+//! Automotive attacker profiles (paper §II-A, after Sagstetter et al.).
+//!
+//! Security testing of vehicles differs from IT security testing in its
+//! attacker population: the paper names *vehicle owner/driver*, *evil
+//! mechanic*, *thief* and *remote attacker*. Attack descriptions carry the
+//! profile so the executor can enforce the matching access assumptions
+//! (e.g. a remote attacker never gets physical bus access).
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+/// An attacker profile, determining access capabilities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum AttackerProfile {
+    /// The legitimate owner or driver attacking their own vehicle
+    /// (e.g. feature unlocking, odometer fraud).
+    OwnerDriver,
+    /// Maintenance personnel with legitimate workshop access abusing it.
+    EvilMechanic,
+    /// A thief with temporary physical proximity but no credentials.
+    Thief,
+    /// A remote attacker with only wireless/network reachability.
+    RemoteAttacker,
+}
+
+impl AttackerProfile {
+    /// All profiles named by the paper.
+    pub const ALL: [AttackerProfile; 4] = [
+        AttackerProfile::OwnerDriver,
+        AttackerProfile::EvilMechanic,
+        AttackerProfile::Thief,
+        AttackerProfile::RemoteAttacker,
+    ];
+
+    /// Whether this profile has physical access to in-vehicle networks.
+    pub fn has_physical_access(self) -> bool {
+        matches!(self, AttackerProfile::OwnerDriver | AttackerProfile::EvilMechanic)
+    }
+
+    /// Whether this profile holds legitimate credentials for some vehicle
+    /// functions.
+    pub fn has_credentials(self) -> bool {
+        matches!(self, AttackerProfile::OwnerDriver | AttackerProfile::EvilMechanic)
+    }
+
+    /// Whether this profile can reach wireless interfaces in proximity
+    /// (V2X, BLE). All profiles can; the remote attacker additionally
+    /// reaches long-range interfaces.
+    pub fn has_proximity_access(self) -> bool {
+        true
+    }
+
+    /// Descriptive name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AttackerProfile::OwnerDriver => "vehicle owner/driver",
+            AttackerProfile::EvilMechanic => "evil mechanic",
+            AttackerProfile::Thief => "thief",
+            AttackerProfile::RemoteAttacker => "remote attacker",
+        }
+    }
+}
+
+impl fmt::Display for AttackerProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error returned when parsing an attacker profile fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseAttackerProfileError(String);
+
+impl fmt::Display for ParseAttackerProfileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown attacker profile {:?}", self.0)
+    }
+}
+
+impl std::error::Error for ParseAttackerProfileError {}
+
+impl FromStr for AttackerProfile {
+    type Err = ParseAttackerProfileError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let norm = s.trim().to_ascii_lowercase().replace(['_', '-'], " ");
+        match norm.as_str() {
+            "vehicle owner/driver" | "owner" | "driver" | "owner driver" => {
+                Ok(AttackerProfile::OwnerDriver)
+            }
+            "evil mechanic" | "mechanic" => Ok(AttackerProfile::EvilMechanic),
+            "thief" => Ok(AttackerProfile::Thief),
+            "remote attacker" | "remote" => Ok(AttackerProfile::RemoteAttacker),
+            _ => Err(ParseAttackerProfileError(s.to_owned())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_profiles() {
+        assert_eq!(AttackerProfile::ALL.len(), 4);
+    }
+
+    #[test]
+    fn remote_attacker_has_no_physical_access() {
+        assert!(!AttackerProfile::RemoteAttacker.has_physical_access());
+        assert!(!AttackerProfile::RemoteAttacker.has_credentials());
+        assert!(AttackerProfile::RemoteAttacker.has_proximity_access());
+    }
+
+    #[test]
+    fn mechanic_has_credentials() {
+        assert!(AttackerProfile::EvilMechanic.has_credentials());
+        assert!(AttackerProfile::EvilMechanic.has_physical_access());
+    }
+
+    #[test]
+    fn thief_has_proximity_only() {
+        assert!(!AttackerProfile::Thief.has_physical_access());
+        assert!(!AttackerProfile::Thief.has_credentials());
+    }
+
+    #[test]
+    fn display_parse_round_trip() {
+        for p in AttackerProfile::ALL {
+            assert_eq!(p.to_string().parse::<AttackerProfile>().unwrap(), p);
+        }
+    }
+}

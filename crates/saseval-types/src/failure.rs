@@ -1,0 +1,152 @@
+//! Failure-mode guidewords used by the HARA (paper §II-C).
+//!
+//! ISO 26262-style hazard analysis applies a fixed guideword list to every
+//! item function: *No, Unintended, too Early, too Late, Less, More, Inverted,
+//! Intermittent*. Systematically exhausting the list is the paper's
+//! completeness argument for safety concerns (RQ1): if every function has
+//! been rated against every guideword, no failure class was forgotten.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+/// A failure-mode guideword applied to an item function during the HARA.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum FailureMode {
+    /// The function is not provided at all ("NO").
+    No,
+    /// The function activates although not requested.
+    Unintended,
+    /// The function activates earlier than intended.
+    TooEarly,
+    /// The function activates later than intended.
+    TooLate,
+    /// The function is provided with too little magnitude/extent.
+    Less,
+    /// The function is provided with too much magnitude/extent.
+    More,
+    /// The function acts in the opposite direction of the request.
+    Inverted,
+    /// The function drops in and out repeatedly.
+    Intermittent,
+}
+
+impl FailureMode {
+    /// All guidewords in the canonical order of the paper (§II-C).
+    pub const ALL: [FailureMode; 8] = [
+        FailureMode::No,
+        FailureMode::Unintended,
+        FailureMode::TooEarly,
+        FailureMode::TooLate,
+        FailureMode::Less,
+        FailureMode::More,
+        FailureMode::Inverted,
+        FailureMode::Intermittent,
+    ];
+
+    /// The guideword as it appears in HARA work sheets.
+    pub fn guideword(self) -> &'static str {
+        match self {
+            FailureMode::No => "No",
+            FailureMode::Unintended => "Unintended",
+            FailureMode::TooEarly => "Too Early",
+            FailureMode::TooLate => "Too Late",
+            FailureMode::Less => "Less",
+            FailureMode::More => "More",
+            FailureMode::Inverted => "Inverted",
+            FailureMode::Intermittent => "Intermittent",
+        }
+    }
+
+    /// Whether this failure mode concerns *timing* rather than value or
+    /// presence. Timing failures are the ones for which the safety goal's
+    /// fault-tolerant time interval (FTTI) is the primary acceptance
+    /// criterion.
+    pub fn is_timing(self) -> bool {
+        matches!(
+            self,
+            FailureMode::TooEarly | FailureMode::TooLate | FailureMode::Intermittent
+        )
+    }
+}
+
+impl fmt::Display for FailureMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.guideword())
+    }
+}
+
+/// Error returned when parsing a failure-mode guideword fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseFailureModeError(String);
+
+impl fmt::Display for ParseFailureModeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown failure-mode guideword {:?}", self.0)
+    }
+}
+
+impl std::error::Error for ParseFailureModeError {}
+
+impl FromStr for FailureMode {
+    type Err = ParseFailureModeError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let norm = s.trim().to_ascii_lowercase().replace(['_', '-'], " ");
+        match norm.as_str() {
+            "no" => Ok(FailureMode::No),
+            "unintended" => Ok(FailureMode::Unintended),
+            "too early" | "tooearly" => Ok(FailureMode::TooEarly),
+            "too late" | "toolate" => Ok(FailureMode::TooLate),
+            "less" => Ok(FailureMode::Less),
+            "more" => Ok(FailureMode::More),
+            "inverted" => Ok(FailureMode::Inverted),
+            "intermittent" => Ok(FailureMode::Intermittent),
+            _ => Err(ParseFailureModeError(s.to_owned())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn all_has_eight_distinct_guidewords() {
+        assert_eq!(FailureMode::ALL.len(), 8);
+        let set: HashSet<_> = FailureMode::ALL.iter().collect();
+        assert_eq!(set.len(), 8);
+    }
+
+    #[test]
+    fn display_parse_round_trip() {
+        for fm in FailureMode::ALL {
+            let parsed: FailureMode = fm.to_string().parse().unwrap();
+            assert_eq!(parsed, fm);
+        }
+    }
+
+    #[test]
+    fn parse_is_lenient_about_case_and_separators() {
+        assert_eq!("TOO_LATE".parse::<FailureMode>().unwrap(), FailureMode::TooLate);
+        assert_eq!("too-early".parse::<FailureMode>().unwrap(), FailureMode::TooEarly);
+        assert_eq!(" no ".parse::<FailureMode>().unwrap(), FailureMode::No);
+    }
+
+    #[test]
+    fn parse_rejects_unknown() {
+        let err = "sometimes".parse::<FailureMode>().unwrap_err();
+        assert!(err.to_string().contains("sometimes"));
+    }
+
+    #[test]
+    fn timing_classification() {
+        assert!(FailureMode::TooEarly.is_timing());
+        assert!(FailureMode::TooLate.is_timing());
+        assert!(FailureMode::Intermittent.is_timing());
+        assert!(!FailureMode::No.is_timing());
+        assert!(!FailureMode::Inverted.is_timing());
+    }
+}

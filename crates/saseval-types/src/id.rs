@@ -1,0 +1,314 @@
+//! Identifier newtypes for traceable SaSeVAL artifacts.
+//!
+//! SaSeVAL's completeness argument (RQ1 of the paper) rests on *explicit
+//! traceability*: safety goals link to attack descriptions, attack
+//! descriptions link to threat scenarios, threat scenarios link to scenarios
+//! and assets. Each link endpoint is a typed identifier so that the
+//! coverage analyzer in `saseval-core` can walk the trace graph without
+//! string-typing mistakes (C-NEWTYPE).
+//!
+//! Identifiers are non-empty strings without whitespace or `:`/`,`
+//! (reserved by the attack-description DSL). Construction validates this;
+//! parsing uses [`std::str::FromStr`].
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::str::FromStr;
+
+use serde::de::Error as _;
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+/// Error returned when constructing an identifier from an invalid string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IdError {
+    /// The identifier string was empty.
+    Empty,
+    /// The identifier contained a character that identifiers may not use.
+    InvalidChar {
+        /// The offending character.
+        ch: char,
+        /// Byte offset of the offending character.
+        at: usize,
+    },
+    /// The identifier exceeded [`MAX_ID_LEN`] bytes.
+    TooLong {
+        /// Actual length in bytes.
+        len: usize,
+    },
+}
+
+/// Maximum identifier length in bytes.
+pub const MAX_ID_LEN: usize = 128;
+
+impl fmt::Display for IdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IdError::Empty => write!(f, "identifier must not be empty"),
+            IdError::InvalidChar { ch, at } => {
+                write!(f, "invalid character {ch:?} at byte {at} in identifier")
+            }
+            IdError::TooLong { len } => {
+                write!(f, "identifier of {len} bytes exceeds the {MAX_ID_LEN}-byte limit")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IdError {}
+
+fn validate(s: &str) -> Result<(), IdError> {
+    if s.is_empty() {
+        return Err(IdError::Empty);
+    }
+    if s.len() > MAX_ID_LEN {
+        return Err(IdError::TooLong { len: s.len() });
+    }
+    for (at, ch) in s.char_indices() {
+        if ch.is_whitespace() || ch == ':' || ch == ',' || ch.is_control() {
+            return Err(IdError::InvalidChar { ch, at });
+        }
+    }
+    Ok(())
+}
+
+macro_rules! define_id {
+    ($(#[$meta:meta])* $name:ident) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(String);
+
+        impl $name {
+            /// Creates a new identifier.
+            ///
+            /// # Errors
+            ///
+            /// Returns [`IdError`] if the string is empty, longer than
+            /// [`MAX_ID_LEN`] bytes, or contains whitespace, control
+            /// characters, `:` or `,`.
+            ///
+            /// # Example
+            ///
+            /// ```
+            #[doc = concat!("# use saseval_types::id::", stringify!($name), ";")]
+            #[doc = concat!("let id = ", stringify!($name), "::new(\"SG01\")?;")]
+            /// assert_eq!(id.as_str(), "SG01");
+            /// # Ok::<(), saseval_types::IdError>(())
+            /// ```
+            pub fn new(s: impl Into<String>) -> Result<Self, IdError> {
+                let s = s.into();
+                validate(&s)?;
+                Ok(Self(s))
+            }
+
+            /// Returns the identifier as a string slice.
+            pub fn as_str(&self) -> &str {
+                &self.0
+            }
+
+            /// Consumes the identifier and returns the underlying string.
+            pub fn into_inner(self) -> String {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str(&self.0)
+            }
+        }
+
+        impl FromStr for $name {
+            type Err = IdError;
+
+            fn from_str(s: &str) -> Result<Self, Self::Err> {
+                Self::new(s)
+            }
+        }
+
+        impl AsRef<str> for $name {
+            fn as_ref(&self) -> &str {
+                &self.0
+            }
+        }
+
+        impl Borrow<str> for $name {
+            fn borrow(&self) -> &str {
+                &self.0
+            }
+        }
+
+        impl TryFrom<&str> for $name {
+            type Error = IdError;
+
+            fn try_from(s: &str) -> Result<Self, Self::Error> {
+                Self::new(s)
+            }
+        }
+
+        impl Serialize for $name {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_str(&self.0)
+            }
+        }
+
+        impl<'de> Deserialize<'de> for $name {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let s = String::deserialize(deserializer)?;
+                Self::new(s).map_err(D::Error::custom)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifier of a driving scenario (paper Table I, left column).
+    ScenarioId
+);
+define_id!(
+    /// Identifier of a sub-scenario within a driving scenario (Table I, right column).
+    SubScenarioId
+);
+define_id!(
+    /// Identifier of an asset (paper Table II), e.g. `GATEWAY`, `ECU`, `V2X_COMM`.
+    AssetId
+);
+define_id!(
+    /// Identifier of a threat scenario in the threat library (paper Table III).
+    ThreatScenarioId
+);
+define_id!(
+    /// Identifier of an item function analysed by the HARA, e.g. `Rat01`.
+    FunctionId
+);
+define_id!(
+    /// Identifier of a single hazard rating row produced by the HARA.
+    HazardRatingId
+);
+define_id!(
+    /// Identifier of a safety goal, e.g. `SG01`.
+    SafetyGoalId
+);
+define_id!(
+    /// Identifier of an attack description, e.g. `AD20`.
+    AttackDescriptionId
+);
+define_id!(
+    /// Identifier of a TARA damage scenario.
+    DamageScenarioId
+);
+define_id!(
+    /// Identifier of a security control or safety measure.
+    ControlId
+);
+define_id!(
+    /// Identifier of an attackable interface or ECU, e.g. `OBU_RSU`, `ECU_GW`.
+    InterfaceId
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_ids_round_trip() {
+        let id = SafetyGoalId::new("SG01").unwrap();
+        assert_eq!(id.as_str(), "SG01");
+        assert_eq!(id.to_string(), "SG01");
+        assert_eq!("SG01".parse::<SafetyGoalId>().unwrap(), id);
+        assert_eq!(id.clone().into_inner(), "SG01");
+    }
+
+    #[test]
+    fn empty_id_rejected() {
+        assert_eq!(ScenarioId::new(""), Err(IdError::Empty));
+    }
+
+    #[test]
+    fn whitespace_rejected() {
+        let err = AssetId::new("bad id").unwrap_err();
+        assert_eq!(err, IdError::InvalidChar { ch: ' ', at: 3 });
+    }
+
+    #[test]
+    fn colon_and_comma_rejected() {
+        assert!(matches!(
+            AttackDescriptionId::new("AD:1"),
+            Err(IdError::InvalidChar { ch: ':', at: 2 })
+        ));
+        assert!(matches!(
+            AttackDescriptionId::new("AD,1"),
+            Err(IdError::InvalidChar { ch: ',', at: 2 })
+        ));
+    }
+
+    #[test]
+    fn control_char_rejected() {
+        assert!(matches!(
+            InterfaceId::new("a\u{0}b"),
+            Err(IdError::InvalidChar { ch: '\u{0}', at: 1 })
+        ));
+    }
+
+    #[test]
+    fn too_long_rejected() {
+        let long = "x".repeat(MAX_ID_LEN + 1);
+        assert_eq!(FunctionId::new(long), Err(IdError::TooLong { len: MAX_ID_LEN + 1 }));
+        let max = "x".repeat(MAX_ID_LEN);
+        assert!(FunctionId::new(max).is_ok());
+    }
+
+    #[test]
+    fn unicode_ids_allowed() {
+        let id = ScenarioId::new("Straße-Überfahrt").unwrap();
+        assert_eq!(id.as_str(), "Straße-Überfahrt");
+    }
+
+    #[test]
+    fn ids_are_distinct_types() {
+        // Compile-time check: different ID types do not unify. This is the
+        // point of the newtypes — a SafetyGoalId cannot be used where an
+        // AttackDescriptionId is expected.
+        fn takes_sg(_: &SafetyGoalId) {}
+        let sg = SafetyGoalId::new("SG01").unwrap();
+        takes_sg(&sg);
+    }
+
+    #[test]
+    fn borrow_enables_str_lookup() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(SafetyGoalId::new("SG01").unwrap());
+        assert!(set.contains("SG01"));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let id = ThreatScenarioId::new("TS-2.1.4").unwrap();
+        let json = serde_json::to_string(&id).unwrap();
+        assert_eq!(json, "\"TS-2.1.4\"");
+        let back: ThreatScenarioId = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, id);
+    }
+
+    #[test]
+    fn serde_rejects_invalid() {
+        let res: Result<SafetyGoalId, _> = serde_json::from_str("\"has space\"");
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn display_error_messages() {
+        assert_eq!(IdError::Empty.to_string(), "identifier must not be empty");
+        assert!(IdError::InvalidChar { ch: ' ', at: 3 }
+            .to_string()
+            .contains("at byte 3"));
+        assert!(IdError::TooLong { len: 200 }.to_string().contains("200"));
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        let a = SafetyGoalId::new("SG01").unwrap();
+        let b = SafetyGoalId::new("SG02").unwrap();
+        assert!(a < b);
+    }
+}

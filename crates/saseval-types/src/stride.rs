@@ -1,0 +1,158 @@
+//! The Microsoft STRIDE threat model (paper §III-A3).
+//!
+//! SaSeVAL maps every threat scenario in the threat library to one of the
+//! six STRIDE threat types, which in turn map to concrete attack types
+//! ([`crate::attack::AttackType`], paper Table IV). Classifying through
+//! STRIDE rather than directly to attacks keeps the mapping systematic
+//! instead of subjective (paper §III-A3).
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+/// A STRIDE threat type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ThreatType {
+    /// Pretending to be something or somebody else.
+    Spoofing,
+    /// Modifying data or code without authorization.
+    Tampering,
+    /// Claiming not to have performed an action.
+    Repudiation,
+    /// Exposing information to unauthorized parties.
+    InformationDisclosure,
+    /// Denying or degrading service to legitimate users.
+    DenialOfService,
+    /// Gaining capabilities without proper authorization.
+    ElevationOfPrivilege,
+}
+
+impl ThreatType {
+    /// All six STRIDE threat types in canonical S-T-R-I-D-E order.
+    pub const ALL: [ThreatType; 6] = [
+        ThreatType::Spoofing,
+        ThreatType::Tampering,
+        ThreatType::Repudiation,
+        ThreatType::InformationDisclosure,
+        ThreatType::DenialOfService,
+        ThreatType::ElevationOfPrivilege,
+    ];
+
+    /// The STRIDE initial letter of this threat type.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use saseval_types::ThreatType;
+    /// let word: String = ThreatType::ALL.iter().map(|t| t.initial()).collect();
+    /// assert_eq!(word, "STRIDE");
+    /// ```
+    pub fn initial(self) -> char {
+        match self {
+            ThreatType::Spoofing => 'S',
+            ThreatType::Tampering => 'T',
+            ThreatType::Repudiation => 'R',
+            ThreatType::InformationDisclosure => 'I',
+            ThreatType::DenialOfService => 'D',
+            ThreatType::ElevationOfPrivilege => 'E',
+        }
+    }
+
+    /// Human-readable name as used in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            ThreatType::Spoofing => "Spoofing",
+            ThreatType::Tampering => "Tampering",
+            ThreatType::Repudiation => "Repudiation",
+            ThreatType::InformationDisclosure => "Information disclosure",
+            ThreatType::DenialOfService => "Denial of service",
+            ThreatType::ElevationOfPrivilege => "Elevation of privilege",
+        }
+    }
+
+    /// The security property this threat type violates, per the classic
+    /// STRIDE-to-property duality.
+    pub fn violated_property(self) -> &'static str {
+        match self {
+            ThreatType::Spoofing => "authentication",
+            ThreatType::Tampering => "integrity",
+            ThreatType::Repudiation => "non-repudiation",
+            ThreatType::InformationDisclosure => "confidentiality",
+            ThreatType::DenialOfService => "availability",
+            ThreatType::ElevationOfPrivilege => "authorization",
+        }
+    }
+}
+
+impl fmt::Display for ThreatType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error returned when parsing a STRIDE threat type fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseThreatTypeError(String);
+
+impl fmt::Display for ParseThreatTypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown STRIDE threat type {:?}", self.0)
+    }
+}
+
+impl std::error::Error for ParseThreatTypeError {}
+
+impl FromStr for ThreatType {
+    type Err = ParseThreatTypeError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let norm = s.trim().to_ascii_lowercase().replace(['_', '-'], " ");
+        match norm.as_str() {
+            "spoofing" | "s" => Ok(ThreatType::Spoofing),
+            "tampering" | "t" => Ok(ThreatType::Tampering),
+            "repudiation" | "r" => Ok(ThreatType::Repudiation),
+            "information disclosure" | "i" => Ok(ThreatType::InformationDisclosure),
+            "denial of service" | "dos" | "d" => Ok(ThreatType::DenialOfService),
+            "elevation of privilege" | "eop" | "e" => Ok(ThreatType::ElevationOfPrivilege),
+            _ => Err(ParseThreatTypeError(s.to_owned())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initials_spell_stride() {
+        let word: String = ThreatType::ALL.iter().map(|t| t.initial()).collect();
+        assert_eq!(word, "STRIDE");
+    }
+
+    #[test]
+    fn display_parse_round_trip() {
+        for t in ThreatType::ALL {
+            assert_eq!(t.to_string().parse::<ThreatType>().unwrap(), t);
+        }
+    }
+
+    #[test]
+    fn parse_accepts_initials_and_abbreviations() {
+        assert_eq!("S".parse::<ThreatType>().unwrap(), ThreatType::Spoofing);
+        assert_eq!("DoS".parse::<ThreatType>().unwrap(), ThreatType::DenialOfService);
+        assert_eq!("EoP".parse::<ThreatType>().unwrap(), ThreatType::ElevationOfPrivilege);
+    }
+
+    #[test]
+    fn parse_rejects_unknown() {
+        assert!("phishing".parse::<ThreatType>().is_err());
+    }
+
+    #[test]
+    fn properties_are_distinct() {
+        use std::collections::HashSet;
+        let props: HashSet<_> = ThreatType::ALL.iter().map(|t| t.violated_property()).collect();
+        assert_eq!(props.len(), 6);
+    }
+}

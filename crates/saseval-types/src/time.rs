@@ -1,0 +1,258 @@
+//! Simulated time and fault-tolerant time intervals.
+//!
+//! The discrete-event simulator measures time in microseconds of *virtual*
+//! time ([`SimTime`]). Safety goals carry a fault-tolerant time interval
+//! ([`Ftti`], ISO 26262): the maximum span between a malfunction (or, in
+//! SaSeVAL, a successful attack manifestation) and the hazardous event,
+//! within which the SUT's measures must reach a safe state (paper §I, §III-C).
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// An instant of virtual simulation time, in microseconds since simulation
+/// start.
+///
+/// `SimTime` is an absolute instant; durations are expressed as [`Ftti`] or
+/// plain microsecond counts. Arithmetic saturates rather than wrapping — a
+/// simulation that runs past `u64::MAX` µs (≈ 584 000 years) has other
+/// problems.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The simulation epoch (t = 0).
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// The largest representable instant.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates an instant from microseconds since simulation start.
+    pub const fn from_micros(micros: u64) -> Self {
+        SimTime(micros)
+    }
+
+    /// Creates an instant from milliseconds since simulation start.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value overflows the microsecond representation.
+    pub const fn from_millis(millis: u64) -> Self {
+        match millis.checked_mul(1_000) {
+            Some(us) => SimTime(us),
+            None => panic!("SimTime::from_millis overflow"),
+        }
+    }
+
+    /// Creates an instant from whole seconds since simulation start.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value overflows the microsecond representation.
+    pub const fn from_secs(secs: u64) -> Self {
+        match secs.checked_mul(1_000_000) {
+            Some(us) => SimTime(us),
+            None => panic!("SimTime::from_secs overflow"),
+        }
+    }
+
+    /// Microseconds since simulation start.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Milliseconds since simulation start (truncating).
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Seconds since simulation start as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Saturating difference `self - earlier`, zero if `earlier` is later.
+    pub fn saturating_since(self, earlier: SimTime) -> Ftti {
+        Ftti::from_micros(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Checked addition of a duration.
+    pub fn checked_add(self, d: Ftti) -> Option<SimTime> {
+        self.0.checked_add(d.as_micros()).map(SimTime)
+    }
+}
+
+impl Add<Ftti> for SimTime {
+    type Output = SimTime;
+
+    fn add(self, rhs: Ftti) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.as_micros()))
+    }
+}
+
+impl AddAssign<Ftti> for SimTime {
+    fn add_assign(&mut self, rhs: Ftti) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = Ftti;
+
+    fn sub(self, rhs: SimTime) -> Ftti {
+        self.saturating_since(rhs)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_multiple_of(1_000_000) {
+            write!(f, "{}s", self.0 / 1_000_000)
+        } else if self.0.is_multiple_of(1_000) {
+            write!(f, "{}ms", self.0 / 1_000)
+        } else {
+            write!(f, "{}us", self.0)
+        }
+    }
+}
+
+/// A duration of virtual time; in safety contexts, the fault-tolerant time
+/// interval of a safety goal.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Ftti(u64);
+
+impl Ftti {
+    /// The zero duration.
+    pub const ZERO: Ftti = Ftti(0);
+
+    /// Creates a duration from microseconds.
+    pub const fn from_micros(micros: u64) -> Self {
+        Ftti(micros)
+    }
+
+    /// Creates a duration from milliseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value overflows the microsecond representation.
+    pub const fn from_millis(millis: u64) -> Self {
+        match millis.checked_mul(1_000) {
+            Some(us) => Ftti(us),
+            None => panic!("Ftti::from_millis overflow"),
+        }
+    }
+
+    /// Creates a duration from whole seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value overflows the microsecond representation.
+    pub const fn from_secs(secs: u64) -> Self {
+        match secs.checked_mul(1_000_000) {
+            Some(us) => Ftti(us),
+            None => panic!("Ftti::from_secs overflow"),
+        }
+    }
+
+    /// The duration in microseconds.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// The duration in milliseconds (truncating).
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// The duration in seconds as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Saturating sum of two durations.
+    pub fn saturating_add(self, rhs: Ftti) -> Ftti {
+        Ftti(self.0.saturating_add(rhs.0))
+    }
+
+    /// Multiplies the duration by an integer factor, saturating.
+    pub fn saturating_mul(self, factor: u64) -> Ftti {
+        Ftti(self.0.saturating_mul(factor))
+    }
+}
+
+impl Add for Ftti {
+    type Output = Ftti;
+
+    fn add(self, rhs: Ftti) -> Ftti {
+        self.saturating_add(rhs)
+    }
+}
+
+impl fmt::Display for Ftti {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        SimTime(self.0).fmt(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_conversion() {
+        assert_eq!(SimTime::from_millis(5).as_micros(), 5_000);
+        assert_eq!(SimTime::from_secs(2).as_millis(), 2_000);
+        assert_eq!(Ftti::from_secs(1).as_micros(), 1_000_000);
+        assert!((SimTime::from_millis(1_500).as_secs_f64() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_millis(10) + Ftti::from_millis(5);
+        assert_eq!(t, SimTime::from_millis(15));
+        assert_eq!(t - SimTime::from_millis(10), Ftti::from_millis(5));
+        // Saturating: earlier - later is zero.
+        assert_eq!(SimTime::ZERO - SimTime::from_millis(1), Ftti::ZERO);
+    }
+
+    #[test]
+    fn add_assign() {
+        let mut t = SimTime::ZERO;
+        t += Ftti::from_micros(7);
+        assert_eq!(t.as_micros(), 7);
+    }
+
+    #[test]
+    fn saturation_at_max() {
+        let t = SimTime::MAX + Ftti::from_secs(1);
+        assert_eq!(t, SimTime::MAX);
+        assert_eq!(SimTime::MAX.checked_add(Ftti::from_micros(1)), None);
+        assert_eq!(Ftti::from_micros(u64::MAX).saturating_mul(2).as_micros(), u64::MAX);
+    }
+
+    #[test]
+    fn display_picks_natural_unit() {
+        assert_eq!(SimTime::from_secs(3).to_string(), "3s");
+        assert_eq!(SimTime::from_millis(250).to_string(), "250ms");
+        assert_eq!(SimTime::from_micros(42).to_string(), "42us");
+        assert_eq!(Ftti::from_millis(500).to_string(), "500ms");
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(SimTime::from_micros(1) < SimTime::from_micros(2));
+        assert!(Ftti::from_millis(1) < Ftti::from_secs(1));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let t = SimTime::from_millis(123);
+        let json = serde_json::to_string(&t).unwrap();
+        assert_eq!(serde_json::from_str::<SimTime>(&json).unwrap(), t);
+    }
+}

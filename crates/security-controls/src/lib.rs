@@ -1,0 +1,62 @@
+//! Simulated automotive security controls for the SaSeVAL reproduction.
+//!
+//! Attack descriptions name the **expected measures** that should defeat
+//! them (paper §III-C): Table VI expects a *"message counter for broken
+//! messages"* that identifies the unwanted sender; Table VII expects a
+//! *"check \[of\] received vehicles electronic ID with list of allowed
+//! IDs"*; the §IV-B prose expects *"timestamps resp. challenge-response
+//! patterns"* against replay. This crate implements those controls — plus
+//! message authentication, flood detection and plausibility monitoring —
+//! behind one [`SecurityControl`] trait so the attack engine can toggle
+//! arbitrary subsets (the control-ablation benches).
+//!
+//! Every inbound message is normalized into an [`Envelope`]; a
+//! [`ControlStack`] runs its controls in order, maintains the
+//! broken-message counter of Table VI, and records every decision in a
+//! [`SecurityLog`] (the paper's "create dedicated log files" detection
+//! evidence).
+//!
+//! **The MAC here is a toy.** [`mac::MacKey`] is a keyed 64-bit mixing
+//! function with no cryptographic strength whatsoever; the paper's
+//! arguments depend only on whether authentication is *present* and
+//! *checked*, never on its strength, and a real deployment would swap in a
+//! real MAC.
+//!
+//! # Example
+//!
+//! ```
+//! use security_controls::{ControlStack, Envelope, RejectReason, Verdict};
+//! use security_controls::mac::MacKey;
+//! use security_controls::controls::{FreshnessWindow, MacAuthenticator, ReplayDetector};
+//! use saseval_types::{Ftti, SimTime};
+//!
+//! let key = MacKey::new(0xC0FFEE);
+//! let mut stack = ControlStack::new("OBU");
+//! stack.push(MacAuthenticator::new(key));
+//! stack.push(FreshnessWindow::new(Ftti::from_millis(500)));
+//! stack.push(ReplayDetector::new(1024));
+//!
+//! let payload = b"roadworks at km 42";
+//! let env = Envelope::new("RSU-1", SimTime::ZERO, payload)
+//!     .with_tag(key.sign_parts(&[b"RSU-1", payload], SimTime::ZERO));
+//! assert_eq!(stack.admit(&env, SimTime::from_millis(2)), Verdict::Accepted);
+//! // The same message replayed is rejected.
+//! assert_eq!(
+//!     stack.admit(&env, SimTime::from_millis(4)),
+//!     Verdict::Rejected(RejectReason::Replayed)
+//! );
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod controls;
+mod envelope;
+mod log;
+pub mod mac;
+pub mod pseudonym;
+mod stack;
+
+pub use envelope::Envelope;
+pub use log::{SecurityEvent, SecurityLog};
+pub use stack::{ControlStack, RejectReason, SecurityControl, Verdict};

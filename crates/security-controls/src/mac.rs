@@ -1,0 +1,131 @@
+//! Toy message-authentication code for simulation.
+//!
+//! **Not cryptographically secure.** The tag is a keyed 64-bit mix
+//! (SplitMix64-style) over the message bytes. It gives the simulation the
+//! *functional* property the SaSeVAL controls need — a verifier holding
+//! the key accepts exactly the messages signed with that key, and naive
+//! forgeries fail — without pulling a cryptography dependency into a
+//! research simulator. Swap in a real MAC for any production use.
+
+use serde::{Deserialize, Serialize};
+
+use saseval_types::SimTime;
+
+/// A 64-bit authentication tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Tag(u64);
+
+impl Tag {
+    /// The raw tag value.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Builds a tag from a raw value (e.g. an attacker's guess).
+    pub fn from_raw(raw: u64) -> Self {
+        Tag(raw)
+    }
+}
+
+/// A shared symmetric key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MacKey(u64);
+
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl MacKey {
+    /// Creates a key from seed material.
+    pub fn new(seed: u64) -> Self {
+        MacKey(splitmix(seed ^ 0xA5A5_5A5A_DEAD_BEEF))
+    }
+
+    /// Signs a byte string.
+    pub fn sign(self, data: &[u8]) -> Tag {
+        let mut acc = self.0;
+        for chunk in data.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            acc = splitmix(acc ^ u64::from_le_bytes(word) ^ chunk.len() as u64);
+        }
+        Tag(splitmix(acc ^ data.len() as u64))
+    }
+
+    /// Signs several parts plus a timestamp — the shape the simulated
+    /// senders use (sender identity, payload, generation time), binding
+    /// the tag to all three.
+    pub fn sign_parts(self, parts: &[&[u8]], generated_at: SimTime) -> Tag {
+        let mut acc = self.0 ^ splitmix(generated_at.as_micros());
+        for part in parts {
+            acc = splitmix(acc ^ self.sign(part).raw());
+        }
+        Tag(acc)
+    }
+
+    /// Verifies a tag over a byte string.
+    pub fn verify(self, data: &[u8], tag: Tag) -> bool {
+        self.sign(data) == tag
+    }
+
+    /// Verifies a multi-part tag.
+    pub fn verify_parts(self, parts: &[&[u8]], generated_at: SimTime, tag: Tag) -> bool {
+        self.sign_parts(parts, generated_at) == tag
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sign_verify_round_trip() {
+        let key = MacKey::new(42);
+        let tag = key.sign(b"hello");
+        assert!(key.verify(b"hello", tag));
+        assert!(!key.verify(b"hellp", tag));
+    }
+
+    #[test]
+    fn different_keys_different_tags() {
+        let a = MacKey::new(1);
+        let b = MacKey::new(2);
+        assert_ne!(a.sign(b"msg"), b.sign(b"msg"));
+        assert!(!b.verify(b"msg", a.sign(b"msg")));
+    }
+
+    #[test]
+    fn parts_bind_timestamp_and_order() {
+        let key = MacKey::new(7);
+        let t0 = SimTime::ZERO;
+        let t1 = SimTime::from_millis(1);
+        let tag = key.sign_parts(&[b"RSU", b"payload"], t0);
+        assert!(key.verify_parts(&[b"RSU", b"payload"], t0, tag));
+        assert!(!key.verify_parts(&[b"RSU", b"payload"], t1, tag));
+        assert!(!key.verify_parts(&[b"payload", b"RSU"], t0, tag));
+        assert!(!key.verify_parts(&[b"EVIL", b"payload"], t0, tag));
+    }
+
+    #[test]
+    fn empty_and_boundary_lengths() {
+        let key = MacKey::new(9);
+        // Lengths around the 8-byte chunk boundary must all differ.
+        let tags: Vec<Tag> = (0..=17).map(|n| key.sign(&vec![0xAB; n])).collect();
+        for i in 0..tags.len() {
+            for j in (i + 1)..tags.len() {
+                assert_ne!(tags[i], tags[j], "length {i} vs {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_zeroes_do_not_collide() {
+        // Zero-padding of the last chunk must not make "ab" and "ab\0"
+        // collide (length is mixed in).
+        let key = MacKey::new(3);
+        assert_ne!(key.sign(b"ab"), key.sign(b"ab\0"));
+    }
+}

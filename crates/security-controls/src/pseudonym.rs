@@ -1,0 +1,204 @@
+//! Pseudonym rotation — the privacy measure behind Use Case I's SG06
+//! ("Avoid profile building with warnings") and the Use Case II tracking
+//! attacks (AD28/AD29).
+//!
+//! V2X senders broadcast under pseudonyms that rotate every
+//! `rotation_period`; an eavesdropper can link two observations only when
+//! they fall into the same rotation epoch. [`LinkabilityObserver`]
+//! implements the attacker side: it collects (time, pseudonym)
+//! observations and reports the fraction of consecutive observation pairs
+//! it can link — the metric the privacy ablation sweeps against the
+//! rotation period.
+
+use serde::{Deserialize, Serialize};
+
+use saseval_types::{Ftti, SimTime};
+
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// A pseudonym-rotation scheme for one vehicle identity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PseudonymScheme {
+    rotation_period: Option<Ftti>,
+    seed: u64,
+}
+
+impl PseudonymScheme {
+    /// Creates a scheme rotating every `rotation_period`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rotation_period` is zero.
+    pub fn new(rotation_period: Ftti, seed: u64) -> Self {
+        assert!(rotation_period > Ftti::ZERO, "rotation period must be positive");
+        PseudonymScheme { rotation_period: Some(rotation_period), seed }
+    }
+
+    /// A scheme that never rotates (static identifiers — the undefended
+    /// baseline of SG06).
+    pub fn static_identifier(seed: u64) -> Self {
+        PseudonymScheme { rotation_period: None, seed }
+    }
+
+    /// The rotation period, if rotation is enabled.
+    pub fn rotation_period(&self) -> Option<Ftti> {
+        self.rotation_period
+    }
+
+    /// The pseudonym `vehicle_id` uses at time `now`. Stable within a
+    /// rotation epoch, unlinkable across epochs (one-way epoch mixing).
+    pub fn pseudonym_at(&self, vehicle_id: u64, now: SimTime) -> u64 {
+        let epoch = match self.rotation_period {
+            None => 0,
+            Some(period) => now.as_micros() / period.as_micros().max(1),
+        };
+        mix(mix(self.seed ^ vehicle_id) ^ epoch)
+    }
+}
+
+/// The eavesdropper's side: collects pseudonym observations and measures
+/// linkability.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkabilityObserver {
+    observations: Vec<(SimTime, u64)>,
+}
+
+impl LinkabilityObserver {
+    /// Creates an empty observer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observed (time, pseudonym) pair. Observations must be
+    /// fed in time order (the eavesdropper sees the channel in order).
+    pub fn observe(&mut self, at: SimTime, pseudonym: u64) {
+        self.observations.push((at, pseudonym));
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.observations.len()
+    }
+
+    /// Whether no observations were made.
+    pub fn is_empty(&self) -> bool {
+        self.observations.is_empty()
+    }
+
+    /// The fraction of consecutive observation pairs with identical
+    /// pseudonyms — the attacker's ability to stitch a trajectory
+    /// (1.0 = fully trackable, 0.0 = every hop unlinkable). Returns 1.0
+    /// for fewer than two observations (a single point is trivially
+    /// "linked").
+    pub fn linkability(&self) -> f64 {
+        if self.observations.len() < 2 {
+            return 1.0;
+        }
+        let linked = self
+            .observations
+            .windows(2)
+            .filter(|pair| pair[0].1 == pair[1].1)
+            .count();
+        linked as f64 / (self.observations.len() - 1) as f64
+    }
+
+    /// Number of distinct pseudonyms observed.
+    pub fn distinct_pseudonyms(&self) -> usize {
+        let set: std::collections::BTreeSet<u64> =
+            self.observations.iter().map(|(_, p)| *p).collect();
+        set.len()
+    }
+}
+
+/// Simulates an eavesdropping campaign: one observation of `vehicle_id`
+/// every `interval` over `duration`, against the given scheme. Returns
+/// the observer for metric extraction — the executable form of attacks
+/// AD21/AD28.
+pub fn eavesdrop_campaign(
+    scheme: &PseudonymScheme,
+    vehicle_id: u64,
+    interval: Ftti,
+    duration: Ftti,
+) -> LinkabilityObserver {
+    let mut observer = LinkabilityObserver::new();
+    let mut t = SimTime::ZERO;
+    let end = SimTime::ZERO + duration;
+    let step = if interval > Ftti::ZERO { interval } else { Ftti::from_millis(1) };
+    while t <= end {
+        observer.observe(t, scheme.pseudonym_at(vehicle_id, t));
+        t += step;
+    }
+    observer
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_identifier_is_fully_linkable() {
+        let scheme = PseudonymScheme::static_identifier(1);
+        let observer =
+            eavesdrop_campaign(&scheme, 42, Ftti::from_secs(1), Ftti::from_secs(60));
+        assert_eq!(observer.linkability(), 1.0);
+        assert_eq!(observer.distinct_pseudonyms(), 1);
+    }
+
+    #[test]
+    fn rotation_reduces_linkability_monotonically() {
+        let interval = Ftti::from_secs(1);
+        let duration = Ftti::from_secs(600);
+        let mut last = 1.01;
+        for period_s in [600u64, 60, 10, 2] {
+            let scheme = PseudonymScheme::new(Ftti::from_secs(period_s), 7);
+            let observer = eavesdrop_campaign(&scheme, 42, interval, duration);
+            let linkability = observer.linkability();
+            assert!(
+                linkability < last,
+                "period {period_s}s: {linkability} not below {last}"
+            );
+            last = linkability;
+        }
+        // Rotating every 2 s with 1 s observations: roughly half the hops
+        // cross an epoch boundary.
+        assert!(last < 0.6, "fast rotation nearly unlinkable: {last}");
+    }
+
+    #[test]
+    fn pseudonyms_stable_within_epoch() {
+        let scheme = PseudonymScheme::new(Ftti::from_secs(10), 3);
+        let a = scheme.pseudonym_at(42, SimTime::from_secs(1));
+        let b = scheme.pseudonym_at(42, SimTime::from_secs(9));
+        let c = scheme.pseudonym_at(42, SimTime::from_secs(11));
+        assert_eq!(a, b, "same epoch, same pseudonym");
+        assert_ne!(a, c, "next epoch, new pseudonym");
+    }
+
+    #[test]
+    fn different_vehicles_never_share_pseudonyms() {
+        let scheme = PseudonymScheme::new(Ftti::from_secs(10), 3);
+        let t = SimTime::from_secs(5);
+        assert_ne!(scheme.pseudonym_at(1, t), scheme.pseudonym_at(2, t));
+    }
+
+    #[test]
+    fn few_observations_edge_cases() {
+        let mut observer = LinkabilityObserver::new();
+        assert!(observer.is_empty());
+        assert_eq!(observer.linkability(), 1.0);
+        observer.observe(SimTime::ZERO, 9);
+        assert_eq!(observer.linkability(), 1.0);
+        assert_eq!(observer.len(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_rotation_period_rejected() {
+        let _ = PseudonymScheme::new(Ftti::ZERO, 1);
+    }
+}

@@ -1,0 +1,286 @@
+//! The [`SecurityControl`] trait and the composing [`ControlStack`].
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use saseval_types::SimTime;
+
+use crate::envelope::Envelope;
+use crate::log::SecurityLog;
+
+/// Why a control rejected a message.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RejectReason {
+    /// Authentication tag missing or wrong.
+    BadMac,
+    /// Message older than the freshness window (or from the future).
+    Stale,
+    /// Message already seen (replay).
+    Replayed,
+    /// Sender exceeded the admissible message rate.
+    Flooding,
+    /// Sender previously isolated as unwanted.
+    SenderIsolated,
+    /// Claimed electronic ID not on the allow-list.
+    NotAllowed,
+    /// Challenge response missing or wrong.
+    BadChallengeResponse,
+    /// Content failed a plausibility check.
+    Implausible(String),
+}
+
+impl fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RejectReason::BadMac => write!(f, "authentication tag missing or invalid"),
+            RejectReason::Stale => write!(f, "message outside the freshness window"),
+            RejectReason::Replayed => write!(f, "message replayed"),
+            RejectReason::Flooding => write!(f, "sender rate limit exceeded"),
+            RejectReason::SenderIsolated => write!(f, "sender isolated as unwanted"),
+            RejectReason::NotAllowed => write!(f, "electronic ID not on the allow-list"),
+            RejectReason::BadChallengeResponse => {
+                write!(f, "challenge response missing or invalid")
+            }
+            RejectReason::Implausible(why) => write!(f, "implausible content: {why}"),
+        }
+    }
+}
+
+/// Admission decision for one message.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Verdict {
+    /// The message passed every control.
+    Accepted,
+    /// A control rejected the message.
+    Rejected(RejectReason),
+}
+
+impl Verdict {
+    /// Whether the message was accepted.
+    pub fn is_accepted(&self) -> bool {
+        matches!(self, Verdict::Accepted)
+    }
+}
+
+/// One security control in an admission stack.
+///
+/// Controls are stateful (replay caches, rate windows) and are consulted
+/// in stack order; the first rejection wins.
+pub trait SecurityControl {
+    /// Stable control name, used in the security log.
+    fn name(&self) -> &str;
+
+    /// Checks one envelope at virtual time `now`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`RejectReason`] when the control rejects the message.
+    fn check(&mut self, envelope: &Envelope, now: SimTime) -> Result<(), RejectReason>;
+}
+
+/// Default broken-message threshold after which a sender is isolated.
+pub const DEFAULT_ISOLATION_THRESHOLD: u32 = 10;
+
+/// An ordered stack of security controls plus the Table VI
+/// *broken-message counter*: each rejection increments the sending
+/// identity's counter; at the isolation threshold the sender is declared
+/// unwanted and every further message from it is rejected outright
+/// ("Security control identifies unwanted sender").
+pub struct ControlStack {
+    owner: String,
+    controls: Vec<Box<dyn SecurityControl>>,
+    broken_counter: BTreeMap<String, u32>,
+    isolated: BTreeMap<String, SimTime>,
+    isolation_threshold: u32,
+    log: SecurityLog,
+    accepted: u64,
+    rejected: u64,
+}
+
+impl fmt::Debug for ControlStack {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ControlStack")
+            .field("owner", &self.owner)
+            .field("controls", &self.controls.len())
+            .field("isolated", &self.isolated.len())
+            .field("accepted", &self.accepted)
+            .field("rejected", &self.rejected)
+            .finish()
+    }
+}
+
+impl ControlStack {
+    /// Creates an empty stack owned by the named component (e.g. `"OBU"`).
+    pub fn new(owner: impl Into<String>) -> Self {
+        ControlStack {
+            owner: owner.into(),
+            controls: Vec::new(),
+            broken_counter: BTreeMap::new(),
+            isolated: BTreeMap::new(),
+            isolation_threshold: DEFAULT_ISOLATION_THRESHOLD,
+            log: SecurityLog::new(),
+            accepted: 0,
+            rejected: 0,
+        }
+    }
+
+    /// Appends a control (consulted after the ones already pushed).
+    pub fn push(&mut self, control: impl SecurityControl + 'static) -> &mut Self {
+        self.controls.push(Box::new(control));
+        self
+    }
+
+    /// Overrides the broken-message isolation threshold.
+    pub fn set_isolation_threshold(&mut self, threshold: u32) {
+        self.isolation_threshold = threshold.max(1);
+    }
+
+    /// Runs the stack over one envelope.
+    pub fn admit(&mut self, envelope: &Envelope, now: SimTime) -> Verdict {
+        if self.isolated.contains_key(envelope.sender()) {
+            self.rejected += 1;
+            self.log.record(
+                now,
+                "broken-message-counter",
+                envelope.sender(),
+                "message from isolated sender dropped",
+            );
+            return Verdict::Rejected(RejectReason::SenderIsolated);
+        }
+        for control in &mut self.controls {
+            if let Err(reason) = control.check(envelope, now) {
+                self.rejected += 1;
+                self.log.record(now, control.name(), envelope.sender(), reason.to_string());
+                let counter = self.broken_counter.entry(envelope.sender().to_owned()).or_insert(0);
+                *counter += 1;
+                if *counter >= self.isolation_threshold {
+                    self.isolated.insert(envelope.sender().to_owned(), now);
+                    self.log.record(
+                        now,
+                        "broken-message-counter",
+                        envelope.sender(),
+                        format!(
+                            "unwanted sender identified after {counter} broken messages; isolated"
+                        ),
+                    );
+                }
+                return Verdict::Rejected(reason);
+            }
+        }
+        self.accepted += 1;
+        Verdict::Accepted
+    }
+
+    /// Whether the stack has isolated `sender` as unwanted.
+    pub fn is_isolated(&self, sender: &str) -> bool {
+        self.isolated.contains_key(sender)
+    }
+
+    /// The owner component's name.
+    pub fn owner(&self) -> &str {
+        &self.owner
+    }
+
+    /// The security log (detection evidence).
+    pub fn log(&self) -> &SecurityLog {
+        &self.log
+    }
+
+    /// (accepted, rejected) message counts.
+    pub fn counts(&self) -> (u64, u64) {
+        (self.accepted, self.rejected)
+    }
+
+    /// Names of the installed controls, in consultation order.
+    pub fn control_names(&self) -> Vec<&str> {
+        self.controls.iter().map(|c| c.name()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A control that rejects payloads starting with `0xFF`.
+    struct RejectFf;
+
+    impl SecurityControl for RejectFf {
+        fn name(&self) -> &str {
+            "reject-ff"
+        }
+
+        fn check(&mut self, envelope: &Envelope, _now: SimTime) -> Result<(), RejectReason> {
+            if envelope.payload().first() == Some(&0xFF) {
+                Err(RejectReason::Implausible("leading 0xFF".into()))
+            } else {
+                Ok(())
+            }
+        }
+    }
+
+    fn env(sender: &str, payload: &[u8]) -> Envelope {
+        Envelope::new(sender, SimTime::ZERO, payload.to_vec())
+    }
+
+    #[test]
+    fn empty_stack_accepts_everything() {
+        let mut stack = ControlStack::new("OBU");
+        assert!(stack.admit(&env("x", b"y"), SimTime::ZERO).is_accepted());
+        assert_eq!(stack.counts(), (1, 0));
+    }
+
+    #[test]
+    fn rejection_logged_and_counted() {
+        let mut stack = ControlStack::new("OBU");
+        stack.push(RejectFf);
+        let verdict = stack.admit(&env("evil", &[0xFF, 1]), SimTime::from_millis(3));
+        assert!(!verdict.is_accepted());
+        assert_eq!(stack.counts(), (0, 1));
+        assert_eq!(stack.log().len(), 1);
+        assert_eq!(stack.log().events()[0].control, "reject-ff");
+        assert_eq!(stack.log().events()[0].at, SimTime::from_millis(3));
+    }
+
+    #[test]
+    fn broken_message_counter_isolates_unwanted_sender() {
+        // Table VI: "Security control identifies unwanted sender".
+        let mut stack = ControlStack::new("OBU");
+        stack.push(RejectFf);
+        stack.set_isolation_threshold(5);
+        for _ in 0..5 {
+            stack.admit(&env("attacker", &[0xFF]), SimTime::ZERO);
+        }
+        assert!(stack.is_isolated("attacker"));
+        // Even a well-formed message from the isolated sender is dropped.
+        let verdict = stack.admit(&env("attacker", b"ok"), SimTime::ZERO);
+        assert_eq!(verdict, Verdict::Rejected(RejectReason::SenderIsolated));
+        // Other senders are unaffected.
+        assert!(stack.admit(&env("RSU-1", b"ok"), SimTime::ZERO).is_accepted());
+        assert!(stack.log().any(|e| e.detail.contains("unwanted sender")));
+    }
+
+    #[test]
+    fn threshold_floor_is_one() {
+        let mut stack = ControlStack::new("OBU");
+        stack.push(RejectFf);
+        stack.set_isolation_threshold(0);
+        stack.admit(&env("a", &[0xFF]), SimTime::ZERO);
+        assert!(stack.is_isolated("a"));
+    }
+
+    #[test]
+    fn control_names_in_order() {
+        let mut stack = ControlStack::new("GW");
+        stack.push(RejectFf);
+        assert_eq!(stack.control_names(), ["reject-ff"]);
+        assert_eq!(stack.owner(), "GW");
+    }
+
+    #[test]
+    fn reject_reason_display() {
+        assert_eq!(RejectReason::Replayed.to_string(), "message replayed");
+        assert!(RejectReason::Implausible("x".into()).to_string().contains("x"));
+    }
+}

@@ -1,0 +1,293 @@
+//! Central gateway: routing and filtering between CAN segments.
+//!
+//! Modern vehicles split the CAN topology into segments (powertrain,
+//! body, diagnostics, telematics) joined by a central gateway that
+//! forwards frames according to a routing table. The gateway's *filter
+//! rules* are the security control behind attack AD09 ("gateway filtering
+//! of body-control frames from untrusted segments") and the reason the
+//! paper's Table V "Inject" row names the Gateway as the attacked asset.
+//!
+//! The model: named segments, an ordered rule list (first match wins,
+//! default deny), and per-rule hit counters for detection evidence.
+
+use std::collections::BTreeMap;
+use std::ops::RangeInclusive;
+
+use serde::{Deserialize, Serialize};
+
+use saseval_types::SimTime;
+
+use crate::can::{CanBus, CanBusConfig, CanFrame, CanId};
+use crate::error::NetError;
+
+/// A segment name (e.g. `body`, `diag`, `telematics`).
+pub type SegmentName = String;
+
+/// What a matching rule does with a frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RuleAction {
+    /// Forward the frame to the destination segment.
+    Allow,
+    /// Drop the frame (and count the drop).
+    Deny,
+}
+
+/// One routing/filter rule.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RouteRule {
+    /// Source segment the frame was received on.
+    pub from: SegmentName,
+    /// Destination segment the rule applies to.
+    pub to: SegmentName,
+    /// CAN-ID range the rule matches (inclusive).
+    pub id_range: RangeInclusive<u16>,
+    /// Allow or deny.
+    pub action: RuleAction,
+}
+
+impl RouteRule {
+    /// Creates a rule.
+    pub fn new(
+        from: impl Into<String>,
+        to: impl Into<String>,
+        id_range: RangeInclusive<u16>,
+        action: RuleAction,
+    ) -> Self {
+        RouteRule { from: from.into(), to: to.into(), id_range, action }
+    }
+
+    fn matches(&self, from: &str, to: &str, id: CanId) -> bool {
+        self.from == from && self.to == to && self.id_range.contains(&id.raw())
+    }
+}
+
+/// Per-gateway statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GatewayStats {
+    /// Frames forwarded across segments.
+    pub forwarded: u64,
+    /// Frames dropped by an explicit deny rule.
+    pub denied: u64,
+    /// Frames dropped by the default-deny policy (no rule matched).
+    pub unmatched: u64,
+}
+
+/// A central gateway joining named CAN segments.
+///
+/// # Example
+///
+/// ```
+/// use vehicle_net::gateway::{Gateway, RouteRule, RuleAction};
+/// use vehicle_net::can::{CanBusConfig, CanFrame, CanId};
+/// use saseval_types::SimTime;
+/// use bytes::Bytes;
+///
+/// let mut gw = Gateway::new();
+/// gw.add_segment("body", CanBusConfig::default());
+/// gw.add_segment("diag", CanBusConfig::default());
+/// // Diagnostics may read body status (0x400..=0x4FF) but must not send
+/// // body-control commands (0x200..=0x2FF).
+/// gw.add_rule(RouteRule::new("body", "diag", 0x400..=0x4FF, RuleAction::Allow));
+/// gw.add_rule(RouteRule::new("diag", "body", 0x200..=0x2FF, RuleAction::Deny));
+///
+/// let attack = CanFrame::new(CanId::new(0x2A0)?, Bytes::from_static(b"open"), "tester")?;
+/// gw.receive("diag", attack, SimTime::ZERO);
+/// assert_eq!(gw.stats().denied, 1);
+/// # Ok::<(), vehicle_net::NetError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct Gateway {
+    segments: BTreeMap<SegmentName, CanBus>,
+    rules: Vec<RouteRule>,
+    stats: GatewayStats,
+}
+
+impl Gateway {
+    /// Creates a gateway with no segments.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds (or replaces) a segment bus.
+    pub fn add_segment(&mut self, name: impl Into<String>, config: CanBusConfig) -> &mut Self {
+        self.segments.insert(name.into(), CanBus::new(config));
+        self
+    }
+
+    /// Appends a rule (consulted after the ones already added; first
+    /// match wins; default deny).
+    pub fn add_rule(&mut self, rule: RouteRule) -> &mut Self {
+        self.rules.push(rule);
+        self
+    }
+
+    /// The segment names.
+    pub fn segments(&self) -> impl Iterator<Item = &str> {
+        self.segments.keys().map(String::as_str)
+    }
+
+    /// Mutable access to one segment's bus (for local traffic).
+    pub fn segment_mut(&mut self, name: &str) -> Option<&mut CanBus> {
+        self.segments.get_mut(name)
+    }
+
+    /// Receives a frame on `from` and forwards it to every other segment
+    /// an allow rule permits. Returns the names of the segments the frame
+    /// was forwarded to.
+    pub fn receive(&mut self, from: &str, frame: CanFrame, now: SimTime) -> Vec<SegmentName> {
+        let destinations: Vec<SegmentName> =
+            self.segments.keys().filter(|s| s.as_str() != from).cloned().collect();
+        let mut forwarded = Vec::new();
+        for to in destinations {
+            let decision = self
+                .rules
+                .iter()
+                .find(|r| r.matches(from, &to, frame.id()))
+                .map(|r| r.action);
+            match decision {
+                Some(RuleAction::Allow) => {
+                    let bus = self.segments.get_mut(&to).expect("destination exists");
+                    if bus.submit(frame.clone(), now).is_ok() {
+                        self.stats.forwarded += 1;
+                        forwarded.push(to);
+                    }
+                }
+                Some(RuleAction::Deny) => {
+                    self.stats.denied += 1;
+                }
+                None => {
+                    self.stats.unmatched += 1;
+                }
+            }
+        }
+        forwarded
+    }
+
+    /// Whether a frame with `id` received on `from` would reach `to`.
+    pub fn would_forward(&self, from: &str, to: &str, id: CanId) -> bool {
+        if from == to || !self.segments.contains_key(to) {
+            return false;
+        }
+        matches!(
+            self.rules.iter().find(|r| r.matches(from, to, id)).map(|r| r.action),
+            Some(RuleAction::Allow)
+        )
+    }
+
+    /// Advances one segment's bus, returning its deliveries.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::NotConnected`] if the segment does not exist.
+    pub fn advance_segment(
+        &mut self,
+        name: &str,
+        now: SimTime,
+    ) -> Result<Vec<crate::can::CanDelivery>, NetError> {
+        self.segments
+            .get_mut(name)
+            .map(|bus| bus.advance(now))
+            .ok_or(NetError::NotConnected)
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> GatewayStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    fn frame(id: u16, sender: &str) -> CanFrame {
+        CanFrame::new(CanId::new(id).unwrap(), Bytes::from_static(b"data"), sender).unwrap()
+    }
+
+    fn three_segment_gateway() -> Gateway {
+        let mut gw = Gateway::new();
+        gw.add_segment("body", CanBusConfig::default())
+            .add_segment("diag", CanBusConfig::default())
+            .add_segment("telematics", CanBusConfig::default());
+        // Status broadcasts flow everywhere.
+        gw.add_rule(RouteRule::new("body", "diag", 0x400..=0x4FF, RuleAction::Allow));
+        gw.add_rule(RouteRule::new("body", "telematics", 0x400..=0x4FF, RuleAction::Allow));
+        // Body-control commands only from telematics (the vetted path).
+        gw.add_rule(RouteRule::new("telematics", "body", 0x200..=0x2FF, RuleAction::Allow));
+        gw.add_rule(RouteRule::new("diag", "body", 0x200..=0x2FF, RuleAction::Deny));
+        gw
+    }
+
+    #[test]
+    fn allowed_route_forwards() {
+        let mut gw = three_segment_gateway();
+        let forwarded = gw.receive("telematics", frame(0x2A0, "tcu"), SimTime::ZERO);
+        assert_eq!(forwarded, ["body"]);
+        assert_eq!(gw.stats().forwarded, 1);
+        let deliveries = gw.advance_segment("body", SimTime::from_secs(1)).unwrap();
+        assert_eq!(deliveries.len(), 1);
+        assert_eq!(deliveries[0].frame.id().raw(), 0x2A0);
+    }
+
+    #[test]
+    fn ad09_body_control_from_diag_denied() {
+        let mut gw = three_segment_gateway();
+        let forwarded = gw.receive("diag", frame(0x2A0, "tester"), SimTime::ZERO);
+        assert!(forwarded.is_empty());
+        assert_eq!(gw.stats().denied, 1);
+        assert!(gw.advance_segment("body", SimTime::from_secs(1)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn default_deny_for_unmatched() {
+        let mut gw = three_segment_gateway();
+        // 0x600 matches no rule at all.
+        let forwarded = gw.receive("diag", frame(0x600, "tester"), SimTime::ZERO);
+        assert!(forwarded.is_empty());
+        assert!(gw.stats().unmatched >= 1);
+    }
+
+    #[test]
+    fn broadcast_fans_out_to_all_allowed() {
+        let mut gw = three_segment_gateway();
+        let forwarded = gw.receive("body", frame(0x420, "bcm"), SimTime::ZERO);
+        assert_eq!(forwarded.len(), 2);
+        assert!(forwarded.contains(&"diag".to_owned()));
+        assert!(forwarded.contains(&"telematics".to_owned()));
+    }
+
+    #[test]
+    fn first_match_wins() {
+        let mut gw = Gateway::new();
+        gw.add_segment("a", CanBusConfig::default()).add_segment("b", CanBusConfig::default());
+        gw.add_rule(RouteRule::new("a", "b", 0x100..=0x1FF, RuleAction::Deny));
+        gw.add_rule(RouteRule::new("a", "b", 0x000..=0x7FF, RuleAction::Allow));
+        assert!(!gw.would_forward("a", "b", CanId::new(0x150).unwrap()));
+        assert!(gw.would_forward("a", "b", CanId::new(0x300).unwrap()));
+    }
+
+    #[test]
+    fn would_forward_edge_cases() {
+        let gw = three_segment_gateway();
+        assert!(!gw.would_forward("body", "body", CanId::new(0x420).unwrap()), "no self route");
+        assert!(!gw.would_forward("body", "nonexistent", CanId::new(0x420).unwrap()));
+    }
+
+    #[test]
+    fn advance_unknown_segment_errors() {
+        let mut gw = three_segment_gateway();
+        assert!(gw.advance_segment("powertrain", SimTime::ZERO).is_err());
+    }
+
+    #[test]
+    fn local_segment_traffic_unaffected_by_rules() {
+        let mut gw = three_segment_gateway();
+        gw.segment_mut("body")
+            .unwrap()
+            .submit(frame(0x2A0, "bcm"), SimTime::ZERO)
+            .unwrap();
+        let deliveries = gw.advance_segment("body", SimTime::from_secs(1)).unwrap();
+        assert_eq!(deliveries.len(), 1, "intra-segment traffic needs no rule");
+    }
+}

@@ -1,0 +1,46 @@
+//! Simulated in-vehicle and V2X networks for the SaSeVAL reproduction.
+//!
+//! The paper's attacks act on three media, all modelled here as
+//! deterministic, virtual-time network substrates:
+//!
+//! * [`can`] — the in-vehicle CAN bus: 11-bit identifiers, lowest-ID-wins
+//!   priority arbitration, a finite bit-rate budget, per-node transmit
+//!   queues with bounded depth, error counters and bus-off. Flooding a CAN
+//!   bus with high-priority traffic starves lower-priority frames — the
+//!   mechanism behind Use Case II's "flooding of the CAN bus by forwarded
+//!   Bluetooth requests" (§IV-B).
+//! * [`v2x`] — the RSU↔OBU broadcast channel (802.11p-like): propagation
+//!   latency with deterministic jitter, independent frame loss, and
+//!   jamming windows that raise the loss rate to 1. Use Case I's warnings
+//!   travel here.
+//! * [`ble`] — a BLE-like session link between smartphone and vehicle:
+//!   advertising/connection state machine, sequence numbers, connection
+//!   supervision. Use Case II's keyless commands travel here.
+//!
+//! All randomness is drawn from caller-seeded RNGs; replaying a simulation
+//! with the same seed reproduces every delivery and loss exactly (RQ3).
+//!
+//! # Example
+//!
+//! ```
+//! use vehicle_net::v2x::{V2xChannel, V2xConfig, V2xMessage};
+//! use saseval_types::SimTime;
+//! use bytes::Bytes;
+//!
+//! let mut channel = V2xChannel::new(V2xConfig::default(), 42);
+//! let msg = V2xMessage::new("RSU-1", 0x10, Bytes::from_static(b"roadworks"), SimTime::ZERO);
+//! channel.broadcast(msg, SimTime::ZERO);
+//! let delivered = channel.poll(SimTime::from_millis(10));
+//! assert_eq!(delivered.len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ble;
+pub mod can;
+mod error;
+pub mod gateway;
+pub mod v2x;
+
+pub use error::NetError;

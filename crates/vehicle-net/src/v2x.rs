@@ -1,0 +1,318 @@
+//! V2X broadcast channel (802.11p-like) between RSU and OBU.
+//!
+//! Models the properties Use Case I's attacks exploit: propagation latency
+//! with deterministic jitter, independent frame loss, and **jamming
+//! windows** during which nothing is received ([`V2xChannel::jam`]) — the
+//! executable form of attack type "Jamming" from Table IV.
+
+use bytes::Bytes;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use saseval_types::{Ftti, SimTime};
+
+/// A V2X application message.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct V2xMessage {
+    sender: String,
+    msg_type: u16,
+    payload: Bytes,
+    generated_at: SimTime,
+    auth_tag: Option<u64>,
+}
+
+impl V2xMessage {
+    /// Creates a message stamped with its generation time (the basis of
+    /// freshness checks in `security-controls`).
+    pub fn new(
+        sender: impl Into<String>,
+        msg_type: u16,
+        payload: Bytes,
+        generated_at: SimTime,
+    ) -> Self {
+        V2xMessage { sender: sender.into(), msg_type, payload, generated_at, auth_tag: None }
+    }
+
+    /// Attaches a security-envelope authentication tag (cf. IEEE 1609.2;
+    /// here the toy MAC of `security-controls`).
+    pub fn with_auth_tag(mut self, tag: u64) -> Self {
+        self.auth_tag = Some(tag);
+        self
+    }
+
+    /// The authentication tag, if present.
+    pub fn auth_tag(&self) -> Option<u64> {
+        self.auth_tag
+    }
+
+    /// The claimed sender identity (spoofable — authentication is the job
+    /// of `security-controls`).
+    pub fn sender(&self) -> &str {
+        &self.sender
+    }
+
+    /// The application message type (e.g. road-works warning, signage).
+    pub fn msg_type(&self) -> u16 {
+        self.msg_type
+    }
+
+    /// The payload bytes.
+    pub fn payload(&self) -> &Bytes {
+        &self.payload
+    }
+
+    /// The sender-stamped generation time.
+    pub fn generated_at(&self) -> SimTime {
+        self.generated_at
+    }
+
+    /// Returns a copy with a different claimed sender (spoofing helper for
+    /// the attack engine).
+    pub fn with_sender(&self, sender: impl Into<String>) -> V2xMessage {
+        V2xMessage { sender: sender.into(), ..self.clone() }
+    }
+
+    /// Returns a copy with a different payload (tampering helper).
+    pub fn with_payload(&self, payload: Bytes) -> V2xMessage {
+        V2xMessage { payload, ..self.clone() }
+    }
+
+    /// Returns a copy with a different generation timestamp (replay/delay
+    /// helper).
+    pub fn with_generated_at(&self, generated_at: SimTime) -> V2xMessage {
+        V2xMessage { generated_at, ..self.clone() }
+    }
+}
+
+/// Configuration of a [`V2xChannel`].
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct V2xConfig {
+    /// Base propagation + processing latency in microseconds.
+    pub latency_us: u64,
+    /// Maximum deterministic jitter added on top, in microseconds.
+    pub jitter_us: u64,
+    /// Independent loss probability per frame (0.0–1.0).
+    pub loss_prob: f64,
+}
+
+impl Default for V2xConfig {
+    fn default() -> Self {
+        V2xConfig { latency_us: 2_000, jitter_us: 1_000, loss_prob: 0.01 }
+    }
+}
+
+/// Channel reception statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct V2xStats {
+    /// Messages handed to the channel.
+    pub sent: u64,
+    /// Messages delivered to the receiver.
+    pub delivered: u64,
+    /// Messages lost to random channel loss.
+    pub lost: u64,
+    /// Messages suppressed by jamming.
+    pub jammed: u64,
+}
+
+/// A broadcast channel with one receiver, deterministic under a fixed
+/// seed.
+///
+/// See the [crate-level example](crate).
+pub struct V2xChannel {
+    config: V2xConfig,
+    rng: StdRng,
+    in_flight: Vec<(SimTime, V2xMessage)>,
+    jam_until: Option<SimTime>,
+    stats: V2xStats,
+}
+
+impl std::fmt::Debug for V2xChannel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("V2xChannel")
+            .field("in_flight", &self.in_flight.len())
+            .field("jam_until", &self.jam_until)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl V2xChannel {
+    /// Creates a channel with the given configuration and RNG seed.
+    pub fn new(config: V2xConfig, seed: u64) -> Self {
+        V2xChannel {
+            config,
+            rng: StdRng::seed_from_u64(seed),
+            in_flight: Vec::new(),
+            jam_until: None,
+            stats: V2xStats::default(),
+        }
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &V2xConfig {
+        &self.config
+    }
+
+    /// Broadcasts a message at `now`. Returns the scheduled arrival time,
+    /// or `None` if the frame was lost (random loss or jamming).
+    pub fn broadcast(&mut self, msg: V2xMessage, now: SimTime) -> Option<SimTime> {
+        self.stats.sent += 1;
+        if self.is_jammed(now) {
+            self.stats.jammed += 1;
+            return None;
+        }
+        if self.config.loss_prob > 0.0 && self.rng.random_bool(self.config.loss_prob) {
+            self.stats.lost += 1;
+            return None;
+        }
+        let jitter = if self.config.jitter_us == 0 {
+            0
+        } else {
+            self.rng.random_range(0..=self.config.jitter_us)
+        };
+        let arrival = now + Ftti::from_micros(self.config.latency_us + jitter);
+        self.in_flight.push((arrival, msg));
+        Some(arrival)
+    }
+
+    /// Returns messages whose arrival time is `≤ now`, in arrival order.
+    /// Arrivals inside a jam window are suppressed.
+    pub fn poll(&mut self, now: SimTime) -> Vec<V2xMessage> {
+        self.in_flight.sort_by_key(|(t, _)| *t);
+        let mut delivered = Vec::new();
+        let mut remaining = Vec::new();
+        for (arrival, msg) in self.in_flight.drain(..) {
+            if arrival > now {
+                remaining.push((arrival, msg));
+            } else if self.jam_until.is_some_and(|until| arrival < until) {
+                self.stats.jammed += 1;
+            } else {
+                self.stats.delivered += 1;
+                delivered.push(msg);
+            }
+        }
+        self.in_flight = remaining;
+        delivered
+    }
+
+    /// Jams the channel until `until`: frames sent or arriving before that
+    /// instant are lost.
+    pub fn jam(&mut self, until: SimTime) {
+        self.jam_until = Some(match self.jam_until {
+            Some(existing) => existing.max(until),
+            None => until,
+        });
+    }
+
+    /// Whether the channel is jammed at `t`.
+    pub fn is_jammed(&self, t: SimTime) -> bool {
+        self.jam_until.is_some_and(|until| t < until)
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> V2xStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lossless() -> V2xConfig {
+        V2xConfig { latency_us: 1_000, jitter_us: 0, loss_prob: 0.0 }
+    }
+
+    fn msg(sender: &str, t: SimTime) -> V2xMessage {
+        V2xMessage::new(sender, 1, Bytes::from_static(b"warn"), t)
+    }
+
+    #[test]
+    fn delivery_after_latency() {
+        let mut ch = V2xChannel::new(lossless(), 1);
+        let arrival = ch.broadcast(msg("RSU", SimTime::ZERO), SimTime::ZERO).unwrap();
+        assert_eq!(arrival, SimTime::from_millis(1));
+        assert!(ch.poll(SimTime::from_micros(999)).is_empty());
+        assert_eq!(ch.poll(SimTime::from_millis(1)).len(), 1);
+    }
+
+    #[test]
+    fn jitter_bounded_and_deterministic() {
+        let config = V2xConfig { latency_us: 1_000, jitter_us: 500, loss_prob: 0.0 };
+        let arrivals: Vec<Vec<SimTime>> = (0..2)
+            .map(|_| {
+                let mut ch = V2xChannel::new(config, 7);
+                (0..20)
+                    .map(|_| ch.broadcast(msg("RSU", SimTime::ZERO), SimTime::ZERO).unwrap())
+                    .collect()
+            })
+            .collect();
+        assert_eq!(arrivals[0], arrivals[1], "same seed, same arrivals");
+        for a in &arrivals[0] {
+            assert!(*a >= SimTime::from_micros(1_000) && *a <= SimTime::from_micros(1_500));
+        }
+    }
+
+    #[test]
+    fn loss_rate_roughly_matches() {
+        let config = V2xConfig { latency_us: 0, jitter_us: 0, loss_prob: 0.3 };
+        let mut ch = V2xChannel::new(config, 99);
+        let mut lost = 0;
+        for _ in 0..10_000 {
+            if ch.broadcast(msg("RSU", SimTime::ZERO), SimTime::ZERO).is_none() {
+                lost += 1;
+            }
+        }
+        assert!((2_700..=3_300).contains(&lost), "lost {lost} of 10000");
+    }
+
+    #[test]
+    fn jamming_suppresses_sends_and_arrivals() {
+        let mut ch = V2xChannel::new(lossless(), 1);
+        // In-flight frame arriving inside the later jam window is lost.
+        ch.broadcast(msg("RSU", SimTime::ZERO), SimTime::ZERO).unwrap();
+        ch.jam(SimTime::from_millis(5));
+        // Send attempt during the jam window is lost immediately.
+        assert!(ch.broadcast(msg("RSU", SimTime::from_millis(2)), SimTime::from_millis(2)).is_none());
+        assert!(ch.poll(SimTime::from_millis(10)).is_empty());
+        assert_eq!(ch.stats().jammed, 2);
+        // After the window the channel recovers.
+        ch.broadcast(msg("RSU", SimTime::from_millis(6)), SimTime::from_millis(6)).unwrap();
+        assert_eq!(ch.poll(SimTime::from_millis(10)).len(), 1);
+    }
+
+    #[test]
+    fn jam_extension_keeps_latest_deadline() {
+        let mut ch = V2xChannel::new(lossless(), 1);
+        ch.jam(SimTime::from_millis(10));
+        ch.jam(SimTime::from_millis(5));
+        assert!(ch.is_jammed(SimTime::from_millis(8)));
+        assert!(!ch.is_jammed(SimTime::from_millis(10)));
+    }
+
+    #[test]
+    fn poll_orders_by_arrival() {
+        let config = V2xConfig { latency_us: 1_000, jitter_us: 900, loss_prob: 0.0 };
+        let mut ch = V2xChannel::new(config, 3);
+        for i in 0..10 {
+            ch.broadcast(msg(&format!("S{i}"), SimTime::ZERO), SimTime::ZERO);
+        }
+        let _delivered = ch.poll(SimTime::from_secs(1));
+        // Internal in-flight list was sorted; deliveries happen in arrival
+        // order which we can't observe directly here, but stats must add up.
+        assert_eq!(ch.stats().delivered, 10);
+    }
+
+    #[test]
+    fn message_helpers() {
+        let m = msg("RSU", SimTime::from_millis(3));
+        assert_eq!(m.with_sender("EVIL").sender(), "EVIL");
+        assert_eq!(m.with_payload(Bytes::from_static(b"x")).payload().as_ref(), b"x");
+        assert_eq!(
+            m.with_generated_at(SimTime::ZERO).generated_at(),
+            SimTime::ZERO
+        );
+        assert_eq!(m.msg_type(), 1);
+    }
+}

@@ -1,0 +1,103 @@
+//! Shared simulation configuration types.
+
+use serde::{Deserialize, Serialize};
+
+/// Which security controls a simulated SUT deploys.
+///
+//  The control-ablation benches sweep subsets of this struct to show which
+//  control defeats which Table IV attack type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ControlSelection {
+    /// Message authentication (MAC over sender, payload, timestamp).
+    pub authentication: bool,
+    /// Freshness window on generation timestamps.
+    pub freshness: bool,
+    /// Replay cache.
+    pub replay_protection: bool,
+    /// Per-sender rate limiting / broken-message counter (Table VI).
+    pub flood_protection: bool,
+    /// Content plausibility checks (speed-limit range, …).
+    pub plausibility: bool,
+    /// Electronic-ID allow-list (Table VII; keyless world only).
+    pub allow_list: bool,
+    /// Challenge–response on commands (§IV-B; keyless world only).
+    pub challenge_response: bool,
+    /// Gateway filtering of body-control frames from untrusted CAN
+    /// segments (the expected measure of attack AD09; keyless world only).
+    pub can_filtering: bool,
+}
+
+impl ControlSelection {
+    /// Every control enabled — the fully defended SUT.
+    pub fn all() -> Self {
+        ControlSelection {
+            authentication: true,
+            freshness: true,
+            replay_protection: true,
+            flood_protection: true,
+            plausibility: true,
+            allow_list: true,
+            challenge_response: true,
+            can_filtering: true,
+        }
+    }
+
+    /// No controls — the undefended baseline.
+    pub fn none() -> Self {
+        ControlSelection {
+            authentication: false,
+            freshness: false,
+            replay_protection: false,
+            flood_protection: false,
+            plausibility: false,
+            allow_list: false,
+            challenge_response: false,
+            can_filtering: false,
+        }
+    }
+
+    /// Authentication and encryption-style controls only — the
+    /// configuration the paper argues is *insufficient* ("attacks that
+    /// may occur despite having a valid end-to-end encryption", §IV-B).
+    pub fn auth_only() -> Self {
+        ControlSelection { authentication: true, ..Self::none() }
+    }
+
+    /// Number of enabled controls.
+    pub fn enabled_count(self) -> usize {
+        [
+            self.authentication,
+            self.freshness,
+            self.replay_protection,
+            self.flood_protection,
+            self.plausibility,
+            self.allow_list,
+            self.challenge_response,
+            self.can_filtering,
+        ]
+        .into_iter()
+        .filter(|b| *b)
+        .count()
+    }
+}
+
+impl Default for ControlSelection {
+    fn default() -> Self {
+        Self::all()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets() {
+        assert_eq!(ControlSelection::all().enabled_count(), 8);
+        assert_eq!(ControlSelection::none().enabled_count(), 0);
+        assert_eq!(ControlSelection::auth_only().enabled_count(), 1);
+        assert!(ControlSelection::auth_only().authentication);
+        assert!(!ControlSelection::auth_only().replay_protection);
+        assert_eq!(ControlSelection::default(), ControlSelection::all());
+    }
+}

@@ -1,0 +1,44 @@
+//! Error type for the simulator.
+
+use std::fmt;
+
+/// Error returned by simulator configuration and execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// A configuration value is out of its valid range.
+    InvalidConfig {
+        /// The offending field.
+        field: &'static str,
+        /// Why the value is invalid.
+        reason: String,
+    },
+    /// The simulation horizon elapsed before the scenario concluded.
+    HorizonExceeded,
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidConfig { field, reason } => {
+                write!(f, "invalid configuration field {field}: {reason}")
+            }
+            SimError::HorizonExceeded => {
+                write!(f, "simulation horizon elapsed before the scenario concluded")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = SimError::InvalidConfig { field: "tick", reason: "must be positive".into() };
+        assert!(e.to_string().contains("tick"));
+        assert!(SimError::HorizonExceeded.to_string().contains("horizon"));
+    }
+}

@@ -1,0 +1,151 @@
+//! Discrete-event kernel: a deterministic time-ordered event queue.
+//!
+//! The worlds in this crate are tick-driven for their continuous parts
+//! (kinematics) but use an [`EventQueue`] for discrete scheduling (RSU
+//! broadcast slots, driver take-over completion, attack activation
+//! times). Events at equal times dequeue in insertion order, keeping runs
+//! bit-for-bit reproducible.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use saseval_types::SimTime;
+
+/// A deterministic time-ordered event queue.
+///
+/// # Example
+///
+/// ```
+/// use vehicle_sim::kernel::EventQueue;
+/// use saseval_types::SimTime;
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_millis(5), "b");
+/// q.schedule(SimTime::from_millis(1), "a");
+/// assert_eq!(q.pop_due(SimTime::from_millis(5)), vec!["a", "b"]);
+/// assert!(q.is_empty());
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<(SimTime, u64, usize)>>,
+    events: Vec<Option<E>>,
+    seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> std::fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue").field("pending", &self.heap.len()).finish()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), events: Vec::new(), seq: 0 }
+    }
+
+    /// Schedules `event` at time `at`.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        let slot = self.events.len();
+        self.events.push(Some(event));
+        self.heap.push(Reverse((at, self.seq, slot)));
+        self.seq += 1;
+    }
+
+    /// The time of the earliest pending event.
+    pub fn next_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse((t, _, _))| *t)
+    }
+
+    /// Removes and returns the earliest event if it is due at or before
+    /// `now`.
+    pub fn pop_next_due(&mut self, now: SimTime) -> Option<(SimTime, E)> {
+        match self.heap.peek() {
+            Some(Reverse((t, _, _))) if *t <= now => {
+                let Reverse((t, _, slot)) = self.heap.pop().expect("peeked");
+                let event = self.events[slot].take().expect("event slot");
+                Some((t, event))
+            }
+            _ => None,
+        }
+    }
+
+    /// Removes and returns all events due at or before `now`, in time then
+    /// insertion order.
+    pub fn pop_due(&mut self, now: SimTime) -> Vec<E> {
+        let mut due = Vec::new();
+        while let Some((_, event)) = self.pop_next_due(now) {
+            due.push(event);
+        }
+        due
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_time() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(3), 3);
+        q.schedule(SimTime::from_millis(1), 1);
+        q.schedule(SimTime::from_millis(2), 2);
+        assert_eq!(q.pop_due(SimTime::from_secs(1)), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn equal_times_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.schedule(SimTime::from_millis(5), i);
+        }
+        assert_eq!(q.pop_due(SimTime::from_millis(5)), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn respects_due_boundary() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(10), "late");
+        q.schedule(SimTime::from_millis(1), "early");
+        assert_eq!(q.pop_due(SimTime::from_millis(9)), vec!["early"]);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.next_time(), Some(SimTime::from_millis(10)));
+        assert_eq!(q.pop_due(SimTime::from_millis(10)), vec!["late"]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn pop_next_due_single_step() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(2), "a");
+        assert!(q.pop_next_due(SimTime::from_millis(1)).is_none());
+        let (t, e) = q.pop_next_due(SimTime::from_millis(2)).unwrap();
+        assert_eq!((t, e), (SimTime::from_millis(2), "a"));
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(1), 1);
+        assert_eq!(q.pop_due(SimTime::from_millis(1)), vec![1]);
+        q.schedule(SimTime::from_millis(2), 2);
+        q.schedule(SimTime::from_millis(2), 3);
+        assert_eq!(q.pop_due(SimTime::from_millis(2)), vec![2, 3]);
+    }
+}

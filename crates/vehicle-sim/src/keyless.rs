@@ -1,0 +1,803 @@
+//! Use Case II world: keyless car opener via smartphone and BLE
+//! (paper §IV-B).
+//!
+//! The owner's phone opens/closes the vehicle over a [`BleLink`]. A
+//! gateway admits commands through its [`ControlStack`] — electronic-ID
+//! allow-list (Table VII), MAC, freshness, replay cache,
+//! challenge–response — and forwards accepted commands over the
+//! [`CanBus`] to the door-lock ECU. Non-command BLE service requests are
+//! forwarded to the CAN bus as diagnostic traffic; without gateway rate
+//! limiting an attacker can flood the bus through this path and starve
+//! the opening function (SG03, the "flooding of the CAN bus by forwarded
+//! Bluetooth requests" of §IV-B).
+//!
+//! Safety goals evaluated: **SG01** keep vehicle closed (no unauthorized
+//! open), **SG02** avoid intermittent open/close, **SG03** opening served
+//! within its availability budget, **SG04** no closing while a person is
+//! entering.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use saseval_types::{Ftti, SimTime};
+use security_controls::controls::{
+    ChallengeResponse, FloodDetector, FreshnessWindow, IdAllowList, MacAuthenticator,
+    ReplayDetector,
+};
+use security_controls::mac::{MacKey, Tag};
+use security_controls::{ControlStack, Envelope, RejectReason, SecurityControl, SecurityLog};
+use vehicle_net::ble::{BleConfig, BleLink};
+use vehicle_net::can::{CanBus, CanBusConfig, CanFrame, CanId};
+
+use crate::config::ControlSelection;
+use crate::kernel::EventQueue;
+use crate::trace::TraceRecorder;
+use crate::AttackerHook;
+
+/// Command byte: open the vehicle.
+pub const CMD_OPEN: u8 = 1;
+/// Command byte: close the vehicle.
+pub const CMD_CLOSE: u8 = 2;
+/// Command byte: generic service/diagnostic request (forwarded traffic).
+pub const CMD_SERVICE: u8 = 0x10;
+/// CAN identifier of body-control (lock) commands.
+pub const CAN_LOCK_CMD: u16 = 0x2A0;
+/// CAN identifier of forwarded diagnostic traffic (higher priority than
+/// lock commands — the flooding lever).
+pub const CAN_DIAG: u16 = 0x100;
+/// The owner's phone identity.
+pub const OWNER_PHONE: &str = "owner-phone";
+
+/// A decoded BLE command frame (33-byte wire layout:
+/// `cmd ‖ key_id(8) ‖ ts(8) ‖ challenge_response(8) ‖ tag(8)`).
+///
+/// The generation timestamp travels *inside* the authenticated payload —
+/// a replayed command therefore stays MAC-valid but stale, exactly the
+/// situation the §IV-B freshness/challenge–response discussion is about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Command {
+    /// The command byte ([`CMD_OPEN`], [`CMD_CLOSE`], [`CMD_SERVICE`]).
+    pub cmd: u8,
+    /// The claimed electronic key ID.
+    pub key_id: u64,
+    /// Generation timestamp in microseconds of virtual time.
+    pub ts: u64,
+    /// The challenge response (0 when absent).
+    pub response: u64,
+    /// The authentication tag (0 when absent).
+    pub tag: u64,
+}
+
+impl Command {
+    /// Encodes the command into its wire layout.
+    pub fn encode(self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(33);
+        out.push(self.cmd);
+        out.extend_from_slice(&self.key_id.to_le_bytes());
+        out.extend_from_slice(&self.ts.to_le_bytes());
+        out.extend_from_slice(&self.response.to_le_bytes());
+        out.extend_from_slice(&self.tag.to_le_bytes());
+        out
+    }
+
+    /// Decodes a wire payload; `None` when malformed.
+    pub fn decode(payload: &[u8]) -> Option<Command> {
+        if payload.len() != 33 {
+            return None;
+        }
+        let word = |i: usize| u64::from_le_bytes(payload[i..i + 8].try_into().expect("8 bytes"));
+        Some(Command {
+            cmd: payload[0],
+            key_id: word(1),
+            ts: word(9),
+            response: word(17),
+            tag: word(25),
+        })
+    }
+}
+
+/// Wraps a shared control so both the stack and the world (issuing
+/// challenges, authorizing config writes) can reach it.
+struct Shared<T> {
+    name: &'static str,
+    inner: Arc<Mutex<T>>,
+}
+
+impl<T: SecurityControl> SecurityControl for Shared<T> {
+    fn name(&self) -> &str {
+        self.name
+    }
+
+    fn check(&mut self, envelope: &Envelope, now: SimTime) -> Result<(), RejectReason> {
+        self.inner.lock().check(envelope, now)
+    }
+}
+
+/// Configuration of the keyless world.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KeylessConfig {
+    /// Simulation tick.
+    pub tick: Ftti,
+    /// Run horizon.
+    pub horizon: Ftti,
+    /// Deployed security controls.
+    pub controls: ControlSelection,
+    /// BLE link parameters.
+    pub ble: BleConfig,
+    /// CAN bus parameters.
+    pub can: CanBusConfig,
+    /// The owner's electronic key ID.
+    pub owner_key_id: u64,
+    /// Availability budget for serving an open request (SG03 FTTI).
+    pub open_budget: Ftti,
+    /// How long a person is assumed to be entering after an open (SG04).
+    pub entry_window: Ftti,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for KeylessConfig {
+    fn default() -> Self {
+        KeylessConfig {
+            tick: Ftti::from_millis(10),
+            horizon: Ftti::from_secs(30),
+            controls: ControlSelection::all(),
+            ble: BleConfig::default(),
+            can: CanBusConfig { bitrate_bps: 125_000, tx_queue_depth: 64 },
+            owner_key_id: 0x0DE5_1234,
+            open_budget: Ftti::from_secs(5),
+            entry_window: Ftti::from_secs(3),
+            seed: 7,
+        }
+    }
+}
+
+/// Outcome of one keyless run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KeylessOutcome {
+    /// Final lock state (true = open).
+    pub lock_open: bool,
+    /// First open actuation, if any.
+    pub opened_at: Option<SimTime>,
+    /// Latency from the owner's request to actuation, if served.
+    pub open_latency: Option<Ftti>,
+    /// An open actuated with no owner request pending (SG01 violation).
+    pub unauthorized_open: bool,
+    /// Lock transitions (open↔close) over the run.
+    pub transitions: u32,
+    /// A close actuated inside the entry window (SG04 violation).
+    pub closed_during_entry: bool,
+    /// SG01 violated: vehicle did not stay closed against unauthorized
+    /// commands.
+    pub sg01_violated: bool,
+    /// SG02 violated: intermittent open/close.
+    pub sg02_violated: bool,
+    /// SG03 violated: owner's open not served within the budget.
+    pub sg03_violated: bool,
+    /// SG04 violated: unintended closing during entry.
+    pub sg04_violated: bool,
+    /// Senders isolated by the broken-message counter.
+    pub isolated_senders: Vec<String>,
+    /// When the first sender was isolated (detection latency).
+    pub isolated_at: Option<SimTime>,
+}
+
+enum OwnerAction {
+    Open,
+    Close,
+}
+
+/// The running keyless world.
+pub struct KeylessWorld {
+    config: KeylessConfig,
+    now: SimTime,
+    link: BleLink,
+    stack: ControlStack,
+    can: CanBus,
+    command_key: MacKey,
+    config_key: MacKey,
+    challenge: Option<Arc<Mutex<ChallengeResponse>>>,
+    allow_list: Option<Arc<Mutex<IdAllowList>>>,
+    forward_limiter: Option<FloodDetector>,
+    owner_script: EventQueue<OwnerAction>,
+    lock_open: bool,
+    transitions: u32,
+    opened_at: Option<SimTime>,
+    owner_open_requested_at: Option<SimTime>,
+    pending_owner_open: Option<SimTime>,
+    open_latency: Option<Ftti>,
+    unauthorized_open: bool,
+    entering_until: Option<SimTime>,
+    closed_during_entry: bool,
+    sniffed: Vec<Vec<u8>>,
+    trace: TraceRecorder,
+}
+
+impl std::fmt::Debug for KeylessWorld {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KeylessWorld")
+            .field("now", &self.now)
+            .field("lock_open", &self.lock_open)
+            .field("transitions", &self.transitions)
+            .finish()
+    }
+}
+
+impl KeylessWorld {
+    /// Creates the world in its initial (closed, advertising) state.
+    pub fn new(config: KeylessConfig) -> Self {
+        let command_key = MacKey::new(config.seed ^ 0x4B45_594C); // "KEYL"
+        let config_key = MacKey::new(config.seed ^ 0x434F_4E46); // "CONF"
+        let mut stack = ControlStack::new("GW");
+        let c = config.controls;
+        let mut allow_list = None;
+        if c.allow_list {
+            let shared = Arc::new(Mutex::new(IdAllowList::new([config.owner_key_id], config_key)));
+            allow_list = Some(Arc::clone(&shared));
+            stack.push(Shared { name: "id-allow-list", inner: shared });
+        }
+        if c.authentication {
+            stack.push(MacAuthenticator::new(command_key));
+        }
+        if c.freshness {
+            stack.push(FreshnessWindow::new(Ftti::from_millis(500)));
+        }
+        if c.replay_protection {
+            stack.push(ReplayDetector::new(4_096));
+        }
+        let mut challenge = None;
+        if c.challenge_response {
+            let shared = Arc::new(Mutex::new(ChallengeResponse::new(command_key)));
+            challenge = Some(Arc::clone(&shared));
+            stack.push(Shared { name: "challenge-response", inner: shared });
+        }
+        let forward_limiter = if c.flood_protection {
+            // Legitimate companion-app service traffic stays below
+            // 20 requests/s.
+            Some(FloodDetector::new(20, Ftti::from_secs(1)))
+        } else {
+            None
+        };
+        let mut link = BleLink::new(config.ble, config.seed);
+        link.start_advertising(SimTime::ZERO);
+        let can = CanBus::new(config.can);
+        KeylessWorld {
+            config,
+            now: SimTime::ZERO,
+            link,
+            stack,
+            can,
+            command_key,
+            config_key,
+            challenge,
+            allow_list,
+            forward_limiter,
+            owner_script: EventQueue::new(),
+            lock_open: false,
+            transitions: 0,
+            opened_at: None,
+            owner_open_requested_at: None,
+            pending_owner_open: None,
+            open_latency: None,
+            unauthorized_open: false,
+            entering_until: None,
+            closed_during_entry: false,
+            sniffed: Vec::new(),
+            trace: TraceRecorder::new(),
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Whether the vehicle is currently open.
+    pub fn lock_open(&self) -> bool {
+        self.lock_open
+    }
+
+    /// The command MAC key. Table VII's precondition grants the attacker
+    /// "an authenticated communication link", so the attack engine may
+    /// obtain the key; whether attacks succeed is then up to the
+    /// remaining controls (the allow-list, for AD08).
+    pub fn command_key(&self) -> MacKey {
+        self.command_key
+    }
+
+    /// The configuration-write key guarding allow-list changes. Held by
+    /// legitimate tooling and, in the insider variant of attack AD24, by
+    /// an evil-mechanic attacker.
+    pub fn config_key(&self) -> MacKey {
+        self.config_key
+    }
+
+    /// The BLE link, for attacker injection and jamming.
+    pub fn link_mut(&mut self) -> &mut BleLink {
+        &mut self.link
+    }
+
+    /// All payloads ever sent on the radio — the attacker's eavesdropping
+    /// feed (replay attacks record from here).
+    pub fn sniffed(&self) -> &[Vec<u8>] {
+        &self.sniffed
+    }
+
+    /// The gateway's security log.
+    pub fn security_log(&self) -> &SecurityLog {
+        self.stack.log()
+    }
+
+    /// The functional trace.
+    pub fn trace(&self) -> &TraceRecorder {
+        &self.trace
+    }
+
+    /// The world configuration.
+    pub fn config(&self) -> &KeylessConfig {
+        &self.config
+    }
+
+    /// Attempts a configuration write adding `id` to the allow-list
+    /// (attack AD24). Returns whether the write was accepted; `None` when
+    /// no allow-list is deployed.
+    pub fn try_allowlist_write(&mut self, id: u64, auth: Tag) -> Option<bool> {
+        self.allow_list.as_ref().map(|list| list.lock().try_add(id, auth))
+    }
+
+    /// Injects a body-control frame from an exposed CAN stub (attack
+    /// AD09: "inject a forged open frame on the CAN bus via a compromised
+    /// gateway port"). With gateway filtering enabled the frame is dropped
+    /// at the segment boundary and the drop is logged; otherwise it goes
+    /// straight to the lock actuator. Returns whether the frame reached
+    /// the bus.
+    pub fn inject_can_from_stub(&mut self, cmd: u8) -> bool {
+        if self.config.controls.can_filtering {
+            self.trace.record(
+                self.now,
+                "gateway",
+                "stub-frame-filtered",
+                format!("body-control frame {cmd:#x} from untrusted segment dropped"),
+            );
+            return false;
+        }
+        let frame = CanFrame::new(
+            CanId::new(CAN_LOCK_CMD).expect("const id"),
+            Bytes::copy_from_slice(&[cmd]),
+            "stub",
+        )
+        .expect("stub frame");
+        self.can.submit(frame, self.now).is_ok()
+    }
+
+    /// Schedules the owner to open the vehicle at `at`.
+    pub fn schedule_owner_open(&mut self, at: SimTime) {
+        self.owner_script.schedule(at, OwnerAction::Open);
+    }
+
+    /// Schedules the owner to close the vehicle at `at`.
+    pub fn schedule_owner_close(&mut self, at: SimTime) {
+        self.owner_script.schedule(at, OwnerAction::Close);
+    }
+
+    /// Sends a raw payload on the BLE radio under any sender name — the
+    /// attack engine's injection primitive. Connects (or hijacks the
+    /// session) if necessary.
+    pub fn send_ble(&mut self, sender: &str, payload: Vec<u8>) {
+        if !self.link.is_connected() {
+            self.link.start_advertising(self.now);
+            if self.link.connect(sender, self.now).is_err() {
+                return;
+            }
+        }
+        self.sniffed.push(payload.clone());
+        let _ = self.link.send(sender, Bytes::from(payload), self.now);
+    }
+
+    /// Builds a fully credentialed command as the owner's phone would.
+    pub fn owner_command(&mut self, cmd: u8) -> Command {
+        let response = match &self.challenge {
+            Some(cr) => {
+                let nonce = cr.lock().issue(OWNER_PHONE);
+                ChallengeResponse::respond(self.command_key, nonce, &[cmd]).raw()
+            }
+            None => 0,
+        };
+        let tag = MacAuthenticator::sign(self.command_key, OWNER_PHONE, &[cmd], self.now).raw();
+        Command {
+            cmd,
+            key_id: self.config.owner_key_id,
+            ts: self.now.as_micros(),
+            response,
+            tag,
+        }
+    }
+
+    fn perform_owner_action(&mut self, action: OwnerAction) {
+        let cmd = match action {
+            OwnerAction::Open => {
+                self.owner_open_requested_at.get_or_insert(self.now);
+                self.pending_owner_open = Some(self.now);
+                self.trace.record(self.now, "owner", "open-requested", "");
+                CMD_OPEN
+            }
+            OwnerAction::Close => {
+                self.trace.record(self.now, "owner", "close-requested", "");
+                CMD_CLOSE
+            }
+        };
+        let command = self.owner_command(cmd);
+        self.send_ble(OWNER_PHONE, command.encode());
+    }
+
+    fn gateway_tick(&mut self) {
+        let frames = self.link.poll(self.now);
+        for frame in frames {
+            if self.stack.is_isolated(&frame.sender) {
+                continue;
+            }
+            let Some(command) = Command::decode(&frame.payload) else { continue };
+            if command.cmd == CMD_SERVICE {
+                // Forwarded service traffic: subject only to the gateway
+                // rate limiter, then placed on the CAN bus as diagnostic
+                // frames (the §IV-B flooding path).
+                if let Some(limiter) = &mut self.forward_limiter {
+                    let env = Envelope::new(frame.sender.clone(), frame.sent_at, Vec::new());
+                    if limiter.check(&env, self.now).is_err() {
+                        continue;
+                    }
+                }
+                let diag = CanFrame::new(
+                    CanId::new(CAN_DIAG).expect("const id"),
+                    Bytes::from_static(&[CMD_SERVICE]),
+                    "GW",
+                )
+                .expect("diag frame");
+                let _ = self.can.submit(diag, self.now);
+                continue;
+            }
+            let mut envelope = Envelope::new(
+                frame.sender.clone(),
+                SimTime::from_micros(command.ts),
+                vec![command.cmd],
+            )
+            .with_claimed_id(command.key_id);
+            if command.tag != 0 {
+                envelope = envelope.with_tag(Tag::from_raw(command.tag));
+            }
+            if command.response != 0 {
+                envelope = envelope.with_challenge_response(Tag::from_raw(command.response));
+            }
+            if !self.stack.admit(&envelope, self.now).is_accepted() {
+                continue;
+            }
+            let lock_cmd = CanFrame::new(
+                CanId::new(CAN_LOCK_CMD).expect("const id"),
+                Bytes::copy_from_slice(&[command.cmd]),
+                "GW",
+            )
+            .expect("lock frame");
+            let _ = self.can.submit(lock_cmd, self.now);
+        }
+    }
+
+    fn actuator_tick(&mut self) {
+        for delivery in self.can.advance(self.now) {
+            if delivery.frame.id().raw() != CAN_LOCK_CMD {
+                continue;
+            }
+            match delivery.frame.payload().first() {
+                Some(&CMD_OPEN) if !self.lock_open => {
+                    self.lock_open = true;
+                    self.transitions += 1;
+                    self.opened_at.get_or_insert(delivery.completed_at);
+                    self.entering_until =
+                        Some(delivery.completed_at + self.config.entry_window);
+                    match self.pending_owner_open.take() {
+                        Some(req) => {
+                            if self.open_latency.is_none() {
+                                self.open_latency = Some(delivery.completed_at - req);
+                            }
+                        }
+                        None => self.unauthorized_open = true,
+                    }
+                    self.trace.record(delivery.completed_at, "lock-actuator", "lock-open", "");
+                }
+                Some(&CMD_CLOSE) if self.lock_open => {
+                    self.lock_open = false;
+                    self.transitions += 1;
+                    if self.entering_until.is_some_and(|until| delivery.completed_at < until) {
+                        self.closed_during_entry = true;
+                    }
+                    self.trace.record(delivery.completed_at, "lock-actuator", "lock-close", "");
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn finish(self) -> KeylessOutcome {
+        let owner_requested = self.owner_open_requested_at.is_some();
+        let served_in_budget =
+            self.open_latency.is_some_and(|latency| latency <= self.config.open_budget);
+        let isolation_events: Vec<_> = self
+            .stack
+            .log()
+            .events()
+            .iter()
+            .filter(|e| e.detail.contains("unwanted sender"))
+            .collect();
+        let isolated_at = isolation_events.first().map(|e| e.at);
+        let isolated_senders = isolation_events.iter().map(|e| e.sender.clone()).collect();
+        KeylessOutcome {
+            lock_open: self.lock_open,
+            opened_at: self.opened_at,
+            open_latency: self.open_latency,
+            unauthorized_open: self.unauthorized_open,
+            transitions: self.transitions,
+            closed_during_entry: self.closed_during_entry,
+            sg01_violated: self.unauthorized_open,
+            sg02_violated: self.transitions > 2,
+            sg03_violated: owner_requested && !served_in_budget,
+            sg04_violated: self.closed_during_entry,
+            isolated_senders,
+            isolated_at,
+        }
+    }
+
+    /// Runs the world to the horizon under the given attacker.
+    pub fn run(mut self, attacker: &mut dyn AttackerHook<KeylessWorld>) -> KeylessOutcome {
+        let horizon = SimTime::ZERO + self.config.horizon;
+        while self.now < horizon {
+            let now = self.now;
+            attacker.on_tick(&mut self, now);
+            while let Some((_, action)) = self.owner_script.pop_next_due(self.now) {
+                self.perform_owner_action(action);
+            }
+            self.gateway_tick();
+            self.actuator_tick();
+            self.now += self.config.tick;
+        }
+        self.finish()
+    }
+
+    /// Runs the world without an attacker.
+    pub fn run_nominal(self) -> KeylessOutcome {
+        self.run(&mut ())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn world() -> KeylessWorld {
+        KeylessWorld::new(KeylessConfig::default())
+    }
+
+    #[test]
+    fn command_wire_round_trip() {
+        let cmd = Command { cmd: CMD_OPEN, key_id: 0xABCD, ts: 3, response: 7, tag: 99 };
+        assert_eq!(Command::decode(&cmd.encode()), Some(cmd));
+        assert_eq!(Command::decode(&[1, 2, 3]), None);
+    }
+
+    #[test]
+    fn owner_opens_and_closes_nominally() {
+        let mut w = world();
+        w.schedule_owner_open(SimTime::from_secs(1));
+        w.schedule_owner_close(SimTime::from_secs(5));
+        let outcome = w.run_nominal();
+        assert!(outcome.opened_at.is_some(), "{outcome:?}");
+        assert!(!outcome.lock_open, "closed again at the end");
+        assert_eq!(outcome.transitions, 2);
+        assert!(!outcome.sg01_violated);
+        assert!(!outcome.sg02_violated);
+        assert!(!outcome.sg03_violated);
+        // The owner closing after the 3 s entry window is not a SG04
+        // violation.
+        assert!(!outcome.sg04_violated, "{outcome:?}");
+        let latency = outcome.open_latency.unwrap();
+        assert!(latency <= Ftti::from_millis(100), "latency {latency}");
+    }
+
+    #[test]
+    fn nominal_without_any_request_stays_closed() {
+        let outcome = world().run_nominal();
+        assert!(!outcome.lock_open);
+        assert_eq!(outcome.transitions, 0);
+        assert!(!outcome.sg01_violated);
+        assert!(!outcome.sg03_violated, "no request, no availability demand");
+    }
+
+    #[test]
+    fn forged_key_id_rejected_with_allow_list() {
+        // AD08 with the allow-list deployed: "Opening is rejected".
+        struct Spoof;
+        impl AttackerHook<KeylessWorld> for Spoof {
+            fn on_tick(&mut self, world: &mut KeylessWorld, now: SimTime) {
+                if now == SimTime::from_millis(100) {
+                    let tag = MacAuthenticator::sign(
+                        world.command_key(),
+                        "attacker",
+                        &[CMD_OPEN],
+                        now,
+                    )
+                    .raw();
+                    let cmd = Command {
+                        cmd: CMD_OPEN,
+                        key_id: 0xBAD,
+                        ts: now.as_micros(),
+                        response: 0,
+                        tag,
+                    };
+                    world.send_ble("attacker", cmd.encode());
+                }
+            }
+        }
+        let config = KeylessConfig {
+            controls: ControlSelection {
+                challenge_response: false,
+                ..ControlSelection::all()
+            },
+            ..Default::default()
+        };
+        let outcome = KeylessWorld::new(config).run(&mut Spoof);
+        assert!(!outcome.lock_open);
+        assert!(!outcome.sg01_violated);
+    }
+
+    #[test]
+    fn forged_key_id_opens_without_allow_list() {
+        // AD08 without the control: "Open the vehicle".
+        struct Spoof;
+        impl AttackerHook<KeylessWorld> for Spoof {
+            fn on_tick(&mut self, world: &mut KeylessWorld, now: SimTime) {
+                if now == SimTime::from_millis(100) {
+                    let tag = MacAuthenticator::sign(
+                        world.command_key(),
+                        "attacker",
+                        &[CMD_OPEN],
+                        now,
+                    )
+                    .raw();
+                    let cmd = Command {
+                        cmd: CMD_OPEN,
+                        key_id: 0xBAD,
+                        ts: now.as_micros(),
+                        response: 0,
+                        tag,
+                    };
+                    world.send_ble("attacker", cmd.encode());
+                }
+            }
+        }
+        let config = KeylessConfig {
+            controls: ControlSelection {
+                allow_list: false,
+                challenge_response: false,
+                ..ControlSelection::all()
+            },
+            ..Default::default()
+        };
+        let outcome = KeylessWorld::new(config).run(&mut Spoof);
+        assert!(outcome.lock_open);
+        assert!(outcome.sg01_violated);
+    }
+
+    #[test]
+    fn allowlist_config_write_requires_auth() {
+        let mut w = world();
+        assert_eq!(w.try_allowlist_write(0xEE01, Tag::from_raw(1)), Some(false));
+        let auth = IdAllowList::write_auth(w.config_key, 0xEE01);
+        assert_eq!(w.try_allowlist_write(0xEE01, auth), Some(true));
+    }
+
+    #[test]
+    fn can_flooding_starves_owner_open_without_flood_control() {
+        // AD14: forwarded service requests saturate the CAN bus.
+        struct Flood;
+        impl AttackerHook<KeylessWorld> for Flood {
+            fn on_tick(&mut self, world: &mut KeylessWorld, _now: SimTime) {
+                for _ in 0..30 {
+                    let cmd = Command { cmd: CMD_SERVICE, key_id: 0, ts: 0, response: 0, tag: 0 };
+                    world.send_ble("attacker", cmd.encode());
+                }
+            }
+        }
+        let config = KeylessConfig {
+            controls: ControlSelection { flood_protection: false, ..ControlSelection::all() },
+            horizon: Ftti::from_secs(10),
+            ..Default::default()
+        };
+        let mut w = KeylessWorld::new(config);
+        w.schedule_owner_open(SimTime::from_secs(1));
+        let outcome = w.run(&mut Flood);
+        assert!(outcome.sg03_violated, "{outcome:?}");
+    }
+
+    #[test]
+    fn can_flooding_mitigated_by_flood_control() {
+        struct Flood;
+        impl AttackerHook<KeylessWorld> for Flood {
+            fn on_tick(&mut self, world: &mut KeylessWorld, _now: SimTime) {
+                for _ in 0..30 {
+                    let cmd = Command { cmd: CMD_SERVICE, key_id: 0, ts: 0, response: 0, tag: 0 };
+                    world.send_ble("attacker", cmd.encode());
+                }
+            }
+        }
+        let config = KeylessConfig { horizon: Ftti::from_secs(10), ..Default::default() };
+        let mut w = KeylessWorld::new(config);
+        w.schedule_owner_open(SimTime::from_secs(1));
+        let outcome = w.run(&mut Flood);
+        assert!(!outcome.sg03_violated, "{outcome:?}");
+        assert!(outcome.open_latency.is_some());
+    }
+
+    #[test]
+    fn replayed_open_rejected_with_replay_protection() {
+        // AD01: the attacker replays the owner's recorded open exchange.
+        struct Replay {
+            done: bool,
+        }
+        impl AttackerHook<KeylessWorld> for Replay {
+            fn on_tick(&mut self, world: &mut KeylessWorld, now: SimTime) {
+                // Wait until the owner's frame is on the air, then replay
+                // it after the owner closed again.
+                if !self.done && now >= SimTime::from_secs(8) {
+                    if let Some(frame) = world.sniffed().first().cloned() {
+                        world.send_ble(OWNER_PHONE, frame);
+                        self.done = true;
+                    }
+                }
+            }
+        }
+        let config = KeylessConfig {
+            controls: ControlSelection { challenge_response: false, ..ControlSelection::all() },
+            ..Default::default()
+        };
+        let mut w = KeylessWorld::new(config);
+        w.schedule_owner_open(SimTime::from_secs(1));
+        w.schedule_owner_close(SimTime::from_secs(5));
+        let outcome = w.run(&mut Replay { done: false });
+        assert!(!outcome.lock_open, "replay must not reopen: {outcome:?}");
+        assert_eq!(outcome.transitions, 2);
+    }
+
+    #[test]
+    fn replayed_open_succeeds_with_auth_only() {
+        // §IV-B: replay works despite valid end-to-end authentication.
+        struct Replay {
+            done: bool,
+        }
+        impl AttackerHook<KeylessWorld> for Replay {
+            fn on_tick(&mut self, world: &mut KeylessWorld, now: SimTime) {
+                if !self.done && now >= SimTime::from_secs(8) {
+                    if let Some(frame) = world.sniffed().first().cloned() {
+                        world.send_ble(OWNER_PHONE, frame);
+                        self.done = true;
+                    }
+                }
+            }
+        }
+        let config = KeylessConfig {
+            controls: ControlSelection {
+                authentication: true,
+                allow_list: true,
+                ..ControlSelection::none()
+            },
+            ..Default::default()
+        };
+        let mut w = KeylessWorld::new(config);
+        w.schedule_owner_open(SimTime::from_secs(1));
+        w.schedule_owner_close(SimTime::from_secs(5));
+        let outcome = w.run(&mut Replay { done: false });
+        assert!(outcome.lock_open, "replay reopens the vehicle: {outcome:?}");
+        assert!(outcome.sg01_violated, "reopening without a pending request violates SG01");
+        assert!(outcome.transitions >= 3);
+    }
+}

@@ -1,0 +1,95 @@
+//! Simulation trace recording.
+//!
+//! Attack descriptions require detectable outcomes ("create dedicated log
+//! files", §III-C). Beyond the security log of `security-controls`, the
+//! worlds record functional events — mode switches, lock transitions,
+//! warnings surfaced — in a [`TraceRecorder`]; the attack executor
+//! evaluates success criteria against both.
+
+use serde::{Deserialize, Serialize};
+
+use saseval_types::SimTime;
+
+/// One functional trace event.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Virtual time of the event.
+    pub at: SimTime,
+    /// Emitting component (e.g. `OBU`, `driver`, `lock-actuator`).
+    pub source: String,
+    /// Event kind (e.g. `take-over-requested`, `lock-open`).
+    pub kind: String,
+    /// Free-form detail.
+    pub detail: String,
+}
+
+/// An append-only functional trace.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceRecorder {
+    events: Vec<TraceEvent>,
+}
+
+impl TraceRecorder {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an event.
+    pub fn record(
+        &mut self,
+        at: SimTime,
+        source: impl Into<String>,
+        kind: impl Into<String>,
+        detail: impl Into<String>,
+    ) {
+        self.events.push(TraceEvent {
+            at,
+            source: source.into(),
+            kind: kind.into(),
+            detail: detail.into(),
+        });
+    }
+
+    /// All events in record order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Events of the given kind.
+    pub fn of_kind<'a>(&'a self, kind: &'a str) -> impl Iterator<Item = &'a TraceEvent> {
+        self.events.iter().filter(move |e| e.kind == kind)
+    }
+
+    /// The first event of the given kind, if any.
+    pub fn first_of_kind(&self, kind: &str) -> Option<&TraceEvent> {
+        self.events.iter().find(|e| e.kind == kind)
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_filter() {
+        let mut trace = TraceRecorder::new();
+        trace.record(SimTime::ZERO, "OBU", "warning-surfaced", "roadworks");
+        trace.record(SimTime::from_millis(3), "driver", "take-over", "manual control");
+        trace.record(SimTime::from_millis(4), "OBU", "warning-surfaced", "signage");
+        assert_eq!(trace.len(), 3);
+        assert_eq!(trace.of_kind("warning-surfaced").count(), 2);
+        assert_eq!(trace.first_of_kind("take-over").unwrap().at, SimTime::from_millis(3));
+        assert!(trace.first_of_kind("lock-open").is_none());
+    }
+}

@@ -1,0 +1,232 @@
+//! Authoring a new use case from scratch — the adoption path for a
+//! downstream project.
+//!
+//! The paper's Table I lists a third scenario, "Advanced access to
+//! vehicle" (cloud-based vehicle sharing), that §IV does not work out.
+//! This example works it out with the public API: extend the threat
+//! library, write the HARA, derive candidate attacks, author attack
+//! descriptions (including a justification for a deliberately untested
+//! threat), run the pipeline and export the validation report.
+//!
+//! ```sh
+//! cargo run --example custom_use_case
+//! ```
+
+use saseval::core::catalog::UseCaseCatalog;
+use saseval::core::derive::{derive_candidates, DerivationConfig};
+use saseval::core::export::render_validation_report;
+use saseval::core::pipeline::run_pipeline;
+use saseval::core::{identify_safety_concerns, AttackDescription, Justification};
+use saseval::hara::{Hara, HazardRating, ItemFunction, SafetyGoal};
+use saseval::threat::builtin::{automotive_library, SC_ACCESS};
+use saseval::threat::ThreatScenario;
+use saseval::types::{
+    AttackType, Controllability as C, Exposure as E, FailureMode as FM, Ftti, ScenarioId,
+    Severity as S, ThreatType,
+};
+
+fn build_hara() -> Result<Hara, Box<dyn std::error::Error>> {
+    let mut hara = Hara::new("Use Case III - Cloud-based vehicle sharing");
+    hara.add_function(ItemFunction::new("S1", "Grant vehicle access from a cloud booking")?)?;
+    hara.add_function(ItemFunction::new("S2", "Revoke vehicle access at booking end")?)?;
+
+    // Guideword grid for S1 (grant access).
+    let ratings = [
+        HazardRating::builder("SRat01", "S1", FM::No)
+            .hazard("Booked traveller stranded at the pick-up location")
+            .situation("Remote pick-up, no staff on site")
+            .rate(S::S1, E::E4, C::C2), // A
+        HazardRating::builder("SRat02", "S1", FM::Unintended)
+            .hazard("Access granted to a non-booker; vehicle taken into traffic")
+            .situation("Vehicle parked, no booking active")
+            .rate(S::S3, E::E3, C::C3), // C
+        HazardRating::builder("SRat03", "S1", FM::TooEarly)
+            .hazard("Access active before payment/driver checks complete")
+            .situation("Booking pending verification")
+            .rate(S::S2, E::E3, C::C2), // A
+        HazardRating::builder("SRat04", "S1", FM::TooLate)
+            .hazard("Traveller waits; service degraded")
+            .situation("Pick-up time reached")
+            .rate(S::S1, E::E3, C::C1), // QM
+        HazardRating::builder("SRat06", "S1", FM::More)
+            .hazard("Access granted for additional vehicles of the fleet")
+            .situation("Fleet lot with many vehicles")
+            .rate(S::S2, E::E2, C::C2), // QM
+        HazardRating::builder("SRat08", "S1", FM::Intermittent)
+            .hazard("Access drops while the vehicle is driven; lockout mid-trip")
+            .situation("Active rental on the motorway")
+            .rate(S::S3, E::E2, C::C2), // A
+        // Guideword grid for S2 (revoke access).
+        HazardRating::builder("SRat09", "S2", FM::No)
+            .hazard("Access persists after booking end; unauthorized reuse")
+            .situation("Vehicle returned to the lot")
+            .rate(S::S2, E::E3, C::C3), // B
+        HazardRating::builder("SRat10", "S2", FM::Unintended)
+            .hazard("Revocation fires during an active rental; driver locked out of functions")
+            .situation("Active rental in city traffic")
+            .rate(S::S3, E::E2, C::C3), // B
+        HazardRating::builder("SRat12", "S2", FM::TooLate)
+            .hazard("Grace window lets the previous renter re-enter")
+            .situation("Hand-over between two bookings")
+            .rate(S::S1, E::E3, C::C2), // QM
+    ];
+    for builder in ratings {
+        hara.add_rating(builder.build()?)?;
+    }
+    for (id, fm, why) in [
+        ("SRat05", FM::Less, "Access grant is a discrete operation without magnitude"),
+        ("SRat07", FM::Inverted, "The inverse of granting is the revocation function S2"),
+        ("SRat11", FM::TooEarly, "Earlier revocation is the Unintended case in another situation"),
+        ("SRat13", FM::Less, "Revocation is a discrete operation"),
+        ("SRat14", FM::More, "Cannot revoke more than all access"),
+        ("SRat15", FM::Inverted, "The inverse of revocation is the granting function S1"),
+        ("SRat16", FM::Intermittent, "Flapping revocation is the Unintended case repeated"),
+    ] {
+        hara.add_rating(
+            HazardRating::builder(id, if id < "SRat11" { "S1" } else { "S2" }, fm)
+                .not_applicable(why)
+                .build()?,
+        )?;
+    }
+
+    let goals = [
+        SafetyGoal::builder("SG01", "Grant access only to the verified booker")
+            .ftti(Ftti::from_secs(1))
+            .safe_state("Vehicle locked and immobilized")
+            .covers("SRat02")
+            .covers("SRat03"),
+        SafetyGoal::builder("SG02", "Never revoke access or functions during an active rental")
+            .ftti(Ftti::from_millis(500))
+            .safe_state("Current rental session latched until standstill")
+            .covers("SRat08")
+            .covers("SRat10"),
+        SafetyGoal::builder("SG03", "Terminate access reliably at booking end")
+            .safe_state("Access tokens expired and actuators locked")
+            .covers("SRat09"),
+        SafetyGoal::builder("SG04", "Keep the access service available for bookers")
+            .ftti(Ftti::from_secs(30))
+            .safe_state("Fallback access path offered")
+            .covers("SRat01"),
+    ];
+    for goal in goals {
+        hara.add_safety_goal(goal.build()?)?;
+    }
+    Ok(hara)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Extend the built-in threat library with sharing-specific threats.
+    let mut library = automotive_library();
+    library.add_threat_scenario(
+        ThreatScenario::builder(
+            "TS-CLOUD-SPOOF",
+            "Forged booking confirmations grant access without a valid booking",
+            ThreatType::Spoofing,
+        )
+        .asset("CLOUD_SHARING")
+        .scenario(SC_ACCESS)
+        .build()?,
+    )?;
+    library.add_threat_scenario(
+        ThreatScenario::builder(
+            "TS-CLOUD-DOS",
+            "The booking service is flooded so access grants cannot be served",
+            ThreatType::DenialOfService,
+        )
+        .asset("CLOUD_SHARING")
+        .scenario(SC_ACCESS)
+        .build()?,
+    )?;
+    library.add_threat_scenario(
+        ThreatScenario::builder(
+            "TS-CLOUD-LEAK",
+            "Booking and movement data of travellers leaks from the sharing backend",
+            ThreatType::InformationDisclosure,
+        )
+        .asset("CLOUD_SHARING")
+        .scenario(SC_ACCESS)
+        .build()?,
+    )?;
+    library.validate()?;
+
+    // 2. Write the HARA.
+    let hara = build_hara()?;
+    println!("HARA: {}", hara.distribution());
+    let concerns = identify_safety_concerns(&hara);
+    for concern in &concerns {
+        println!("  concern {} ({})", concern.goal(), concern.asil());
+    }
+
+    // 3. Let the derivation suggest candidates (RQ2-filtered), then author
+    //    the attack descriptions.
+    let config = DerivationConfig::new().scenario(SC_ACCESS).active_only();
+    let candidates = derive_candidates(&concerns, &library, &config);
+    println!("\n{} candidate (goal x threat x attack type) combinations suggested", candidates.len());
+
+    let ad = |id: &str, desc: &str, goal: &str, threat: &str, tt, at: AttackType, pre: &str, succ: &str, fail: &str| {
+        AttackDescription::builder(id, desc)
+            .safety_goal(goal)
+            .interface("CLOUD_API")
+            .threat_scenario(threat)
+            .threat_type(tt)
+            .attack_type(at)
+            .precondition(pre)
+            .expected_measures("Signed bookings; backend rate limiting; revocation audit")
+            .attack_success(succ)
+            .attack_fails(fail)
+            .impl_comments("Drive the cloud API mock with forged/bulk requests")
+            .build()
+    };
+    let attacks = vec![
+        ad("SAD01", "Forge a booking confirmation to obtain vehicle access",
+            "SG01", "TS-CLOUD-SPOOF", ThreatType::Spoofing, AttackType::FakeMessages,
+            "No booking active for the attacker",
+            "Vehicle grants access to the attacker",
+            "Forged confirmation rejected; incident logged")?,
+        ad("SAD02", "Tamper with booking records to extend an expired rental",
+            "SG03", "TS-CLOUD-TAMPER", ThreatType::Tampering, AttackType::Alter,
+            "Attacker's booking just ended",
+            "Access persists past booking end",
+            "Record integrity check fails; access revoked")?,
+        ad("SAD03", "Flood the booking service to deny pick-ups",
+            "SG04", "TS-CLOUD-DOS", ThreatType::DenialOfService, AttackType::DenialOfService,
+            "Traveller attempting a pick-up",
+            "Access grant not served within the availability budget",
+            "Flood shed; grant latency within budget")?,
+        ad("SAD04", "Replay a revocation message during an active rental",
+            "SG02", "TS-CLOUD-TAMPER", ThreatType::Tampering, AttackType::Manipulate,
+            "Active rental in traffic",
+            "Functions revoked while driving",
+            "Stale revocation rejected; session latched")?,
+    ];
+
+    // 4. One library threat is deliberately not attacked: justify it
+    //    (the inductive completeness escape hatch of §III).
+    let justifications = vec![Justification::new(
+        "TS-CLOUD-LEAK",
+        "Backend data leakage is privacy-only and validated by the operator's data-protection \
+         programme; it cannot violate the vehicle-level safety goals of this SUT",
+    )?];
+
+    let catalog = UseCaseCatalog {
+        name: "Use Case III - Cloud-based vehicle sharing".to_owned(),
+        hara,
+        scenarios: vec![ScenarioId::new(SC_ACCESS)?],
+        attacks,
+        justifications,
+    };
+
+    // 5. Run the pipeline and export the report.
+    let report = run_pipeline(&catalog, &library)?;
+    println!("\nPipeline:");
+    for stage in &report.stages {
+        println!("  [{}] {}: {}", stage.stage, stage.title, stage.summary);
+    }
+    let (attacked, justified, uncovered) = report.inductive.counts();
+    println!("\nInductive coverage: {attacked} attacked, {justified} justified, {uncovered} uncovered");
+    assert!(report.is_complete(), "RQ1 must hold for the new use case");
+
+    let rendered = render_validation_report(&catalog, &library)?;
+    println!("\nValidation report rendered: {} bytes (see export_report for file output)", rendered.len());
+    Ok(())
+}

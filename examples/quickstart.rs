@@ -1,0 +1,71 @@
+//! Quickstart: run the complete SaSeVAL process for both use cases of the
+//! paper and print the artifacts the evaluation section reports.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use saseval::core::catalog::{use_case_1, use_case_2, UseCaseCatalog};
+use saseval::core::pipeline::run_pipeline;
+use saseval::core::report::TraceMatrix;
+use saseval::threat::builtin::automotive_library;
+use saseval::threat::ThreatLibrary;
+
+fn run_use_case(catalog: &UseCaseCatalog, library: &ThreatLibrary) -> Result<(), Box<dyn std::error::Error>> {
+    println!("=== {} ===", catalog.name);
+    let report = run_pipeline(catalog, library)?;
+
+    for stage in &report.stages {
+        println!("  [{}] {}: {}", stage.stage, stage.title, stage.summary);
+    }
+
+    println!("  Safety concerns (test objectives, by descending ASIL):");
+    for concern in &report.concerns {
+        println!(
+            "    {} ({}) — {} [effort x{}]",
+            concern.goal(),
+            concern.asil(),
+            concern.statement(),
+            concern.test_effort()
+        );
+    }
+
+    println!(
+        "  Attack descriptions: {} ({} safety, {} privacy)",
+        report.attack_count,
+        catalog.safety_attacks().count(),
+        catalog.privacy_attacks().count()
+    );
+
+    let matrix = TraceMatrix::from_catalog(catalog);
+    println!("  Attacks per safety goal (deductive trace):");
+    for (goal, count) in matrix.attacks_per_goal() {
+        println!("    {goal}: {count}");
+    }
+
+    let (attacked, justified, uncovered) = report.inductive.counts();
+    println!(
+        "  Inductive threat coverage: {attacked} attacked, {justified} justified, \
+         {uncovered} uncovered ({:.0}%)",
+        report.inductive.coverage_ratio() * 100.0
+    );
+    println!(
+        "  RQ1 completeness: {}",
+        if report.is_complete() { "PASS (deductive + inductive)" } else { "FAIL" }
+    );
+    println!();
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let library = automotive_library();
+    let stats = library.stats();
+    println!(
+        "Threat library: {} scenarios, {} assets, {} threat scenarios\n",
+        stats.scenarios, stats.assets, stats.threat_scenarios
+    );
+
+    run_use_case(&use_case_1(), &library)?;
+    run_use_case(&use_case_2(), &library)?;
+    Ok(())
+}

@@ -1,0 +1,51 @@
+//! # SaSeVAL — Safety/Security-Aware Validation of Safety-Critical Systems
+//!
+//! A Rust reproduction of *SaSeVAL: A Safety/Security-Aware Approach for
+//! Validation of Safety-Critical Systems* (DSN 2021): a systematic process
+//! that derives security **attack descriptions** from **safety goals**, so
+//! that security testing provably covers every safety concern.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`types`] | `saseval-types` | ASIL/STRIDE/attack-type vocabulary, IDs, sim time |
+//! | [`hara`] | `saseval-hara` | ISO 26262 hazard analysis & risk assessment |
+//! | [`tara`] | `saseval-tara` | Threat analysis, risk matrix, attack trees, HARA cross-check |
+//! | [`threat`] | `saseval-threat` | The threat library (Tables I–V) |
+//! | [`core`] | `saseval-core` | The SaSeVAL pipeline: concerns, attack descriptions, coverage |
+//! | [`dsl`] | `saseval-dsl` | The attack-description DSL (§V) |
+//! | [`net`] | `vehicle-net` | CAN / V2X / BLE network substrates |
+//! | [`sim`] | `vehicle-sim` | The two use-case worlds (construction site, keyless opener) |
+//! | [`controls`] | `security-controls` | MAC, freshness, replay, flood, allow-list, plausibility |
+//! | [`engine`] | `attack-engine` | Executable attacks, executor, campaigns |
+//! | [`fuzz`] | `saseval-fuzz` | Attack-path-guided protocol fuzzing |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use saseval::core::catalog::use_case_1;
+//! use saseval::core::pipeline::run_pipeline;
+//! use saseval::threat::builtin::automotive_library;
+//!
+//! // Run the full SaSeVAL process for the paper's Use Case I.
+//! let report = run_pipeline(&use_case_1(), &automotive_library())?;
+//! assert!(report.is_complete());          // RQ1: both coverage arguments hold
+//! assert_eq!(report.attack_count, 23);    // §IV-A: 23 attack descriptions
+//! # Ok::<(), saseval::core::CoreError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use attack_engine as engine;
+pub use saseval_core as core;
+pub use saseval_dsl as dsl;
+pub use saseval_fuzz as fuzz;
+pub use saseval_hara as hara;
+pub use saseval_tara as tara;
+pub use saseval_threat as threat;
+pub use saseval_types as types;
+pub use security_controls as controls;
+pub use vehicle_net as net;
+pub use vehicle_sim as sim;

@@ -1,0 +1,107 @@
+//! DSL round-trip and catalog-encoding tests.
+
+use proptest::prelude::*;
+
+use saseval::core::catalog::{use_case_1, use_case_2};
+use saseval::core::AttackDescription;
+use saseval::dsl::ast::{AttackDecl, Document, ExecArg, ExecSpec};
+use saseval::dsl::{compile_document, parse_document, print_document};
+
+/// Converts a validated attack description back into a DSL declaration —
+/// the export direction of the DSL tooling.
+fn to_decl(ad: &AttackDescription) -> AttackDecl {
+    AttackDecl {
+        id: ad.id().to_string(),
+        description: ad.description().to_owned(),
+        goals: ad.safety_goals().iter().map(|g| g.to_string()).collect(),
+        interface: ad.interface().map(|i| i.to_string()),
+        threat: ad.threat_scenario().to_string(),
+        threat_type: ad.threat_type().to_string(),
+        attack_type: ad.attack_type().to_string(),
+        precondition: ad.precondition().to_owned(),
+        measures: ad.expected_measures().to_owned(),
+        success: ad.attack_success().to_owned(),
+        fails: ad.attack_fails().to_owned(),
+        comments: ad.impl_comments().to_owned(),
+        attacker: ad.attacker().map(|a| a.to_string()),
+        privacy: ad.is_privacy_relevant(),
+        execute: None,
+    }
+}
+
+#[test]
+fn both_catalogs_export_to_dsl_and_recompile() {
+    for catalog in [use_case_1(), use_case_2()] {
+        let document =
+            Document { attacks: catalog.attacks.iter().map(to_decl).collect() };
+        let source = print_document(&document);
+        let reparsed = parse_document(&source).expect("printed DSL parses");
+        assert_eq!(reparsed, document, "{}", catalog.name);
+        let compiled = compile_document(&reparsed).expect("printed DSL compiles");
+        assert_eq!(compiled.len(), catalog.attacks.len());
+        for (recompiled, original) in compiled.iter().zip(&catalog.attacks) {
+            assert_eq!(recompiled.description, *original, "{}", catalog.name);
+        }
+    }
+}
+
+fn text() -> impl Strategy<Value = String> {
+    // Printable text including the characters the printer must escape.
+    proptest::string::string_regex("[ -~]{0,40}").expect("regex")
+}
+
+fn ident() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[A-Za-z][A-Za-z0-9_.-]{0,12}").expect("regex")
+}
+
+fn exec_spec() -> impl Strategy<Value = Option<ExecSpec>> {
+    proptest::option::of(
+        (
+            ident(),
+            prop::collection::vec(
+                (ident(), prop_oneof![any::<u64>().prop_map(ExecArg::Int), ident().prop_map(ExecArg::Word)]),
+                0..3,
+            ),
+        )
+            .prop_map(|(name, args)| ExecSpec { name, args }),
+    )
+}
+
+prop_compose! {
+    fn attack_decl()(
+        id in ident(),
+        description in text(),
+        goals in prop::collection::vec(ident(), 0..4),
+        interface in proptest::option::of(ident()),
+        threat in ident(),
+        threat_type in text(),
+        attack_type in text(),
+        precondition in text(),
+        measures in text(),
+        success in text(),
+        fails in text(),
+        comments in text(),
+        attacker in proptest::option::of(text()),
+        privacy in any::<bool>(),
+        execute in exec_spec(),
+    ) -> AttackDecl {
+        AttackDecl {
+            id, description, goals, interface, threat, threat_type, attack_type,
+            precondition, measures, success, fails, comments, attacker, privacy, execute,
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// print → parse is the identity on arbitrary well-formed documents.
+    #[test]
+    fn print_parse_round_trip(decls in prop::collection::vec(attack_decl(), 1..4)) {
+        let document = Document { attacks: decls };
+        let source = print_document(&document);
+        let reparsed = parse_document(&source)
+            .map_err(|e| TestCaseError::fail(format!("{e}\n---\n{source}")))?;
+        prop_assert_eq!(reparsed, document);
+    }
+}

@@ -1,0 +1,168 @@
+//! Failure injection: the simulated SUTs under degraded environments —
+//! channel loss sweeps, jamming windows, bus-off recovery, connection
+//! supervision, horizon exhaustion.
+
+use bytes::Bytes;
+
+use saseval::net::ble::{BleConfig, BleLink};
+use saseval::net::can::{CanBus, CanBusConfig, CanFrame, CanId, NodeErrorState};
+use saseval::net::v2x::V2xConfig;
+use saseval::sim::config::ControlSelection;
+use saseval::sim::construction::{ConstructionConfig, ConstructionWorld};
+use saseval::sim::keyless::{KeylessConfig, KeylessWorld};
+use saseval::types::{Ftti, SimTime};
+
+#[test]
+fn construction_tolerates_moderate_channel_loss() {
+    // The RSU re-broadcasts every 100 ms; even 50% loss leaves plenty of
+    // accepted warnings over an 800 m approach.
+    for loss in [0.0, 0.1, 0.3, 0.5] {
+        let config = ConstructionConfig {
+            v2x: V2xConfig { latency_us: 2_000, jitter_us: 500, loss_prob: loss },
+            ..Default::default()
+        };
+        let outcome = ConstructionWorld::new(config).run_nominal();
+        assert!(!outcome.any_violation(), "loss {loss}: {outcome:?}");
+    }
+}
+
+#[test]
+fn construction_fails_safe_visibility_at_extreme_loss() {
+    // At 100% loss no warning ever arrives: the violation predicates must
+    // report it (this is the oracle the jamming attacks rely on).
+    let config = ConstructionConfig {
+        v2x: V2xConfig { latency_us: 2_000, jitter_us: 0, loss_prob: 1.0 },
+        ..Default::default()
+    };
+    let outcome = ConstructionWorld::new(config).run_nominal();
+    assert!(outcome.sg01_violated);
+    assert!(outcome.takeover_requested_at.is_none());
+}
+
+#[test]
+fn loss_sweep_outcomes_are_reproducible_per_seed() {
+    let run = |seed| {
+        let config = ConstructionConfig {
+            v2x: V2xConfig { latency_us: 2_000, jitter_us: 500, loss_prob: 0.4 },
+            seed,
+            ..Default::default()
+        };
+        let o = ConstructionWorld::new(config).run_nominal();
+        (o.entered_zone_at, o.takeover_requested_at, o.mode_switches)
+    };
+    assert_eq!(run(7), run(7));
+}
+
+#[test]
+fn can_bus_off_and_recovery() {
+    let mut bus = CanBus::new(CanBusConfig::default());
+    let frame = |sender: &str| {
+        CanFrame::new(CanId::new(0x100).unwrap(), Bytes::from_static(b"data"), sender).unwrap()
+    };
+    // Drive the node to bus-off with injected transmission errors.
+    for _ in 0..32 {
+        bus.report_error("ECU");
+    }
+    assert_eq!(bus.error_state("ECU"), NodeErrorState::BusOff);
+    assert!(bus.submit(frame("ECU"), SimTime::ZERO).is_err());
+    // Other nodes keep communicating.
+    assert!(bus.submit(frame("GW"), SimTime::ZERO).is_ok());
+    assert_eq!(bus.advance(SimTime::from_secs(1)).len(), 1);
+    // After recovery the node transmits again.
+    bus.recover("ECU");
+    assert!(bus.submit(frame("ECU"), SimTime::from_secs(1)).is_ok());
+    assert_eq!(bus.advance(SimTime::from_secs(2)).len(), 1);
+}
+
+#[test]
+fn ble_supervision_drop_and_reconnect() {
+    let config = BleConfig {
+        latency_us: 1_000,
+        loss_prob: 0.0,
+        supervision_timeout: Ftti::from_millis(100),
+    };
+    let mut link = BleLink::new(config, 1);
+    link.start_advertising(SimTime::ZERO);
+    link.connect("phone", SimTime::ZERO).unwrap();
+    link.send("phone", Bytes::from_static(b"x"), SimTime::ZERO).unwrap();
+    link.poll(SimTime::from_millis(2));
+    // Silence beyond the supervision timeout drops the connection …
+    link.poll(SimTime::from_millis(500));
+    assert!(!link.is_connected());
+    assert_eq!(link.stats().supervision_drops, 1);
+    // … and the peripheral is advertising again, so reconnection works.
+    link.connect("phone", SimTime::from_millis(600)).unwrap();
+    assert!(link.is_connected());
+}
+
+#[test]
+fn keyless_open_survives_lossy_link() {
+    // 20% frame loss: the single open command may be lost, but the run
+    // must stay deterministic and never report an unauthorized open.
+    for seed in 0..10 {
+        let config = KeylessConfig {
+            ble: BleConfig {
+                latency_us: 5_000,
+                loss_prob: 0.2,
+                supervision_timeout: Ftti::from_secs(2),
+            },
+            seed,
+            ..Default::default()
+        };
+        let mut world = KeylessWorld::new(config);
+        world.schedule_owner_open(SimTime::from_secs(1));
+        let outcome = world.run_nominal();
+        assert!(!outcome.unauthorized_open, "seed {seed}");
+        assert!(!outcome.sg02_violated, "seed {seed}");
+        // Either served (usually) or lost to the channel — never both
+        // open and unserved.
+        if outcome.lock_open {
+            assert!(outcome.open_latency.is_some(), "seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn stationary_vehicle_exhausts_horizon_without_violations() {
+    let config = ConstructionConfig {
+        initial_speed_mps: 0.0,
+        horizon: Ftti::from_secs(3),
+        ..Default::default()
+    };
+    let outcome = ConstructionWorld::new(config).run_nominal();
+    assert!(!outcome.sg01_violated);
+    assert!(!outcome.sg04_violated);
+}
+
+#[test]
+fn controls_off_baseline_still_nominal_without_attacker() {
+    // Removing every control must not break nominal operation — controls
+    // only reject, they never create safety functions.
+    let config = ConstructionConfig { controls: ControlSelection::none(), ..Default::default() };
+    let outcome = ConstructionWorld::new(config).run_nominal();
+    assert!(!outcome.any_violation(), "{outcome:?}");
+
+    let kconfig = KeylessConfig { controls: ControlSelection::none(), ..Default::default() };
+    let mut world = KeylessWorld::new(kconfig);
+    world.schedule_owner_open(SimTime::from_secs(1));
+    world.schedule_owner_close(SimTime::from_secs(6));
+    let outcome = world.run_nominal();
+    assert!(!outcome.sg01_violated);
+    assert!(!outcome.sg03_violated);
+    assert_eq!(outcome.transitions, 2);
+}
+
+#[test]
+fn obu_queue_bound_enforced_even_without_attack() {
+    // A pathologically slow OBU (budget 0) starves itself: the service
+    // must shut down rather than grow its queue without bound.
+    let config = ConstructionConfig {
+        obu_budget_per_tick: 0,
+        obu_queue_limit: 8,
+        horizon: Ftti::from_secs(60),
+        ..Default::default()
+    };
+    let outcome = ConstructionWorld::new(config).run_nominal();
+    assert!(outcome.service_shutdown);
+    assert!(outcome.sg01_violated);
+}

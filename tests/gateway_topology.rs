@@ -1,0 +1,88 @@
+//! Gateway topology integration: the AD09 filtering story on a realistic
+//! three-segment vehicle network, end to end through the CAN substrate.
+
+use bytes::Bytes;
+
+use saseval::net::can::{CanBusConfig, CanFrame, CanId};
+use saseval::net::gateway::{Gateway, RouteRule, RuleAction};
+use saseval::types::SimTime;
+
+const LOCK_CMD: u16 = 0x2A0;
+const LOCK_STATUS: u16 = 0x4A0;
+
+fn vehicle_topology() -> Gateway {
+    let mut gw = Gateway::new();
+    gw.add_segment("body", CanBusConfig::default())
+        .add_segment("telematics", CanBusConfig::default())
+        .add_segment("diag", CanBusConfig { bitrate_bps: 500_000, tx_queue_depth: 16 });
+    // The vetted command path: telematics (where the BLE gateway app
+    // lives) may send body-control commands.
+    gw.add_rule(RouteRule::new("telematics", "body", 0x200..=0x2FF, RuleAction::Allow));
+    // Status broadcasts flow outward.
+    gw.add_rule(RouteRule::new("body", "telematics", 0x400..=0x4FF, RuleAction::Allow));
+    gw.add_rule(RouteRule::new("body", "diag", 0x400..=0x4FF, RuleAction::Allow));
+    // The diagnostic stub may read, never command (AD09's control).
+    gw.add_rule(RouteRule::new("diag", "body", 0x000..=0x7FF, RuleAction::Deny));
+    gw
+}
+
+fn frame(id: u16, payload: &'static [u8], sender: &str) -> CanFrame {
+    CanFrame::new(CanId::new(id).unwrap(), Bytes::from_static(payload), sender).unwrap()
+}
+
+#[test]
+fn legitimate_command_path_reaches_the_actuator() {
+    let mut gw = vehicle_topology();
+    let reached = gw.receive("telematics", frame(LOCK_CMD, b"open", "ble-gw"), SimTime::ZERO);
+    assert_eq!(reached, ["body"]);
+    let deliveries = gw.advance_segment("body", SimTime::from_millis(10)).unwrap();
+    assert_eq!(deliveries.len(), 1);
+    assert_eq!(deliveries[0].frame.payload().as_ref(), b"open");
+}
+
+#[test]
+fn ad09_stub_commands_blocked_status_reads_allowed() {
+    let mut gw = vehicle_topology();
+    // Attack: forged open command from the diagnostic stub.
+    let reached = gw.receive("diag", frame(LOCK_CMD, b"open", "stub"), SimTime::ZERO);
+    assert!(reached.is_empty());
+    assert!(gw.advance_segment("body", SimTime::from_millis(10)).unwrap().is_empty());
+    assert_eq!(gw.stats().denied, 1, "drop is counted — detection evidence");
+    // Legitimate status read-back still works for the tester.
+    let reached = gw.receive("body", frame(LOCK_STATUS, b"lckd", "bcm"), SimTime::ZERO);
+    assert!(reached.contains(&"diag".to_owned()));
+    let deliveries = gw.advance_segment("diag", SimTime::from_millis(10)).unwrap();
+    assert_eq!(deliveries.len(), 1);
+}
+
+#[test]
+fn stub_flood_cannot_cross_but_fills_the_deny_counter() {
+    let mut gw = vehicle_topology();
+    for i in 0..100 {
+        gw.receive(
+            "diag",
+            frame(LOCK_CMD, b"open", "stub"),
+            SimTime::from_millis(i),
+        );
+    }
+    assert_eq!(gw.stats().denied, 100);
+    assert_eq!(gw.stats().forwarded, 0);
+    assert!(gw.advance_segment("body", SimTime::from_secs(1)).unwrap().is_empty());
+    // The body segment's own traffic is completely unaffected.
+    gw.segment_mut("body").unwrap().submit(frame(LOCK_CMD, b"open", "bcm"), SimTime::from_secs(1)).unwrap();
+    assert_eq!(gw.advance_segment("body", SimTime::from_secs(2)).unwrap().len(), 1);
+}
+
+#[test]
+fn cross_segment_priority_preserved_after_forwarding() {
+    let mut gw = vehicle_topology();
+    // Two commands forwarded from telematics (distinct sending nodes,
+    // since a node's own transmit queue is FIFO), plus local body
+    // traffic: arbitration on the body segment orders by CAN ID.
+    gw.receive("telematics", frame(0x2F0, b"lo", "ble-gw"), SimTime::ZERO);
+    gw.receive("telematics", frame(0x210, b"hi", "tcu"), SimTime::ZERO);
+    gw.segment_mut("body").unwrap().submit(frame(0x250, b"md", "bcm"), SimTime::ZERO).unwrap();
+    let deliveries = gw.advance_segment("body", SimTime::from_millis(50)).unwrap();
+    let ids: Vec<u16> = deliveries.iter().map(|d| d.frame.id().raw()).collect();
+    assert_eq!(ids, [0x210, 0x250, 0x2F0]);
+}

@@ -1,0 +1,240 @@
+//! Integration check of every quantitative claim the paper makes
+//! (Tables I–VII and the §IV statistics) against our reproduction.
+//!
+//! EXPERIMENTS.md cites this test file as the paper-vs-measured record.
+
+use saseval::core::catalog::{use_case_1, use_case_2};
+use saseval::core::pipeline::run_pipeline;
+use saseval::core::report::TraceMatrix;
+use saseval::threat::builtin::{
+    automotive_library, table_i_rows, table_ii_rows, table_iii_rows, table_v_rows,
+};
+use saseval::types::{attack_types_for, AsilLevel, AttackType, RatingClass, ThreatType};
+
+#[test]
+fn table_i_scenarios() {
+    // 3 scenarios, 5 sub-scenarios, exactly as printed.
+    let rows = table_i_rows();
+    assert_eq!(rows.len(), 5);
+    let scenarios: std::collections::BTreeSet<_> = rows.iter().map(|r| r.scenario).collect();
+    assert_eq!(scenarios.len(), 3);
+    assert!(rows[0].sub_scenario.contains("hijacked automated"));
+    assert!(rows[4].sub_scenario.contains("cloud-based service"));
+}
+
+#[test]
+fn table_ii_assets() {
+    let rows = table_ii_rows();
+    assert_eq!(rows.len(), 4);
+    assert_eq!(rows[0].asset, "Gateway");
+    assert_eq!(rows[2].groups.len(), 2, "ECU is Hardware/Software");
+}
+
+#[test]
+fn table_iii_threat_classification() {
+    let rows = table_iii_rows();
+    assert_eq!(rows.len(), 3);
+    assert_eq!(rows[0].threat_type, ThreatType::Spoofing);
+    assert_eq!(rows[1].threat_type, ThreatType::ElevationOfPrivilege);
+    assert_eq!(rows[2].threat_type, ThreatType::Tampering);
+}
+
+#[test]
+fn table_iv_stride_to_attack_types() {
+    // Row sizes as printed (EoP row gains Table V's "Gain unauthorized
+    // access", see DESIGN.md).
+    assert_eq!(attack_types_for(ThreatType::Spoofing).len(), 2);
+    assert_eq!(attack_types_for(ThreatType::Tampering).len(), 7);
+    assert_eq!(attack_types_for(ThreatType::Repudiation).len(), 3);
+    assert_eq!(attack_types_for(ThreatType::InformationDisclosure).len(), 6);
+    assert_eq!(attack_types_for(ThreatType::DenialOfService).len(), 3);
+    assert_eq!(attack_types_for(ThreatType::ElevationOfPrivilege).len(), 3);
+}
+
+#[test]
+fn table_v_full_mapping_chain() {
+    let lib = automotive_library();
+    let rows = table_v_rows();
+    assert_eq!(rows.len(), 4);
+    for row in rows {
+        let ts = lib.threat_scenario(row.library_id).expect("library entry");
+        assert_eq!(ts.threat_type(), row.threat_type);
+        assert!(ts.attack_types().contains(&row.attack_type));
+    }
+}
+
+#[test]
+fn use_case_1_hara_statistics() {
+    // §IV-A: 3 functions, 29 ratings: 5 N/A, 5 No ASIL, 7 A, 3 B, 7 C, 2 D.
+    let uc1 = use_case_1();
+    assert_eq!(uc1.hara.function_count(), 3);
+    let d = uc1.hara.distribution();
+    assert_eq!(
+        (
+            d.total(),
+            d.count(RatingClass::NotApplicable),
+            d.count(RatingClass::Qm),
+            d.count(RatingClass::Asil(AsilLevel::A)),
+            d.count(RatingClass::Asil(AsilLevel::B)),
+            d.count(RatingClass::Asil(AsilLevel::C)),
+            d.count(RatingClass::Asil(AsilLevel::D)),
+        ),
+        (29, 5, 5, 7, 3, 7, 2)
+    );
+}
+
+#[test]
+fn use_case_1_safety_goals() {
+    // §IV-A: SG01(C) SG02(C) SG03(D) SG04(C) SG05(B) SG06(A).
+    let uc1 = use_case_1();
+    let expected = [
+        ("SG01", AsilLevel::C),
+        ("SG02", AsilLevel::C),
+        ("SG03", AsilLevel::D),
+        ("SG04", AsilLevel::C),
+        ("SG05", AsilLevel::B),
+        ("SG06", AsilLevel::A),
+    ];
+    assert_eq!(uc1.hara.safety_goal_count(), expected.len());
+    for (id, asil) in expected {
+        let goal = uc1.hara.safety_goal(id).expect(id);
+        assert_eq!(uc1.hara.goal_asil(goal), Some(asil), "{id}");
+    }
+}
+
+#[test]
+fn use_case_1_yields_23_attack_descriptions() {
+    let uc1 = use_case_1();
+    assert_eq!(uc1.attacks.len(), 23);
+    let report = run_pipeline(&uc1, &automotive_library()).expect("pipeline");
+    assert!(report.is_complete(), "RQ1 deductive + inductive completeness");
+}
+
+#[test]
+fn use_case_1_rat01_matches_paper_excerpt() {
+    // §III-B: Rat01, failure mode NO, E=3 S=3 C=3 → ASIL C, SG01.
+    let uc1 = use_case_1();
+    let rat01 = uc1.hara.rating("Rat01").expect("Rat01");
+    let (s, e, c) = rat01.assessment().expect("assessed");
+    assert_eq!((s.value(), e.value(), c.value()), (3, 3, 3));
+    assert_eq!(rat01.rating_class(), RatingClass::Asil(AsilLevel::C));
+    let sg01 = uc1.hara.safety_goal("SG01").expect("SG01");
+    assert!(sg01.covered_ratings().iter().any(|r| r.as_str() == "Rat01"));
+}
+
+#[test]
+fn table_vi_ad20_fields() {
+    let uc1 = use_case_1();
+    let ad20 = uc1.attacks.iter().find(|a| a.id().as_str() == "AD20").expect("AD20");
+    let goals: Vec<&str> = ad20.safety_goals().iter().map(|g| g.as_str()).collect();
+    assert_eq!(goals, ["SG01", "SG02", "SG03"]);
+    assert_eq!(ad20.interface().unwrap().as_str(), "OBU_RSU");
+    assert_eq!(ad20.threat_scenario().as_str(), "TS-2.1.4");
+    assert_eq!(ad20.threat_type(), ThreatType::DenialOfService);
+    assert_eq!(ad20.attack_type(), AttackType::Disable);
+    assert_eq!(ad20.precondition(), "Vehicle is approaching the construction side");
+    assert_eq!(ad20.expected_measures(), "Message counter for broken messages");
+    assert_eq!(ad20.attack_success(), "Shutdown of service");
+}
+
+#[test]
+fn use_case_2_hara_statistics() {
+    // §IV-B: 2 functions, 20 ratings: 7 N/A, 5 No ASIL, 2 A, 4 B, 1 C, 1 D.
+    let uc2 = use_case_2();
+    assert_eq!(uc2.hara.function_count(), 2);
+    let d = uc2.hara.distribution();
+    assert_eq!(
+        (
+            d.total(),
+            d.count(RatingClass::NotApplicable),
+            d.count(RatingClass::Qm),
+            d.count(RatingClass::Asil(AsilLevel::A)),
+            d.count(RatingClass::Asil(AsilLevel::B)),
+            d.count(RatingClass::Asil(AsilLevel::C)),
+            d.count(RatingClass::Asil(AsilLevel::D)),
+        ),
+        (20, 7, 5, 2, 4, 1, 1)
+    );
+}
+
+#[test]
+fn use_case_2_safety_goals() {
+    // §IV-B: SG01(D) SG02(B) SG03(A) SG04(A).
+    let uc2 = use_case_2();
+    let expected = [
+        ("SG01", AsilLevel::D),
+        ("SG02", AsilLevel::B),
+        ("SG03", AsilLevel::A),
+        ("SG04", AsilLevel::A),
+    ];
+    assert_eq!(uc2.hara.safety_goal_count(), expected.len());
+    for (id, asil) in expected {
+        let goal = uc2.hara.safety_goal(id).expect(id);
+        assert_eq!(uc2.hara.goal_asil(goal), Some(asil), "{id}");
+    }
+}
+
+#[test]
+fn use_case_2_yields_27_plus_2_attacks() {
+    // §IV-B: "27 possible attacks with safety critical impact and
+    // additionally two attacks, which deal with privacy issues".
+    let uc2 = use_case_2();
+    assert_eq!(uc2.safety_attacks().count(), 27);
+    assert_eq!(uc2.privacy_attacks().count(), 2);
+    let report = run_pipeline(&uc2, &automotive_library()).expect("pipeline");
+    assert!(report.is_complete());
+}
+
+#[test]
+fn table_vii_ad08_fields() {
+    let uc2 = use_case_2();
+    let ad08 = uc2.attacks.iter().find(|a| a.id().as_str() == "AD08").expect("AD08");
+    assert_eq!(ad08.safety_goals()[0].as_str(), "SG01");
+    assert_eq!(ad08.interface().unwrap().as_str(), "ECU_GW");
+    assert_eq!(ad08.threat_scenario().as_str(), "TS-3.1.4");
+    assert_eq!(ad08.threat_type(), ThreatType::Spoofing);
+    assert_eq!(ad08.attack_type(), AttackType::Spoofing);
+    assert_eq!(
+        ad08.precondition(),
+        "Vehicle is closed. Attacker has an authenticated communication link"
+    );
+    assert_eq!(ad08.attack_success(), "Open the vehicle");
+    assert_eq!(ad08.attack_fails(), "Opening is rejected");
+}
+
+#[test]
+fn rq2_higher_asil_gets_more_attacks() {
+    // §III-B: "A higher ASIL rating may be used to justify a greater
+    // testing effort."
+    let uc2 = use_case_2();
+    let matrix = TraceMatrix::from_catalog(&uc2);
+    let per_goal = matrix.attacks_per_goal();
+    // SG01 is ASIL D and receives the most attack descriptions.
+    let sg01 = per_goal["SG01"];
+    for goal in ["SG02", "SG03", "SG04"] {
+        assert!(sg01 > per_goal[goal], "SG01 ({sg01}) vs {goal} ({})", per_goal[goal]);
+    }
+}
+
+#[test]
+fn named_prose_attacks_exist() {
+    // §IV-A: "Repudiation - Replay ... warnings are replayed from other
+    // locations ... violation of SG05".
+    let uc1 = use_case_1();
+    assert!(uc1.attacks.iter().any(|a| {
+        a.attack_type() == AttackType::Replay
+            && a.safety_goals().iter().any(|g| g.as_str() == "SG05")
+    }));
+    // §IV-B: "Flooding of the CAN bus, by forwarded Bluetooth request,
+    // reducing availability of the function (SG03)".
+    let uc2 = use_case_2();
+    assert!(uc2.attacks.iter().any(|a| {
+        a.threat_scenario().as_str() == "TS-BLE-FLOOD"
+            && a.safety_goals().iter().any(|g| g.as_str() == "SG03")
+    }));
+    // §IV-B: "Replaying of the opening command by an attacker".
+    assert!(uc2
+        .attacks
+        .iter()
+        .any(|a| a.attack_type() == AttackType::Replay && a.description().contains("opening")));
+}

@@ -1,0 +1,256 @@
+//! Property-based tests over the core invariants (proptest).
+
+use proptest::prelude::*;
+
+use saseval::controls::controls::{FloodDetector, FreshnessWindow, MacAuthenticator, ReplayDetector};
+use saseval::controls::pseudonym::{eavesdrop_campaign, PseudonymScheme};
+use saseval::controls::mac::{MacKey, Tag};
+use saseval::controls::{Envelope, SecurityControl};
+use saseval::net::can::{CanBus, CanBusConfig, CanFrame, CanId};
+use saseval::sim::kernel::EventQueue;
+use saseval::types::{
+    determine_asil, AsilLevel, Controllability, Exposure, Ftti, RatingClass, Severity, SimTime,
+};
+
+fn severity() -> impl Strategy<Value = Severity> {
+    prop_oneof![
+        Just(Severity::S0),
+        Just(Severity::S1),
+        Just(Severity::S2),
+        Just(Severity::S3),
+    ]
+}
+
+fn exposure() -> impl Strategy<Value = Exposure> {
+    prop_oneof![
+        Just(Exposure::E0),
+        Just(Exposure::E1),
+        Just(Exposure::E2),
+        Just(Exposure::E3),
+        Just(Exposure::E4),
+    ]
+}
+
+fn controllability() -> impl Strategy<Value = Controllability> {
+    prop_oneof![
+        Just(Controllability::C0),
+        Just(Controllability::C1),
+        Just(Controllability::C2),
+        Just(Controllability::C3),
+    ]
+}
+
+proptest! {
+    /// The explicit ISO 26262 table always agrees with the sum rule.
+    #[test]
+    fn asil_table_equals_sum_rule(s in severity(), e in exposure(), c in controllability()) {
+        let computed = determine_asil(s, e, c);
+        let expected = if s == Severity::S0 || e == Exposure::E0 || c == Controllability::C0 {
+            RatingClass::Qm
+        } else {
+            match s.value() + e.value() + c.value() {
+                7 => RatingClass::Asil(AsilLevel::A),
+                8 => RatingClass::Asil(AsilLevel::B),
+                9 => RatingClass::Asil(AsilLevel::C),
+                10 => RatingClass::Asil(AsilLevel::D),
+                _ => RatingClass::Qm,
+            }
+        };
+        prop_assert_eq!(computed, expected);
+    }
+
+    /// ASIL determination is monotone in every parameter.
+    #[test]
+    fn asil_monotone(s in severity(), e in exposure(), c in controllability()) {
+        let here = determine_asil(s, e, c);
+        for s2 in Severity::ALL {
+            if s2 >= s {
+                prop_assert!(determine_asil(s2, e, c) >= here || s == Severity::S0);
+            }
+        }
+    }
+
+    /// CAN arbitration: with everything submitted at t=0, deliveries are
+    /// sorted by identifier (lowest first), and nothing is silently lost.
+    #[test]
+    fn can_arbitration_orders_by_id(ids in prop::collection::vec(0u16..0x7FF, 1..20)) {
+        let mut bus = CanBus::new(CanBusConfig { bitrate_bps: 500_000, tx_queue_depth: 64 });
+        for (i, id) in ids.iter().enumerate() {
+            let frame = CanFrame::new(
+                CanId::new(*id).unwrap(),
+                bytes::Bytes::from_static(&[0u8; 4]),
+                format!("node-{i}"),
+            )
+            .unwrap();
+            bus.submit(frame, SimTime::ZERO).unwrap();
+        }
+        let deliveries = bus.advance(SimTime::from_secs(10));
+        prop_assert_eq!(deliveries.len(), ids.len());
+        let delivered_ids: Vec<u16> = deliveries.iter().map(|d| d.frame.id().raw()).collect();
+        let mut sorted = delivered_ids.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(delivered_ids, sorted);
+        // Completion times strictly increase (one bus, serial medium).
+        for pair in deliveries.windows(2) {
+            prop_assert!(pair[0].completed_at < pair[1].completed_at);
+        }
+    }
+
+    /// The replay detector accepts any first-seen message and rejects its
+    /// exact re-delivery while it is in the cache.
+    #[test]
+    fn replay_detector_soundness(
+        payloads in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..16), 1..30)
+    ) {
+        let mut detector = ReplayDetector::new(1024);
+        let mut seen: Vec<Vec<u8>> = Vec::new();
+        for (i, payload) in payloads.iter().enumerate() {
+            let env = Envelope::new("s", SimTime::from_micros(i as u64), payload.clone());
+            prop_assert!(detector.check(&env, SimTime::ZERO).is_ok(), "fresh message accepted");
+            seen.push(payload.clone());
+            // Every previously seen (sender, time, payload) triple rejects.
+            let replay = Envelope::new("s", SimTime::from_micros(i as u64), payload.clone());
+            prop_assert!(detector.check(&replay, SimTime::ZERO).is_err());
+        }
+    }
+
+    /// MAC: verify(sign(m)) holds; flipping any payload byte breaks it.
+    #[test]
+    fn mac_sign_verify(data in prop::collection::vec(any::<u8>(), 0..64), flip in any::<usize>()) {
+        let key = MacKey::new(0xFEED);
+        let tag = key.sign(&data);
+        prop_assert!(key.verify(&data, tag));
+        if !data.is_empty() {
+            let mut corrupted = data.clone();
+            let at = flip % corrupted.len();
+            corrupted[at] ^= 0x01;
+            prop_assert!(!key.verify(&corrupted, tag));
+        }
+        // A random tag guess is (practically) never valid.
+        prop_assert!(!key.verify(&data, Tag::from_raw(tag.raw().wrapping_add(1))));
+    }
+
+    /// Freshness: accepts exactly the window [now - w, now + skew].
+    #[test]
+    fn freshness_window_boundaries(age_ms in 0u64..2_000, window_ms in 1u64..1_000) {
+        let mut control = FreshnessWindow::new(Ftti::from_millis(window_ms));
+        let now = SimTime::from_secs(10);
+        let generated = SimTime::from_micros(now.as_micros() - age_ms * 1_000);
+        let env = Envelope::new("s", generated, vec![]);
+        let accepted = control.check(&env, now).is_ok();
+        prop_assert_eq!(accepted, age_ms <= window_ms);
+    }
+
+    /// The event queue dequeues in (time, insertion) order regardless of
+    /// schedule order.
+    #[test]
+    fn event_queue_ordering(times in prop::collection::vec(0u64..1_000, 1..50)) {
+        let mut queue = EventQueue::new();
+        for (i, t) in times.iter().enumerate() {
+            queue.schedule(SimTime::from_micros(*t), (*t, i));
+        }
+        let drained = queue.pop_due(SimTime::from_secs(1));
+        prop_assert_eq!(drained.len(), times.len());
+        for pair in drained.windows(2) {
+            let (t1, i1) = pair[0];
+            let (t2, i2) = pair[1];
+            prop_assert!(t1 < t2 || (t1 == t2 && i1 < i2));
+        }
+    }
+
+    /// Authenticated-envelope round trip: what a legitimate sender signs,
+    /// the authenticator accepts; any change of sender identity breaks it.
+    #[test]
+    fn mac_authenticator_binds_sender(
+        payload in prop::collection::vec(any::<u8>(), 0..32),
+        sender in "[a-z]{1,10}",
+        impostor in "[A-Z]{1,10}",
+    ) {
+        let key = MacKey::new(7);
+        let mut auth = MacAuthenticator::new(key);
+        let t = SimTime::from_millis(5);
+        let tag = MacAuthenticator::sign(key, &sender, &payload, t);
+        let genuine = Envelope::new(sender.clone(), t, payload.clone()).with_tag(tag);
+        prop_assert!(auth.check(&genuine, t).is_ok());
+        let stolen = Envelope::new(impostor, t, payload).with_tag(tag);
+        prop_assert!(auth.check(&stolen, t).is_err());
+    }
+
+    /// The flood detector admits at most `max` messages per sender within
+    /// any trailing window, regardless of the arrival pattern.
+    #[test]
+    fn flood_detector_never_exceeds_rate(
+        arrivals_ms in prop::collection::vec(0u64..5_000, 1..200),
+        max in 1usize..20,
+    ) {
+        let window_ms = 1_000u64;
+        let mut sorted = arrivals_ms.clone();
+        sorted.sort_unstable();
+        let mut detector = FloodDetector::new(max, Ftti::from_millis(window_ms));
+        let env = Envelope::new("s", SimTime::ZERO, vec![]);
+        let mut accepted: Vec<u64> = Vec::new();
+        for t in &sorted {
+            if detector.check(&env, SimTime::from_millis(*t)).is_ok() {
+                accepted.push(*t);
+            }
+        }
+        // In any trailing window ending at an accepted arrival, at most
+        // `max` acceptances.
+        for (i, t) in accepted.iter().enumerate() {
+            let in_window = accepted[..=i]
+                .iter()
+                .filter(|a| t - *a <= window_ms)
+                .count();
+            prop_assert!(in_window <= max, "window ending {t} holds {in_window} > {max}");
+        }
+    }
+
+    /// Faster pseudonym rotation never increases eavesdropper linkability.
+    #[test]
+    fn pseudonym_rotation_monotone(seed in any::<u64>()) {
+        let interval = Ftti::from_secs(1);
+        let duration = Ftti::from_secs(300);
+        let mut last = f64::INFINITY;
+        for period_s in [300u64, 60, 10, 2] {
+            let scheme = PseudonymScheme::new(Ftti::from_secs(period_s), seed);
+            let observer = eavesdrop_campaign(&scheme, 42, interval, duration);
+            let linkability = observer.linkability();
+            prop_assert!(linkability <= last, "period {period_s}: {linkability} > {last}");
+            last = linkability;
+        }
+    }
+
+    /// CAN bandwidth conservation: the bus never delivers more bits per
+    /// virtual second than its configured bit rate.
+    #[test]
+    fn can_bandwidth_conserved(
+        submissions in prop::collection::vec((0u16..0x7FF, 0usize..9), 1..60),
+    ) {
+        let bitrate = 125_000u32;
+        let mut bus = CanBus::new(CanBusConfig { bitrate_bps: bitrate, tx_queue_depth: 128 });
+        for (i, (id, len)) in submissions.iter().enumerate() {
+            let frame = CanFrame::new(
+                CanId::new(*id).unwrap(),
+                bytes::Bytes::from(vec![0u8; *len]),
+                format!("n{i}"),
+            )
+            .unwrap();
+            bus.submit(frame, SimTime::ZERO).unwrap();
+        }
+        let horizon = SimTime::from_secs(10);
+        let deliveries = bus.advance(horizon);
+        prop_assert_eq!(deliveries.len(), submissions.len(), "nothing lost below queue depth");
+        let total_bits: u64 =
+            deliveries.iter().map(|d| u64::from(d.frame.wire_bits())).sum();
+        let last = deliveries.last().unwrap().completed_at;
+        // bits delivered by `last` must fit into the bit budget of the
+        // elapsed time (integer truncation gives the bus ≤1 bit slack per
+        // frame; allow the frame count as tolerance).
+        let budget =
+            last.as_micros() * u64::from(bitrate) / 1_000_000 + deliveries.len() as u64;
+        prop_assert!(
+            total_bits <= budget,
+            "delivered {total_bits} bits by {last} exceeds budget {budget}"
+        );
+    }
+}

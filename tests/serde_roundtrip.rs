@@ -1,0 +1,78 @@
+//! Serde round trips for the shareable work products: the artifacts a
+//! project exchanges between tools (threat libraries, HARAs, attack
+//! descriptions, execution results) must survive JSON round trips with
+//! all invariants intact.
+
+use saseval::core::catalog::{use_case_1, use_case_2};
+use saseval::core::AttackDescription;
+use saseval::engine::builtin::ad20_cases;
+use saseval::engine::campaign::run_campaign;
+use saseval::engine::executor::ExecutionResult;
+use saseval::hara::Hara;
+use saseval::threat::builtin::automotive_library;
+use saseval::threat::ThreatLibrary;
+
+#[test]
+fn threat_library_round_trip() {
+    let library = automotive_library();
+    let json = serde_json::to_string(&library).expect("serialize");
+    let back: ThreatLibrary = serde_json::from_str(&json).expect("deserialize");
+    back.validate().expect("invariants hold after round trip");
+    assert_eq!(back.stats(), library.stats());
+    // Spot-check a deep artifact.
+    let ts = back.threat_scenario("TS-2.1.4").expect("threat");
+    assert_eq!(ts.threat_type(), library.threat_scenario("TS-2.1.4").unwrap().threat_type());
+}
+
+#[test]
+fn hara_round_trip_preserves_statistics_and_goals() {
+    for catalog in [use_case_1(), use_case_2()] {
+        let json = serde_json::to_string(&catalog.hara).expect("serialize");
+        let back: Hara = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back.distribution(), catalog.hara.distribution(), "{}", catalog.name);
+        assert_eq!(back.rating_count(), catalog.hara.rating_count());
+        assert_eq!(back.safety_goal_count(), catalog.hara.safety_goal_count());
+        assert!(back.completeness().is_complete());
+        for goal in back.safety_goals() {
+            let original = catalog.hara.safety_goal(goal.id().as_str()).expect("goal");
+            assert_eq!(back.goal_asil(goal), catalog.hara.goal_asil(original));
+        }
+    }
+}
+
+#[test]
+fn attack_descriptions_round_trip() {
+    for catalog in [use_case_1(), use_case_2()] {
+        let json = serde_json::to_string(&catalog.attacks).expect("serialize");
+        let back: Vec<AttackDescription> = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, catalog.attacks, "{}", catalog.name);
+    }
+}
+
+#[test]
+fn execution_results_round_trip() {
+    let report = run_campaign(&ad20_cases());
+    let json = serde_json::to_string(&report.results).expect("serialize");
+    let back: Vec<ExecutionResult> = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(back.len(), report.results.len());
+    for (a, b) in back.iter().zip(&report.results) {
+        assert_eq!(a.attack_id, b.attack_id);
+        assert_eq!(a.attack_succeeded, b.attack_succeeded);
+        assert_eq!(a.detected, b.detected);
+        assert_eq!(a.violated_goals, b.violated_goals);
+    }
+}
+
+#[test]
+fn tampered_hara_ratings_still_classify_consistently() {
+    // A HARA deserialized from external JSON re-derives its rating
+    // classes from S/E/C — the class is never stored, so it cannot be
+    // tampered independently of the assessment.
+    let uc1 = use_case_1();
+    let json = serde_json::to_string(&uc1.hara).expect("serialize");
+    assert!(
+        !json.contains("\"Asil\""),
+        "rating classes are derived, not serialized: {}",
+        &json[..200.min(json.len())]
+    );
+}
