@@ -2,10 +2,10 @@
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
-use serde::{Deserialize, Serialize};
 use saseval_types::SimTime;
 use security_controls::controls::{IdAllowList, MacAuthenticator};
 use security_controls::mac::Tag;
+use serde::{Deserialize, Serialize};
 use vehicle_sim::keyless::{Command, KeylessWorld, CMD_CLOSE, CMD_OPEN, CMD_SERVICE, OWNER_PHONE};
 use vehicle_sim::AttackerHook;
 
@@ -63,8 +63,7 @@ impl AttackerHook<KeylessWorld> for KeyIdSpoof {
             self.sent += 1;
             let tag =
                 MacAuthenticator::sign(world.command_key(), "attacker", &[CMD_OPEN], now).raw();
-            let cmd =
-                Command { cmd: CMD_OPEN, key_id, ts: now.as_micros(), response: 0, tag };
+            let cmd = Command { cmd: CMD_OPEN, key_id, ts: now.as_micros(), response: 0, tag };
             world.send_ble("attacker", cmd.encode());
         }
     }
@@ -182,8 +181,7 @@ impl AttackerHook<KeylessWorld> for SpoofClose {
             return;
         }
         self.done = true;
-        let tag =
-            MacAuthenticator::sign(world.command_key(), "attacker", &[CMD_CLOSE], now).raw();
+        let tag = MacAuthenticator::sign(world.command_key(), "attacker", &[CMD_CLOSE], now).raw();
         let cmd = Command {
             cmd: CMD_CLOSE,
             key_id: self.claimed_id,
@@ -437,11 +435,8 @@ mod tests {
 
     #[test]
     fn replay_succeeds_with_auth_only() {
-        let controls = ControlSelection {
-            authentication: true,
-            allow_list: true,
-            ..ControlSelection::none()
-        };
+        let controls =
+            ControlSelection { authentication: true, allow_list: true, ..ControlSelection::none() };
         let mut replay = ReplayOpen::new(SimTime::from_secs(8));
         let outcome = run_with(
             controls,

@@ -9,6 +9,12 @@ pub mod ble;
 pub mod compose;
 pub mod v2x;
 
-pub use ble::{AllowlistTamper, BleJam, CanStubInject, KeyGuessStrategy, KeyIdSpoof, ReplayOpen, ServiceFlood, SpoofClose};
+pub use ble::{
+    AllowlistTamper, BleJam, CanStubInject, KeyGuessStrategy, KeyIdSpoof, ReplayOpen, ServiceFlood,
+    SpoofClose,
+};
 pub use compose::Composed;
-pub use v2x::{AuthenticatedFlood, DelayedDelivery, JamChannel, ReplayStaleWarning, SignedSpoofLimit, UnsignedSpoof};
+pub use v2x::{
+    AuthenticatedFlood, DelayedDelivery, JamChannel, ReplayStaleWarning, SignedSpoofLimit,
+    UnsignedSpoof,
+};

@@ -161,9 +161,8 @@ impl AttackerHook<ConstructionWorld> for ReplayStaleWarning {
         self.done = true;
         // A genuine recorded message: signed with the RSU key at its
         // original (old) generation time.
-        let generated = SimTime::from_micros(
-            now.as_micros().saturating_sub(self.staleness.as_micros()),
-        );
+        let generated =
+            SimTime::from_micros(now.as_micros().saturating_sub(self.staleness.as_micros()));
         let msg = world.signed_message("RSU-1", &[MSG_ROADWORKS, 200], generated);
         world.channel_mut().broadcast(msg, now);
     }
@@ -233,7 +232,10 @@ mod tests {
     use vehicle_sim::config::ControlSelection;
     use vehicle_sim::construction::{ConstructionConfig, ConstructionWorld};
 
-    fn run(controls: ControlSelection, hook: &mut dyn AttackerHook<ConstructionWorld>) -> vehicle_sim::construction::ConstructionOutcome {
+    fn run(
+        controls: ControlSelection,
+        hook: &mut dyn AttackerHook<ConstructionWorld>,
+    ) -> vehicle_sim::construction::ConstructionOutcome {
         let config = ConstructionConfig { controls, ..Default::default() };
         ConstructionWorld::new(config).run(hook)
     }
@@ -261,19 +263,20 @@ mod tests {
         // Emergent self-DoS: the forger claimed the genuine RSU identity,
         // so the broken-message counter isolates "RSU-1" itself.
         assert!(with_auth.isolated_senders.iter().any(|s| s == "RSU-1"));
-        let without =
-            run(ControlSelection::none(), &mut UnsignedSpoof::fake_limit(120));
+        let without = run(ControlSelection::none(), &mut UnsignedSpoof::fake_limit(120));
         assert!(without.sg03_violated, "{without:?}");
     }
 
     #[test]
     fn insider_limit_spoof_beats_everything_but_plausibility() {
         // Limit 200 km/h: plausibility (5..=130) catches it.
-        let caught = run(ControlSelection::all(), &mut SignedSpoofLimit::new(200, Ftti::from_millis(100)));
+        let caught =
+            run(ControlSelection::all(), &mut SignedSpoofLimit::new(200, Ftti::from_millis(100)));
         assert!(!caught.sg03_violated);
         // Limit 100 km/h: inside the plausible range, slips through even
         // the full stack — the residual risk the ablation bench reports.
-        let slipped = run(ControlSelection::all(), &mut SignedSpoofLimit::new(100, Ftti::from_millis(100)));
+        let slipped =
+            run(ControlSelection::all(), &mut SignedSpoofLimit::new(100, Ftti::from_millis(100)));
         assert!(slipped.sg03_violated, "{slipped:?}");
     }
 

@@ -11,19 +11,8 @@ use vehicle_sim::config::ControlSelection;
 use crate::attacks::KeyGuessStrategy;
 use crate::executor::{AttackKind, TestCase};
 
-fn case(
-    attack_id: &str,
-    label: &str,
-    kind: AttackKind,
-    controls: ControlSelection,
-) -> TestCase {
-    TestCase {
-        attack_id: attack_id.to_owned(),
-        label: label.to_owned(),
-        kind,
-        controls,
-        seed: 42,
-    }
+fn case(attack_id: &str, label: &str, kind: AttackKind, controls: ControlSelection) -> TestCase {
+    TestCase { attack_id: attack_id.to_owned(), label: label.to_owned(), kind, controls, seed: 42 }
 }
 
 /// Table VI's AD20 (packet flooding), without and with the

@@ -1,8 +1,9 @@
 //! Campaign runner: executes suites of test cases and aggregates results.
 
+use saseval_obs::Obs;
 use serde::{Deserialize, Serialize};
 
-use crate::executor::{execute, ExecutionResult, TestCase};
+use crate::executor::{execute_with_obs, ExecutionResult, TestCase};
 
 /// Aggregated results of a campaign.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -38,43 +39,97 @@ impl CampaignReport {
     }
 
     /// Results for one attack description.
-    pub fn for_attack<'a>(&'a self, attack_id: &'a str) -> impl Iterator<Item = &'a ExecutionResult> {
+    pub fn for_attack<'a>(
+        &'a self,
+        attack_id: &'a str,
+    ) -> impl Iterator<Item = &'a ExecutionResult> {
         self.results.iter().filter(move |r| r.attack_id == attack_id)
     }
 }
 
 /// Runs all cases serially, preserving order.
 pub fn run_campaign(cases: &[TestCase]) -> CampaignReport {
-    CampaignReport { results: cases.iter().map(execute).collect() }
+    run_campaign_with_obs(cases, &Obs::noop())
 }
 
-/// Runs all cases on a crossbeam-scoped thread pool, preserving result
-/// order. Each case is independent (worlds are self-contained), so this
-/// is embarrassingly parallel.
+/// [`run_campaign`] with metrics: the whole campaign is timed under the
+/// `campaign.run_seconds` span and progress/verdict counts land in the
+/// `campaign.*` counters (in addition to per-case `case.*` metrics).
+pub fn run_campaign_with_obs(cases: &[TestCase], obs: &Obs) -> CampaignReport {
+    let span = obs.span("campaign.run_seconds");
+    let results: Vec<ExecutionResult> =
+        cases.iter().map(|case| execute_with_obs(case, obs)).collect();
+    record_campaign_totals(&results, obs);
+    span.finish();
+    CampaignReport { results }
+}
+
+fn record_campaign_totals(results: &[ExecutionResult], obs: &Obs) {
+    obs.counter("campaign.cases", results.len() as u64);
+    obs.counter("campaign.succeeded", results.iter().filter(|r| r.attack_succeeded).count() as u64);
+    obs.counter("campaign.detected", results.iter().filter(|r| r.detected).count() as u64);
+}
+
+/// Runs all cases on a scoped thread pool, preserving result order. Each
+/// case is independent (worlds are self-contained), so this is
+/// embarrassingly parallel.
+///
+/// Workers claim case indices from a shared atomic counter and send
+/// `(index, result)` pairs over a channel; only the coordinating thread
+/// writes into the result vector, so no lock is held around result
+/// storage (the old implementation serialized every completion on a
+/// mutex over the whole vector).
 pub fn run_campaign_parallel(cases: &[TestCase], threads: usize) -> CampaignReport {
-    let threads = threads.max(1);
+    run_campaign_parallel_with_obs(cases, threads, &Obs::noop())
+}
+
+/// [`run_campaign_parallel`] with metrics. Workers emit per-case `case.*`
+/// metrics through their own handle clones; the coordinating thread
+/// records `campaign.completed` progress as results arrive, so campaign
+/// bookkeeping never contends with workers.
+pub fn run_campaign_parallel_with_obs(
+    cases: &[TestCase],
+    threads: usize,
+    obs: &Obs,
+) -> CampaignReport {
+    let threads = threads.clamp(1, cases.len().max(1));
+    if threads == 1 {
+        return run_campaign_with_obs(cases, obs);
+    }
+    let span = obs.span("campaign.run_seconds");
     let mut results: Vec<Option<ExecutionResult>> = Vec::new();
     results.resize_with(cases.len(), || None);
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let results_mutex = parking_lot::Mutex::new(&mut results);
+    let (sender, receiver) = std::sync::mpsc::channel();
 
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
+            let sender = sender.clone();
+            let next = &next;
+            let worker_obs = obs.clone();
+            scope.spawn(move || loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= cases.len() {
                     break;
                 }
-                let result = execute(&cases[i]);
-                results_mutex.lock()[i] = Some(result);
+                let result = execute_with_obs(&cases[i], &worker_obs);
+                if sender.send((i, result)).is_err() {
+                    break;
+                }
             });
         }
-    })
-    .expect("campaign worker panicked");
+        drop(sender);
+        for (i, result) in receiver.iter() {
+            results[i] = Some(result);
+            obs.counter("campaign.completed", 1);
+        }
+    });
 
-    CampaignReport {
-        results: results.into_iter().map(|r| r.expect("all cases executed")).collect(),
-    }
+    let results: Vec<ExecutionResult> =
+        results.into_iter().map(|r| r.expect("all cases executed")).collect();
+    record_campaign_totals(&results, obs);
+    span.finish();
+    CampaignReport { results }
 }
 
 #[cfg(test)]
@@ -130,6 +185,33 @@ mod tests {
             assert_eq!(s.detected, p.detected);
             assert_eq!(s.violated_goals, p.violated_goals);
         }
+    }
+
+    #[test]
+    fn campaign_metrics_recorded() {
+        let (obs, recorder) = Obs::memory();
+        let report = run_campaign_with_obs(&small_suite(), &obs);
+        let snapshot = recorder.snapshot();
+        assert_eq!(snapshot.counter("campaign.cases"), Some(3));
+        assert_eq!(snapshot.counter("campaign.succeeded"), Some(report.successes() as u64));
+        assert_eq!(snapshot.counter("campaign.detected"), Some(report.detections() as u64));
+        assert_eq!(snapshot.histogram("campaign.run_seconds").map(|h| h.count), Some(1));
+        for phase in ["case.precondition_seconds", "case.inject_seconds", "case.evaluate_seconds"] {
+            assert_eq!(snapshot.histogram(phase).map(|h| h.count), Some(3), "{phase}");
+        }
+        assert_eq!(snapshot.events.iter().filter(|e| e.name == "case.verdict").count(), 3);
+        // The worlds' own instrumentation flows through the same handle.
+        assert!(snapshot.counter("world.construction.ticks").unwrap_or(0) > 0);
+    }
+
+    #[test]
+    fn parallel_campaign_metrics_track_progress() {
+        let (obs, recorder) = Obs::memory();
+        let report = run_campaign_parallel_with_obs(&small_suite(), 2, &obs);
+        let snapshot = recorder.snapshot();
+        assert_eq!(snapshot.counter("campaign.completed"), Some(report.total() as u64));
+        assert_eq!(snapshot.counter("campaign.cases"), Some(report.total() as u64));
+        assert_eq!(snapshot.events.iter().filter(|e| e.name == "case.verdict").count(), 3);
     }
 
     #[test]

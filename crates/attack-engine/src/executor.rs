@@ -3,6 +3,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use saseval_obs::Obs;
 use saseval_types::{Ftti, SimTime};
 use vehicle_sim::config::ControlSelection;
 use vehicle_sim::construction::{ConstructionConfig, ConstructionOutcome, ConstructionWorld};
@@ -187,130 +188,23 @@ fn keyless_config(case: &TestCase) -> KeylessConfig {
 /// The success criterion per attack kind mirrors the corresponding attack
 /// description's "Attack Success" row; detection mirrors "Attack Fails".
 pub fn execute(case: &TestCase) -> ExecutionResult {
-    let (outcome, succeeded, detected) = match &case.kind {
-        AttackKind::V2xFlood { per_tick } => {
-            let mut hook = AuthenticatedFlood {
-                sender: "attacker".to_owned(),
-                per_tick: *per_tick,
-                within_m: 1_200.0,
-            };
-            let o = ConstructionWorld::new(construction_config(case)).run(&mut hook);
-            // Table VI: success = "Shutdown of service"; fails =
-            // "Security control identifies unwanted sender".
-            let succeeded = o.service_shutdown;
-            let detected = o.isolated_senders.iter().any(|s| s == "attacker");
-            (WorldOutcome::Construction(o), succeeded, detected)
-        }
-        AttackKind::V2xFakeLimit { limit } => {
-            let mut hook = UnsignedSpoof::fake_limit(*limit);
-            let o = ConstructionWorld::new(construction_config(case)).run(&mut hook);
-            let succeeded = o.sg03_violated;
-            let detected = !o.isolated_senders.is_empty();
-            (WorldOutcome::Construction(o), succeeded, detected)
-        }
-        AttackKind::V2xInsiderLimit { limit } => {
-            let mut hook = SignedSpoofLimit::new(*limit, Ftti::from_millis(100));
-            let o = ConstructionWorld::new(construction_config(case)).run(&mut hook);
-            let succeeded = o.sg03_violated;
-            let detected = !o.isolated_senders.is_empty();
-            (WorldOutcome::Construction(o), succeeded, detected)
-        }
-        AttackKind::V2xReplayWarning { staleness_s } => {
-            let mut hook = ReplayStaleWarning::new(
-                SimTime::from_secs(1),
-                Ftti::from_secs(*staleness_s),
-            );
-            let o = ConstructionWorld::new(construction_config(case)).run(&mut hook);
-            // Success = the replayed warning was accepted although no
-            // site was in range (the SG05 "unintended warnings" class).
-            let succeeded = o.unintended_warnings > 0;
-            let detected = !o.isolated_senders.is_empty();
-            (WorldOutcome::Construction(o), succeeded, detected)
-        }
-        AttackKind::V2xJam => {
-            let mut hook = JamChannel::new(SimTime::ZERO, SimTime::from_secs(3_600));
-            let o = ConstructionWorld::new(construction_config(case)).run(&mut hook);
-            let succeeded = o.sg01_violated;
-            let detected = !o.isolated_senders.is_empty();
-            (WorldOutcome::Construction(o), succeeded, detected)
-        }
-        AttackKind::V2xDelay { release_s } => {
-            let mut hook = DelayedDelivery::new(SimTime::from_secs(*release_s));
-            let o = ConstructionWorld::new(construction_config(case)).run(&mut hook);
-            let succeeded = o.sg01_violated || o.sg04_violated;
-            let detected = !o.isolated_senders.is_empty();
-            (WorldOutcome::Construction(o), succeeded, detected)
-        }
-        AttackKind::KeySpoof { strategy, budget } => {
-            let mut hook = KeyIdSpoof::new(*strategy, 5, *budget, case.seed);
-            let o = KeylessWorld::new(keyless_config(case)).run(&mut hook);
-            // Table VII: success = "Open the vehicle"; fails = "Opening is
-            // rejected".
-            let succeeded = o.sg01_violated;
-            let detected = o.isolated_senders.iter().any(|s| s == "attacker");
-            (WorldOutcome::Keyless(o), succeeded, detected)
-        }
-        AttackKind::BleReplayOpen => {
-            let mut world = KeylessWorld::new(keyless_config(case));
-            world.schedule_owner_open(SimTime::from_secs(1));
-            world.schedule_owner_close(SimTime::from_secs(5));
-            let mut hook = ReplayOpen::new(SimTime::from_secs(8));
-            let o = world.run(&mut hook);
-            let succeeded = o.sg01_violated;
-            let detected = !o.isolated_senders.is_empty();
-            (WorldOutcome::Keyless(o), succeeded, detected)
-        }
-        AttackKind::BleCanFlood { per_tick } => {
-            let mut world = KeylessWorld::new(keyless_config(case));
-            world.schedule_owner_open(SimTime::from_secs(1));
-            let mut hook = ServiceFlood { per_tick: *per_tick };
-            let o = world.run(&mut hook);
-            let succeeded = o.sg03_violated;
-            let detected = !o.isolated_senders.is_empty();
-            (WorldOutcome::Keyless(o), succeeded, detected)
-        }
-        AttackKind::BleJamming => {
-            let mut world = KeylessWorld::new(keyless_config(case));
-            world.schedule_owner_open(SimTime::from_secs(1));
-            let mut hook = BleJam::new(SimTime::ZERO, SimTime::from_secs(3_600));
-            let o = world.run(&mut hook);
-            let succeeded = o.sg03_violated;
-            let detected = !o.isolated_senders.is_empty();
-            (WorldOutcome::Keyless(o), succeeded, detected)
-        }
-        AttackKind::BleSpoofClose => {
-            let config = keyless_config(case);
-            let owner_id = config.owner_key_id;
-            let mut world = KeylessWorld::new(config);
-            world.schedule_owner_open(SimTime::from_secs(1));
-            let mut hook = SpoofClose::new(SimTime::from_secs(2), owner_id);
-            let o = world.run(&mut hook);
-            let succeeded = o.sg04_violated;
-            let detected = !o.isolated_senders.is_empty();
-            (WorldOutcome::Keyless(o), succeeded, detected)
-        }
-        AttackKind::CanStubInject => {
-            let world = KeylessWorld::new(keyless_config(case));
-            let mut hook =
-                CanStubInject::new(SimTime::from_millis(100), vehicle_sim::keyless::CMD_OPEN);
-            let o = world.run(&mut hook);
-            let succeeded = o.sg01_violated;
-            let detected = !o.isolated_senders.is_empty();
-            (WorldOutcome::Keyless(o), succeeded, detected)
-        }
-        AttackKind::AllowlistTamper { insider } => {
-            let config = keyless_config(case);
-            let world = KeylessWorld::new(config);
-            let auth = insider
-                .then(|| AllowlistTamper::insider_auth(world.config_key(), 0xEE01));
-            let mut hook = AllowlistTamper::new(0xEE01, auth, SimTime::from_millis(100));
-            let o = world.run(&mut hook);
-            let succeeded = o.sg01_violated;
-            let detected = !o.isolated_senders.is_empty();
-            (WorldOutcome::Keyless(o), succeeded, detected)
-        }
-    };
-    ExecutionResult {
+    execute_with_obs(case, &Obs::noop())
+}
+
+/// [`execute`] with metrics: phase timings land in the
+/// `case.{precondition,inject,evaluate}_seconds` histograms and each
+/// verdict is emitted as a `case.verdict` event.
+pub fn execute_with_obs(case: &TestCase, obs: &Obs) -> ExecutionResult {
+    let precondition = obs.span("case.precondition_seconds");
+    let run = prepare(case, obs);
+    precondition.finish();
+
+    let inject = obs.span("case.inject_seconds");
+    let (outcome, succeeded, detected) = run();
+    inject.finish();
+
+    let evaluate = obs.span("case.evaluate_seconds");
+    let result = ExecutionResult {
         attack_id: case.attack_id.clone(),
         label: case.label.clone(),
         controls: case.controls,
@@ -318,6 +212,176 @@ pub fn execute(case: &TestCase) -> ExecutionResult {
         detected,
         violated_goals: outcome.violated_goals().iter().map(|s| (*s).to_owned()).collect(),
         outcome,
+    };
+    obs.event(
+        "case.verdict",
+        &[
+            ("attack_id", result.attack_id.as_str().into()),
+            ("label", result.label.as_str().into()),
+            ("succeeded", succeeded.into()),
+            ("detected", detected.into()),
+        ],
+    );
+    evaluate.finish();
+    result
+}
+
+/// Builds the world and attacker hook for `case` — the precondition
+/// phase — and returns a closure that runs the world and evaluates the
+/// attack-specific criteria — the injection phase.
+fn prepare(case: &TestCase, obs: &Obs) -> Box<dyn FnOnce() -> (WorldOutcome, bool, bool)> {
+    match &case.kind {
+        AttackKind::V2xFlood { per_tick } => {
+            let mut hook = AuthenticatedFlood {
+                sender: "attacker".to_owned(),
+                per_tick: *per_tick,
+                within_m: 1_200.0,
+            };
+            let world = ConstructionWorld::new(construction_config(case)).with_obs(obs.clone());
+            Box::new(move || {
+                let o = world.run(&mut hook);
+                // Table VI: success = "Shutdown of service"; fails =
+                // "Security control identifies unwanted sender".
+                let succeeded = o.service_shutdown;
+                let detected = o.isolated_senders.iter().any(|s| s == "attacker");
+                (WorldOutcome::Construction(o), succeeded, detected)
+            })
+        }
+        AttackKind::V2xFakeLimit { limit } => {
+            let mut hook = UnsignedSpoof::fake_limit(*limit);
+            let world = ConstructionWorld::new(construction_config(case)).with_obs(obs.clone());
+            Box::new(move || {
+                let o = world.run(&mut hook);
+                let succeeded = o.sg03_violated;
+                let detected = !o.isolated_senders.is_empty();
+                (WorldOutcome::Construction(o), succeeded, detected)
+            })
+        }
+        AttackKind::V2xInsiderLimit { limit } => {
+            let mut hook = SignedSpoofLimit::new(*limit, Ftti::from_millis(100));
+            let world = ConstructionWorld::new(construction_config(case)).with_obs(obs.clone());
+            Box::new(move || {
+                let o = world.run(&mut hook);
+                let succeeded = o.sg03_violated;
+                let detected = !o.isolated_senders.is_empty();
+                (WorldOutcome::Construction(o), succeeded, detected)
+            })
+        }
+        AttackKind::V2xReplayWarning { staleness_s } => {
+            let mut hook =
+                ReplayStaleWarning::new(SimTime::from_secs(1), Ftti::from_secs(*staleness_s));
+            let world = ConstructionWorld::new(construction_config(case)).with_obs(obs.clone());
+            Box::new(move || {
+                let o = world.run(&mut hook);
+                // Success = the replayed warning was accepted although no
+                // site was in range (the SG05 "unintended warnings" class).
+                let succeeded = o.unintended_warnings > 0;
+                let detected = !o.isolated_senders.is_empty();
+                (WorldOutcome::Construction(o), succeeded, detected)
+            })
+        }
+        AttackKind::V2xJam => {
+            let mut hook = JamChannel::new(SimTime::ZERO, SimTime::from_secs(3_600));
+            let world = ConstructionWorld::new(construction_config(case)).with_obs(obs.clone());
+            Box::new(move || {
+                let o = world.run(&mut hook);
+                let succeeded = o.sg01_violated;
+                let detected = !o.isolated_senders.is_empty();
+                (WorldOutcome::Construction(o), succeeded, detected)
+            })
+        }
+        AttackKind::V2xDelay { release_s } => {
+            let mut hook = DelayedDelivery::new(SimTime::from_secs(*release_s));
+            let world = ConstructionWorld::new(construction_config(case)).with_obs(obs.clone());
+            Box::new(move || {
+                let o = world.run(&mut hook);
+                let succeeded = o.sg01_violated || o.sg04_violated;
+                let detected = !o.isolated_senders.is_empty();
+                (WorldOutcome::Construction(o), succeeded, detected)
+            })
+        }
+        AttackKind::KeySpoof { strategy, budget } => {
+            let mut hook = KeyIdSpoof::new(*strategy, 5, *budget, case.seed);
+            let world = KeylessWorld::new(keyless_config(case)).with_obs(obs.clone());
+            Box::new(move || {
+                let o = world.run(&mut hook);
+                // Table VII: success = "Open the vehicle"; fails =
+                // "Opening is rejected".
+                let succeeded = o.sg01_violated;
+                let detected = o.isolated_senders.iter().any(|s| s == "attacker");
+                (WorldOutcome::Keyless(o), succeeded, detected)
+            })
+        }
+        AttackKind::BleReplayOpen => {
+            let mut world = KeylessWorld::new(keyless_config(case)).with_obs(obs.clone());
+            world.schedule_owner_open(SimTime::from_secs(1));
+            world.schedule_owner_close(SimTime::from_secs(5));
+            let mut hook = ReplayOpen::new(SimTime::from_secs(8));
+            Box::new(move || {
+                let o = world.run(&mut hook);
+                let succeeded = o.sg01_violated;
+                let detected = !o.isolated_senders.is_empty();
+                (WorldOutcome::Keyless(o), succeeded, detected)
+            })
+        }
+        AttackKind::BleCanFlood { per_tick } => {
+            let mut world = KeylessWorld::new(keyless_config(case)).with_obs(obs.clone());
+            world.schedule_owner_open(SimTime::from_secs(1));
+            let mut hook = ServiceFlood { per_tick: *per_tick };
+            Box::new(move || {
+                let o = world.run(&mut hook);
+                let succeeded = o.sg03_violated;
+                let detected = !o.isolated_senders.is_empty();
+                (WorldOutcome::Keyless(o), succeeded, detected)
+            })
+        }
+        AttackKind::BleJamming => {
+            let mut world = KeylessWorld::new(keyless_config(case)).with_obs(obs.clone());
+            world.schedule_owner_open(SimTime::from_secs(1));
+            let mut hook = BleJam::new(SimTime::ZERO, SimTime::from_secs(3_600));
+            Box::new(move || {
+                let o = world.run(&mut hook);
+                let succeeded = o.sg03_violated;
+                let detected = !o.isolated_senders.is_empty();
+                (WorldOutcome::Keyless(o), succeeded, detected)
+            })
+        }
+        AttackKind::BleSpoofClose => {
+            let config = keyless_config(case);
+            let owner_id = config.owner_key_id;
+            let mut world = KeylessWorld::new(config).with_obs(obs.clone());
+            world.schedule_owner_open(SimTime::from_secs(1));
+            let mut hook = SpoofClose::new(SimTime::from_secs(2), owner_id);
+            Box::new(move || {
+                let o = world.run(&mut hook);
+                let succeeded = o.sg04_violated;
+                let detected = !o.isolated_senders.is_empty();
+                (WorldOutcome::Keyless(o), succeeded, detected)
+            })
+        }
+        AttackKind::CanStubInject => {
+            let world = KeylessWorld::new(keyless_config(case)).with_obs(obs.clone());
+            let mut hook =
+                CanStubInject::new(SimTime::from_millis(100), vehicle_sim::keyless::CMD_OPEN);
+            Box::new(move || {
+                let o = world.run(&mut hook);
+                let succeeded = o.sg01_violated;
+                let detected = !o.isolated_senders.is_empty();
+                (WorldOutcome::Keyless(o), succeeded, detected)
+            })
+        }
+        AttackKind::AllowlistTamper { insider } => {
+            let config = keyless_config(case);
+            let world = KeylessWorld::new(config).with_obs(obs.clone());
+            let auth = insider.then(|| AllowlistTamper::insider_auth(world.config_key(), 0xEE01));
+            let mut hook = AllowlistTamper::new(0xEE01, auth, SimTime::from_millis(100));
+            Box::new(move || {
+                let o = world.run(&mut hook);
+                let succeeded = o.sg01_violated;
+                let detected = !o.isolated_senders.is_empty();
+                (WorldOutcome::Keyless(o), succeeded, detected)
+            })
+        }
     }
 }
 
@@ -344,7 +408,8 @@ mod tests {
         assert!(undefended.attack_succeeded);
         assert!(undefended.violated_goals.contains(&"SG01".to_owned()));
 
-        let defended = execute(&case(AttackKind::V2xFlood { per_tick: 40 }, ControlSelection::all()));
+        let defended =
+            execute(&case(AttackKind::V2xFlood { per_tick: 40 }, ControlSelection::all()));
         assert!(!defended.attack_succeeded);
         assert!(defended.detected, "unwanted sender identified");
     }

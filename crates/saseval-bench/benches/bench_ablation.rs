@@ -18,11 +18,9 @@ fn bench_ablation_controls(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_controls");
     group.sample_size(10);
     for case in grid.iter().filter(|case| case.attack_id == "AD20") {
-        group.bench_with_input(
-            BenchmarkId::new("AD20", &case.label),
-            case,
-            |b, case| b.iter(|| black_box(execute(case))),
-        );
+        group.bench_with_input(BenchmarkId::new("AD20", &case.label), case, |b, case| {
+            b.iter(|| black_box(execute(case)))
+        });
     }
     group.finish();
 }
@@ -54,11 +52,9 @@ fn bench_ablation_asil_effort(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_rq2_priority");
     for min_priority in [0u8, 2, 3, 4] {
         let config = DerivationConfig::new().min_priority(min_priority);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(min_priority),
-            &config,
-            |b, config| b.iter(|| black_box(derive_candidates(&concerns, &lib, config))),
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(min_priority), &config, |b, config| {
+            b.iter(|| black_box(derive_candidates(&concerns, &lib, config)))
+        });
     }
     group.finish();
 }

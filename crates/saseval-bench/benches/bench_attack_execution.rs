@@ -15,9 +15,7 @@ fn bench_nominal_worlds(c: &mut Criterion) {
     let mut group = c.benchmark_group("nominal");
     group.sample_size(20);
     group.bench_function("construction_approach", |b| {
-        b.iter(|| {
-            black_box(ConstructionWorld::new(ConstructionConfig::default()).run_nominal())
-        })
+        b.iter(|| black_box(ConstructionWorld::new(ConstructionConfig::default()).run_nominal()))
     });
     group.bench_function("keyless_open_close", |b| {
         b.iter(|| {
@@ -59,9 +57,7 @@ fn bench_campaign(c: &mut Criterion) {
     let mut group = c.benchmark_group("campaign");
     group.sample_size(10);
     group.bench_function("serial", |b| b.iter(|| black_box(run_campaign(&cases))));
-    group.bench_function("parallel_4", |b| {
-        b.iter(|| black_box(run_campaign_parallel(&cases, 4)))
-    });
+    group.bench_function("parallel_4", |b| b.iter(|| black_box(run_campaign_parallel(&cases, 4))));
     group.finish();
 }
 

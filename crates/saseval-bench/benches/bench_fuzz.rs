@@ -16,10 +16,7 @@ fn paths() -> Vec<saseval_tara::AttackPath> {
         "open the vehicle",
         TreeNode::or(
             "ways",
-            vec![
-                TreeNode::leaf_on("replay", "BLE_PHONE"),
-                TreeNode::leaf_on("forge", "ECU_GW"),
-            ],
+            vec![TreeNode::leaf_on("replay", "BLE_PHONE"), TreeNode::leaf_on("forge", "ECU_GW")],
         ),
     )
     .expect("tree")
@@ -29,9 +26,7 @@ fn paths() -> Vec<saseval_tara::AttackPath> {
 
 fn bench_mutation(c: &mut Criterion) {
     let mut group = c.benchmark_group("fuzz_mutation");
-    for (name, model) in
-        [("v2x", v2x_warning_model()), ("keyless", keyless_command_model())]
-    {
+    for (name, model) in [("v2x", v2x_warning_model()), ("keyless", keyless_command_model())] {
         let mut mutator = Mutator::new(model, 1);
         group.bench_function(BenchmarkId::new("generate", name), |b| {
             b.iter(|| black_box(mutator.generate()))

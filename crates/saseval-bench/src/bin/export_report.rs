@@ -1,5 +1,6 @@
 //! Exports the full SaSeVAL validation reports (Markdown) and the raw
-//! campaign results (JSON) for both use cases.
+//! campaign results (JSON, with the run's metrics snapshot embedded) for
+//! both use cases.
 //!
 //! ```sh
 //! cargo run -p saseval-bench --bin export_report [out-dir]
@@ -9,10 +10,21 @@ use std::fs;
 use std::path::PathBuf;
 
 use attack_engine::builtin::full_campaign;
-use attack_engine::campaign::run_campaign;
+use attack_engine::campaign::run_campaign_with_obs;
+use attack_engine::ExecutionResult;
 use saseval_core::catalog::{use_case_1, use_case_2};
 use saseval_core::export::render_validation_report;
+use saseval_obs::{MetricsSnapshot, Obs};
 use saseval_threat::builtin::automotive_library;
+use serde::Serialize;
+
+/// The JSON document written to `attack_campaign_results.json`: the
+/// per-case verdicts plus the metrics collected while producing them.
+#[derive(Serialize)]
+struct CampaignExport {
+    results: Vec<ExecutionResult>,
+    metrics: MetricsSnapshot,
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let out_dir = PathBuf::from(
@@ -31,15 +43,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("wrote {} ({} bytes)", path.display(), report.len());
     }
 
-    let campaign = run_campaign(&full_campaign());
-    let json = serde_json::to_string_pretty(&campaign.results)?;
+    let (obs, recorder) = Obs::memory();
+    let campaign = run_campaign_with_obs(&full_campaign(), &obs);
+    let total = campaign.total();
+    let successes = campaign.successes();
+    let export = CampaignExport { results: campaign.results, metrics: recorder.snapshot() };
+    let json = serde_json::to_string_pretty(&export)?;
     let path = out_dir.join("attack_campaign_results.json");
     fs::write(&path, &json)?;
-    println!(
-        "wrote {} ({} cases, {} safety impacts)",
-        path.display(),
-        campaign.total(),
-        campaign.successes()
-    );
+    println!("wrote {} ({total} cases, {successes} safety impacts)", path.display());
+
+    let metrics_md = saseval_obs::export::to_markdown(&export.metrics);
+    let path = out_dir.join("campaign_metrics.md");
+    fs::write(&path, &metrics_md)?;
+    println!("wrote {} ({} bytes)", path.display(), metrics_md.len());
     Ok(())
 }

@@ -3,10 +3,11 @@
 //! ```sh
 //! cargo run -p saseval-bench --bin repro_tables            # everything
 //! cargo run -p saseval-bench --bin repro_tables table6     # one experiment
+//! cargo run -p saseval-bench --bin repro_tables --timings  # + wall-time table
 //! cargo run -p saseval-bench --bin repro_tables --list
 //! ```
 
-use saseval_bench::all_experiments;
+use saseval_bench::{all_experiments, run_experiments_timed, timing_table};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -18,26 +19,34 @@ fn main() {
         }
         return;
     }
+    let timings = args.iter().any(|a| a == "--timings");
 
-    let selected: Vec<&str> = args.iter().map(String::as_str).collect();
-    let mut ran = 0;
-    let mut mismatches = 0;
-    for (name, f) in &experiments {
-        if !selected.is_empty() && !selected.contains(name) {
-            continue;
-        }
-        let output = f();
-        println!("==== {name} ====");
-        print!("{output}");
-        println!();
-        ran += 1;
-        mismatches += output.matches("MISMATCH").count();
-    }
-    if ran == 0 {
+    let selected: Vec<&str> =
+        args.iter().map(String::as_str).filter(|a| !a.starts_with("--")).collect();
+    let chosen: Vec<_> = experiments
+        .into_iter()
+        .filter(|(name, _)| selected.is_empty() || selected.contains(name))
+        .collect();
+    if chosen.is_empty() {
         eprintln!("no experiment matched {selected:?}; use --list");
         std::process::exit(2);
     }
-    println!("{ran} experiment(s), {mismatches} paper-vs-measured mismatch(es).");
+
+    let (outputs, snapshot) = run_experiments_timed(&chosen);
+    let mut mismatches = 0;
+    for (name, output) in &outputs {
+        println!("==== {name} ====");
+        print!("{output}");
+        println!();
+        mismatches += output.matches("MISMATCH").count();
+    }
+    if timings {
+        let names: Vec<&str> = chosen.iter().map(|(name, _)| *name).collect();
+        println!("==== timings ====");
+        print!("{}", timing_table(&names, &snapshot));
+        println!();
+    }
+    println!("{} experiment(s), {mismatches} paper-vs-measured mismatch(es).", outputs.len());
     if mismatches > 0 {
         std::process::exit(1);
     }

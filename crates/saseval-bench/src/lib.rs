@@ -19,6 +19,7 @@ use saseval_core::pipeline::run_pipeline;
 use saseval_core::report::TraceMatrix;
 use saseval_fuzz::fuzzer::{Fuzzer, TargetResponse};
 use saseval_fuzz::model::keyless_command_model;
+use saseval_obs::{MetricsSnapshot, Obs};
 use saseval_tara::tree::{AttackTree, TreeNode};
 use saseval_threat::builtin::{
     automotive_library, table_i_rows, table_ii_rows, table_iii_rows, table_v_rows,
@@ -43,7 +44,11 @@ pub fn repro_table_i() -> String {
     for row in table_i_rows() {
         writeln!(out, "  {:<55} | {}", row.scenario, row.sub_scenario).expect("write");
     }
-    out.push_str(&check("scenarios", 3, table_i_rows().iter().map(|r| r.scenario).collect::<std::collections::BTreeSet<_>>().len()));
+    out.push_str(&check(
+        "scenarios",
+        3,
+        table_i_rows().iter().map(|r| r.scenario).collect::<std::collections::BTreeSet<_>>().len(),
+    ));
     out.push_str(&check("sub-scenarios", 5, table_i_rows().len()));
     out
 }
@@ -125,11 +130,21 @@ fn truncate(text: &str, len: usize) -> String {
     if text.len() <= len {
         text.to_owned()
     } else {
-        format!("{}…", &text[..text.char_indices().take_while(|(i, _)| *i < len).last().map(|(i, c)| i + c.len_utf8()).unwrap_or(0)])
+        format!(
+            "{}…",
+            &text[..text
+                .char_indices()
+                .take_while(|(i, _)| *i < len)
+                .last()
+                .map(|(i, c)| i + c.len_utf8())
+                .unwrap_or(0)]
+        )
     }
 }
 
-fn distribution_line(catalog: &UseCaseCatalog) -> (usize, usize, usize, usize, usize, usize, usize) {
+fn distribution_line(
+    catalog: &UseCaseCatalog,
+) -> (usize, usize, usize, usize, usize, usize, usize) {
     let d = catalog.hara.distribution();
     (
         d.total(),
@@ -245,10 +260,7 @@ fn render_execution(out: &mut String, result: &attack_engine::executor::Executio
     writeln!(
         out,
         "  [{}] success={} detected={} goals={:?}",
-        result.label,
-        result.attack_succeeded,
-        result.detected,
-        result.violated_goals
+        result.label, result.attack_succeeded, result.detected, result.violated_goals
     )
     .expect("write");
 }
@@ -263,8 +275,13 @@ pub fn repro_table_vi() -> String {
     writeln!(out, "  SG IDs      : {:?}", ad20.safety_goals()).expect("write");
     writeln!(out, "  Interface   : {}", ad20.interface().expect("iface")).expect("write");
     writeln!(out, "  Threat link : {}", ad20.threat_scenario()).expect("write");
-    writeln!(out, "  Types       : Threat: {} - Attack: {}", ad20.threat_type(), ad20.attack_type())
-        .expect("write");
+    writeln!(
+        out,
+        "  Types       : Threat: {} - Attack: {}",
+        ad20.threat_type(),
+        ad20.attack_type()
+    )
+    .expect("write");
     writeln!(out, "  Precondition: {}", ad20.precondition()).expect("write");
     writeln!(out, "  Measures    : {}", ad20.expected_measures()).expect("write");
     writeln!(out, "  Success     : {}", ad20.attack_success()).expect("write");
@@ -278,11 +295,7 @@ pub fn repro_table_vi() -> String {
         true,
         matches!(&report.results[0].outcome, WorldOutcome::Construction(o) if o.service_shutdown),
     ));
-    out.push_str(&check(
-        "defended: unwanted sender identified",
-        true,
-        report.results[1].detected,
-    ));
+    out.push_str(&check("defended: unwanted sender identified", true, report.results[1].detected));
     out
 }
 
@@ -296,16 +309,29 @@ pub fn repro_table_vii() -> String {
     writeln!(out, "  SG          : {:?}", ad08.safety_goals()).expect("write");
     writeln!(out, "  Interface   : {}", ad08.interface().expect("iface")).expect("write");
     writeln!(out, "  Threat link : {}", ad08.threat_scenario()).expect("write");
-    writeln!(out, "  Types       : Threat: {} - Attack: {}", ad08.threat_type(), ad08.attack_type())
-        .expect("write");
+    writeln!(
+        out,
+        "  Types       : Threat: {} - Attack: {}",
+        ad08.threat_type(),
+        ad08.attack_type()
+    )
+    .expect("write");
     writeln!(out, "  Precondition: {}", ad08.precondition()).expect("write");
     writeln!(out, "  Measures    : {}", ad08.expected_measures()).expect("write");
     let report = run_campaign(&ad08_cases());
     for result in &report.results {
         render_execution(&mut out, result);
     }
-    out.push_str(&check("with allow-list: opening rejected", true, !report.results[0].attack_succeeded));
-    out.push_str(&check("without allow-list: vehicle opens", true, report.results[2].attack_succeeded));
+    out.push_str(&check(
+        "with allow-list: opening rejected",
+        true,
+        !report.results[0].attack_succeeded,
+    ));
+    out.push_str(&check(
+        "without allow-list: vehicle opens",
+        true,
+        report.results[2].attack_succeeded,
+    ));
     out
 }
 
@@ -333,9 +359,8 @@ pub fn repro_fig1() -> String {
 pub fn repro_fig2() -> String {
     let world = ConstructionWorld::new(ConstructionConfig::default());
     let outcome = world.run_nominal();
-    let mut out = String::from(
-        "Fig. 2 — Use Case I: autonomous vehicle approaches a construction site\n",
-    );
+    let mut out =
+        String::from("Fig. 2 — Use Case I: autonomous vehicle approaches a construction site\n");
     writeln!(
         out,
         "  take-over requested at {} — driver in control at {} — zone entry at {} at {:.1} m/s",
@@ -430,8 +455,9 @@ pub fn repro_flood_sweep() -> String {
 /// Ablation: freshness-window sweep vs replay acceptance — the message-age
 /// boundary at which a replayed (valid) message is rejected.
 pub fn repro_window_sweep() -> String {
-    let mut out =
-        String::from("Ablation — freshness window vs replayed-message age (accept = replay lands)\n");
+    let mut out = String::from(
+        "Ablation — freshness window vs replayed-message age (accept = replay lands)\n",
+    );
     let ages_ms = [50u64, 100, 200, 400, 500, 600, 1_000, 5_000];
     write!(out, "  {:>12} |", "window \\ age").expect("write");
     for age in ages_ms {
@@ -458,9 +484,8 @@ pub fn repro_window_sweep() -> String {
 /// executable counterpart of SG06 ("Avoid profile building with
 /// warnings") and the Use Case II tracking attacks AD28/AD29.
 pub fn repro_ablation_pseudonym() -> String {
-    let mut out = String::from(
-        "Ablation — pseudonym rotation vs eavesdropper linkability (SG06 / AD28)\n",
-    );
+    let mut out =
+        String::from("Ablation — pseudonym rotation vs eavesdropper linkability (SG06 / AD28)\n");
     writeln!(out, "  observation: 1 message/s over 600 s").expect("write");
     writeln!(out, "  {:>16} | {:>12} | {:>18}", "rotation", "linkability", "distinct pseudonyms")
         .expect("write");
@@ -506,9 +531,8 @@ pub fn repro_alt_analyses() -> String {
     use saseval_tara::sahara::{security_level, Criticality, KnowHow, Resources};
     use saseval_tara::{ImpactCategory, ImpactLevel};
 
-    let mut out = String::from(
-        "§III-A2 — alternative threat analyses on the keyless replay threat\n",
-    );
+    let mut out =
+        String::from("§III-A2 — alternative threat analyses on the keyless replay threat\n");
     // SAHARA: off-the-shelf radio (R1), technical knowledge (K1),
     // life-threatening when the vehicle opens in traffic (T3).
     let secl = security_level(Resources::R1, KnowHow::K1, Criticality::T3);
@@ -521,7 +545,11 @@ pub fn repro_alt_analyses() -> String {
     ]);
     let hsl = heavens_security_level(tl, il);
     writeln!(out, "  HEAVENS: TL={tl:?} x IL={il:?} -> {hsl}").expect("write");
-    out.push_str(&check("SAHARA rates the threat safety-relevant (SecL >= 3)", true, secl.value() >= 3));
+    out.push_str(&check(
+        "SAHARA rates the threat safety-relevant (SecL >= 3)",
+        true,
+        secl.value() >= 3,
+    ));
     out.push_str(&check("HEAVENS rates the threat Critical", "Critical", hsl));
     out
 }
@@ -557,12 +585,20 @@ pub fn repro_fuzz() -> String {
         }
     });
     let mut out = String::from("§II-B — Protocol-guided fuzzing from TARA attack paths\n");
-    writeln!(out, "  attack paths: {} over interfaces {:?}", paths.len(),
-        tree.interfaces().iter().map(|i| i.as_str()).collect::<Vec<_>>()).expect("write");
+    writeln!(
+        out,
+        "  attack paths: {} over interfaces {:?}",
+        paths.len(),
+        tree.interfaces().iter().map(|i| i.as_str()).collect::<Vec<_>>()
+    )
+    .expect("write");
     writeln!(
         out,
         "  {} iterations: {} decoded, {} rejected, {} crashes",
-        report.iterations, report.accepted, report.rejected, report.crashes.len()
+        report.iterations,
+        report.accepted,
+        report.rejected,
+        report.crashes.len()
     )
     .expect("write");
     writeln!(out, "  protocol field coverage: {:.1}%", report.field_coverage_percent())
@@ -605,6 +641,44 @@ pub fn repro_campaign() -> String {
 /// A named experiment regenerator.
 pub type Experiment = (&'static str, fn() -> String);
 
+/// Runs `experiments` in order, timing each under its own name in a
+/// [`MemoryRecorder`](saseval_obs::MemoryRecorder)-backed histogram, and
+/// returns the rendered outputs plus the metrics snapshot (for
+/// [`timing_table`] or report embedding).
+pub fn run_experiments_timed(
+    experiments: &[Experiment],
+) -> (Vec<(&'static str, String)>, MetricsSnapshot) {
+    let (obs, recorder) = Obs::memory();
+    let outputs = experiments
+        .iter()
+        .map(|(name, f)| {
+            let span = obs.span(name);
+            let output = f();
+            span.finish();
+            (*name, output)
+        })
+        .collect();
+    (outputs, recorder.snapshot())
+}
+
+/// Renders the per-experiment wall-time table backing
+/// `repro_tables --timings`. `names` fixes the row order (snapshot
+/// storage is name-sorted); experiments absent from the snapshot are
+/// skipped.
+pub fn timing_table(names: &[&str], snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::from("Per-experiment wall time\n");
+    writeln!(out, "  {:<22} {:>12}", "experiment", "seconds").expect("write");
+    let mut total = 0.0;
+    for name in names {
+        if let Some(histogram) = snapshot.histogram(name) {
+            writeln!(out, "  {:<22} {:>12.4}", name, histogram.sum).expect("write");
+            total += histogram.sum;
+        }
+    }
+    writeln!(out, "  {:<22} {:>12.4}", "total", total).expect("write");
+    out
+}
+
 /// All experiments in DESIGN.md order.
 pub fn all_experiments() -> Vec<Experiment> {
     vec![
@@ -642,6 +716,21 @@ mod tests {
             assert!(!output.contains("MISMATCH"), "{name}:\n{output}");
             assert!(!output.is_empty());
         }
+    }
+
+    #[test]
+    fn timed_runner_times_every_selected_experiment() {
+        let experiments = all_experiments();
+        let subset = &experiments[..2];
+        let (outputs, snapshot) = run_experiments_timed(subset);
+        assert_eq!(outputs.len(), 2);
+        for (name, output) in &outputs {
+            assert!(!output.is_empty());
+            assert_eq!(snapshot.histogram(name).map(|h| h.count), Some(1), "{name}");
+        }
+        let table = timing_table(&["table1", "table2"], &snapshot);
+        assert!(table.contains("table1"));
+        assert!(table.lines().last().unwrap().contains("total"));
     }
 
     #[test]

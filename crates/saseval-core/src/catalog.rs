@@ -78,7 +78,15 @@ fn assessed(
     e: Exposure,
     c: Controllability,
 ) -> RatingSpec {
-    RatingSpec { id, function, failure_mode, situation, hazard, sec: Some((s, e, c)), na_rationale: "" }
+    RatingSpec {
+        id,
+        function,
+        failure_mode,
+        situation,
+        hazard,
+        sec: Some((s, e, c)),
+        na_rationale: "",
+    }
 }
 
 fn not_applicable(
@@ -148,155 +156,271 @@ pub fn use_case_1() -> UseCaseCatalog {
         // --- F1: road works warning (10 ratings). ---
         // The §III-B HARA excerpt, verbatim.
         assessed(
-            "Rat01", "F1", FM::No,
+            "Rat01",
+            "F1",
+            FM::No,
             "Crash into road works (see Statistics Road Works)",
             "The driver can not be warned and the automated control is not returned",
-            S::S3, E::E3, C::C3, // ASIL C
+            S::S3,
+            E::E3,
+            C::C3, // ASIL C
         ),
         assessed(
-            "Rat02", "F1", FM::No,
+            "Rat02",
+            "F1",
+            FM::No,
             "Approaching urban road works at low speed",
             "Driver not warned; low-speed contact with site demarcation",
-            S::S2, E::E3, C::C2, // ASIL A
+            S::S2,
+            E::E3,
+            C::C2, // ASIL A
         ),
         assessed(
-            "Rat03", "F1", FM::Unintended,
+            "Rat03",
+            "F1",
+            FM::Unintended,
             "Free motorway, no road works present",
             "Unjustified notification triggers an abrupt control hand-over",
-            S::S2, E::E3, C::C3, // ASIL B
+            S::S2,
+            E::E3,
+            C::C3, // ASIL B
         ),
         assessed(
-            "Rat04", "F1", FM::TooEarly,
+            "Rat04",
+            "F1",
+            FM::TooEarly,
             "Road works far ahead on route",
             "Very early warning; driver takes over with ample margin",
-            S::S1, E::E2, C::C1, // QM
+            S::S1,
+            E::E2,
+            C::C1, // QM
         ),
         assessed(
-            "Rat05", "F1", FM::TooLate,
+            "Rat05",
+            "F1",
+            FM::TooLate,
             "Short-notice mobile road works",
             "Warning arrives with insufficient take-over margin",
-            S::S3, E::E3, C::C3, // ASIL C
+            S::S3,
+            E::E3,
+            C::C3, // ASIL C
         ),
         assessed(
-            "Rat06", "F1", FM::TooLate,
+            "Rat06",
+            "F1",
+            FM::TooLate,
             "Following a convoy that obstructs sight of the site entry",
             "Warning too late while the site entry is occluded",
-            S::S3, E::E3, C::C3, // ASIL C
+            S::S3,
+            E::E3,
+            C::C3, // ASIL C
         ),
         assessed(
-            "Rat07", "F1", FM::Less,
+            "Rat07",
+            "F1",
+            FM::Less,
             "Multiple consecutive road-works sites",
             "Only part of the sites is notified; control not returned at the unnotified one",
-            S::S2, E::E3, C::C2, // ASIL A
+            S::S2,
+            E::E3,
+            C::C2, // ASIL A
         ),
         assessed(
-            "Rat08", "F1", FM::More,
+            "Rat08",
+            "F1",
+            FM::More,
             "Dense signage corridor",
             "Redundant repeated notifications distract the driver",
-            S::S1, E::E3, C::C1, // QM
+            S::S1,
+            E::E3,
+            C::C1, // QM
         ),
-        not_applicable("Rat09", "F1", FM::Inverted, "A location notification has no meaningful inverse"),
+        not_applicable(
+            "Rat09",
+            "F1",
+            FM::Inverted,
+            "A location notification has no meaningful inverse",
+        ),
         assessed(
-            "Rat10", "F1", FM::Intermittent,
+            "Rat10",
+            "F1",
+            FM::Intermittent,
             "Notification state flickers near the site",
             "Control switches repeatedly between automation and driver",
-            S::S3, E::E3, C::C3, // ASIL C
+            S::S3,
+            E::E3,
+            C::C3, // ASIL C
         ),
         // --- F2: in-vehicle speed limits (10 ratings). ---
         assessed(
-            "Rat11", "F2", FM::No,
+            "Rat11",
+            "F2",
+            FM::No,
             "Motorway variable speed zone",
             "No in-vehicle limit shown; vehicle keeps inappropriate speed",
-            S::S3, E::E3, C::C3, // ASIL C
+            S::S3,
+            E::E3,
+            C::C3, // ASIL C
         ),
         assessed(
-            "Rat12", "F2", FM::No,
+            "Rat12",
+            "F2",
+            FM::No,
             "School zone with temporary limit",
             "Temporary limit not communicated near the school",
-            S::S3, E::E3, C::C3, // ASIL C
+            S::S3,
+            E::E3,
+            C::C3, // ASIL C
         ),
         assessed(
-            "Rat13", "F2", FM::Unintended,
+            "Rat13",
+            "F2",
+            FM::Unintended,
             "No actual limit active",
             "Vehicle applies an arbitrary limit unexpectedly and brakes hard",
-            S::S3, E::E4, C::C3, // ASIL D
+            S::S3,
+            E::E4,
+            C::C3, // ASIL D
         ),
         assessed(
-            "Rat14", "F2", FM::TooEarly,
+            "Rat14",
+            "F2",
+            FM::TooEarly,
             "Approaching a limit zone",
             "Limit applied slightly before the zone",
-            S::S1, E::E2, C::C1, // QM
+            S::S1,
+            E::E2,
+            C::C1, // QM
         ),
         assessed(
-            "Rat15", "F2", FM::TooLate,
+            "Rat15",
+            "F2",
+            FM::TooLate,
             "Entering a limit zone",
             "Limit applied after zone entry; speeding inside the zone",
-            S::S3, E::E3, C::C3, // ASIL C
+            S::S3,
+            E::E3,
+            C::C3, // ASIL C
         ),
         assessed(
-            "Rat16", "F2", FM::Less,
+            "Rat16",
+            "F2",
+            FM::Less,
             "Displayed limit below the actual limit",
             "Vehicle obstructs traffic at a too-low speed",
-            S::S2, E::E3, C::C2, // ASIL A
+            S::S2,
+            E::E3,
+            C::C2, // ASIL A
         ),
         assessed(
-            "Rat17", "F2", FM::More,
+            "Rat17",
+            "F2",
+            FM::More,
             "Displayed limit above the actual limit in a protected zone",
             "Vehicle speeds through road works with workers present",
-            S::S3, E::E4, C::C3, // ASIL D
+            S::S3,
+            E::E4,
+            C::C3, // ASIL D
         ),
         assessed(
-            "Rat18", "F2", FM::More,
+            "Rat18",
+            "F2",
+            FM::More,
             "City 30 zone shown as 50",
             "Moderate overspeed in an urban area",
-            S::S2, E::E3, C::C2, // ASIL A
+            S::S2,
+            E::E3,
+            C::C2, // ASIL A
         ),
-        not_applicable("Rat19", "F2", FM::Inverted, "Speed limit values have no meaningful inverse"),
+        not_applicable(
+            "Rat19",
+            "F2",
+            FM::Inverted,
+            "Speed limit values have no meaningful inverse",
+        ),
         assessed(
-            "Rat20", "F2", FM::Intermittent,
+            "Rat20",
+            "F2",
+            FM::Intermittent,
             "Limit flickers between values",
             "Oscillating speed adaptation irritates following traffic",
-            S::S2, E::E3, C::C3, // ASIL B
+            S::S2,
+            E::E3,
+            C::C3, // ASIL B
         ),
         // --- F3: warning other traffic participants (9 ratings). ---
         assessed(
-            "Rat21", "F3", FM::No,
+            "Rat21",
+            "F3",
+            FM::No,
             "Vehicle broken down on the carriageway",
             "Other participants not warned; they rely on direct perception",
-            S::S1, E::E3, C::C1, // QM
+            S::S1,
+            E::E3,
+            C::C1, // QM
         ),
         assessed(
-            "Rat22", "F3", FM::Unintended,
+            "Rat22",
+            "F3",
+            FM::Unintended,
             "Normal driving, no hazardous state",
             "Too many unintended warnings distract surrounding drivers",
-            S::S2, E::E3, C::C3, // ASIL B
+            S::S2,
+            E::E3,
+            C::C3, // ASIL B
         ),
-        not_applicable("Rat23", "F3", FM::TooEarly, "An earlier warning of other participants is not hazardous"),
+        not_applicable(
+            "Rat23",
+            "F3",
+            FM::TooEarly,
+            "An earlier warning of other participants is not hazardous",
+        ),
         assessed(
-            "Rat24", "F3", FM::TooLate,
+            "Rat24",
+            "F3",
+            FM::TooLate,
             "Breakdown behind a curve",
             "Warning reaches others late; warning remains supportive only",
-            S::S1, E::E2, C::C1, // QM
+            S::S1,
+            E::E2,
+            C::C1, // QM
         ),
-        not_applicable("Rat25", "F3", FM::Less, "The warning broadcast is discrete; no reduced magnitude exists"),
+        not_applicable(
+            "Rat25",
+            "F3",
+            FM::Less,
+            "The warning broadcast is discrete; no reduced magnitude exists",
+        ),
         assessed(
-            "Rat26", "F3", FM::More,
+            "Rat26",
+            "F3",
+            FM::More,
             "Minor vehicle degradation",
             "Excessive warnings cause surrounding traffic to brake needlessly",
-            S::S2, E::E3, C::C2, // ASIL A
+            S::S2,
+            E::E3,
+            C::C2, // ASIL A
         ),
         not_applicable("Rat27", "F3", FM::Inverted, "A hazard warning has no meaningful inverse"),
         assessed(
-            "Rat28", "F3", FM::Intermittent,
+            "Rat28",
+            "F3",
+            FM::Intermittent,
             "Intermittent fault detection",
             "Flickering warnings cause erratic reactions of other drivers",
-            S::S2, E::E3, C::C2, // ASIL A
+            S::S2,
+            E::E3,
+            C::C2, // ASIL A
         ),
         assessed(
-            "Rat29", "F3", FM::More,
+            "Rat29",
+            "F3",
+            FM::More,
             "Frequent periodic warnings with static identifiers",
             "Warnings allow third parties to build movement profiles",
-            S::S1, E::E3, C::C3, // ASIL A
+            S::S1,
+            E::E3,
+            C::C3, // ASIL A
         ),
     ];
     install_ratings(&mut hara, &specs);
@@ -579,100 +703,176 @@ pub fn use_case_2() -> UseCaseCatalog {
     use Severity as S;
 
     let mut hara = Hara::new("Use Case II - Keyless Car Opener (smartphone via BLE)");
-    for (id, name) in [
-        ("K1", "Open vehicle via smartphone"),
-        ("K2", "Close vehicle via smartphone"),
-    ] {
+    for (id, name) in
+        [("K1", "Open vehicle via smartphone"), ("K2", "Close vehicle via smartphone")]
+    {
         hara.add_function(ItemFunction::new(id, name).expect("function")).expect("function insert");
     }
 
     let specs = [
         // --- K1: open (10 ratings). ---
         assessed(
-            "KRat01", "K1", FM::No,
+            "KRat01",
+            "K1",
+            FM::No,
             "Owner at the vehicle on the roadside, needs access",
             "Opening unavailable; owner stranded",
-            S::S1, E::E4, C::C2, // ASIL A
+            S::S1,
+            E::E4,
+            C::C2, // ASIL A
         ),
         assessed(
-            "KRat02", "K1", FM::Unintended,
+            "KRat02",
+            "K1",
+            FM::Unintended,
             "Vehicle in motion",
             "Doors unlock/open without request while driving",
-            S::S3, E::E4, C::C3, // ASIL D
+            S::S3,
+            E::E4,
+            C::C3, // ASIL D
         ),
         assessed(
-            "KRat03", "K1", FM::Unintended,
+            "KRat03",
+            "K1",
+            FM::Unintended,
             "Parked overnight in public",
             "Vehicle unlocks without request; property at risk",
-            S::S1, E::E4, C::C1, // QM
+            S::S1,
+            E::E4,
+            C::C1, // QM
         ),
         assessed(
-            "KRat04", "K1", FM::TooEarly,
+            "KRat04",
+            "K1",
+            FM::TooEarly,
             "Owner approaching across a parking lot",
             "Opens well before the owner arrives; intrusion window",
-            S::S2, E::E3, C::C3, // ASIL B
+            S::S2,
+            E::E3,
+            C::C3, // ASIL B
         ),
-        not_applicable("KRat05", "K1", FM::TooLate, "Late opening: the user simply retries; no hazardous event arises"),
+        not_applicable(
+            "KRat05",
+            "K1",
+            FM::TooLate,
+            "Late opening: the user simply retries; no hazardous event arises",
+        ),
         not_applicable("KRat06", "K1", FM::Less, "Opening is a discrete command without magnitude"),
         assessed(
-            "KRat07", "K1", FM::More,
+            "KRat07",
+            "K1",
+            FM::More,
             "Open request for the driver door only",
             "All doors and the trunk unlock additionally",
-            S::S2, E::E3, C::C3, // ASIL B
+            S::S2,
+            E::E3,
+            C::C3, // ASIL B
         ),
-        not_applicable("KRat08", "K1", FM::Inverted, "The inverse of opening is the closing function, analysed separately"),
+        not_applicable(
+            "KRat08",
+            "K1",
+            FM::Inverted,
+            "The inverse of opening is the closing function, analysed separately",
+        ),
         assessed(
-            "KRat09", "K1", FM::Intermittent,
+            "KRat09",
+            "K1",
+            FM::Intermittent,
             "Repeated connection instability",
             "Locks cycle open/closed repeatedly",
-            S::S2, E::E4, C::C2, // ASIL B
+            S::S2,
+            E::E4,
+            C::C2, // ASIL B
         ),
         assessed(
-            "KRat10", "K1", FM::Intermittent,
+            "KRat10",
+            "K1",
+            FM::Intermittent,
             "Occupant exiting during lock cycling",
             "Cycling while the occupant operates the door",
-            S::S1, E::E3, C::C2, // QM
+            S::S1,
+            E::E3,
+            C::C2, // QM
         ),
         // --- K2: close (10 ratings). ---
         assessed(
-            "KRat11", "K2", FM::No,
+            "KRat11",
+            "K2",
+            FM::No,
             "Owner walks away believing the vehicle closed",
             "Vehicle remains open unnoticed",
-            S::S3, E::E3, C::C3, // ASIL C
+            S::S3,
+            E::E3,
+            C::C3, // ASIL C
         ),
         assessed(
-            "KRat12", "K2", FM::No,
+            "KRat12",
+            "K2",
+            FM::No,
             "Driver moves off assuming the vehicle closed",
             "Drives with a door unlatched",
-            S::S1, E::E3, C::C2, // QM
+            S::S1,
+            E::E3,
+            C::C2, // QM
         ),
         assessed(
-            "KRat13", "K2", FM::Unintended,
+            "KRat13",
+            "K2",
+            FM::Unintended,
             "Person entering the vehicle",
             "Vehicle closes/locks while a person is entering",
-            S::S2, E::E3, C::C2, // ASIL A
+            S::S2,
+            E::E3,
+            C::C2, // ASIL A
         ),
         assessed(
-            "KRat14", "K2", FM::Unintended,
+            "KRat14",
+            "K2",
+            FM::Unintended,
             "Loading cargo through the door",
             "Close command arrives while loading",
-            S::S1, E::E3, C::C1, // QM
+            S::S1,
+            E::E3,
+            C::C1, // QM
         ),
         assessed(
-            "KRat15", "K2", FM::TooEarly,
+            "KRat15",
+            "K2",
+            FM::TooEarly,
             "Passenger not yet clear of the door",
             "Closes before the passenger is clear",
-            S::S1, E::E3, C::C2, // QM
+            S::S1,
+            E::E3,
+            C::C2, // QM
         ),
-        not_applicable("KRat16", "K2", FM::TooLate, "Close executes on a confirmed command; lateness is bounded by the protocol timeout"),
-        not_applicable("KRat17", "K2", FM::Less, "Closing is discrete; partial closing is prevented mechanically"),
+        not_applicable(
+            "KRat16",
+            "K2",
+            FM::TooLate,
+            "Close executes on a confirmed command; lateness is bounded by the protocol timeout",
+        ),
+        not_applicable(
+            "KRat17",
+            "K2",
+            FM::Less,
+            "Closing is discrete; partial closing is prevented mechanically",
+        ),
         not_applicable("KRat18", "K2", FM::More, "The vehicle cannot close more than fully closed"),
-        not_applicable("KRat19", "K2", FM::Inverted, "The inverse of closing is the opening function, analysed separately"),
+        not_applicable(
+            "KRat19",
+            "K2",
+            FM::Inverted,
+            "The inverse of closing is the opening function, analysed separately",
+        ),
         assessed(
-            "KRat20", "K2", FM::Intermittent,
+            "KRat20",
+            "K2",
+            FM::Intermittent,
             "Lock state flaps during closing",
             "Open/close oscillation of the locks",
-            S::S2, E::E4, C::C2, // ASIL B
+            S::S2,
+            E::E4,
+            C::C2, // ASIL B
         ),
     ];
     install_ratings(&mut hara, &specs);
@@ -692,7 +892,9 @@ pub fn use_case_2() -> UseCaseCatalog {
             .covers("KRat20"),
         SafetyGoal::builder("SG03", "Prevent non-availability of opening")
             .ftti(Ftti::from_secs(5))
-            .safe_state("Opening served within the availability budget or mechanical fallback offered")
+            .safe_state(
+                "Opening served within the availability budget or mechanical fallback offered",
+            )
             .covers("KRat01"),
         SafetyGoal::builder("SG04", "Prevent unintended closing")
             .ftti(Ftti::from_millis(500))

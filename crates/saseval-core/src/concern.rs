@@ -123,8 +123,10 @@ mod tests {
                 .unwrap(),
         )
         .unwrap();
-        hara.add_safety_goal(SafetyGoal::builder("SG-D", "major goal").covers("R1").build().unwrap())
-            .unwrap();
+        hara.add_safety_goal(
+            SafetyGoal::builder("SG-D", "major goal").covers("R1").build().unwrap(),
+        )
+        .unwrap();
         hara.add_safety_goal(SafetyGoal::builder("SG-QM", "qm goal").covers("R3").build().unwrap())
             .unwrap();
         hara

@@ -149,9 +149,7 @@ pub fn inductive_coverage(
             .collect();
         let coverage = if !attacking.is_empty() {
             ThreatCoverage::Attacked(attacking)
-        } else if let Some(j) =
-            justifications.iter().find(|j| j.threat_scenario() == threat.id())
-        {
+        } else if let Some(j) = justifications.iter().find(|j| j.threat_scenario() == threat.id()) {
             ThreatCoverage::Justified(j.rationale().to_owned())
         } else {
             ThreatCoverage::Uncovered
@@ -195,7 +193,13 @@ mod tests {
         hara
     }
 
-    fn attack(id: &str, goal: &str, threat: &str, at: AttackType, tt: ThreatType) -> AttackDescription {
+    fn attack(
+        id: &str,
+        goal: &str,
+        threat: &str,
+        at: AttackType,
+        tt: ThreatType,
+    ) -> AttackDescription {
         AttackDescription::builder(id, "attack")
             .safety_goal(goal)
             .threat_scenario(threat)
@@ -232,13 +236,8 @@ mod tests {
     fn inductive_classifies_all_three_states() {
         let lib = automotive_library();
         let scenarios = [ScenarioId::new(SC_KEYLESS).unwrap()];
-        let ads = [attack(
-            "AD1",
-            "SG01",
-            "TS-BLE-REPLAY",
-            AttackType::Replay,
-            ThreatType::Repudiation,
-        )];
+        let ads =
+            [attack("AD1", "SG01", "TS-BLE-REPLAY", AttackType::Replay, ThreatType::Repudiation)];
         let justs = [Justification::new("TS-BLE-TRACK", "privacy handled separately").unwrap()];
         let report = inductive_coverage(&lib, &scenarios, &ads, &justs);
         assert!(!report.is_complete());

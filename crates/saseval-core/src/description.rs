@@ -335,11 +335,8 @@ impl AttackDescriptionBuilder {
         if !saseval_types::attack_types_for(threat_type).contains(&attack_type) {
             return Err(CoreError::AttackTypeMismatch { attack: id, threat: threat_scenario });
         }
-        let safety_goals = self
-            .safety_goals
-            .into_iter()
-            .map(SafetyGoalId::new)
-            .collect::<Result<Vec<_>, _>>()?;
+        let safety_goals =
+            self.safety_goals.into_iter().map(SafetyGoalId::new).collect::<Result<Vec<_>, _>>()?;
         let interface = self.interface.map(InterfaceId::new).transpose()?;
         Ok(AttackDescription {
             id,
@@ -520,8 +517,8 @@ mod tests {
         // a Table IV manifestation of Denial of service, and the
         // precondition is blank.
         let json = serde_json::to_string(&ad).unwrap();
-        let tampered = json
-            .replace("\"attack_type\":\"DenialOfService\"", "\"attack_type\":\"Replay\"");
+        let tampered =
+            json.replace("\"attack_type\":\"DenialOfService\"", "\"attack_type\":\"Replay\"");
         let bypassed: AttackDescription = serde_json::from_str(&tampered).unwrap();
         assert!(matches!(bypassed.validate(), Err(CoreError::AttackTypeMismatch { .. })));
         let blank = json.replace("\"precondition\":\"vehicle driving\"", "\"precondition\":\"\"");

@@ -82,10 +82,9 @@ impl fmt::Display for CoreError {
             CoreError::UnknownSafetyGoal { attack, goal } => {
                 write!(f, "attack description {attack} references unknown safety goal {goal}")
             }
-            CoreError::UnknownThreatScenario { attack, threat } => write!(
-                f,
-                "attack description {attack} references unknown threat scenario {threat}"
-            ),
+            CoreError::UnknownThreatScenario { attack, threat } => {
+                write!(f, "attack description {attack} references unknown threat scenario {threat}")
+            }
         }
     }
 }

@@ -5,6 +5,7 @@
 //! recording a per-stage trace — the executable counterpart of the
 //! process-overview figure.
 
+use saseval_obs::Obs;
 use serde::{Deserialize, Serialize};
 
 use saseval_threat::ThreatLibrary;
@@ -126,8 +127,21 @@ pub fn run_pipeline(
     catalog: &UseCaseCatalog,
     library: &ThreatLibrary,
 ) -> Result<PipelineReport, CoreError> {
+    run_pipeline_with_obs(catalog, library, &Obs::noop())
+}
+
+/// [`run_pipeline`] with metrics: each Fig. 1 stage is timed into its own
+/// `pipeline.stage*_seconds` histogram, the whole run into
+/// `pipeline.run_seconds`.
+pub fn run_pipeline_with_obs(
+    catalog: &UseCaseCatalog,
+    library: &ThreatLibrary,
+    obs: &Obs,
+) -> Result<PipelineReport, CoreError> {
+    let run_span = obs.span("pipeline.run_seconds");
     let mut stages = Vec::new();
 
+    let stage1 = obs.span("pipeline.stage1_threat_library_seconds");
     let stats = library.stats();
     stages.push(StageTrace {
         stage: 1,
@@ -137,7 +151,9 @@ pub fn run_pipeline(
             stats.scenarios, stats.assets, stats.threat_scenarios
         ),
     });
+    stage1.finish();
 
+    let stage2 = obs.span("pipeline.stage2_safety_concerns_seconds");
     let concerns = identify_safety_concerns(&catalog.hara);
     stages.push(StageTrace {
         stage: 2,
@@ -149,7 +165,9 @@ pub fn run_pipeline(
             concerns.len()
         ),
     });
+    stage2.finish();
 
+    let stage3 = obs.span("pipeline.stage3_attack_description_seconds");
     let mut seen = std::collections::BTreeSet::new();
     for attack in &catalog.attacks {
         if !seen.insert(attack.id().clone()) {
@@ -158,12 +176,8 @@ pub fn run_pipeline(
         validate_attack(attack, catalog, library)?;
     }
     let deductive = deductive_coverage(&catalog.hara, &catalog.attacks);
-    let inductive = inductive_coverage(
-        library,
-        &catalog.scenarios,
-        &catalog.attacks,
-        &catalog.justifications,
-    );
+    let inductive =
+        inductive_coverage(library, &catalog.scenarios, &catalog.attacks, &catalog.justifications);
     stages.push(StageTrace {
         stage: 3,
         title: "Attack Description".to_owned(),
@@ -174,7 +188,9 @@ pub fn run_pipeline(
             inductive.coverage_ratio() * 100.0
         ),
     });
+    stage3.finish();
 
+    let stage4 = obs.span("pipeline.stage4_attack_implementation_seconds");
     stages.push(StageTrace {
         stage: 4,
         title: "Attack Implementation".to_owned(),
@@ -183,7 +199,10 @@ pub fn run_pipeline(
             catalog.attacks.len()
         ),
     });
+    stage4.finish();
 
+    obs.counter("pipeline.attacks_validated", catalog.attacks.len() as u64);
+    run_span.finish();
     Ok(PipelineReport {
         use_case: catalog.name.clone(),
         stages,
@@ -293,6 +312,23 @@ mod tests {
         catalog.attacks.push(dup);
         let err = run_pipeline(&catalog, &automotive_library()).unwrap_err();
         assert!(matches!(err, CoreError::DuplicateAttack(_)));
+    }
+
+    #[test]
+    fn pipeline_stages_timed() {
+        let (obs, recorder) = Obs::memory();
+        run_pipeline_with_obs(&use_case_1(), &automotive_library(), &obs).unwrap();
+        let snapshot = recorder.snapshot();
+        for stage in [
+            "pipeline.stage1_threat_library_seconds",
+            "pipeline.stage2_safety_concerns_seconds",
+            "pipeline.stage3_attack_description_seconds",
+            "pipeline.stage4_attack_implementation_seconds",
+            "pipeline.run_seconds",
+        ] {
+            assert_eq!(snapshot.histogram(stage).map(|h| h.count), Some(1), "{stage}");
+        }
+        assert_eq!(snapshot.counter("pipeline.attacks_validated"), Some(23));
     }
 
     #[test]

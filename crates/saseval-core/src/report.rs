@@ -7,9 +7,7 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
-use saseval_types::{
-    AttackDescriptionId, AttackType, SafetyGoalId, ThreatScenarioId, ThreatType,
-};
+use saseval_types::{AttackDescriptionId, AttackType, SafetyGoalId, ThreatScenarioId, ThreatType};
 
 use crate::catalog::UseCaseCatalog;
 

@@ -22,9 +22,9 @@ pub struct CompiledAttack {
 fn compile_exec(spec: &ExecSpec) -> Result<AttackKind, DslError> {
     let fail = |msg: String| DslError::new(0, 0, msg);
     match spec.name.as_str() {
-        "v2x-flood" => Ok(AttackKind::V2xFlood {
-            per_tick: spec.int_arg("per_tick").unwrap_or(40) as usize,
-        }),
+        "v2x-flood" => {
+            Ok(AttackKind::V2xFlood { per_tick: spec.int_arg("per_tick").unwrap_or(40) as usize })
+        }
         "v2x-fake-limit" => Ok(AttackKind::V2xFakeLimit {
             limit: spec
                 .int_arg("limit")
@@ -41,7 +41,9 @@ fn compile_exec(spec: &ExecSpec) -> Result<AttackKind, DslError> {
             staleness_s: spec.int_arg("staleness_s").unwrap_or(30),
         }),
         "v2x-jam" => Ok(AttackKind::V2xJam),
-        "v2x-delay" => Ok(AttackKind::V2xDelay { release_s: spec.int_arg("release_s").unwrap_or(40) }),
+        "v2x-delay" => {
+            Ok(AttackKind::V2xDelay { release_s: spec.int_arg("release_s").unwrap_or(40) })
+        }
         "key-spoof" => {
             let strategy = match spec.word_arg("strategy") {
                 Some("random") | None => KeyGuessStrategy::Random,
@@ -63,9 +65,9 @@ fn compile_exec(spec: &ExecSpec) -> Result<AttackKind, DslError> {
         }),
         "ble-jam" => Ok(AttackKind::BleJamming),
         "ble-spoof-close" => Ok(AttackKind::BleSpoofClose),
-        "allowlist-tamper" => Ok(AttackKind::AllowlistTamper {
-            insider: spec.word_arg("insider") == Some("true"),
-        }),
+        "allowlist-tamper" => {
+            Ok(AttackKind::AllowlistTamper { insider: spec.word_arg("insider") == Some("true") })
+        }
         "can-stub-inject" => Ok(AttackKind::CanStubInject),
         other => Err(fail(format!("unknown executable attack `{other}`"))),
     }
@@ -74,14 +76,10 @@ fn compile_exec(spec: &ExecSpec) -> Result<AttackKind, DslError> {
 fn compile_attack(decl: &AttackDecl) -> Result<CompiledAttack, DslError> {
     let fail = |msg: String| DslError::new(0, 0, format!("attack {}: {msg}", decl.id));
 
-    let threat_type: ThreatType = decl
-        .threat_type
-        .parse()
-        .map_err(|e| fail(format!("invalid threat type: {e}")))?;
-    let attack_type: AttackType = decl
-        .attack_type
-        .parse()
-        .map_err(|e| fail(format!("invalid attack type: {e}")))?;
+    let threat_type: ThreatType =
+        decl.threat_type.parse().map_err(|e| fail(format!("invalid threat type: {e}")))?;
+    let attack_type: AttackType =
+        decl.attack_type.parse().map_err(|e| fail(format!("invalid attack type: {e}")))?;
 
     let mut builder = AttackDescription::builder(&decl.id, &decl.description)
         .threat_scenario(&decl.threat)
@@ -107,9 +105,12 @@ fn compile_attack(decl: &AttackDecl) -> Result<CompiledAttack, DslError> {
         builder = builder.privacy_relevant();
     }
     let description = builder.build().map_err(|e| fail(e.to_string()))?;
-    let executable = decl.execute.as_ref().map(compile_exec).transpose().map_err(
-        |e| fail(e.message().to_owned()),
-    )?;
+    let executable = decl
+        .execute
+        .as_ref()
+        .map(compile_exec)
+        .transpose()
+        .map_err(|e| fail(e.message().to_owned()))?;
     Ok(CompiledAttack { description, executable })
 }
 
@@ -160,10 +161,7 @@ attack AD20 {
         assert_eq!(ad.threat_type(), ThreatType::DenialOfService);
         assert_eq!(ad.attack_type(), AttackType::Disable);
         assert_eq!(ad.attacker(), Some(AttackerProfile::RemoteAttacker));
-        assert!(matches!(
-            compiled[0].executable,
-            Some(AttackKind::V2xFlood { per_tick: 40 })
-        ));
+        assert!(matches!(compiled[0].executable, Some(AttackKind::V2xFlood { per_tick: 40 })));
     }
 
     #[test]

@@ -44,11 +44,7 @@ impl Parser {
     }
 
     fn eof_error(&self, expected: &str) -> DslError {
-        let (line, column) = self
-            .tokens
-            .last()
-            .map(|t| (t.line, t.column))
-            .unwrap_or((1, 1));
+        let (line, column) = self.tokens.last().map(|t| (t.line, t.column)).unwrap_or((1, 1));
         DslError::new(line, column, format!("unexpected end of input, expected {expected}"))
     }
 
@@ -100,33 +96,32 @@ impl Parser {
     fn parse_exec(&mut self) -> Result<ExecSpec, DslError> {
         let name = self.expect_ident("executable attack name")?;
         let mut args = Vec::new();
-        if self.eat_kind(&TokenKind::LParen)
-            && !self.eat_kind(&TokenKind::RParen) {
-                loop {
-                    let arg_name = self.expect_ident("argument name")?;
-                    self.expect_kind(&TokenKind::Eq)?;
-                    let value = match self.next() {
-                        Some(Token { kind: TokenKind::Int(n), .. }) => ExecArg::Int(n),
-                        Some(Token { kind: TokenKind::Ident(w), .. }) => ExecArg::Word(w),
-                        Some(tok) => {
-                            return Err(DslError::new(
-                                tok.line,
-                                tok.column,
-                                format!(
-                                    "argument value must be an integer or word, found {}",
-                                    tok.kind.describe()
-                                ),
-                            ))
-                        }
-                        None => return Err(self.eof_error("argument value")),
-                    };
-                    args.push((arg_name, value));
-                    if self.eat_kind(&TokenKind::RParen) {
-                        break;
+        if self.eat_kind(&TokenKind::LParen) && !self.eat_kind(&TokenKind::RParen) {
+            loop {
+                let arg_name = self.expect_ident("argument name")?;
+                self.expect_kind(&TokenKind::Eq)?;
+                let value = match self.next() {
+                    Some(Token { kind: TokenKind::Int(n), .. }) => ExecArg::Int(n),
+                    Some(Token { kind: TokenKind::Ident(w), .. }) => ExecArg::Word(w),
+                    Some(tok) => {
+                        return Err(DslError::new(
+                            tok.line,
+                            tok.column,
+                            format!(
+                                "argument value must be an integer or word, found {}",
+                                tok.kind.describe()
+                            ),
+                        ))
                     }
-                    self.expect_kind(&TokenKind::Comma)?;
+                    None => return Err(self.eof_error("argument value")),
+                };
+                args.push((arg_name, value));
+                if self.eat_kind(&TokenKind::RParen) {
+                    break;
                 }
+                self.expect_kind(&TokenKind::Comma)?;
             }
+        }
         Ok(ExecSpec { name, args })
     }
 

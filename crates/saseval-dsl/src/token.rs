@@ -115,7 +115,11 @@ pub fn lex(source: &str) -> Result<Vec<Token>, DslError> {
                         bump!();
                     }
                 } else {
-                    tokens.push(Token { kind: TokenKind::Slash, line: tok_line, column: tok_column });
+                    tokens.push(Token {
+                        kind: TokenKind::Slash,
+                        line: tok_line,
+                        column: tok_column,
+                    });
                 }
             }
             '{' => {
@@ -174,7 +178,11 @@ pub fn lex(source: &str) -> Result<Vec<Token>, DslError> {
                         Some(other) => value.push(other),
                     }
                 }
-                tokens.push(Token { kind: TokenKind::Str(value), line: tok_line, column: tok_column });
+                tokens.push(Token {
+                    kind: TokenKind::Str(value),
+                    line: tok_line,
+                    column: tok_column,
+                });
             }
             c if c.is_ascii_digit() => {
                 let mut text = String::new();
@@ -192,7 +200,11 @@ pub fn lex(source: &str) -> Result<Vec<Token>, DslError> {
                     let value = text.parse::<u64>().map_err(|_| {
                         DslError::new(tok_line, tok_column, format!("integer {text} overflows u64"))
                     })?;
-                    tokens.push(Token { kind: TokenKind::Int(value), line: tok_line, column: tok_column });
+                    tokens.push(Token {
+                        kind: TokenKind::Int(value),
+                        line: tok_line,
+                        column: tok_column,
+                    });
                 } else {
                     tokens.push(Token {
                         kind: TokenKind::Ident(text),
@@ -211,7 +223,11 @@ pub fn lex(source: &str) -> Result<Vec<Token>, DslError> {
                         break;
                     }
                 }
-                tokens.push(Token { kind: TokenKind::Ident(text), line: tok_line, column: tok_column });
+                tokens.push(Token {
+                    kind: TokenKind::Ident(text),
+                    line: tok_line,
+                    column: tok_column,
+                });
             }
             other => {
                 return Err(DslError::new(
@@ -274,11 +290,7 @@ mod tests {
     fn comments_skipped_slash_kept() {
         assert_eq!(
             kinds("a // comment\n / b"),
-            vec![
-                TokenKind::Ident("a".into()),
-                TokenKind::Slash,
-                TokenKind::Ident("b".into()),
-            ]
+            vec![TokenKind::Ident("a".into()), TokenKind::Slash, TokenKind::Ident("b".into()),]
         );
     }
 

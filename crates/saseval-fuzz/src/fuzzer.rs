@@ -1,5 +1,8 @@
 //! The attack-path-guided fuzzing loop.
 
+use std::time::Instant;
+
+use saseval_obs::Obs;
 use serde::{Deserialize, Serialize};
 
 use saseval_tara::AttackPath;
@@ -65,6 +68,7 @@ impl FuzzReport {
 /// attack paths so every interface named by the TARA receives inputs.
 pub struct Fuzzer {
     mutator: Mutator,
+    obs: Obs,
 }
 
 impl std::fmt::Debug for Fuzzer {
@@ -73,10 +77,22 @@ impl std::fmt::Debug for Fuzzer {
     }
 }
 
+/// Inputs per throughput/coverage sample. Large enough that the per-input
+/// hot loop stays free of recorder calls even when metrics are on.
+const OBS_BATCH: usize = 256;
+
 impl Fuzzer {
     /// Creates a fuzzer over `model` with a deterministic seed.
     pub fn new(model: ProtocolModel, seed: u64) -> Self {
-        Fuzzer { mutator: Mutator::new(model, seed) }
+        Fuzzer { mutator: Mutator::new(model, seed), obs: Obs::noop() }
+    }
+
+    /// Attaches a metrics handle: [`Fuzzer::run`] then samples throughput
+    /// (`fuzz.inputs_per_sec` gauge) and new coverage cells
+    /// (`fuzz.coverage_cells` counter) every [`OBS_BATCH`] inputs.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// Runs `iterations` inputs against `target`, cycling through the
@@ -91,6 +107,7 @@ impl Fuzzer {
         iterations: usize,
         mut target: impl FnMut(&[u8]) -> TargetResponse,
     ) -> FuzzReport {
+        let span = self.obs.span("fuzz.run_seconds");
         let mut coverage = CoverageMap::new(self.mutator.model(), paths.len());
         let mut report = FuzzReport {
             iterations,
@@ -100,13 +117,12 @@ impl Fuzzer {
             field_coverage: 0.0,
             path_coverage: 0.0,
         };
+        let mut batch_start = Instant::now();
+        let mut known_cells = 0usize;
         for i in 0..iterations {
             let path_index = if paths.is_empty() { 0 } else { i % paths.len() };
-            let input = if i % 10 == 0 {
-                self.mutator.generate_valid()
-            } else {
-                self.mutator.generate()
-            };
+            let input =
+                if i % 10 == 0 { self.mutator.generate_valid() } else { self.mutator.generate() };
             if !paths.is_empty() {
                 coverage.record(path_index, &input);
             }
@@ -127,9 +143,22 @@ impl Fuzzer {
                     }
                 }
             }
+            if self.obs.is_enabled() && (i + 1) % OBS_BATCH == 0 {
+                let elapsed = batch_start.elapsed().as_secs_f64();
+                if elapsed > 0.0 {
+                    self.obs.gauge("fuzz.inputs_per_sec", OBS_BATCH as f64 / elapsed);
+                }
+                self.obs.counter("fuzz.coverage_cells", (coverage.cells() - known_cells) as u64);
+                known_cells = coverage.cells();
+                batch_start = Instant::now();
+            }
         }
+        self.obs.counter("fuzz.inputs", iterations as u64);
+        self.obs.counter("fuzz.crashes", report.crashes.len() as u64);
+        self.obs.counter("fuzz.coverage_cells", (coverage.cells() - known_cells) as u64);
         report.field_coverage = coverage.field_coverage_percent();
         report.path_coverage = coverage.path_coverage_percent();
+        span.finish();
         report
     }
 }
@@ -213,6 +242,19 @@ mod tests {
             })
         };
         assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn obs_samples_throughput_and_coverage() {
+        let (obs, recorder) = Obs::memory();
+        let mut fuzzer = Fuzzer::new(v2x_warning_model(), 5).with_obs(obs);
+        let report = fuzzer.run(&paths(), 1_000, |_| TargetResponse::Rejected);
+        let snapshot = recorder.snapshot();
+        assert_eq!(snapshot.counter("fuzz.inputs"), Some(1_000));
+        assert_eq!(snapshot.counter("fuzz.crashes"), Some(report.crashes.len() as u64));
+        assert!(snapshot.counter("fuzz.coverage_cells").unwrap_or(0) > 0, "cells recorded");
+        assert!(snapshot.gauge("fuzz.inputs_per_sec").is_some(), "throughput sampled");
+        assert_eq!(snapshot.histogram("fuzz.run_seconds").map(|h| h.count), Some(1));
     }
 
     #[test]

@@ -178,10 +178,8 @@ mod tests {
 
     #[test]
     fn invalid_byte_class_leaves_range() {
-        let model = ProtocolModel::new(
-            "t",
-            vec![FieldSpec::new("b", FieldKind::Byte { min: 1, max: 3 })],
-        );
+        let model =
+            ProtocolModel::new("t", vec![FieldSpec::new("b", FieldKind::Byte { min: 1, max: 3 })]);
         let mut m = Mutator::new(model, 3);
         for _ in 0..100 {
             let input = m.generate();

@@ -254,11 +254,8 @@ impl Hara {
             }
         }
 
-        let covered: BTreeSet<&HazardRatingId> = self
-            .goals
-            .values()
-            .flat_map(|g| g.covered_ratings().iter())
-            .collect();
+        let covered: BTreeSet<&HazardRatingId> =
+            self.goals.values().flat_map(|g| g.covered_ratings().iter()).collect();
         let uncovered_hazards: Vec<HazardRatingId> = self
             .ratings
             .values()
@@ -298,7 +295,13 @@ mod tests {
         hara
     }
 
-    fn rated(id: &str, fm: FailureMode, s: Severity, e: Exposure, c: Controllability) -> HazardRating {
+    fn rated(
+        id: &str,
+        fm: FailureMode,
+        s: Severity,
+        e: Exposure,
+        c: Controllability,
+    ) -> HazardRating {
         HazardRating::builder(id, "F1", fm)
             .hazard("hazard")
             .situation(id.to_owned() + "-situation")
@@ -328,10 +331,15 @@ mod tests {
     #[test]
     fn duplicate_rating_id_rejected() {
         let mut hara = hara_with_function();
-        hara.add_rating(rated("R1", FailureMode::No, Severity::S1, Exposure::E1, Controllability::C1))
-            .unwrap();
-        let again =
-            rated("R1", FailureMode::More, Severity::S1, Exposure::E1, Controllability::C1);
+        hara.add_rating(rated(
+            "R1",
+            FailureMode::No,
+            Severity::S1,
+            Exposure::E1,
+            Controllability::C1,
+        ))
+        .unwrap();
+        let again = rated("R1", FailureMode::More, Severity::S1, Exposure::E1, Controllability::C1);
         assert!(matches!(hara.add_rating(again), Err(HaraError::DuplicateRating(_))));
     }
 
@@ -351,10 +359,7 @@ mod tests {
             .build()
             .unwrap();
         hara.add_rating(a).unwrap();
-        assert!(matches!(
-            hara.add_rating(b),
-            Err(HaraError::DuplicateAssessmentRow { .. })
-        ));
+        assert!(matches!(hara.add_rating(b), Err(HaraError::DuplicateAssessmentRow { .. })));
     }
 
     #[test]
@@ -382,10 +387,22 @@ mod tests {
     #[test]
     fn goal_asil_is_max_of_covered() {
         let mut hara = hara_with_function();
-        hara.add_rating(rated("R1", FailureMode::No, Severity::S3, Exposure::E3, Controllability::C3))
-            .unwrap(); // ASIL C
-        hara.add_rating(rated("R2", FailureMode::More, Severity::S2, Exposure::E3, Controllability::C2))
-            .unwrap(); // ASIL A
+        hara.add_rating(rated(
+            "R1",
+            FailureMode::No,
+            Severity::S3,
+            Exposure::E3,
+            Controllability::C3,
+        ))
+        .unwrap(); // ASIL C
+        hara.add_rating(rated(
+            "R2",
+            FailureMode::More,
+            Severity::S2,
+            Exposure::E3,
+            Controllability::C2,
+        ))
+        .unwrap(); // ASIL A
         hara.add_safety_goal(
             SafetyGoal::builder("SG01", "goal").covers("R1").covers("R2").build().unwrap(),
         )
@@ -416,10 +433,22 @@ mod tests {
     #[test]
     fn distribution_counts_all_classes() {
         let mut hara = hara_with_function();
-        hara.add_rating(rated("R1", FailureMode::No, Severity::S3, Exposure::E4, Controllability::C3))
-            .unwrap(); // D
-        hara.add_rating(rated("R2", FailureMode::More, Severity::S1, Exposure::E1, Controllability::C1))
-            .unwrap(); // QM
+        hara.add_rating(rated(
+            "R1",
+            FailureMode::No,
+            Severity::S3,
+            Exposure::E4,
+            Controllability::C3,
+        ))
+        .unwrap(); // D
+        hara.add_rating(rated(
+            "R2",
+            FailureMode::More,
+            Severity::S1,
+            Exposure::E1,
+            Controllability::C1,
+        ))
+        .unwrap(); // QM
         let na = HazardRating::builder("R3", "F1", FailureMode::Inverted)
             .not_applicable("n/a")
             .build()
@@ -435,8 +464,14 @@ mod tests {
     #[test]
     fn completeness_flags_missing_guidewords() {
         let mut hara = hara_with_function();
-        hara.add_rating(rated("R1", FailureMode::No, Severity::S1, Exposure::E1, Controllability::C1))
-            .unwrap();
+        hara.add_rating(rated(
+            "R1",
+            FailureMode::No,
+            Severity::S1,
+            Exposure::E1,
+            Controllability::C1,
+        ))
+        .unwrap();
         let report = hara.completeness();
         assert!(!report.is_complete());
         // 7 of 8 guidewords unrated.
@@ -494,8 +529,14 @@ mod tests {
     #[test]
     fn validate_accepts_consistent_and_rejects_tampered() {
         let mut hara = hara_with_function();
-        hara.add_rating(rated("R1", FailureMode::No, Severity::S3, Exposure::E3, Controllability::C3))
-            .unwrap();
+        hara.add_rating(rated(
+            "R1",
+            FailureMode::No,
+            Severity::S3,
+            Exposure::E3,
+            Controllability::C3,
+        ))
+        .unwrap();
         hara.add_safety_goal(SafetyGoal::builder("SG01", "g").covers("R1").build().unwrap())
             .unwrap();
         assert!(hara.validate().is_ok());
@@ -515,8 +556,14 @@ mod tests {
     #[test]
     fn lookup_by_str_via_borrow() {
         let mut hara = hara_with_function();
-        hara.add_rating(rated("R1", FailureMode::No, Severity::S1, Exposure::E1, Controllability::C1))
-            .unwrap();
+        hara.add_rating(rated(
+            "R1",
+            FailureMode::No,
+            Severity::S1,
+            Exposure::E1,
+            Controllability::C1,
+        ))
+        .unwrap();
         assert!(hara.function("F1").is_some());
         assert!(hara.rating("R1").is_some());
         assert!(hara.rating("R2").is_none());

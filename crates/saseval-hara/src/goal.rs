@@ -158,10 +158,7 @@ mod tests {
 
     #[test]
     fn build_minimal_goal() {
-        let g = SafetyGoal::builder("SG01", "Keep vehicle closed")
-            .covers("R1")
-            .build()
-            .unwrap();
+        let g = SafetyGoal::builder("SG01", "Keep vehicle closed").covers("R1").build().unwrap();
         assert_eq!(g.id().as_str(), "SG01");
         assert_eq!(g.name(), "Keep vehicle closed");
         assert_eq!(g.ftti(), None);

@@ -76,8 +76,9 @@ mod tests {
 
     #[test]
     fn construction() {
-        let f = ItemFunction::with_description("F2", "In-vehicle speed limits", "Signage application")
-            .unwrap();
+        let f =
+            ItemFunction::with_description("F2", "In-vehicle speed limits", "Signage application")
+                .unwrap();
         assert_eq!(f.id().as_str(), "F2");
         assert_eq!(f.name(), "In-vehicle speed limits");
         assert_eq!(f.description(), "Signage application");

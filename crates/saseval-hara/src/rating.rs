@@ -246,10 +246,8 @@ mod tests {
 
     #[test]
     fn missing_assessment_rejected() {
-        let err = HazardRating::builder("R4", "F1", FailureMode::No)
-            .hazard("h")
-            .build()
-            .unwrap_err();
+        let err =
+            HazardRating::builder("R4", "F1", FailureMode::No).hazard("h").build().unwrap_err();
         assert!(matches!(err, HaraError::MissingAssessment(_)));
     }
 
@@ -276,9 +274,7 @@ mod tests {
     #[test]
     fn invalid_ids_rejected() {
         assert!(matches!(
-            HazardRating::builder("bad id", "F1", FailureMode::No)
-                .not_applicable("x")
-                .build(),
+            HazardRating::builder("bad id", "F1", FailureMode::No).not_applicable("x").build(),
             Err(HaraError::Id(_))
         ));
     }

@@ -183,8 +183,7 @@ mod tests {
 
     #[test]
     fn collect_from_iterator() {
-        let d: RatingDistribution =
-            vec![RatingClass::NotApplicable; 4].into_iter().collect();
+        let d: RatingDistribution = vec![RatingClass::NotApplicable; 4].into_iter().collect();
         assert_eq!(d.count(RatingClass::NotApplicable), 4);
     }
 

@@ -35,8 +35,11 @@ pub fn render_worksheet(hara: &Hara) -> String {
     writeln!(out).expect("write");
     writeln!(out, "## Ratings ({})", hara.distribution()).expect("write");
     writeln!(out).expect("write");
-    writeln!(out, "| ID | Function | Failure mode | Hazard / rationale | Situation | E | S | C | Class |")
-        .expect("write");
+    writeln!(
+        out,
+        "| ID | Function | Failure mode | Hazard / rationale | Situation | E | S | C | Class |"
+    )
+    .expect("write");
     writeln!(out, "|---|---|---|---|---|---|---|---|---|").expect("write");
     for rating in hara.ratings() {
         let function_name = hara
@@ -69,10 +72,7 @@ pub fn render_worksheet(hara: &Hara) -> String {
     writeln!(out, "| ID | Goal | ASIL | FTTI | Safe state | Covers |").expect("write");
     writeln!(out, "|---|---|---|---|---|---|").expect("write");
     for goal in hara.safety_goals() {
-        let asil = hara
-            .goal_asil(goal)
-            .map(|a| a.to_string())
-            .unwrap_or_else(|| "QM".to_owned());
+        let asil = hara.goal_asil(goal).map(|a| a.to_string()).unwrap_or_else(|| "QM".to_owned());
         let ftti = goal.ftti().map(|f| f.to_string()).unwrap_or_else(|| "-".to_owned());
         let covers: Vec<&str> = goal.covered_ratings().iter().map(|r| r.as_str()).collect();
         writeln!(
@@ -139,14 +139,14 @@ mod tests {
         assert!(sheet.contains("no meaningful inverse"));
         assert!(sheet.contains("| - | - | - | N/A |"));
         // The goal table shows ASIL, FTTI and coverage.
-        assert!(sheet.contains("| SG01 | warn the driver | ASIL C | 500ms | control returned | Rat01 |"));
+        assert!(sheet
+            .contains("| SG01 | warn the driver | ASIL C | 500ms | control returned | Rat01 |"));
     }
 
     #[test]
     fn worksheet_row_count_matches() {
         let sheet = render_worksheet(&sample());
-        let rating_rows =
-            sheet.lines().filter(|l| l.starts_with("| Rat")).count();
+        let rating_rows = sheet.lines().filter(|l| l.starts_with("| Rat")).count();
         assert_eq!(rating_rows, 2);
     }
 }

@@ -1,0 +1,118 @@
+//! Snapshot exporters: machine-readable JSON and human-readable
+//! Markdown.
+
+use crate::snapshot::MetricsSnapshot;
+
+/// Renders the snapshot as pretty-printed JSON.
+pub fn to_json(snapshot: &MetricsSnapshot) -> String {
+    serde_json::to_string_pretty(snapshot).expect("metrics snapshots always serialize")
+}
+
+/// Renders the snapshot as Markdown tables (counters, gauges,
+/// histograms, then an event tally), omitting empty sections.
+pub fn to_markdown(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    if !snapshot.counters.is_empty() {
+        out.push_str("## Counters\n\n| name | value |\n|---|---:|\n");
+        for counter in &snapshot.counters {
+            out.push_str(&format!("| `{}` | {} |\n", counter.name, counter.value));
+        }
+        out.push('\n');
+    }
+    if !snapshot.gauges.is_empty() {
+        out.push_str("## Gauges\n\n| name | value |\n|---|---:|\n");
+        for gauge in &snapshot.gauges {
+            out.push_str(&format!("| `{}` | {} |\n", gauge.name, format_value(gauge.value)));
+        }
+        out.push('\n');
+    }
+    if !snapshot.histograms.is_empty() {
+        out.push_str(
+            "## Histograms\n\n| name | count | mean | min | max | sum |\n|---|---:|---:|---:|---:|---:|\n",
+        );
+        for histogram in &snapshot.histograms {
+            out.push_str(&format!(
+                "| `{}` | {} | {} | {} | {} | {} |\n",
+                histogram.name,
+                histogram.count,
+                format_value(histogram.mean()),
+                format_value(histogram.min),
+                format_value(histogram.max),
+                format_value(histogram.sum),
+            ));
+        }
+        out.push('\n');
+    }
+    if !snapshot.events.is_empty() {
+        out.push_str("## Events\n\n| name | fields |\n|---|---|\n");
+        for event in &snapshot.events {
+            let fields: Vec<String> =
+                event.fields.iter().map(|(key, value)| format!("{key}={value}")).collect();
+            out.push_str(&format!("| `{}` | {} |\n", event.name, fields.join(", ")));
+        }
+        out.push('\n');
+    }
+    if out.is_empty() {
+        out.push_str("_no metrics recorded_\n");
+    }
+    out
+}
+
+/// Compact numeric formatting: up to six significant decimals, trailing
+/// zeros trimmed.
+fn format_value(value: f64) -> String {
+    if value == value.trunc() && value.abs() < 1e15 {
+        format!("{value:.0}")
+    } else {
+        let text = format!("{value:.6}");
+        text.trim_end_matches('0').trim_end_matches('.').to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MemoryRecorder, Obs};
+    use std::sync::Arc;
+
+    fn sample() -> MetricsSnapshot {
+        let recorder = Arc::new(MemoryRecorder::default());
+        let obs = Obs::recording(recorder.clone());
+        obs.counter("net.can.arbitrated", 7);
+        obs.gauge("fuzz.inputs_per_sec", 1250.5);
+        obs.histogram("case.inject_seconds", 0.002);
+        obs.histogram("case.inject_seconds", 0.004);
+        obs.event("campaign.verdict", &[("attack", "AD20".into()), ("succeeded", true.into())]);
+        recorder.snapshot()
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let snapshot = sample();
+        let json = to_json(&snapshot);
+        let parsed: MetricsSnapshot = serde_json::from_str(&json).expect("parse");
+        assert_eq!(parsed, snapshot);
+    }
+
+    #[test]
+    fn empty_snapshot_round_trips() {
+        let snapshot = MetricsSnapshot::default();
+        let parsed: MetricsSnapshot = serde_json::from_str(&to_json(&snapshot)).expect("parse");
+        assert_eq!(parsed, snapshot);
+        assert!(parsed.is_empty());
+    }
+
+    #[test]
+    fn markdown_renders_all_sections() {
+        let markdown = to_markdown(&sample());
+        assert!(markdown.contains("## Counters"));
+        assert!(markdown.contains("| `net.can.arbitrated` | 7 |"));
+        assert!(markdown.contains("## Gauges"));
+        assert!(markdown.contains("1250.5"));
+        assert!(markdown.contains("## Histograms"));
+        assert!(markdown.contains("| `case.inject_seconds` | 2 | 0.003 |"));
+        assert!(markdown.contains("## Events"));
+        assert!(markdown.contains("attack=AD20, succeeded=true"));
+        assert_eq!(to_markdown(&MetricsSnapshot::default()), "_no metrics recorded_\n");
+    }
+}

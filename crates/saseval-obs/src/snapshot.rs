@@ -1,0 +1,107 @@
+//! Serializable point-in-time metric snapshots.
+
+use serde::{Deserialize, Serialize};
+
+/// Everything a recorder held at snapshot time. Metric vectors are
+/// sorted by name; events are in emission order.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Monotonic counters.
+    pub counters: Vec<CounterSnapshot>,
+    /// Last-write-wins gauges.
+    pub gauges: Vec<GaugeSnapshot>,
+    /// Fixed-bucket histograms (span timers land here too).
+    pub histograms: Vec<HistogramSnapshot>,
+    /// Structured events with stringified field values.
+    pub events: Vec<EventSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Value of the counter `name`, if it was ever incremented.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|c| c.name == name).map(|c| c.value)
+    }
+
+    /// Value of the gauge `name`, if it was ever set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|g| g.name == name).map(|g| g.value)
+    }
+
+    /// The histogram `name`, if it ever recorded a value.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.histograms.is_empty()
+            && self.events.is_empty()
+    }
+}
+
+/// A counter's final value.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CounterSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Accumulated value.
+    pub value: u64,
+}
+
+/// A gauge's final value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaugeSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Last written value.
+    pub value: f64,
+}
+
+/// One cumulative histogram bucket: the number of observations `<= le`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BucketSnapshot {
+    /// Inclusive upper bound of the bucket.
+    pub le: f64,
+    /// Cumulative observation count at this bound.
+    pub count: u64,
+}
+
+/// A histogram's summary statistics and cumulative buckets.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: f64,
+    /// Smallest observed value (0.0 when empty).
+    pub min: f64,
+    /// Largest observed value (0.0 when empty).
+    pub max: f64,
+    /// Cumulative buckets over the shared fixed bounds; observations
+    /// above the last bound appear only in `count`.
+    pub buckets: Vec<BucketSnapshot>,
+}
+
+impl HistogramSnapshot {
+    /// Arithmetic mean of observations; 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// A structured event with stringified field values.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EventSnapshot {
+    /// Event name.
+    pub name: String,
+    /// Field key/value pairs in emission order.
+    pub fields: Vec<(String, String)>,
+}

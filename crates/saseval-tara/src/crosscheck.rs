@@ -232,7 +232,8 @@ mod tests {
 
     #[test]
     fn non_safety_scenarios_excluded() {
-        let scenarios = [ds("DS3", "Movement profile of the driver leaked", ImpactCategory::Privacy)];
+        let scenarios =
+            [ds("DS3", "Movement profile of the driver leaked", ImpactCategory::Privacy)];
         let report = cross_check(&scenarios, &hara());
         assert_eq!(report.matches[0].outcome, CrossCheckOutcome::NotSafetyRelated);
     }

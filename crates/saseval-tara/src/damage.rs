@@ -46,12 +46,8 @@ pub enum ImpactLevel {
 
 impl ImpactLevel {
     /// All levels, ascending.
-    pub const ALL: [ImpactLevel; 4] = [
-        ImpactLevel::Negligible,
-        ImpactLevel::Moderate,
-        ImpactLevel::Major,
-        ImpactLevel::Severe,
-    ];
+    pub const ALL: [ImpactLevel; 4] =
+        [ImpactLevel::Negligible, ImpactLevel::Moderate, ImpactLevel::Major, ImpactLevel::Severe];
 }
 
 /// A damage scenario: the harm that materializes when a threat succeeds,

@@ -43,9 +43,9 @@ pub mod sahara;
 pub mod tree;
 
 pub use crosscheck::{cross_check, CrossCheckOutcome, CrossCheckReport, DamageScenarioMatch};
-pub use heavens::{heavens_security_level, HeavensSecurityLevel, ThreatLevel, ThreatParameters};
 pub use damage::{DamageScenario, DamageScenarioBuilder, ImpactCategory, ImpactLevel};
 pub use error::TaraError;
+pub use heavens::{heavens_security_level, HeavensSecurityLevel, ThreatLevel, ThreatParameters};
 pub use risk::{risk_level, AttackFeasibility, FeasibilityFactors, RiskLevel};
 pub use sahara::{security_level as sahara_security_level, SaharaRating, SecurityLevel};
 pub use tree::{AttackPath, AttackTree, TreeNode};

@@ -149,7 +149,8 @@ mod tests {
         assert_eq!(FeasibilityFactors::new(2, 2, 2, 0, 0).feasibility(), AttackFeasibility::High); // 6
         assert_eq!(FeasibilityFactors::new(3, 2, 2, 0, 0).feasibility(), AttackFeasibility::Medium); // 7
         assert_eq!(FeasibilityFactors::new(4, 4, 4, 1, 0).feasibility(), AttackFeasibility::Medium); // 13
-        assert_eq!(FeasibilityFactors::new(4, 4, 4, 2, 0).feasibility(), AttackFeasibility::Low); // 14
+        assert_eq!(FeasibilityFactors::new(4, 4, 4, 2, 0).feasibility(), AttackFeasibility::Low);
+        // 14
     }
 
     #[test]

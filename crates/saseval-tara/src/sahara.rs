@@ -105,7 +105,7 @@ pub fn security_level(r: Resources, k: KnowHow, t: Criticality) -> SecurityLevel
     }
     let effort = r as u8 + k as u8; // 0..=6, lower is easier
     let tv = t as u8; // 1..=3
-    // Base level from criticality, reduced by attack effort.
+                      // Base level from criticality, reduced by attack effort.
     let level = (tv + 1).saturating_sub(effort / 2);
     SecurityLevel::new(level)
 }

@@ -335,10 +335,7 @@ mod tests {
         // AND paths contain all their leaves, in order.
         let relay = &paths[0];
         assert_eq!(relay.len(), 2);
-        assert_eq!(
-            relay.steps().collect::<Vec<_>>(),
-            ["relay advertisement", "forward challenge"]
-        );
+        assert_eq!(relay.steps().collect::<Vec<_>>(), ["relay advertisement", "forward challenge"]);
     }
 
     #[test]
@@ -349,7 +346,10 @@ mod tests {
                 "both",
                 vec![
                     TreeNode::or("a", vec![TreeNode::leaf("a1"), TreeNode::leaf("a2")]),
-                    TreeNode::or("b", vec![TreeNode::leaf("b1"), TreeNode::leaf("b2"), TreeNode::leaf("b3")]),
+                    TreeNode::or(
+                        "b",
+                        vec![TreeNode::leaf("b1"), TreeNode::leaf("b2"), TreeNode::leaf("b3")],
+                    ),
                 ],
             ),
         )
@@ -392,10 +392,7 @@ mod tests {
             })
             .collect();
         let t = AttackTree::new("g", TreeNode::and("all", ors)).unwrap();
-        assert!(matches!(
-            t.paths_bounded(100),
-            Err(TaraError::PathLimitExceeded { limit: 100 })
-        ));
+        assert!(matches!(t.paths_bounded(100), Err(TaraError::PathLimitExceeded { limit: 100 })));
         assert_eq!(t.paths_bounded(20_000).unwrap().len(), 10_000);
     }
 

@@ -142,16 +142,10 @@ impl AssetBuilder {
         if self.groups.is_empty() {
             return Err(ThreatLibraryError::AssetWithoutGroup(id));
         }
-        let scenarios = self
-            .scenarios
-            .into_iter()
-            .map(ScenarioId::new)
-            .collect::<Result<Vec<_>, _>>()?;
-        let interfaces = self
-            .interfaces
-            .into_iter()
-            .map(InterfaceId::new)
-            .collect::<Result<Vec<_>, _>>()?;
+        let scenarios =
+            self.scenarios.into_iter().map(ScenarioId::new).collect::<Result<Vec<_>, _>>()?;
+        let interfaces =
+            self.interfaces.into_iter().map(InterfaceId::new).collect::<Result<Vec<_>, _>>()?;
         Ok(Asset {
             id,
             name: self.name,

@@ -84,11 +84,9 @@ fn add_scenarios(lib: &mut ThreatLibrary) {
         );
     lib.add_scenario(intersection).expect("scenario");
 
-    let mut lifetime = Scenario::new(
-        SC_SECURE_LIFETIME,
-        "Keep car secure for the whole vehicle product lifetime",
-    )
-    .expect("id");
+    let mut lifetime =
+        Scenario::new(SC_SECURE_LIFETIME, "Keep car secure for the whole vehicle product lifetime")
+            .expect("id");
     lifetime.push_sub_scenario(
         SubScenario::new(
             "SUB-LIFE-1",
@@ -647,10 +645,7 @@ mod tests {
     fn every_stride_type_is_represented() {
         let lib = automotive_library();
         for tt in ThreatType::ALL {
-            assert!(
-                lib.threats_by_type(tt).count() > 0,
-                "no threat scenario for {tt}"
-            );
+            assert!(lib.threats_by_type(tt).count() > 0, "no threat scenario for {tt}");
         }
     }
 

@@ -85,7 +85,10 @@ impl ThreatLibrary {
     ///   unregistered asset.
     /// * [`ThreatLibraryError::UnknownScenario`] if it references an
     ///   unregistered driving scenario.
-    pub fn add_threat_scenario(&mut self, threat: ThreatScenario) -> Result<(), ThreatLibraryError> {
+    pub fn add_threat_scenario(
+        &mut self,
+        threat: ThreatScenario,
+    ) -> Result<(), ThreatLibraryError> {
         if self.threats.contains_key(threat.id()) {
             return Err(ThreatLibraryError::DuplicateThreatScenario(threat.id().clone()));
         }
@@ -142,7 +145,10 @@ impl ThreatLibrary {
     }
 
     /// All threat scenarios of the given STRIDE threat type.
-    pub fn threats_by_type(&self, threat_type: ThreatType) -> impl Iterator<Item = &ThreatScenario> {
+    pub fn threats_by_type(
+        &self,
+        threat_type: ThreatType,
+    ) -> impl Iterator<Item = &ThreatScenario> {
         self.threats.values().filter(move |t| t.threat_type() == threat_type)
     }
 
@@ -300,17 +306,12 @@ mod tests {
     fn referential_integrity_enforced() {
         let mut lib = ThreatLibrary::new();
         // Asset referencing unknown scenario.
-        let asset = Asset::builder("A", "a")
-            .group(AssetGroup::Hardware)
-            .scenario("SC404")
-            .build()
-            .unwrap();
+        let asset =
+            Asset::builder("A", "a").group(AssetGroup::Hardware).scenario("SC404").build().unwrap();
         assert!(matches!(lib.add_asset(asset), Err(ThreatLibraryError::UnknownScenario(_))));
         // Threat referencing unknown asset.
-        let threat = ThreatScenario::builder("T", "d", ThreatType::Spoofing)
-            .asset("A404")
-            .build()
-            .unwrap();
+        let threat =
+            ThreatScenario::builder("T", "d", ThreatType::Spoofing).asset("A404").build().unwrap();
         assert!(matches!(
             lib.add_threat_scenario(threat),
             Err(ThreatLibraryError::UnknownAsset(_))
@@ -343,10 +344,7 @@ mod tests {
         let mut sc = Scenario::new("SC2", "x").unwrap();
         sc.push_sub_scenario(SubScenario::new("SUB", "a").unwrap());
         sc.push_sub_scenario(SubScenario::new("SUB", "b").unwrap());
-        assert!(matches!(
-            lib.add_scenario(sc),
-            Err(ThreatLibraryError::DuplicateSubScenario(_))
-        ));
+        assert!(matches!(lib.add_scenario(sc), Err(ThreatLibraryError::DuplicateSubScenario(_))));
     }
 
     #[test]
@@ -410,10 +408,7 @@ mod tests {
             "\"sub_scenarios\":[{\"id\":\"SUB1\",\"description\":\"dup\"},{",
         );
         let broken: ThreatLibrary = serde_json::from_str(&tampered).unwrap();
-        assert!(matches!(
-            broken.validate(),
-            Err(ThreatLibraryError::DuplicateSubScenario(_))
-        ));
+        assert!(matches!(broken.validate(), Err(ThreatLibraryError::DuplicateSubScenario(_))));
     }
 
     #[test]
@@ -448,10 +443,7 @@ mod tests {
     fn merge_rejects_conflicts() {
         let mut base = seeded();
         let conflicting = seeded();
-        assert!(matches!(
-            base.merge(conflicting),
-            Err(ThreatLibraryError::DuplicateScenario(_))
-        ));
+        assert!(matches!(base.merge(conflicting), Err(ThreatLibraryError::DuplicateScenario(_))));
     }
 
     #[test]

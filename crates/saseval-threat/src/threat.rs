@@ -173,10 +173,7 @@ mod tests {
                 "External interfaces (such as USB) may be used as a point of attack",
                 ThreatType::ElevationOfPrivilege,
             ),
-            (
-                "Manipulation of functions to operate systems remotely",
-                ThreatType::Tampering,
-            ),
+            ("Manipulation of functions to operate systems remotely", ThreatType::Tampering),
         ];
         for (i, (desc, tt)) in rows.iter().enumerate() {
             let ts = ThreatScenario::builder(format!("TS-{i}"), *desc, *tt)
@@ -190,9 +187,7 @@ mod tests {
 
     #[test]
     fn asset_required() {
-        let err = ThreatScenario::builder("TS-1", "d", ThreatType::Tampering)
-            .build()
-            .unwrap_err();
+        let err = ThreatScenario::builder("TS-1", "d", ThreatType::Tampering).build().unwrap_err();
         assert!(matches!(err, ThreatLibraryError::ThreatWithoutAsset(_)));
     }
 
@@ -209,10 +204,8 @@ mod tests {
 
     #[test]
     fn unrestricted_allows_everyone() {
-        let ts = ThreatScenario::builder("TS-1", "d", ThreatType::Spoofing)
-            .asset("A")
-            .build()
-            .unwrap();
+        let ts =
+            ThreatScenario::builder("TS-1", "d", ThreatType::Spoofing).asset("A").build().unwrap();
         for p in AttackerProfile::ALL {
             assert!(ts.allows_attacker(p));
         }

@@ -132,13 +132,8 @@ impl Exposure {
     }
 
     /// All exposure values, ascending.
-    pub const ALL: [Exposure; 5] = [
-        Exposure::E0,
-        Exposure::E1,
-        Exposure::E2,
-        Exposure::E3,
-        Exposure::E4,
-    ];
+    pub const ALL: [Exposure; 5] =
+        [Exposure::E0, Exposure::E1, Exposure::E2, Exposure::E3, Exposure::E4];
 }
 
 impl Controllability {
@@ -148,12 +143,8 @@ impl Controllability {
     }
 
     /// All controllability values, ascending.
-    pub const ALL: [Controllability; 4] = [
-        Controllability::C0,
-        Controllability::C1,
-        Controllability::C2,
-        Controllability::C3,
-    ];
+    pub const ALL: [Controllability; 4] =
+        [Controllability::C0, Controllability::C1, Controllability::C2, Controllability::C3];
 }
 
 impl AsilLevel {
@@ -295,9 +286,10 @@ impl FromStr for RatingClass {
         match s {
             "N/A" | "NA" => Ok(RatingClass::NotApplicable),
             "QM" | "No ASIL" => Ok(RatingClass::Qm),
-            other => other.parse::<AsilLevel>().map(RatingClass::Asil).map_err(|_| {
-                ParseRatingError { token: s.to_owned(), expected: "rating class" }
-            }),
+            other => other
+                .parse::<AsilLevel>()
+                .map(RatingClass::Asil)
+                .map_err(|_| ParseRatingError { token: s.to_owned(), expected: "rating class" }),
         }
     }
 }
@@ -340,16 +332,16 @@ pub fn determine_asil(s: Severity, e: Exposure, c: Controllability) -> RatingCla
     const TABLE: [[[RatingClass; 3]; 4]; 3] = [
         // S1
         [
-            [Qm, Qm, Qm],          // E1
-            [Qm, Qm, Qm],          // E2
-            [Qm, Qm, Asil(A)],     // E3
+            [Qm, Qm, Qm],           // E1
+            [Qm, Qm, Qm],           // E2
+            [Qm, Qm, Asil(A)],      // E3
             [Qm, Asil(A), Asil(B)], // E4
         ],
         // S2
         [
-            [Qm, Qm, Qm],               // E1
-            [Qm, Qm, Asil(A)],          // E2
-            [Qm, Asil(A), Asil(B)],     // E3
+            [Qm, Qm, Qm],                // E1
+            [Qm, Qm, Asil(A)],           // E2
+            [Qm, Asil(A), Asil(B)],      // E3
             [Asil(A), Asil(B), Asil(C)], // E4
         ],
         // S3
@@ -384,18 +376,10 @@ pub fn representative_sec(class: RatingClass) -> Option<(Severity, Exposure, Con
     match class {
         RatingClass::NotApplicable => None,
         RatingClass::Qm => Some((Severity::S1, Exposure::E2, Controllability::C2)),
-        RatingClass::Asil(AsilLevel::A) => {
-            Some((Severity::S2, Exposure::E3, Controllability::C2))
-        }
-        RatingClass::Asil(AsilLevel::B) => {
-            Some((Severity::S2, Exposure::E3, Controllability::C3))
-        }
-        RatingClass::Asil(AsilLevel::C) => {
-            Some((Severity::S3, Exposure::E3, Controllability::C3))
-        }
-        RatingClass::Asil(AsilLevel::D) => {
-            Some((Severity::S3, Exposure::E4, Controllability::C3))
-        }
+        RatingClass::Asil(AsilLevel::A) => Some((Severity::S2, Exposure::E3, Controllability::C2)),
+        RatingClass::Asil(AsilLevel::B) => Some((Severity::S2, Exposure::E3, Controllability::C3)),
+        RatingClass::Asil(AsilLevel::C) => Some((Severity::S3, Exposure::E3, Controllability::C3)),
+        RatingClass::Asil(AsilLevel::D) => Some((Severity::S3, Exposure::E4, Controllability::C3)),
     }
 }
 
@@ -508,10 +492,7 @@ mod tests {
         assert_eq!("C".parse::<AsilLevel>().unwrap(), AsilLevel::C);
         assert_eq!("N/A".parse::<RatingClass>().unwrap(), RatingClass::NotApplicable);
         assert_eq!("No ASIL".parse::<RatingClass>().unwrap(), RatingClass::Qm);
-        assert_eq!(
-            "ASIL D".parse::<RatingClass>().unwrap(),
-            RatingClass::Asil(AsilLevel::D)
-        );
+        assert_eq!("ASIL D".parse::<RatingClass>().unwrap(), RatingClass::Asil(AsilLevel::D));
     }
 
     #[test]

@@ -205,14 +205,9 @@ pub fn attack_types_for(threat: ThreatType) -> &'static [AttackType] {
             ConfigChange,
         ],
         ThreatType::Repudiation => &[Replay, RepudiationOfTransmission, Delay],
-        ThreatType::InformationDisclosure => &[
-            Listen,
-            Intercept,
-            Eavesdropping,
-            IllegalAcquisition,
-            CovertChannel,
-            ConfigChange,
-        ],
+        ThreatType::InformationDisclosure => {
+            &[Listen, Intercept, Eavesdropping, IllegalAcquisition, CovertChannel, ConfigChange]
+        }
         ThreatType::DenialOfService => &[Disable, DenialOfService, Jamming],
         ThreatType::ElevationOfPrivilege => {
             &[IllegalAcquisition, GainElevatedAccess, GainUnauthorizedAccess]
@@ -243,10 +238,7 @@ impl FromStr for AttackType {
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         let norm = s.trim().to_ascii_lowercase().replace(['_', '-'], " ");
-        let found = AttackType::ALL
-            .iter()
-            .find(|a| a.name().to_ascii_lowercase() == norm)
-            .copied();
+        let found = AttackType::ALL.iter().find(|a| a.name().to_ascii_lowercase() == norm).copied();
         match found {
             Some(a) => Ok(a),
             None => match norm.as_str() {

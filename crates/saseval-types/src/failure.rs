@@ -64,10 +64,7 @@ impl FailureMode {
     /// fault-tolerant time interval (FTTI) is the primary acceptance
     /// criterion.
     pub fn is_timing(self) -> bool {
-        matches!(
-            self,
-            FailureMode::TooEarly | FailureMode::TooLate | FailureMode::Intermittent
-        )
+        matches!(self, FailureMode::TooEarly | FailureMode::TooLate | FailureMode::Intermittent)
     }
 }
 

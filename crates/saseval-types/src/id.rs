@@ -299,9 +299,7 @@ mod tests {
     #[test]
     fn display_error_messages() {
         assert_eq!(IdError::Empty.to_string(), "identifier must not be empty");
-        assert!(IdError::InvalidChar { ch: ' ', at: 3 }
-            .to_string()
-            .contains("at byte 3"));
+        assert!(IdError::InvalidChar { ch: ' ', at: 3 }.to_string().contains("at byte 3"));
         assert!(IdError::TooLong { len: 200 }.to_string().contains("200"));
     }
 

@@ -113,11 +113,7 @@ pub struct ReplayDetector {
 impl ReplayDetector {
     /// Creates a detector remembering up to `capacity` messages.
     pub fn new(capacity: usize) -> Self {
-        ReplayDetector {
-            seen: HashSet::new(),
-            order: VecDeque::new(),
-            capacity: capacity.max(1),
-        }
+        ReplayDetector { seen: HashSet::new(), order: VecDeque::new(), capacity: capacity.max(1) }
     }
 
     fn key(envelope: &Envelope) -> (String, u64, u64) {
@@ -501,10 +497,7 @@ mod tests {
         let ok = Envelope::new("RSU", SimTime::ZERO, vec![80]);
         assert!(pc.check(&ok, SimTime::ZERO).is_ok());
         let too_high = Envelope::new("RSU", SimTime::ZERO, vec![200]);
-        assert!(matches!(
-            pc.check(&too_high, SimTime::ZERO),
-            Err(RejectReason::Implausible(_))
-        ));
+        assert!(matches!(pc.check(&too_high, SimTime::ZERO), Err(RejectReason::Implausible(_))));
         let empty = Envelope::new("RSU", SimTime::ZERO, vec![]);
         assert!(pc.check(&empty, SimTime::ZERO).is_err());
     }

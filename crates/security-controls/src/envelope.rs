@@ -23,7 +23,11 @@ pub struct Envelope {
 
 impl Envelope {
     /// Creates an envelope with the mandatory fields.
-    pub fn new(sender: impl Into<String>, generated_at: SimTime, payload: impl Into<Vec<u8>>) -> Self {
+    pub fn new(
+        sender: impl Into<String>,
+        generated_at: SimTime,
+        payload: impl Into<Vec<u8>>,
+    ) -> Self {
         Envelope {
             sender: sender.into(),
             generated_at,

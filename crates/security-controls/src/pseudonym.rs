@@ -99,11 +99,7 @@ impl LinkabilityObserver {
         if self.observations.len() < 2 {
             return 1.0;
         }
-        let linked = self
-            .observations
-            .windows(2)
-            .filter(|pair| pair[0].1 == pair[1].1)
-            .count();
+        let linked = self.observations.windows(2).filter(|pair| pair[0].1 == pair[1].1).count();
         linked as f64 / (self.observations.len() - 1) as f64
     }
 
@@ -143,8 +139,7 @@ mod tests {
     #[test]
     fn static_identifier_is_fully_linkable() {
         let scheme = PseudonymScheme::static_identifier(1);
-        let observer =
-            eavesdrop_campaign(&scheme, 42, Ftti::from_secs(1), Ftti::from_secs(60));
+        let observer = eavesdrop_campaign(&scheme, 42, Ftti::from_secs(1), Ftti::from_secs(60));
         assert_eq!(observer.linkability(), 1.0);
         assert_eq!(observer.distinct_pseudonyms(), 1);
     }
@@ -158,10 +153,7 @@ mod tests {
             let scheme = PseudonymScheme::new(Ftti::from_secs(period_s), 7);
             let observer = eavesdrop_campaign(&scheme, 42, interval, duration);
             let linkability = observer.linkability();
-            assert!(
-                linkability < last,
-                "period {period_s}s: {linkability} not below {last}"
-            );
+            assert!(linkability < last, "period {period_s}s: {linkability} not below {last}");
             last = linkability;
         }
         // Rotating every 2 s with 1 s observations: roughly half the hops

@@ -9,6 +9,7 @@
 use bytes::Bytes;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+use saseval_obs::Obs;
 use serde::{Deserialize, Serialize};
 
 use saseval_types::{Ftti, SimTime};
@@ -106,6 +107,7 @@ pub struct BleLink {
     last_activity: SimTime,
     jam_until: Option<SimTime>,
     stats: BleStats,
+    obs: Obs,
 }
 
 impl std::fmt::Debug for BleLink {
@@ -130,7 +132,14 @@ impl BleLink {
             last_activity: SimTime::ZERO,
             jam_until: None,
             stats: BleStats::default(),
+            obs: Obs::noop(),
         }
+    }
+
+    /// Attaches a metrics handle; the link emits `net.ble.*` counters and
+    /// a `net.ble.session` event per connect/supervision-drop through it.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     /// The current connection state.
@@ -165,10 +174,16 @@ impl BleLink {
                 if self.is_jammed(now) {
                     return Err(NetError::NotConnected);
                 }
-                self.state = LinkState::Connected { central: central.into() };
+                let central = central.into();
+                self.stats.connects += 1;
+                self.obs.counter("net.ble.connects", 1);
+                self.obs.event(
+                    "net.ble.session",
+                    &[("action", "connect".into()), ("central", central.as_str().into())],
+                );
+                self.state = LinkState::Connected { central };
                 self.next_seq = 0;
                 self.last_activity = now;
-                self.stats.connects += 1;
                 Ok(())
             }
         }
@@ -200,10 +215,12 @@ impl BleLink {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.stats.sent += 1;
+        self.obs.counter("net.ble.sent", 1);
         if self.is_jammed(now)
             || (self.config.loss_prob > 0.0 && self.rng.random_bool(self.config.loss_prob))
         {
             self.stats.lost += 1;
+            self.obs.counter("net.ble.lost", 1);
             return Ok(seq);
         }
         let frame = BleFrame { seq, sender: sender.into(), payload, sent_at: now };
@@ -224,11 +241,15 @@ impl BleLink {
                 remaining.push((arrival, frame));
             } else if self.jam_until.is_some_and(|until| arrival < until) {
                 self.stats.lost += 1;
+                self.obs.counter("net.ble.lost", 1);
             } else {
                 self.last_activity = arrival;
                 self.stats.delivered += 1;
                 delivered.push(frame);
             }
+        }
+        if !delivered.is_empty() {
+            self.obs.counter("net.ble.delivered", delivered.len() as u64);
         }
         self.in_flight = remaining;
 
@@ -237,6 +258,8 @@ impl BleLink {
         {
             self.state = LinkState::Advertising;
             self.stats.supervision_drops += 1;
+            self.obs.counter("net.ble.supervision_drops", 1);
+            self.obs.event("net.ble.session", &[("action", "supervision-drop".into())]);
         }
         delivered
     }
@@ -362,6 +385,30 @@ mod tests {
             link.poll(SimTime::from_secs(1)).len()
         };
         assert_eq!(observe(5), observe(5));
+    }
+
+    #[test]
+    fn obs_records_session_events() {
+        let (obs, recorder) = Obs::memory();
+        let mut link = BleLink::new(lossless(), 1);
+        link.set_obs(obs);
+        link.start_advertising(SimTime::ZERO);
+        link.connect("phone", SimTime::ZERO).unwrap();
+        link.send("phone", Bytes::from_static(b"x"), SimTime::ZERO).unwrap();
+        link.poll(SimTime::from_millis(1));
+        link.poll(SimTime::from_millis(200));
+        let snapshot = recorder.snapshot();
+        assert_eq!(snapshot.counter("net.ble.connects"), Some(1));
+        assert_eq!(snapshot.counter("net.ble.sent"), Some(1));
+        assert_eq!(snapshot.counter("net.ble.delivered"), Some(1));
+        assert_eq!(snapshot.counter("net.ble.supervision_drops"), Some(1));
+        let actions: Vec<&str> = snapshot
+            .events
+            .iter()
+            .filter(|e| e.name == "net.ble.session")
+            .map(|e| e.fields[0].1.as_str())
+            .collect();
+        assert_eq!(actions, ["connect", "supervision-drop"]);
     }
 
     #[test]

@@ -13,6 +13,7 @@
 use std::collections::{BTreeMap, VecDeque};
 
 use bytes::Bytes;
+use saseval_obs::Obs;
 use serde::{Deserialize, Serialize};
 
 use saseval_types::{Ftti, SimTime};
@@ -167,6 +168,7 @@ pub struct CanBus {
     tec: BTreeMap<String, u32>,
     cursor: SimTime,
     stats: CanBusStats,
+    obs: Obs,
 }
 
 impl std::fmt::Debug for CanBus {
@@ -188,7 +190,14 @@ impl CanBus {
             tec: BTreeMap::new(),
             cursor: SimTime::ZERO,
             stats: CanBusStats::default(),
+            obs: Obs::noop(),
         }
+    }
+
+    /// Attaches a metrics handle; the bus emits `net.can.*` counters and a
+    /// `net.can.bus_off` event through it.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     /// The configuration in effect.
@@ -210,10 +219,12 @@ impl CanBus {
         let queue = self.queues.entry(frame.sender().to_owned()).or_default();
         if queue.len() >= self.config.tx_queue_depth {
             self.stats.dropped += 1;
+            self.obs.counter("net.can.dropped", 1);
             return Err(NetError::TxQueueFull { node: frame.sender().to_owned() });
         }
         queue.push_back(QueuedFrame { frame, ready: now });
         self.stats.submitted += 1;
+        self.obs.counter("net.can.submitted", 1);
         Ok(())
     }
 
@@ -228,12 +239,7 @@ impl CanBus {
         let mut deliveries = Vec::new();
         loop {
             // Earliest instant any frame is ready.
-            let min_ready = self
-                .queues
-                .values()
-                .filter_map(|q| q.front())
-                .map(|q| q.ready)
-                .min();
+            let min_ready = self.queues.values().filter_map(|q| q.front()).map(|q| q.ready).min();
             let Some(min_ready) = min_ready else { break };
             if self.cursor < min_ready {
                 self.cursor = min_ready;
@@ -278,6 +284,9 @@ impl CanBus {
             }
             deliveries.push(CanDelivery { frame, completed_at });
         }
+        if !deliveries.is_empty() {
+            self.obs.counter("net.can.arbitrated", deliveries.len() as u64);
+        }
         deliveries
     }
 
@@ -286,10 +295,15 @@ impl CanBus {
     /// confinement.
     pub fn report_error(&mut self, node: &str) {
         let tec = self.tec.entry(node.to_owned()).or_insert(0);
+        let was_on = *tec < 256;
         *tec = tec.saturating_add(8);
         if *tec >= 256 {
             // Bus-off nodes lose their pending frames.
             self.queues.remove(node);
+            if was_on {
+                self.obs.counter("net.can.bus_off", 1);
+                self.obs.event("net.can.bus_off", &[("node", node.into())]);
+            }
         }
     }
 
@@ -402,10 +416,7 @@ mod tests {
             bus.report_error("n");
         }
         assert_eq!(bus.error_state("n"), NodeErrorState::BusOff);
-        assert!(matches!(
-            bus.submit(frame(1, "n"), SimTime::ZERO),
-            Err(NetError::BusOff { .. })
-        ));
+        assert!(matches!(bus.submit(frame(1, "n"), SimTime::ZERO), Err(NetError::BusOff { .. })));
         bus.recover("n");
         assert_eq!(bus.error_state("n"), NodeErrorState::ErrorActive);
         assert!(bus.submit(frame(1, "n"), SimTime::ZERO).is_ok());
@@ -445,6 +456,25 @@ mod tests {
         let deliveries = bus.advance(SimTime::from_millis(6));
         assert_eq!(deliveries.len(), 1);
         assert!(deliveries[0].completed_at > SimTime::from_millis(5));
+    }
+
+    #[test]
+    fn obs_counters_track_bus_activity() {
+        let (obs, recorder) = Obs::memory();
+        let mut bus = CanBus::new(CanBusConfig { bitrate_bps: 500_000, tx_queue_depth: 1 });
+        bus.set_obs(obs);
+        bus.submit(frame(1, "n"), SimTime::ZERO).unwrap();
+        bus.submit(frame(1, "n"), SimTime::ZERO).unwrap_err();
+        bus.advance(SimTime::from_secs(1));
+        for _ in 0..32 {
+            bus.report_error("n");
+        }
+        let snapshot = recorder.snapshot();
+        assert_eq!(snapshot.counter("net.can.submitted"), Some(1));
+        assert_eq!(snapshot.counter("net.can.dropped"), Some(1));
+        assert_eq!(snapshot.counter("net.can.arbitrated"), Some(1));
+        assert_eq!(snapshot.counter("net.can.bus_off"), Some(1), "bus-off counted once");
+        assert_eq!(snapshot.events[0].name, "net.can.bus_off");
     }
 
     #[test]

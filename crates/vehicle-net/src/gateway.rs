@@ -139,11 +139,8 @@ impl Gateway {
             self.segments.keys().filter(|s| s.as_str() != from).cloned().collect();
         let mut forwarded = Vec::new();
         for to in destinations {
-            let decision = self
-                .rules
-                .iter()
-                .find(|r| r.matches(from, &to, frame.id()))
-                .map(|r| r.action);
+            let decision =
+                self.rules.iter().find(|r| r.matches(from, &to, frame.id())).map(|r| r.action);
             match decision {
                 Some(RuleAction::Allow) => {
                     let bus = self.segments.get_mut(&to).expect("destination exists");
@@ -184,10 +181,7 @@ impl Gateway {
         name: &str,
         now: SimTime,
     ) -> Result<Vec<crate::can::CanDelivery>, NetError> {
-        self.segments
-            .get_mut(name)
-            .map(|bus| bus.advance(now))
-            .ok_or(NetError::NotConnected)
+        self.segments.get_mut(name).map(|bus| bus.advance(now)).ok_or(NetError::NotConnected)
     }
 
     /// Cumulative statistics.
@@ -283,10 +277,7 @@ mod tests {
     #[test]
     fn local_segment_traffic_unaffected_by_rules() {
         let mut gw = three_segment_gateway();
-        gw.segment_mut("body")
-            .unwrap()
-            .submit(frame(0x2A0, "bcm"), SimTime::ZERO)
-            .unwrap();
+        gw.segment_mut("body").unwrap().submit(frame(0x2A0, "bcm"), SimTime::ZERO).unwrap();
         let deliveries = gw.advance_segment("body", SimTime::from_secs(1)).unwrap();
         assert_eq!(deliveries.len(), 1, "intra-segment traffic needs no rule");
     }

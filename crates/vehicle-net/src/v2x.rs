@@ -8,6 +8,7 @@
 use bytes::Bytes;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+use saseval_obs::Obs;
 use serde::{Deserialize, Serialize};
 
 use saseval_types::{Ftti, SimTime};
@@ -125,6 +126,7 @@ pub struct V2xChannel {
     in_flight: Vec<(SimTime, V2xMessage)>,
     jam_until: Option<SimTime>,
     stats: V2xStats,
+    obs: Obs,
 }
 
 impl std::fmt::Debug for V2xChannel {
@@ -146,7 +148,14 @@ impl V2xChannel {
             in_flight: Vec::new(),
             jam_until: None,
             stats: V2xStats::default(),
+            obs: Obs::noop(),
         }
+    }
+
+    /// Attaches a metrics handle; the channel emits `net.v2x.*` counters
+    /// through it.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     /// The configuration in effect.
@@ -158,12 +167,15 @@ impl V2xChannel {
     /// or `None` if the frame was lost (random loss or jamming).
     pub fn broadcast(&mut self, msg: V2xMessage, now: SimTime) -> Option<SimTime> {
         self.stats.sent += 1;
+        self.obs.counter("net.v2x.sent", 1);
         if self.is_jammed(now) {
             self.stats.jammed += 1;
+            self.obs.counter("net.v2x.jammed", 1);
             return None;
         }
         if self.config.loss_prob > 0.0 && self.rng.random_bool(self.config.loss_prob) {
             self.stats.lost += 1;
+            self.obs.counter("net.v2x.lost", 1);
             return None;
         }
         let jitter = if self.config.jitter_us == 0 {
@@ -187,10 +199,14 @@ impl V2xChannel {
                 remaining.push((arrival, msg));
             } else if self.jam_until.is_some_and(|until| arrival < until) {
                 self.stats.jammed += 1;
+                self.obs.counter("net.v2x.jammed", 1);
             } else {
                 self.stats.delivered += 1;
                 delivered.push(msg);
             }
+        }
+        if !delivered.is_empty() {
+            self.obs.counter("net.v2x.delivered", delivered.len() as u64);
         }
         self.in_flight = remaining;
         delivered
@@ -274,7 +290,9 @@ mod tests {
         ch.broadcast(msg("RSU", SimTime::ZERO), SimTime::ZERO).unwrap();
         ch.jam(SimTime::from_millis(5));
         // Send attempt during the jam window is lost immediately.
-        assert!(ch.broadcast(msg("RSU", SimTime::from_millis(2)), SimTime::from_millis(2)).is_none());
+        assert!(ch
+            .broadcast(msg("RSU", SimTime::from_millis(2)), SimTime::from_millis(2))
+            .is_none());
         assert!(ch.poll(SimTime::from_millis(10)).is_empty());
         assert_eq!(ch.stats().jammed, 2);
         // After the window the channel recovers.
@@ -305,14 +323,26 @@ mod tests {
     }
 
     #[test]
+    fn obs_counters_track_channel_activity() {
+        let (obs, recorder) = Obs::memory();
+        let mut ch = V2xChannel::new(lossless(), 1);
+        ch.set_obs(obs);
+        ch.broadcast(msg("RSU", SimTime::ZERO), SimTime::ZERO).unwrap();
+        ch.jam(SimTime::from_millis(5));
+        ch.broadcast(msg("RSU", SimTime::from_millis(2)), SimTime::from_millis(2));
+        assert!(ch.poll(SimTime::from_millis(10)).is_empty(), "arrival fell in jam window");
+        let snapshot = recorder.snapshot();
+        assert_eq!(snapshot.counter("net.v2x.sent"), Some(2));
+        assert_eq!(snapshot.counter("net.v2x.jammed"), Some(2));
+        assert_eq!(snapshot.counter("net.v2x.delivered"), None);
+    }
+
+    #[test]
     fn message_helpers() {
         let m = msg("RSU", SimTime::from_millis(3));
         assert_eq!(m.with_sender("EVIL").sender(), "EVIL");
         assert_eq!(m.with_payload(Bytes::from_static(b"x")).payload().as_ref(), b"x");
-        assert_eq!(
-            m.with_generated_at(SimTime::ZERO).generated_at(),
-            SimTime::ZERO
-        );
+        assert_eq!(m.with_generated_at(SimTime::ZERO).generated_at(), SimTime::ZERO);
         assert_eq!(m.msg_type(), 1);
     }
 }

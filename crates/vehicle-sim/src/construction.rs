@@ -24,6 +24,7 @@
 use std::collections::VecDeque;
 
 use bytes::Bytes;
+use saseval_obs::Obs;
 use serde::{Deserialize, Serialize};
 
 use saseval_types::{Ftti, SimTime};
@@ -142,9 +143,7 @@ impl ConstructionOutcome {
     /// safety margin the take-over chain produced. `None` when the driver
     /// never had control before entry.
     pub fn takeover_margin(&self) -> Option<saseval_types::Ftti> {
-        self.manual_at
-            .filter(|at| *at < self.entered_zone_at)
-            .map(|at| self.entered_zone_at - at)
+        self.manual_at.filter(|at| *at < self.entered_zone_at).map(|at| self.entered_zone_at - at)
     }
 }
 
@@ -177,6 +176,7 @@ pub struct ConstructionWorld {
     manual_at: Option<SimTime>,
     sniffed: Vec<V2xMessage>,
     trace: TraceRecorder,
+    obs: Obs,
 }
 
 impl std::fmt::Debug for ConstructionWorld {
@@ -241,7 +241,17 @@ impl ConstructionWorld {
             manual_at: None,
             sniffed: Vec::new(),
             trace: TraceRecorder::new(),
+            obs: Obs::noop(),
         }
+    }
+
+    /// Attaches a metrics handle. The world emits a
+    /// `world.construction.run_seconds` span, tick/event counters, and
+    /// propagates the handle to the V2X channel (`net.v2x.*`).
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.channel.set_obs(obs.clone());
+        self.obs = obs;
+        self
     }
 
     /// Current virtual time.
@@ -302,8 +312,13 @@ impl ConstructionWorld {
     /// and by authenticated attackers (AD20).
     pub fn signed_message(&self, sender: &str, payload: &[u8], at: SimTime) -> V2xMessage {
         let tag = MacAuthenticator::sign(self.rsu_key, sender, payload, at);
-        V2xMessage::new(sender, u16::from(payload.first().copied().unwrap_or(0)), Bytes::copy_from_slice(payload), at)
-            .with_auth_tag(tag.raw())
+        V2xMessage::new(
+            sender,
+            u16::from(payload.first().copied().unwrap_or(0)),
+            Bytes::copy_from_slice(payload),
+            at,
+        )
+        .with_auth_tag(tag.raw())
     }
 
     fn rsu_tick(&mut self) {
@@ -405,12 +420,11 @@ impl ConstructionWorld {
                         );
                     }
                 }
-                [MSG_RELEASE, ..]
-                    if !matches!(self.mode, ControlMode::Automated) => {
-                        self.mode = ControlMode::Automated;
-                        self.mode_switches += 1;
-                        self.trace.record(self.now, "OBU", "control-released", "automation resumed");
-                    }
+                [MSG_RELEASE, ..] if !matches!(self.mode, ControlMode::Automated) => {
+                    self.mode = ControlMode::Automated;
+                    self.mode_switches += 1;
+                    self.trace.record(self.now, "OBU", "control-released", "automation resumed");
+                }
                 _ => {}
             }
         }
@@ -478,8 +492,14 @@ impl ConstructionWorld {
 
     /// Runs the world to zone entry (or the horizon) under the given
     /// attacker.
-    pub fn run(mut self, attacker: &mut dyn AttackerHook<ConstructionWorld>) -> ConstructionOutcome {
+    pub fn run(
+        mut self,
+        attacker: &mut dyn AttackerHook<ConstructionWorld>,
+    ) -> ConstructionOutcome {
+        let span = self.obs.span("world.construction.run_seconds");
         let horizon = SimTime::ZERO + self.config.horizon;
+        let mut ticks = 0u64;
+        let mut entered_zone = false;
         while self.now < horizon {
             let now = self.now;
             attacker.on_tick(&mut self, now);
@@ -487,11 +507,15 @@ impl ConstructionWorld {
             self.obu_tick();
             self.driver_and_dynamics_tick();
             self.now += self.config.tick;
+            ticks += 1;
             if self.vehicle.position_m() >= self.config.site_position_m {
-                return self.finish(true);
+                entered_zone = true;
+                break;
             }
         }
-        self.finish(false)
+        self.obs.counter("world.construction.ticks", ticks);
+        span.finish();
+        self.finish(entered_zone)
     }
 
     /// Runs the world without any attacker (the nominal baseline).
@@ -587,7 +611,8 @@ mod tests {
                 world.channel_mut().broadcast(msg, now);
             }
         }
-        let config = ConstructionConfig { controls: ControlSelection::none(), ..Default::default() };
+        let config =
+            ConstructionConfig { controls: ControlSelection::none(), ..Default::default() };
         let outcome = ConstructionWorld::new(config).run(&mut Inject);
         assert!(outcome.sg02_violated);
         assert!(outcome.sg01_violated);

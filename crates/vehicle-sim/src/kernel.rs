@@ -28,7 +28,13 @@ use saseval_types::SimTime;
 pub struct EventQueue<E> {
     heap: BinaryHeap<Reverse<(SimTime, u64, usize)>>,
     events: Vec<Option<E>>,
+    /// Indices of `events` slots vacated by pops, reused by the next
+    /// schedules. Without this, `events` grows by one slot per schedule
+    /// for the lifetime of the queue — unbounded for long-running worlds
+    /// that keep a steady-state number of pending events.
+    free_slots: Vec<usize>,
     seq: u64,
+    popped: u64,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -46,13 +52,28 @@ impl<E> std::fmt::Debug for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), events: Vec::new(), seq: 0 }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            events: Vec::new(),
+            free_slots: Vec::new(),
+            seq: 0,
+            popped: 0,
+        }
     }
 
     /// Schedules `event` at time `at`.
     pub fn schedule(&mut self, at: SimTime, event: E) {
-        let slot = self.events.len();
-        self.events.push(Some(event));
+        let slot = match self.free_slots.pop() {
+            Some(slot) => {
+                debug_assert!(self.events[slot].is_none(), "free slot still occupied");
+                self.events[slot] = Some(event);
+                slot
+            }
+            None => {
+                self.events.push(Some(event));
+                self.events.len() - 1
+            }
+        };
         self.heap.push(Reverse((at, self.seq, slot)));
         self.seq += 1;
     }
@@ -69,6 +90,8 @@ impl<E> EventQueue<E> {
             Some(Reverse((t, _, _))) if *t <= now => {
                 let Reverse((t, _, slot)) = self.heap.pop().expect("peeked");
                 let event = self.events[slot].take().expect("event slot");
+                self.free_slots.push(slot);
+                self.popped += 1;
                 Some((t, event))
             }
             _ => None,
@@ -93,6 +116,25 @@ impl<E> EventQueue<E> {
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
+    }
+
+    /// Number of event slots ever allocated (diagnostics). Stays bounded
+    /// by the peak number of simultaneously pending events, not by the
+    /// total number of schedules.
+    pub fn slot_capacity(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Total events ever scheduled. Worlds flush this (with
+    /// [`EventQueue::popped_total`]) into their metrics recorder at run
+    /// end, keeping the hot scheduling path free of dynamic dispatch.
+    pub fn scheduled_total(&self) -> u64 {
+        self.seq
+    }
+
+    /// Total events ever popped.
+    pub fn popped_total(&self) -> u64 {
+        self.popped
     }
 }
 
@@ -140,6 +182,31 @@ mod tests {
     }
 
     #[test]
+    fn popped_slots_are_reused() {
+        let mut q = EventQueue::new();
+        // Steady state: one pending event at a time, many schedule/pop
+        // cycles. Slot storage must not grow with the cycle count.
+        for i in 0..10_000u64 {
+            q.schedule(SimTime::from_micros(i), i);
+            assert_eq!(q.pop_due(SimTime::from_micros(i)), vec![i]);
+        }
+        assert_eq!(q.slot_capacity(), 1, "slots must be reused, not leaked");
+
+        // Bursty state: capacity tracks the peak pending count.
+        for i in 0..64u64 {
+            q.schedule(SimTime::from_micros(i), i);
+        }
+        assert_eq!(q.pop_due(SimTime::from_secs(1)).len(), 64);
+        for round in 0..100u64 {
+            for i in 0..64u64 {
+                q.schedule(SimTime::from_micros(round * 100 + i), i);
+            }
+            assert_eq!(q.pop_due(SimTime::from_secs(1)).len(), 64);
+        }
+        assert_eq!(q.slot_capacity(), 64, "capacity bounded by peak pending events");
+    }
+
+    #[test]
     fn interleaved_schedule_and_pop() {
         let mut q = EventQueue::new();
         q.schedule(SimTime::from_millis(1), 1);
@@ -147,5 +214,7 @@ mod tests {
         q.schedule(SimTime::from_millis(2), 2);
         q.schedule(SimTime::from_millis(2), 3);
         assert_eq!(q.pop_due(SimTime::from_millis(2)), vec![2, 3]);
+        assert_eq!(q.scheduled_total(), 3);
+        assert_eq!(q.popped_total(), 3);
     }
 }

@@ -20,6 +20,7 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 use parking_lot::Mutex;
+use saseval_obs::Obs;
 use serde::{Deserialize, Serialize};
 
 use saseval_types::{Ftti, SimTime};
@@ -214,6 +215,7 @@ pub struct KeylessWorld {
     closed_during_entry: bool,
     sniffed: Vec<Vec<u8>>,
     trace: TraceRecorder,
+    obs: Obs,
 }
 
 impl std::fmt::Debug for KeylessWorld {
@@ -287,7 +289,19 @@ impl KeylessWorld {
             closed_during_entry: false,
             sniffed: Vec::new(),
             trace: TraceRecorder::new(),
+            obs: Obs::noop(),
         }
+    }
+
+    /// Attaches a metrics handle. The world emits a
+    /// `world.keyless.run_seconds` span, tick/event counters, and
+    /// propagates the handle to the BLE link (`net.ble.*`) and the CAN bus
+    /// (`net.can.*`).
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.link.set_obs(obs.clone());
+        self.can.set_obs(obs.clone());
+        self.obs = obs;
+        self
     }
 
     /// Current virtual time.
@@ -407,13 +421,7 @@ impl KeylessWorld {
             None => 0,
         };
         let tag = MacAuthenticator::sign(self.command_key, OWNER_PHONE, &[cmd], self.now).raw();
-        Command {
-            cmd,
-            key_id: self.config.owner_key_id,
-            ts: self.now.as_micros(),
-            response,
-            tag,
-        }
+        Command { cmd, key_id: self.config.owner_key_id, ts: self.now.as_micros(), response, tag }
     }
 
     fn perform_owner_action(&mut self, action: OwnerAction) {
@@ -494,8 +502,7 @@ impl KeylessWorld {
                     self.lock_open = true;
                     self.transitions += 1;
                     self.opened_at.get_or_insert(delivery.completed_at);
-                    self.entering_until =
-                        Some(delivery.completed_at + self.config.entry_window);
+                    self.entering_until = Some(delivery.completed_at + self.config.entry_window);
                     match self.pending_owner_open.take() {
                         Some(req) => {
                             if self.open_latency.is_none() {
@@ -550,7 +557,9 @@ impl KeylessWorld {
 
     /// Runs the world to the horizon under the given attacker.
     pub fn run(mut self, attacker: &mut dyn AttackerHook<KeylessWorld>) -> KeylessOutcome {
+        let span = self.obs.span("world.keyless.run_seconds");
         let horizon = SimTime::ZERO + self.config.horizon;
+        let mut ticks = 0u64;
         while self.now < horizon {
             let now = self.now;
             attacker.on_tick(&mut self, now);
@@ -560,7 +569,12 @@ impl KeylessWorld {
             self.gateway_tick();
             self.actuator_tick();
             self.now += self.config.tick;
+            ticks += 1;
         }
+        self.obs.counter("world.keyless.ticks", ticks);
+        self.obs.counter("sim.events.scheduled", self.owner_script.scheduled_total());
+        self.obs.counter("sim.events.popped", self.owner_script.popped_total());
+        span.finish();
         self.finish()
     }
 
@@ -620,13 +634,9 @@ mod tests {
         impl AttackerHook<KeylessWorld> for Spoof {
             fn on_tick(&mut self, world: &mut KeylessWorld, now: SimTime) {
                 if now == SimTime::from_millis(100) {
-                    let tag = MacAuthenticator::sign(
-                        world.command_key(),
-                        "attacker",
-                        &[CMD_OPEN],
-                        now,
-                    )
-                    .raw();
+                    let tag =
+                        MacAuthenticator::sign(world.command_key(), "attacker", &[CMD_OPEN], now)
+                            .raw();
                     let cmd = Command {
                         cmd: CMD_OPEN,
                         key_id: 0xBAD,
@@ -639,10 +649,7 @@ mod tests {
             }
         }
         let config = KeylessConfig {
-            controls: ControlSelection {
-                challenge_response: false,
-                ..ControlSelection::all()
-            },
+            controls: ControlSelection { challenge_response: false, ..ControlSelection::all() },
             ..Default::default()
         };
         let outcome = KeylessWorld::new(config).run(&mut Spoof);
@@ -657,13 +664,9 @@ mod tests {
         impl AttackerHook<KeylessWorld> for Spoof {
             fn on_tick(&mut self, world: &mut KeylessWorld, now: SimTime) {
                 if now == SimTime::from_millis(100) {
-                    let tag = MacAuthenticator::sign(
-                        world.command_key(),
-                        "attacker",
-                        &[CMD_OPEN],
-                        now,
-                    )
-                    .raw();
+                    let tag =
+                        MacAuthenticator::sign(world.command_key(), "attacker", &[CMD_OPEN], now)
+                            .raw();
                     let cmd = Command {
                         cmd: CMD_OPEN,
                         key_id: 0xBAD,

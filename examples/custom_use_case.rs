@@ -161,9 +161,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    the attack descriptions.
     let config = DerivationConfig::new().scenario(SC_ACCESS).active_only();
     let candidates = derive_candidates(&concerns, &library, &config);
-    println!("\n{} candidate (goal x threat x attack type) combinations suggested", candidates.len());
+    println!(
+        "\n{} candidate (goal x threat x attack type) combinations suggested",
+        candidates.len()
+    );
 
-    let ad = |id: &str, desc: &str, goal: &str, threat: &str, tt, at: AttackType, pre: &str, succ: &str, fail: &str| {
+    let ad = |id: &str,
+              desc: &str,
+              goal: &str,
+              threat: &str,
+              tt,
+              at: AttackType,
+              pre: &str,
+              succ: &str,
+              fail: &str| {
         AttackDescription::builder(id, desc)
             .safety_goal(goal)
             .interface("CLOUD_API")
@@ -178,26 +189,50 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .build()
     };
     let attacks = vec![
-        ad("SAD01", "Forge a booking confirmation to obtain vehicle access",
-            "SG01", "TS-CLOUD-SPOOF", ThreatType::Spoofing, AttackType::FakeMessages,
+        ad(
+            "SAD01",
+            "Forge a booking confirmation to obtain vehicle access",
+            "SG01",
+            "TS-CLOUD-SPOOF",
+            ThreatType::Spoofing,
+            AttackType::FakeMessages,
             "No booking active for the attacker",
             "Vehicle grants access to the attacker",
-            "Forged confirmation rejected; incident logged")?,
-        ad("SAD02", "Tamper with booking records to extend an expired rental",
-            "SG03", "TS-CLOUD-TAMPER", ThreatType::Tampering, AttackType::Alter,
+            "Forged confirmation rejected; incident logged",
+        )?,
+        ad(
+            "SAD02",
+            "Tamper with booking records to extend an expired rental",
+            "SG03",
+            "TS-CLOUD-TAMPER",
+            ThreatType::Tampering,
+            AttackType::Alter,
             "Attacker's booking just ended",
             "Access persists past booking end",
-            "Record integrity check fails; access revoked")?,
-        ad("SAD03", "Flood the booking service to deny pick-ups",
-            "SG04", "TS-CLOUD-DOS", ThreatType::DenialOfService, AttackType::DenialOfService,
+            "Record integrity check fails; access revoked",
+        )?,
+        ad(
+            "SAD03",
+            "Flood the booking service to deny pick-ups",
+            "SG04",
+            "TS-CLOUD-DOS",
+            ThreatType::DenialOfService,
+            AttackType::DenialOfService,
             "Traveller attempting a pick-up",
             "Access grant not served within the availability budget",
-            "Flood shed; grant latency within budget")?,
-        ad("SAD04", "Replay a revocation message during an active rental",
-            "SG02", "TS-CLOUD-TAMPER", ThreatType::Tampering, AttackType::Manipulate,
+            "Flood shed; grant latency within budget",
+        )?,
+        ad(
+            "SAD04",
+            "Replay a revocation message during an active rental",
+            "SG02",
+            "TS-CLOUD-TAMPER",
+            ThreatType::Tampering,
+            AttackType::Manipulate,
             "Active rental in traffic",
             "Functions revoked while driving",
-            "Stale revocation rejected; session latched")?,
+            "Stale revocation rejected; session latched",
+        )?,
     ];
 
     // 4. One library threat is deliberately not attacked: justify it
@@ -223,10 +258,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  [{}] {}: {}", stage.stage, stage.title, stage.summary);
     }
     let (attacked, justified, uncovered) = report.inductive.counts();
-    println!("\nInductive coverage: {attacked} attacked, {justified} justified, {uncovered} uncovered");
+    println!(
+        "\nInductive coverage: {attacked} attacked, {justified} justified, {uncovered} uncovered"
+    );
     assert!(report.is_complete(), "RQ1 must hold for the new use case");
 
     let rendered = render_validation_report(&catalog, &library)?;
-    println!("\nValidation report rendered: {} bytes (see export_report for file output)", rendered.len());
+    println!(
+        "\nValidation report rendered: {} bytes (see export_report for file output)",
+        rendered.len()
+    );
     Ok(())
 }

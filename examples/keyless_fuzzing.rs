@@ -48,8 +48,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     let paths = tree.paths()?;
     println!("Attack tree: goal {:?}", tree.goal());
-    println!("  {} leaves, {} attack paths, interfaces: {:?}\n", tree.leaf_count(), paths.len(),
-        tree.interfaces().iter().map(|i| i.as_str()).collect::<Vec<_>>());
+    println!(
+        "  {} leaves, {} attack paths, interfaces: {:?}\n",
+        tree.leaf_count(),
+        paths.len(),
+        tree.interfaces().iter().map(|i| i.as_str()).collect::<Vec<_>>()
+    );
     for (i, path) in paths.iter().enumerate() {
         println!("  path {i}: {}", path.steps().collect::<Vec<_>>().join(" -> "));
     }
@@ -67,12 +71,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let Some(command) = Command::decode(input) else {
             return TargetResponse::Rejected;
         };
-        let mut envelope = Envelope::new(
-            "fuzz-sender",
-            SimTime::from_micros(command.ts),
-            vec![command.cmd],
-        )
-        .with_claimed_id(command.key_id);
+        let mut envelope =
+            Envelope::new("fuzz-sender", SimTime::from_micros(command.ts), vec![command.cmd])
+                .with_claimed_id(command.key_id);
         if command.tag != 0 {
             envelope = envelope.with_tag(Tag::from_raw(command.tag));
         }

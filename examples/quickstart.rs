@@ -11,7 +11,10 @@ use saseval::core::report::TraceMatrix;
 use saseval::threat::builtin::automotive_library;
 use saseval::threat::ThreatLibrary;
 
-fn run_use_case(catalog: &UseCaseCatalog, library: &ThreatLibrary) -> Result<(), Box<dyn std::error::Error>> {
+fn run_use_case(
+    catalog: &UseCaseCatalog,
+    library: &ThreatLibrary,
+) -> Result<(), Box<dyn std::error::Error>> {
     println!("=== {} ===", catalog.name);
     let report = run_pipeline(catalog, library)?;
 

@@ -31,7 +31,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     .build()?;
     let factors = FeasibilityFactors::new(0, 1, 0, 1, 1); // off-the-shelf radio
     let risk = risk_level(damage.max_impact(), factors.feasibility());
-    println!("TARA   : impact {:?} x feasibility {:?} -> {risk}", damage.max_impact(), factors.feasibility());
+    println!(
+        "TARA   : impact {:?} x feasibility {:?} -> {risk}",
+        damage.max_impact(),
+        factors.feasibility()
+    );
 
     // --- SAHARA (Macher et al.). ---
     let sahara = SaharaRating::new("TS-BLE-REPLAY", Resources::R1, KnowHow::K1, Criticality::T3)?;
@@ -54,10 +58,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let uc2 = use_case_2();
     let scenarios = [
         damage,
-        DamageScenario::builder("DS-LOCKOUT", "Owner stranded: opening unavailable at the roadside")
-            .impact(ImpactCategory::Safety, ImpactLevel::Moderate)
-            .impact(ImpactCategory::Operational, ImpactLevel::Major)
-            .build()?,
+        DamageScenario::builder(
+            "DS-LOCKOUT",
+            "Owner stranded: opening unavailable at the roadside",
+        )
+        .impact(ImpactCategory::Safety, ImpactLevel::Moderate)
+        .impact(ImpactCategory::Operational, ImpactLevel::Major)
+        .build()?,
         DamageScenario::builder("DS-USAGE-PROFILE", "Open/close patterns reveal owner presence")
             .impact(ImpactCategory::Privacy, ImpactLevel::Major)
             .build()?,
@@ -83,7 +90,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let duration = Ftti::from_secs(600);
     let static_scheme = PseudonymScheme::static_identifier(7);
     let obs = eavesdrop_campaign(&static_scheme, 42, interval, duration);
-    println!("  {:<16} {:>12.3} {:>10}", "none (static)", obs.linkability(), obs.distinct_pseudonyms());
+    println!(
+        "  {:<16} {:>12.3} {:>10}",
+        "none (static)",
+        obs.linkability(),
+        obs.distinct_pseudonyms()
+    );
     for period_s in [600u64, 60, 10, 2] {
         let scheme = PseudonymScheme::new(Ftti::from_secs(period_s), 7);
         let obs = eavesdrop_campaign(&scheme, 42, interval, duration);

@@ -20,6 +20,7 @@
 //! | [`controls`] | `security-controls` | MAC, freshness, replay, flood, allow-list, plausibility |
 //! | [`engine`] | `attack-engine` | Executable attacks, executor, campaigns |
 //! | [`fuzz`] | `saseval-fuzz` | Attack-path-guided protocol fuzzing |
+//! | [`obs`] | `saseval-obs` | Counters/gauges/histograms/spans + JSON/Markdown export |
 //!
 //! # Quickstart
 //!
@@ -43,6 +44,7 @@ pub use saseval_core as core;
 pub use saseval_dsl as dsl;
 pub use saseval_fuzz as fuzz;
 pub use saseval_hara as hara;
+pub use saseval_obs as obs;
 pub use saseval_tara as tara;
 pub use saseval_threat as threat;
 pub use saseval_types as types;

@@ -47,9 +47,8 @@ fn replay_beats_encryption_alone() {
     // encryption … replay attacks" — defeated by timestamps /
     // challenge-response, not by authentication.
     let report = run_campaign(&replay_cases());
-    let by_label = |label: &str| {
-        report.results.iter().find(|r| r.label == label).unwrap().attack_succeeded
-    };
+    let by_label =
+        |label: &str| report.results.iter().find(|r| r.label == label).unwrap().attack_succeeded;
     assert!(!by_label("opening replay, full controls"));
     assert!(by_label("opening replay, authentication only"));
     assert!(!by_label("warning replay, full controls"));

@@ -1,0 +1,56 @@
+//! Property: the parallel campaign runner is observationally equivalent
+//! to the serial one — same verdicts in the same order — for arbitrary
+//! suites and any worker count.
+
+use proptest::prelude::*;
+
+use saseval::engine::attacks::KeyGuessStrategy;
+use saseval::engine::campaign::{run_campaign, run_campaign_parallel};
+use saseval::engine::executor::{AttackKind, TestCase};
+use saseval::sim::config::ControlSelection;
+
+fn attack_kind() -> impl Strategy<Value = AttackKind> {
+    prop_oneof![
+        Just(AttackKind::V2xJam),
+        (10u8..120).prop_map(|limit| AttackKind::V2xFakeLimit { limit }),
+        Just(AttackKind::BleSpoofClose),
+        Just(AttackKind::CanStubInject),
+        (1u32..50)
+            .prop_map(|budget| AttackKind::KeySpoof { strategy: KeyGuessStrategy::Random, budget }),
+    ]
+}
+
+fn controls() -> impl Strategy<Value = ControlSelection> {
+    prop_oneof![Just(ControlSelection::all()), Just(ControlSelection::none())]
+}
+
+fn test_case() -> impl Strategy<Value = TestCase> {
+    (attack_kind(), controls(), 0u64..1_000).prop_map(|(kind, controls, seed)| TestCase {
+        attack_id: "PROP".to_owned(),
+        label: "prop".to_owned(),
+        kind,
+        controls,
+        seed,
+    })
+}
+
+proptest! {
+    // Each case executes two whole campaigns; keep the sample count low.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn parallel_campaign_equals_serial(
+        suite in prop::collection::vec(test_case(), 1..4),
+        threads in 1usize..=8,
+    ) {
+        let serial = run_campaign(&suite);
+        let parallel = run_campaign_parallel(&suite, threads);
+        prop_assert_eq!(serial.total(), parallel.total());
+        for (s, p) in serial.results.iter().zip(&parallel.results) {
+            prop_assert_eq!(&s.attack_id, &p.attack_id);
+            prop_assert_eq!(s.attack_succeeded, p.attack_succeeded);
+            prop_assert_eq!(s.detected, p.detected);
+            prop_assert_eq!(&s.violated_goals, &p.violated_goals);
+        }
+    }
+}

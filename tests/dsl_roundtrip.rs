@@ -32,8 +32,7 @@ fn to_decl(ad: &AttackDescription) -> AttackDecl {
 #[test]
 fn both_catalogs_export_to_dsl_and_recompile() {
     for catalog in [use_case_1(), use_case_2()] {
-        let document =
-            Document { attacks: catalog.attacks.iter().map(to_decl).collect() };
+        let document = Document { attacks: catalog.attacks.iter().map(to_decl).collect() };
         let source = print_document(&document);
         let reparsed = parse_document(&source).expect("printed DSL parses");
         assert_eq!(reparsed, document, "{}", catalog.name);
@@ -59,7 +58,13 @@ fn exec_spec() -> impl Strategy<Value = Option<ExecSpec>> {
         (
             ident(),
             prop::collection::vec(
-                (ident(), prop_oneof![any::<u64>().prop_map(ExecArg::Int), ident().prop_map(ExecArg::Word)]),
+                (
+                    ident(),
+                    prop_oneof![
+                        any::<u64>().prop_map(ExecArg::Int),
+                        ident().prop_map(ExecArg::Word)
+                    ],
+                ),
                 0..3,
             ),
         )

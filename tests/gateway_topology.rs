@@ -59,17 +59,16 @@ fn ad09_stub_commands_blocked_status_reads_allowed() {
 fn stub_flood_cannot_cross_but_fills_the_deny_counter() {
     let mut gw = vehicle_topology();
     for i in 0..100 {
-        gw.receive(
-            "diag",
-            frame(LOCK_CMD, b"open", "stub"),
-            SimTime::from_millis(i),
-        );
+        gw.receive("diag", frame(LOCK_CMD, b"open", "stub"), SimTime::from_millis(i));
     }
     assert_eq!(gw.stats().denied, 100);
     assert_eq!(gw.stats().forwarded, 0);
     assert!(gw.advance_segment("body", SimTime::from_secs(1)).unwrap().is_empty());
     // The body segment's own traffic is completely unaffected.
-    gw.segment_mut("body").unwrap().submit(frame(LOCK_CMD, b"open", "bcm"), SimTime::from_secs(1)).unwrap();
+    gw.segment_mut("body")
+        .unwrap()
+        .submit(frame(LOCK_CMD, b"open", "bcm"), SimTime::from_secs(1))
+        .unwrap();
     assert_eq!(gw.advance_segment("body", SimTime::from_secs(2)).unwrap().len(), 1);
 }
 

@@ -24,12 +24,8 @@ fn uc1_without_eavesdropping_attacks() -> saseval::core::catalog::UseCaseCatalog
 fn dropping_attacks_breaks_inductive_coverage() {
     let catalog = uc1_without_eavesdropping_attacks();
     let library = automotive_library();
-    let report = inductive_coverage(
-        &library,
-        &catalog.scenarios,
-        &catalog.attacks,
-        &catalog.justifications,
-    );
+    let report =
+        inductive_coverage(&library, &catalog.scenarios, &catalog.attacks, &catalog.justifications);
     assert!(!report.is_complete());
     let uncovered: Vec<&str> = report.uncovered().map(|t| t.as_str()).collect();
     assert_eq!(uncovered, ["TS-V2X-EAVESDROP"]);
@@ -52,12 +48,8 @@ fn justification_restores_inductive_coverage() {
         .expect("justification"),
     );
     let library = automotive_library();
-    let report = inductive_coverage(
-        &library,
-        &catalog.scenarios,
-        &catalog.attacks,
-        &catalog.justifications,
-    );
+    let report =
+        inductive_coverage(&library, &catalog.scenarios, &catalog.attacks, &catalog.justifications);
     assert!(report.is_complete(), "justification closes the inductive gap");
     assert_eq!(report.coverage_ratio(), 1.0);
     match &report.threats["TS-V2X-EAVESDROP"] {
@@ -83,12 +75,8 @@ fn justification_for_attacked_threat_is_harmless() {
         .justifications
         .push(Justification::new("TS-2.1.4", "redundant").expect("justification"));
     let library = automotive_library();
-    let report = inductive_coverage(
-        &library,
-        &catalog.scenarios,
-        &catalog.attacks,
-        &catalog.justifications,
-    );
+    let report =
+        inductive_coverage(&library, &catalog.scenarios, &catalog.attacks, &catalog.justifications);
     assert!(matches!(&report.threats["TS-2.1.4"], ThreatCoverage::Attacked(_)));
     assert!(report.is_complete());
 }

@@ -2,9 +2,11 @@
 
 use proptest::prelude::*;
 
-use saseval::controls::controls::{FloodDetector, FreshnessWindow, MacAuthenticator, ReplayDetector};
-use saseval::controls::pseudonym::{eavesdrop_campaign, PseudonymScheme};
+use saseval::controls::controls::{
+    FloodDetector, FreshnessWindow, MacAuthenticator, ReplayDetector,
+};
 use saseval::controls::mac::{MacKey, Tag};
+use saseval::controls::pseudonym::{eavesdrop_campaign, PseudonymScheme};
 use saseval::controls::{Envelope, SecurityControl};
 use saseval::net::can::{CanBus, CanBusConfig, CanFrame, CanId};
 use saseval::sim::kernel::EventQueue;
@@ -13,12 +15,7 @@ use saseval::types::{
 };
 
 fn severity() -> impl Strategy<Value = Severity> {
-    prop_oneof![
-        Just(Severity::S0),
-        Just(Severity::S1),
-        Just(Severity::S2),
-        Just(Severity::S3),
-    ]
+    prop_oneof![Just(Severity::S0), Just(Severity::S1), Just(Severity::S2), Just(Severity::S3),]
 }
 
 fn exposure() -> impl Strategy<Value = Exposure> {

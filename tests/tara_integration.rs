@@ -15,15 +15,12 @@ use saseval::types::SimTime;
 fn damage_scenarios() -> Vec<DamageScenario> {
     vec![
         // Aligns with Use Case I's Rat01 hazard.
-        DamageScenario::builder(
-            "DS-CRASH",
-            "Manipulated warnings cause a crash into road works",
-        )
-        .impact(ImpactCategory::Safety, ImpactLevel::Severe)
-        .impact(ImpactCategory::Operational, ImpactLevel::Major)
-        .asset("V2X_COMM")
-        .build()
-        .unwrap(),
+        DamageScenario::builder("DS-CRASH", "Manipulated warnings cause a crash into road works")
+            .impact(ImpactCategory::Safety, ImpactLevel::Severe)
+            .impact(ImpactCategory::Operational, ImpactLevel::Major)
+            .asset("V2X_COMM")
+            .build()
+            .unwrap(),
         // Cybersecurity-only: not a fault-induced hazard.
         DamageScenario::builder(
             "DS-RANSOM",

@@ -1,0 +1,234 @@
+//! A minimal stand-in for the `criterion` benchmark harness.
+//!
+//! Behaviour by invocation mode:
+//!
+//! - `cargo bench` passes `--bench` to the target: each benchmark is
+//!   warmed up and then timed over `sample_size` samples, and a
+//!   mean/min/max summary line is printed.
+//! - any other invocation (notably `cargo test`, which builds and runs
+//!   bench targets as smoke tests) runs every benchmark body exactly once
+//!   so the suite stays fast.
+//!
+//! There is no statistical analysis, plotting or baseline comparison.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The benchmark driver handed to every `criterion_group!` target.
+pub struct Criterion {
+    measure: bool,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let measure = std::env::args().any(|a| a == "--bench");
+        Criterion { measure, default_sample_size: 100 }
+    }
+}
+
+impl Criterion {
+    /// Benchmarks one closure under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.default_sample_size;
+        self.run_one(&id.into().full_name(None), sample_size, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { parent: self, name: name.into(), sample_size: None }
+    }
+
+    /// Prints the closing summary (no-op in this subset).
+    pub fn final_summary(&mut self) {}
+
+    fn run_one(&mut self, name: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut bencher = Bencher { measure: self.measure, sample_size, samples: Vec::new() };
+        f(&mut bencher);
+        if self.measure {
+            bencher.report(name);
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Benchmarks one closure under `group/id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = id.into().full_name(Some(&self.name));
+        let sample_size = self.sample_size.unwrap_or(self.parent.default_sample_size);
+        self.parent.run_one(&name, sample_size, &mut f);
+        self
+    }
+
+    /// Benchmarks one closure over a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Closes the group (no-op in this subset; dropping works too).
+    pub fn finish(self) {}
+}
+
+/// Times the benchmark body.
+pub struct Bencher {
+    measure: bool,
+    sample_size: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly, timing each call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if !self.measure {
+            black_box(f());
+            return;
+        }
+        // One untimed warmup call, then `sample_size` timed calls.
+        black_box(f());
+        self.samples.reserve(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(f());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.samples.is_empty() {
+            println!("{name:<50} (no samples)");
+            return;
+        }
+        let total: Duration = self.samples.iter().sum();
+        let mean = total / self.samples.len() as u32;
+        let min = self.samples.iter().min().expect("non-empty");
+        let max = self.samples.iter().max().expect("non-empty");
+        println!(
+            "{name:<50} mean {mean:>12?}   min {min:>12?}   max {max:>12?}   ({} samples)",
+            self.samples.len()
+        );
+    }
+}
+
+/// Identifies a benchmark, optionally parameterised.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    function_name: Option<String>,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            function_name: Some(function_name.into()),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// An id carrying only a parameter value (the group provides context).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { function_name: None, parameter: Some(parameter.to_string()) }
+    }
+
+    fn full_name(&self, group: Option<&str>) -> String {
+        let mut parts = Vec::new();
+        if let Some(group) = group {
+            parts.push(group.to_owned());
+        }
+        parts.extend(self.function_name.clone());
+        parts.extend(self.parameter.clone());
+        parts.join("/")
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId { function_name: Some(name.to_owned()), parameter: None }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId { function_name: Some(name), parameter: None }
+    }
+}
+
+/// Bundles benchmark functions into one group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(criterion: &mut $crate::Criterion) {
+            $($target(criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default();
+            $($group(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_mode_runs_bodies_once() {
+        let mut c = Criterion { measure: false, default_sample_size: 100 };
+        let mut calls = 0;
+        c.bench_function("unit", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 1);
+
+        let mut group_calls = 0;
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::new("f", 3), &3, |b, n| b.iter(|| group_calls += *n));
+        group.finish();
+        assert_eq!(group_calls, 3);
+    }
+
+    #[test]
+    fn id_names_compose() {
+        assert_eq!(BenchmarkId::new("f", 3).full_name(Some("g")), "g/f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").full_name(Some("g")), "g/x");
+        assert_eq!(BenchmarkId::from("plain").full_name(None), "plain");
+    }
+}

@@ -1,0 +1,56 @@
+//! The [`Arbitrary`] trait behind `any::<T>()`.
+
+use rand::RngExt;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical full-range strategy.
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_via_standard {
+    ($($t:ty),+) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.inner.random()
+            }
+        }
+    )+};
+}
+
+arbitrary_via_standard!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool);
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Mostly printable ASCII with an occasional arbitrary scalar value.
+        if rng.inner.random_bool(0.9) {
+            rng.inner.random_range(0x20u32..0x7F).try_into().expect("printable ASCII")
+        } else {
+            loop {
+                if let Some(c) = char::from_u32(rng.inner.random_range(0u32..=0x10_FFFF)) {
+                    return c;
+                }
+            }
+        }
+    }
+}
+
+/// A strategy producing arbitrary values of `T` (`any::<T>()`).
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+/// The result of [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct AnyStrategy<T>(std::marker::PhantomData<fn() -> T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}

@@ -1,0 +1,229 @@
+//! A minimal, deterministic stand-in for the `proptest` crate.
+//!
+//! Covers the surface used by the SaSeVAL test suite: the [`Strategy`]
+//! trait with `prop_map`/`boxed`, range/tuple/collection/option/regex
+//! strategies, `any::<T>()`, and the `proptest!`, `prop_assert!`,
+//! `prop_assert_eq!`, `prop_oneof!` and `prop_compose!` macros. Cases are
+//! generated from fixed seeds, so runs are fully reproducible; there is
+//! no shrinking.
+//!
+//! [`Strategy`]: strategy::Strategy
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// The items a property test needs in scope.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_compose, prop_oneof, proptest,
+    };
+
+    /// Namespaced access to the strategy modules (`prop::collection::vec`).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::option;
+        pub use crate::string;
+    }
+}
+
+/// Declares property tests: each `fn` body runs once per generated case.
+///
+/// ```no_run
+/// use proptest::prelude::*;
+///
+/// proptest! {
+///     #[test]
+///     fn addition_commutes(a in 0u32..1000, b in 0u32..1000) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_cases! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_cases! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_cases {
+    (($config:expr)
+     $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat_param in $strategy:expr),+ $(,)?) $body:block
+     )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::test_runner::run(
+                    $config,
+                    &($($strategy,)+),
+                    |($($arg,)+)| {
+                        let outcome: ::std::result::Result<
+                            (),
+                            $crate::test_runner::TestCaseError,
+                        > = (|| {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                        outcome
+                    },
+                );
+            }
+        )*
+    };
+}
+
+/// Fails the current case (returns `Err`) unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fails the current case unless both sides compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "{}\n  left: {:?}\n right: {:?}",
+            format!($($fmt)+),
+            left,
+            right
+        );
+    }};
+}
+
+/// Fails the current case unless both sides compare unequal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left
+        );
+    }};
+}
+
+/// Picks uniformly between several strategies of the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Composes named sub-strategies into a derived strategy function.
+#[macro_export]
+macro_rules! prop_compose {
+    ($(#[$meta:meta])*
+     $vis:vis fn $name:ident($($param:ident: $param_ty:ty),* $(,)?)
+        ($($var:pat_param in $strategy:expr),+ $(,)?)
+     -> $ret:ty $body:block
+    ) => {
+        $(#[$meta])*
+        $vis fn $name($($param: $param_ty),*) -> impl $crate::strategy::Strategy<Value = $ret> {
+            $crate::strategy::Strategy::prop_map(
+                ($($strategy,)+),
+                move |($($var,)+)| $body,
+            )
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn regex_strategies_match_shape() {
+        let strat = crate::string::string_regex("[a-c]{2,4}").unwrap();
+        let mut rng = crate::test_runner::TestRng::test_only(9);
+        for _ in 0..200 {
+            let s = crate::strategy::Strategy::generate(&strat, &mut rng);
+            assert!((2..=4).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)), "{s:?}");
+        }
+        assert!(crate::string::string_regex("a|b").is_err());
+        assert!(crate::string::string_regex("[z-a]").is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn oneof_and_ranges_compose(
+            x in prop_oneof![Just(1u8), Just(2u8)],
+            v in prop::collection::vec(0u16..10, 0..5),
+            s in "[a-z]{1,3}",
+            flag in any::<bool>(),
+        ) {
+            prop_assert!(x == 1 || x == 2);
+            prop_assert!(v.len() < 5);
+            prop_assert!(!s.is_empty() && s.len() <= 3);
+            prop_assert_eq!(flag, flag);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn config_form_parses(n in 0u64..5) {
+            prop_assert!(n < 5);
+        }
+    }
+
+    prop_compose! {
+        fn pair()(a in 0u8..10, b in 0u8..10) -> (u8, u8) {
+            (a, b)
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn composed_strategy_works(p in pair()) {
+            prop_assert!(p.0 < 10 && p.1 < 10);
+        }
+    }
+}

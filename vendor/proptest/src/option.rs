@@ -1,0 +1,29 @@
+//! Option strategies (`prop::option::of`).
+
+use rand::RngExt;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Generates `Some` from `inner` most of the time, `None` occasionally.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+/// The result of [`of`].
+#[derive(Debug, Clone)]
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.inner.random_bool(0.75) {
+            Some(self.inner.generate(rng))
+        } else {
+            None
+        }
+    }
+}

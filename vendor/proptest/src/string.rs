@@ -1,0 +1,168 @@
+//! String generation from a small regex subset
+//! (`proptest::string::string_regex`).
+//!
+//! Supported grammar: a sequence of atoms, where an atom is either a
+//! literal character or a character class `[...]` of single characters
+//! and `a-z` ranges, optionally followed by a `{n}` / `{m,n}` repetition.
+//! This covers every pattern used in the workspace test suite; anything
+//! else (alternation, groups, `*`/`+`/`?`, escapes) is rejected with an
+//! error so misuse fails loudly instead of silently generating garbage.
+
+use std::fmt::{self, Display};
+
+use rand::RngExt;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Regex-compilation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Compiles `pattern` into a strategy producing matching strings.
+pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, Error> {
+    parse(pattern).map(|atoms| RegexGeneratorStrategy { atoms })
+}
+
+/// The result of [`string_regex`].
+#[derive(Debug, Clone)]
+pub struct RegexGeneratorStrategy {
+    atoms: Vec<Atom>,
+}
+
+#[derive(Debug, Clone)]
+struct Atom {
+    /// The candidate characters of this position.
+    chars: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+impl Strategy for RegexGeneratorStrategy {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for atom in &self.atoms {
+            let count = rng.inner.random_range(atom.min..=atom.max);
+            for _ in 0..count {
+                out.push(atom.chars[rng.inner.random_range(0..atom.chars.len())]);
+            }
+        }
+        out
+    }
+}
+
+fn parse(pattern: &str) -> Result<Vec<Atom>, Error> {
+    let mut chars = pattern.chars().peekable();
+    let mut atoms = Vec::new();
+    while let Some(c) = chars.next() {
+        let candidates = match c {
+            '[' => parse_class(&mut chars, pattern)?,
+            '{' | '}' | ']' | '(' | ')' | '|' | '*' | '+' | '?' | '\\' | '.' | '^' | '$' => {
+                return Err(Error(format!(
+                    "unsupported regex construct `{c}` in {pattern:?} (vendored subset)"
+                )));
+            }
+            literal => vec![literal],
+        };
+        let (min, max) = if chars.peek() == Some(&'{') {
+            chars.next();
+            parse_repetition(&mut chars, pattern)?
+        } else {
+            (1, 1)
+        };
+        atoms.push(Atom { chars: candidates, min, max });
+    }
+    Ok(atoms)
+}
+
+fn parse_class(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    pattern: &str,
+) -> Result<Vec<char>, Error> {
+    let mut candidates = Vec::new();
+    loop {
+        let c = chars
+            .next()
+            .ok_or_else(|| Error(format!("unterminated character class in {pattern:?}")))?;
+        match c {
+            ']' => break,
+            '^' if candidates.is_empty() => {
+                return Err(Error(format!(
+                    "negated character class unsupported in {pattern:?} (vendored subset)"
+                )));
+            }
+            start => {
+                if chars.peek() == Some(&'-') {
+                    chars.next();
+                    match chars.next() {
+                        // A trailing `-` before `]` is a literal dash.
+                        Some(']') => {
+                            candidates.push(start);
+                            candidates.push('-');
+                            break;
+                        }
+                        Some(end) => {
+                            if end < start {
+                                return Err(Error(format!(
+                                    "inverted range `{start}-{end}` in {pattern:?}"
+                                )));
+                            }
+                            candidates.extend(start..=end);
+                        }
+                        None => {
+                            return Err(Error(format!(
+                                "unterminated character class in {pattern:?}"
+                            )));
+                        }
+                    }
+                } else {
+                    candidates.push(start);
+                }
+            }
+        }
+    }
+    if candidates.is_empty() {
+        return Err(Error(format!("empty character class in {pattern:?}")));
+    }
+    Ok(candidates)
+}
+
+fn parse_repetition(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    pattern: &str,
+) -> Result<(usize, usize), Error> {
+    let mut text = String::new();
+    loop {
+        match chars.next() {
+            Some('}') => break,
+            Some(c) => text.push(c),
+            None => return Err(Error(format!("unterminated repetition in {pattern:?}"))),
+        }
+    }
+    let parse_count = |part: &str| {
+        part.trim()
+            .parse::<usize>()
+            .map_err(|_| Error(format!("invalid repetition `{{{text}}}` in {pattern:?}")))
+    };
+    let (min, max) = match text.split_once(',') {
+        Some((lo, hi)) => (parse_count(lo)?, parse_count(hi)?),
+        None => {
+            let n = parse_count(&text)?;
+            (n, n)
+        }
+    };
+    if min > max {
+        return Err(Error(format!("inverted repetition `{{{text}}}` in {pattern:?}")));
+    }
+    Ok((min, max))
+}

@@ -1,0 +1,102 @@
+//! Deterministic test execution: a fixed number of cases, each drawn from
+//! a per-case seeded RNG. There is no shrinking; the failing input is
+//! printed as-is.
+
+use std::fmt::{self, Debug, Display};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::strategy::Strategy;
+
+/// Runner configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A failed property case.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Fails the current case with `message`.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError(message.into())
+    }
+
+    /// Alias of [`TestCaseError::fail`] kept for upstream compatibility.
+    pub fn reject(message: impl Into<String>) -> Self {
+        TestCaseError(message.into())
+    }
+}
+
+impl Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// The RNG handed to [`Strategy::generate`].
+pub struct TestRng {
+    pub(crate) inner: StdRng,
+}
+
+impl TestRng {
+    #[cfg(test)]
+    pub(crate) fn test_only(seed: u64) -> Self {
+        TestRng { inner: StdRng::seed_from_u64(seed) }
+    }
+
+    fn for_case(case: u32) -> Self {
+        // Fixed base seed: every run of the suite sees the same inputs.
+        TestRng { inner: StdRng::seed_from_u64(0x5153_4556_4131u64 ^ (u64::from(case) << 32)) }
+    }
+}
+
+/// Drives one property: generates `config.cases` inputs and panics on the
+/// first failing case, printing the input that triggered it.
+pub fn run<S, F>(config: ProptestConfig, strategy: &S, test: F)
+where
+    S: Strategy,
+    S::Value: Debug,
+    F: Fn(S::Value) -> Result<(), TestCaseError>,
+{
+    for case in 0..config.cases {
+        let mut rng = TestRng::for_case(case);
+        let value = strategy.generate(&mut rng);
+        let shown = truncate(format!("{value:?}"));
+        if let Err(err) = test(value) {
+            panic!("property failed at case {case}/{}: {err}\n    input: {shown}", config.cases);
+        }
+    }
+}
+
+fn truncate(mut text: String) -> String {
+    const LIMIT: usize = 600;
+    if text.len() > LIMIT {
+        let mut cut = LIMIT;
+        while !text.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        text.truncate(cut);
+        text.push('…');
+    }
+    text
+}

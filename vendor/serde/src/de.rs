@@ -1,0 +1,76 @@
+//! Deserialization half of the vendored serde data model.
+
+use std::fmt::Display;
+use std::marker::PhantomData;
+
+use crate::Value;
+
+/// Trait of errors a [`Deserializer`] may produce.
+pub trait Error: Sized + std::error::Error {
+    /// Builds an error from an arbitrary message.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// A deserializer: hands out the self-describing [`Value`] it wraps.
+///
+/// The `'de` lifetime exists for signature compatibility with upstream
+/// serde (`impl<'de> Deserialize<'de> for …`); this vendored model always
+/// produces owned data.
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: Error;
+
+    /// Consumes the deserializer, yielding its [`Value`].
+    fn take_value(self) -> Result<Value, Self::Error>;
+}
+
+/// A type that can be deserialized from any [`Deserializer`].
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes `Self`.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// Deserializer over an in-memory [`Value`], generic in the error type so
+/// nested field deserialization can surface the caller's error.
+pub struct ValueDeserializer<E> {
+    value: Value,
+    _marker: PhantomData<fn() -> E>,
+}
+
+impl<E> ValueDeserializer<E> {
+    /// Wraps a value.
+    pub fn new(value: Value) -> Self {
+        ValueDeserializer { value, _marker: PhantomData }
+    }
+}
+
+impl<'de, E: Error> Deserializer<'de> for ValueDeserializer<E> {
+    type Error = E;
+
+    fn take_value(self) -> Result<Value, E> {
+        Ok(self.value)
+    }
+}
+
+/// Deserializes a `T` from an in-memory [`Value`] with error type `E`.
+pub fn from_value<'de, T: Deserialize<'de>, E: Error>(value: Value) -> Result<T, E> {
+    T::deserialize(ValueDeserializer::<E>::new(value))
+}
+
+/// Deserializes a map key. JSON keys are always strings; integer-keyed
+/// maps therefore retry numeric interpretation when the direct string
+/// deserialization fails (mirroring `serde_json`'s key deserializer).
+pub fn key_from_string<'de, T: Deserialize<'de>, E: Error>(key: String) -> Result<T, E> {
+    let numeric = if key.starts_with('-') {
+        key.parse::<i64>().ok().map(Value::I64)
+    } else {
+        key.parse::<u64>().ok().map(Value::U64)
+    };
+    match from_value::<T, E>(Value::Str(key)) {
+        Ok(v) => Ok(v),
+        Err(e) => match numeric {
+            Some(n) => from_value::<T, E>(n).map_err(|_| e),
+            None => Err(e),
+        },
+    }
+}

@@ -1,0 +1,515 @@
+//! [`Serialize`]/[`Deserialize`] implementations for std types.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+use std::hash::{BuildHasher, Hash};
+
+use crate::de::{self, Deserialize, Deserializer};
+use crate::ser::{self, Serialize, Serializer};
+use crate::Value;
+
+// ---------------------------------------------------------------------------
+// Scalars
+// ---------------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_bool(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Bool(b) => Ok(b),
+            other => Err(de::Error::custom(format!("expected bool, got {}", other.kind()))),
+        }
+    }
+}
+
+macro_rules! unsigned_impl {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_u64(u64::from(*self))
+            }
+        }
+
+        impl<'de> Deserialize<'de> for $ty {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let value = deserializer.take_value()?;
+                let n = match value {
+                    Value::U64(n) => n,
+                    Value::I64(n) if n >= 0 => n as u64,
+                    other => {
+                        return Err(de::Error::custom(format!(
+                            "expected unsigned integer, got {}",
+                            other.kind()
+                        )))
+                    }
+                };
+                <$ty>::try_from(n).map_err(|_| {
+                    de::Error::custom(format!(
+                        "integer {n} out of range for {}",
+                        stringify!($ty)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+unsigned_impl!(u8, u16, u32, u64);
+
+impl Serialize for usize {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_u64(*self as u64)
+    }
+}
+
+impl<'de> Deserialize<'de> for usize {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let n = u64::deserialize(deserializer)?;
+        usize::try_from(n).map_err(|_| de::Error::custom(format!("{n} out of range for usize")))
+    }
+}
+
+macro_rules! signed_impl {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_i64(i64::from(*self))
+            }
+        }
+
+        impl<'de> Deserialize<'de> for $ty {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let value = deserializer.take_value()?;
+                let n: i64 = match value {
+                    Value::I64(n) => n,
+                    Value::U64(n) => i64::try_from(n).map_err(|_| {
+                        de::Error::custom(format!("integer {n} out of range for i64"))
+                    })?,
+                    other => {
+                        return Err(de::Error::custom(format!(
+                            "expected integer, got {}",
+                            other.kind()
+                        )))
+                    }
+                };
+                <$ty>::try_from(n).map_err(|_| {
+                    de::Error::custom(format!(
+                        "integer {n} out of range for {}",
+                        stringify!($ty)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+signed_impl!(i8, i16, i32, i64);
+
+impl Serialize for isize {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_i64(*self as i64)
+    }
+}
+
+impl<'de> Deserialize<'de> for isize {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let n = i64::deserialize(deserializer)?;
+        isize::try_from(n).map_err(|_| de::Error::custom(format!("{n} out of range for isize")))
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_f64(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::F64(f) => Ok(f),
+            Value::U64(n) => Ok(n as f64),
+            Value::I64(n) => Ok(n as f64),
+            Value::Null => Ok(f64::NAN),
+            other => Err(de::Error::custom(format!("expected float, got {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_f64(f64::from(*self))
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        f64::deserialize(deserializer).map(|f| f as f32)
+    }
+}
+
+impl Serialize for char {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self.encode_utf8(&mut [0u8; 4]))
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(deserializer)?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(de::Error::custom("expected a single-character string")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Str(s) => Ok(s),
+            other => Err(de::Error::custom(format!("expected string, got {}", other.kind()))),
+        }
+    }
+}
+
+/// Deserializing into a `&'static str` leaks the string. This exists so
+/// that derived structs holding static table text (e.g. the paper's table
+/// rows) can implement `Deserialize`; those structs are only ever
+/// serialized in practice, so the leak path is effectively dead code.
+impl<'de> Deserialize<'de> for &'static str {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        String::deserialize(deserializer).map(|s| &*s.leak())
+    }
+}
+
+impl Serialize for () {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_unit()
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Null => Ok(()),
+            other => Err(de::Error::custom(format!("expected null, got {}", other.kind()))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pointers and wrappers
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        T::deserialize(deserializer).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Some(v) => serializer.serialize_some(v),
+            None => serializer.serialize_none(),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            Value::Null => Ok(None),
+            other => de::from_value::<T, D::Error>(other).map(Some),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sequences
+// ---------------------------------------------------------------------------
+
+fn serialize_iter<'a, S, T, I>(serializer: S, iter: I) -> Result<S::Ok, S::Error>
+where
+    S: Serializer,
+    T: Serialize + 'a,
+    I: IntoIterator<Item = &'a T>,
+{
+    let mut seq = Vec::new();
+    for item in iter {
+        seq.push(ser::to_value(item).map_err(ser::Error::custom)?);
+    }
+    serializer.serialize_value(Value::Seq(seq))
+}
+
+fn expect_seq<E: de::Error>(value: Value) -> Result<Vec<Value>, E> {
+    match value {
+        Value::Seq(items) => Ok(items),
+        other => Err(de::Error::custom(format!("expected sequence, got {}", other.kind()))),
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serialize_iter(serializer, self.iter())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serialize_iter(serializer, self.iter())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serialize_iter(serializer, self.iter())
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        expect_seq::<D::Error>(deserializer.take_value()?)?
+            .into_iter()
+            .map(de::from_value::<T, D::Error>)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for VecDeque<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serialize_iter(serializer, self.iter())
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for VecDeque<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        Vec::<T>::deserialize(deserializer).map(VecDeque::from)
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for BTreeSet<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serialize_iter(serializer, self.iter())
+    }
+}
+
+impl<'de, T: Deserialize<'de> + Ord> Deserialize<'de> for BTreeSet<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        expect_seq::<D::Error>(deserializer.take_value()?)?
+            .into_iter()
+            .map(de::from_value::<T, D::Error>)
+            .collect()
+    }
+}
+
+impl<T: Serialize + Eq + Hash, H: BuildHasher> Serialize for HashSet<T, H> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serialize_iter(serializer, self.iter())
+    }
+}
+
+impl<'de, T: Deserialize<'de> + Eq + Hash, H: BuildHasher + Default> Deserialize<'de>
+    for HashSet<T, H>
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        expect_seq::<D::Error>(deserializer.take_value()?)?
+            .into_iter()
+            .map(de::from_value::<T, D::Error>)
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tuples
+// ---------------------------------------------------------------------------
+
+macro_rules! tuple_impl {
+    ($($len:expr => ($($t:ident . $idx:tt),+),)+) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                let seq = vec![
+                    $(ser::to_value(&self.$idx).map_err(ser::Error::custom)?,)+
+                ];
+                serializer.serialize_value(Value::Seq(seq))
+            }
+        }
+
+        impl<'de, $($t: Deserialize<'de>),+> Deserialize<'de> for ($($t,)+) {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let items = expect_seq::<D::Error>(deserializer.take_value()?)?;
+                if items.len() != $len {
+                    return Err(de::Error::custom(format!(
+                        "expected a sequence of length {}, got {}",
+                        $len,
+                        items.len()
+                    )));
+                }
+                let mut iter = items.into_iter();
+                Ok((
+                    $(de::from_value::<$t, D::Error>(iter.next().expect("length checked"))?,)+
+                ))
+            }
+        }
+    )+};
+}
+
+tuple_impl! {
+    1 => (T0.0),
+    2 => (T0.0, T1.1),
+    3 => (T0.0, T1.1, T2.2),
+    4 => (T0.0, T1.1, T2.2, T3.3),
+    5 => (T0.0, T1.1, T2.2, T3.3, T4.4),
+    6 => (T0.0, T1.1, T2.2, T3.3, T4.4, T5.5),
+    7 => (T0.0, T1.1, T2.2, T3.3, T4.4, T5.5, T6.6),
+    8 => (T0.0, T1.1, T2.2, T3.3, T4.4, T5.5, T6.6, T7.7),
+}
+
+// ---------------------------------------------------------------------------
+// Maps
+// ---------------------------------------------------------------------------
+
+fn serialize_map_iter<'a, S, K, V, I>(serializer: S, iter: I) -> Result<S::Ok, S::Error>
+where
+    S: Serializer,
+    K: Serialize + 'a,
+    V: Serialize + 'a,
+    I: IntoIterator<Item = (&'a K, &'a V)>,
+{
+    let mut map = Vec::new();
+    for (k, v) in iter {
+        let key = ser::to_value(k).and_then(ser::key_to_string).map_err(ser::Error::custom)?;
+        map.push((key, ser::to_value(v).map_err(ser::Error::custom)?));
+    }
+    serializer.serialize_value(Value::Map(map))
+}
+
+fn expect_map<E: de::Error>(value: Value) -> Result<Vec<(String, Value)>, E> {
+    match value {
+        Value::Map(entries) => Ok(entries),
+        other => Err(de::Error::custom(format!("expected map, got {}", other.kind()))),
+    }
+}
+
+impl<K: Serialize + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serialize_map_iter(serializer, self.iter())
+    }
+}
+
+impl<'de, K: Deserialize<'de> + Ord, V: Deserialize<'de>> Deserialize<'de> for BTreeMap<K, V> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        expect_map::<D::Error>(deserializer.take_value()?)?
+            .into_iter()
+            .map(|(k, v)| {
+                Ok((de::key_from_string::<K, D::Error>(k)?, de::from_value::<V, D::Error>(v)?))
+            })
+            .collect()
+    }
+}
+
+impl<K: Serialize + Eq + Hash, V: Serialize, H: BuildHasher> Serialize for HashMap<K, V, H> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serialize_map_iter(serializer, self.iter())
+    }
+}
+
+impl<'de, K, V, H> Deserialize<'de> for HashMap<K, V, H>
+where
+    K: Deserialize<'de> + Eq + Hash,
+    V: Deserialize<'de>,
+    H: BuildHasher + Default,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        expect_map::<D::Error>(deserializer.take_value()?)?
+            .into_iter()
+            .map(|(k, v)| {
+                Ok((de::key_from_string::<K, D::Error>(k)?, de::from_value::<V, D::Error>(v)?))
+            })
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Ranges (serialized as `{"start": .., "end": ..}`, matching upstream)
+// ---------------------------------------------------------------------------
+
+impl<Idx: Serialize> Serialize for std::ops::Range<Idx> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let start = ser::to_value(&self.start).map_err(ser::Error::custom)?;
+        let end = ser::to_value(&self.end).map_err(ser::Error::custom)?;
+        serializer
+            .serialize_value(Value::Map(vec![("start".to_owned(), start), ("end".to_owned(), end)]))
+    }
+}
+
+impl<'de, Idx: Deserialize<'de>> Deserialize<'de> for std::ops::Range<Idx> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let (start, end) = range_bounds::<Idx, D>(deserializer)?;
+        Ok(start..end)
+    }
+}
+
+impl<Idx: Serialize> Serialize for std::ops::RangeInclusive<Idx> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let start = ser::to_value(self.start()).map_err(ser::Error::custom)?;
+        let end = ser::to_value(self.end()).map_err(ser::Error::custom)?;
+        serializer
+            .serialize_value(Value::Map(vec![("start".to_owned(), start), ("end".to_owned(), end)]))
+    }
+}
+
+impl<'de, Idx: Deserialize<'de>> Deserialize<'de> for std::ops::RangeInclusive<Idx> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let (start, end) = range_bounds::<Idx, D>(deserializer)?;
+        Ok(start..=end)
+    }
+}
+
+fn range_bounds<'de, Idx: Deserialize<'de>, D: Deserializer<'de>>(
+    deserializer: D,
+) -> Result<(Idx, Idx), D::Error> {
+    let mut start = None;
+    let mut end = None;
+    for (key, value) in expect_map::<D::Error>(deserializer.take_value()?)? {
+        match key.as_str() {
+            "start" => start = Some(de::from_value::<Idx, D::Error>(value)?),
+            "end" => end = Some(de::from_value::<Idx, D::Error>(value)?),
+            _ => {}
+        }
+    }
+    match (start, end) {
+        (Some(start), Some(end)) => Ok((start, end)),
+        _ => Err(de::Error::custom("range needs both `start` and `end`")),
+    }
+}

@@ -1,0 +1,24 @@
+//! A small, self-contained reimplementation of the subset of the `serde`
+//! API surface this workspace uses.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors minimal substitutes for its external dependencies.
+//! This crate keeps the familiar `serde` names — [`Serialize`],
+//! [`Deserialize`], [`Serializer`], [`Deserializer`], `ser::Error`,
+//! `de::Error` and the two derive macros — but routes everything through a
+//! single JSON-shaped [`Value`] data model instead of serde's visitor
+//! machinery. That is sufficient for the workspace's needs (derived
+//! structs/enums plus a handful of hand-written string-based impls) while
+//! staying a few hundred lines of dependency-free code.
+
+pub mod de;
+mod impls;
+pub mod ser;
+mod value;
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+pub use value::Value;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,122 @@
+//! Serialization half of the vendored serde data model.
+
+use std::fmt::{self, Display};
+
+use crate::Value;
+
+/// Trait of errors a [`Serializer`] may produce.
+pub trait Error: Sized + std::error::Error {
+    /// Builds an error from an arbitrary message.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// A serializer: consumes a [`Value`] and produces some output.
+///
+/// Unlike upstream serde there is exactly one required method; the
+/// convenience `serialize_*` methods all funnel into
+/// [`Serializer::serialize_value`].
+pub trait Serializer: Sized {
+    /// Output type on success.
+    type Ok;
+    /// Error type.
+    type Error: Error;
+
+    /// Consumes a fully-built [`Value`].
+    fn serialize_value(self, value: Value) -> Result<Self::Ok, Self::Error>;
+
+    /// Serializes a string slice.
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::Str(v.to_owned()))
+    }
+
+    /// Serializes a boolean.
+    fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::Bool(v))
+    }
+
+    /// Serializes an unsigned integer.
+    fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::U64(v))
+    }
+
+    /// Serializes a signed integer.
+    fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error> {
+        if v >= 0 {
+            self.serialize_value(Value::U64(v as u64))
+        } else {
+            self.serialize_value(Value::I64(v))
+        }
+    }
+
+    /// Serializes a float.
+    fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::F64(v))
+    }
+
+    /// Serializes a unit value (JSON `null`).
+    fn serialize_unit(self) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::Null)
+    }
+
+    /// Serializes `None` (JSON `null`).
+    fn serialize_none(self) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::Null)
+    }
+
+    /// Serializes `Some(value)` transparently.
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<Self::Ok, Self::Error> {
+        value.serialize(self)
+    }
+}
+
+/// A type that can be serialized through any [`Serializer`].
+pub trait Serialize {
+    /// Serializes `self`.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// Error of the in-memory [`ValueSerializer`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValueError(String);
+
+impl Display for ValueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ValueError {}
+
+impl Error for ValueError {
+    fn custom<T: Display>(msg: T) -> Self {
+        ValueError(msg.to_string())
+    }
+}
+
+/// Serializer that materializes the [`Value`] tree itself.
+pub struct ValueSerializer;
+
+impl Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = ValueError;
+
+    fn serialize_value(self, value: Value) -> Result<Value, ValueError> {
+        Ok(value)
+    }
+}
+
+/// Serializes any [`Serialize`] type into the in-memory [`Value`] model.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, ValueError> {
+    value.serialize(ValueSerializer)
+}
+
+/// Renders a map key, accepting strings and numbers (numbers are
+/// stringified, mirroring `serde_json`).
+pub fn key_to_string(key: Value) -> Result<String, ValueError> {
+    match key {
+        Value::Str(s) => Ok(s),
+        Value::U64(n) => Ok(n.to_string()),
+        Value::I64(n) => Ok(n.to_string()),
+        other => Err(ValueError::custom(format!("map key must be a string, got {}", other.kind()))),
+    }
+}

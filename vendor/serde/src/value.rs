@@ -1,0 +1,43 @@
+//! The JSON-shaped data model every serializer/deserializer in this
+//! vendored serde speaks.
+
+/// A self-describing value: the intermediate representation produced by
+/// [`crate::Serialize`] impls and consumed by [`crate::Deserialize`] impls.
+///
+/// Maps preserve insertion order so that derived struct serialization
+/// emits fields in declaration order, matching upstream `serde_json`
+/// output for derived types.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A non-negative integer.
+    U64(u64),
+    /// A negative integer.
+    I64(i64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Value>),
+    /// An ordered map with string keys.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// A short name of the variant, used in error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::U64(_) | Value::I64(_) => "integer",
+            Value::F64(_) => "float",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+}

@@ -1,0 +1,299 @@
+//! Derive macros for the vendored serde subset.
+//!
+//! Hand-rolled over `proc_macro::TokenStream` (no `syn`/`quote`, which are
+//! unavailable offline). Supports the shapes this workspace actually
+//! derives: non-generic structs (named, tuple/newtype, unit) and enums
+//! with unit, newtype, tuple and struct variants — serialized in serde's
+//! default externally-tagged representation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+mod parse;
+
+use parse::{Fields, Input, Variant};
+
+/// Derives the `serde::Serialize` impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Derives the `serde::Deserialize` impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Input) -> String) -> TokenStream {
+    match parse::parse_input(input) {
+        Ok(parsed) => gen(&parsed).parse().expect("serde_derive generated invalid Rust"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().expect("literal"),
+    }
+}
+
+/// Emits the code that serializes the fields of a braced field list into a
+/// `Vec<(String, Value)>` bound to `map`, reading each field through the
+/// expression produced by `access` (e.g. `&self.name` or a binding).
+fn push_named_fields(out: &mut String, fields: &[String], access: impl Fn(&str) -> String) {
+    out.push_str("let mut map: Vec<(String, ::serde::Value)> = Vec::new();");
+    for field in fields {
+        out.push_str(&format!(
+            "map.push(({field:?}.to_owned(), \
+             ::serde::ser::to_value({access}).map_err(<S::Error as ::serde::ser::Error>::custom)?));",
+            access = access(field),
+        ));
+    }
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let mut body = String::new();
+    match &input.data {
+        parse::Data::Struct(Fields::Unit) => {
+            body.push_str("serializer.serialize_value(::serde::Value::Null)");
+        }
+        parse::Data::Struct(Fields::Tuple(1)) => {
+            body.push_str("::serde::Serialize::serialize(&self.0, serializer)");
+        }
+        parse::Data::Struct(Fields::Tuple(n)) => {
+            body.push_str("let mut seq: Vec<::serde::Value> = Vec::new();");
+            for i in 0..*n {
+                body.push_str(&format!(
+                    "seq.push(::serde::ser::to_value(&self.{i})\
+                     .map_err(<S::Error as ::serde::ser::Error>::custom)?);"
+                ));
+            }
+            body.push_str("serializer.serialize_value(::serde::Value::Seq(seq))");
+        }
+        parse::Data::Struct(Fields::Named(fields)) => {
+            push_named_fields(&mut body, fields, |f| format!("&self.{f}"));
+            body.push_str("serializer.serialize_value(::serde::Value::Map(map))");
+        }
+        parse::Data::Enum(variants) => {
+            body.push_str("match self {");
+            for variant in variants {
+                let vname = &variant.name;
+                match &variant.fields {
+                    Fields::Unit => body.push_str(&format!(
+                        "{name}::{vname} => serializer\
+                         .serialize_value(::serde::Value::Str({vname:?}.to_owned())),"
+                    )),
+                    Fields::Tuple(1) => body.push_str(&format!(
+                        "{name}::{vname}(f0) => {{\
+                         let inner = ::serde::ser::to_value(f0)\
+                         .map_err(<S::Error as ::serde::ser::Error>::custom)?;\
+                         serializer.serialize_value(::serde::Value::Map(vec![({vname:?}\
+                         .to_owned(), inner)]))}},"
+                    )),
+                    Fields::Tuple(n) => {
+                        let bindings: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        body.push_str(&format!(
+                            "{name}::{vname}({binds}) => {{\
+                             let mut seq: Vec<::serde::Value> = Vec::new();",
+                            binds = bindings.join(", "),
+                        ));
+                        for b in &bindings {
+                            body.push_str(&format!(
+                                "seq.push(::serde::ser::to_value({b})\
+                                 .map_err(<S::Error as ::serde::ser::Error>::custom)?);"
+                            ));
+                        }
+                        body.push_str(&format!(
+                            "serializer.serialize_value(::serde::Value::Map(vec![({vname:?}\
+                             .to_owned(), ::serde::Value::Seq(seq))]))}},"
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let binds = fields.join(", ");
+                        body.push_str(&format!("{name}::{vname} {{ {binds} }} => {{"));
+                        push_named_fields(&mut body, fields, |f| f.to_owned());
+                        body.push_str(&format!(
+                            "serializer.serialize_value(::serde::Value::Map(vec![({vname:?}\
+                             .to_owned(), ::serde::Value::Map(map))]))}},"
+                        ));
+                    }
+                }
+            }
+            body.push('}');
+        }
+    }
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn serialize<S: ::serde::Serializer>(&self, serializer: S)\
+         -> Result<S::Ok, S::Error> {{ {body} }}\n\
+         }}"
+    )
+}
+
+/// Emits code that consumes `entries: Vec<(String, Value)>` and builds the
+/// constructor expression `ctor { field: …, … }`, erroring on missing
+/// fields and ignoring unknown ones (serde's default).
+fn extract_named_fields(out: &mut String, type_name: &str, ctor: &str, fields: &[String]) {
+    for field in fields {
+        out.push_str(&format!("let mut opt_{field}: Option<::serde::Value> = None;"));
+    }
+    out.push_str("for (key, value) in entries { match key.as_str() {");
+    for field in fields {
+        out.push_str(&format!("{field:?} => opt_{field} = Some(value),"));
+    }
+    out.push_str("_ => {} } }");
+    out.push_str(&format!("Ok({ctor} {{"));
+    for field in fields {
+        out.push_str(&format!(
+            "{field}: match opt_{field} {{\
+             Some(value) => ::serde::de::from_value::<_, D::Error>(value)?,\
+             None => return Err(<D::Error as ::serde::de::Error>::custom(\
+             concat!(\"missing field `{field}` for \", {type_name:?}))),\
+             }},"
+        ));
+    }
+    out.push_str("})");
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let mut body = String::new();
+    match &input.data {
+        parse::Data::Struct(Fields::Unit) => {
+            body.push_str(&format!(
+                "match deserializer.take_value()? {{\
+                 ::serde::Value::Null => Ok({name}),\
+                 other => Err(<D::Error as ::serde::de::Error>::custom(\
+                 format!(\"expected null for unit struct {name}, got {{}}\", other.kind()))),\
+                 }}"
+            ));
+        }
+        parse::Data::Struct(Fields::Tuple(1)) => {
+            body.push_str(&format!(
+                "Ok({name}(::serde::de::from_value::<_, D::Error>(deserializer.take_value()?)?))"
+            ));
+        }
+        parse::Data::Struct(Fields::Tuple(n)) => {
+            body.push_str(&format!(
+                "let items = match deserializer.take_value()? {{\
+                 ::serde::Value::Seq(items) => items,\
+                 other => return Err(<D::Error as ::serde::de::Error>::custom(\
+                 format!(\"expected sequence for tuple struct {name}, got {{}}\", other.kind()))),\
+                 }};\
+                 if items.len() != {n} {{\
+                 return Err(<D::Error as ::serde::de::Error>::custom(\
+                 format!(\"expected {n} elements for {name}, got {{}}\", items.len())));\
+                 }}\
+                 let mut iter = items.into_iter();\
+                 Ok({name}("
+            ));
+            for _ in 0..*n {
+                body.push_str(
+                    "::serde::de::from_value::<_, D::Error>(iter.next().expect(\"len\"))?,",
+                );
+            }
+            body.push_str("))");
+        }
+        parse::Data::Struct(Fields::Named(fields)) => {
+            body.push_str(&format!(
+                "let entries = match deserializer.take_value()? {{\
+                 ::serde::Value::Map(entries) => entries,\
+                 other => return Err(<D::Error as ::serde::de::Error>::custom(\
+                 format!(\"expected map for struct {name}, got {{}}\", other.kind()))),\
+                 }};"
+            ));
+            extract_named_fields(&mut body, name, name, fields);
+        }
+        parse::Data::Enum(variants) => {
+            body.push_str("match deserializer.take_value()? {");
+            body.push_str("::serde::Value::Str(tag) => match tag.as_str() {");
+            for Variant { name: vname, fields } in variants {
+                if matches!(fields, Fields::Unit) {
+                    body.push_str(&format!("{vname:?} => Ok({name}::{vname}),"));
+                }
+            }
+            body.push_str(&format!(
+                "other => Err(<D::Error as ::serde::de::Error>::custom(\
+                 format!(\"unknown unit variant `{{other}}` for enum {name}\"))),\
+                 }},"
+            ));
+            body.push_str(
+                "::serde::Value::Map(mut tagged) if tagged.len() == 1 => {\
+                 let (tag, content) = tagged.remove(0);\
+                 match tag.as_str() {",
+            );
+            for Variant { name: vname, fields } in variants {
+                match fields {
+                    Fields::Unit => body.push_str(&format!(
+                        "{vname:?} => match content {{\
+                         ::serde::Value::Null => Ok({name}::{vname}),\
+                         _ => Err(<D::Error as ::serde::de::Error>::custom(\
+                         \"expected null content for unit variant\")),\
+                         }},"
+                    )),
+                    Fields::Tuple(1) => body.push_str(&format!(
+                        "{vname:?} => Ok({name}::{vname}(\
+                         ::serde::de::from_value::<_, D::Error>(content)?)),"
+                    )),
+                    Fields::Tuple(n) => {
+                        body.push_str(&format!(
+                            "{vname:?} => {{\
+                             let items = match content {{\
+                             ::serde::Value::Seq(items) => items,\
+                             other => return Err(<D::Error as ::serde::de::Error>::custom(\
+                             format!(\"expected sequence for variant {vname}, got {{}}\",\
+                             other.kind()))),\
+                             }};\
+                             if items.len() != {n} {{\
+                             return Err(<D::Error as ::serde::de::Error>::custom(\
+                             format!(\"expected {n} elements for {name}::{vname}, got {{}}\",\
+                             items.len())));\
+                             }}\
+                             let mut iter = items.into_iter();\
+                             Ok({name}::{vname}("
+                        ));
+                        for _ in 0..*n {
+                            body.push_str(
+                                "::serde::de::from_value::<_, D::Error>\
+                                 (iter.next().expect(\"len\"))?,",
+                            );
+                        }
+                        body.push_str("))},");
+                    }
+                    Fields::Named(fields) => {
+                        body.push_str(&format!(
+                            "{vname:?} => {{\
+                             let entries = match content {{\
+                             ::serde::Value::Map(entries) => entries,\
+                             other => return Err(<D::Error as ::serde::de::Error>::custom(\
+                             format!(\"expected map for variant {vname}, got {{}}\",\
+                             other.kind()))),\
+                             }};"
+                        ));
+                        extract_named_fields(&mut body, name, &format!("{name}::{vname}"), fields);
+                        body.push_str("},");
+                    }
+                }
+            }
+            body.push_str(&format!(
+                "other => Err(<D::Error as ::serde::de::Error>::custom(\
+                 format!(\"unknown variant `{{other}}` for enum {name}\"))),\
+                 }} }},"
+            ));
+            body.push_str(&format!(
+                "other => Err(<D::Error as ::serde::de::Error>::custom(\
+                 format!(\"expected string or map for enum {name}, got {{}}\", other.kind()))),\
+                 }}"
+            ));
+        }
+    }
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+         fn deserialize<D: ::serde::Deserializer<'de>>(deserializer: D)\
+         -> Result<Self, D::Error> {{ {body} }}\n\
+         }}"
+    )
+}
+
+/// Shared by the parser: true if the token tree is a group with the given
+/// delimiter.
+pub(crate) fn is_group(tree: &TokenTree, delimiter: Delimiter) -> bool {
+    matches!(tree, TokenTree::Group(g) if g.delimiter() == delimiter)
+}

@@ -1,0 +1,182 @@
+//! Minimal token-level parser for `derive` input: enough to recover the
+//! name, data kind (struct/enum) and field/variant shapes of non-generic
+//! items. Attributes (including doc comments) and visibilities are
+//! skipped; types are never interpreted — generated code relies on
+//! inference.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+use crate::is_group;
+
+pub(crate) struct Input {
+    pub name: String,
+    pub data: Data,
+}
+
+pub(crate) enum Data {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+pub(crate) struct Variant {
+    pub name: String,
+    pub fields: Fields,
+}
+
+pub(crate) enum Fields {
+    Unit,
+    /// Tuple fields, by count (1 = newtype).
+    Tuple(usize),
+    /// Named fields, in declaration order.
+    Named(Vec<String>),
+}
+
+type Cursor = std::iter::Peekable<std::vec::IntoIter<TokenTree>>;
+
+fn cursor(stream: TokenStream) -> Cursor {
+    stream.into_iter().collect::<Vec<_>>().into_iter().peekable()
+}
+
+/// Skips `#[…]` attributes (including doc comments) and `pub`/`pub(…)`
+/// visibility qualifiers.
+fn skip_attrs_and_vis(tokens: &mut Cursor) {
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                if tokens.peek().is_some_and(|t| is_group(t, Delimiter::Bracket)) {
+                    tokens.next();
+                }
+            }
+            Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                tokens.next();
+                if tokens.peek().is_some_and(|t| is_group(t, Delimiter::Parenthesis)) {
+                    tokens.next();
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn expect_ident(tokens: &mut Cursor, context: &str) -> Result<String, String> {
+    match tokens.next() {
+        Some(TokenTree::Ident(i)) => Ok(i.to_string()),
+        other => Err(format!("serde_derive: expected identifier ({context}), got {other:?}")),
+    }
+}
+
+/// Consumes tokens until a top-level `,`, tracking `<…>` nesting so commas
+/// inside generic arguments don't terminate the field type.
+fn skip_type(tokens: &mut Cursor) {
+    let mut angle_depth = 0i32;
+    while let Some(tree) = tokens.peek() {
+        match tree {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => return,
+            _ => {}
+        }
+        tokens.next();
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut tokens = cursor(stream);
+    let mut fields = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut tokens);
+        if tokens.peek().is_none() {
+            return Ok(fields);
+        }
+        fields.push(expect_ident(&mut tokens, "field name")?);
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("serde_derive: expected `:` after field, got {other:?}")),
+        }
+        skip_type(&mut tokens);
+        tokens.next(); // the `,`, if any
+    }
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut tokens = cursor(stream);
+    let mut count = 0;
+    loop {
+        skip_attrs_and_vis(&mut tokens);
+        if tokens.peek().is_none() {
+            return count;
+        }
+        count += 1;
+        skip_type(&mut tokens);
+        tokens.next(); // the `,`, if any
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut tokens = cursor(stream);
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut tokens);
+        if tokens.peek().is_none() {
+            return Ok(variants);
+        }
+        let name = expect_ident(&mut tokens, "variant name")?;
+        let fields = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let named = parse_named_fields(g.stream())?;
+                tokens.next();
+                Fields::Named(named)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let count = count_tuple_fields(g.stream());
+                tokens.next();
+                Fields::Tuple(count)
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an optional `= discriminant` and the trailing comma.
+        for tree in tokens.by_ref() {
+            if matches!(&tree, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+        variants.push(Variant { name, fields });
+    }
+}
+
+pub(crate) fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let mut tokens = cursor(input);
+    skip_attrs_and_vis(&mut tokens);
+    let kind = expect_ident(&mut tokens, "struct/enum keyword")?;
+    let name = expect_ident(&mut tokens, "type name")?;
+    if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde_derive: generic type `{name}` is not supported by the vendored derive"
+        ));
+    }
+    let data = match kind.as_str() {
+        "struct" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Struct(Fields::Named(parse_named_fields(g.stream())?))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Data::Struct(Fields::Tuple(count_tuple_fields(g.stream())))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Data::Struct(Fields::Unit),
+            other => {
+                return Err(format!("serde_derive: unexpected struct body for {name}: {other:?}"))
+            }
+        },
+        "enum" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Enum(parse_variants(g.stream())?)
+            }
+            other => {
+                return Err(format!("serde_derive: unexpected enum body for {name}: {other:?}"))
+            }
+        },
+        other => return Err(format!("serde_derive: cannot derive for `{other}` items")),
+    };
+    Ok(Input { name, data })
+}

@@ -1,0 +1,141 @@
+//! JSON serialization for the vendored serde subset: `to_string`,
+//! `to_string_pretty` and `from_str` with upstream-compatible text output
+//! (declaration-order fields, `1.0`-style floats, UTF-8 passthrough).
+
+mod read;
+mod write;
+
+use std::fmt::{self, Display};
+
+use serde::{de, ser, Deserialize, Serialize, Value};
+
+pub use serde::Value as JsonValue;
+
+/// Error raised by JSON serialization or deserialization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl ser::Error for Error {
+    fn custom<T: Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl de::Error for Error {
+    fn custom<T: Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+/// Result alias matching upstream `serde_json`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serializes a value to a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let value = ser::to_value(value).map_err(|e| Error(e.to_string()))?;
+    let mut out = String::new();
+    write::compact(&value, &mut out);
+    Ok(out)
+}
+
+/// Serializes a value to a pretty-printed JSON string (two-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let value = ser::to_value(value).map_err(|e| Error(e.to_string()))?;
+    let mut out = String::new();
+    write::pretty(&value, 0, &mut out);
+    Ok(out)
+}
+
+/// Converts a value into the in-memory [`Value`] model.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value> {
+    ser::to_value(value).map_err(|e| Error(e.to_string()))
+}
+
+/// Deserializes a value from a JSON string.
+pub fn from_str<T>(s: &str) -> Result<T>
+where
+    T: for<'de> Deserialize<'de>,
+{
+    let value = read::parse(s)?;
+    de::from_value(value)
+}
+
+/// Deserializes a value from the in-memory [`Value`] model.
+pub fn from_value<T>(value: Value) -> Result<T>
+where
+    T: for<'de> Deserialize<'de>,
+{
+    de::from_value(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trips() {
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(to_string(&42u32).unwrap(), "42");
+        assert_eq!(to_string(&-7i64).unwrap(), "-7");
+        assert_eq!(to_string(&1.0f64).unwrap(), "1.0");
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+        assert_eq!(to_string("hi\nthere").unwrap(), "\"hi\\nthere\"");
+        assert_eq!(from_str::<u64>("42").unwrap(), 42);
+        assert_eq!(from_str::<String>("\"a\\u00e9b\"").unwrap(), "aéb");
+        assert_eq!(from_str::<f64>("2.5e3").unwrap(), 2500.0);
+        assert_eq!(from_str::<Option<u8>>("null").unwrap(), None);
+    }
+
+    #[test]
+    fn collections_round_trip() {
+        let v = vec![1u8, 2, 3];
+        let json = to_string(&v).unwrap();
+        assert_eq!(json, "[1,2,3]");
+        assert_eq!(from_str::<Vec<u8>>(&json).unwrap(), v);
+
+        let mut m = std::collections::BTreeMap::new();
+        m.insert("a".to_owned(), 1u8);
+        m.insert("b".to_owned(), 2u8);
+        let json = to_string(&m).unwrap();
+        assert_eq!(json, "{\"a\":1,\"b\":2}");
+        assert_eq!(from_str::<std::collections::BTreeMap<String, u8>>(&json).unwrap(), m);
+    }
+
+    #[test]
+    fn pretty_output_indents() {
+        let v = vec![1u8, 2];
+        assert_eq!(to_string_pretty(&v).unwrap(), "[\n  1,\n  2\n]");
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(from_str::<u64>("42 junk").is_err());
+        assert!(from_str::<u64>("").is_err());
+    }
+
+    #[test]
+    fn nonfinite_floats_serialize_as_null() {
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+        assert_eq!(to_string(&f64::INFINITY).unwrap(), "null");
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let ugly = "quote:\" backslash:\\ tab:\t nul:\u{0} unicode:é✓";
+        let json = to_string(&ugly).unwrap();
+        assert_eq!(from_str::<String>(&json).unwrap(), ugly);
+    }
+
+    #[test]
+    fn surrogate_pair_escapes_parse() {
+        assert_eq!(from_str::<String>("\"\\ud83d\\ude00\"").unwrap(), "😀");
+    }
+}
