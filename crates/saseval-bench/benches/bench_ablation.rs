@@ -19,7 +19,7 @@ fn bench_ablation_controls(c: &mut Criterion) {
     group.sample_size(10);
     for case in grid.iter().filter(|case| case.attack_id == "AD20") {
         group.bench_with_input(BenchmarkId::new("AD20", &case.label), case, |b, case| {
-            b.iter(|| black_box(execute(case)))
+            b.iter(|| black_box(execute(case)));
         });
     }
     group.finish();
@@ -37,7 +37,7 @@ fn bench_ablation_floodrate(c: &mut Criterion) {
             seed: 42,
         };
         group.bench_with_input(BenchmarkId::from_parameter(per_tick), &case, |b, case| {
-            b.iter(|| black_box(execute(case)))
+            b.iter(|| black_box(execute(case)));
         });
     }
     group.finish();
@@ -53,7 +53,7 @@ fn bench_ablation_asil_effort(c: &mut Criterion) {
     for min_priority in [0u8, 2, 3, 4] {
         let config = DerivationConfig::new().min_priority(min_priority);
         group.bench_with_input(BenchmarkId::from_parameter(min_priority), &config, |b, config| {
-            b.iter(|| black_box(derive_candidates(&concerns, &lib, config)))
+            b.iter(|| black_box(derive_candidates(&concerns, &lib, config)));
         });
     }
     group.finish();

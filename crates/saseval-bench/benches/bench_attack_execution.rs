@@ -15,7 +15,7 @@ fn bench_nominal_worlds(c: &mut Criterion) {
     let mut group = c.benchmark_group("nominal");
     group.sample_size(20);
     group.bench_function("construction_approach", |b| {
-        b.iter(|| black_box(ConstructionWorld::new(ConstructionConfig::default()).run_nominal()))
+        b.iter(|| black_box(ConstructionWorld::new(ConstructionConfig::default()).run_nominal()));
     });
     group.bench_function("keyless_open_close", |b| {
         b.iter(|| {
@@ -23,7 +23,7 @@ fn bench_nominal_worlds(c: &mut Criterion) {
             world.schedule_owner_open(SimTime::from_secs(1));
             world.schedule_owner_close(SimTime::from_secs(5));
             black_box(world.run_nominal())
-        })
+        });
     });
     group.finish();
 }
@@ -34,7 +34,7 @@ fn bench_table_vi(c: &mut Criterion) {
     group.sample_size(10);
     for case in &cases {
         group.bench_with_input(BenchmarkId::from_parameter(&case.label), case, |b, case| {
-            b.iter(|| black_box(execute(case)))
+            b.iter(|| black_box(execute(case)));
         });
     }
     group.finish();
@@ -46,7 +46,7 @@ fn bench_table_vii(c: &mut Criterion) {
     group.sample_size(10);
     for case in &cases {
         group.bench_with_input(BenchmarkId::from_parameter(&case.label), case, |b, case| {
-            b.iter(|| black_box(execute(case)))
+            b.iter(|| black_box(execute(case)));
         });
     }
     group.finish();

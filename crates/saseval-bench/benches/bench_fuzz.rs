@@ -29,7 +29,7 @@ fn bench_mutation(c: &mut Criterion) {
     for (name, model) in [("v2x", v2x_warning_model()), ("keyless", keyless_command_model())] {
         let mut mutator = Mutator::new(model, 1);
         group.bench_function(BenchmarkId::new("generate", name), |b| {
-            b.iter(|| black_box(mutator.generate()))
+            b.iter(|| black_box(mutator.generate()));
         });
     }
     group.finish();
@@ -52,8 +52,8 @@ fn bench_fuzz_throughput(c: &mut Criterion) {
                         } else {
                             TargetResponse::Rejected
                         }
-                    }))
-                })
+                    }));
+                });
             },
         );
     }
@@ -71,7 +71,7 @@ fn bench_coverage_accounting(c: &mut Criterion) {
                 map.record(i % 4, input);
             }
             black_box(map.field_coverage_percent())
-        })
+        });
     });
 }
 

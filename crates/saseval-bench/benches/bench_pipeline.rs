@@ -14,7 +14,7 @@ use saseval_threat::builtin::{automotive_library, SC_CONSTRUCTION};
 
 fn bench_threat_library(c: &mut Criterion) {
     c.bench_function("threat_library/build_automotive", |b| {
-        b.iter(|| black_box(automotive_library()))
+        b.iter(|| black_box(automotive_library()));
     });
     let lib = automotive_library();
     c.bench_function("threat_library/stats", |b| b.iter(|| black_box(lib.stats())));
@@ -33,14 +33,14 @@ fn bench_derivation(c: &mut Criterion) {
     let lib = automotive_library();
     let concerns = identify_safety_concerns(&uc1.hara);
     c.bench_function("derive/identify_concerns_uc1", |b| {
-        b.iter(|| black_box(identify_safety_concerns(&uc1.hara)))
+        b.iter(|| black_box(identify_safety_concerns(&uc1.hara)));
     });
     c.bench_function("derive/candidates_unfiltered", |b| {
-        b.iter(|| black_box(derive_candidates(&concerns, &lib, &DerivationConfig::new())))
+        b.iter(|| black_box(derive_candidates(&concerns, &lib, &DerivationConfig::new())));
     });
     let filtered = DerivationConfig::new().scenario(SC_CONSTRUCTION).active_only().min_priority(3);
     c.bench_function("derive/candidates_filtered_rq2", |b| {
-        b.iter(|| black_box(derive_candidates(&concerns, &lib, &filtered)))
+        b.iter(|| black_box(derive_candidates(&concerns, &lib, &filtered)));
     });
 }
 
@@ -49,10 +49,10 @@ fn bench_pipeline(c: &mut Criterion) {
     let uc1 = use_case_1();
     let uc2 = use_case_2();
     c.bench_function("pipeline/run_use_case_1", |b| {
-        b.iter(|| black_box(run_pipeline(&uc1, &lib).expect("pipeline")))
+        b.iter(|| black_box(run_pipeline(&uc1, &lib).expect("pipeline")));
     });
     c.bench_function("pipeline/run_use_case_2", |b| {
-        b.iter(|| black_box(run_pipeline(&uc2, &lib).expect("pipeline")))
+        b.iter(|| black_box(run_pipeline(&uc2, &lib).expect("pipeline")));
     });
 }
 
@@ -75,7 +75,7 @@ attack AD20 {
     c.bench_function("dsl/parse", |b| b.iter(|| black_box(parse_document(source).expect("parse"))));
     let document = parse_document(source).expect("parse");
     c.bench_function("dsl/compile", |b| {
-        b.iter(|| black_box(compile_document(&document).expect("compile")))
+        b.iter(|| black_box(compile_document(&document).expect("compile")));
     });
 }
 

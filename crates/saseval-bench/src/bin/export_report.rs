@@ -14,6 +14,7 @@ use attack_engine::campaign::run_campaign_with_obs;
 use attack_engine::ExecutionResult;
 use saseval_core::catalog::{use_case_1, use_case_2};
 use saseval_core::export::render_validation_report;
+use saseval_lint::{render_json, run_lint, LintConfig, LintContext};
 use saseval_obs::{MetricsSnapshot, Obs};
 use saseval_threat::builtin::automotive_library;
 use serde::Serialize;
@@ -42,6 +43,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         fs::write(&path, &report)?;
         println!("wrote {} ({} bytes)", path.display(), report.len());
     }
+
+    // Lint both catalogs and embed the findings alongside the reports, so
+    // a report bundle carries its own static-analysis verdict.
+    let lint_obs = Obs::noop();
+    let config = LintConfig::new();
+    let reports: Vec<_> = [use_case_1(), use_case_2()]
+        .iter()
+        .map(|catalog| run_lint(&LintContext::for_catalog(&library, catalog), &config, &lint_obs))
+        .collect();
+    let report_refs: Vec<_> = reports.iter().collect();
+    let lint_json = render_json(&report_refs);
+    let path = out_dir.join("lint_report.sarif.json");
+    fs::write(&path, &lint_json)?;
+    let findings: usize = reports.iter().map(|r| r.diagnostics.len()).sum();
+    println!("wrote {} ({findings} findings)", path.display());
 
     let (obs, recorder) = Obs::memory();
     let campaign = run_campaign_with_obs(&full_campaign(), &obs);

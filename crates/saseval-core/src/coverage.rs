@@ -37,8 +37,16 @@ impl DeductiveReport {
     }
 
     /// Number of attack descriptions addressing `goal` (0 if none).
-    pub fn attacks_for(&self, goal: &str) -> usize {
-        self.covered.get(goal).map_or(0, Vec::len)
+    ///
+    /// Accepts the typed [`SafetyGoalId`] or anything string-like, so
+    /// callers holding a typed ID need not round-trip through `&str`.
+    pub fn attacks_for(&self, goal: impl AsRef<str>) -> usize {
+        self.covered.get(goal.as_ref()).map_or(0, Vec::len)
+    }
+
+    /// The attack descriptions addressing `goal`, if it is covered.
+    pub fn attacks_addressing(&self, goal: impl AsRef<str>) -> Option<&[AttackDescriptionId]> {
+        self.covered.get(goal.as_ref()).map(Vec::as_slice)
     }
 }
 
@@ -84,12 +92,24 @@ pub enum ThreatCoverage {
 pub struct InductiveReport {
     /// Per-threat coverage status, in threat-ID order.
     pub threats: BTreeMap<ThreatScenarioId, ThreatCoverage>,
+    /// Threats that are attacked *and* carry a justification — the
+    /// justification predates the attacks and should be retired.
+    #[serde(default)]
+    pub stale_justifications: Vec<ThreatScenarioId>,
+    /// Justifications referencing threats the library does not contain.
+    #[serde(default)]
+    pub dangling_justifications: Vec<ThreatScenarioId>,
 }
 
 impl InductiveReport {
     /// Whether every threat is attacked or justified.
     pub fn is_complete(&self) -> bool {
         !self.threats.values().any(|c| matches!(c, ThreatCoverage::Uncovered))
+    }
+
+    /// Coverage status of one threat, by typed ID or anything string-like.
+    pub fn coverage_of(&self, threat: impl AsRef<str>) -> Option<&ThreatCoverage> {
+        self.threats.get(threat.as_ref())
     }
 
     /// The uncovered threats.
@@ -127,6 +147,11 @@ impl InductiveReport {
 /// Checks that every threat scenario of `library` belonging to one of
 /// `scenarios` (all threats if `scenarios` is empty) is covered by an
 /// attack description or a justification.
+///
+/// Beyond the per-threat classification, the report records two artifact
+/// hygiene findings the diagnostics tooling builds on: justifications for
+/// threats that are *also* attacked (stale) and justifications for
+/// threats the library does not contain (dangling).
 pub fn inductive_coverage(
     library: &ThreatLibrary,
     scenarios: &[ScenarioId],
@@ -135,6 +160,7 @@ pub fn inductive_coverage(
 ) -> InductiveReport {
     let scenario_filter: BTreeSet<&ScenarioId> = scenarios.iter().collect();
     let mut threats = BTreeMap::new();
+    let mut stale_justifications = Vec::new();
     for threat in library.threat_scenarios() {
         if !scenario_filter.is_empty() {
             match threat.scenario() {
@@ -147,16 +173,26 @@ pub fn inductive_coverage(
             .filter(|ad| ad.threat_scenario() == threat.id())
             .map(|ad| ad.id().clone())
             .collect();
+        let justified = justifications.iter().find(|j| j.threat_scenario() == threat.id());
         let coverage = if !attacking.is_empty() {
+            if justified.is_some() {
+                stale_justifications.push(threat.id().clone());
+            }
             ThreatCoverage::Attacked(attacking)
-        } else if let Some(j) = justifications.iter().find(|j| j.threat_scenario() == threat.id()) {
+        } else if let Some(j) = justified {
             ThreatCoverage::Justified(j.rationale().to_owned())
         } else {
             ThreatCoverage::Uncovered
         };
         threats.insert(threat.id().clone(), coverage);
     }
-    InductiveReport { threats }
+    let dangling_justifications: Vec<ThreatScenarioId> = justifications
+        .iter()
+        .map(Justification::threat_scenario)
+        .filter(|ts| library.threat_scenario(ts.as_str()).is_none())
+        .cloned()
+        .collect();
+    InductiveReport { threats, stale_justifications, dangling_justifications }
 }
 
 #[cfg(test)]
@@ -263,5 +299,49 @@ mod tests {
         let report = inductive_coverage(&lib, &[], &[], &[]);
         assert!(report.is_complete());
         assert_eq!(report.coverage_ratio(), 1.0);
+    }
+
+    #[test]
+    fn attacks_for_accepts_typed_and_borrowed_ids() {
+        let hara = tiny_hara();
+        let ads = [attack(
+            "AD1",
+            "SG01",
+            "TS-X",
+            AttackType::DenialOfService,
+            ThreatType::DenialOfService,
+        )];
+        let report = deductive_coverage(&hara, &ads);
+        let typed = SafetyGoalId::new("SG01").unwrap();
+        assert_eq!(report.attacks_for(&typed), 1);
+        assert_eq!(report.attacks_for("SG01"), 1);
+        assert_eq!(report.attacks_addressing(&typed).map(<[_]>::len), Some(1));
+        assert!(report.attacks_addressing("SG02").is_none());
+    }
+
+    #[test]
+    fn stale_justification_detected() {
+        let lib = automotive_library();
+        let scenarios = [ScenarioId::new(SC_KEYLESS).unwrap()];
+        let ads =
+            [attack("AD1", "SG01", "TS-BLE-REPLAY", AttackType::Replay, ThreatType::Repudiation)];
+        let justs = [Justification::new("TS-BLE-REPLAY", "covered elsewhere").unwrap()];
+        let report = inductive_coverage(&lib, &scenarios, &ads, &justs);
+        assert_eq!(report.stale_justifications, ["TS-BLE-REPLAY".parse().unwrap()]);
+        assert!(matches!(
+            report.coverage_of("TS-BLE-REPLAY"),
+            Some(ThreatCoverage::Attacked(ids)) if ids.len() == 1
+        ));
+        assert!(report.dangling_justifications.is_empty());
+    }
+
+    #[test]
+    fn dangling_justification_detected() {
+        let lib = automotive_library();
+        let justs = [Justification::new("TS-NO-SUCH-THREAT", "never existed").unwrap()];
+        let report = inductive_coverage(&lib, &[], &[], &justs);
+        assert_eq!(report.dangling_justifications, ["TS-NO-SUCH-THREAT".parse().unwrap()]);
+        assert!(report.stale_justifications.is_empty());
+        assert!(report.coverage_of("TS-NO-SUCH-THREAT").is_none());
     }
 }

@@ -56,5 +56,8 @@ pub mod pipeline;
 pub mod report;
 
 pub use concern::{identify_safety_concerns, SafetyConcern};
+pub use coverage::{
+    deductive_coverage, inductive_coverage, DeductiveReport, InductiveReport, ThreatCoverage,
+};
 pub use description::{AttackDescription, AttackDescriptionBuilder, Justification};
 pub use error::CoreError;

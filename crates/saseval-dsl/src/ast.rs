@@ -2,6 +2,8 @@
 
 use serde::{Deserialize, Serialize};
 
+pub use crate::token::Span;
+
 /// A whole DSL document: a sequence of attack declarations.
 #[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct Document {
@@ -9,8 +11,27 @@ pub struct Document {
     pub attacks: Vec<AttackDecl>,
 }
 
+/// Source positions recorded for an attack declaration.
+///
+/// Populated by the parser; declarations constructed programmatically
+/// carry default (unknown) spans. Spans are *not* part of a declaration's
+/// semantic identity: [`AttackDecl`]'s `PartialEq` ignores them, so a
+/// parsed document compares equal to a hand-built one with the same
+/// content.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AttackSpans {
+    /// Position of the attack ID after the `attack` keyword.
+    pub decl: Span,
+    /// Position of the `precondition` field name, if present.
+    pub precondition: Span,
+    /// Position of the `execute` field name, if present.
+    pub execute: Span,
+    /// Position of each `execute` argument name, in source order.
+    pub exec_args: Vec<Span>,
+}
+
 /// One `attack <ID> { … }` declaration.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Eq, Serialize, Deserialize)]
 pub struct AttackDecl {
     /// The attack description ID (e.g. `AD20`).
     pub id: String,
@@ -42,6 +63,31 @@ pub struct AttackDecl {
     pub privacy: bool,
     /// `execute:` binding, if given.
     pub execute: Option<ExecSpec>,
+    /// Source positions (default/unknown for programmatic declarations).
+    #[serde(default)]
+    pub spans: AttackSpans,
+}
+
+// Spans are presentation metadata, not content: two declarations with the
+// same fields are the same attack regardless of where they were written.
+impl PartialEq for AttackDecl {
+    fn eq(&self, other: &Self) -> bool {
+        self.id == other.id
+            && self.description == other.description
+            && self.goals == other.goals
+            && self.interface == other.interface
+            && self.threat == other.threat
+            && self.threat_type == other.threat_type
+            && self.attack_type == other.attack_type
+            && self.precondition == other.precondition
+            && self.measures == other.measures
+            && self.success == other.success
+            && self.fails == other.fails
+            && self.comments == other.comments
+            && self.attacker == other.attacker
+            && self.privacy == other.privacy
+            && self.execute == other.execute
+    }
 }
 
 /// An `execute: name(arg = value, …)` binding to an executable attack.
@@ -102,5 +148,47 @@ mod tests {
         assert_eq!(spec.word_arg("strategy"), Some("random"));
         assert_eq!(spec.int_arg("strategy"), None);
         assert_eq!(spec.arg("missing"), None);
+    }
+
+    #[test]
+    fn decl_json_without_spans_deserializes() {
+        // Documents serialized before spans existed must still load:
+        // the `spans` field is `#[serde(default)]`.
+        let json = r#"{"id":"AD01","description":"d","goals":[],"interface":null,
+            "threat":"TS-1","threat_type":"Spoofing","attack_type":"Spoofing",
+            "precondition":"p","measures":"","success":"s","fails":"f",
+            "comments":"","attacker":null,"privacy":false,"execute":null}"#;
+        let decl: AttackDecl = serde_json::from_str(json).unwrap();
+        assert_eq!(decl.id, "AD01");
+        assert_eq!(decl.spans, AttackSpans::default());
+    }
+
+    #[test]
+    fn equality_ignores_spans() {
+        let decl = AttackDecl {
+            id: "AD01".into(),
+            description: "d".into(),
+            goals: vec![],
+            interface: None,
+            threat: "TS-1".into(),
+            threat_type: "Spoofing".into(),
+            attack_type: "Spoofing".into(),
+            precondition: "p".into(),
+            measures: String::new(),
+            success: "s".into(),
+            fails: "f".into(),
+            comments: String::new(),
+            attacker: None,
+            privacy: false,
+            execute: None,
+            spans: AttackSpans::default(),
+        };
+        let mut positioned = decl.clone();
+        positioned.spans.decl = Span::new(3, 8);
+        positioned.spans.exec_args.push(Span::new(4, 1));
+        assert_eq!(decl, positioned);
+        let mut other = decl.clone();
+        other.id = "AD02".into();
+        assert_ne!(decl, other);
     }
 }

@@ -21,9 +21,9 @@
 //! arg        := IDENT "=" (INT | IDENT)
 //! ```
 
-use crate::ast::{AttackDecl, Document, ExecArg, ExecSpec};
+use crate::ast::{AttackDecl, AttackSpans, Document, ExecArg, ExecSpec};
 use crate::error::DslError;
-use crate::token::{lex, Token, TokenKind};
+use crate::token::{lex, Span, Token, TokenKind};
 
 struct Parser {
     tokens: Vec<Token>,
@@ -33,6 +33,10 @@ struct Parser {
 impl Parser {
     fn peek(&self) -> Option<&Token> {
         self.tokens.get(self.pos)
+    }
+
+    fn peek_span(&self) -> Span {
+        self.peek().map(Token::span).unwrap_or_default()
     }
 
     fn next(&mut self) -> Option<Token> {
@@ -93,11 +97,13 @@ impl Parser {
         }
     }
 
-    fn parse_exec(&mut self) -> Result<ExecSpec, DslError> {
+    fn parse_exec(&mut self) -> Result<(ExecSpec, Vec<Span>), DslError> {
         let name = self.expect_ident("executable attack name")?;
         let mut args = Vec::new();
+        let mut arg_spans = Vec::new();
         if self.eat_kind(&TokenKind::LParen) && !self.eat_kind(&TokenKind::RParen) {
             loop {
+                arg_spans.push(self.peek_span());
                 let arg_name = self.expect_ident("argument name")?;
                 self.expect_kind(&TokenKind::Eq)?;
                 let value = match self.next() {
@@ -122,10 +128,11 @@ impl Parser {
                 self.expect_kind(&TokenKind::Comma)?;
             }
         }
-        Ok(ExecSpec { name, args })
+        Ok((ExecSpec { name, args }, arg_spans))
     }
 
     fn parse_attack(&mut self) -> Result<AttackDecl, DslError> {
+        let decl_span = self.peek_span();
         let id = self.expect_ident("attack ID")?;
         self.expect_kind(&TokenKind::LBrace)?;
 
@@ -145,10 +152,12 @@ impl Parser {
             attacker: None,
             privacy: false,
             execute: None,
+            spans: AttackSpans { decl: decl_span, ..AttackSpans::default() },
         };
 
         loop {
             let tok = self.next().ok_or_else(|| self.eof_error("field or `}`"))?;
+            let field_span = tok.span();
             let field = match tok.kind {
                 TokenKind::RBrace => break,
                 TokenKind::Ident(name) => name,
@@ -180,13 +189,21 @@ impl Parser {
                     self.expect_kind(&TokenKind::Slash)?;
                     decl.attack_type = self.expect_string("types")?;
                 }
-                "precondition" => decl.precondition = self.expect_string("precondition")?,
+                "precondition" => {
+                    decl.spans.precondition = field_span;
+                    decl.precondition = self.expect_string("precondition")?;
+                }
                 "measures" => decl.measures = self.expect_string("measures")?,
                 "success" => decl.success = self.expect_string("success")?,
                 "fails" => decl.fails = self.expect_string("fails")?,
                 "comments" => decl.comments = self.expect_string("comments")?,
                 "attacker" => decl.attacker = Some(self.expect_string("attacker")?),
-                "execute" => decl.execute = Some(self.parse_exec()?),
+                "execute" => {
+                    decl.spans.execute = field_span;
+                    let (spec, arg_spans) = self.parse_exec()?;
+                    decl.execute = Some(spec);
+                    decl.spans.exec_args = arg_spans;
+                }
                 unknown => {
                     return Err(DslError::new(
                         tok.line,
@@ -293,6 +310,27 @@ attack A2 { description: "d" threat: TS-2 types: "Information disclosure" / "Lis
         let doc = parse_document(src).unwrap();
         assert_eq!(doc.attacks[0].execute.as_ref().unwrap().name, "v2x-jam");
         assert!(doc.attacks[0].execute.as_ref().unwrap().args.is_empty());
+    }
+
+    #[test]
+    fn spans_recorded_for_lintable_positions() {
+        let doc = parse_document(AD08).unwrap();
+        let spans = &doc.attacks[0].spans;
+        // `attack AD08 {` starts on line 2; the ID is the second token.
+        assert_eq!((spans.decl.line, spans.decl.column), (2, 8));
+        assert_eq!(spans.precondition.line, 8);
+        assert_eq!(spans.execute.line, 14);
+        assert_eq!(spans.exec_args.len(), 2);
+        assert!(spans.exec_args.iter().all(|s| s.line == spans.execute.line));
+        assert!(spans.exec_args[0].column < spans.exec_args[1].column);
+    }
+
+    #[test]
+    fn programmatic_decls_have_unknown_spans() {
+        let doc = parse_document("attack A { description: \"d\" }").unwrap();
+        assert!(!doc.attacks[0].spans.precondition.is_known());
+        assert!(!doc.attacks[0].spans.execute.is_known());
+        assert!(doc.attacks[0].spans.exec_args.is_empty());
     }
 
     #[test]

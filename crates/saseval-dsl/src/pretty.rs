@@ -14,6 +14,8 @@ fn escape(text: &str) -> String {
             '"' => out.push_str("\\\""),
             '\\' => out.push_str("\\\\"),
             '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
             other => out.push(other),
         }
     }
@@ -82,7 +84,7 @@ pub fn print_document(document: &Document) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ast::ExecSpec;
+    use crate::ast::{AttackSpans, ExecSpec};
     use crate::parser::parse_document;
 
     fn sample() -> Document {
@@ -109,6 +111,7 @@ mod tests {
                         ("budget".into(), ExecArg::Int(100)),
                     ],
                 }),
+                spans: AttackSpans::default(),
             }],
         }
     }
@@ -127,6 +130,28 @@ mod tests {
         doc.attacks[0].description = "line1\nline2 \\ \"q\"".into();
         let reparsed = parse_document(&print_document(&doc)).unwrap();
         assert_eq!(reparsed, doc);
+    }
+
+    #[test]
+    fn tab_and_cr_escaped_not_raw() {
+        let mut doc = sample();
+        doc.attacks[0].description = "col1\tcol2\r\nrow2".into();
+        let printed = print_document(&doc);
+        let description_line = printed.lines().nth(1).unwrap();
+        assert!(description_line.contains("col1\\tcol2\\r\\nrow2"), "{description_line}");
+        assert_eq!(parse_document(&printed).unwrap(), doc);
+    }
+
+    #[test]
+    fn pretty_is_a_fixed_point() {
+        // pretty → parse → pretty must be byte-identical, including for
+        // strings full of characters the printer has to escape.
+        let mut doc = sample();
+        doc.attacks[0].description = "a \"b\" \\ c\nd\te\rf".into();
+        doc.attacks[0].measures = "\\n is two characters, \n is one".into();
+        let printed = print_document(&doc);
+        let reparsed = parse_document(&printed).unwrap();
+        assert_eq!(print_document(&reparsed), printed);
     }
 
     #[test]

@@ -2,11 +2,45 @@
 //!
 //! Token kinds: identifiers (which may contain `-`, `.` and `_`, matching
 //! SaSeVAL artifact IDs like `TS-2.1.4`), double-quoted strings with
-//! `\"`/`\\` escapes, unsigned integers, and the punctuation
-//! `{ } : , ( ) = /`. Line comments start with `//`. Every token carries
-//! its 1-based line/column for diagnostics.
+//! `\"`/`\\`/`\n`/`\t`/`\r` escapes, unsigned integers, and the
+//! punctuation `{ } : , ( ) = /`. Line comments start with `//`. Every
+//! token carries its 1-based line/column as a [`Span`] for diagnostics.
+
+use serde::{Deserialize, Serialize};
 
 use crate::error::DslError;
+
+/// A 1-based source position (line and column) of a token or AST node.
+///
+/// The default span (`0:0`) means "unknown" — documents constructed
+/// programmatically rather than parsed carry unknown spans. Spans are
+/// carried through the AST so downstream tooling (notably `saseval-lint`)
+/// can point diagnostics at the offending source location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default, Serialize, Deserialize)]
+pub struct Span {
+    /// 1-based source line (0 when unknown).
+    pub line: u32,
+    /// 1-based source column (0 when unknown).
+    pub column: u32,
+}
+
+impl Span {
+    /// Creates a span at the given 1-based position.
+    pub fn new(line: u32, column: u32) -> Self {
+        Span { line, column }
+    }
+
+    /// Whether this span points at a real source position.
+    pub fn is_known(&self) -> bool {
+        self.line != 0
+    }
+}
+
+impl std::fmt::Display for Span {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.line, self.column)
+    }
+}
 
 /// A lexical token kind.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -63,6 +97,13 @@ pub struct Token {
     pub line: u32,
     /// 1-based source column.
     pub column: u32,
+}
+
+impl Token {
+    /// The token's source position as a [`Span`].
+    pub fn span(&self) -> Span {
+        Span::new(self.line, self.column)
+    }
 }
 
 fn is_ident_start(c: char) -> bool {
@@ -167,6 +208,8 @@ pub fn lex(source: &str) -> Result<Vec<Token>, DslError> {
                             Some('"') => value.push('"'),
                             Some('\\') => value.push('\\'),
                             Some('n') => value.push('\n'),
+                            Some('t') => value.push('\t'),
+                            Some('r') => value.push('\r'),
                             other => {
                                 return Err(DslError::new(
                                     line,
@@ -312,5 +355,19 @@ mod tests {
     #[test]
     fn unknown_escape_rejected() {
         assert!(lex(r#""\q""#).is_err());
+    }
+
+    #[test]
+    fn tab_and_cr_escapes() {
+        assert_eq!(kinds(r#""a\tb\rc""#), vec![TokenKind::Str("a\tb\rc".into())]);
+    }
+
+    #[test]
+    fn token_span_accessor() {
+        let tokens = lex("a\n  b").unwrap();
+        assert_eq!(tokens[1].span(), Span::new(2, 3));
+        assert!(tokens[1].span().is_known());
+        assert!(!Span::default().is_known());
+        assert_eq!(Span::new(2, 3).to_string(), "2:3");
     }
 }

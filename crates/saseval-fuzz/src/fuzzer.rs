@@ -89,7 +89,7 @@ impl Fuzzer {
 
     /// Attaches a metrics handle: [`Fuzzer::run`] then samples throughput
     /// (`fuzz.inputs_per_sec` gauge) and new coverage cells
-    /// (`fuzz.coverage_cells` counter) every [`OBS_BATCH`] inputs.
+    /// (`fuzz.coverage_cells` counter) every `OBS_BATCH` (256) inputs.
     pub fn with_obs(mut self, obs: Obs) -> Self {
         self.obs = obs;
         self

@@ -1,0 +1,72 @@
+//! Per-rule level configuration (`allow` / `warn` / `deny`).
+
+use std::collections::BTreeMap;
+
+use crate::diagnostics::Level;
+
+/// Overrides the default level of individual rules by code.
+///
+/// Unconfigured rules run at their
+/// [`Rule::default_level`](crate::registry::Rule::default_level).
+#[derive(Debug, Clone, Default)]
+pub struct LintConfig {
+    overrides: BTreeMap<String, Level>,
+}
+
+impl LintConfig {
+    /// A config with no overrides: every rule at its default level.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the level for one rule code.
+    pub fn set(&mut self, code: impl Into<String>, level: Level) {
+        self.overrides.insert(code.into(), level);
+    }
+
+    /// Builder-style [`Level::Allow`] override.
+    #[must_use]
+    pub fn allow(mut self, code: impl Into<String>) -> Self {
+        self.set(code, Level::Allow);
+        self
+    }
+
+    /// Builder-style [`Level::Warn`] override.
+    #[must_use]
+    pub fn warn(mut self, code: impl Into<String>) -> Self {
+        self.set(code, Level::Warn);
+        self
+    }
+
+    /// Builder-style [`Level::Deny`] override.
+    #[must_use]
+    pub fn deny(mut self, code: impl Into<String>) -> Self {
+        self.set(code, Level::Deny);
+        self
+    }
+
+    /// The effective level for `code`, falling back to `default`.
+    pub fn level_for(&self, code: &str, default: Level) -> Level {
+        self.overrides.get(code).copied().unwrap_or(default)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overrides_and_fallback() {
+        let config = LintConfig::new().allow("SASE001").deny("SASE007");
+        assert_eq!(config.level_for("SASE001", Level::Deny), Level::Allow);
+        assert_eq!(config.level_for("SASE007", Level::Warn), Level::Deny);
+        assert_eq!(config.level_for("SASE002", Level::Deny), Level::Deny);
+    }
+
+    #[test]
+    fn set_replaces_previous_override() {
+        let mut config = LintConfig::new().warn("SASE003");
+        config.set("SASE003", Level::Allow);
+        assert_eq!(config.level_for("SASE003", Level::Deny), Level::Allow);
+    }
+}

@@ -1,0 +1,59 @@
+//! What a lint run looks at: the artifacts under analysis.
+
+use saseval_core::catalog::UseCaseCatalog;
+use saseval_dsl::ast::Document;
+use saseval_threat::ThreatLibrary;
+
+/// A parsed DSL document together with the name it was loaded from, so
+/// source diagnostics can point back to the file.
+#[derive(Debug, Clone)]
+pub struct SourceDocument {
+    /// File path or logical name used in diagnostics.
+    pub name: String,
+    /// The parsed document.
+    pub document: Document,
+}
+
+impl SourceDocument {
+    /// Bundles a parsed document with its display name.
+    pub fn new(name: impl Into<String>, document: Document) -> Self {
+        SourceDocument { name: name.into(), document }
+    }
+}
+
+/// Everything the rules may inspect. Any part may be absent: artifact
+/// rules skip silently without a catalog, library-dependent rules without
+/// a library, DSL rules without documents.
+#[derive(Clone, Copy, Default)]
+pub struct LintContext<'a> {
+    /// The threat library cross-references are resolved against.
+    pub library: Option<&'a ThreatLibrary>,
+    /// The use-case catalog (HARA, attacks, justifications) under lint.
+    pub catalog: Option<&'a UseCaseCatalog>,
+    /// Parsed DSL documents under lint.
+    pub documents: &'a [SourceDocument],
+}
+
+impl<'a> LintContext<'a> {
+    /// An empty context (no rule will report anything).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A context for checking a catalog against a threat library.
+    pub fn for_catalog(library: &'a ThreatLibrary, catalog: &'a UseCaseCatalog) -> Self {
+        LintContext { library: Some(library), catalog: Some(catalog), documents: &[] }
+    }
+
+    /// A context for checking parsed DSL documents.
+    pub fn for_documents(documents: &'a [SourceDocument]) -> Self {
+        LintContext { library: None, catalog: None, documents }
+    }
+
+    /// Attaches DSL documents to an existing context.
+    #[must_use]
+    pub fn with_documents(mut self, documents: &'a [SourceDocument]) -> Self {
+        self.documents = documents;
+        self
+    }
+}

@@ -1,0 +1,185 @@
+//! The diagnostics data model: what a finding *is*, independent of the
+//! rule that produced it and of how it is rendered.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// How serious a reported finding is.
+///
+/// The severity is assigned by the lint driver from the rule's effective
+/// [`Level`], not by the rule itself: the same rule reports errors under
+/// `deny` and warnings under `warn`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Severity {
+    /// Worth fixing, but does not fail the lint run.
+    Warning,
+    /// Fails the lint run (nonzero exit in the CLI).
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// Configured response to a rule: skip it, report findings as warnings,
+/// or report them as errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Level {
+    /// Do not run the rule.
+    Allow,
+    /// Report findings as [`Severity::Warning`].
+    Warn,
+    /// Report findings as [`Severity::Error`].
+    Deny,
+}
+
+impl Level {
+    /// The severity findings carry at this level (`None` for `Allow`).
+    pub fn severity(self) -> Option<Severity> {
+        match self {
+            Level::Allow => None,
+            Level::Warn => Some(Severity::Warning),
+            Level::Deny => Some(Severity::Error),
+        }
+    }
+}
+
+/// Where a finding is anchored: a process artifact (attack description,
+/// safety goal, threat scenario, …) or a position in DSL source.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Locus {
+    /// An element of the safety/security work products, addressed by kind
+    /// and ID (e.g. `attack-description` / `AD03`).
+    Artifact {
+        /// Artifact kind, kebab-case (`attack-description`, `safety-goal`,
+        /// `threat-scenario`, `justification`).
+        kind: String,
+        /// The artifact's ID.
+        id: String,
+    },
+    /// A position in a DSL source document.
+    Source {
+        /// Document name (file path or logical name).
+        file: String,
+        /// 1-based line (0 when unknown).
+        line: u32,
+        /// 1-based column (0 when unknown).
+        column: u32,
+    },
+}
+
+impl Locus {
+    /// Convenience constructor for artifact loci.
+    pub fn artifact(kind: &str, id: impl Into<String>) -> Self {
+        Locus::Artifact { kind: kind.to_owned(), id: id.into() }
+    }
+
+    /// Convenience constructor for source loci from a DSL span.
+    pub fn source(file: impl Into<String>, span: saseval_dsl::ast::Span) -> Self {
+        Locus::Source { file: file.into(), line: span.line, column: span.column }
+    }
+}
+
+impl fmt::Display for Locus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Locus::Artifact { kind, id } => write!(f, "{kind} `{id}`"),
+            Locus::Source { file, line, column } => write!(f, "{file}:{line}:{column}"),
+        }
+    }
+}
+
+/// One finding: a stable rule code, a severity, a human message, the
+/// locus it is anchored to, optional related notes and an optional
+/// suggested fix.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Diagnostic {
+    /// Stable rule code (`SASE001`…): never reused, safe to suppress on.
+    pub code: String,
+    /// Effective severity (driver-assigned from the rule's level).
+    pub severity: Severity,
+    /// Primary human-readable message.
+    pub message: String,
+    /// Where the finding is anchored.
+    pub locus: Locus,
+    /// Related context notes (rendered as `= note:` lines).
+    pub notes: Vec<String>,
+    /// Suggested fix, if the rule has one (rendered as `= help:`).
+    pub fix: Option<String>,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic with no notes and no fix. Rules set the
+    /// severity to their default; the driver overrides it from config.
+    pub fn new(code: &str, message: impl Into<String>, locus: Locus) -> Self {
+        Diagnostic {
+            code: code.to_owned(),
+            severity: Severity::Error,
+            message: message.into(),
+            locus,
+            notes: Vec::new(),
+            fix: None,
+        }
+    }
+
+    /// Appends a related note.
+    #[must_use]
+    pub fn note(mut self, note: impl Into<String>) -> Self {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// Sets the suggested fix.
+    #[must_use]
+    pub fn fix(mut self, fix: impl Into<String>) -> Self {
+        self.fix = Some(fix.into());
+        self
+    }
+
+    /// The key diagnostics are sorted by: rule code first, then locus,
+    /// then message — a total, deterministic order for stable output.
+    pub fn sort_key(&self) -> (&str, &Locus, &str) {
+        (&self.code, &self.locus, &self.message)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_to_severity() {
+        assert_eq!(Level::Allow.severity(), None);
+        assert_eq!(Level::Warn.severity(), Some(Severity::Warning));
+        assert_eq!(Level::Deny.severity(), Some(Severity::Error));
+    }
+
+    #[test]
+    fn locus_display() {
+        assert_eq!(Locus::artifact("safety-goal", "SG01").to_string(), "safety-goal `SG01`");
+        let src = Locus::Source { file: "a.sasedsl".into(), line: 3, column: 9 };
+        assert_eq!(src.to_string(), "a.sasedsl:3:9");
+    }
+
+    #[test]
+    fn sort_key_orders_by_code_then_locus() {
+        let a = Diagnostic::new("SASE001", "m", Locus::artifact("x", "1"));
+        let b = Diagnostic::new("SASE002", "m", Locus::artifact("x", "0"));
+        assert!(a.sort_key() < b.sort_key());
+    }
+
+    #[test]
+    fn builder_helpers() {
+        let d = Diagnostic::new("SASE001", "m", Locus::artifact("x", "1"))
+            .note("context")
+            .fix("do this");
+        assert_eq!(d.notes, ["context"]);
+        assert_eq!(d.fix.as_deref(), Some("do this"));
+    }
+}

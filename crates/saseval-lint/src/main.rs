@@ -1,0 +1,166 @@
+//! `saseval-lint` — static analysis CLI for SaSeVAL artifacts.
+//!
+//! ```text
+//! saseval-lint [OPTIONS] [FILES...]
+//!
+//!   FILES                 .sasedsl documents to lint
+//!   --use-cases           lint the built-in use-case catalogs
+//!   --format text|json    output format (default: text)
+//!   --allow CODE          disable a rule
+//!   --warn CODE           run a rule at warning level
+//!   --deny CODE           run a rule at error level
+//!   -h, --help            print usage
+//! ```
+//!
+//! Exit codes: 0 clean (warnings allowed), 1 error findings, 2 usage or
+//! parse failure.
+
+use std::process::ExitCode;
+
+use saseval_core::catalog::{use_case_1, use_case_2};
+use saseval_lint::{
+    render_json, render_text, run_lint, Level, LintConfig, LintContext, LintReport, SourceDocument,
+};
+use saseval_obs::Obs;
+use saseval_threat::builtin::automotive_library;
+
+const USAGE: &str = "\
+usage: saseval-lint [OPTIONS] [FILES...]
+
+  FILES                 .sasedsl documents to lint
+  --use-cases           lint the built-in use-case catalogs
+  --format text|json    output format (default: text)
+  --allow CODE          disable a rule
+  --warn CODE           run a rule at warning level
+  --deny CODE           run a rule at error level
+  -h, --help            print usage
+";
+
+#[derive(PartialEq)]
+enum Format {
+    Text,
+    Json,
+}
+
+struct Options {
+    files: Vec<String>,
+    use_cases: bool,
+    format: Format,
+    config: LintConfig,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut options = Options {
+        files: Vec::new(),
+        use_cases: false,
+        format: Format::Text,
+        config: LintConfig::new(),
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut level_arg = |level: Level| -> Result<(), String> {
+            let code = iter.next().ok_or_else(|| format!("{arg} requires a rule code"))?;
+            options.config.set(code.clone(), level);
+            Ok(())
+        };
+        match arg.as_str() {
+            "--use-cases" => options.use_cases = true,
+            "--format" => {
+                options.format = match iter.next().map(String::as_str) {
+                    Some("text") => Format::Text,
+                    Some("json") => Format::Json,
+                    other => return Err(format!("--format expects text|json, got {other:?}")),
+                };
+            }
+            "--allow" => level_arg(Level::Allow)?,
+            "--warn" => level_arg(Level::Warn)?,
+            "--deny" => level_arg(Level::Deny)?,
+            "-h" | "--help" => return Err(String::new()),
+            other if other.starts_with('-') => return Err(format!("unknown option `{other}`")),
+            file => options.files.push(file.to_owned()),
+        }
+    }
+    if !options.use_cases && options.files.is_empty() {
+        return Err("nothing to lint: pass FILES and/or --use-cases".to_owned());
+    }
+    Ok(options)
+}
+
+/// Loads and parses the given files; exits with a parse diagnostic on
+/// failure.
+fn load_documents(files: &[String]) -> Result<Vec<SourceDocument>, String> {
+    let mut documents = Vec::new();
+    for file in files {
+        let source =
+            std::fs::read_to_string(file).map_err(|e| format!("{file}: cannot read: {e}"))?;
+        let document = saseval_dsl::parse_document(&source).map_err(|e| {
+            format!("{file}:{}:{}: parse error: {}", e.line(), e.column(), e.message())
+        })?;
+        documents.push(SourceDocument::new(file.clone(), document));
+    }
+    Ok(documents)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let options = match parse_args(&args) {
+        Ok(options) => options,
+        Err(message) => {
+            if message.is_empty() {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("saseval-lint: {message}");
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let documents = match load_documents(&options.files) {
+        Ok(documents) => documents,
+        Err(message) => {
+            eprintln!("saseval-lint: {message}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let obs = Obs::noop();
+    // One (label, report) per lint target: each built-in catalog, then
+    // all DSL files as one run.
+    let mut runs: Vec<(String, LintReport)> = Vec::new();
+    if options.use_cases {
+        let library = automotive_library();
+        for catalog in [use_case_1(), use_case_2()] {
+            let ctx = LintContext::for_catalog(&library, &catalog);
+            runs.push((catalog.name.clone(), run_lint(&ctx, &options.config, &obs)));
+        }
+    }
+    if !documents.is_empty() {
+        let ctx = LintContext::for_documents(&documents);
+        let label = if documents.len() == 1 {
+            documents[0].name.clone()
+        } else {
+            format!("{} documents", documents.len())
+        };
+        runs.push((label, run_lint(&ctx, &options.config, &obs)));
+    }
+
+    match options.format {
+        Format::Text => {
+            for (label, report) in &runs {
+                println!("== {label}");
+                print!("{}", render_text(report));
+            }
+        }
+        Format::Json => {
+            let reports: Vec<&LintReport> = runs.iter().map(|(_, report)| report).collect();
+            print!("{}", render_json(&reports));
+        }
+    }
+
+    if runs.iter().any(|(_, report)| report.has_errors()) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

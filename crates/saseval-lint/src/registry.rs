@@ -1,0 +1,77 @@
+//! The rule trait and the registry of all built-in rules.
+
+use crate::context::LintContext;
+use crate::diagnostics::{Diagnostic, Level};
+use crate::rules;
+
+/// One static-analysis rule with a stable code.
+///
+/// Codes are append-only: a retired rule's code is never reused, so
+/// suppressions (`--allow SASE005`) stay meaningful across versions.
+pub trait Rule {
+    /// Stable code, `SASE` + three digits.
+    fn code(&self) -> &'static str;
+    /// Short kebab-case name (e.g. `dangling-goal-ref`).
+    fn name(&self) -> &'static str;
+    /// One-line description of what the rule reports.
+    fn summary(&self) -> &'static str;
+    /// Level the rule runs at when the config has no override.
+    fn default_level(&self) -> Level;
+    /// Inspects the context and pushes findings.
+    ///
+    /// Rules must push findings in a deterministic order and must not
+    /// depend on other rules having run.
+    fn check(&self, ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>);
+}
+
+/// All built-in rules, in code order.
+pub fn registry() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(rules::artifact::DanglingGoalRef),
+        Box::new(rules::artifact::DanglingThreatRef),
+        Box::new(rules::artifact::DuplicateAttackId),
+        Box::new(rules::artifact::InductiveOrphan),
+        Box::new(rules::artifact::StaleJustification),
+        Box::new(rules::artifact::DeductiveGap),
+        Box::new(rules::artifact::MissingFtti),
+        Box::new(rules::artifact::StrideMismatch),
+        Box::new(rules::artifact::DanglingJustification),
+        Box::new(rules::dsl::DuplicateDslAttack),
+        Box::new(rules::dsl::UnknownExecutable),
+        Box::new(rules::dsl::UnknownExecArg),
+        Box::new(rules::dsl::DuplicateExecArg),
+        Box::new(rules::dsl::ExecArgRange),
+        Box::new(rules::dsl::UnknownSignal),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_unique_sorted_and_well_formed() {
+        let codes: Vec<&str> = registry().iter().map(|r| r.code()).collect();
+        let mut sorted = codes.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(codes, sorted, "registry must list rules in code order without duplicates");
+        for code in codes {
+            assert!(code.starts_with("SASE") && code.len() == 7, "malformed rule code `{code}`");
+        }
+    }
+
+    #[test]
+    fn registry_has_at_least_ten_rules() {
+        assert!(registry().len() >= 10);
+    }
+
+    #[test]
+    fn names_and_summaries_are_nonempty() {
+        for rule in registry() {
+            assert!(!rule.name().is_empty());
+            assert!(!rule.summary().is_empty());
+            assert!(rule.name().chars().all(|c| c.is_ascii_lowercase() || c == '-'));
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! Diagnostic renderers: human-readable text and SARIF-shaped JSON.
+
+use std::fmt::Write as _;
+
+use serde::Serialize;
+
+use crate::diagnostics::{Diagnostic, Locus, Severity};
+use crate::registry::registry;
+use crate::LintReport;
+
+/// Renders a report in the rustc-like text format:
+///
+/// ```text
+/// error[SASE001]: references unknown safety goal `SG99`
+///   --> attack-description `AD03`
+///   = help: add `SG99` to the HARA or drop it from the attack's goals
+/// ```
+///
+/// ends with a one-line summary.
+pub fn render_text(report: &LintReport) -> String {
+    let mut out = String::new();
+    for diag in &report.diagnostics {
+        writeln!(out, "{}[{}]: {}", diag.severity, diag.code, diag.message).expect("string write");
+        writeln!(out, "  --> {}", diag.locus).expect("string write");
+        for note in &diag.notes {
+            writeln!(out, "  = note: {note}").expect("string write");
+        }
+        if let Some(fix) = &diag.fix {
+            writeln!(out, "  = help: {fix}").expect("string write");
+        }
+    }
+    let (errors, warnings) = (report.errors(), report.warnings());
+    if errors == 0 && warnings == 0 {
+        out.push_str("lint: clean\n");
+    } else {
+        writeln!(out, "lint: {errors} error(s), {warnings} warning(s)").expect("string write");
+    }
+    out
+}
+
+// SARIF 2.1.0 property names are camelCase; the vendored serde derive has
+// no rename support, so the field names are spelled as serialized.
+#[allow(non_snake_case)]
+mod sarif {
+    use super::Serialize;
+
+    #[derive(Serialize)]
+    pub struct Sarif {
+        pub version: &'static str,
+        pub runs: Vec<Run>,
+    }
+
+    #[derive(Serialize)]
+    pub struct Run {
+        pub tool: Tool,
+        pub results: Vec<SarifResult>,
+    }
+
+    #[derive(Serialize)]
+    pub struct Tool {
+        pub driver: Driver,
+    }
+
+    #[derive(Serialize)]
+    pub struct Driver {
+        pub name: &'static str,
+        pub version: &'static str,
+        pub rules: Vec<RuleMeta>,
+    }
+
+    #[derive(Serialize)]
+    pub struct RuleMeta {
+        pub id: &'static str,
+        pub name: &'static str,
+        pub shortDescription: Text,
+    }
+
+    #[derive(Serialize)]
+    pub struct Text {
+        pub text: String,
+    }
+
+    #[derive(Serialize)]
+    pub struct SarifResult {
+        pub ruleId: String,
+        pub level: &'static str,
+        pub message: Text,
+        pub locations: Vec<Location>,
+    }
+
+    #[derive(Serialize)]
+    pub struct Location {
+        pub physicalLocation: PhysicalLocation,
+    }
+
+    #[derive(Serialize)]
+    pub struct PhysicalLocation {
+        pub artifactLocation: ArtifactLocation,
+        pub region: Option<Region>,
+    }
+
+    #[derive(Serialize)]
+    pub struct ArtifactLocation {
+        pub uri: String,
+    }
+
+    #[derive(Serialize)]
+    pub struct Region {
+        pub startLine: u64,
+        pub startColumn: u64,
+    }
+}
+
+fn sarif_location(locus: &Locus) -> sarif::Location {
+    let (uri, region) = match locus {
+        Locus::Artifact { kind, id } => (format!("saseval://{kind}/{id}"), None),
+        Locus::Source { file, line, column } => (
+            file.clone(),
+            Some(sarif::Region { startLine: u64::from(*line), startColumn: u64::from(*column) }),
+        ),
+    };
+    sarif::Location {
+        physicalLocation: sarif::PhysicalLocation {
+            artifactLocation: sarif::ArtifactLocation { uri },
+            region,
+        },
+    }
+}
+
+fn sarif_result(diag: &Diagnostic) -> sarif::SarifResult {
+    let mut text = diag.message.clone();
+    for note in &diag.notes {
+        write!(text, "\nnote: {note}").expect("string write");
+    }
+    if let Some(fix) = &diag.fix {
+        write!(text, "\nhelp: {fix}").expect("string write");
+    }
+    sarif::SarifResult {
+        ruleId: diag.code.clone(),
+        level: match diag.severity {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        },
+        message: sarif::Text { text },
+        locations: vec![sarif_location(&diag.locus)],
+    }
+}
+
+fn sarif_run(report: &LintReport) -> sarif::Run {
+    sarif::Run {
+        tool: sarif::Tool {
+            driver: sarif::Driver {
+                name: "saseval-lint",
+                version: env!("CARGO_PKG_VERSION"),
+                rules: registry()
+                    .iter()
+                    .map(|rule| sarif::RuleMeta {
+                        id: rule.code(),
+                        name: rule.name(),
+                        shortDescription: sarif::Text { text: rule.summary().to_owned() },
+                    })
+                    .collect(),
+            },
+        },
+        results: report.diagnostics.iter().map(sarif_result).collect(),
+    }
+}
+
+/// Renders one or more reports as a SARIF 2.1.0-shaped JSON document
+/// (one SARIF run per report), pretty-printed with a trailing newline.
+pub fn render_json(reports: &[&LintReport]) -> String {
+    let sarif = sarif::Sarif {
+        version: "2.1.0",
+        runs: reports.iter().map(|report| sarif_run(report)).collect(),
+    };
+    let mut out = serde_json::to_string_pretty(&sarif).expect("sarif serializes");
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diagnostics::Diagnostic;
+
+    fn report_with(diags: Vec<Diagnostic>) -> LintReport {
+        LintReport { diagnostics: diags }
+    }
+
+    #[test]
+    fn text_render_clean() {
+        assert_eq!(render_text(&report_with(vec![])), "lint: clean\n");
+    }
+
+    #[test]
+    fn text_render_counts_and_sections() {
+        let mut error = Diagnostic::new("SASE001", "bad ref", Locus::artifact("x", "1"));
+        error.notes.push("a note".into());
+        error.fix = Some("a fix".into());
+        let mut warning =
+            Diagnostic::new("SASE007", "no ftti", Locus::artifact("safety-goal", "SG03"));
+        warning.severity = Severity::Warning;
+        let text = render_text(&report_with(vec![error, warning]));
+        assert!(text.contains("error[SASE001]: bad ref"), "{text}");
+        assert!(text.contains("  = note: a note"), "{text}");
+        assert!(text.contains("  = help: a fix"), "{text}");
+        assert!(text.contains("warning[SASE007]: no ftti"), "{text}");
+        assert!(text.ends_with("lint: 1 error(s), 1 warning(s)\n"), "{text}");
+    }
+
+    #[test]
+    fn json_render_is_sarif_shaped() {
+        let diag = Diagnostic::new(
+            "SASE010",
+            "dup",
+            Locus::Source { file: "a.sasedsl".into(), line: 3, column: 8 },
+        );
+        let json = render_json(&[&report_with(vec![diag])]);
+        assert!(json.contains("\"version\": \"2.1.0\""), "{json}");
+        assert!(json.contains("\"ruleId\": \"SASE010\""), "{json}");
+        assert!(json.contains("\"startLine\": 3"), "{json}");
+        assert!(json.contains("\"name\": \"saseval-lint\""), "{json}");
+        // Rule metadata for every registry rule is embedded once per run.
+        assert!(json.contains("\"id\": \"SASE015\""), "{json}");
+    }
+
+    #[test]
+    fn artifact_locus_becomes_saseval_uri() {
+        let diag = Diagnostic::new("SASE006", "gap", Locus::artifact("safety-goal", "SG02"));
+        let json = render_json(&[&report_with(vec![diag])]);
+        assert!(json.contains("\"uri\": \"saseval://safety-goal/SG02\""), "{json}");
+    }
+}

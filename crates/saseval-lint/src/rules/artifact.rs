@@ -1,0 +1,392 @@
+//! Artifact rules: cross-reference and completeness checks over the
+//! threat library, the HARA and the attack-description catalog.
+//!
+//! These rules statically verify the traceability chain the paper's
+//! method rests on — safety goal ↔ attack description ↔ threat scenario —
+//! plus the hygiene of the justification list and the HARA itself.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use saseval_core::catalog::UseCaseCatalog;
+use saseval_core::{deductive_coverage, inductive_coverage, InductiveReport};
+use saseval_threat::ThreatLibrary;
+use saseval_types::AsilLevel;
+
+use crate::context::LintContext;
+use crate::diagnostics::{Diagnostic, Level, Locus};
+use crate::registry::Rule;
+
+/// Artifact kind strings used in loci, kept in one place so renderers
+/// and tests agree on spelling.
+pub mod kind {
+    /// An attack description (`AD…`).
+    pub const ATTACK: &str = "attack-description";
+    /// A safety goal (`SG…`).
+    pub const GOAL: &str = "safety-goal";
+    /// A threat scenario (`TS-…`).
+    pub const THREAT: &str = "threat-scenario";
+    /// A justification entry.
+    pub const JUSTIFICATION: &str = "justification";
+}
+
+/// Runs `f` only when the context has a catalog.
+fn with_catalog(ctx: &LintContext<'_>, f: impl FnOnce(&UseCaseCatalog)) {
+    if let Some(catalog) = ctx.catalog {
+        f(catalog);
+    }
+}
+
+/// Runs `f` only when the context has both a library and a catalog.
+fn with_library_and_catalog(
+    ctx: &LintContext<'_>,
+    f: impl FnOnce(&ThreatLibrary, &UseCaseCatalog),
+) {
+    if let (Some(library), Some(catalog)) = (ctx.library, ctx.catalog) {
+        f(library, catalog);
+    }
+}
+
+/// The inductive coverage report for a catalog — shared by the rules
+/// that read different findings out of it.
+fn inductive_report(library: &ThreatLibrary, catalog: &UseCaseCatalog) -> InductiveReport {
+    inductive_coverage(library, &catalog.scenarios, &catalog.attacks, &catalog.justifications)
+}
+
+/// `SASE001`: an attack description references a safety goal the HARA
+/// does not define.
+pub struct DanglingGoalRef;
+
+impl Rule for DanglingGoalRef {
+    fn code(&self) -> &'static str {
+        "SASE001"
+    }
+    fn name(&self) -> &'static str {
+        "dangling-goal-ref"
+    }
+    fn summary(&self) -> &'static str {
+        "attack description references a safety goal the HARA does not define"
+    }
+    fn default_level(&self) -> Level {
+        Level::Deny
+    }
+    fn check(&self, ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        with_catalog(ctx, |catalog| {
+            let known: BTreeSet<&str> =
+                catalog.hara.safety_goals().map(|g| g.id().as_str()).collect();
+            for ad in &catalog.attacks {
+                for goal in ad.safety_goals() {
+                    if !known.contains(goal.as_str()) {
+                        out.push(
+                            Diagnostic::new(
+                                self.code(),
+                                format!("references unknown safety goal `{goal}`"),
+                                Locus::artifact(kind::ATTACK, ad.id().as_str()),
+                            )
+                            .note(format!("the HARA defines {} safety goal(s)", known.len()))
+                            .fix(format!(
+                                "add `{goal}` to the HARA or drop it from the attack's goals"
+                            )),
+                        );
+                    }
+                }
+            }
+        });
+    }
+}
+
+/// `SASE002`: an attack description references a threat scenario the
+/// library does not contain.
+pub struct DanglingThreatRef;
+
+impl Rule for DanglingThreatRef {
+    fn code(&self) -> &'static str {
+        "SASE002"
+    }
+    fn name(&self) -> &'static str {
+        "dangling-threat-ref"
+    }
+    fn summary(&self) -> &'static str {
+        "attack description references a threat scenario missing from the library"
+    }
+    fn default_level(&self) -> Level {
+        Level::Deny
+    }
+    fn check(&self, ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        with_library_and_catalog(ctx, |library, catalog| {
+            for ad in &catalog.attacks {
+                let threat = ad.threat_scenario();
+                if library.threat_scenario(threat.as_str()).is_none() {
+                    out.push(
+                        Diagnostic::new(
+                            self.code(),
+                            format!("references unknown threat scenario `{threat}`"),
+                            Locus::artifact(kind::ATTACK, ad.id().as_str()),
+                        )
+                        .fix(format!("add `{threat}` to the threat library or fix the reference")),
+                    );
+                }
+            }
+        });
+    }
+}
+
+/// `SASE003`: two attack descriptions share an ID.
+pub struct DuplicateAttackId;
+
+impl Rule for DuplicateAttackId {
+    fn code(&self) -> &'static str {
+        "SASE003"
+    }
+    fn name(&self) -> &'static str {
+        "duplicate-attack-id"
+    }
+    fn summary(&self) -> &'static str {
+        "two attack descriptions in the catalog share an ID"
+    }
+    fn default_level(&self) -> Level {
+        Level::Deny
+    }
+    fn check(&self, ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        with_catalog(ctx, |catalog| {
+            let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
+            for ad in &catalog.attacks {
+                *counts.entry(ad.id().as_str()).or_insert(0) += 1;
+            }
+            for (id, count) in counts {
+                if count > 1 {
+                    out.push(
+                        Diagnostic::new(
+                            self.code(),
+                            format!("attack description ID `{id}` is declared {count} times"),
+                            Locus::artifact(kind::ATTACK, id),
+                        )
+                        .fix("give every attack description a unique ID"),
+                    );
+                }
+            }
+        });
+    }
+}
+
+/// `SASE004`: a threat in scope is neither attacked nor justified — an
+/// inductive (RQ1) completeness gap.
+pub struct InductiveOrphan;
+
+impl Rule for InductiveOrphan {
+    fn code(&self) -> &'static str {
+        "SASE004"
+    }
+    fn name(&self) -> &'static str {
+        "inductive-orphan"
+    }
+    fn summary(&self) -> &'static str {
+        "threat scenario in scope has neither an attack description nor a justification"
+    }
+    fn default_level(&self) -> Level {
+        Level::Deny
+    }
+    fn check(&self, ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        with_library_and_catalog(ctx, |library, catalog| {
+            for threat in inductive_report(library, catalog).uncovered() {
+                out.push(
+                    Diagnostic::new(
+                        self.code(),
+                        "threat is neither attacked nor justified",
+                        Locus::artifact(kind::THREAT, threat.as_str()),
+                    )
+                    .note(
+                        "the inductive completeness argument requires every in-scope \
+                           threat to be covered",
+                    )
+                    .fix("write an attack description for the threat or record a justification"),
+                );
+            }
+        });
+    }
+}
+
+/// `SASE005`: a justification for a threat that *is* attacked — the
+/// justification predates the attacks and should be retired.
+pub struct StaleJustification;
+
+impl Rule for StaleJustification {
+    fn code(&self) -> &'static str {
+        "SASE005"
+    }
+    fn name(&self) -> &'static str {
+        "stale-justification"
+    }
+    fn summary(&self) -> &'static str {
+        "justification exists for a threat that is already covered by attacks"
+    }
+    fn default_level(&self) -> Level {
+        Level::Warn
+    }
+    fn check(&self, ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        with_library_and_catalog(ctx, |library, catalog| {
+            for threat in &inductive_report(library, catalog).stale_justifications {
+                out.push(
+                    Diagnostic::new(
+                        self.code(),
+                        format!("threat `{threat}` is attacked, so its justification is stale"),
+                        Locus::artifact(kind::JUSTIFICATION, threat.as_str()),
+                    )
+                    .fix("remove the justification now that attack descriptions cover the threat"),
+                );
+            }
+        });
+    }
+}
+
+/// `SASE006`: an ASIL-rated safety goal without any attack description —
+/// a deductive (RQ1) completeness gap.
+pub struct DeductiveGap;
+
+impl Rule for DeductiveGap {
+    fn code(&self) -> &'static str {
+        "SASE006"
+    }
+    fn name(&self) -> &'static str {
+        "deductive-gap"
+    }
+    fn summary(&self) -> &'static str {
+        "ASIL-rated safety goal has no attack description addressing it"
+    }
+    fn default_level(&self) -> Level {
+        Level::Deny
+    }
+    fn check(&self, ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        with_catalog(ctx, |catalog| {
+            for goal in &deductive_coverage(&catalog.hara, &catalog.attacks).uncovered {
+                out.push(
+                    Diagnostic::new(
+                        self.code(),
+                        "no attack description addresses this ASIL-rated safety goal",
+                        Locus::artifact(kind::GOAL, goal.as_str()),
+                    )
+                    .note(
+                        "the deductive completeness argument requires every safety \
+                           concern to be tested",
+                    )
+                    .fix("derive at least one attack description for the goal"),
+                );
+            }
+        });
+    }
+}
+
+/// `SASE007`: an ASIL C/D safety goal without a fault-tolerant time
+/// interval. High-integrity goals drive timing checks in validation; a
+/// missing FTTI makes the pass criteria unverifiable.
+pub struct MissingFtti;
+
+impl Rule for MissingFtti {
+    fn code(&self) -> &'static str {
+        "SASE007"
+    }
+    fn name(&self) -> &'static str {
+        "missing-ftti"
+    }
+    fn summary(&self) -> &'static str {
+        "ASIL C/D safety goal has no fault-tolerant time interval"
+    }
+    fn default_level(&self) -> Level {
+        Level::Warn
+    }
+    fn check(&self, ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        with_catalog(ctx, |catalog| {
+            for goal in catalog.hara.safety_goals() {
+                let Some(asil) = catalog.hara.goal_asil(goal) else { continue };
+                if asil >= AsilLevel::C && goal.ftti().is_none() {
+                    out.push(
+                        Diagnostic::new(
+                            self.code(),
+                            format!("ASIL {asil:?} safety goal has no FTTI"),
+                            Locus::artifact(kind::GOAL, goal.id().as_str()),
+                        )
+                        .fix("record the fault-tolerant time interval for the goal"),
+                    );
+                }
+            }
+        });
+    }
+}
+
+/// `SASE008`: an attack description's declared STRIDE threat type
+/// contradicts the threat scenario it references.
+pub struct StrideMismatch;
+
+impl Rule for StrideMismatch {
+    fn code(&self) -> &'static str {
+        "SASE008"
+    }
+    fn name(&self) -> &'static str {
+        "stride-mismatch"
+    }
+    fn summary(&self) -> &'static str {
+        "attack description's STRIDE type contradicts its threat scenario's"
+    }
+    fn default_level(&self) -> Level {
+        Level::Deny
+    }
+    fn check(&self, ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        with_library_and_catalog(ctx, |library, catalog| {
+            for ad in &catalog.attacks {
+                let Some(threat) = library.threat_scenario(ad.threat_scenario().as_str()) else {
+                    continue; // SASE002's finding
+                };
+                if ad.threat_type() != threat.threat_type() {
+                    out.push(
+                        Diagnostic::new(
+                            self.code(),
+                            format!(
+                                "declares STRIDE type `{}` but threat `{}` is `{}`",
+                                ad.threat_type(),
+                                threat.id(),
+                                threat.threat_type()
+                            ),
+                            Locus::artifact(kind::ATTACK, ad.id().as_str()),
+                        )
+                        .fix(format!(
+                            "align the attack's `types:` with the threat's `{}`",
+                            threat.threat_type()
+                        )),
+                    );
+                }
+            }
+        });
+    }
+}
+
+/// `SASE009`: a justification references a threat scenario the library
+/// does not contain.
+pub struct DanglingJustification;
+
+impl Rule for DanglingJustification {
+    fn code(&self) -> &'static str {
+        "SASE009"
+    }
+    fn name(&self) -> &'static str {
+        "dangling-justification"
+    }
+    fn summary(&self) -> &'static str {
+        "justification references a threat scenario missing from the library"
+    }
+    fn default_level(&self) -> Level {
+        Level::Deny
+    }
+    fn check(&self, ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        with_library_and_catalog(ctx, |library, catalog| {
+            for threat in &inductive_report(library, catalog).dangling_justifications {
+                out.push(
+                    Diagnostic::new(
+                        self.code(),
+                        format!("justifies unknown threat scenario `{threat}`"),
+                        Locus::artifact(kind::JUSTIFICATION, threat.as_str()),
+                    )
+                    .fix("remove the justification or fix the threat-scenario ID"),
+                );
+            }
+        });
+    }
+}

@@ -1,0 +1,396 @@
+//! DSL semantic rules: checks over parsed attack-description documents
+//! that the parser cannot express and the compiler only reports one at a
+//! time — duplicate declarations, `execute:` binding problems and
+//! machine-checkable precondition references.
+
+use std::collections::BTreeSet;
+
+use saseval_dsl::ast::{AttackDecl, ExecArg};
+
+use crate::context::{LintContext, SourceDocument};
+use crate::diagnostics::{Diagnostic, Level, Locus};
+use crate::registry::Rule;
+
+/// The kind of value an `execute:` argument accepts.
+#[derive(Clone, Copy)]
+enum ArgKind {
+    /// Unsigned integer with an inclusive valid range.
+    Int { min: u64, max: u64 },
+    /// Bare word.
+    Word,
+}
+
+/// Declared signature of one `execute:` argument.
+struct ArgSig {
+    name: &'static str,
+    kind: ArgKind,
+}
+
+/// Declared signature of one executable attack.
+struct ExecSig {
+    name: &'static str,
+    args: &'static [ArgSig],
+}
+
+/// Packet floods drive per-tick loops; a zero rate is a no-op binding
+/// and anything above this bound stalls the simulation kernel.
+const PER_TICK: ArgKind = ArgKind::Int { min: 1, max: 100_000 };
+/// Free nonnegative integer (seconds, counters, …).
+const ANY_INT: ArgKind = ArgKind::Int { min: 0, max: u64::MAX };
+
+/// The `execute:` signature table. Mirrors the bindings accepted by the
+/// DSL compiler (`saseval_dsl::compile`); the compiler truncates
+/// out-of-range integers (`as u8` / `as usize`), so the lint is where
+/// range problems surface before they silently wrap.
+const EXEC_TABLE: &[ExecSig] = &[
+    ExecSig { name: "allowlist-tamper", args: &[ArgSig { name: "insider", kind: ArgKind::Word }] },
+    ExecSig { name: "ble-can-flood", args: &[ArgSig { name: "per_tick", kind: PER_TICK }] },
+    ExecSig { name: "ble-jam", args: &[] },
+    ExecSig { name: "ble-replay-open", args: &[] },
+    ExecSig { name: "ble-spoof-close", args: &[] },
+    ExecSig { name: "can-stub-inject", args: &[] },
+    ExecSig {
+        name: "key-spoof",
+        args: &[
+            ArgSig { name: "strategy", kind: ArgKind::Word },
+            ArgSig { name: "base", kind: ANY_INT },
+            ArgSig { name: "budget", kind: ArgKind::Int { min: 1, max: u32::MAX as u64 } },
+        ],
+    },
+    ExecSig { name: "v2x-delay", args: &[ArgSig { name: "release_s", kind: ANY_INT }] },
+    ExecSig {
+        name: "v2x-fake-limit",
+        args: &[ArgSig { name: "limit", kind: ArgKind::Int { min: 1, max: u8::MAX as u64 } }],
+    },
+    ExecSig { name: "v2x-flood", args: &[ArgSig { name: "per_tick", kind: PER_TICK }] },
+    ExecSig {
+        name: "v2x-insider-limit",
+        args: &[ArgSig { name: "limit", kind: ArgKind::Int { min: 1, max: u8::MAX as u64 } }],
+    },
+    ExecSig { name: "v2x-jam", args: &[] },
+    ExecSig { name: "v2x-replay-warning", args: &[ArgSig { name: "staleness_s", kind: ANY_INT }] },
+];
+
+fn exec_sig(name: &str) -> Option<&'static ExecSig> {
+    EXEC_TABLE.iter().find(|sig| sig.name == name)
+}
+
+/// Simulation-state signals a precondition may reference with `$name`.
+/// Grounded in the observable state of `vehicle-sim` (vehicle dynamics,
+/// construction-site zone, keyless entry) and the network stats of
+/// `vehicle-net`.
+const KNOWN_SIGNALS: &[&str] = &[
+    "ble_connected",
+    "can_bus_load",
+    "doors_locked",
+    "entry_speed_mps",
+    "key_authenticated",
+    "speed_mps",
+    "vehicle_closed",
+    "warning_active",
+    "zone_speed_limit_kmh",
+];
+
+/// Iterates `$name` references in free text, yielding the signal names.
+fn signal_refs(text: &str) -> impl Iterator<Item = &str> {
+    text.split('$').skip(1).filter_map(|rest| {
+        let end = rest
+            .char_indices()
+            .find(|(_, c)| !c.is_ascii_alphanumeric() && *c != '_')
+            .map_or(rest.len(), |(i, _)| i);
+        (end > 0).then(|| &rest[..end])
+    })
+}
+
+/// Runs `f` for every (document, declaration) pair in the context.
+fn each_decl(ctx: &LintContext<'_>, mut f: impl FnMut(&SourceDocument, &AttackDecl)) {
+    for doc in ctx.documents {
+        for decl in &doc.document.attacks {
+            f(doc, decl);
+        }
+    }
+}
+
+/// `SASE010`: two attacks in the same document share a name.
+pub struct DuplicateDslAttack;
+
+impl Rule for DuplicateDslAttack {
+    fn code(&self) -> &'static str {
+        "SASE010"
+    }
+    fn name(&self) -> &'static str {
+        "duplicate-dsl-attack"
+    }
+    fn summary(&self) -> &'static str {
+        "two attack declarations in one document share a name"
+    }
+    fn default_level(&self) -> Level {
+        Level::Deny
+    }
+    fn check(&self, ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        for doc in ctx.documents {
+            let mut seen: BTreeSet<&str> = BTreeSet::new();
+            for decl in &doc.document.attacks {
+                if !seen.insert(&decl.id) {
+                    out.push(
+                        Diagnostic::new(
+                            self.code(),
+                            format!("attack `{}` is declared more than once", decl.id),
+                            Locus::source(&doc.name, decl.spans.decl),
+                        )
+                        .fix("rename or remove the duplicate declaration"),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// `SASE011`: `execute:` names an attack the engine does not implement.
+pub struct UnknownExecutable;
+
+impl Rule for UnknownExecutable {
+    fn code(&self) -> &'static str {
+        "SASE011"
+    }
+    fn name(&self) -> &'static str {
+        "unknown-executable"
+    }
+    fn summary(&self) -> &'static str {
+        "`execute:` names an attack the engine does not implement"
+    }
+    fn default_level(&self) -> Level {
+        Level::Deny
+    }
+    fn check(&self, ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        each_decl(ctx, |doc, decl| {
+            let Some(exec) = &decl.execute else { return };
+            if exec_sig(&exec.name).is_none() {
+                out.push(
+                    Diagnostic::new(
+                        self.code(),
+                        format!("unknown executable attack `{}`", exec.name),
+                        Locus::source(&doc.name, decl.spans.execute),
+                    )
+                    .note(format!("attack `{}`", decl.id))
+                    .fix("use one of the executable attacks listed in the DSL reference"),
+                );
+            }
+        });
+    }
+}
+
+/// `SASE012`: an argument name the executable does not accept.
+pub struct UnknownExecArg;
+
+impl Rule for UnknownExecArg {
+    fn code(&self) -> &'static str {
+        "SASE012"
+    }
+    fn name(&self) -> &'static str {
+        "unknown-exec-arg"
+    }
+    fn summary(&self) -> &'static str {
+        "`execute:` argument is not accepted by the named executable"
+    }
+    fn default_level(&self) -> Level {
+        Level::Deny
+    }
+    fn check(&self, ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        each_decl(ctx, |doc, decl| {
+            let Some(exec) = &decl.execute else { return };
+            let Some(sig) = exec_sig(&exec.name) else { return }; // SASE011's finding
+            for (i, (arg_name, _)) in exec.args.iter().enumerate() {
+                if !sig.args.iter().any(|a| a.name == arg_name) {
+                    let span = decl.spans.exec_args.get(i).copied().unwrap_or_default();
+                    let accepted: Vec<&str> = sig.args.iter().map(|a| a.name).collect();
+                    out.push(
+                        Diagnostic::new(
+                            self.code(),
+                            format!("`{}` takes no argument `{arg_name}`", exec.name),
+                            Locus::source(&doc.name, span),
+                        )
+                        .note(if accepted.is_empty() {
+                            format!("`{}` takes no arguments", exec.name)
+                        } else {
+                            format!("accepted arguments: {}", accepted.join(", "))
+                        }),
+                    );
+                }
+            }
+        });
+    }
+}
+
+/// `SASE013`: the same argument given twice.
+pub struct DuplicateExecArg;
+
+impl Rule for DuplicateExecArg {
+    fn code(&self) -> &'static str {
+        "SASE013"
+    }
+    fn name(&self) -> &'static str {
+        "duplicate-exec-arg"
+    }
+    fn summary(&self) -> &'static str {
+        "`execute:` passes the same argument more than once"
+    }
+    fn default_level(&self) -> Level {
+        Level::Deny
+    }
+    fn check(&self, ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        each_decl(ctx, |doc, decl| {
+            let Some(exec) = &decl.execute else { return };
+            let mut seen: BTreeSet<&str> = BTreeSet::new();
+            for (i, (arg_name, _)) in exec.args.iter().enumerate() {
+                if !seen.insert(arg_name) {
+                    let span = decl.spans.exec_args.get(i).copied().unwrap_or_default();
+                    out.push(
+                        Diagnostic::new(
+                            self.code(),
+                            format!("argument `{arg_name}` is passed more than once"),
+                            Locus::source(&doc.name, span),
+                        )
+                        .note("only the first occurrence is used by the compiler")
+                        .fix("remove the duplicate argument"),
+                    );
+                }
+            }
+        });
+    }
+}
+
+/// `SASE014`: an integer argument outside its valid range. The compiler
+/// narrows with `as`, so out-of-range values would otherwise wrap
+/// silently (e.g. `limit = 999` becomes `231` km/h).
+pub struct ExecArgRange;
+
+impl Rule for ExecArgRange {
+    fn code(&self) -> &'static str {
+        "SASE014"
+    }
+    fn name(&self) -> &'static str {
+        "exec-arg-range"
+    }
+    fn summary(&self) -> &'static str {
+        "`execute:` integer argument is outside its valid range"
+    }
+    fn default_level(&self) -> Level {
+        Level::Deny
+    }
+    fn check(&self, ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        each_decl(ctx, |doc, decl| {
+            let Some(exec) = &decl.execute else { return };
+            let Some(sig) = exec_sig(&exec.name) else { return };
+            for (i, (arg_name, value)) in exec.args.iter().enumerate() {
+                let Some(arg) = sig.args.iter().find(|a| a.name == arg_name) else { continue };
+                let (ArgKind::Int { min, max }, ExecArg::Int(n)) = (arg.kind, value) else {
+                    continue;
+                };
+                if *n < min || *n > max {
+                    let span = decl.spans.exec_args.get(i).copied().unwrap_or_default();
+                    out.push(
+                        Diagnostic::new(
+                            self.code(),
+                            format!("`{arg_name} = {n}` is outside the valid range {min}..={max}"),
+                            Locus::source(&doc.name, span),
+                        )
+                        .note(
+                            "the compiler narrows integers with `as`, so out-of-range \
+                               values wrap silently",
+                        ),
+                    );
+                }
+            }
+        });
+    }
+}
+
+/// `SASE015`: a `$signal` reference in a precondition that names no
+/// known simulation signal.
+pub struct UnknownSignal;
+
+impl Rule for UnknownSignal {
+    fn code(&self) -> &'static str {
+        "SASE015"
+    }
+    fn name(&self) -> &'static str {
+        "unknown-signal"
+    }
+    fn summary(&self) -> &'static str {
+        "precondition references an unknown `$signal`"
+    }
+    fn default_level(&self) -> Level {
+        Level::Warn
+    }
+    fn check(&self, ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        each_decl(ctx, |doc, decl| {
+            for signal in signal_refs(&decl.precondition) {
+                if !KNOWN_SIGNALS.contains(&signal) {
+                    out.push(
+                        Diagnostic::new(
+                            self.code(),
+                            format!("precondition references unknown signal `${signal}`"),
+                            Locus::source(&doc.name, decl.spans.precondition),
+                        )
+                        .note(format!("attack `{}`", decl.id))
+                        .fix("use a simulation signal or drop the `$` prefix for prose"),
+                    );
+                }
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signal_refs_extracts_names() {
+        let refs: Vec<&str> =
+            signal_refs("speed $speed_mps above $zone_speed_limit_kmh, then $x.").collect();
+        assert_eq!(refs, ["speed_mps", "zone_speed_limit_kmh", "x"]);
+        assert_eq!(signal_refs("no refs here").count(), 0);
+        assert_eq!(signal_refs("a lone $ sign").count(), 0);
+    }
+
+    #[test]
+    fn exec_table_is_sorted_and_matches_compiler_names() {
+        let names: Vec<&str> = EXEC_TABLE.iter().map(|sig| sig.name).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted);
+        // Every table entry must compile with minimal valid arguments.
+        for sig in EXEC_TABLE {
+            let args: Vec<String> = sig
+                .args
+                .iter()
+                .filter_map(|a| match a.kind {
+                    ArgKind::Int { min, .. } => Some(format!("{} = {}", a.name, min.max(1))),
+                    ArgKind::Word => None, // strategies/flags have defaults
+                })
+                .collect();
+            let exec = if args.is_empty() {
+                sig.name.to_owned()
+            } else {
+                format!("{}({})", sig.name, args.join(", "))
+            };
+            let src = format!(
+                "attack A {{ description: \"d\" goals: SG01 threat: TS-1 \
+                 types: \"Spoofing\" / \"Spoofing\" precondition: \"p\" \
+                 success: \"s\" fails: \"f\" execute: {exec} }}"
+            );
+            let doc = saseval_dsl::parse_document(&src).unwrap();
+            saseval_dsl::compile_document(&doc)
+                .unwrap_or_else(|e| panic!("`{}` rejected by compiler: {e}", sig.name));
+        }
+    }
+
+    #[test]
+    fn known_signals_are_sorted() {
+        let mut sorted = KNOWN_SIGNALS.to_vec();
+        sorted.sort_unstable();
+        assert_eq!(KNOWN_SIGNALS, sorted.as_slice());
+    }
+}

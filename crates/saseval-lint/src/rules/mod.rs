@@ -1,0 +1,4 @@
+//! The built-in rules, grouped by the artifact layer they inspect.
+
+pub mod artifact;
+pub mod dsl;

@@ -215,7 +215,7 @@ mod tests {
         assert_eq!(id.as_str(), "SG01");
         assert_eq!(id.to_string(), "SG01");
         assert_eq!("SG01".parse::<SafetyGoalId>().unwrap(), id);
-        assert_eq!(id.clone().into_inner(), "SG01");
+        assert_eq!(id.into_inner(), "SG01");
     }
 
     #[test]

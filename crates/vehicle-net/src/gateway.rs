@@ -91,7 +91,7 @@ pub struct GatewayStats {
 /// gw.add_rule(RouteRule::new("diag", "body", 0x200..=0x2FF, RuleAction::Deny));
 ///
 /// let attack = CanFrame::new(CanId::new(0x2A0)?, Bytes::from_static(b"open"), "tester")?;
-/// gw.receive("diag", attack, SimTime::ZERO);
+/// gw.receive("diag", &attack, SimTime::ZERO);
 /// assert_eq!(gw.stats().denied, 1);
 /// # Ok::<(), vehicle_net::NetError>(())
 /// ```
@@ -134,7 +134,7 @@ impl Gateway {
     /// Receives a frame on `from` and forwards it to every other segment
     /// an allow rule permits. Returns the names of the segments the frame
     /// was forwarded to.
-    pub fn receive(&mut self, from: &str, frame: CanFrame, now: SimTime) -> Vec<SegmentName> {
+    pub fn receive(&mut self, from: &str, frame: &CanFrame, now: SimTime) -> Vec<SegmentName> {
         let destinations: Vec<SegmentName> =
             self.segments.keys().filter(|s| s.as_str() != from).cloned().collect();
         let mut forwarded = Vec::new();
@@ -216,7 +216,7 @@ mod tests {
     #[test]
     fn allowed_route_forwards() {
         let mut gw = three_segment_gateway();
-        let forwarded = gw.receive("telematics", frame(0x2A0, "tcu"), SimTime::ZERO);
+        let forwarded = gw.receive("telematics", &frame(0x2A0, "tcu"), SimTime::ZERO);
         assert_eq!(forwarded, ["body"]);
         assert_eq!(gw.stats().forwarded, 1);
         let deliveries = gw.advance_segment("body", SimTime::from_secs(1)).unwrap();
@@ -227,7 +227,7 @@ mod tests {
     #[test]
     fn ad09_body_control_from_diag_denied() {
         let mut gw = three_segment_gateway();
-        let forwarded = gw.receive("diag", frame(0x2A0, "tester"), SimTime::ZERO);
+        let forwarded = gw.receive("diag", &frame(0x2A0, "tester"), SimTime::ZERO);
         assert!(forwarded.is_empty());
         assert_eq!(gw.stats().denied, 1);
         assert!(gw.advance_segment("body", SimTime::from_secs(1)).unwrap().is_empty());
@@ -237,7 +237,7 @@ mod tests {
     fn default_deny_for_unmatched() {
         let mut gw = three_segment_gateway();
         // 0x600 matches no rule at all.
-        let forwarded = gw.receive("diag", frame(0x600, "tester"), SimTime::ZERO);
+        let forwarded = gw.receive("diag", &frame(0x600, "tester"), SimTime::ZERO);
         assert!(forwarded.is_empty());
         assert!(gw.stats().unmatched >= 1);
     }
@@ -245,7 +245,7 @@ mod tests {
     #[test]
     fn broadcast_fans_out_to_all_allowed() {
         let mut gw = three_segment_gateway();
-        let forwarded = gw.receive("body", frame(0x420, "bcm"), SimTime::ZERO);
+        let forwarded = gw.receive("body", &frame(0x420, "bcm"), SimTime::ZERO);
         assert_eq!(forwarded.len(), 2);
         assert!(forwarded.contains(&"diag".to_owned()));
         assert!(forwarded.contains(&"telematics".to_owned()));

@@ -186,6 +186,7 @@ pub struct KeylessOutcome {
     pub isolated_at: Option<SimTime>,
 }
 
+#[derive(Clone, Copy)]
 enum OwnerAction {
     Open,
     Close,

@@ -1,5 +1,7 @@
 #!/usr/bin/env bash
-# Full local gate: formatting, lints, and the tier-1 build + test suite.
+# Full local gate: formatting, lints, docs, and the tier-1 build + test
+# suite, plus the saseval-lint static-analysis pass over the built-in
+# catalogs and the example DSL documents.
 # Usage: scripts/check.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -10,8 +12,23 @@ cargo fmt --check
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 
+echo "==> cargo doc --no-deps (warnings denied)"
+# Explicit -p list: the vendored crates are workspace members but their
+# docs are not ours to gate.
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q \
+  -p saseval -p saseval-types -p saseval-obs -p saseval-hara -p saseval-tara \
+  -p saseval-threat -p saseval-core -p saseval-dsl -p vehicle-net -p vehicle-sim \
+  -p security-controls -p attack-engine -p saseval-fuzz -p saseval-bench \
+  -p saseval-lint
+
 echo "==> tier-1: cargo build --release && cargo test -q"
 cargo build --release
 cargo test -q
+
+echo "==> saseval-lint --use-cases"
+cargo run -q -p saseval-lint -- --use-cases
+
+echo "==> saseval-lint examples/*.sasedsl"
+cargo run -q -p saseval-lint -- examples/*.sasedsl
 
 echo "All checks passed."

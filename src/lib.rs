@@ -21,6 +21,7 @@
 //! | [`engine`] | `attack-engine` | Executable attacks, executor, campaigns |
 //! | [`fuzz`] | `saseval-fuzz` | Attack-path-guided protocol fuzzing |
 //! | [`obs`] | `saseval-obs` | Counters/gauges/histograms/spans + JSON/Markdown export |
+//! | [`lint`] | `saseval-lint` | Static analysis: `SASE…` diagnostics over all artifacts |
 //!
 //! # Quickstart
 //!
@@ -44,6 +45,7 @@ pub use saseval_core as core;
 pub use saseval_dsl as dsl;
 pub use saseval_fuzz as fuzz;
 pub use saseval_hara as hara;
+pub use saseval_lint as lint;
 pub use saseval_obs as obs;
 pub use saseval_tara as tara;
 pub use saseval_threat as threat;

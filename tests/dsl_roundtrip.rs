@@ -4,7 +4,7 @@ use proptest::prelude::*;
 
 use saseval::core::catalog::{use_case_1, use_case_2};
 use saseval::core::AttackDescription;
-use saseval::dsl::ast::{AttackDecl, Document, ExecArg, ExecSpec};
+use saseval::dsl::ast::{AttackDecl, AttackSpans, Document, ExecArg, ExecSpec};
 use saseval::dsl::{compile_document, parse_document, print_document};
 
 /// Converts a validated attack description back into a DSL declaration —
@@ -26,6 +26,7 @@ fn to_decl(ad: &AttackDescription) -> AttackDecl {
         attacker: ad.attacker().map(|a| a.to_string()),
         privacy: ad.is_privacy_relevant(),
         execute: None,
+        spans: AttackSpans::default(),
     }
 }
 
@@ -45,8 +46,10 @@ fn both_catalogs_export_to_dsl_and_recompile() {
 }
 
 fn text() -> impl Strategy<Value = String> {
-    // Printable text including the characters the printer must escape.
-    proptest::string::string_regex("[ -~]{0,40}").expect("regex")
+    // Printable text including every character the printer must escape:
+    // quotes and backslashes (in the [ -~] range) plus the control
+    // characters newline, tab and carriage return.
+    proptest::string::string_regex("[ -~\n\t\r]{0,40}").expect("regex")
 }
 
 fn ident() -> impl Strategy<Value = String> {
@@ -93,6 +96,7 @@ prop_compose! {
         AttackDecl {
             id, description, goals, interface, threat, threat_type, attack_type,
             precondition, measures, success, fails, comments, attacker, privacy, execute,
+            spans: AttackSpans::default(),
         }
     }
 }
@@ -100,13 +104,46 @@ prop_compose! {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
-    /// print → parse is the identity on arbitrary well-formed documents.
+    /// print → parse is the identity on arbitrary well-formed documents,
+    /// and printing the reparsed document is byte-identical to the first
+    /// print (the pretty-printer is a fixed point of the round-trip).
     #[test]
     fn print_parse_round_trip(decls in prop::collection::vec(attack_decl(), 1..4)) {
         let document = Document { attacks: decls };
         let source = print_document(&document);
         let reparsed = parse_document(&source)
             .map_err(|e| TestCaseError::fail(format!("{e}\n---\n{source}")))?;
-        prop_assert_eq!(reparsed, document);
+        prop_assert_eq!(&reparsed, &document);
+        prop_assert_eq!(print_document(&reparsed), source);
     }
+}
+
+#[test]
+fn escaped_strings_round_trip_byte_identically() {
+    // The three characters the satellite names — `\n`, `\\`, `"` — plus
+    // `\t` and `\r`, in every string-valued field at once.
+    let nasty = "a \"quoted\" word, a back\\slash,\na second line,\ta tab,\ra return";
+    let decl = AttackDecl {
+        id: "AD-ESC".to_owned(),
+        description: nasty.to_owned(),
+        goals: vec!["SG01".to_owned()],
+        interface: None,
+        threat: "TS-1".to_owned(),
+        threat_type: nasty.to_owned(),
+        attack_type: nasty.to_owned(),
+        precondition: nasty.to_owned(),
+        measures: nasty.to_owned(),
+        success: nasty.to_owned(),
+        fails: nasty.to_owned(),
+        comments: nasty.to_owned(),
+        attacker: Some(nasty.to_owned()),
+        privacy: false,
+        execute: None,
+        spans: AttackSpans::default(),
+    };
+    let document = Document { attacks: vec![decl] };
+    let printed = print_document(&document);
+    let reparsed = parse_document(&printed).expect("printed escapes parse");
+    assert_eq!(reparsed, document);
+    assert_eq!(print_document(&reparsed), printed, "pretty output must be a fixed point");
 }

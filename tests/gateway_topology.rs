@@ -33,7 +33,7 @@ fn frame(id: u16, payload: &'static [u8], sender: &str) -> CanFrame {
 #[test]
 fn legitimate_command_path_reaches_the_actuator() {
     let mut gw = vehicle_topology();
-    let reached = gw.receive("telematics", frame(LOCK_CMD, b"open", "ble-gw"), SimTime::ZERO);
+    let reached = gw.receive("telematics", &frame(LOCK_CMD, b"open", "ble-gw"), SimTime::ZERO);
     assert_eq!(reached, ["body"]);
     let deliveries = gw.advance_segment("body", SimTime::from_millis(10)).unwrap();
     assert_eq!(deliveries.len(), 1);
@@ -44,12 +44,12 @@ fn legitimate_command_path_reaches_the_actuator() {
 fn ad09_stub_commands_blocked_status_reads_allowed() {
     let mut gw = vehicle_topology();
     // Attack: forged open command from the diagnostic stub.
-    let reached = gw.receive("diag", frame(LOCK_CMD, b"open", "stub"), SimTime::ZERO);
+    let reached = gw.receive("diag", &frame(LOCK_CMD, b"open", "stub"), SimTime::ZERO);
     assert!(reached.is_empty());
     assert!(gw.advance_segment("body", SimTime::from_millis(10)).unwrap().is_empty());
     assert_eq!(gw.stats().denied, 1, "drop is counted — detection evidence");
     // Legitimate status read-back still works for the tester.
-    let reached = gw.receive("body", frame(LOCK_STATUS, b"lckd", "bcm"), SimTime::ZERO);
+    let reached = gw.receive("body", &frame(LOCK_STATUS, b"lckd", "bcm"), SimTime::ZERO);
     assert!(reached.contains(&"diag".to_owned()));
     let deliveries = gw.advance_segment("diag", SimTime::from_millis(10)).unwrap();
     assert_eq!(deliveries.len(), 1);
@@ -59,7 +59,7 @@ fn ad09_stub_commands_blocked_status_reads_allowed() {
 fn stub_flood_cannot_cross_but_fills_the_deny_counter() {
     let mut gw = vehicle_topology();
     for i in 0..100 {
-        gw.receive("diag", frame(LOCK_CMD, b"open", "stub"), SimTime::from_millis(i));
+        gw.receive("diag", &frame(LOCK_CMD, b"open", "stub"), SimTime::from_millis(i));
     }
     assert_eq!(gw.stats().denied, 100);
     assert_eq!(gw.stats().forwarded, 0);
@@ -78,8 +78,8 @@ fn cross_segment_priority_preserved_after_forwarding() {
     // Two commands forwarded from telematics (distinct sending nodes,
     // since a node's own transmit queue is FIFO), plus local body
     // traffic: arbitration on the body segment orders by CAN ID.
-    gw.receive("telematics", frame(0x2F0, b"lo", "ble-gw"), SimTime::ZERO);
-    gw.receive("telematics", frame(0x210, b"hi", "tcu"), SimTime::ZERO);
+    gw.receive("telematics", &frame(0x2F0, b"lo", "ble-gw"), SimTime::ZERO);
+    gw.receive("telematics", &frame(0x210, b"hi", "tcu"), SimTime::ZERO);
     gw.segment_mut("body").unwrap().submit(frame(0x250, b"md", "bcm"), SimTime::ZERO).unwrap();
     let deliveries = gw.advance_segment("body", SimTime::from_millis(50)).unwrap();
     let ids: Vec<u16> = deliveries.iter().map(|d| d.frame.id().raw()).collect();

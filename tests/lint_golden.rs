@@ -1,0 +1,217 @@
+//! Golden-file tests for `saseval-lint`.
+//!
+//! A seeded-defect catalog and DSL document trigger every rule in the
+//! registry exactly once; the rendered text and SARIF JSON outputs are
+//! compared byte-for-byte against checked-in golden files, and the run
+//! is repeated to prove the ordering is deterministic.
+//!
+//! Regenerate the golden files after an intentional output change with:
+//!
+//! ```sh
+//! UPDATE_GOLDEN=1 cargo test --test lint_golden
+//! ```
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use saseval::core::catalog::UseCaseCatalog;
+use saseval::core::{AttackDescription, Justification};
+use saseval::hara::{Hara, HazardRating, ItemFunction, SafetyGoal};
+use saseval::lint::{
+    registry, render_json, render_text, run_lint, LintConfig, LintContext, LintReport,
+    SourceDocument,
+};
+use saseval::obs::Obs;
+use saseval::threat::{Asset, ThreatLibrary, ThreatScenario};
+use saseval::types::{
+    AssetGroup, AttackType, Controllability, Exposure, FailureMode, Ftti, Severity, ThreatType,
+};
+
+/// Relative fixture path; also the document name that appears in loci,
+/// so golden output stays machine-independent.
+const FIXTURE: &str = "tests/fixtures/seeded_defects.sasedsl";
+
+fn attack(id: &str, goal: &str, threat: &str, tt: ThreatType, at: AttackType) -> AttackDescription {
+    AttackDescription::builder(id, "seeded attack")
+        .safety_goal(goal)
+        .threat_scenario(threat)
+        .threat_type(tt)
+        .attack_type(at)
+        .precondition("p")
+        .attack_success("s")
+        .attack_fails("f")
+        .build()
+        .unwrap()
+}
+
+/// A library whose threats are deliberately mishandled by the catalog:
+/// `TS-A` (Spoofing) is attacked, `TS-B` (DoS) is attacked *and*
+/// justified, `TS-C` (Tampering) is left uncovered.
+fn seeded_library() -> ThreatLibrary {
+    let mut library = ThreatLibrary::new();
+    library
+        .add_asset(
+            Asset::builder("A-TEST", "test asset").group(AssetGroup::Software).build().unwrap(),
+        )
+        .unwrap();
+    for (id, description, tt) in [
+        ("TS-A", "spoofed key identifiers", ThreatType::Spoofing),
+        ("TS-B", "flooded communication channel", ThreatType::DenialOfService),
+        ("TS-C", "manipulated allowlist", ThreatType::Tampering),
+    ] {
+        library
+            .add_threat_scenario(
+                ThreatScenario::builder(id, description, tt).asset("A-TEST").build().unwrap(),
+            )
+            .unwrap();
+    }
+    library
+}
+
+/// A catalog seeded so that every artifact rule (`SASE001`–`SASE009`)
+/// fires exactly once.
+fn seeded_catalog() -> UseCaseCatalog {
+    let mut hara = Hara::new("seeded item");
+    hara.add_function(ItemFunction::new("F1", "seeded function").unwrap()).unwrap();
+    for (id, failure_mode, controllability) in [
+        ("R1", FailureMode::No, Controllability::C3),
+        ("R2", FailureMode::More, Controllability::C2),
+        ("R3", FailureMode::Less, Controllability::C2),
+    ] {
+        hara.add_rating(
+            HazardRating::builder(id, "F1", failure_mode)
+                .hazard("seeded hazard")
+                .rate(Severity::S3, Exposure::E4, controllability)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+    }
+    // SG01 (ASIL D): attacked, has an FTTI — clean.
+    // SG02 (ASIL C): has an FTTI but no attack — SASE006.
+    // SG03 (ASIL C): attacked but no FTTI — SASE007.
+    let mut goals = vec![
+        SafetyGoal::builder("SG01", "g1").covers("R1").ftti(Ftti::from_millis(500)),
+        SafetyGoal::builder("SG02", "g2").covers("R2").ftti(Ftti::from_millis(500)),
+        SafetyGoal::builder("SG03", "g3").covers("R3"),
+    ];
+    for goal in goals.drain(..) {
+        hara.add_safety_goal(goal.build().unwrap()).unwrap();
+    }
+
+    let attacks = vec![
+        // Clean: covers SG01, attacks TS-A with a matching STRIDE type.
+        attack("AD01", "SG01", "TS-A", ThreatType::Spoofing, AttackType::Spoofing),
+        // Clean: covers SG03, attacks TS-B.
+        attack("AD02", "SG03", "TS-B", ThreatType::DenialOfService, AttackType::Jamming),
+        // SASE001: references safety goal SG99 which the HARA lacks.
+        attack("AD03", "SG99", "TS-A", ThreatType::Spoofing, AttackType::Spoofing),
+        // SASE002: references threat scenario TS-MISSING.
+        attack("AD04", "SG01", "TS-MISSING", ThreatType::Spoofing, AttackType::Spoofing),
+        // SASE008: declares Tampering but TS-A is a Spoofing threat.
+        attack("AD05", "SG01", "TS-A", ThreatType::Tampering, AttackType::Manipulate),
+        // SASE003: the same ID declared twice.
+        attack("AD06", "SG01", "TS-A", ThreatType::Spoofing, AttackType::Spoofing),
+        attack("AD06", "SG01", "TS-A", ThreatType::Spoofing, AttackType::Spoofing),
+    ];
+    let justifications = vec![
+        // SASE005: TS-B is attacked by AD02, so this is stale.
+        Justification::new("TS-B", "legacy: believed unreachable").unwrap(),
+        // SASE009: TS-GONE is not in the library.
+        Justification::new("TS-GONE", "dangling rationale").unwrap(),
+    ];
+    // TS-C stays uncovered — SASE004.
+    UseCaseCatalog {
+        name: "seeded-defects".to_owned(),
+        hara,
+        scenarios: Vec::new(),
+        attacks,
+        justifications,
+    }
+}
+
+fn fixture_documents() -> Vec<SourceDocument> {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join(FIXTURE);
+    let source = std::fs::read_to_string(path).unwrap();
+    vec![SourceDocument::new(FIXTURE.to_owned(), saseval::dsl::parse_document(&source).unwrap())]
+}
+
+/// Lints the seeded catalog and the seeded DSL document, returning one
+/// report per run, in a fixed order.
+fn seeded_reports() -> Vec<(String, LintReport)> {
+    let library = seeded_library();
+    let catalog = seeded_catalog();
+    let documents = fixture_documents();
+    let obs = Obs::noop();
+    let config = LintConfig::new();
+    vec![
+        (
+            catalog.name.clone(),
+            run_lint(&LintContext::for_catalog(&library, &catalog), &config, &obs),
+        ),
+        (FIXTURE.to_owned(), run_lint(&LintContext::for_documents(&documents), &config, &obs)),
+    ]
+}
+
+fn rendered_text(runs: &[(String, LintReport)]) -> String {
+    let mut out = String::new();
+    for (label, report) in runs {
+        out.push_str(&format!("== {label}\n"));
+        out.push_str(&render_text(report));
+    }
+    out
+}
+
+fn compare_golden(name: &str, actual: &str) {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden").join(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read golden file {}: {e}", path.display()));
+    assert_eq!(actual, expected, "output differs from golden file {name}; rerun with UPDATE_GOLDEN=1 after intentional changes");
+}
+
+#[test]
+fn every_rule_fires_exactly_once_on_the_seeded_defects() {
+    let runs = seeded_reports();
+    let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
+    for (_, report) in &runs {
+        for diag in &report.diagnostics {
+            *counts.entry(diag.code.as_str()).or_insert(0) += 1;
+        }
+    }
+    for rule in registry() {
+        assert_eq!(
+            counts.get(rule.code()).copied().unwrap_or(0),
+            1,
+            "rule {} ({}) must fire exactly once; all counts: {counts:?}",
+            rule.code(),
+            rule.name(),
+        );
+    }
+    assert_eq!(counts.len(), registry().len(), "no findings beyond the registry: {counts:?}");
+}
+
+#[test]
+fn text_output_matches_golden_file() {
+    compare_golden("seeded_defects.txt", &rendered_text(&seeded_reports()));
+}
+
+#[test]
+fn json_output_matches_golden_file() {
+    let runs = seeded_reports();
+    let reports: Vec<&LintReport> = runs.iter().map(|(_, report)| report).collect();
+    compare_golden("seeded_defects.json", &render_json(&reports));
+}
+
+#[test]
+fn lint_output_is_deterministic_across_runs() {
+    let first = seeded_reports();
+    let second = seeded_reports();
+    assert_eq!(rendered_text(&first), rendered_text(&second));
+    let first_json = render_json(&first.iter().map(|(_, r)| r).collect::<Vec<_>>());
+    let second_json = render_json(&second.iter().map(|(_, r)| r).collect::<Vec<_>>());
+    assert_eq!(first_json, second_json);
+}

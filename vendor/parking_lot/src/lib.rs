@@ -126,7 +126,7 @@ mod tests {
         .join();
         assert_eq!(*lock.lock(), 5);
         *lock.lock() += 1;
-        let lock = std::sync::Arc::try_unwrap(lock).ok().expect("sole owner after join");
+        let lock = std::sync::Arc::try_unwrap(lock).expect("sole owner after join");
         assert_eq!(lock.into_inner(), 6);
     }
 }

@@ -10,16 +10,16 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 mod parse;
 
-use parse::{Fields, Input, Variant};
+use parse::{Field, Fields, Input, Variant};
 
 /// Derives the `serde::Serialize` impl.
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     expand(input, gen_serialize)
 }
 
 /// Derives the `serde::Deserialize` impl.
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     expand(input, gen_deserialize)
 }
@@ -34,13 +34,14 @@ fn expand(input: TokenStream, gen: fn(&Input) -> String) -> TokenStream {
 /// Emits the code that serializes the fields of a braced field list into a
 /// `Vec<(String, Value)>` bound to `map`, reading each field through the
 /// expression produced by `access` (e.g. `&self.name` or a binding).
-fn push_named_fields(out: &mut String, fields: &[String], access: impl Fn(&str) -> String) {
+fn push_named_fields(out: &mut String, fields: &[Field], access: impl Fn(&str) -> String) {
     out.push_str("let mut map: Vec<(String, ::serde::Value)> = Vec::new();");
     for field in fields {
+        let name = &field.name;
         out.push_str(&format!(
-            "map.push(({field:?}.to_owned(), \
+            "map.push(({name:?}.to_owned(), \
              ::serde::ser::to_value({access}).map_err(<S::Error as ::serde::ser::Error>::custom)?));",
-            access = access(field),
+            access = access(name),
         ));
     }
 }
@@ -104,7 +105,8 @@ fn gen_serialize(input: &Input) -> String {
                         ));
                     }
                     Fields::Named(fields) => {
-                        let binds = fields.join(", ");
+                        let binds =
+                            fields.iter().map(|f| f.name.as_str()).collect::<Vec<_>>().join(", ");
                         body.push_str(&format!("{name}::{vname} {{ {binds} }} => {{"));
                         push_named_fields(&mut body, fields, |f| f.to_owned());
                         body.push_str(&format!(
@@ -128,23 +130,31 @@ fn gen_serialize(input: &Input) -> String {
 
 /// Emits code that consumes `entries: Vec<(String, Value)>` and builds the
 /// constructor expression `ctor { field: …, … }`, erroring on missing
-/// fields and ignoring unknown ones (serde's default).
-fn extract_named_fields(out: &mut String, type_name: &str, ctor: &str, fields: &[String]) {
-    for field in fields {
-        out.push_str(&format!("let mut opt_{field}: Option<::serde::Value> = None;"));
+/// fields — unless they carry `#[serde(default)]` — and ignoring unknown
+/// ones (serde's default).
+fn extract_named_fields(out: &mut String, type_name: &str, ctor: &str, fields: &[Field]) {
+    for Field { name, .. } in fields {
+        out.push_str(&format!("let mut opt_{name}: Option<::serde::Value> = None;"));
     }
     out.push_str("for (key, value) in entries { match key.as_str() {");
-    for field in fields {
-        out.push_str(&format!("{field:?} => opt_{field} = Some(value),"));
+    for Field { name, .. } in fields {
+        out.push_str(&format!("{name:?} => opt_{name} = Some(value),"));
     }
     out.push_str("_ => {} } }");
     out.push_str(&format!("Ok({ctor} {{"));
-    for field in fields {
+    for Field { name, default } in fields {
+        let missing = if *default {
+            "::core::default::Default::default()".to_owned()
+        } else {
+            format!(
+                "return Err(<D::Error as ::serde::de::Error>::custom(\
+                 concat!(\"missing field `{name}` for \", {type_name:?})))"
+            )
+        };
         out.push_str(&format!(
-            "{field}: match opt_{field} {{\
+            "{name}: match opt_{name} {{\
              Some(value) => ::serde::de::from_value::<_, D::Error>(value)?,\
-             None => return Err(<D::Error as ::serde::de::Error>::custom(\
-             concat!(\"missing field `{field}` for \", {type_name:?}))),\
+             None => {missing},\
              }},"
         ));
     }

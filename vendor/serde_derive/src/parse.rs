@@ -1,7 +1,8 @@
 //! Minimal token-level parser for `derive` input: enough to recover the
 //! name, data kind (struct/enum) and field/variant shapes of non-generic
 //! items. Attributes (including doc comments) and visibilities are
-//! skipped; types are never interpreted — generated code relies on
+//! skipped — except `#[serde(default)]` on named fields, which is
+//! recorded; types are never interpreted — generated code relies on
 //! inference.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
@@ -28,7 +29,15 @@ pub(crate) enum Fields {
     /// Tuple fields, by count (1 = newtype).
     Tuple(usize),
     /// Named fields, in declaration order.
-    Named(Vec<String>),
+    Named(Vec<Field>),
+}
+
+/// One named field and the serde attributes it carries.
+pub(crate) struct Field {
+    pub name: String,
+    /// `#[serde(default)]`: substitute `Default::default()` when the field
+    /// is missing during deserialization.
+    pub default: bool,
 }
 
 type Cursor = std::iter::Peekable<std::vec::IntoIter<TokenTree>>;
@@ -37,15 +46,36 @@ fn cursor(stream: TokenStream) -> Cursor {
     stream.into_iter().collect::<Vec<_>>().into_iter().peekable()
 }
 
+/// Whether a `#[…]` bracket group body is a `serde(…)` list containing the
+/// bare `default` flag.
+fn serde_attr_has_default(body: TokenStream) -> bool {
+    let mut inner = body.into_iter();
+    match (inner.next(), inner.next()) {
+        (Some(TokenTree::Ident(name)), Some(TokenTree::Group(args)))
+            if name.to_string() == "serde" && args.delimiter() == Delimiter::Parenthesis =>
+        {
+            args.stream()
+                .into_iter()
+                .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "default"))
+        }
+        _ => false,
+    }
+}
+
 /// Skips `#[…]` attributes (including doc comments) and `pub`/`pub(…)`
-/// visibility qualifiers.
-fn skip_attrs_and_vis(tokens: &mut Cursor) {
+/// visibility qualifiers, reporting whether a `#[serde(default)]` was
+/// among them.
+fn skip_attrs_and_vis(tokens: &mut Cursor) -> bool {
+    let mut default = false;
     loop {
         match tokens.peek() {
             Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
                 tokens.next();
-                if tokens.peek().is_some_and(|t| is_group(t, Delimiter::Bracket)) {
-                    tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Bracket {
+                        default |= serde_attr_has_default(g.stream());
+                        tokens.next();
+                    }
                 }
             }
             Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
@@ -54,7 +84,7 @@ fn skip_attrs_and_vis(tokens: &mut Cursor) {
                     tokens.next();
                 }
             }
-            _ => return,
+            _ => return default,
         }
     }
 }
@@ -81,15 +111,15 @@ fn skip_type(tokens: &mut Cursor) {
     }
 }
 
-fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
     let mut tokens = cursor(stream);
     let mut fields = Vec::new();
     loop {
-        skip_attrs_and_vis(&mut tokens);
+        let default = skip_attrs_and_vis(&mut tokens);
         if tokens.peek().is_none() {
             return Ok(fields);
         }
-        fields.push(expect_ident(&mut tokens, "field name")?);
+        fields.push(Field { name: expect_ident(&mut tokens, "field name")?, default });
         match tokens.next() {
             Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
             other => return Err(format!("serde_derive: expected `:` after field, got {other:?}")),
