@@ -60,6 +60,52 @@ fn bench_fuzz_throughput(c: &mut Criterion) {
     group.finish();
 }
 
+/// Sharded parallel fuzzing vs the serial loop: same 20k-input workload
+/// on the keyless model at 1/2/4 shards. The `shards=1` row measures the
+/// serial-equivalent path, so `shards=4 / shards=1` is the parallel
+/// speedup (exported with absolute numbers by
+/// `export_report` → `BENCH_fuzz.json`).
+fn bench_parallel_fuzz(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fuzz_parallel");
+    group.sample_size(10);
+    let attack_paths = paths();
+    for shards in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("keyless_20k", shards), &shards, |b, &shards| {
+            b.iter(|| {
+                let fuzzer = Fuzzer::new(keyless_command_model(), 7);
+                black_box(fuzzer.run_parallel(&attack_paths, 20_000, shards, |_| {
+                    |input: &[u8]| {
+                        if Command::decode(input).is_some() {
+                            TargetResponse::Accepted
+                        } else {
+                            TargetResponse::Rejected
+                        }
+                    }
+                }));
+            });
+        });
+    }
+    group.finish();
+}
+
+/// The allocation-free generation path: `generate_into` with a reused
+/// scratch input vs the allocating `generate`.
+fn bench_generate_into(c: &mut Criterion) {
+    use saseval_fuzz::mutate::GeneratedInput;
+    let mut group = c.benchmark_group("fuzz_mutation");
+    for (name, model) in [("v2x", v2x_warning_model()), ("keyless", keyless_command_model())] {
+        let mut mutator = Mutator::new(model, 1);
+        let mut scratch = GeneratedInput::empty();
+        group.bench_function(BenchmarkId::new("generate_into", name), |b| {
+            b.iter(|| {
+                mutator.generate_into(&mut scratch);
+                black_box(&scratch);
+            });
+        });
+    }
+    group.finish();
+}
+
 fn bench_coverage_accounting(c: &mut Criterion) {
     let model = keyless_command_model();
     let mut mutator = Mutator::new(model.clone(), 3);
@@ -75,5 +121,12 @@ fn bench_coverage_accounting(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_mutation, bench_fuzz_throughput, bench_coverage_accounting);
+criterion_group!(
+    benches,
+    bench_mutation,
+    bench_generate_into,
+    bench_fuzz_throughput,
+    bench_parallel_fuzz,
+    bench_coverage_accounting
+);
 criterion_main!(benches);

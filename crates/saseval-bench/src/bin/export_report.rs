@@ -1,6 +1,7 @@
-//! Exports the full SaSeVAL validation reports (Markdown) and the raw
+//! Exports the full SaSeVAL validation reports (Markdown), the raw
 //! campaign results (JSON, with the run's metrics snapshot embedded) for
-//! both use cases.
+//! both use cases, and the fuzzing throughput grid (`BENCH_fuzz.json`:
+//! serial vs 2/4-shard inputs-per-second on both protocol models).
 //!
 //! ```sh
 //! cargo run -p saseval-bench --bin export_report [out-dir]
@@ -73,5 +74,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let path = out_dir.join("campaign_metrics.md");
     fs::write(&path, &metrics_md)?;
     println!("wrote {} ({} bytes)", path.display(), metrics_md.len());
+
+    // Fuzzing throughput: serial vs 2/4-shard inputs-per-second on the
+    // keyless and V2X models (the numbers EXPERIMENTS.md records).
+    let grid = saseval_bench::fuzz_bench::fuzz_throughput_grid(200_000);
+    let json = serde_json::to_string_pretty(&grid)?;
+    let path = out_dir.join("BENCH_fuzz.json");
+    fs::write(&path, &json)?;
+    println!(
+        "wrote {} ({} rows, {} hardware threads)",
+        path.display(),
+        grid.rows.len(),
+        grid.available_parallelism
+    );
     Ok(())
 }

@@ -1,16 +1,43 @@
 //! Regenerates every table and figure of the paper.
 //!
 //! ```sh
-//! cargo run -p saseval-bench --bin repro_tables            # everything
-//! cargo run -p saseval-bench --bin repro_tables table6     # one experiment
-//! cargo run -p saseval-bench --bin repro_tables --timings  # + wall-time table
+//! cargo run -p saseval-bench --bin repro_tables                  # everything
+//! cargo run -p saseval-bench --bin repro_tables table6           # one experiment
+//! cargo run -p saseval-bench --bin repro_tables --timings        # + wall-time table
+//! cargo run -p saseval-bench --bin repro_tables --fuzz-shards 4  # sharded fuzzing
 //! cargo run -p saseval-bench --bin repro_tables --list
 //! ```
 
-use saseval_bench::{all_experiments, run_experiments_timed, timing_table};
+use saseval_bench::{all_experiments, run_experiments_timed, set_fuzz_shards, timing_table};
+
+/// Removes `--fuzz-shards N` (or `--fuzz-shards=N`) from `args` and
+/// returns the requested shard count.
+fn take_fuzz_shards(args: &mut Vec<String>) -> Option<usize> {
+    let index =
+        args.iter().position(|a| a == "--fuzz-shards" || a.starts_with("--fuzz-shards="))?;
+    let flag = args.remove(index);
+    let value = match flag.split_once('=') {
+        Some((_, value)) => value.to_owned(),
+        None if index < args.len() => args.remove(index),
+        None => {
+            eprintln!("--fuzz-shards requires a shard count");
+            std::process::exit(2);
+        }
+    };
+    match value.parse::<usize>() {
+        Ok(shards) if shards >= 1 => Some(shards),
+        _ => {
+            eprintln!("--fuzz-shards expects a positive integer, got {value:?}");
+            std::process::exit(2);
+        }
+    }
+}
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(shards) = take_fuzz_shards(&mut args) {
+        set_fuzz_shards(shards);
+    }
     let experiments = all_experiments();
 
     if args.iter().any(|a| a == "--list") {

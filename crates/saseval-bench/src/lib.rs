@@ -9,7 +9,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fuzz_bench;
+
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use attack_engine::builtin::{ablation_grid, ad08_cases, ad20_cases, full_campaign};
 use attack_engine::campaign::run_campaign;
@@ -554,6 +557,17 @@ pub fn repro_alt_analyses() -> String {
     out
 }
 
+/// Shard count used by [`repro_fuzz`]; 1 runs the serial loop.
+static FUZZ_SHARDS: AtomicUsize = AtomicUsize::new(1);
+
+/// Sets the shard count [`repro_fuzz`] fuzzes with (the
+/// `repro_tables --fuzz-shards N` flag). `1` (the default) uses the
+/// serial [`Fuzzer::run`] loop; anything larger uses
+/// [`Fuzzer::run_parallel`].
+pub fn set_fuzz_shards(shards: usize) {
+    FUZZ_SHARDS.store(shards.max(1), Ordering::Relaxed);
+}
+
 /// Regenerates the §II-B fuzzing experiment: attack-path-guided fuzzing
 /// with percentage coverage.
 pub fn repro_fuzz() -> String {
@@ -576,15 +590,24 @@ pub fn repro_fuzz() -> String {
     )
     .expect("tree");
     let paths = tree.paths().expect("paths");
-    let mut fuzzer = Fuzzer::new(keyless_command_model(), 7);
-    let report = fuzzer.run(&paths, 10_000, |input| {
+    let shards = FUZZ_SHARDS.load(Ordering::Relaxed);
+    fn decode_target(input: &[u8]) -> TargetResponse {
         if vehicle_sim::keyless::Command::decode(input).is_some() {
             TargetResponse::Accepted
         } else {
             TargetResponse::Rejected
         }
-    });
+    }
+    let report = if shards == 1 {
+        Fuzzer::new(keyless_command_model(), 7).run(&paths, 10_000, decode_target)
+    } else {
+        Fuzzer::new(keyless_command_model(), 7)
+            .run_parallel(&paths, 10_000, shards, |_| decode_target)
+    };
     let mut out = String::from("§II-B — Protocol-guided fuzzing from TARA attack paths\n");
+    if shards > 1 {
+        writeln!(out, "  sharded parallel run: {shards} shards").expect("write");
+    }
     writeln!(
         out,
         "  attack paths: {} over interfaces {:?}",

@@ -1,20 +1,63 @@
 //! Coverage measurement — "the coverage of tested protocol can then be
 //! measured with percent" (paper §II-B).
-
-use std::collections::BTreeSet;
+//!
+//! Both dimensions are fixed-size bitsets so the per-input
+//! [`CoverageMap::record`] on the fuzzing hot loop is O(fields) bit
+//! arithmetic with no allocation, and shard maps from
+//! [`Fuzzer::run_parallel`](crate::fuzzer::Fuzzer::run_parallel) join via
+//! a word-wise [`CoverageMap::merge`].
 
 use serde::{Deserialize, Serialize};
 
 use crate::model::ProtocolModel;
 use crate::mutate::{GeneratedInput, ValueClass};
 
+const WORD_BITS: usize = u64::BITS as usize;
+
+fn words_for(bits: usize) -> usize {
+    bits.div_ceil(WORD_BITS)
+}
+
+/// Sets bit `bit` in `words`, growing the vector if needed. Returns
+/// whether the bit was newly set.
+fn set_bit(words: &mut Vec<u64>, bit: usize) -> bool {
+    let word = bit / WORD_BITS;
+    if word >= words.len() {
+        words.resize(word + 1, 0);
+    }
+    let mask = 1u64 << (bit % WORD_BITS);
+    let newly = words[word] & mask == 0;
+    words[word] |= mask;
+    newly
+}
+
+/// ORs `other` into `words`, growing `words` to cover `other`.
+fn or_bits(words: &mut Vec<u64>, other: &[u64]) {
+    if other.len() > words.len() {
+        words.resize(other.len(), 0);
+    }
+    for (dst, src) in words.iter_mut().zip(other) {
+        *dst |= src;
+    }
+}
+
+fn count_bits(words: &[u64]) -> usize {
+    words.iter().map(|w| w.count_ones() as usize).sum()
+}
+
 /// Tracks which `(field, value class)` cells and which attack paths have
 /// been exercised.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CoverageMap {
-    field_cells: BTreeSet<(usize, ValueClass)>,
+    /// Bitset over `total_fields × 4` cells, indexed
+    /// `field * 4 + class.index()`.
+    field_cells: Vec<u64>,
+    field_cell_count: usize,
     total_fields: usize,
-    exercised_paths: BTreeSet<usize>,
+    /// Bitset over path indices (grown on demand for out-of-range
+    /// indices, which the old set-based map also counted).
+    exercised_paths: Vec<u64>,
+    exercised_path_count: usize,
     total_paths: usize,
     structural_seen: bool,
 }
@@ -23,25 +66,46 @@ impl CoverageMap {
     /// Creates a map for `model` and `total_paths` attack paths.
     pub fn new(model: &ProtocolModel, total_paths: usize) -> Self {
         CoverageMap {
-            field_cells: BTreeSet::new(),
+            field_cells: vec![0; words_for(model.fields.len() * ValueClass::ALL.len())],
+            field_cell_count: 0,
             total_fields: model.fields.len(),
-            exercised_paths: BTreeSet::new(),
+            exercised_paths: vec![0; words_for(total_paths)],
+            exercised_path_count: 0,
             total_paths,
             structural_seen: false,
         }
     }
 
     /// Records one generated input executed under attack path
-    /// `path_index`.
+    /// `path_index`. O(1) per choice: two bitset writes, no allocation
+    /// once the map is sized (only an out-of-range `path_index` grows
+    /// storage).
     pub fn record(&mut self, path_index: usize, input: &GeneratedInput) {
-        self.exercised_paths.insert(path_index);
+        if set_bit(&mut self.exercised_paths, path_index) {
+            self.exercised_path_count += 1;
+        }
         if input.structural {
             self.structural_seen = true;
         } else {
             for &(field, class) in &input.choices {
-                self.field_cells.insert((field, class));
+                if set_bit(&mut self.field_cells, field * ValueClass::ALL.len() + class.index()) {
+                    self.field_cell_count += 1;
+                }
             }
         }
+    }
+
+    /// Merges another map (typically a shard's) into this one. Cells and
+    /// paths union word-wise; counts are recomputed from the merged bits,
+    /// so the result is identical regardless of merge order.
+    pub fn merge(&mut self, other: &CoverageMap) {
+        debug_assert_eq!(self.total_fields, other.total_fields, "merging maps of equal models");
+        debug_assert_eq!(self.total_paths, other.total_paths, "merging maps of equal path sets");
+        or_bits(&mut self.field_cells, &other.field_cells);
+        or_bits(&mut self.exercised_paths, &other.exercised_paths);
+        self.field_cell_count = count_bits(&self.field_cells);
+        self.exercised_path_count = count_bits(&self.exercised_paths);
+        self.structural_seen |= other.structural_seen;
     }
 
     /// Percentage of `(field, class)` cells exercised (0–100).
@@ -50,7 +114,7 @@ impl CoverageMap {
         if total == 0 {
             return 100.0;
         }
-        self.field_cells.len() as f64 / total as f64 * 100.0
+        self.field_cell_count as f64 / total as f64 * 100.0
     }
 
     /// Percentage of attack paths exercised (0–100).
@@ -58,7 +122,7 @@ impl CoverageMap {
         if self.total_paths == 0 {
             return 100.0;
         }
-        self.exercised_paths.len() as f64 / self.total_paths as f64 * 100.0
+        self.exercised_path_count as f64 / self.total_paths as f64 * 100.0
     }
 
     /// Whether at least one structural (length-changing) input ran.
@@ -68,7 +132,7 @@ impl CoverageMap {
 
     /// Number of exercised `(field, class)` cells.
     pub fn cells(&self) -> usize {
-        self.field_cells.len()
+        self.field_cell_count
     }
 }
 
@@ -76,6 +140,7 @@ impl CoverageMap {
 mod tests {
     use super::*;
     use crate::model::v2x_warning_model;
+    use crate::mutate::Mutator;
 
     fn input(field: usize, class: ValueClass) -> GeneratedInput {
         GeneratedInput { bytes: vec![0], choices: vec![(field, class)], structural: false }
@@ -110,5 +175,51 @@ mod tests {
         let map = CoverageMap::new(&empty_model, 0);
         assert_eq!(map.field_coverage_percent(), 100.0);
         assert_eq!(map.path_coverage_percent(), 100.0);
+    }
+
+    #[test]
+    fn out_of_range_path_index_is_counted_not_panicking() {
+        let model = v2x_warning_model();
+        let mut map = CoverageMap::new(&model, 2);
+        map.record(70, &input(0, ValueClass::Min));
+        assert_eq!(map.path_coverage_percent(), 50.0);
+    }
+
+    #[test]
+    fn merge_unions_cells_paths_and_structural() {
+        let model = v2x_warning_model();
+        let mut a = CoverageMap::new(&model, 4);
+        let mut b = CoverageMap::new(&model, 4);
+        a.record(0, &input(0, ValueClass::Min));
+        a.record(0, &input(1, ValueClass::Max));
+        b.record(1, &input(0, ValueClass::Min)); // overlaps a's first cell
+        b.record(2, &input(1, ValueClass::Invalid));
+        b.record(2, &GeneratedInput { bytes: vec![], choices: vec![], structural: true });
+        a.merge(&b);
+        assert_eq!(a.cells(), 3, "overlapping cells counted once");
+        assert!((a.path_coverage_percent() - 75.0).abs() < 1e-9);
+        assert!(a.structural_exercised());
+    }
+
+    #[test]
+    fn merge_equals_serial_recount() {
+        // Splitting one input stream across maps and merging them must
+        // equal recording the whole stream into one map.
+        let model = v2x_warning_model();
+        let mut mutator = Mutator::new(model.clone(), 21);
+        let inputs: Vec<GeneratedInput> = (0..200).map(|_| mutator.generate()).collect();
+        let mut whole = CoverageMap::new(&model, 5);
+        let mut left = CoverageMap::new(&model, 5);
+        let mut right = CoverageMap::new(&model, 5);
+        for (i, input) in inputs.iter().enumerate() {
+            whole.record(i % 5, input);
+            if i < 100 {
+                left.record(i % 5, input);
+            } else {
+                right.record(i % 5, input);
+            }
+        }
+        left.merge(&right);
+        assert_eq!(left, whole);
     }
 }

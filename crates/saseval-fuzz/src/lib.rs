@@ -16,7 +16,11 @@
 //!   classes and how many of the attack paths have been exercised,
 //! * [`fuzzer`] schedules fuzzing sessions over the interfaces named by
 //!   the attack paths of a [`saseval_tara::AttackTree`] and reports
-//!   crashes/violations found by the target oracle.
+//!   crashes/violations found by the target oracle. Serial
+//!   ([`Fuzzer::run`](fuzzer::Fuzzer::run)) and sharded-parallel
+//!   ([`Fuzzer::run_parallel`](fuzzer::Fuzzer::run_parallel)) loops share
+//!   one allocation-free core; the parallel merge is deterministic per
+//!   shard count, and one shard reproduces the serial output exactly.
 //!
 //! # Example
 //!
@@ -48,5 +52,6 @@ pub mod model;
 pub mod mutate;
 
 pub use coverage::CoverageMap;
-pub use fuzzer::{FuzzReport, Fuzzer, TargetResponse};
+pub use fuzzer::{Finding, FuzzReport, Fuzzer, TargetResponse};
 pub use model::{FieldKind, FieldSpec, ProtocolModel};
+pub use mutate::{GeneratedInput, Mutator, ValueClass};

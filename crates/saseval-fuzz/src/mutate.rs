@@ -24,10 +24,21 @@ impl ValueClass {
     /// All classes.
     pub const ALL: [ValueClass; 4] =
         [ValueClass::Min, ValueClass::Max, ValueClass::Valid, ValueClass::Invalid];
+
+    /// Stable position of this class in [`ValueClass::ALL`] — the column
+    /// index of the coverage bitset.
+    pub fn index(self) -> usize {
+        match self {
+            ValueClass::Min => 0,
+            ValueClass::Max => 1,
+            ValueClass::Valid => 2,
+            ValueClass::Invalid => 3,
+        }
+    }
 }
 
 /// A generated input plus the field/class choices that produced it.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct GeneratedInput {
     /// The wire bytes.
     pub bytes: Vec<u8>,
@@ -36,6 +47,15 @@ pub struct GeneratedInput {
     pub choices: Vec<(usize, ValueClass)>,
     /// Whether a structural mutation (truncate/extend) was applied.
     pub structural: bool,
+}
+
+impl GeneratedInput {
+    /// An empty scratch input for [`Mutator::generate_into`]. Its buffers
+    /// warm up over the first few generations and are then reused without
+    /// further allocation.
+    pub fn empty() -> Self {
+        GeneratedInput::default()
+    }
 }
 
 /// The protocol-aware mutator.
@@ -61,92 +81,113 @@ impl Mutator {
         &self.model
     }
 
-    fn field_value(&mut self, kind: &FieldKind, class: ValueClass) -> Vec<u8> {
-        match kind {
-            FieldKind::Const { value } => match class {
-                ValueClass::Invalid => vec![value.wrapping_add(1)],
-                _ => vec![*value],
-            },
-            FieldKind::Byte { min, max } => match class {
-                ValueClass::Min => vec![*min],
-                ValueClass::Max => vec![*max],
-                ValueClass::Valid => vec![self.rng.random_range(*min..=*max)],
-                ValueClass::Invalid => {
-                    // Prefer a value outside the range; fall back to a
-                    // random byte when the range covers the whole domain.
-                    if *max < u8::MAX {
-                        vec![max.saturating_add(1)]
-                    } else if *min > 0 {
-                        vec![min - 1]
-                    } else {
-                        vec![self.rng.random()]
-                    }
-                }
-            },
-            FieldKind::U64 => {
-                let value: u64 = match class {
-                    ValueClass::Min => 0,
-                    ValueClass::Max => u64::MAX,
-                    ValueClass::Valid => self.rng.random(),
-                    ValueClass::Invalid => self.rng.random::<u64>() | 0x8000_0000_0000_0000,
-                };
-                value.to_le_bytes().to_vec()
-            }
-            FieldKind::Bytes { len } => {
-                let mut block = vec![0u8; *len];
-                match class {
-                    ValueClass::Min => {}
-                    ValueClass::Max => block.fill(0xFF),
-                    ValueClass::Valid | ValueClass::Invalid => {
-                        for b in &mut block {
-                            *b = self.rng.random();
-                        }
-                    }
-                }
-                block
-            }
-        }
-    }
-
     /// Generates one input: per-field class choices, with a small chance
     /// of a structural mutation (truncation or extension) on top.
+    ///
+    /// Allocating convenience wrapper around [`Mutator::generate_into`].
     pub fn generate(&mut self) -> GeneratedInput {
-        let mut bytes = Vec::with_capacity(self.model.width());
-        let mut choices = Vec::with_capacity(self.model.fields.len());
-        let field_kinds: Vec<FieldKind> =
-            self.model.fields.iter().map(|f| f.kind.clone()).collect();
-        for (index, kind) in field_kinds.iter().enumerate() {
-            let class = ValueClass::ALL[self.rng.random_range(0..ValueClass::ALL.len())];
-            bytes.extend(self.field_value(kind, class));
-            choices.push((index, class));
+        let mut out = GeneratedInput::empty();
+        self.generate_into(&mut out);
+        out
+    }
+
+    /// [`Mutator::generate`] writing into a reusable scratch input. The
+    /// hot fuzz loop calls this with one long-lived [`GeneratedInput`],
+    /// so steady-state generation performs zero heap allocations.
+    pub fn generate_into(&mut self, out: &mut GeneratedInput) {
+        out.bytes.clear();
+        out.choices.clear();
+        let Mutator { model, rng } = self;
+        for (index, field) in model.fields.iter().enumerate() {
+            let class = ValueClass::ALL[rng.random_range(0..ValueClass::ALL.len())];
+            field_value_into(rng, &field.kind, class, &mut out.bytes);
+            out.choices.push((index, class));
         }
         // 1 in 8 inputs receives a structural mutation.
-        let structural = self.rng.random_range(0..8u32) == 0;
-        if structural {
-            if self.rng.random_bool(0.5) && !bytes.is_empty() {
-                let keep = self.rng.random_range(0..bytes.len());
-                bytes.truncate(keep);
+        out.structural = rng.random_range(0..8u32) == 0;
+        if out.structural {
+            if rng.random_bool(0.5) && !out.bytes.is_empty() {
+                let keep = rng.random_range(0..out.bytes.len());
+                out.bytes.truncate(keep);
             } else {
-                let extra = self.rng.random_range(1..=16usize);
+                let extra = rng.random_range(1..=16usize);
                 for _ in 0..extra {
-                    bytes.push(self.rng.random());
+                    out.bytes.push(rng.random());
                 }
             }
         }
-        GeneratedInput { bytes, choices, structural }
     }
 
     /// Generates a fully valid baseline message (all fields in-range).
+    ///
+    /// Allocating convenience wrapper around
+    /// [`Mutator::generate_valid_into`].
     pub fn generate_valid(&mut self) -> GeneratedInput {
-        let mut bytes = Vec::with_capacity(self.model.width());
-        let mut choices = Vec::with_capacity(self.model.fields.len());
-        let field_kinds: Vec<FieldKind> =
-            self.model.fields.iter().map(|f| f.kind.clone()).collect();
-        for (index, kind) in field_kinds.iter().enumerate() {
-            bytes.extend(self.field_value(kind, ValueClass::Valid));
-            choices.push((index, ValueClass::Valid));
+        let mut out = GeneratedInput::empty();
+        self.generate_valid_into(&mut out);
+        out
+    }
+
+    /// [`Mutator::generate_valid`] writing into a reusable scratch input.
+    pub fn generate_valid_into(&mut self, out: &mut GeneratedInput) {
+        out.bytes.clear();
+        out.choices.clear();
+        out.structural = false;
+        let Mutator { model, rng } = self;
+        for (index, field) in model.fields.iter().enumerate() {
+            field_value_into(rng, &field.kind, ValueClass::Valid, &mut out.bytes);
+            out.choices.push((index, ValueClass::Valid));
         }
-        GeneratedInput { bytes, choices, structural: false }
+    }
+}
+
+/// Appends the encoding of one field under `class` to `out`. A free
+/// function over the RNG (rather than a `&mut self` method) so the caller
+/// can iterate the model's fields without cloning them.
+fn field_value_into(rng: &mut StdRng, kind: &FieldKind, class: ValueClass, out: &mut Vec<u8>) {
+    match kind {
+        FieldKind::Const { value } => out.push(match class {
+            ValueClass::Invalid => value.wrapping_add(1),
+            _ => *value,
+        }),
+        FieldKind::Byte { min, max } => match class {
+            ValueClass::Min => out.push(*min),
+            ValueClass::Max => out.push(*max),
+            ValueClass::Valid => out.push(rng.random_range(*min..=*max)),
+            ValueClass::Invalid => {
+                // Prefer a value outside the range; fall back to a
+                // random byte when the range covers the whole domain.
+                if *max < u8::MAX {
+                    out.push(max.saturating_add(1));
+                } else if *min > 0 {
+                    out.push(min - 1);
+                } else {
+                    out.push(rng.random());
+                }
+            }
+        },
+        FieldKind::U64 => {
+            let value: u64 = match class {
+                ValueClass::Min => 0,
+                ValueClass::Max => u64::MAX,
+                ValueClass::Valid => rng.random(),
+                ValueClass::Invalid => rng.random::<u64>() | 0x8000_0000_0000_0000,
+            };
+            out.extend_from_slice(&value.to_le_bytes());
+        }
+        FieldKind::Bytes { len } => {
+            let start = out.len();
+            out.resize(start + len, 0);
+            match class {
+                ValueClass::Min => {}
+                ValueClass::Max => out[start..].fill(0xFF),
+                ValueClass::Valid | ValueClass::Invalid => {
+                    for b in &mut out[start..] {
+                        *b = rng.random();
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -207,6 +248,30 @@ mod tests {
             }
         }
         assert!(saw_structural, "structural mutations occur at ~1/8 rate");
+    }
+
+    #[test]
+    fn generate_into_reuse_matches_fresh_generation() {
+        let mut fresh_mutator = Mutator::new(keyless_command_model(), 11);
+        let mut reuse_mutator = Mutator::new(keyless_command_model(), 11);
+        let mut scratch = GeneratedInput::empty();
+        for i in 0..300 {
+            let (fresh, label) = if i % 10 == 0 {
+                reuse_mutator.generate_valid_into(&mut scratch);
+                (fresh_mutator.generate_valid(), "valid")
+            } else {
+                reuse_mutator.generate_into(&mut scratch);
+                (fresh_mutator.generate(), "mutated")
+            };
+            assert_eq!(fresh, scratch, "{label} generation {i} diverged under buffer reuse");
+        }
+    }
+
+    #[test]
+    fn value_class_index_matches_all_order() {
+        for (position, class) in ValueClass::ALL.iter().enumerate() {
+            assert_eq!(class.index(), position);
+        }
     }
 
     #[test]

@@ -233,13 +233,21 @@ impl BleLink {
     /// the link is connected and the last delivered activity is older than
     /// the supervision timeout, the connection drops.
     pub fn poll(&mut self, now: SimTime) -> Vec<BleFrame> {
-        self.in_flight.sort_by_key(|(t, _)| *t);
         let mut delivered = Vec::new();
-        let mut remaining = Vec::new();
-        for (arrival, frame) in self.in_flight.drain(..) {
-            if arrival > now {
-                remaining.push((arrival, frame));
-            } else if self.jam_until.is_some_and(|until| arrival < until) {
+        self.poll_into(now, &mut delivered);
+        delivered
+    }
+
+    /// [`BleLink::poll`] writing into a caller-owned buffer. `delivered`
+    /// is cleared first. Receivers that poll every tick keep one buffer
+    /// alive across ticks, so steady-state polling performs no per-tick
+    /// allocation.
+    pub fn poll_into(&mut self, now: SimTime, delivered: &mut Vec<BleFrame>) {
+        delivered.clear();
+        self.in_flight.sort_by_key(|(t, _)| *t);
+        let due = self.in_flight.partition_point(|(arrival, _)| *arrival <= now);
+        for (arrival, frame) in self.in_flight.drain(..due) {
+            if self.jam_until.is_some_and(|until| arrival < until) {
                 self.stats.lost += 1;
                 self.obs.counter("net.ble.lost", 1);
             } else {
@@ -251,7 +259,6 @@ impl BleLink {
         if !delivered.is_empty() {
             self.obs.counter("net.ble.delivered", delivered.len() as u64);
         }
-        self.in_flight = remaining;
 
         if self.is_connected()
             && now.saturating_since(self.last_activity) > self.config.supervision_timeout
@@ -261,7 +268,6 @@ impl BleLink {
             self.obs.counter("net.ble.supervision_drops", 1);
             self.obs.event("net.ble.session", &[("action", "supervision-drop".into())]);
         }
-        delivered
     }
 
     /// Jams the link until `until`.

@@ -191,13 +191,22 @@ impl V2xChannel {
     /// Returns messages whose arrival time is `≤ now`, in arrival order.
     /// Arrivals inside a jam window are suppressed.
     pub fn poll(&mut self, now: SimTime) -> Vec<V2xMessage> {
-        self.in_flight.sort_by_key(|(t, _)| *t);
         let mut delivered = Vec::new();
-        let mut remaining = Vec::new();
-        for (arrival, msg) in self.in_flight.drain(..) {
-            if arrival > now {
-                remaining.push((arrival, msg));
-            } else if self.jam_until.is_some_and(|until| arrival < until) {
+        self.poll_into(now, &mut delivered);
+        delivered
+    }
+
+    /// [`V2xChannel::poll`] writing into a caller-owned buffer.
+    /// `delivered` is cleared first. Receivers that poll every tick keep
+    /// one buffer alive across ticks, so steady-state polling performs no
+    /// per-tick allocation; undelivered in-flight messages stay in place
+    /// rather than being rebuilt into a fresh vector.
+    pub fn poll_into(&mut self, now: SimTime, delivered: &mut Vec<V2xMessage>) {
+        delivered.clear();
+        self.in_flight.sort_by_key(|(t, _)| *t);
+        let due = self.in_flight.partition_point(|(arrival, _)| *arrival <= now);
+        for (arrival, msg) in self.in_flight.drain(..due) {
+            if self.jam_until.is_some_and(|until| arrival < until) {
                 self.stats.jammed += 1;
                 self.obs.counter("net.v2x.jammed", 1);
             } else {
@@ -208,8 +217,6 @@ impl V2xChannel {
         if !delivered.is_empty() {
             self.obs.counter("net.v2x.delivered", delivered.len() as u64);
         }
-        self.in_flight = remaining;
-        delivered
     }
 
     /// Jams the channel until `until`: frames sent or arriving before that

@@ -166,6 +166,9 @@ pub struct ConstructionWorld {
     stack: ControlStack,
     rsu_key: MacKey,
     obu_queue: VecDeque<V2xMessage>,
+    /// Reusable scratch buffer for per-tick channel polls; draining into
+    /// it keeps the steady-state step loop free of per-tick allocation.
+    delivery_buf: Vec<V2xMessage>,
     service_alive: bool,
     next_broadcast: Option<SimTime>,
     applied_limit_kmh: Option<u8>,
@@ -231,6 +234,7 @@ impl ConstructionWorld {
             stack,
             rsu_key,
             obu_queue: VecDeque::new(),
+            delivery_buf: Vec::new(),
             service_alive: true,
             next_broadcast: None,
             applied_limit_kmh: None,
@@ -348,8 +352,9 @@ impl ConstructionWorld {
     }
 
     fn obu_tick(&mut self) {
-        let delivered = self.channel.poll(self.now);
-        for msg in delivered {
+        let mut delivered = std::mem::take(&mut self.delivery_buf);
+        self.channel.poll_into(self.now, &mut delivered);
+        for msg in delivered.drain(..) {
             // Messages from isolated senders are shed at ingress — the
             // "enforce change of frequency" effect of Table VI.
             if self.stack.is_isolated(msg.sender()) {
@@ -357,6 +362,7 @@ impl ConstructionWorld {
             }
             self.obu_queue.push_back(msg);
         }
+        self.delivery_buf = delivered;
         if self.obu_queue.len() > self.config.obu_queue_limit && self.service_alive {
             self.service_alive = false;
             self.trace.record(

@@ -102,10 +102,19 @@ impl<E> EventQueue<E> {
     /// insertion order.
     pub fn pop_due(&mut self, now: SimTime) -> Vec<E> {
         let mut due = Vec::new();
+        self.pop_due_into(now, &mut due);
+        due
+    }
+
+    /// [`EventQueue::pop_due`] writing into a caller-owned buffer. `due`
+    /// is cleared first. Step loops that drain the queue every tick keep
+    /// one buffer alive across ticks, so steady-state stepping performs
+    /// no per-tick allocation once the buffer has warmed up.
+    pub fn pop_due_into(&mut self, now: SimTime, due: &mut Vec<E>) {
+        due.clear();
         while let Some((_, event)) = self.pop_next_due(now) {
             due.push(event);
         }
-        due
     }
 
     /// Number of pending events.
@@ -204,6 +213,23 @@ mod tests {
             assert_eq!(q.pop_due(SimTime::from_secs(1)).len(), 64);
         }
         assert_eq!(q.slot_capacity(), 64, "capacity bounded by peak pending events");
+    }
+
+    #[test]
+    fn pop_due_into_reuses_buffer_and_clears_stale_events() {
+        let mut q = EventQueue::new();
+        let mut buffer = vec!["stale"];
+        q.schedule(SimTime::from_millis(1), "a");
+        q.schedule(SimTime::from_millis(2), "b");
+        q.pop_due_into(SimTime::from_millis(2), &mut buffer);
+        assert_eq!(buffer, vec!["a", "b"], "buffer cleared before refill");
+        let warm_capacity = buffer.capacity();
+        for i in 0..1_000u64 {
+            q.schedule(SimTime::from_micros(i), "e");
+            q.pop_due_into(SimTime::from_micros(i), &mut buffer);
+            assert_eq!(buffer.len(), 1);
+        }
+        assert_eq!(buffer.capacity(), warm_capacity, "steady state reuses the warm buffer");
     }
 
     #[test]

@@ -205,6 +205,11 @@ pub struct KeylessWorld {
     allow_list: Option<Arc<Mutex<IdAllowList>>>,
     forward_limiter: Option<FloodDetector>,
     owner_script: EventQueue<OwnerAction>,
+    /// Reusable scratch buffers for the per-tick link poll and owner
+    /// script drain; keeping them on the world removes the per-tick
+    /// allocations from the steady-state step loop.
+    frame_buf: Vec<vehicle_net::ble::BleFrame>,
+    action_buf: Vec<OwnerAction>,
     lock_open: bool,
     transitions: u32,
     opened_at: Option<SimTime>,
@@ -279,6 +284,8 @@ impl KeylessWorld {
             allow_list,
             forward_limiter,
             owner_script: EventQueue::new(),
+            frame_buf: Vec::new(),
+            action_buf: Vec::new(),
             lock_open: false,
             transitions: 0,
             opened_at: None,
@@ -443,8 +450,9 @@ impl KeylessWorld {
     }
 
     fn gateway_tick(&mut self) {
-        let frames = self.link.poll(self.now);
-        for frame in frames {
+        let mut frames = std::mem::take(&mut self.frame_buf);
+        self.link.poll_into(self.now, &mut frames);
+        for frame in frames.drain(..) {
             if self.stack.is_isolated(&frame.sender) {
                 continue;
             }
@@ -491,6 +499,7 @@ impl KeylessWorld {
             .expect("lock frame");
             let _ = self.can.submit(lock_cmd, self.now);
         }
+        self.frame_buf = frames;
     }
 
     fn actuator_tick(&mut self) {
@@ -564,9 +573,12 @@ impl KeylessWorld {
         while self.now < horizon {
             let now = self.now;
             attacker.on_tick(&mut self, now);
-            while let Some((_, action)) = self.owner_script.pop_next_due(self.now) {
+            let mut actions = std::mem::take(&mut self.action_buf);
+            self.owner_script.pop_due_into(self.now, &mut actions);
+            for action in actions.drain(..) {
                 self.perform_owner_action(action);
             }
+            self.action_buf = actions;
             self.gateway_tick();
             self.actuator_tick();
             self.now += self.config.tick;

@@ -21,9 +21,15 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q \
   -p security-controls -p attack-engine -p saseval-fuzz -p saseval-bench \
   -p saseval-lint
 
+echo "==> cargo bench --no-run (benches must compile)"
+cargo bench --workspace --no-run -q
+
 echo "==> tier-1: cargo build --release && cargo test -q"
 cargo build --release
 cargo test -q
+
+echo "==> sharded fuzzing smoke: repro_tables fuzz --fuzz-shards 2"
+cargo run -q --release -p saseval-bench --bin repro_tables -- fuzz --fuzz-shards 2
 
 echo "==> saseval-lint --use-cases"
 cargo run -q -p saseval-lint -- --use-cases
