@@ -1,0 +1,86 @@
+//! Benchmarks of the crash-triage layer: ddmin minimization cost per
+//! model/budget and the content-addressing hash behind the regression
+//! corpus.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use saseval_bench::triage_bench::seeded_bug_oracle;
+use saseval_fuzz::corpus::content_hash;
+use saseval_fuzz::fuzzer::TargetResponse;
+use saseval_fuzz::minimize::{minimize, MinimizeConfig};
+use saseval_obs::Obs;
+
+/// A crashing v2x input with trailing junk the minimizer must strip:
+/// `[2, 0]` plus `extra` noise bytes.
+fn v2x_crash_input(extra: usize) -> Vec<u8> {
+    let mut input = vec![2u8, 0];
+    input.extend((0..extra).map(|i| (i % 251) as u8 | 1));
+    input
+}
+
+/// A crashing keyless frame (33 bytes, cmd 2, zero timestamp) with every
+/// other byte non-zero, so zero-simplification has full work to do.
+fn keyless_crash_input() -> Vec<u8> {
+    let mut input: Vec<u8> = (0..33u8).map(|i| i | 1).collect();
+    input[0] = 2;
+    input[9..17].fill(0);
+    input
+}
+
+fn bench_minimize_models(c: &mut Criterion) {
+    let obs = Obs::noop();
+    let mut group = c.benchmark_group("triage_minimize");
+    for (name, input) in [("v2x_64b", v2x_crash_input(62)), ("keyless_33b", keyless_crash_input())]
+    {
+        let model = if name.starts_with("v2x") { "v2x-warning" } else { "keyless-command" };
+        let oracle = seeded_bug_oracle(model);
+        let config = MinimizeConfig::default();
+        group.bench_function(BenchmarkId::new("ddmin", name), |b| {
+            b.iter(|| {
+                black_box(minimize(
+                    &input,
+                    |bytes| oracle(bytes) == TargetResponse::Crash,
+                    &config,
+                    &obs,
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_minimize_budgets(c: &mut Criterion) {
+    let obs = Obs::noop();
+    let mut group = c.benchmark_group("triage_minimize");
+    let input = v2x_crash_input(254);
+    let oracle = seeded_bug_oracle("v2x-warning");
+    for budget in [256usize, 4_096] {
+        let config = MinimizeConfig { max_steps: budget };
+        group.bench_with_input(BenchmarkId::new("budget_256b_input", budget), &config, |b, cfg| {
+            b.iter(|| {
+                black_box(minimize(
+                    &input,
+                    |bytes| oracle(bytes) == TargetResponse::Crash,
+                    cfg,
+                    &obs,
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_content_hash(c: &mut Criterion) {
+    let mut group = c.benchmark_group("triage_corpus");
+    for size in [33usize, 4_096] {
+        let bytes: Vec<u8> = (0..size).map(|i| i as u8).collect();
+        group.bench_with_input(BenchmarkId::new("content_hash", size), &bytes, |b, bytes| {
+            b.iter(|| black_box(content_hash(bytes)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_minimize_models, bench_minimize_budgets, bench_content_hash);
+criterion_main!(benches);

@@ -1,7 +1,8 @@
 //! Exports the full SaSeVAL validation reports (Markdown), the raw
 //! campaign results (JSON, with the run's metrics snapshot embedded) for
-//! both use cases, and the fuzzing throughput grid (`BENCH_fuzz.json`:
-//! serial vs 2/4-shard inputs-per-second on both protocol models).
+//! both use cases, the fuzzing throughput grid (`BENCH_fuzz.json`:
+//! serial vs 2/4-shard inputs-per-second on both protocol models), and
+//! the crash-triage minimization statistics (`BENCH_triage.json`).
 //!
 //! ```sh
 //! cargo run -p saseval-bench --bin export_report [out-dir]
@@ -86,6 +87,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         path.display(),
         grid.rows.len(),
         grid.available_parallelism
+    );
+
+    // Crash triage: minimization statistics per model on the seeded-bug
+    // oracles, with the fuzz.minimize metrics embedded.
+    let triage = saseval_bench::triage_bench::minimize_stats(10_000, 4_096);
+    let json = serde_json::to_string_pretty(&triage)?;
+    let path = out_dir.join("BENCH_triage.json");
+    fs::write(&path, &json)?;
+    println!(
+        "wrote {} ({} models, {} crashes minimized)",
+        path.display(),
+        triage.rows.len(),
+        triage.rows.iter().map(|r| r.crashes).sum::<usize>()
     );
     Ok(())
 }

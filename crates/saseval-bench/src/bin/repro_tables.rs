@@ -5,9 +5,18 @@
 //! cargo run -p saseval-bench --bin repro_tables table6           # one experiment
 //! cargo run -p saseval-bench --bin repro_tables --timings        # + wall-time table
 //! cargo run -p saseval-bench --bin repro_tables --fuzz-shards 4  # sharded fuzzing
+//! cargo run -p saseval-bench --bin repro_tables --replay-corpus tests/fixtures/corpus
 //! cargo run -p saseval-bench --bin repro_tables --list
 //! ```
+//!
+//! `--replay-corpus DIR` is a standalone mode: it replays every entry of
+//! the regression corpus at `DIR` against the current built-in model
+//! oracles and exits non-zero on any regression (or corpus corruption),
+//! without running the experiments.
 
+use std::path::PathBuf;
+
+use saseval_bench::triage_bench::replay_corpus_table;
 use saseval_bench::{all_experiments, run_experiments_timed, set_fuzz_shards, timing_table};
 
 /// Removes `--fuzz-shards N` (or `--fuzz-shards=N`) from `args` and
@@ -33,8 +42,39 @@ fn take_fuzz_shards(args: &mut Vec<String>) -> Option<usize> {
     }
 }
 
+/// Removes `--replay-corpus DIR` (or `--replay-corpus=DIR`) from `args`
+/// and returns the corpus directory.
+fn take_replay_corpus(args: &mut Vec<String>) -> Option<PathBuf> {
+    let index =
+        args.iter().position(|a| a == "--replay-corpus" || a.starts_with("--replay-corpus="))?;
+    let flag = args.remove(index);
+    match flag.split_once('=') {
+        Some((_, value)) => Some(PathBuf::from(value)),
+        None if index < args.len() => Some(PathBuf::from(args.remove(index))),
+        None => {
+            eprintln!("--replay-corpus requires a corpus directory");
+            std::process::exit(2);
+        }
+    }
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(dir) = take_replay_corpus(&mut args) {
+        match replay_corpus_table(&dir) {
+            Ok((table, clean)) => {
+                print!("{table}");
+                if !clean {
+                    std::process::exit(1);
+                }
+            }
+            Err(err) => {
+                eprintln!("corpus replay failed: {err}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
     if let Some(shards) = take_fuzz_shards(&mut args) {
         set_fuzz_shards(shards);
     }

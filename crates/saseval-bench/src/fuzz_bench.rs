@@ -4,12 +4,12 @@
 
 use std::time::Instant;
 
+use saseval_fuzz::corpus::builtin_oracle;
 use saseval_fuzz::fuzzer::{Fuzzer, TargetResponse};
 use saseval_fuzz::model::{keyless_command_model, v2x_warning_model, ProtocolModel};
 use saseval_tara::tree::{AttackTree, TreeNode};
 use saseval_tara::AttackPath;
 use serde::{Deserialize, Serialize};
-use vehicle_sim::keyless::Command;
 
 /// One measured configuration of the fuzz throughput grid.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -53,24 +53,9 @@ fn bench_paths() -> Vec<AttackPath> {
     .expect("paths")
 }
 
-fn keyless_target(input: &[u8]) -> TargetResponse {
-    if Command::decode(input).is_some() {
-        TargetResponse::Accepted
-    } else {
-        TargetResponse::Rejected
-    }
-}
-
-fn v2x_target(input: &[u8]) -> TargetResponse {
-    if input.len() == 2 && (1..=3).contains(&input[0]) {
-        TargetResponse::Accepted
-    } else {
-        TargetResponse::Rejected
-    }
-}
-
-/// Runs `iterations` fuzz inputs against `model`'s robust decode oracle at
-/// the given shard count (1 = serial loop) and reports throughput.
+/// Runs `iterations` fuzz inputs against `model`'s robust decode oracle
+/// (the shared [`builtin_oracle`]) at the given shard count (1 = serial
+/// loop) and reports throughput.
 pub fn measure_fuzz_throughput(
     model: &ProtocolModel,
     shards: usize,
@@ -78,7 +63,7 @@ pub fn measure_fuzz_throughput(
 ) -> FuzzThroughputRow {
     let paths = bench_paths();
     let target: fn(&[u8]) -> TargetResponse =
-        if model.name == "keyless-command" { keyless_target } else { v2x_target };
+        builtin_oracle(&model.name).expect("built-in oracle for built-in model");
     let start = Instant::now();
     let report = if shards <= 1 {
         Fuzzer::new(model.clone(), 7).run(&paths, iterations, target)

@@ -10,6 +10,7 @@
 #![warn(missing_docs)]
 
 pub mod fuzz_bench;
+pub mod triage_bench;
 
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -633,6 +634,62 @@ pub fn repro_fuzz() -> String {
     out
 }
 
+/// Regenerates the crash-triage experiment: deterministic minimization
+/// of every crash the seeded-bug oracles produce, with reduction and
+/// step statistics per model (backing EXPERIMENTS.md's triage section
+/// and `BENCH_triage.json`).
+pub fn repro_triage() -> String {
+    let export = triage_bench::minimize_stats(10_000, 4_096);
+    let mut out = String::from("Crash triage — ddmin minimization of seeded-bug crashes\n");
+    writeln!(
+        out,
+        "  {} iterations per model, step budget {}",
+        export.iterations, export.minimize_budget
+    )
+    .expect("write");
+    writeln!(
+        out,
+        "  {:<18} {:>7} {:>10} {:>10} {:>10} {:>8}",
+        "model", "crashes", "mean len", "min len", "reduction", "steps"
+    )
+    .expect("write");
+    for row in &export.rows {
+        writeln!(
+            out,
+            "  {:<18} {:>7} {:>10.1} {:>10.1} {:>9.1}% {:>8.1}",
+            row.model,
+            row.crashes,
+            row.mean_original_len,
+            row.mean_minimized_len,
+            row.mean_reduction_ratio * 100.0,
+            row.mean_steps
+        )
+        .expect("write");
+    }
+    out.push_str(&check(
+        "every minimized input still crashes",
+        true,
+        export.rows.iter().all(|r| r.all_still_crash),
+    ));
+    out.push_str(&check(
+        "every minimization 1-minimal within budget",
+        true,
+        export.rows.iter().all(|r| r.all_one_minimal),
+    ));
+    // Determinism: a second pass over the same seeds must agree exactly.
+    let again = triage_bench::minimize_stats(10_000, 4_096);
+    out.push_str(&check(
+        "minimization deterministic across runs",
+        true,
+        export.rows.iter().zip(&again.rows).all(|(a, b)| {
+            a.crashes == b.crashes
+                && a.mean_minimized_len == b.mean_minimized_len
+                && a.mean_steps == b.mean_steps
+        }),
+    ));
+    out
+}
+
 /// Runs the full attack campaign and renders the verdict table (backing
 /// EXPERIMENTS.md's campaign section).
 pub fn repro_campaign() -> String {
@@ -724,6 +781,7 @@ pub fn all_experiments() -> Vec<Experiment> {
         ("ablation-pseudonym", repro_ablation_pseudonym),
         ("alt-analyses", repro_alt_analyses),
         ("fuzz", repro_fuzz),
+        ("triage", repro_triage),
         ("campaign", repro_campaign),
     ]
 }

@@ -1,0 +1,525 @@
+//! Persistent regression corpus: content-addressed on-disk storage of
+//! interesting fuzz inputs plus a [`Replayer`] that re-executes every
+//! entry against the current target and reports behavioural regressions.
+//!
+//! SaSeVAL's inductive-completeness argument (paper §III-D) only holds
+//! while every discovered failure stays demonstrable. The corpus is that
+//! evidence store:
+//!
+//! ```text
+//! <root>/<model>/<fnv1a64-hash>.bin    raw input bytes
+//! <root>/<model>/<fnv1a64-hash>.json   sidecar metadata (EntryMeta)
+//! ```
+//!
+//! Entries are content-addressed by the FNV-1a 64-bit hash of the input
+//! bytes, so re-adding a known input is a no-op and two corpora built
+//! from the same findings are file-identical. Load order is the hash
+//! sort order — deterministic regardless of directory enumeration order.
+//!
+//! The sidecar records where the input came from (seed, shard,
+//! iteration, coverage delta, the hash it was minimized from) and what
+//! the target did with it when it was recorded
+//! ([`EntryMeta::expected`]). Replaying compares the *current* response
+//! against that expectation; any mismatch — a fixed crash regressing, or
+//! a decoder suddenly accepting a frame it used to reject — is reported,
+//! never silently skipped.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use saseval_obs::Obs;
+use serde::{Deserialize, Serialize};
+
+use crate::fuzzer::TargetResponse;
+
+/// FNV-1a 64-bit hash of `bytes` — the corpus content address. Chosen
+/// over a cryptographic hash because the corpus is a local evidence
+/// store, not an integrity boundary, and FNV needs no dependency.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    const OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET_BASIS;
+    for &byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
+/// The 16-hex-digit content address of `bytes`.
+pub fn content_hash(bytes: &[u8]) -> String {
+    format!("{:016x}", fnv1a64(bytes))
+}
+
+/// Sidecar metadata stored next to each corpus entry.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EntryMeta {
+    /// Protocol model the input targets (the corpus subdirectory).
+    pub model: String,
+    /// Content address of the input bytes (the file stem).
+    pub hash: String,
+    /// Input length in bytes.
+    pub len: usize,
+    /// Base seed of the fuzzing run that discovered the input.
+    pub seed: u64,
+    /// Shard that executed the discovering iteration.
+    pub shard: usize,
+    /// Global iteration index at which the input was found.
+    pub iteration: usize,
+    /// Goal of the attack path whose session produced the input.
+    pub path_goal: String,
+    /// The target's response when the entry was recorded; replays
+    /// compare against this.
+    pub expected: TargetResponse,
+    /// Coverage cells newly exercised by the discovering input.
+    pub coverage_delta: usize,
+    /// Content address of the unminimized input this entry was reduced
+    /// from; `None` for entries stored as found.
+    pub minimized_from: Option<String>,
+}
+
+/// One loaded corpus entry: bytes plus sidecar.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorpusEntry {
+    /// Sidecar metadata.
+    pub meta: EntryMeta,
+    /// The input bytes.
+    pub bytes: Vec<u8>,
+}
+
+/// A content-addressed on-disk corpus rooted at one directory.
+#[derive(Debug, Clone)]
+pub struct Corpus {
+    root: PathBuf,
+}
+
+fn invalid_data(message: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, message)
+}
+
+impl Corpus {
+    /// Opens (without touching the filesystem) a corpus rooted at
+    /// `root`. Directories are created lazily on the first
+    /// [`Corpus::add`].
+    pub fn open(root: impl Into<PathBuf>) -> Self {
+        Corpus { root: root.into() }
+    }
+
+    /// The corpus root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Adds `bytes` under `meta.model`. Returns `Ok(false)` if the entry
+    /// already exists (content addressing makes re-adding a no-op).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors; rejects a `meta.hash`/`meta.len`
+    /// that disagrees with `bytes`.
+    pub fn add(&self, meta: &EntryMeta, bytes: &[u8]) -> io::Result<bool> {
+        let hash = content_hash(bytes);
+        if meta.hash != hash || meta.len != bytes.len() {
+            return Err(invalid_data(format!(
+                "metadata mismatch for {}: hash {} len {} vs computed {} len {}",
+                meta.model,
+                meta.hash,
+                meta.len,
+                hash,
+                bytes.len()
+            )));
+        }
+        let dir = self.root.join(&meta.model);
+        fs::create_dir_all(&dir)?;
+        let bin = dir.join(format!("{hash}.bin"));
+        if bin.exists() {
+            return Ok(false);
+        }
+        fs::write(&bin, bytes)?;
+        let json = serde_json::to_string_pretty(meta).map_err(|e| invalid_data(e.to_string()))?;
+        fs::write(dir.join(format!("{hash}.json")), json)?;
+        Ok(true)
+    }
+
+    /// Model names with at least one entry, sorted.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors; a missing root is an empty corpus.
+    pub fn models(&self) -> io::Result<Vec<String>> {
+        let mut models = Vec::new();
+        let entries = match fs::read_dir(&self.root) {
+            Ok(entries) => entries,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(models),
+            Err(e) => return Err(e),
+        };
+        for entry in entries {
+            let entry = entry?;
+            if entry.file_type()?.is_dir() {
+                models.push(entry.file_name().to_string_lossy().into_owned());
+            }
+        }
+        models.sort();
+        Ok(models)
+    }
+
+    /// Loads every entry of `model` in deterministic (hash-sorted)
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors; rejects entries whose bytes no
+    /// longer match their content address or whose sidecar is missing or
+    /// unparseable — a corrupt corpus fails loudly rather than replaying
+    /// partially.
+    pub fn entries(&self, model: &str) -> io::Result<Vec<CorpusEntry>> {
+        let dir = self.root.join(model);
+        let mut hashes: Vec<String> = Vec::new();
+        let read = match fs::read_dir(&dir) {
+            Ok(read) => read,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(e),
+        };
+        for entry in read {
+            let name = entry?.file_name().to_string_lossy().into_owned();
+            if let Some(stem) = name.strip_suffix(".bin") {
+                hashes.push(stem.to_owned());
+            }
+        }
+        hashes.sort();
+        let mut loaded = Vec::with_capacity(hashes.len());
+        for hash in hashes {
+            let bytes = fs::read(dir.join(format!("{hash}.bin")))?;
+            if content_hash(&bytes) != hash {
+                return Err(invalid_data(format!(
+                    "corpus entry {model}/{hash}.bin does not match its content address"
+                )));
+            }
+            let sidecar = dir.join(format!("{hash}.json"));
+            let json = fs::read_to_string(&sidecar)
+                .map_err(|e| invalid_data(format!("missing sidecar {}: {e}", sidecar.display())))?;
+            let meta: EntryMeta = serde_json::from_str(&json).map_err(|e| {
+                invalid_data(format!("unparseable sidecar {}: {e}", sidecar.display()))
+            })?;
+            loaded.push(CorpusEntry { meta, bytes });
+        }
+        Ok(loaded)
+    }
+
+    /// Number of entries stored for `model`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn len(&self, model: &str) -> io::Result<usize> {
+        Ok(self.entries(model)?.len())
+    }
+
+    /// Whether `model` has no entries.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn is_empty(&self, model: &str) -> io::Result<bool> {
+        Ok(self.len(model)? == 0)
+    }
+}
+
+/// One replayed entry whose current response differs from the recorded
+/// expectation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Regression {
+    /// Model the entry belongs to.
+    pub model: String,
+    /// Content address of the regressed entry.
+    pub hash: String,
+    /// Response recorded when the entry was stored.
+    pub expected: TargetResponse,
+    /// Response observed on replay.
+    pub actual: TargetResponse,
+}
+
+/// Result of replaying a corpus (or one model of it).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReplayReport {
+    /// Entries replayed.
+    pub total: usize,
+    /// Entries whose response matched the recorded expectation.
+    pub matched: usize,
+    /// Entries whose response changed, in deterministic (model, hash)
+    /// order. Never silently dropped: `total == matched +
+    /// regressions.len()`.
+    pub regressions: Vec<Regression>,
+}
+
+impl ReplayReport {
+    /// Whether every entry replayed to its recorded response.
+    pub fn is_clean(&self) -> bool {
+        self.regressions.is_empty()
+    }
+
+    fn absorb(&mut self, other: ReplayReport) {
+        self.total += other.total;
+        self.matched += other.matched;
+        self.regressions.extend(other.regressions);
+    }
+}
+
+/// Re-executes corpus entries against a current target oracle.
+#[derive(Debug, Default)]
+pub struct Replayer {
+    obs: Obs,
+}
+
+impl Replayer {
+    /// Creates a replayer without metrics.
+    pub fn new() -> Self {
+        Replayer { obs: Obs::noop() }
+    }
+
+    /// Attaches a metrics handle: emits `fuzz.replay.entries` /
+    /// `fuzz.replay.regressions` counters under a `fuzz.replay_seconds`
+    /// span.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// Replays every entry of `model` through `target`, comparing the
+    /// observed response against each entry's recorded expectation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Corpus::entries`] errors (filesystem and corruption).
+    pub fn replay_model(
+        &self,
+        corpus: &Corpus,
+        model: &str,
+        target: &mut dyn FnMut(&[u8]) -> TargetResponse,
+    ) -> io::Result<ReplayReport> {
+        let span = self.obs.span("fuzz.replay_seconds");
+        let mut report = ReplayReport::default();
+        for entry in corpus.entries(model)? {
+            report.total += 1;
+            let actual = target(&entry.bytes);
+            if actual == entry.meta.expected {
+                report.matched += 1;
+            } else {
+                report.regressions.push(Regression {
+                    model: model.to_owned(),
+                    hash: entry.meta.hash,
+                    expected: entry.meta.expected,
+                    actual,
+                });
+            }
+        }
+        self.obs.counter("fuzz.replay.entries", report.total as u64);
+        self.obs.counter("fuzz.replay.regressions", report.regressions.len() as u64);
+        span.finish();
+        Ok(report)
+    }
+
+    /// Replays every model subdirectory of `corpus` against the built-in
+    /// oracle for that model (see [`builtin_oracle`]).
+    ///
+    /// # Errors
+    ///
+    /// Fails on filesystem/corruption errors and on a model subdirectory
+    /// with no built-in oracle — an unreplayable entry is an error, not a
+    /// skip.
+    pub fn replay_builtin(&self, corpus: &Corpus) -> io::Result<ReplayReport> {
+        let mut combined = ReplayReport::default();
+        for model in corpus.models()? {
+            let mut oracle = builtin_oracle(&model).ok_or_else(|| {
+                invalid_data(format!("no built-in oracle for corpus model {model:?}"))
+            })?;
+            combined.absorb(self.replay_model(corpus, &model, &mut oracle)?);
+        }
+        Ok(combined)
+    }
+}
+
+/// The robust reference oracle for a built-in protocol model — the same
+/// decode targets `repro_tables fuzz` and the throughput benches run
+/// against. Returns `None` for unknown model names.
+pub fn builtin_oracle(model: &str) -> Option<fn(&[u8]) -> TargetResponse> {
+    fn keyless(input: &[u8]) -> TargetResponse {
+        if vehicle_sim::keyless::Command::decode(input).is_some() {
+            TargetResponse::Accepted
+        } else {
+            TargetResponse::Rejected
+        }
+    }
+    fn v2x(input: &[u8]) -> TargetResponse {
+        if input.len() == 2 && (1..=3).contains(&input[0]) {
+            TargetResponse::Accepted
+        } else {
+            TargetResponse::Rejected
+        }
+    }
+    match model {
+        "keyless-command" => Some(keyless),
+        "v2x-warning" => Some(v2x),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    static DIR_COUNTER: AtomicUsize = AtomicUsize::new(0);
+
+    fn temp_root() -> PathBuf {
+        let unique = DIR_COUNTER.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("saseval-corpus-test-{}-{unique}", std::process::id()))
+    }
+
+    fn meta_for(model: &str, bytes: &[u8], expected: TargetResponse) -> EntryMeta {
+        EntryMeta {
+            model: model.to_owned(),
+            hash: content_hash(bytes),
+            len: bytes.len(),
+            seed: 7,
+            shard: 0,
+            iteration: 42,
+            path_goal: "test".to_owned(),
+            expected,
+            coverage_delta: 1,
+            minimized_from: None,
+        }
+    }
+
+    #[test]
+    fn fnv_hash_is_stable_and_content_sensitive() {
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(content_hash(b"a"), format!("{:016x}", fnv1a64(b"a")));
+        assert_ne!(content_hash(b"a"), content_hash(b"b"));
+    }
+
+    #[test]
+    fn add_load_roundtrip_and_dedup() {
+        let root = temp_root();
+        let corpus = Corpus::open(&root);
+        let meta = meta_for("m", &[1, 2, 3], TargetResponse::Crash);
+        assert!(corpus.add(&meta, &[1, 2, 3]).unwrap());
+        assert!(!corpus.add(&meta, &[1, 2, 3]).unwrap(), "re-adding is a no-op");
+        let entries = corpus.entries("m").unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].bytes, vec![1, 2, 3]);
+        assert_eq!(entries[0].meta, meta);
+        assert_eq!(corpus.models().unwrap(), vec!["m".to_owned()]);
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn load_order_is_hash_sorted_and_deterministic() {
+        let root = temp_root();
+        let corpus = Corpus::open(&root);
+        for bytes in [vec![9u8], vec![1, 1], vec![], vec![200, 3, 4]] {
+            let meta = meta_for("m", &bytes, TargetResponse::Rejected);
+            corpus.add(&meta, &bytes).unwrap();
+        }
+        let first = corpus.entries("m").unwrap();
+        let second = corpus.entries("m").unwrap();
+        assert_eq!(first, second);
+        let hashes: Vec<&String> = first.iter().map(|e| &e.meta.hash).collect();
+        let mut sorted = hashes.clone();
+        sorted.sort();
+        assert_eq!(hashes, sorted);
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn mismatched_metadata_is_rejected() {
+        let root = temp_root();
+        let corpus = Corpus::open(&root);
+        let mut meta = meta_for("m", &[1, 2], TargetResponse::Crash);
+        meta.hash = "0000000000000000".to_owned();
+        assert!(corpus.add(&meta, &[1, 2]).is_err());
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn corrupt_entry_fails_loudly() {
+        let root = temp_root();
+        let corpus = Corpus::open(&root);
+        let meta = meta_for("m", &[1, 2, 3], TargetResponse::Crash);
+        corpus.add(&meta, &[1, 2, 3]).unwrap();
+        // Flip the stored bytes behind the corpus's back.
+        fs::write(root.join("m").join(format!("{}.bin", meta.hash)), [9, 9]).unwrap();
+        assert!(corpus.entries("m").is_err());
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn missing_sidecar_fails_loudly() {
+        let root = temp_root();
+        let corpus = Corpus::open(&root);
+        let meta = meta_for("m", &[4, 5], TargetResponse::Crash);
+        corpus.add(&meta, &[4, 5]).unwrap();
+        fs::remove_file(root.join("m").join(format!("{}.json", meta.hash))).unwrap();
+        assert!(corpus.entries("m").is_err());
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn replay_reports_mismatches_not_skips() {
+        let root = temp_root();
+        let corpus = Corpus::open(&root);
+        let fine = meta_for("m", &[1], TargetResponse::Rejected);
+        corpus.add(&fine, &[1]).unwrap();
+        let stale = meta_for("m", &[2], TargetResponse::Crash);
+        corpus.add(&stale, &[2]).unwrap();
+        let (obs, recorder) = Obs::memory();
+        let report = Replayer::new()
+            .with_obs(obs)
+            .replay_model(&corpus, "m", &mut |_| TargetResponse::Rejected)
+            .unwrap();
+        assert_eq!(report.total, 2);
+        assert_eq!(report.matched, 1);
+        assert_eq!(report.regressions.len(), 1);
+        assert_eq!(report.regressions[0].expected, TargetResponse::Crash);
+        assert_eq!(report.regressions[0].actual, TargetResponse::Rejected);
+        assert!(!report.is_clean());
+        let snapshot = recorder.snapshot();
+        assert_eq!(snapshot.counter("fuzz.replay.entries"), Some(2));
+        assert_eq!(snapshot.counter("fuzz.replay.regressions"), Some(1));
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn replay_builtin_covers_every_model_dir() {
+        let root = temp_root();
+        let corpus = Corpus::open(&root);
+        let v2x = meta_for("v2x-warning", &[2, 0], TargetResponse::Accepted);
+        corpus.add(&v2x, &[2, 0]).unwrap();
+        let frame = vec![0u8; 33];
+        let keyless = meta_for("keyless-command", &frame, TargetResponse::Accepted);
+        corpus.add(&keyless, &frame).unwrap();
+        let report = Replayer::new().replay_builtin(&corpus).unwrap();
+        assert_eq!(report.total, 2);
+        assert!(report.is_clean());
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn replay_builtin_rejects_unknown_model() {
+        let root = temp_root();
+        let corpus = Corpus::open(&root);
+        let meta = meta_for("no-such-model", &[1], TargetResponse::Crash);
+        corpus.add(&meta, &[1]).unwrap();
+        assert!(Replayer::new().replay_builtin(&corpus).is_err());
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn empty_corpus_is_clean() {
+        let corpus = Corpus::open(temp_root());
+        assert!(corpus.models().unwrap().is_empty());
+        assert!(corpus.is_empty("m").unwrap());
+        assert!(Replayer::new().replay_builtin(&corpus).unwrap().is_clean());
+    }
+}

@@ -11,6 +11,7 @@
 
 use std::collections::HashSet;
 use std::ops::Range;
+use std::path::PathBuf;
 use std::time::Instant;
 
 use saseval_obs::Obs;
@@ -18,7 +19,9 @@ use serde::{Deserialize, Serialize};
 
 use saseval_tara::AttackPath;
 
+use crate::corpus::{content_hash, Corpus, EntryMeta};
 use crate::coverage::CoverageMap;
+use crate::minimize::{minimize, MinimizeConfig};
 use crate::model::ProtocolModel;
 use crate::mutate::{GeneratedInput, Mutator};
 
@@ -44,6 +47,9 @@ pub struct Finding {
     pub input: Vec<u8>,
     /// Iteration number at which it was found.
     pub iteration: usize,
+    /// Coverage cells newly exercised by this input when it ran (0 for
+    /// inputs that only revisited known cells).
+    pub coverage_delta: usize,
 }
 
 /// Result of a fuzzing run.
@@ -76,12 +82,38 @@ impl FuzzReport {
     }
 }
 
+/// Crash-triage configuration: when attached via [`Fuzzer::with_triage`],
+/// every deduplicated crash of the canonical merged report is minimized
+/// (see [`mod@crate::minimize`]) and persisted — original and minimized form
+/// — into the content-addressed corpus at
+/// [`TriageConfig::corpus_dir`] (see [`crate::corpus`]).
+///
+/// Triage runs strictly *after* the merged [`FuzzReport`] is built, so
+/// enabling it never perturbs the bit-identical merge contract of
+/// [`Fuzzer::run_parallel`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TriageConfig {
+    /// Root directory of the on-disk regression corpus.
+    pub corpus_dir: PathBuf,
+    /// Step budget for the per-crash minimizer.
+    pub minimize: MinimizeConfig,
+}
+
+impl TriageConfig {
+    /// Creates a triage config persisting into `corpus_dir` with the
+    /// default minimization budget.
+    pub fn new(corpus_dir: impl Into<PathBuf>) -> Self {
+        TriageConfig { corpus_dir: corpus_dir.into(), minimize: MinimizeConfig::default() }
+    }
+}
+
 /// The protocol fuzzer. Sessions are scheduled round-robin over the
 /// attack paths so every interface named by the TARA receives inputs.
 pub struct Fuzzer {
     mutator: Mutator,
     base_seed: u64,
     obs: Obs,
+    triage: Option<TriageConfig>,
 }
 
 impl std::fmt::Debug for Fuzzer {
@@ -167,6 +199,7 @@ fn run_shard(
         } else {
             mutator.generate_into(&mut input);
         }
+        let cells_before = coverage.cells();
         if !paths.is_empty() {
             coverage.record(path_index, &input);
         }
@@ -183,6 +216,7 @@ fn run_shard(
                             .unwrap_or_default(),
                         input: input.bytes.clone(),
                         iteration: i,
+                        coverage_delta: coverage.cells() - cells_before,
                     });
                 }
             }
@@ -239,7 +273,22 @@ fn merge_shard_outcomes(outcomes: Vec<ShardOutcome>, iterations: usize) -> (Fuzz
 impl Fuzzer {
     /// Creates a fuzzer over `model` with a deterministic seed.
     pub fn new(model: ProtocolModel, seed: u64) -> Self {
-        Fuzzer { mutator: Mutator::new(model, seed), base_seed: seed, obs: Obs::noop() }
+        Fuzzer {
+            mutator: Mutator::new(model, seed),
+            base_seed: seed,
+            obs: Obs::noop(),
+            triage: None,
+        }
+    }
+
+    /// Attaches crash triage: after the (merged) report is built, every
+    /// deduplicated crash is minimized and persisted — as found and in
+    /// minimized form — into the corpus at `config.corpus_dir`. The
+    /// report itself is unaffected; persistence failures are counted
+    /// under `fuzz.triage.io_errors` rather than failing the run.
+    pub fn with_triage(mut self, config: TriageConfig) -> Self {
+        self.triage = Some(config);
+        self
     }
 
     /// Attaches a metrics handle: [`Fuzzer::run`] then samples throughput
@@ -278,6 +327,7 @@ impl Fuzzer {
         self.obs.counter("fuzz.inputs", iterations as u64);
         self.obs.counter("fuzz.crashes", report.crashes.len() as u64);
         self.obs.counter("fuzz.coverage_cells", (cells - reported) as u64);
+        self.run_triage(&report, 1, &mut target);
         span.finish();
         report
     }
@@ -347,8 +397,82 @@ impl Fuzzer {
         self.obs.counter("fuzz.crashes", report.crashes.len() as u64);
         self.obs.counter("fuzz.coverage_cells", cells as u64);
         self.obs.gauge("fuzz.shards", shards as f64);
+        if self.triage.is_some() && !report.crashes.is_empty() {
+            // The triage oracle is a dedicated instance built with index
+            // `shards` (one past the last shard), so shard oracles are
+            // never reused across threads.
+            let mut oracle = target_factory(shards);
+            self.run_triage(&report, shards, &mut oracle);
+        }
         span.finish();
         report
+    }
+
+    /// Post-merge crash triage: minimizes every deduplicated crash of
+    /// the canonical report against `oracle` and persists the original
+    /// and minimized inputs into the configured corpus. No-op without a
+    /// [`TriageConfig`]. The report is read-only here — triage can never
+    /// change coverage, counts, or crash ordering.
+    fn run_triage(
+        &self,
+        report: &FuzzReport,
+        shards: usize,
+        oracle: &mut dyn FnMut(&[u8]) -> TargetResponse,
+    ) {
+        let Some(config) = &self.triage else { return };
+        if report.crashes.is_empty() {
+            return;
+        }
+        let span = self.obs.span("fuzz.triage_seconds");
+        let corpus = Corpus::open(&config.corpus_dir);
+        let model = &self.mutator.model().name;
+        // Shards own contiguous `div_ceil` chunks of the iteration
+        // space, so the discovering shard is recoverable from the
+        // iteration index.
+        let chunk = report.iterations.div_ceil(shards.max(1)).max(1);
+        let mut new_entries = 0u64;
+        let mut io_errors = 0u64;
+        let mut store = |meta: &EntryMeta, bytes: &[u8]| match corpus.add(meta, bytes) {
+            Ok(true) => new_entries += 1,
+            Ok(false) => {}
+            Err(_) => io_errors += 1,
+        };
+        for finding in &report.crashes {
+            let minimized = minimize(
+                &finding.input,
+                |bytes| oracle(bytes) == TargetResponse::Crash,
+                &config.minimize,
+                &self.obs,
+            );
+            let original = EntryMeta {
+                model: model.clone(),
+                hash: content_hash(&finding.input),
+                len: finding.input.len(),
+                seed: self.base_seed,
+                shard: finding.iteration / chunk,
+                iteration: finding.iteration,
+                path_goal: finding.path_goal.clone(),
+                expected: TargetResponse::Crash,
+                coverage_delta: finding.coverage_delta,
+                minimized_from: None,
+            };
+            store(&original, &finding.input);
+            if minimized.output != finding.input {
+                let reduced = EntryMeta {
+                    hash: content_hash(&minimized.output),
+                    len: minimized.output.len(),
+                    minimized_from: Some(original.hash.clone()),
+                    ..original
+                };
+                store(&reduced, &minimized.output);
+            }
+        }
+        self.obs.counter("fuzz.triage.crashes", report.crashes.len() as u64);
+        self.obs.counter("fuzz.triage.new_entries", new_entries);
+        if io_errors > 0 {
+            self.obs.counter("fuzz.triage.io_errors", io_errors);
+        }
+        span.finish();
     }
 }
 

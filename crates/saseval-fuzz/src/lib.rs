@@ -20,7 +20,14 @@
 //!   ([`Fuzzer::run`](fuzzer::Fuzzer::run)) and sharded-parallel
 //!   ([`Fuzzer::run_parallel`](fuzzer::Fuzzer::run_parallel)) loops share
 //!   one allocation-free core; the parallel merge is deterministic per
-//!   shard count, and one shard reproduces the serial output exactly.
+//!   shard count, and one shard reproduces the serial output exactly,
+//! * [`mod@minimize`] shrinks crash inputs with deterministic delta
+//!   debugging (`ddmin` plus zero-simplification, step-budgeted),
+//! * [`corpus`] persists findings into a content-addressed on-disk
+//!   regression corpus and replays them against the current models —
+//!   attach a [`TriageConfig`] via
+//!   [`Fuzzer::with_triage`](fuzzer::Fuzzer::with_triage) to minimize
+//!   and persist every new crash automatically.
 //!
 //! # Example
 //!
@@ -46,12 +53,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod corpus;
 pub mod coverage;
 pub mod fuzzer;
+pub mod minimize;
 pub mod model;
 pub mod mutate;
 
+pub use corpus::{builtin_oracle, Corpus, CorpusEntry, EntryMeta, ReplayReport, Replayer};
 pub use coverage::CoverageMap;
-pub use fuzzer::{Finding, FuzzReport, Fuzzer, TargetResponse};
+pub use fuzzer::{Finding, FuzzReport, Fuzzer, TargetResponse, TriageConfig};
+pub use minimize::{minimize, MinimizeConfig, MinimizeResult};
 pub use model::{FieldKind, FieldSpec, ProtocolModel};
 pub use mutate::{GeneratedInput, Mutator, ValueClass};

@@ -1,0 +1,332 @@
+//! Deterministic crash-input minimization: delta debugging (`ddmin`)
+//! over byte ranges followed by single-byte simplification toward zero.
+//!
+//! A crash found by the fuzzer is only a useful artifact if it stays
+//! small and demonstrable. [`minimize`] shrinks an input while a caller
+//! predicate (typically "the target still crashes") keeps holding:
+//!
+//! 1. **ddmin** — partition the input into `n` chunks and try removing
+//!    each chunk (testing the complement); on success restart at coarser
+//!    granularity, otherwise refine `n` toward single bytes. When the
+//!    pass completes at byte granularity, no single-byte removal
+//!    preserves the predicate, i.e. the output is **1-minimal w.r.t. the
+//!    removal granularity**.
+//! 2. **simplification** — try replacing each remaining non-zero byte
+//!    with `0`, keeping replacements that preserve the predicate.
+//!
+//! The two passes alternate until a fixpoint (each round either shortens
+//! the input or zeroes a byte, so the loop terminates). The whole
+//! procedure uses no randomness: the same input and predicate always
+//! produce the byte-identical minimized output, which is what makes
+//! on-disk corpus entries reproducible across runs
+//! (see [`crate::corpus`]).
+//!
+//! A step budget bounds the number of predicate evaluations; an
+//! exhausted budget returns the best reduction so far with
+//! [`MinimizeResult::one_minimal`] cleared.
+
+use saseval_obs::Obs;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of one minimization run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MinimizeConfig {
+    /// Maximum number of predicate evaluations (the "step budget"). At
+    /// least 1; a run that hits the budget stops early and reports
+    /// [`MinimizeResult::budget_exhausted`].
+    pub max_steps: usize,
+}
+
+impl Default for MinimizeConfig {
+    fn default() -> Self {
+        MinimizeConfig { max_steps: 4_096 }
+    }
+}
+
+/// Outcome of [`minimize`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MinimizeResult {
+    /// The minimized input. The predicate holds on it (it is the
+    /// original input when the initial predicate check failed).
+    pub output: Vec<u8>,
+    /// Length of the original input in bytes.
+    pub original_len: usize,
+    /// Predicate evaluations consumed.
+    pub steps: usize,
+    /// Whether the step budget ran out before the fixpoint.
+    pub budget_exhausted: bool,
+    /// Whether the output is guaranteed 1-minimal w.r.t. byte removal:
+    /// removing any single byte makes the predicate fail. Set only when
+    /// the ddmin/simplify alternation reached its fixpoint within
+    /// budget.
+    pub one_minimal: bool,
+}
+
+impl MinimizeResult {
+    /// Fraction of the original input removed (0.0–1.0); 0.0 for an
+    /// empty original.
+    pub fn reduction_ratio(&self) -> f64 {
+        if self.original_len == 0 {
+            0.0
+        } else {
+            1.0 - self.output.len() as f64 / self.original_len as f64
+        }
+    }
+}
+
+/// Predicate evaluations remaining for one run. `check` returns `None`
+/// once the budget is exhausted, which aborts the current pass.
+struct Budget<'a> {
+    predicate: &'a mut dyn FnMut(&[u8]) -> bool,
+    steps: usize,
+    max_steps: usize,
+}
+
+impl Budget<'_> {
+    fn check(&mut self, candidate: &[u8]) -> Option<bool> {
+        if self.steps >= self.max_steps {
+            return None;
+        }
+        self.steps += 1;
+        Some((self.predicate)(candidate))
+    }
+}
+
+/// One ddmin pass over `current`. Returns `false` when the budget ran
+/// out mid-pass. On a `true` return with `current.len() >= 1`, the final
+/// granularity round tested every single-byte removal and all failed.
+fn ddmin_pass(current: &mut Vec<u8>, budget: &mut Budget<'_>) -> bool {
+    let mut granularity = 2usize;
+    let mut scratch: Vec<u8> = Vec::new();
+    while current.len() >= 2 {
+        let len = current.len();
+        let chunks = granularity.min(len);
+        let mut reduced = false;
+        for chunk in 0..chunks {
+            // Balanced partition: chunk boundaries at `i * len / chunks`.
+            let start = chunk * len / chunks;
+            let end = (chunk + 1) * len / chunks;
+            scratch.clear();
+            scratch.extend_from_slice(&current[..start]);
+            scratch.extend_from_slice(&current[end..]);
+            match budget.check(&scratch) {
+                None => return false,
+                Some(true) => {
+                    std::mem::swap(current, &mut scratch);
+                    granularity = (chunks - 1).max(2);
+                    reduced = true;
+                    break;
+                }
+                Some(false) => {}
+            }
+        }
+        if !reduced {
+            if chunks >= len {
+                // Byte granularity reached and no removal succeeded:
+                // 1-minimal w.r.t. removal.
+                return true;
+            }
+            granularity = (chunks * 2).min(len);
+        }
+    }
+    if current.len() == 1 {
+        match budget.check(&[]) {
+            None => return false,
+            Some(true) => current.clear(),
+            Some(false) => {}
+        }
+    }
+    true
+}
+
+/// One zero-simplification pass: tries to replace each non-zero byte
+/// with `0`, front to back. Returns `false` when the budget ran out.
+fn simplify_pass(current: &mut [u8], budget: &mut Budget<'_>) -> bool {
+    for index in 0..current.len() {
+        if current[index] == 0 {
+            continue;
+        }
+        let original = current[index];
+        current[index] = 0;
+        match budget.check(current) {
+            None => {
+                current[index] = original;
+                return false;
+            }
+            Some(true) => {}
+            Some(false) => current[index] = original,
+        }
+    }
+    true
+}
+
+/// Minimizes `input` while `predicate` keeps holding, alternating ddmin
+/// byte-range removal and single-byte zero-simplification until a
+/// fixpoint or until the step budget is spent.
+///
+/// The predicate must hold on `input` itself; if the initial check
+/// fails, the input is returned unchanged (with
+/// [`MinimizeResult::one_minimal`] cleared) rather than panicking, so a
+/// flaky or stateful oracle degrades gracefully.
+///
+/// Emits `fuzz.minimize.steps` and `fuzz.minimize.reduction_ratio`
+/// histograms plus a `fuzz.minimize_seconds` span through `obs`.
+pub fn minimize(
+    input: &[u8],
+    mut predicate: impl FnMut(&[u8]) -> bool,
+    config: &MinimizeConfig,
+    obs: &Obs,
+) -> MinimizeResult {
+    let span = obs.span("fuzz.minimize_seconds");
+    let mut budget =
+        Budget { predicate: &mut predicate, steps: 0, max_steps: config.max_steps.max(1) };
+    let initial = budget.check(input);
+    let result = if initial != Some(true) {
+        MinimizeResult {
+            output: input.to_vec(),
+            original_len: input.len(),
+            steps: budget.steps,
+            budget_exhausted: initial.is_none(),
+            one_minimal: false,
+        }
+    } else {
+        let mut current = input.to_vec();
+        let mut complete = true;
+        loop {
+            let before = current.clone();
+            if !ddmin_pass(&mut current, &mut budget) || !simplify_pass(&mut current, &mut budget) {
+                complete = false;
+                break;
+            }
+            if current == before {
+                break;
+            }
+        }
+        MinimizeResult {
+            output: current,
+            original_len: input.len(),
+            steps: budget.steps,
+            budget_exhausted: !complete,
+            one_minimal: complete,
+        }
+    };
+    obs.histogram("fuzz.minimize.steps", result.steps as f64);
+    obs.histogram("fuzz.minimize.reduction_ratio", result.reduction_ratio());
+    span.finish();
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(input: &[u8], predicate: impl FnMut(&[u8]) -> bool) -> MinimizeResult {
+        minimize(input, predicate, &MinimizeConfig::default(), &Obs::noop())
+    }
+
+    /// Crash iff the input contains the subsequence `[0xAB, 0xCD]`
+    /// contiguously.
+    fn needle_predicate(bytes: &[u8]) -> bool {
+        bytes.windows(2).any(|w| w == [0xAB, 0xCD])
+    }
+
+    #[test]
+    fn shrinks_to_the_needle() {
+        let mut input = vec![9u8; 40];
+        input[17] = 0xAB;
+        input[18] = 0xCD;
+        let result = run(&input, needle_predicate);
+        assert_eq!(result.output, vec![0xAB, 0xCD]);
+        assert!(result.one_minimal);
+        assert!(!result.budget_exhausted);
+        assert!((result.reduction_ratio() - 0.95).abs() < 1e-9);
+    }
+
+    #[test]
+    fn simplifies_surviving_bytes_toward_zero() {
+        // Crash iff at least 3 bytes and first byte is 0xFF; the tail
+        // bytes are free to become zero.
+        let result = run(&[0xFF, 7, 7, 7, 7], |b| b.len() >= 3 && b.first() == Some(&0xFF));
+        assert_eq!(result.output, vec![0xFF, 0, 0]);
+        assert!(result.one_minimal);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let result = run(&[], |b| b.is_empty());
+        assert!(result.output.is_empty());
+        assert!(result.one_minimal);
+        // A singleton whose removal un-crashes stays put.
+        let result = run(&[5], |b| b == [5]);
+        assert_eq!(result.output, vec![5]);
+        assert!(result.one_minimal);
+        // A singleton that also crashes empty shrinks to empty.
+        let result = run(&[5], |_| true);
+        assert!(result.output.is_empty());
+    }
+
+    #[test]
+    fn predicate_failing_on_input_returns_it_unchanged() {
+        let result = run(&[1, 2, 3], |_| false);
+        assert_eq!(result.output, vec![1, 2, 3]);
+        assert!(!result.one_minimal);
+        assert!(!result.budget_exhausted);
+        assert_eq!(result.steps, 1);
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_partial_result() {
+        let mut input = vec![9u8; 64];
+        input[30] = 0xAB;
+        input[31] = 0xCD;
+        let result =
+            minimize(&input, needle_predicate, &MinimizeConfig { max_steps: 4 }, &Obs::noop());
+        assert!(result.budget_exhausted);
+        assert!(!result.one_minimal);
+        assert!(result.steps <= 4);
+        assert!(result.output.len() <= input.len());
+        assert!(needle_predicate(&result.output), "partial output still crashes");
+    }
+
+    #[test]
+    fn deterministic_byte_identical_output() {
+        let mut input: Vec<u8> = (0..57).map(|i| (i * 7 + 3) as u8).collect();
+        input[20] = 0xAB;
+        input[21] = 0xCD;
+        let a = run(&input, needle_predicate);
+        let b = run(&input, needle_predicate);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn output_is_one_minimal_under_removal() {
+        // Crash iff the input holds at least four 0xEE bytes.
+        let crash = |b: &[u8]| b.iter().filter(|&&x| x == 0xEE).count() >= 4;
+        let mut input = vec![1u8; 30];
+        for i in [2, 9, 17, 25, 28] {
+            input[i] = 0xEE;
+        }
+        let result = run(&input, crash);
+        assert!(result.one_minimal);
+        assert!(crash(&result.output));
+        for i in 0..result.output.len() {
+            let mut removed = result.output.clone();
+            removed.remove(i);
+            assert!(!crash(&removed), "removing byte {i} must un-crash");
+        }
+    }
+
+    #[test]
+    fn obs_records_steps_and_reduction() {
+        let (obs, recorder) = Obs::memory();
+        let mut input = vec![9u8; 16];
+        input[5] = 0xAB;
+        input[6] = 0xCD;
+        minimize(&input, needle_predicate, &MinimizeConfig::default(), &obs);
+        let snapshot = recorder.snapshot();
+        assert_eq!(snapshot.histogram("fuzz.minimize.steps").map(|h| h.count), Some(1));
+        let ratio = snapshot.histogram("fuzz.minimize.reduction_ratio").expect("ratio");
+        assert!(ratio.max > 0.5);
+        assert_eq!(snapshot.histogram("fuzz.minimize_seconds").map(|h| h.count), Some(1));
+    }
+}

@@ -39,6 +39,28 @@ impl MetricsSnapshot {
             && self.histograms.is_empty()
             && self.events.is_empty()
     }
+
+    /// A snapshot restricted to metrics and events whose name starts
+    /// with `prefix` — for embedding one subsystem's metrics (e.g.
+    /// `fuzz.minimize.`) in a report without the rest of the run.
+    pub fn with_prefix(&self, prefix: &str) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .iter()
+                .filter(|c| c.name.starts_with(prefix))
+                .cloned()
+                .collect(),
+            gauges: self.gauges.iter().filter(|g| g.name.starts_with(prefix)).cloned().collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .filter(|h| h.name.starts_with(prefix))
+                .cloned()
+                .collect(),
+            events: self.events.iter().filter(|e| e.name.starts_with(prefix)).cloned().collect(),
+        }
+    }
 }
 
 /// A counter's final value.
@@ -104,4 +126,36 @@ pub struct EventSnapshot {
     pub name: String,
     /// Field key/value pairs in emission order.
     pub fields: Vec<(String, String)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn with_prefix_filters_every_metric_kind() {
+        let snapshot = MetricsSnapshot {
+            counters: vec![
+                CounterSnapshot { name: "fuzz.minimize.steps".into(), value: 3 },
+                CounterSnapshot { name: "net.sent".into(), value: 9 },
+            ],
+            gauges: vec![GaugeSnapshot { name: "fuzz.shards".into(), value: 2.0 }],
+            histograms: vec![HistogramSnapshot {
+                name: "fuzz.minimize.reduction_ratio".into(),
+                count: 1,
+                sum: 0.9,
+                min: 0.9,
+                max: 0.9,
+                buckets: vec![],
+            }],
+            events: vec![EventSnapshot { name: "net.ble.session".into(), fields: vec![] }],
+        };
+        let fuzz = snapshot.with_prefix("fuzz.");
+        assert_eq!(fuzz.counter("fuzz.minimize.steps"), Some(3));
+        assert_eq!(fuzz.counter("net.sent"), None);
+        assert_eq!(fuzz.gauge("fuzz.shards"), Some(2.0));
+        assert_eq!(fuzz.histograms.len(), 1);
+        assert!(fuzz.events.is_empty());
+        assert!(snapshot.with_prefix("nope.").is_empty());
+    }
 }

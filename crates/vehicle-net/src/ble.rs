@@ -48,7 +48,9 @@ pub struct BleFrame {
 pub struct BleConfig {
     /// One-way frame latency in microseconds.
     pub latency_us: u64,
-    /// Independent loss probability per frame.
+    /// Independent loss probability per frame (0.0–1.0). Validated at
+    /// [`BleLink::new`]: debug builds assert the range, release builds
+    /// clamp out-of-range values into it (NaN becomes `0.0`).
     pub loss_prob: f64,
     /// Supervision timeout: the connection drops if no frame is delivered
     /// for this long.
@@ -122,7 +124,11 @@ impl std::fmt::Debug for BleLink {
 
 impl BleLink {
     /// Creates an idle link.
-    pub fn new(config: BleConfig, seed: u64) -> Self {
+    ///
+    /// `config.loss_prob` is validated here: debug builds panic on a
+    /// value outside `[0.0, 1.0]`, release builds clamp it into range.
+    pub fn new(mut config: BleConfig, seed: u64) -> Self {
+        config.loss_prob = crate::validated_loss_prob(config.loss_prob);
         BleLink {
             config,
             state: LinkState::Idle,
@@ -134,6 +140,11 @@ impl BleLink {
             stats: BleStats::default(),
             obs: Obs::noop(),
         }
+    }
+
+    /// The configuration in effect (loss probability already validated).
+    pub fn config(&self) -> &BleConfig {
+        &self.config
     }
 
     /// Attaches a metrics handle; the link emits `net.ble.*` counters and
@@ -415,6 +426,17 @@ mod tests {
             .map(|e| e.fields[0].1.as_str())
             .collect();
         assert_eq!(actions, ["connect", "supervision-drop"]);
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "loss_prob"))]
+    fn out_of_range_loss_prob_is_rejected_at_construction() {
+        let config = BleConfig { loss_prob: f64::NAN, ..lossless() };
+        // Debug builds assert at the constructor; release builds treat
+        // NaN as a lossless link instead of panicking inside
+        // `rng.random_bool`.
+        let link = BleLink::new(config, 1);
+        assert_eq!(link.config().loss_prob, 0.0);
     }
 
     #[test]

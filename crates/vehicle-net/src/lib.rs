@@ -44,3 +44,20 @@ pub mod gateway;
 pub mod v2x;
 
 pub use error::NetError;
+
+/// Validates a per-frame loss probability at channel/link construction:
+/// asserts `probability ∈ [0.0, 1.0]` in debug builds and clamps it into
+/// that range (NaN becomes `0.0`) in release builds, so an out-of-range
+/// config fails loudly at the constructor instead of panicking deep
+/// inside `rng.random_bool` on the first lossy frame.
+pub(crate) fn validated_loss_prob(probability: f64) -> f64 {
+    debug_assert!(
+        (0.0..=1.0).contains(&probability),
+        "loss_prob must be within [0.0, 1.0], got {probability}"
+    );
+    if probability.is_nan() {
+        0.0
+    } else {
+        probability.clamp(0.0, 1.0)
+    }
+}

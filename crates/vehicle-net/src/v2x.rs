@@ -93,7 +93,9 @@ pub struct V2xConfig {
     pub latency_us: u64,
     /// Maximum deterministic jitter added on top, in microseconds.
     pub jitter_us: u64,
-    /// Independent loss probability per frame (0.0–1.0).
+    /// Independent loss probability per frame (0.0–1.0). Validated at
+    /// [`V2xChannel::new`]: debug builds assert the range, release builds
+    /// clamp out-of-range values into it (NaN becomes `0.0`).
     pub loss_prob: f64,
 }
 
@@ -141,7 +143,11 @@ impl std::fmt::Debug for V2xChannel {
 
 impl V2xChannel {
     /// Creates a channel with the given configuration and RNG seed.
-    pub fn new(config: V2xConfig, seed: u64) -> Self {
+    ///
+    /// `config.loss_prob` is validated here: debug builds panic on a
+    /// value outside `[0.0, 1.0]`, release builds clamp it into range.
+    pub fn new(mut config: V2xConfig, seed: u64) -> Self {
+        config.loss_prob = crate::validated_loss_prob(config.loss_prob);
         V2xChannel {
             config,
             rng: StdRng::seed_from_u64(seed),
@@ -342,6 +348,18 @@ mod tests {
         assert_eq!(snapshot.counter("net.v2x.sent"), Some(2));
         assert_eq!(snapshot.counter("net.v2x.jammed"), Some(2));
         assert_eq!(snapshot.counter("net.v2x.delivered"), None);
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "loss_prob"))]
+    fn out_of_range_loss_prob_is_rejected_at_construction() {
+        let config = V2xConfig { latency_us: 0, jitter_us: 0, loss_prob: 1.5 };
+        // Debug builds assert at the constructor; release builds clamp to
+        // 1.0, so every non-jammed frame is lost instead of panicking
+        // inside `rng.random_bool`.
+        let mut ch = V2xChannel::new(config, 1);
+        assert_eq!(ch.config().loss_prob, 1.0);
+        assert_eq!(ch.broadcast(msg("RSU", SimTime::ZERO), SimTime::ZERO), None);
     }
 
     #[test]

@@ -31,6 +31,12 @@ cargo test -q
 echo "==> sharded fuzzing smoke: repro_tables fuzz --fuzz-shards 2"
 cargo run -q --release -p saseval-bench --bin repro_tables -- fuzz --fuzz-shards 2
 
+echo "==> regression corpus: cargo test --test corpus_replay"
+cargo test -q --test corpus_replay
+
+echo "==> regression corpus smoke: repro_tables --replay-corpus tests/fixtures/corpus"
+cargo run -q --release -p saseval-bench --bin repro_tables -- --replay-corpus tests/fixtures/corpus
+
 echo "==> saseval-lint --use-cases"
 cargo run -q -p saseval-lint -- --use-cases
 

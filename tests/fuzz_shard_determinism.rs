@@ -11,8 +11,10 @@
 
 use proptest::prelude::*;
 
-use saseval::fuzz::fuzzer::{Fuzzer, TargetResponse};
+use saseval::fuzz::coverage::CoverageMap;
+use saseval::fuzz::fuzzer::{Fuzzer, TargetResponse, TriageConfig};
 use saseval::fuzz::model::{keyless_command_model, v2x_warning_model, ProtocolModel};
+use saseval::fuzz::mutate::Mutator;
 use saseval::tara::tree::{AttackTree, TreeNode};
 use saseval::tara::AttackPath;
 
@@ -110,6 +112,70 @@ proptest! {
             prop_assert!(seen.insert(finding.input.clone()));
         }
     }
+
+    /// Attaching triage minimizes/persists crashes strictly after the
+    /// merge, so the returned report — coverage, counts, and crash
+    /// ordering — is byte-identical with and without it.
+    #[test]
+    fn triage_does_not_perturb_the_merged_report(
+        seed in 0u64..10_000,
+        iterations in 1usize..1_500,
+        shards in 1usize..=4,
+        keyless in any::<bool>(),
+    ) {
+        let attack_paths = paths();
+        let plain = Fuzzer::new(model_for(keyless), seed)
+            .run_parallel(&attack_paths, iterations, shards, |_| crashy_target);
+        let corpus_dir = unique_corpus_dir();
+        let triaged = Fuzzer::new(model_for(keyless), seed)
+            .with_triage(TriageConfig::new(&corpus_dir))
+            .run_parallel(&attack_paths, iterations, shards, |_| crashy_target);
+        let _ = std::fs::remove_dir_all(&corpus_dir);
+        prop_assert_eq!(plain, triaged);
+    }
+
+    /// Shard-map union is a join: `CoverageMap::merge` is commutative and
+    /// idempotent, so merge order (and re-merging a shard) can never
+    /// change the merged report.
+    #[test]
+    fn coverage_merge_is_commutative_and_idempotent(
+        seed_a in 0u64..10_000,
+        seed_b in 0u64..10_000,
+        inputs in 1usize..200,
+        keyless in any::<bool>(),
+    ) {
+        let model = model_for(keyless);
+        let total_paths = paths().len();
+        let build = |seed: u64| {
+            let mut mutator = Mutator::new(model.clone(), seed);
+            let mut map = CoverageMap::new(&model, total_paths);
+            for i in 0..inputs {
+                let input = mutator.generate();
+                map.record(i % total_paths, &input);
+            }
+            map
+        };
+        let (a, b) = (build(seed_a), build(seed_b));
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(&ab, &ba);
+        let mut aa = a.clone();
+        aa.merge(&a);
+        prop_assert_eq!(&aa, &a);
+        // Merging is monotone in the exercised-cell count.
+        prop_assert!(ab.cells() >= a.cells().max(b.cells()));
+    }
+}
+
+/// A per-case unique corpus directory (proptest cases run in one
+/// process; the counter keeps them from colliding).
+fn unique_corpus_dir() -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    static DIR_COUNTER: AtomicUsize = AtomicUsize::new(0);
+    let unique = DIR_COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("saseval-triage-determinism-{}-{unique}", std::process::id()))
 }
 
 /// Exhaustive small-case check (not proptest-sampled): every shard count
