@@ -8,6 +8,7 @@ use saseval_types::{Ftti, SimTime};
 use vehicle_sim::config::ControlSelection;
 use vehicle_sim::construction::{ConstructionConfig, ConstructionOutcome, ConstructionWorld};
 use vehicle_sim::keyless::{KeylessConfig, KeylessOutcome, KeylessWorld};
+use vehicle_sim::{AttackerHook, ConstructionBatch, KeylessBatch};
 
 use crate::attacks::{
     AllowlistTamper, AuthenticatedFlood, BleJam, CanStubInject, DelayedDelivery, JamChannel,
@@ -183,6 +184,32 @@ fn keyless_config(case: &TestCase) -> KeylessConfig {
     KeylessConfig { controls: case.controls, seed: case.seed, ..Default::default() }
 }
 
+/// A test case bound to its world, attacker hook and verdict evaluator —
+/// the output of the precondition phase. Keeping the three parts
+/// separate (instead of one opaque run closure) lets
+/// [`execute_batch`] step many same-world cases in lockstep through the
+/// `vehicle-sim` batch module while [`execute`] runs them one by one;
+/// both paths share the hook and verdict, so they cannot diverge.
+//
+// Variant sizes differ because the worlds are inlined, but `Prepared`
+// values are transient — built and destructured within a single call —
+// so boxing the worlds would only add allocations.
+#[allow(clippy::large_enum_variant)]
+enum Prepared {
+    /// A construction-site case.
+    Construction {
+        world: ConstructionWorld,
+        hook: Box<dyn AttackerHook<ConstructionWorld>>,
+        verdict: fn(&ConstructionOutcome) -> (bool, bool),
+    },
+    /// A keyless case.
+    Keyless {
+        world: KeylessWorld,
+        hook: Box<dyn AttackerHook<KeylessWorld>>,
+        verdict: fn(&KeylessOutcome) -> (bool, bool),
+    },
+}
+
 /// Executes one test case end to end and evaluates the verdict.
 ///
 /// The success criterion per attack kind mirrors the corresponding attack
@@ -191,19 +218,13 @@ pub fn execute(case: &TestCase) -> ExecutionResult {
     execute_with_obs(case, &Obs::noop())
 }
 
-/// [`execute`] with metrics: phase timings land in the
-/// `case.{precondition,inject,evaluate}_seconds` histograms and each
-/// verdict is emitted as a `case.verdict` event.
-pub fn execute_with_obs(case: &TestCase, obs: &Obs) -> ExecutionResult {
-    let precondition = obs.span("case.precondition_seconds");
-    let run = prepare(case, obs);
-    precondition.finish();
-
-    let inject = obs.span("case.inject_seconds");
-    let (outcome, succeeded, detected) = run();
-    inject.finish();
-
-    let evaluate = obs.span("case.evaluate_seconds");
+fn evaluate_result(
+    case: &TestCase,
+    outcome: WorldOutcome,
+    succeeded: bool,
+    detected: bool,
+    obs: &Obs,
+) -> ExecutionResult {
     let result = ExecutionResult {
         attack_id: case.attack_id.clone(),
         label: case.label.clone(),
@@ -222,165 +243,208 @@ pub fn execute_with_obs(case: &TestCase, obs: &Obs) -> ExecutionResult {
             ("detected", detected.into()),
         ],
     );
+    result
+}
+
+/// [`execute`] with metrics: phase timings land in the
+/// `case.{precondition,inject,evaluate}_seconds` histograms and each
+/// verdict is emitted as a `case.verdict` event.
+pub fn execute_with_obs(case: &TestCase, obs: &Obs) -> ExecutionResult {
+    let precondition = obs.span("case.precondition_seconds");
+    let run = prepare(case, obs);
+    precondition.finish();
+
+    let inject = obs.span("case.inject_seconds");
+    let (outcome, succeeded, detected) = match run {
+        Prepared::Construction { world, mut hook, verdict } => {
+            let o = world.run(hook.as_mut());
+            let (succeeded, detected) = verdict(&o);
+            (WorldOutcome::Construction(o), succeeded, detected)
+        }
+        Prepared::Keyless { world, mut hook, verdict } => {
+            let o = world.run(hook.as_mut());
+            let (succeeded, detected) = verdict(&o);
+            (WorldOutcome::Keyless(o), succeeded, detected)
+        }
+    };
+    inject.finish();
+
+    let evaluate = obs.span("case.evaluate_seconds");
+    let result = evaluate_result(case, outcome, succeeded, detected, obs);
     evaluate.finish();
     result
 }
 
+/// Executes `cases` on one thread by stepping all construction-site
+/// cases as one lockstep [`ConstructionBatch`] (struct-of-arrays
+/// kinematics) and all keyless cases as one [`KeylessBatch`], then
+/// evaluating the per-case verdicts. Results come back in input order
+/// and are identical to case-by-case [`execute`] — the batch steppers
+/// preserve per-world step order exactly.
+pub fn execute_batch(cases: &[TestCase]) -> Vec<ExecutionResult> {
+    execute_batch_with_obs(cases, &Obs::noop())
+}
+
+/// [`execute_batch`] with metrics: the three phase histograms cover the
+/// whole batch, and one `case.verdict` event fires per case (grouped by
+/// world type, not input order).
+pub fn execute_batch_with_obs(cases: &[TestCase], obs: &Obs) -> Vec<ExecutionResult> {
+    let precondition = obs.span("case.precondition_seconds");
+    let mut construction = Vec::new();
+    let mut construction_worlds = Vec::new();
+    let mut keyless = Vec::new();
+    let mut keyless_worlds = Vec::new();
+    for (index, case) in cases.iter().enumerate() {
+        match prepare(case, obs) {
+            Prepared::Construction { world, hook, verdict } => {
+                construction.push((index, hook, verdict));
+                construction_worlds.push(world);
+            }
+            Prepared::Keyless { world, hook, verdict } => {
+                keyless.push((index, hook, verdict));
+                keyless_worlds.push(world);
+            }
+        }
+    }
+    precondition.finish();
+
+    let inject = obs.span("case.inject_seconds");
+    let construction_outcomes = {
+        let hooks = &mut construction;
+        ConstructionBatch::new(construction_worlds)
+            .run_outcomes(&mut |lane, world, now| hooks[lane].1.on_tick(world, now))
+    };
+    let keyless_outcomes = {
+        let hooks = &mut keyless;
+        KeylessBatch::new(keyless_worlds)
+            .run_outcomes(&mut |lane, world, now| hooks[lane].1.on_tick(world, now))
+    };
+    inject.finish();
+
+    let evaluate = obs.span("case.evaluate_seconds");
+    let mut slots: Vec<Option<ExecutionResult>> = cases.iter().map(|_| None).collect();
+    for ((index, _, verdict), outcome) in construction.into_iter().zip(construction_outcomes) {
+        let (succeeded, detected) = verdict(&outcome);
+        let outcome = WorldOutcome::Construction(outcome);
+        slots[index] = Some(evaluate_result(&cases[index], outcome, succeeded, detected, obs));
+    }
+    for ((index, _, verdict), outcome) in keyless.into_iter().zip(keyless_outcomes) {
+        let (succeeded, detected) = verdict(&outcome);
+        let outcome = WorldOutcome::Keyless(outcome);
+        slots[index] = Some(evaluate_result(&cases[index], outcome, succeeded, detected, obs));
+    }
+    evaluate.finish();
+    slots.into_iter().map(|slot| slot.expect("every case lands in exactly one batch")).collect()
+}
+
 /// Builds the world and attacker hook for `case` — the precondition
-/// phase — and returns a closure that runs the world and evaluates the
-/// attack-specific criteria — the injection phase.
-fn prepare(case: &TestCase, obs: &Obs) -> Box<dyn FnOnce() -> (WorldOutcome, bool, bool)> {
+/// phase — paired with the attack-specific verdict evaluator applied
+/// after the run — the injection phase.
+fn prepare(case: &TestCase, obs: &Obs) -> Prepared {
     match &case.kind {
-        AttackKind::V2xFlood { per_tick } => {
-            let mut hook = AuthenticatedFlood {
+        AttackKind::V2xFlood { per_tick } => Prepared::Construction {
+            world: ConstructionWorld::new(construction_config(case)).with_obs(obs.clone()),
+            hook: Box::new(AuthenticatedFlood {
                 sender: "attacker".to_owned(),
                 per_tick: *per_tick,
                 within_m: 1_200.0,
-            };
-            let world = ConstructionWorld::new(construction_config(case)).with_obs(obs.clone());
-            Box::new(move || {
-                let o = world.run(&mut hook);
-                // Table VI: success = "Shutdown of service"; fails =
-                // "Security control identifies unwanted sender".
-                let succeeded = o.service_shutdown;
-                let detected = o.isolated_senders.iter().any(|s| s == "attacker");
-                (WorldOutcome::Construction(o), succeeded, detected)
-            })
-        }
-        AttackKind::V2xFakeLimit { limit } => {
-            let mut hook = UnsignedSpoof::fake_limit(*limit);
-            let world = ConstructionWorld::new(construction_config(case)).with_obs(obs.clone());
-            Box::new(move || {
-                let o = world.run(&mut hook);
-                let succeeded = o.sg03_violated;
-                let detected = !o.isolated_senders.is_empty();
-                (WorldOutcome::Construction(o), succeeded, detected)
-            })
-        }
-        AttackKind::V2xInsiderLimit { limit } => {
-            let mut hook = SignedSpoofLimit::new(*limit, Ftti::from_millis(100));
-            let world = ConstructionWorld::new(construction_config(case)).with_obs(obs.clone());
-            Box::new(move || {
-                let o = world.run(&mut hook);
-                let succeeded = o.sg03_violated;
-                let detected = !o.isolated_senders.is_empty();
-                (WorldOutcome::Construction(o), succeeded, detected)
-            })
-        }
-        AttackKind::V2xReplayWarning { staleness_s } => {
-            let mut hook =
-                ReplayStaleWarning::new(SimTime::from_secs(1), Ftti::from_secs(*staleness_s));
-            let world = ConstructionWorld::new(construction_config(case)).with_obs(obs.clone());
-            Box::new(move || {
-                let o = world.run(&mut hook);
-                // Success = the replayed warning was accepted although no
-                // site was in range (the SG05 "unintended warnings" class).
-                let succeeded = o.unintended_warnings > 0;
-                let detected = !o.isolated_senders.is_empty();
-                (WorldOutcome::Construction(o), succeeded, detected)
-            })
-        }
-        AttackKind::V2xJam => {
-            let mut hook = JamChannel::new(SimTime::ZERO, SimTime::from_secs(3_600));
-            let world = ConstructionWorld::new(construction_config(case)).with_obs(obs.clone());
-            Box::new(move || {
-                let o = world.run(&mut hook);
-                let succeeded = o.sg01_violated;
-                let detected = !o.isolated_senders.is_empty();
-                (WorldOutcome::Construction(o), succeeded, detected)
-            })
-        }
-        AttackKind::V2xDelay { release_s } => {
-            let mut hook = DelayedDelivery::new(SimTime::from_secs(*release_s));
-            let world = ConstructionWorld::new(construction_config(case)).with_obs(obs.clone());
-            Box::new(move || {
-                let o = world.run(&mut hook);
-                let succeeded = o.sg01_violated || o.sg04_violated;
-                let detected = !o.isolated_senders.is_empty();
-                (WorldOutcome::Construction(o), succeeded, detected)
-            })
-        }
-        AttackKind::KeySpoof { strategy, budget } => {
-            let mut hook = KeyIdSpoof::new(*strategy, 5, *budget, case.seed);
-            let world = KeylessWorld::new(keyless_config(case)).with_obs(obs.clone());
-            Box::new(move || {
-                let o = world.run(&mut hook);
-                // Table VII: success = "Open the vehicle"; fails =
-                // "Opening is rejected".
-                let succeeded = o.sg01_violated;
-                let detected = o.isolated_senders.iter().any(|s| s == "attacker");
-                (WorldOutcome::Keyless(o), succeeded, detected)
-            })
-        }
+            }),
+            // Table VI: success = "Shutdown of service"; fails =
+            // "Security control identifies unwanted sender".
+            verdict: |o| (o.service_shutdown, o.isolated_senders.iter().any(|s| s == "attacker")),
+        },
+        AttackKind::V2xFakeLimit { limit } => Prepared::Construction {
+            world: ConstructionWorld::new(construction_config(case)).with_obs(obs.clone()),
+            hook: Box::new(UnsignedSpoof::fake_limit(*limit)),
+            verdict: |o| (o.sg03_violated, !o.isolated_senders.is_empty()),
+        },
+        AttackKind::V2xInsiderLimit { limit } => Prepared::Construction {
+            world: ConstructionWorld::new(construction_config(case)).with_obs(obs.clone()),
+            hook: Box::new(SignedSpoofLimit::new(*limit, Ftti::from_millis(100))),
+            verdict: |o| (o.sg03_violated, !o.isolated_senders.is_empty()),
+        },
+        AttackKind::V2xReplayWarning { staleness_s } => Prepared::Construction {
+            world: ConstructionWorld::new(construction_config(case)).with_obs(obs.clone()),
+            hook: Box::new(ReplayStaleWarning::new(
+                SimTime::from_secs(1),
+                Ftti::from_secs(*staleness_s),
+            )),
+            // Success = the replayed warning was accepted although no
+            // site was in range (the SG05 "unintended warnings" class).
+            verdict: |o| (o.unintended_warnings > 0, !o.isolated_senders.is_empty()),
+        },
+        AttackKind::V2xJam => Prepared::Construction {
+            world: ConstructionWorld::new(construction_config(case)).with_obs(obs.clone()),
+            hook: Box::new(JamChannel::new(SimTime::ZERO, SimTime::from_secs(3_600))),
+            verdict: |o| (o.sg01_violated, !o.isolated_senders.is_empty()),
+        },
+        AttackKind::V2xDelay { release_s } => Prepared::Construction {
+            world: ConstructionWorld::new(construction_config(case)).with_obs(obs.clone()),
+            hook: Box::new(DelayedDelivery::new(SimTime::from_secs(*release_s))),
+            verdict: |o| (o.sg01_violated || o.sg04_violated, !o.isolated_senders.is_empty()),
+        },
+        AttackKind::KeySpoof { strategy, budget } => Prepared::Keyless {
+            world: KeylessWorld::new(keyless_config(case)).with_obs(obs.clone()),
+            hook: Box::new(KeyIdSpoof::new(*strategy, 5, *budget, case.seed)),
+            // Table VII: success = "Open the vehicle"; fails =
+            // "Opening is rejected".
+            verdict: |o| (o.sg01_violated, o.isolated_senders.iter().any(|s| s == "attacker")),
+        },
         AttackKind::BleReplayOpen => {
             let mut world = KeylessWorld::new(keyless_config(case)).with_obs(obs.clone());
             world.schedule_owner_open(SimTime::from_secs(1));
             world.schedule_owner_close(SimTime::from_secs(5));
-            let mut hook = ReplayOpen::new(SimTime::from_secs(8));
-            Box::new(move || {
-                let o = world.run(&mut hook);
-                let succeeded = o.sg01_violated;
-                let detected = !o.isolated_senders.is_empty();
-                (WorldOutcome::Keyless(o), succeeded, detected)
-            })
+            Prepared::Keyless {
+                world,
+                hook: Box::new(ReplayOpen::new(SimTime::from_secs(8))),
+                verdict: |o| (o.sg01_violated, !o.isolated_senders.is_empty()),
+            }
         }
         AttackKind::BleCanFlood { per_tick } => {
             let mut world = KeylessWorld::new(keyless_config(case)).with_obs(obs.clone());
             world.schedule_owner_open(SimTime::from_secs(1));
-            let mut hook = ServiceFlood { per_tick: *per_tick };
-            Box::new(move || {
-                let o = world.run(&mut hook);
-                let succeeded = o.sg03_violated;
-                let detected = !o.isolated_senders.is_empty();
-                (WorldOutcome::Keyless(o), succeeded, detected)
-            })
+            Prepared::Keyless {
+                world,
+                hook: Box::new(ServiceFlood { per_tick: *per_tick }),
+                verdict: |o| (o.sg03_violated, !o.isolated_senders.is_empty()),
+            }
         }
         AttackKind::BleJamming => {
             let mut world = KeylessWorld::new(keyless_config(case)).with_obs(obs.clone());
             world.schedule_owner_open(SimTime::from_secs(1));
-            let mut hook = BleJam::new(SimTime::ZERO, SimTime::from_secs(3_600));
-            Box::new(move || {
-                let o = world.run(&mut hook);
-                let succeeded = o.sg03_violated;
-                let detected = !o.isolated_senders.is_empty();
-                (WorldOutcome::Keyless(o), succeeded, detected)
-            })
+            Prepared::Keyless {
+                world,
+                hook: Box::new(BleJam::new(SimTime::ZERO, SimTime::from_secs(3_600))),
+                verdict: |o| (o.sg03_violated, !o.isolated_senders.is_empty()),
+            }
         }
         AttackKind::BleSpoofClose => {
             let config = keyless_config(case);
             let owner_id = config.owner_key_id;
             let mut world = KeylessWorld::new(config).with_obs(obs.clone());
             world.schedule_owner_open(SimTime::from_secs(1));
-            let mut hook = SpoofClose::new(SimTime::from_secs(2), owner_id);
-            Box::new(move || {
-                let o = world.run(&mut hook);
-                let succeeded = o.sg04_violated;
-                let detected = !o.isolated_senders.is_empty();
-                (WorldOutcome::Keyless(o), succeeded, detected)
-            })
+            Prepared::Keyless {
+                world,
+                hook: Box::new(SpoofClose::new(SimTime::from_secs(2), owner_id)),
+                verdict: |o| (o.sg04_violated, !o.isolated_senders.is_empty()),
+            }
         }
-        AttackKind::CanStubInject => {
-            let world = KeylessWorld::new(keyless_config(case)).with_obs(obs.clone());
-            let mut hook =
-                CanStubInject::new(SimTime::from_millis(100), vehicle_sim::keyless::CMD_OPEN);
-            Box::new(move || {
-                let o = world.run(&mut hook);
-                let succeeded = o.sg01_violated;
-                let detected = !o.isolated_senders.is_empty();
-                (WorldOutcome::Keyless(o), succeeded, detected)
-            })
-        }
+        AttackKind::CanStubInject => Prepared::Keyless {
+            world: KeylessWorld::new(keyless_config(case)).with_obs(obs.clone()),
+            hook: Box::new(CanStubInject::new(
+                SimTime::from_millis(100),
+                vehicle_sim::keyless::CMD_OPEN,
+            )),
+            verdict: |o| (o.sg01_violated, !o.isolated_senders.is_empty()),
+        },
         AttackKind::AllowlistTamper { insider } => {
-            let config = keyless_config(case);
-            let world = KeylessWorld::new(config).with_obs(obs.clone());
+            let world = KeylessWorld::new(keyless_config(case)).with_obs(obs.clone());
             let auth = insider.then(|| AllowlistTamper::insider_auth(world.config_key(), 0xEE01));
-            let mut hook = AllowlistTamper::new(0xEE01, auth, SimTime::from_millis(100));
-            Box::new(move || {
-                let o = world.run(&mut hook);
-                let succeeded = o.sg01_violated;
-                let detected = !o.isolated_senders.is_empty();
-                (WorldOutcome::Keyless(o), succeeded, detected)
-            })
+            Prepared::Keyless {
+                world,
+                hook: Box::new(AllowlistTamper::new(0xEE01, auth, SimTime::from_millis(100))),
+                verdict: |o| (o.sg01_violated, !o.isolated_senders.is_empty()),
+            }
         }
     }
 }
@@ -439,6 +503,34 @@ mod tests {
     fn targets_classification() {
         assert!(AttackKind::V2xJam.targets_construction());
         assert!(!AttackKind::BleReplayOpen.targets_construction());
+    }
+
+    #[test]
+    fn batch_execution_matches_serial_execution() {
+        // A mixed suite spanning both world types, in interleaved order,
+        // so the batch has to split, run two lockstep batches, and
+        // reassemble results in input order.
+        let cases = vec![
+            case(AttackKind::V2xFlood { per_tick: 40 }, ControlSelection::none()),
+            case(AttackKind::BleReplayOpen, ControlSelection::none()),
+            case(AttackKind::V2xFakeLimit { limit: 130 }, ControlSelection::all()),
+            case(AttackKind::CanStubInject, ControlSelection::all()),
+            case(AttackKind::V2xJam, ControlSelection::all()),
+            case(
+                AttackKind::KeySpoof { strategy: KeyGuessStrategy::Random, budget: 10 },
+                ControlSelection { allow_list: false, ..ControlSelection::none() },
+            ),
+        ];
+        let serial: Vec<_> = cases.iter().map(execute).collect();
+        let batched = execute_batch(&cases);
+        assert_eq!(batched.len(), serial.len());
+        for (i, (b, s)) in batched.iter().zip(&serial).enumerate() {
+            assert_eq!(
+                serde_json::to_string(b).unwrap(),
+                serde_json::to_string(s).unwrap(),
+                "case {i}"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,89 @@
+//! Benchmarks of the batched struct-of-arrays world stepping: N worlds
+//! stepped one by one vs in lockstep through
+//! [`ConstructionBatch`]/[`KeylessBatch`].
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use saseval_types::{Ftti, SimTime};
+use vehicle_sim::construction::{ConstructionConfig, ConstructionWorld};
+use vehicle_sim::keyless::{KeylessConfig, KeylessWorld};
+use vehicle_sim::{ConstructionBatch, KeylessBatch};
+
+fn construction_worlds(n: usize) -> Vec<ConstructionWorld> {
+    (0..n)
+        .map(|i| {
+            ConstructionWorld::new(ConstructionConfig {
+                seed: i as u64,
+                initial_speed_mps: 22.0 + i as f64 * 0.5,
+                horizon: Ftti::from_secs(5),
+                ..Default::default()
+            })
+        })
+        .collect()
+}
+
+fn keyless_worlds(n: usize) -> Vec<KeylessWorld> {
+    (0..n)
+        .map(|i| {
+            let mut world = KeylessWorld::new(KeylessConfig {
+                seed: i as u64,
+                horizon: Ftti::from_secs(5),
+                ..Default::default()
+            });
+            world.schedule_owner_open(SimTime::from_secs(1));
+            world.schedule_owner_close(SimTime::from_secs(3));
+            world
+        })
+        .collect()
+}
+
+/// Construction: the struct-of-arrays batch vs a serial loop over the
+/// same worlds, to completion.
+fn bench_construction_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch_step_construction");
+    group.sample_size(10);
+    for lanes in [4usize, 16] {
+        group.bench_with_input(BenchmarkId::new("serial", lanes), &lanes, |b, &lanes| {
+            b.iter(|| {
+                for mut world in construction_worlds(lanes) {
+                    while world.step(&mut ()) {}
+                    black_box(world.into_outcome());
+                }
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("batched", lanes), &lanes, |b, &lanes| {
+            b.iter(|| {
+                let batch = ConstructionBatch::new(construction_worlds(lanes));
+                black_box(batch.run_outcomes(&mut |_, _, _| {}));
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Keyless: lockstep round-robin batch vs a serial loop.
+fn bench_keyless_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch_step_keyless");
+    group.sample_size(10);
+    for lanes in [4usize, 16] {
+        group.bench_with_input(BenchmarkId::new("serial", lanes), &lanes, |b, &lanes| {
+            b.iter(|| {
+                for mut world in keyless_worlds(lanes) {
+                    while world.step(&mut ()) {}
+                    black_box(world.into_outcome());
+                }
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("batched", lanes), &lanes, |b, &lanes| {
+            b.iter(|| {
+                let batch = KeylessBatch::new(keyless_worlds(lanes));
+                black_box(batch.run_outcomes(&mut |_, _, _| {}));
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_construction_batch, bench_keyless_batch);
+criterion_main!(benches);

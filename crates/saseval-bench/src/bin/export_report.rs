@@ -29,6 +29,16 @@ struct CampaignExport {
     metrics: MetricsSnapshot,
 }
 
+/// The JSON document written to `BENCH_fuzz.json`: the shard-count
+/// throughput grid under `grid`, the warm-prefix strategy comparison
+/// (replay-from-zero vs fork-from-snapshot vs batched lockstep) under
+/// `warm_prefix`.
+#[derive(Serialize)]
+struct FuzzBenchExport {
+    grid: saseval_bench::fuzz_bench::FuzzThroughputExport,
+    warm_prefix: saseval_bench::sim_bench::SimThroughputExport,
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let out_dir = PathBuf::from(
         std::env::args().nth(1).unwrap_or_else(|| "target/saseval-reports".to_owned()),
@@ -77,16 +87,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("wrote {} ({} bytes)", path.display(), metrics_md.len());
 
     // Fuzzing throughput: serial vs 2/4-shard inputs-per-second on the
-    // keyless and V2X models (the numbers EXPERIMENTS.md records).
-    let grid = saseval_bench::fuzz_bench::fuzz_throughput_grid(200_000);
-    let json = serde_json::to_string_pretty(&grid)?;
+    // keyless and V2X models, plus the warm-prefix strategy comparison
+    // over the simulation oracle (the numbers EXPERIMENTS.md records).
+    let export = FuzzBenchExport {
+        grid: saseval_bench::fuzz_bench::fuzz_throughput_grid(200_000),
+        warm_prefix: saseval_bench::sim_bench::warm_prefix_comparison(256),
+    };
+    let json = serde_json::to_string_pretty(&export)?;
     let path = out_dir.join("BENCH_fuzz.json");
     fs::write(&path, &json)?;
     println!(
-        "wrote {} ({} rows, {} hardware threads)",
+        "wrote {} ({} grid rows, {} hardware threads, fork speedup {:.1}x)",
         path.display(),
-        grid.rows.len(),
-        grid.available_parallelism
+        export.grid.rows.len(),
+        export.grid.available_parallelism,
+        export.warm_prefix.fork_speedup
     );
 
     // Crash triage: minimization statistics per model on the seeded-bug

@@ -5,6 +5,7 @@
 //! cargo run -p saseval-bench --bin repro_tables table6           # one experiment
 //! cargo run -p saseval-bench --bin repro_tables --timings        # + wall-time table
 //! cargo run -p saseval-bench --bin repro_tables --fuzz-shards 4  # sharded fuzzing
+//! cargo run -p saseval-bench --bin repro_tables --fuzz-batch 64  # batched fuzzing
 //! cargo run -p saseval-bench --bin repro_tables --replay-corpus tests/fixtures/corpus
 //! cargo run -p saseval-bench --bin repro_tables --list
 //! ```
@@ -17,26 +18,28 @@
 use std::path::PathBuf;
 
 use saseval_bench::triage_bench::replay_corpus_table;
-use saseval_bench::{all_experiments, run_experiments_timed, set_fuzz_shards, timing_table};
+use saseval_bench::{
+    all_experiments, run_experiments_timed, set_fuzz_batch, set_fuzz_shards, timing_table,
+};
 
-/// Removes `--fuzz-shards N` (or `--fuzz-shards=N`) from `args` and
-/// returns the requested shard count.
-fn take_fuzz_shards(args: &mut Vec<String>) -> Option<usize> {
-    let index =
-        args.iter().position(|a| a == "--fuzz-shards" || a.starts_with("--fuzz-shards="))?;
-    let flag = args.remove(index);
-    let value = match flag.split_once('=') {
+/// Removes `flag N` (or `flag=N`) from `args` and returns the requested
+/// positive count.
+fn take_count_flag(args: &mut Vec<String>, flag: &str) -> Option<usize> {
+    let prefix = format!("{flag}=");
+    let index = args.iter().position(|a| a == flag || a.starts_with(&prefix))?;
+    let matched = args.remove(index);
+    let value = match matched.split_once('=') {
         Some((_, value)) => value.to_owned(),
         None if index < args.len() => args.remove(index),
         None => {
-            eprintln!("--fuzz-shards requires a shard count");
+            eprintln!("{flag} requires a count");
             std::process::exit(2);
         }
     };
     match value.parse::<usize>() {
-        Ok(shards) if shards >= 1 => Some(shards),
+        Ok(count) if count >= 1 => Some(count),
         _ => {
-            eprintln!("--fuzz-shards expects a positive integer, got {value:?}");
+            eprintln!("{flag} expects a positive integer, got {value:?}");
             std::process::exit(2);
         }
     }
@@ -75,8 +78,11 @@ fn main() {
         }
         return;
     }
-    if let Some(shards) = take_fuzz_shards(&mut args) {
+    if let Some(shards) = take_count_flag(&mut args, "--fuzz-shards") {
         set_fuzz_shards(shards);
+    }
+    if let Some(batch) = take_count_flag(&mut args, "--fuzz-batch") {
+        set_fuzz_batch(batch);
     }
     let experiments = all_experiments();
 

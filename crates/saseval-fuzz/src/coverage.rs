@@ -45,6 +45,26 @@ fn count_bits(words: &[u64]) -> usize {
     words.iter().map(|w| w.count_ones() as usize).sum()
 }
 
+/// Splits the set bits of a path bitset into (in-range, out-of-range)
+/// counts at the `total_paths` boundary. Both counts are derived from the
+/// bits alone, so any merge order (and re-merging the same shard)
+/// recomputes identical values — the join stays idempotent.
+fn split_path_counts(words: &[u64], total_paths: usize) -> (usize, usize) {
+    let all = count_bits(words);
+    let boundary_word = total_paths / WORD_BITS;
+    let mut in_range = 0;
+    for (index, word) in words.iter().enumerate() {
+        if index < boundary_word {
+            in_range += word.count_ones() as usize;
+        } else if index == boundary_word {
+            let rem = total_paths % WORD_BITS;
+            let mask = if rem == 0 { 0 } else { (1u64 << rem) - 1 };
+            in_range += (word & mask).count_ones() as usize;
+        }
+    }
+    (in_range, all - in_range)
+}
+
 /// Tracks which `(field, value class)` cells and which attack paths have
 /// been exercised.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -55,9 +75,16 @@ pub struct CoverageMap {
     field_cell_count: usize,
     total_fields: usize,
     /// Bitset over path indices (grown on demand for out-of-range
-    /// indices, which the old set-based map also counted).
+    /// indices, which are tracked separately and never inflate the
+    /// in-range exercised count).
     exercised_paths: Vec<u64>,
     exercised_path_count: usize,
+    /// Distinct out-of-range path indices recorded. Kept out of
+    /// `exercised_path_count` so [`CoverageMap::path_coverage_percent`]
+    /// can never exceed 100; surfaced via the `fuzz.paths.out_of_range`
+    /// counter.
+    #[serde(default)]
+    out_of_range_path_count: usize,
     total_paths: usize,
     structural_seen: bool,
 }
@@ -71,6 +98,7 @@ impl CoverageMap {
             total_fields: model.fields.len(),
             exercised_paths: vec![0; words_for(total_paths)],
             exercised_path_count: 0,
+            out_of_range_path_count: 0,
             total_paths,
             structural_seen: false,
         }
@@ -82,7 +110,11 @@ impl CoverageMap {
     /// storage).
     pub fn record(&mut self, path_index: usize, input: &GeneratedInput) {
         if set_bit(&mut self.exercised_paths, path_index) {
-            self.exercised_path_count += 1;
+            if path_index < self.total_paths {
+                self.exercised_path_count += 1;
+            } else {
+                self.out_of_range_path_count += 1;
+            }
         }
         if input.structural {
             self.structural_seen = true;
@@ -98,13 +130,22 @@ impl CoverageMap {
     /// Merges another map (typically a shard's) into this one. Cells and
     /// paths union word-wise; counts are recomputed from the merged bits,
     /// so the result is identical regardless of merge order.
+    ///
+    /// # Panics
+    ///
+    /// Panics — in every build profile — when the maps were built for
+    /// different models or path sets. A silent word-wise OR of
+    /// differently-shaped bitsets would produce garbage counts; the old
+    /// `debug_assert_eq!` let exactly that happen in release builds.
     pub fn merge(&mut self, other: &CoverageMap) {
-        debug_assert_eq!(self.total_fields, other.total_fields, "merging maps of equal models");
-        debug_assert_eq!(self.total_paths, other.total_paths, "merging maps of equal path sets");
+        assert_eq!(self.total_fields, other.total_fields, "merging maps of equal models");
+        assert_eq!(self.total_paths, other.total_paths, "merging maps of equal path sets");
         or_bits(&mut self.field_cells, &other.field_cells);
         or_bits(&mut self.exercised_paths, &other.exercised_paths);
         self.field_cell_count = count_bits(&self.field_cells);
-        self.exercised_path_count = count_bits(&self.exercised_paths);
+        let (in_range, out_of_range) = split_path_counts(&self.exercised_paths, self.total_paths);
+        self.exercised_path_count = in_range;
+        self.out_of_range_path_count = out_of_range;
         self.structural_seen |= other.structural_seen;
     }
 
@@ -117,12 +158,21 @@ impl CoverageMap {
         self.field_cell_count as f64 / total as f64 * 100.0
     }
 
-    /// Percentage of attack paths exercised (0–100).
+    /// Percentage of attack paths exercised (0–100). Out-of-range path
+    /// indices never contribute, and the value is clamped, so the result
+    /// is ≤ 100 for every input history.
     pub fn path_coverage_percent(&self) -> f64 {
         if self.total_paths == 0 {
             return 100.0;
         }
-        self.exercised_path_count as f64 / self.total_paths as f64 * 100.0
+        (self.exercised_path_count as f64 / self.total_paths as f64 * 100.0).min(100.0)
+    }
+
+    /// Distinct out-of-range path indices ever recorded — a campaign
+    /// misconfiguration signal (more paths executed than the attack tree
+    /// defines), surfaced via obs rather than inflating coverage.
+    pub fn out_of_range_paths(&self) -> usize {
+        self.out_of_range_path_count
     }
 
     /// Whether at least one structural (length-changing) input ran.
@@ -178,11 +228,51 @@ mod tests {
     }
 
     #[test]
-    fn out_of_range_path_index_is_counted_not_panicking() {
+    fn out_of_range_path_index_is_tracked_not_counted() {
         let model = v2x_warning_model();
         let mut map = CoverageMap::new(&model, 2);
         map.record(70, &input(0, ValueClass::Min));
-        assert_eq!(map.path_coverage_percent(), 50.0);
+        assert_eq!(map.path_coverage_percent(), 0.0, "out-of-range paths are not coverage");
+        assert_eq!(map.out_of_range_paths(), 1);
+        map.record(70, &input(0, ValueClass::Min)); // duplicate: no change
+        assert_eq!(map.out_of_range_paths(), 1);
+    }
+
+    #[test]
+    fn path_coverage_percent_never_exceeds_100() {
+        // Regression: distinct out-of-range indices used to grow
+        // `exercised_path_count` past `total_paths` — paths {0, 1, 2, 3}
+        // with total_paths = 2 reported 200 %.
+        let model = v2x_warning_model();
+        let mut map = CoverageMap::new(&model, 2);
+        for path in 0..4 {
+            map.record(path, &input(0, ValueClass::Min));
+        }
+        assert_eq!(map.path_coverage_percent(), 100.0);
+        assert_eq!(map.out_of_range_paths(), 2);
+        // The invariant survives a merge (counts recomputed from bits).
+        let clone = map.clone();
+        map.merge(&clone);
+        assert_eq!(map.path_coverage_percent(), 100.0);
+        assert_eq!(map.out_of_range_paths(), 2);
+        assert_eq!(map, clone, "merge with self is the identity");
+    }
+
+    #[test]
+    #[should_panic(expected = "merging maps of equal path sets")]
+    fn merge_rejects_mismatched_path_sets_in_all_profiles() {
+        let model = v2x_warning_model();
+        let mut a = CoverageMap::new(&model, 2);
+        let b = CoverageMap::new(&model, 3);
+        a.merge(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "merging maps of equal models")]
+    fn merge_rejects_mismatched_models_in_all_profiles() {
+        let mut a = CoverageMap::new(&v2x_warning_model(), 2);
+        let b = CoverageMap::new(&crate::model::keyless_command_model(), 2);
+        a.merge(&b);
     }
 
     #[test]

@@ -8,6 +8,14 @@
 //! `(iteration, shard, input)` and coverage maps are unioned, so a run at
 //! a fixed shard count is bit-identical regardless of thread scheduling,
 //! and one shard reproduces the serial output exactly.
+//!
+//! Targets are [`FuzzTarget`] oracles (closures adapt via
+//! [`ClosureTarget`]). A target with a genuinely batched
+//! [`FuzzTarget::respond_batch`] — e.g. [`crate::sim_target::SimOracle`]
+//! stepping a batch of forked simulation worlds in lockstep — can be
+//! driven with [`Fuzzer::with_batch_size`]: execution is batched, but
+//! generation, coverage recording and response accounting stay in global
+//! iteration order, so the report is bit-identical for every batch size.
 
 use std::collections::HashSet;
 use std::ops::Range;
@@ -34,6 +42,45 @@ pub enum TargetResponse {
     Rejected,
     /// The target crashed or violated an invariant — a finding.
     Crash,
+}
+
+/// A fuzz target oracle: executes inputs and reports the observed
+/// behaviour. Closures `FnMut(&[u8]) -> TargetResponse` are adapted via
+/// [`ClosureTarget`]; simulation-backed targets (see
+/// [`crate::sim_target::SimOracle`]) additionally override
+/// [`FuzzTarget::respond_batch`] so one dispatch executes many inputs —
+/// e.g. by stepping a whole batch of forked worlds in lockstep.
+///
+/// Contract: `respond_batch` must produce exactly the responses that
+/// sequential [`FuzzTarget::respond`] calls over the same inputs would.
+/// The fuzzer's bit-identical-report guarantee across batch sizes relies
+/// on this; the default implementation delegates input by input, so it
+/// holds trivially unless overridden.
+pub trait FuzzTarget {
+    /// Executes one input.
+    fn respond(&mut self, input: &[u8]) -> TargetResponse;
+
+    /// Executes a batch of inputs, writing one response per input — in
+    /// input order — into `out`. Implementations must clear `out` first.
+    fn respond_batch(&mut self, inputs: &[Vec<u8>], out: &mut Vec<TargetResponse>) {
+        out.clear();
+        for input in inputs {
+            let response = self.respond(input);
+            out.push(response);
+        }
+    }
+}
+
+/// Adapts a `FnMut(&[u8]) -> TargetResponse` closure as a [`FuzzTarget`].
+/// A wrapper type rather than a blanket impl, so concrete oracles can
+/// implement [`FuzzTarget`] directly without coherence conflicts.
+#[derive(Debug, Clone)]
+pub struct ClosureTarget<F>(pub F);
+
+impl<F: FnMut(&[u8]) -> TargetResponse> FuzzTarget for ClosureTarget<F> {
+    fn respond(&mut self, input: &[u8]) -> TargetResponse {
+        (self.0)(input)
+    }
 }
 
 /// A crash/violation finding.
@@ -114,6 +161,7 @@ pub struct Fuzzer {
     base_seed: u64,
     obs: Obs,
     triage: Option<TriageConfig>,
+    batch_size: usize,
 }
 
 impl std::fmt::Debug for Fuzzer {
@@ -167,82 +215,224 @@ struct ShardObs<'a> {
     emit_cell_batches: bool,
 }
 
+/// Generation-time record of one input awaiting its target response.
+struct PendingMeta {
+    iteration: usize,
+    path_index: usize,
+    coverage_delta: usize,
+}
+
+/// Mutable per-shard accounting shared by the sequential and batched
+/// execution paths of [`run_shard`], so the two cannot drift apart.
+struct ShardState {
+    coverage: CoverageMap,
+    seen_crashes: HashSet<Vec<u8>>,
+    findings: Vec<Finding>,
+    accepted: usize,
+    rejected: usize,
+    reported_cells: usize,
+    executed: usize,
+    batch_start: Instant,
+}
+
+impl ShardState {
+    fn new(coverage: CoverageMap) -> Self {
+        ShardState {
+            coverage,
+            seen_crashes: HashSet::new(),
+            findings: Vec::new(),
+            accepted: 0,
+            rejected: 0,
+            reported_cells: 0,
+            executed: 0,
+            batch_start: Instant::now(),
+        }
+    }
+
+    /// Generates input `i` into the scratch buffer and records its
+    /// coverage, returning the metadata later accounting needs. Strictly
+    /// sequential in iteration order in both execution modes — the
+    /// mutator's RNG stream and the coverage bitset never observe
+    /// batching.
+    fn generate_and_record(
+        &mut self,
+        mutator: &mut Mutator,
+        paths: &[AttackPath],
+        i: usize,
+        input: &mut GeneratedInput,
+    ) -> PendingMeta {
+        let path_index = if paths.is_empty() { 0 } else { i % paths.len() };
+        if i.is_multiple_of(10) {
+            mutator.generate_valid_into(input);
+        } else {
+            mutator.generate_into(input);
+        }
+        let cells_before = self.coverage.cells();
+        if !paths.is_empty() {
+            self.coverage.record(path_index, input);
+        }
+        PendingMeta {
+            iteration: i,
+            path_index,
+            coverage_delta: self.coverage.cells() - cells_before,
+        }
+    }
+
+    /// Accounts one `(input, response)` pair, in global iteration order —
+    /// identical bookkeeping whether the response arrived one by one or
+    /// from a batched flush.
+    fn account(
+        &mut self,
+        paths: &[AttackPath],
+        shard_obs: &ShardObs<'_>,
+        meta: &PendingMeta,
+        bytes: &[u8],
+        response: TargetResponse,
+    ) {
+        match response {
+            TargetResponse::Accepted => self.accepted += 1,
+            TargetResponse::Rejected => self.rejected += 1,
+            TargetResponse::Crash => {
+                if self.seen_crashes.insert(bytes.to_vec()) {
+                    self.findings.push(Finding {
+                        path_index: meta.path_index,
+                        path_goal: paths
+                            .get(meta.path_index)
+                            .map(|p| p.goal().to_owned())
+                            .unwrap_or_default(),
+                        input: bytes.to_vec(),
+                        iteration: meta.iteration,
+                        coverage_delta: meta.coverage_delta,
+                    });
+                }
+            }
+        }
+        self.executed += 1;
+        if shard_obs.obs.is_enabled() && self.executed.is_multiple_of(OBS_BATCH) {
+            let elapsed = self.batch_start.elapsed().as_secs_f64();
+            if elapsed > 0.0 {
+                shard_obs.obs.gauge(shard_obs.throughput_gauge, OBS_BATCH as f64 / elapsed);
+            }
+            if shard_obs.emit_cell_batches {
+                let delta = (self.coverage.cells() - self.reported_cells) as u64;
+                shard_obs.obs.counter("fuzz.coverage_cells", delta);
+                self.reported_cells = self.coverage.cells();
+            }
+            self.batch_start = Instant::now();
+        }
+    }
+
+    fn into_outcome(self, shard: usize) -> ShardOutcome {
+        ShardOutcome {
+            shard,
+            accepted: self.accepted,
+            rejected: self.rejected,
+            findings: self.findings,
+            coverage: self.coverage,
+            reported_cells: self.reported_cells,
+        }
+    }
+}
+
+/// Hands the pending inputs to the target's batched dispatch and accounts
+/// the responses in iteration order.
+///
+/// # Panics
+///
+/// Panics when the target's [`FuzzTarget::respond_batch`] violates its
+/// contract by returning a different number of responses than inputs.
+fn flush_pending(
+    target: &mut dyn FuzzTarget,
+    state: &mut ShardState,
+    paths: &[AttackPath],
+    shard_obs: &ShardObs<'_>,
+    inputs: &mut Vec<Vec<u8>>,
+    meta: &mut Vec<PendingMeta>,
+    responses: &mut Vec<TargetResponse>,
+) {
+    if inputs.is_empty() {
+        return;
+    }
+    target.respond_batch(inputs, responses);
+    assert_eq!(responses.len(), inputs.len(), "respond_batch must return one response per input");
+    for ((meta, bytes), response) in meta.drain(..).zip(inputs.drain(..)).zip(responses.drain(..)) {
+        state.account(paths, shard_obs, &meta, &bytes, response);
+    }
+}
+
 /// The core fuzz loop over one iteration range. Used by both the serial
 /// run and every parallel shard, so a one-shard parallel run is the
 /// serial run.
 ///
-/// Allocation-free per input: generation writes into one reusable
-/// [`GeneratedInput`] scratch buffer and coverage recording is bitset
-/// arithmetic. Only rare events allocate (a new unique crash clones its
-/// input bytes).
+/// With `batch_size <= 1` (the default) the loop is allocation-free per
+/// input: generation writes into one reusable [`GeneratedInput`] scratch
+/// buffer and coverage recording is bitset arithmetic; only rare events
+/// allocate (a new unique crash clones its input bytes). With a larger
+/// batch size, generation and coverage recording stay strictly sequential
+/// in iteration order while target execution is deferred into
+/// [`FuzzTarget::respond_batch`] flushes (buffering one input clone per
+/// pending slot) whose responses are accounted in iteration order — so
+/// the shard outcome is bit-identical for every batch size.
 fn run_shard(
     mutator: &mut Mutator,
     paths: &[AttackPath],
     range: Range<usize>,
     shard: usize,
-    target: &mut dyn FnMut(&[u8]) -> TargetResponse,
+    target: &mut dyn FuzzTarget,
+    batch_size: usize,
     shard_obs: &ShardObs<'_>,
 ) -> ShardOutcome {
-    let obs = shard_obs.obs;
-    let mut coverage = CoverageMap::new(mutator.model(), paths.len());
-    let mut seen_crashes: HashSet<Vec<u8>> = HashSet::new();
-    let mut findings = Vec::new();
-    let (mut accepted, mut rejected) = (0usize, 0usize);
-    let mut reported_cells = 0usize;
+    let mut state = ShardState::new(CoverageMap::new(mutator.model(), paths.len()));
     let mut input = GeneratedInput::empty();
-    let mut batch_start = Instant::now();
-    let mut executed = 0usize;
-    for i in range {
-        let path_index = if paths.is_empty() { 0 } else { i % paths.len() };
-        if i.is_multiple_of(10) {
-            mutator.generate_valid_into(&mut input);
-        } else {
-            mutator.generate_into(&mut input);
+    if batch_size <= 1 {
+        for i in range {
+            let meta = state.generate_and_record(mutator, paths, i, &mut input);
+            let response = target.respond(&input.bytes);
+            state.account(paths, shard_obs, &meta, &input.bytes, response);
         }
-        let cells_before = coverage.cells();
-        if !paths.is_empty() {
-            coverage.record(path_index, &input);
-        }
-        match target(&input.bytes) {
-            TargetResponse::Accepted => accepted += 1,
-            TargetResponse::Rejected => rejected += 1,
-            TargetResponse::Crash => {
-                if seen_crashes.insert(input.bytes.clone()) {
-                    findings.push(Finding {
-                        path_index,
-                        path_goal: paths
-                            .get(path_index)
-                            .map(|p| p.goal().to_owned())
-                            .unwrap_or_default(),
-                        input: input.bytes.clone(),
-                        iteration: i,
-                        coverage_delta: coverage.cells() - cells_before,
-                    });
-                }
+    } else {
+        let mut pending_inputs: Vec<Vec<u8>> = Vec::with_capacity(batch_size);
+        let mut pending_meta: Vec<PendingMeta> = Vec::with_capacity(batch_size);
+        let mut responses: Vec<TargetResponse> = Vec::with_capacity(batch_size);
+        for i in range {
+            let meta = state.generate_and_record(mutator, paths, i, &mut input);
+            pending_inputs.push(input.bytes.clone());
+            pending_meta.push(meta);
+            if pending_inputs.len() == batch_size {
+                flush_pending(
+                    target,
+                    &mut state,
+                    paths,
+                    shard_obs,
+                    &mut pending_inputs,
+                    &mut pending_meta,
+                    &mut responses,
+                );
             }
         }
-        executed += 1;
-        if obs.is_enabled() && executed.is_multiple_of(OBS_BATCH) {
-            let elapsed = batch_start.elapsed().as_secs_f64();
-            if elapsed > 0.0 {
-                obs.gauge(shard_obs.throughput_gauge, OBS_BATCH as f64 / elapsed);
-            }
-            if shard_obs.emit_cell_batches {
-                obs.counter("fuzz.coverage_cells", (coverage.cells() - reported_cells) as u64);
-                reported_cells = coverage.cells();
-            }
-            batch_start = Instant::now();
-        }
+        flush_pending(
+            target,
+            &mut state,
+            paths,
+            shard_obs,
+            &mut pending_inputs,
+            &mut pending_meta,
+            &mut responses,
+        );
     }
-    ShardOutcome { shard, accepted, rejected, findings, coverage, reported_cells }
+    state.into_outcome(shard)
 }
 
 /// Merges shard outcomes into one report with a canonical ordering:
 /// findings sorted by `(iteration, shard, input)` then deduplicated by
 /// input bytes (first occurrence in that order wins), coverage maps
 /// unioned. Deterministic for a fixed shard count regardless of thread
-/// scheduling.
-fn merge_shard_outcomes(outcomes: Vec<ShardOutcome>, iterations: usize) -> (FuzzReport, usize) {
+/// scheduling. Returns the report plus the merged coverage-cell and
+/// out-of-range path-hit totals for the caller's metrics.
+fn merge_shard_outcomes(
+    outcomes: Vec<ShardOutcome>,
+    iterations: usize,
+) -> (FuzzReport, usize, usize) {
     let mut accepted = 0;
     let mut rejected = 0;
     let mut merged_coverage: Option<CoverageMap> = None;
@@ -264,10 +454,19 @@ fn merge_shard_outcomes(outcomes: Vec<ShardOutcome>, iterations: usize) -> (Fuzz
         .into_iter()
         .filter_map(|(_, _, finding)| seen.insert(finding.input.clone()).then_some(finding))
         .collect();
-    let (field_coverage, path_coverage, cells) = merged_coverage
-        .map(|c| (c.field_coverage_percent(), c.path_coverage_percent(), c.cells()))
-        .unwrap_or((100.0, 100.0, 0));
-    (FuzzReport { iterations, accepted, rejected, crashes, field_coverage, path_coverage }, cells)
+    let (field_coverage, path_coverage, cells, out_of_range) = merged_coverage
+        .map(|c| {
+            (
+                c.field_coverage_percent(),
+                c.path_coverage_percent(),
+                c.cells(),
+                c.out_of_range_paths(),
+            )
+        })
+        .unwrap_or((100.0, 100.0, 0, 0));
+    let report =
+        FuzzReport { iterations, accepted, rejected, crashes, field_coverage, path_coverage };
+    (report, cells, out_of_range)
 }
 
 impl Fuzzer {
@@ -278,7 +477,23 @@ impl Fuzzer {
             base_seed: seed,
             obs: Obs::noop(),
             triage: None,
+            batch_size: 1,
         }
+    }
+
+    /// Sets how many pending inputs are handed to the target per
+    /// [`FuzzTarget::respond_batch`] dispatch (clamped to at least 1; the
+    /// default of 1 executes inputs one by one on the exact sequential
+    /// code path).
+    ///
+    /// Batching never changes the report: input generation and coverage
+    /// recording stay strictly sequential in iteration order and
+    /// responses are accounted in iteration order, so for any batch size
+    /// the merged [`FuzzReport`] is bit-identical to the sequential run —
+    /// provided the target honours the [`FuzzTarget`] batching contract.
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = batch_size.max(1);
+        self
     }
 
     /// Attaches crash triage: after the (merged) report is built, every
@@ -312,7 +527,20 @@ impl Fuzzer {
         &mut self,
         paths: &[AttackPath],
         iterations: usize,
-        mut target: impl FnMut(&[u8]) -> TargetResponse,
+        target: impl FnMut(&[u8]) -> TargetResponse,
+    ) -> FuzzReport {
+        self.run_target(paths, iterations, &mut ClosureTarget(target))
+    }
+
+    /// [`Fuzzer::run`] over a [`FuzzTarget`] oracle. Honours
+    /// [`Fuzzer::with_batch_size`]: pending inputs are executed through
+    /// the target's [`FuzzTarget::respond_batch`] without changing the
+    /// report.
+    pub fn run_target(
+        &mut self,
+        paths: &[AttackPath],
+        iterations: usize,
+        target: &mut dyn FuzzTarget,
     ) -> FuzzReport {
         let span = self.obs.span("fuzz.run_seconds");
         let shard_obs = ShardObs {
@@ -320,14 +548,24 @@ impl Fuzzer {
             throughput_gauge: "fuzz.inputs_per_sec",
             emit_cell_batches: true,
         };
-        let outcome =
-            run_shard(&mut self.mutator, paths, 0..iterations, 0, &mut target, &shard_obs);
+        let outcome = run_shard(
+            &mut self.mutator,
+            paths,
+            0..iterations,
+            0,
+            target,
+            self.batch_size,
+            &shard_obs,
+        );
         let reported = outcome.reported_cells;
-        let (report, cells) = merge_shard_outcomes(vec![outcome], iterations);
+        let (report, cells, out_of_range) = merge_shard_outcomes(vec![outcome], iterations);
         self.obs.counter("fuzz.inputs", iterations as u64);
         self.obs.counter("fuzz.crashes", report.crashes.len() as u64);
         self.obs.counter("fuzz.coverage_cells", (cells - reported) as u64);
-        self.run_triage(&report, 1, &mut target);
+        if out_of_range > 0 {
+            self.obs.counter("fuzz.paths.out_of_range", out_of_range as u64);
+        }
+        self.run_triage(&report, 1, target);
         span.finish();
         report
     }
@@ -360,6 +598,26 @@ impl Fuzzer {
         F: FnMut(usize) -> T,
         T: FnMut(&[u8]) -> TargetResponse + Send,
     {
+        self.run_parallel_targets(paths, iterations, shards, |shard| {
+            ClosureTarget(target_factory(shard))
+        })
+    }
+
+    /// [`Fuzzer::run_parallel`] over [`FuzzTarget`] oracles. Honours
+    /// [`Fuzzer::with_batch_size`] inside every shard; the determinism
+    /// contract is unchanged because batching never alters a shard's
+    /// outcome.
+    pub fn run_parallel_targets<T, F>(
+        &self,
+        paths: &[AttackPath],
+        iterations: usize,
+        shards: usize,
+        mut target_factory: F,
+    ) -> FuzzReport
+    where
+        F: FnMut(usize) -> T,
+        T: FuzzTarget + Send,
+    {
         let shards = shards.max(1);
         let span = self.obs.span("fuzz.run_seconds");
         let jobs: Vec<(usize, Range<usize>, Mutator, T)> = (0..shards)
@@ -384,7 +642,15 @@ impl Fuzzer {
                             throughput_gauge: "fuzz.shard.inputs_per_sec",
                             emit_cell_batches: false,
                         };
-                        run_shard(&mut mutator, paths, range, shard, &mut target, &shard_obs)
+                        run_shard(
+                            &mut mutator,
+                            paths,
+                            range,
+                            shard,
+                            &mut target,
+                            self.batch_size,
+                            &shard_obs,
+                        )
                     })
                 })
                 .collect();
@@ -392,10 +658,13 @@ impl Fuzzer {
                 outcomes.push(handle.join().expect("fuzz shard panicked"));
             }
         });
-        let (report, cells) = merge_shard_outcomes(outcomes, iterations);
+        let (report, cells, out_of_range) = merge_shard_outcomes(outcomes, iterations);
         self.obs.counter("fuzz.inputs", iterations as u64);
         self.obs.counter("fuzz.crashes", report.crashes.len() as u64);
         self.obs.counter("fuzz.coverage_cells", cells as u64);
+        if out_of_range > 0 {
+            self.obs.counter("fuzz.paths.out_of_range", out_of_range as u64);
+        }
         self.obs.gauge("fuzz.shards", shards as f64);
         if self.triage.is_some() && !report.crashes.is_empty() {
             // The triage oracle is a dedicated instance built with index
@@ -413,12 +682,7 @@ impl Fuzzer {
     /// and minimized inputs into the configured corpus. No-op without a
     /// [`TriageConfig`]. The report is read-only here — triage can never
     /// change coverage, counts, or crash ordering.
-    fn run_triage(
-        &self,
-        report: &FuzzReport,
-        shards: usize,
-        oracle: &mut dyn FnMut(&[u8]) -> TargetResponse,
-    ) {
+    fn run_triage(&self, report: &FuzzReport, shards: usize, oracle: &mut dyn FuzzTarget) {
         let Some(config) = &self.triage else { return };
         if report.crashes.is_empty() {
             return;
@@ -440,7 +704,7 @@ impl Fuzzer {
         for finding in &report.crashes {
             let minimized = minimize(
                 &finding.input,
-                |bytes| oracle(bytes) == TargetResponse::Crash,
+                |bytes| oracle.respond(bytes) == TargetResponse::Crash,
                 &config.minimize,
                 &self.obs,
             );
@@ -568,6 +832,9 @@ mod tests {
         assert!(snapshot.counter("fuzz.coverage_cells").unwrap_or(0) > 0, "cells recorded");
         assert!(snapshot.gauge("fuzz.inputs_per_sec").is_some(), "throughput sampled");
         assert_eq!(snapshot.histogram("fuzz.run_seconds").map(|h| h.count), Some(1));
+        // The fuzzer only records path indices below the path count, so
+        // the out-of-range counter stays silent here.
+        assert_eq!(snapshot.counter("fuzz.paths.out_of_range"), None);
     }
 
     #[test]
@@ -686,6 +953,80 @@ mod tests {
         let report = fuzzer.run_parallel(&paths(), 5, 16, |_| |_: &[u8]| TargetResponse::Rejected);
         assert_eq!(report.iterations, 5);
         assert_eq!(report.accepted + report.rejected, 5);
+    }
+
+    /// A target whose `respond_batch` really is batched (computed over
+    /// the whole slice in one call), exercising the flush path end to
+    /// end.
+    struct BatchyTarget {
+        batched_calls: usize,
+    }
+
+    impl FuzzTarget for BatchyTarget {
+        fn respond(&mut self, input: &[u8]) -> TargetResponse {
+            crashy_target(input)
+        }
+
+        fn respond_batch(&mut self, inputs: &[Vec<u8>], out: &mut Vec<TargetResponse>) {
+            self.batched_calls += 1;
+            out.clear();
+            out.extend(inputs.iter().map(|input| crashy_target(input)));
+        }
+    }
+
+    #[test]
+    fn batched_run_is_bit_identical_to_serial() {
+        let mut serial = Fuzzer::new(v2x_warning_model(), 11);
+        let serial_report = serial.run(&paths(), 2_000, crashy_target);
+        // Batch sizes that divide the range, leave a remainder flush, and
+        // exceed it entirely (one flush at the end).
+        for batch_size in [2usize, 7, 64, 3_000] {
+            let mut fuzzer = Fuzzer::new(v2x_warning_model(), 11).with_batch_size(batch_size);
+            let mut target = BatchyTarget { batched_calls: 0 };
+            let report = fuzzer.run_target(&paths(), 2_000, &mut target);
+            assert_eq!(report, serial_report, "batch size {batch_size}");
+            assert!(target.batched_calls > 0, "batched dispatch used");
+        }
+    }
+
+    #[test]
+    fn batched_parallel_matches_unbatched_parallel() {
+        let unbatched =
+            Fuzzer::new(v2x_warning_model(), 9).run_parallel(&paths(), 3_000, 3, |_| crashy_target);
+        let batched = Fuzzer::new(v2x_warning_model(), 9).with_batch_size(16).run_parallel_targets(
+            &paths(),
+            3_000,
+            3,
+            |_| BatchyTarget { batched_calls: 0 },
+        );
+        assert_eq!(unbatched, batched);
+    }
+
+    #[test]
+    fn zero_batch_size_clamps_to_sequential() {
+        let mut sequential = Fuzzer::new(v2x_warning_model(), 12);
+        let expected = sequential.run(&paths(), 500, crashy_target);
+        let mut clamped = Fuzzer::new(v2x_warning_model(), 12).with_batch_size(0);
+        assert_eq!(clamped.run(&paths(), 500, crashy_target), expected);
+    }
+
+    struct ShortBatch;
+
+    impl FuzzTarget for ShortBatch {
+        fn respond(&mut self, _: &[u8]) -> TargetResponse {
+            TargetResponse::Rejected
+        }
+
+        fn respond_batch(&mut self, _inputs: &[Vec<u8>], out: &mut Vec<TargetResponse>) {
+            out.clear(); // zero responses for a non-empty batch
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one response per input")]
+    fn respond_batch_length_mismatch_is_rejected() {
+        let mut fuzzer = Fuzzer::new(v2x_warning_model(), 1).with_batch_size(8);
+        fuzzer.run_target(&paths(), 100, &mut ShortBatch);
     }
 
     #[test]

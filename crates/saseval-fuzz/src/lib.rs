@@ -20,7 +20,15 @@
 //!   ([`Fuzzer::run`](fuzzer::Fuzzer::run)) and sharded-parallel
 //!   ([`Fuzzer::run_parallel`](fuzzer::Fuzzer::run_parallel)) loops share
 //!   one allocation-free core; the parallel merge is deterministic per
-//!   shard count, and one shard reproduces the serial output exactly,
+//!   shard count, and one shard reproduces the serial output exactly.
+//!   Targets implement [`FuzzTarget`]; batched
+//!   targets are driven via
+//!   [`Fuzzer::with_batch_size`](fuzzer::Fuzzer::with_batch_size) without
+//!   changing the report,
+//! * [`sim_target`] backs the oracle with the vehicle worlds: every input
+//!   forks from a copy-on-write world snapshot taken at attack-activation
+//!   time, and batches of forks step in lockstep through the
+//!   `vehicle-sim` batch module,
 //! * [`mod@minimize`] shrinks crash inputs with deterministic delta
 //!   debugging (`ddmin` plus zero-simplification, step-budgeted),
 //! * [`corpus`] persists findings into a content-addressed on-disk
@@ -59,10 +67,14 @@ pub mod fuzzer;
 pub mod minimize;
 pub mod model;
 pub mod mutate;
+pub mod sim_target;
 
 pub use corpus::{builtin_oracle, Corpus, CorpusEntry, EntryMeta, ReplayReport, Replayer};
 pub use coverage::CoverageMap;
-pub use fuzzer::{Finding, FuzzReport, Fuzzer, TargetResponse, TriageConfig};
+pub use fuzzer::{
+    ClosureTarget, Finding, FuzzReport, FuzzTarget, Fuzzer, TargetResponse, TriageConfig,
+};
 pub use minimize::{minimize, MinimizeConfig, MinimizeResult};
 pub use model::{FieldKind, FieldSpec, ProtocolModel};
 pub use mutate::{GeneratedInput, Mutator, ValueClass};
+pub use sim_target::{SimOracle, FUZZ_SENDER};

@@ -1,0 +1,274 @@
+//! Simulation-backed fuzz oracles: fuzz inputs run against the vehicle
+//! worlds instead of a hand-written responder.
+//!
+//! [`SimOracle`] freezes a world at the attack-activation time as a
+//! copy-on-write [`WorldSnapshot`]. Each fuzz input then *forks* from
+//! that warm prefix instead of re-simulating from `t = 0`, is injected as
+//! a frame from the hostile sender [`FUZZ_SENDER`], and the fork steps to
+//! its end condition. Classification:
+//!
+//! * any safety-goal violation → [`TargetResponse::Crash`],
+//! * otherwise a security-log event naming the fuzz sender →
+//!   [`TargetResponse::Rejected`] (a deployed control caught the input),
+//! * otherwise [`TargetResponse::Accepted`] (absorbed without harm).
+//!
+//! The oracle's [`FuzzTarget::respond_batch`] steps all forks of one
+//! fuzzer batch as a [`KeylessBatch`]/[`ConstructionBatch`] in lockstep —
+//! bit-identical to sequential stepping by the batch module's
+//! construction — so `Fuzzer::with_batch_size` amortizes the dispatch
+//! loop without perturbing the report's determinism contract.
+//!
+//! The warm prefix must be attacker-free: classification attributes log
+//! entries from [`FUZZ_SENDER`] to the injected input, which holds
+//! because the prefix world never saw that sender.
+
+use bytes::Bytes;
+use saseval_types::SimTime;
+use vehicle_net::v2x::V2xMessage;
+use vehicle_sim::construction::{ConstructionConfig, ConstructionWorld};
+use vehicle_sim::keyless::{KeylessConfig, KeylessWorld};
+use vehicle_sim::{ConstructionBatch, KeylessBatch, WorldSnapshot};
+
+use crate::fuzzer::{FuzzTarget, TargetResponse};
+
+/// The sender identity fuzz inputs are injected under.
+pub const FUZZ_SENDER: &str = "FUZZ";
+
+#[derive(Debug, Clone)]
+enum Scenario {
+    Keyless(WorldSnapshot<KeylessWorld>),
+    Construction(WorldSnapshot<ConstructionWorld>),
+}
+
+/// A fuzz target backed by a simulated world: forks every input from a
+/// frozen warm prefix, injects it, steps to the horizon and classifies
+/// the outcome. See the [module docs](self) for the classification rules.
+#[derive(Debug, Clone)]
+pub struct SimOracle {
+    scenario: Scenario,
+}
+
+/// Broadcasts `input` on the V2X channel as an (unsigned) message from
+/// the fuzz sender, mirroring how [`KeylessWorld::send_ble`] carries raw
+/// attacker payloads on the BLE side.
+fn inject_construction(world: &mut ConstructionWorld, input: &[u8]) {
+    let now = world.now();
+    let kind = u16::from(input.first().copied().unwrap_or(0));
+    let msg = V2xMessage::new(FUZZ_SENDER, kind, Bytes::copy_from_slice(input), now);
+    world.channel_mut().broadcast(msg, now);
+}
+
+fn classify_keyless(world: KeylessWorld) -> TargetResponse {
+    let rejected = world.security_log().events().iter().any(|e| e.sender == FUZZ_SENDER);
+    if world.into_outcome().any_violation() {
+        TargetResponse::Crash
+    } else if rejected {
+        TargetResponse::Rejected
+    } else {
+        TargetResponse::Accepted
+    }
+}
+
+fn classify_construction(world: ConstructionWorld) -> TargetResponse {
+    let rejected = world.security_log().events().iter().any(|e| e.sender == FUZZ_SENDER);
+    if world.into_outcome().any_violation() {
+        TargetResponse::Crash
+    } else if rejected {
+        TargetResponse::Rejected
+    } else {
+        TargetResponse::Accepted
+    }
+}
+
+impl SimOracle {
+    /// Keyless (Use Case II) oracle: runs an attacker-free world under
+    /// `config` to `attack_at`, freezes it, and fuzzes BLE payloads from
+    /// there.
+    pub fn keyless(config: KeylessConfig, attack_at: SimTime) -> Self {
+        let mut world = KeylessWorld::new(config);
+        world.run_until(attack_at, &mut ());
+        Self::keyless_from(world.snapshot())
+    }
+
+    /// Keyless oracle over a caller-prepared snapshot (e.g. a prefix with
+    /// scheduled owner actions). The prefix must not have seen
+    /// [`FUZZ_SENDER`].
+    pub fn keyless_from(snapshot: WorldSnapshot<KeylessWorld>) -> Self {
+        SimOracle { scenario: Scenario::Keyless(snapshot) }
+    }
+
+    /// Construction-site (Use Case I) oracle: runs an attacker-free world
+    /// under `config` to `attack_at`, freezes it, and fuzzes V2X payloads
+    /// from there.
+    pub fn construction(config: ConstructionConfig, attack_at: SimTime) -> Self {
+        let mut world = ConstructionWorld::new(config);
+        world.run_until(attack_at, &mut ());
+        Self::construction_from(world.snapshot())
+    }
+
+    /// Construction oracle over a caller-prepared snapshot. The prefix
+    /// must not have seen [`FUZZ_SENDER`].
+    pub fn construction_from(snapshot: WorldSnapshot<ConstructionWorld>) -> Self {
+        SimOracle { scenario: Scenario::Construction(snapshot) }
+    }
+}
+
+impl FuzzTarget for SimOracle {
+    fn respond(&mut self, input: &[u8]) -> TargetResponse {
+        match &self.scenario {
+            Scenario::Keyless(snapshot) => {
+                let mut world = snapshot.fork();
+                world.send_ble(FUZZ_SENDER, input.to_vec());
+                while world.step(&mut ()) {}
+                classify_keyless(world)
+            }
+            Scenario::Construction(snapshot) => {
+                let mut world = snapshot.fork();
+                inject_construction(&mut world, input);
+                while world.step(&mut ()) {}
+                classify_construction(world)
+            }
+        }
+    }
+
+    fn respond_batch(&mut self, inputs: &[Vec<u8>], out: &mut Vec<TargetResponse>) {
+        out.clear();
+        match &self.scenario {
+            Scenario::Keyless(snapshot) => {
+                let worlds = inputs
+                    .iter()
+                    .map(|input| {
+                        let mut world = snapshot.fork();
+                        world.send_ble(FUZZ_SENDER, input.clone());
+                        world
+                    })
+                    .collect();
+                let finished = KeylessBatch::new(worlds).run(&mut |_, _, _| {});
+                out.extend(finished.into_iter().map(classify_keyless));
+            }
+            Scenario::Construction(snapshot) => {
+                let worlds = inputs
+                    .iter()
+                    .map(|input| {
+                        let mut world = snapshot.fork();
+                        inject_construction(&mut world, input);
+                        world
+                    })
+                    .collect();
+                let finished = ConstructionBatch::new(worlds).run(&mut |_, _, _| {});
+                out.extend(finished.into_iter().map(classify_construction));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use saseval_types::Ftti;
+    use vehicle_sim::keyless::{Command, CMD_OPEN};
+    use vehicle_sim::ControlSelection;
+
+    use super::*;
+    use crate::fuzzer::Fuzzer;
+    use crate::model::{keyless_command_model, v2x_warning_model};
+    use saseval_tara::tree::{AttackTree, TreeNode};
+
+    fn short_keyless(controls: ControlSelection) -> KeylessConfig {
+        KeylessConfig { horizon: Ftti::from_secs(2), controls, ..Default::default() }
+    }
+
+    fn open_command() -> Vec<u8> {
+        Command { cmd: CMD_OPEN, key_id: 0xBAD, ts: 0, response: 0, tag: 0 }.encode()
+    }
+
+    #[test]
+    fn keyless_oracle_classifies_all_three_ways() {
+        // No controls: a bare open command is admitted and opens the
+        // vehicle without a pending owner request — SG01, a crash.
+        let mut open_everything =
+            SimOracle::keyless(short_keyless(ControlSelection::none()), SimTime::from_millis(100));
+        assert_eq!(open_everything.respond(&open_command()), TargetResponse::Crash);
+
+        // Full control stack: the same forged command is rejected and
+        // logged against the fuzz sender.
+        let mut hardened =
+            SimOracle::keyless(short_keyless(ControlSelection::all()), SimTime::from_millis(100));
+        assert_eq!(hardened.respond(&open_command()), TargetResponse::Rejected);
+
+        // A malformed frame decodes to nothing and is absorbed silently.
+        assert_eq!(hardened.respond(&[1, 2, 3]), TargetResponse::Accepted);
+    }
+
+    #[test]
+    fn construction_oracle_rejects_unsigned_fuzz_frames() {
+        let config = ConstructionConfig { horizon: Ftti::from_secs(2), ..Default::default() };
+        let mut oracle = SimOracle::construction(config, SimTime::from_millis(100));
+        // An unsigned frame fails authentication; the OBU logs the fuzz
+        // sender.
+        let response = oracle.respond(&[2, 200]);
+        assert_eq!(response, TargetResponse::Rejected);
+    }
+
+    #[test]
+    fn batched_responses_match_sequential_responses() {
+        let inputs: Vec<Vec<u8>> = vec![
+            open_command(),
+            vec![],
+            vec![1, 2, 3],
+            Command { cmd: 2, key_id: 1, ts: 0, response: 0, tag: 0 }.encode(),
+            vec![0; 33],
+        ];
+        for controls in [ControlSelection::none(), ControlSelection::all()] {
+            let mut oracle = SimOracle::keyless(short_keyless(controls), SimTime::from_millis(100));
+            let sequential: Vec<_> = inputs.iter().map(|input| oracle.respond(input)).collect();
+            let mut batched = Vec::new();
+            oracle.respond_batch(&inputs, &mut batched);
+            assert_eq!(batched, sequential);
+        }
+    }
+
+    #[test]
+    fn batched_fuzz_over_sim_oracle_is_bit_identical_to_serial() {
+        let paths = AttackTree::new(
+            "Open the vehicle",
+            TreeNode::leaf_on("send forged open command", "BLE_PHONE"),
+        )
+        .unwrap()
+        .paths()
+        .unwrap();
+        let config = KeylessConfig {
+            horizon: Ftti::from_millis(300),
+            controls: ControlSelection::none(),
+            ..Default::default()
+        };
+        let oracle = SimOracle::keyless(config, SimTime::from_millis(50));
+        let serial =
+            Fuzzer::new(keyless_command_model(), 21).run_target(&paths, 40, &mut oracle.clone());
+        let batched = Fuzzer::new(keyless_command_model(), 21).with_batch_size(8).run_target(
+            &paths,
+            40,
+            &mut oracle.clone(),
+        );
+        assert_eq!(serial, batched);
+        assert_eq!(serial.iterations, 40);
+    }
+
+    #[test]
+    fn construction_batched_fuzz_matches_serial() {
+        let paths =
+            AttackTree::new("disrupt warnings", TreeNode::leaf_on("spoof signage", "OBU_RSU"))
+                .unwrap()
+                .paths()
+                .unwrap();
+        let config = ConstructionConfig { horizon: Ftti::from_millis(300), ..Default::default() };
+        let oracle = SimOracle::construction(config, SimTime::from_millis(50));
+        let serial =
+            Fuzzer::new(v2x_warning_model(), 3).run_target(&paths, 24, &mut oracle.clone());
+        let batched = Fuzzer::new(v2x_warning_model(), 3).with_batch_size(6).run_target(
+            &paths,
+            24,
+            &mut oracle.clone(),
+        );
+        assert_eq!(serial, batched);
+    }
+}

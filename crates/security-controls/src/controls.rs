@@ -13,7 +13,9 @@
 //! | [`IdAllowList`] | Table VII "list of allowed IDs" |
 //! | [`PlausibilityCheck`] | plausibility checks (§III-C) |
 
+use std::any::Any;
 use std::collections::{BTreeMap, BTreeSet, HashSet, VecDeque};
+use std::sync::Arc;
 
 use saseval_types::{Ftti, SimTime};
 
@@ -59,6 +61,14 @@ impl SecurityControl for MacAuthenticator {
             Err(RejectReason::BadMac)
         }
     }
+
+    fn box_clone(&self) -> Box<dyn SecurityControl> {
+        Box::new(*self)
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
 }
 
 /// Rejects messages whose generation timestamp lies outside
@@ -99,11 +109,19 @@ impl SecurityControl for FreshnessWindow {
         }
         Ok(())
     }
+
+    fn box_clone(&self) -> Box<dyn SecurityControl> {
+        Box::new(*self)
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
 }
 
 /// Rejects exact re-deliveries: remembers `(sender, generated_at,
 /// payload-digest)` triples in a bounded FIFO cache.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct ReplayDetector {
     seen: HashSet<(String, u64, u64)>,
     order: VecDeque<(String, u64, u64)>,
@@ -143,13 +161,21 @@ impl SecurityControl for ReplayDetector {
         self.order.push_back(key);
         Ok(())
     }
+
+    fn box_clone(&self) -> Box<dyn SecurityControl> {
+        Box::new(self.clone())
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
 }
 
 /// Challenge–response verification (§IV-B): the verifier issues a nonce
 /// per sender; a valid message carries `mac(key, nonce ‖ payload)`. Each
 /// nonce admits exactly one message, defeating replay even with valid
 /// end-to-end encryption.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct ChallengeResponse {
     key: MacKey,
     outstanding: BTreeMap<String, u64>,
@@ -198,11 +224,19 @@ impl SecurityControl for ChallengeResponse {
             Err(RejectReason::BadChallengeResponse)
         }
     }
+
+    fn box_clone(&self) -> Box<dyn SecurityControl> {
+        Box::new(self.clone())
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
 }
 
 /// Sliding-window per-sender rate limiter (the flooding mitigation of
 /// Table VI).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct FloodDetector {
     max_per_window: usize,
     window: Ftti,
@@ -236,6 +270,14 @@ impl SecurityControl for FloodDetector {
         }
         history.push_back(now);
         Ok(())
+    }
+
+    fn box_clone(&self) -> Box<dyn SecurityControl> {
+        Box::new(self.clone())
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
     }
 }
 
@@ -298,15 +340,26 @@ impl SecurityControl for IdAllowList {
             _ => Err(RejectReason::NotAllowed),
         }
     }
+
+    fn box_clone(&self) -> Box<dyn SecurityControl> {
+        Box::new(self.clone())
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
 }
 
 /// A content plausibility check (§III-C: "a safety measure could determine
 /// that plausibility checks fail"), parameterized with a domain predicate.
-/// The predicate type a [`PlausibilityCheck`] evaluates.
-type PlausibilityPredicate = Box<dyn FnMut(&Envelope, SimTime) -> Result<(), String>>;
+/// The predicate type a [`PlausibilityCheck`] evaluates. A stateless
+/// `Fn` behind an `Arc` keeps the check `Clone` (forked worlds share
+/// the immutable predicate, never mutable state) and `Send + Sync`.
+type PlausibilityPredicate = Arc<dyn Fn(&Envelope, SimTime) -> Result<(), String> + Send + Sync>;
 
 /// A content plausibility check (§III-C: "a safety measure could determine
 /// that plausibility checks fail"), parameterized with a domain predicate.
+#[derive(Clone)]
 pub struct PlausibilityCheck {
     name: String,
     predicate: PlausibilityPredicate,
@@ -323,9 +376,9 @@ impl PlausibilityCheck {
     /// implausible content.
     pub fn new(
         name: impl Into<String>,
-        predicate: impl FnMut(&Envelope, SimTime) -> Result<(), String> + 'static,
+        predicate: impl Fn(&Envelope, SimTime) -> Result<(), String> + Send + Sync + 'static,
     ) -> Self {
-        PlausibilityCheck { name: name.into(), predicate: Box::new(predicate) }
+        PlausibilityCheck { name: name.into(), predicate: Arc::new(predicate) }
     }
 
     /// A ready-made check for speed-limit payloads: the first payload byte
@@ -348,6 +401,14 @@ impl SecurityControl for PlausibilityCheck {
 
     fn check(&mut self, envelope: &Envelope, now: SimTime) -> Result<(), RejectReason> {
         (self.predicate)(envelope, now).map_err(RejectReason::Implausible)
+    }
+
+    fn box_clone(&self) -> Box<dyn SecurityControl> {
+        Box::new(self.clone())
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
     }
 }
 

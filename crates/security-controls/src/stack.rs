@@ -1,5 +1,6 @@
 //! The [`SecurityControl`] trait and the composing [`ControlStack`].
 
+use std::any::Any;
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -67,8 +68,11 @@ impl Verdict {
 /// One security control in an admission stack.
 ///
 /// Controls are stateful (replay caches, rate windows) and are consulted
-/// in stack order; the first rejection wins.
-pub trait SecurityControl {
+/// in stack order; the first rejection wins. Controls must be cloneable
+/// (via [`SecurityControl::box_clone`]) and `Send + Sync` so that worlds
+/// holding a stack can be frozen behind shared copy-on-write snapshots
+/// and moved across fuzzing shards.
+pub trait SecurityControl: Send + Sync {
     /// Stable control name, used in the security log.
     fn name(&self) -> &str;
 
@@ -78,6 +82,22 @@ pub trait SecurityControl {
     ///
     /// Returns the [`RejectReason`] when the control rejects the message.
     fn check(&mut self, envelope: &Envelope, now: SimTime) -> Result<(), RejectReason>;
+
+    /// Deep-copies the control, state included. Snapshot forking clones
+    /// the whole stack; a control sharing mutable state with its clone
+    /// would leak information between forked worlds and break replay
+    /// determinism.
+    fn box_clone(&self) -> Box<dyn SecurityControl>;
+
+    /// The control as [`Any`], for typed access to a control inside a
+    /// stack via [`ControlStack::control_mut`].
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+impl Clone for Box<dyn SecurityControl> {
+    fn clone(&self) -> Self {
+        self.box_clone()
+    }
 }
 
 /// Default broken-message threshold after which a sender is isolated.
@@ -88,6 +108,7 @@ pub const DEFAULT_ISOLATION_THRESHOLD: u32 = 10;
 /// identity's counter; at the isolation threshold the sender is declared
 /// unwanted and every further message from it is rejected outright
 /// ("Security control identifies unwanted sender").
+#[derive(Clone)]
 pub struct ControlStack {
     owner: String,
     controls: Vec<Box<dyn SecurityControl>>,
@@ -197,14 +218,37 @@ impl ControlStack {
     pub fn control_names(&self) -> Vec<&str> {
         self.controls.iter().map(|c| c.name()).collect()
     }
+
+    /// Typed mutable access to the installed control named `name`.
+    ///
+    /// Returns `None` when no control has that name or the named control
+    /// is not a `T`. Worlds use this to reach stateful controls (issue a
+    /// challenge nonce, extend an allow-list) without holding aliasing
+    /// handles outside the stack — which would break deep cloning.
+    pub fn control_mut<T: 'static>(&mut self, name: &str) -> Option<&mut T> {
+        self.controls
+            .iter_mut()
+            .find(|c| c.name() == name)
+            .and_then(|c| c.as_any_mut().downcast_mut::<T>())
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    /// A control that rejects payloads starting with `0xFF`.
-    struct RejectFf;
+    /// A control that rejects payloads starting with `0xFF`, counting how
+    /// many it has seen (state, so cloning semantics are observable).
+    #[derive(Clone)]
+    struct RejectFf {
+        seen: u32,
+    }
+
+    impl RejectFf {
+        fn new() -> Self {
+            RejectFf { seen: 0 }
+        }
+    }
 
     impl SecurityControl for RejectFf {
         fn name(&self) -> &str {
@@ -212,11 +256,20 @@ mod tests {
         }
 
         fn check(&mut self, envelope: &Envelope, _now: SimTime) -> Result<(), RejectReason> {
+            self.seen += 1;
             if envelope.payload().first() == Some(&0xFF) {
                 Err(RejectReason::Implausible("leading 0xFF".into()))
             } else {
                 Ok(())
             }
+        }
+
+        fn box_clone(&self) -> Box<dyn SecurityControl> {
+            Box::new(self.clone())
+        }
+
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
         }
     }
 
@@ -234,7 +287,7 @@ mod tests {
     #[test]
     fn rejection_logged_and_counted() {
         let mut stack = ControlStack::new("OBU");
-        stack.push(RejectFf);
+        stack.push(RejectFf::new());
         let verdict = stack.admit(&env("evil", &[0xFF, 1]), SimTime::from_millis(3));
         assert!(!verdict.is_accepted());
         assert_eq!(stack.counts(), (0, 1));
@@ -247,7 +300,7 @@ mod tests {
     fn broken_message_counter_isolates_unwanted_sender() {
         // Table VI: "Security control identifies unwanted sender".
         let mut stack = ControlStack::new("OBU");
-        stack.push(RejectFf);
+        stack.push(RejectFf::new());
         stack.set_isolation_threshold(5);
         for _ in 0..5 {
             stack.admit(&env("attacker", &[0xFF]), SimTime::ZERO);
@@ -264,7 +317,7 @@ mod tests {
     #[test]
     fn threshold_floor_is_one() {
         let mut stack = ControlStack::new("OBU");
-        stack.push(RejectFf);
+        stack.push(RejectFf::new());
         stack.set_isolation_threshold(0);
         stack.admit(&env("a", &[0xFF]), SimTime::ZERO);
         assert!(stack.is_isolated("a"));
@@ -273,9 +326,36 @@ mod tests {
     #[test]
     fn control_names_in_order() {
         let mut stack = ControlStack::new("GW");
-        stack.push(RejectFf);
+        stack.push(RejectFf::new());
         assert_eq!(stack.control_names(), ["reject-ff"]);
         assert_eq!(stack.owner(), "GW");
+    }
+
+    #[test]
+    fn control_mut_downcasts_by_name() {
+        let mut stack = ControlStack::new("GW");
+        stack.push(RejectFf::new());
+        stack.admit(&env("a", b"ok"), SimTime::ZERO);
+        let control = stack.control_mut::<RejectFf>("reject-ff").expect("installed");
+        assert_eq!(control.seen, 1);
+        assert!(stack.control_mut::<RejectFf>("absent").is_none());
+        // Right name, wrong type: the downcast must fail, not panic.
+        assert!(stack.control_mut::<u32>("reject-ff").is_none());
+    }
+
+    #[test]
+    fn clone_deep_copies_control_state() {
+        let mut stack = ControlStack::new("GW");
+        stack.push(RejectFf::new());
+        stack.admit(&env("a", &[0xFF]), SimTime::ZERO);
+        let mut fork = stack.clone();
+        assert_eq!(fork.counts(), stack.counts());
+        // Diverge the fork; the original's control state must not move.
+        fork.admit(&env("a", b"ok"), SimTime::ZERO);
+        assert_eq!(fork.control_mut::<RejectFf>("reject-ff").unwrap().seen, 2);
+        assert_eq!(stack.control_mut::<RejectFf>("reject-ff").unwrap().seen, 1);
+        assert_eq!(stack.counts(), (0, 1));
+        assert_eq!(fork.counts(), (1, 1));
     }
 
     #[test]

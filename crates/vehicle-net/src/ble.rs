@@ -100,6 +100,7 @@ pub struct BleStats {
 /// assert_eq!(frames[0].payload.as_ref(), b"OPEN");
 /// # Ok::<(), vehicle_net::NetError>(())
 /// ```
+#[derive(Clone)]
 pub struct BleLink {
     config: BleConfig,
     state: LinkState,

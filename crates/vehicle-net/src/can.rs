@@ -141,6 +141,7 @@ pub struct CanBusStats {
     pub dropped: u64,
 }
 
+#[derive(Clone)]
 struct QueuedFrame {
     frame: CanFrame,
     ready: SimTime,
@@ -162,6 +163,7 @@ struct QueuedFrame {
 /// assert_eq!(deliveries.len(), 1);
 /// # Ok::<(), vehicle_net::NetError>(())
 /// ```
+#[derive(Clone)]
 pub struct CanBus {
     config: CanBusConfig,
     queues: BTreeMap<String, VecDeque<QueuedFrame>>,

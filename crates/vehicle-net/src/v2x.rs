@@ -122,6 +122,7 @@ pub struct V2xStats {
 /// seed.
 ///
 /// See the [crate-level example](crate).
+#[derive(Clone)]
 pub struct V2xChannel {
     config: V2xConfig,
     rng: StdRng,

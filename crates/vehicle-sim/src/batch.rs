@@ -1,0 +1,351 @@
+//! Batched struct-of-arrays world stepping.
+//!
+//! One thread steps a *batch* of worlds in lockstep. For the
+//! construction world, the per-tick work splits into a per-world phase
+//! (attacker hook, RSU broadcast, OBU admission, driver decision) and a
+//! numeric kinematics integration; the batch keeps the kinematic state of
+//! every lane in parallel vectors (`position_m[i]`, `speed_mps[i]`,
+//! `accel_mps2[i]`, `dt_secs[i]`) and integrates all lanes in one
+//! cache-friendly inner loop over [`Vehicle::step_kinematics`] — the same
+//! pure function [`Vehicle::step`] calls, so batched and per-world
+//! stepping are bit-identical by construction. The keyless world has no
+//! continuous state; its batch steps lanes round-robin, reusing each
+//! world's allocation-free owner-script drain
+//! ([`crate::kernel::EventQueue::pop_due_into`]).
+//!
+//! Hooks are per-lane closures `(lane, &mut world, now)`; pass
+//! `&mut |_, _, _| {}` for no attacker. [`ConstructionBatch::run`]
+//! returns the completed *worlds*, not outcomes, so callers (the fuzz
+//! oracle) can still inspect the security log and trace before
+//! [`ConstructionWorld::into_outcome`] consumes them.
+
+use saseval_types::SimTime;
+
+use crate::construction::{ConstructionOutcome, ConstructionWorld};
+use crate::keyless::{KeylessOutcome, KeylessWorld};
+use crate::vehicle::Vehicle;
+
+/// Per-lane attacker hook: called with the lane index, the world and the
+/// world's current virtual time, once per tick, before the tick body.
+pub type LaneHook<'a, W> = &'a mut dyn FnMut(usize, &mut W, SimTime);
+
+/// A batch of construction worlds stepped in lockstep with a
+/// struct-of-arrays kinematics pass.
+pub struct ConstructionBatch {
+    lanes: Vec<ConstructionWorld>,
+    active: Vec<bool>,
+    position_m: Vec<f64>,
+    speed_mps: Vec<f64>,
+    accel_mps2: Vec<f64>,
+    dt_secs: Vec<f64>,
+}
+
+impl std::fmt::Debug for ConstructionBatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ConstructionBatch").field("lanes", &self.lanes.len()).finish()
+    }
+}
+
+impl ConstructionBatch {
+    /// Wraps `worlds` (possibly mid-run forks) as batch lanes.
+    pub fn new(worlds: Vec<ConstructionWorld>) -> Self {
+        let n = worlds.len();
+        ConstructionBatch {
+            lanes: worlds,
+            active: vec![false; n],
+            position_m: vec![0.0; n],
+            speed_mps: vec![0.0; n],
+            accel_mps2: vec![0.0; n],
+            dt_secs: vec![0.0; n],
+        }
+    }
+
+    /// Number of lanes (done or not).
+    pub fn len(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Whether the batch has no lanes.
+    pub fn is_empty(&self) -> bool {
+        self.lanes.is_empty()
+    }
+
+    /// The lanes, in construction order.
+    pub fn worlds(&self) -> &[ConstructionWorld] {
+        &self.lanes
+    }
+
+    /// Performs one tick on every unfinished lane. Returns the number of
+    /// lanes stepped (0 once every lane is done).
+    pub fn step_all(&mut self, hook: LaneHook<'_, ConstructionWorld>) -> usize {
+        let mut stepped = 0;
+        // Phase 1 — per-world: attacker hook, RSU, OBU, driver decision;
+        // then gather the kinematic state into the lanes.
+        for (i, world) in self.lanes.iter_mut().enumerate() {
+            if world.is_done() {
+                self.active[i] = false;
+                continue;
+            }
+            self.active[i] = true;
+            stepped += 1;
+            let now = world.now();
+            hook(i, world, now);
+            world.pre_kinematics_tick();
+            let vehicle = world.vehicle();
+            self.position_m[i] = vehicle.position_m();
+            self.speed_mps[i] = vehicle.speed_mps();
+            self.accel_mps2[i] = vehicle.accel_mps2();
+            self.dt_secs[i] = world.config().tick.as_secs_f64();
+        }
+        // Phase 2 — the tight struct-of-arrays integration loop.
+        for i in 0..self.lanes.len() {
+            if !self.active[i] {
+                continue;
+            }
+            let (position, speed, accel) = Vehicle::step_kinematics(
+                self.position_m[i],
+                self.speed_mps[i],
+                self.accel_mps2[i],
+                self.dt_secs[i],
+            );
+            self.position_m[i] = position;
+            self.speed_mps[i] = speed;
+            self.accel_mps2[i] = accel;
+        }
+        // Phase 3 — scatter back and commit the tick per world.
+        for (i, world) in self.lanes.iter_mut().enumerate() {
+            if !self.active[i] {
+                continue;
+            }
+            world.sync_kinematics(self.position_m[i], self.speed_mps[i], self.accel_mps2[i]);
+            world.commit_tick();
+        }
+        stepped
+    }
+
+    /// Steps every lane to completion and returns the finished worlds, in
+    /// lane order, with logs and traces intact.
+    pub fn run(mut self, hook: LaneHook<'_, ConstructionWorld>) -> Vec<ConstructionWorld> {
+        while self.step_all(hook) > 0 {}
+        self.lanes
+    }
+
+    /// [`ConstructionBatch::run`] followed by outcome evaluation per lane.
+    pub fn run_outcomes(self, hook: LaneHook<'_, ConstructionWorld>) -> Vec<ConstructionOutcome> {
+        self.run(hook).into_iter().map(ConstructionWorld::into_outcome).collect()
+    }
+}
+
+/// A batch of keyless worlds stepped in lockstep.
+///
+/// The keyless world is event/message driven with no continuous state to
+/// vectorize, so this batch has no numeric lanes: its value is amortizing
+/// one dispatch loop over many short-horizon forks (the fuzz oracle's
+/// workload) while preserving per-world step order exactly.
+pub struct KeylessBatch {
+    lanes: Vec<KeylessWorld>,
+}
+
+impl std::fmt::Debug for KeylessBatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KeylessBatch").field("lanes", &self.lanes.len()).finish()
+    }
+}
+
+impl KeylessBatch {
+    /// Wraps `worlds` (possibly mid-run forks) as batch lanes.
+    pub fn new(worlds: Vec<KeylessWorld>) -> Self {
+        KeylessBatch { lanes: worlds }
+    }
+
+    /// Number of lanes (done or not).
+    pub fn len(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Whether the batch has no lanes.
+    pub fn is_empty(&self) -> bool {
+        self.lanes.is_empty()
+    }
+
+    /// The lanes, in construction order.
+    pub fn worlds(&self) -> &[KeylessWorld] {
+        &self.lanes
+    }
+
+    /// Performs one tick on every unfinished lane. Returns the number of
+    /// lanes stepped (0 once every lane is done).
+    pub fn step_all(&mut self, hook: LaneHook<'_, KeylessWorld>) -> usize {
+        let mut stepped = 0;
+        for (i, world) in self.lanes.iter_mut().enumerate() {
+            if world.is_done() {
+                continue;
+            }
+            stepped += 1;
+            let now = world.now();
+            hook(i, world, now);
+            world.tick_body();
+        }
+        stepped
+    }
+
+    /// Steps every lane to completion and returns the finished worlds, in
+    /// lane order, with logs and traces intact.
+    pub fn run(mut self, hook: LaneHook<'_, KeylessWorld>) -> Vec<KeylessWorld> {
+        while self.step_all(hook) > 0 {}
+        self.lanes
+    }
+
+    /// [`KeylessBatch::run`] followed by outcome evaluation per lane.
+    pub fn run_outcomes(self, hook: LaneHook<'_, KeylessWorld>) -> Vec<KeylessOutcome> {
+        self.run(hook).into_iter().map(KeylessWorld::into_outcome).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use bytes::Bytes;
+    use saseval_types::Ftti;
+
+    use super::*;
+    use crate::construction::{ConstructionConfig, MSG_RELEASE};
+    use crate::keyless::KeylessConfig;
+    use crate::ControlSelection;
+    use vehicle_net::v2x::V2xMessage;
+
+    fn construction_configs() -> Vec<ConstructionConfig> {
+        vec![
+            ConstructionConfig::default(),
+            ConstructionConfig { seed: 9, initial_speed_mps: 30.0, ..Default::default() },
+            ConstructionConfig {
+                controls: ControlSelection::none(),
+                rsu_range_m: 400.0,
+                ..Default::default()
+            },
+            // A lane that finishes much earlier than the rest.
+            ConstructionConfig { horizon: Ftti::from_secs(1), ..Default::default() },
+        ]
+    }
+
+    #[test]
+    fn construction_batch_matches_serial_runs() {
+        let serial: Vec<_> = construction_configs()
+            .into_iter()
+            .map(|config| ConstructionWorld::new(config).run_nominal())
+            .collect();
+        let batch = ConstructionBatch::new(
+            construction_configs().into_iter().map(ConstructionWorld::new).collect(),
+        );
+        let batched = batch.run_outcomes(&mut |_, _, _| {});
+        assert_eq!(batched.len(), serial.len());
+        for (lane, (b, s)) in batched.iter().zip(&serial).enumerate() {
+            assert_eq!(
+                serde_json::to_string(b).unwrap(),
+                serde_json::to_string(s).unwrap(),
+                "lane {lane}"
+            );
+        }
+    }
+
+    #[test]
+    fn construction_batch_hook_matches_serial_attacker() {
+        // The same per-tick injection, run serially and as a batch lane,
+        // must produce identical outcomes and traces.
+        let inject = |world: &mut ConstructionWorld, now: SimTime| {
+            if now == SimTime::from_secs(20) {
+                let msg = V2xMessage::new("EVIL", 3, Bytes::from_static(&[MSG_RELEASE]), now);
+                world.channel_mut().broadcast(msg, now);
+            }
+        };
+        struct Hook<F>(F);
+        impl<F: FnMut(&mut ConstructionWorld, SimTime)> crate::AttackerHook<ConstructionWorld> for Hook<F> {
+            fn on_tick(&mut self, world: &mut ConstructionWorld, now: SimTime) {
+                (self.0)(world, now);
+            }
+        }
+        let mut serial_world = ConstructionWorld::new(ConstructionConfig::default());
+        while serial_world.step(&mut Hook(inject)) {}
+        let serial_trace = serial_world.trace().clone();
+        let serial = serial_world.into_outcome();
+
+        let batch =
+            ConstructionBatch::new(vec![ConstructionWorld::new(ConstructionConfig::default())]);
+        let mut worlds = batch.run(&mut |_, world, now| inject(world, now));
+        let world = worlds.pop().unwrap();
+        assert_eq!(world.trace(), &serial_trace);
+        let batched = world.into_outcome();
+        assert_eq!(
+            serde_json::to_string(&batched).unwrap(),
+            serde_json::to_string(&serial).unwrap()
+        );
+    }
+
+    #[test]
+    fn keyless_batch_matches_serial_runs() {
+        let configs = || {
+            vec![
+                KeylessConfig::default(),
+                KeylessConfig { seed: 11, ..Default::default() },
+                KeylessConfig { horizon: Ftti::from_secs(2), ..Default::default() },
+            ]
+        };
+        let serial: Vec<_> = configs()
+            .into_iter()
+            .map(|config| {
+                let mut w = KeylessWorld::new(config);
+                w.schedule_owner_open(SimTime::from_secs(1));
+                w.schedule_owner_close(SimTime::from_secs(5));
+                w.run_nominal()
+            })
+            .collect();
+        let batched = KeylessBatch::new(
+            configs()
+                .into_iter()
+                .map(|config| {
+                    let mut w = KeylessWorld::new(config);
+                    w.schedule_owner_open(SimTime::from_secs(1));
+                    w.schedule_owner_close(SimTime::from_secs(5));
+                    w
+                })
+                .collect(),
+        )
+        .run_outcomes(&mut |_, _, _| {});
+        for (lane, (b, s)) in batched.iter().zip(&serial).enumerate() {
+            assert_eq!(
+                serde_json::to_string(b).unwrap(),
+                serde_json::to_string(s).unwrap(),
+                "lane {lane}"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_of_forks_from_one_snapshot_diverges_independently() {
+        // Warm a world to t = 1 s, snapshot, fork three lanes, inject a
+        // different owner action into each; every lane must see only its
+        // own injection.
+        let mut base = KeylessWorld::new(KeylessConfig::default());
+        base.run_until(SimTime::from_secs(1), &mut ());
+        let snapshot = base.snapshot();
+        let mut forks: Vec<_> = (0..3).map(|_| snapshot.fork()).collect();
+        forks[0].schedule_owner_open(SimTime::from_secs(2));
+        forks[1].schedule_owner_open(SimTime::from_secs(2));
+        forks[1].schedule_owner_close(SimTime::from_secs(6));
+        // forks[2] gets nothing.
+        let outcomes = KeylessBatch::new(forks).run_outcomes(&mut |_, _, _| {});
+        assert!(outcomes[0].lock_open, "{:?}", outcomes[0]);
+        assert!(!outcomes[1].lock_open, "{:?}", outcomes[1]);
+        assert_eq!(outcomes[1].transitions, 2);
+        assert_eq!(outcomes[2].transitions, 0);
+        assert!(outcomes.iter().all(|o| !o.sg01_violated), "owner actions are authorized");
+    }
+
+    #[test]
+    fn empty_batches_finish_immediately() {
+        assert_eq!(ConstructionBatch::new(Vec::new()).run_outcomes(&mut |_, _, _| {}).len(), 0);
+        assert_eq!(KeylessBatch::new(Vec::new()).run_outcomes(&mut |_, _, _| {}).len(), 0);
+        let mut batch = KeylessBatch::new(Vec::new());
+        assert_eq!(batch.step_all(&mut |_, _, _| {}), 0);
+        assert!(batch.is_empty());
+    }
+}

@@ -157,6 +157,7 @@ impl ConstructionOutcome {
 /// The running world. Attacker hooks receive `&mut ConstructionWorld` and
 /// may inject, replay, alter or jam via [`ConstructionWorld::channel_mut`]
 /// and the message helpers.
+#[derive(Clone)]
 pub struct ConstructionWorld {
     config: ConstructionConfig,
     now: SimTime,
@@ -180,6 +181,8 @@ pub struct ConstructionWorld {
     sniffed: Vec<V2xMessage>,
     trace: TraceRecorder,
     obs: Obs,
+    ticks: u64,
+    entered_zone: bool,
 }
 
 impl std::fmt::Debug for ConstructionWorld {
@@ -246,6 +249,8 @@ impl ConstructionWorld {
             sniffed: Vec::new(),
             trace: TraceRecorder::new(),
             obs: Obs::noop(),
+            ticks: 0,
+            entered_zone: false,
         }
     }
 
@@ -436,7 +441,10 @@ impl ConstructionWorld {
         }
     }
 
-    fn driver_and_dynamics_tick(&mut self) {
+    /// Driver take-over completion and acceleration decision — the
+    /// per-world part of a tick that precedes the (batchable) kinematics
+    /// integration.
+    fn driver_decision_tick(&mut self) {
         if let ControlMode::TakeOverRequested { complete_at } = self.mode {
             if self.now >= complete_at {
                 self.mode = ControlMode::Manual;
@@ -456,10 +464,35 @@ impl ConstructionWorld {
             }
             _ => self.vehicle.set_accel(0.0),
         }
-        self.vehicle.step(self.config.tick);
     }
 
-    fn finish(self, entered_zone: bool) -> ConstructionOutcome {
+    /// Everything in a tick up to (but excluding) the kinematics
+    /// integration: RSU broadcast, OBU admission, driver decision. The
+    /// batched stepper runs this per world, then integrates all lanes in
+    /// one struct-of-arrays pass.
+    pub(crate) fn pre_kinematics_tick(&mut self) {
+        self.rsu_tick();
+        self.obu_tick();
+        self.driver_decision_tick();
+    }
+
+    /// Overwrites the vehicle's kinematic state from the batch lanes.
+    pub(crate) fn sync_kinematics(&mut self, position_m: f64, speed_mps: f64, accel_mps2: f64) {
+        self.vehicle.set_state(position_m, speed_mps, accel_mps2);
+    }
+
+    /// Advances virtual time past the just-integrated tick and latches
+    /// the end condition.
+    pub(crate) fn commit_tick(&mut self) {
+        self.now += self.config.tick;
+        self.ticks += 1;
+        if self.vehicle.position_m() >= self.config.site_position_m {
+            self.entered_zone = true;
+        }
+    }
+
+    fn finish(self) -> ConstructionOutcome {
+        let entered_zone = self.entered_zone;
         let entered_automated = !matches!(self.mode, ControlMode::Manual);
         let sg01_violated = entered_zone && entered_automated;
         let sg02_violated = self.mode_switches > 2;
@@ -496,6 +529,56 @@ impl ConstructionWorld {
         }
     }
 
+    /// Whether the run has reached its end condition (zone entry or the
+    /// horizon).
+    pub fn is_done(&self) -> bool {
+        self.entered_zone || self.now >= SimTime::ZERO + self.config.horizon
+    }
+
+    /// Performs one tick under the given attacker. Returns whether a tick
+    /// was performed (`false` once [`ConstructionWorld::is_done`]).
+    pub fn step(&mut self, attacker: &mut dyn AttackerHook<ConstructionWorld>) -> bool {
+        if self.is_done() {
+            return false;
+        }
+        let now = self.now;
+        attacker.on_tick(self, now);
+        self.pre_kinematics_tick();
+        self.vehicle.step(self.config.tick);
+        self.commit_tick();
+        true
+    }
+
+    /// Steps until virtual time reaches `until` (or the run ends).
+    pub fn run_until(
+        &mut self,
+        until: SimTime,
+        attacker: &mut dyn AttackerHook<ConstructionWorld>,
+    ) {
+        while self.now < until && self.step(attacker) {}
+    }
+
+    /// Deep-copies the world; the fork replays bit-identically to a
+    /// from-scratch run brought to the same state, then diverges
+    /// independently.
+    pub fn fork(&self) -> ConstructionWorld {
+        self.clone()
+    }
+
+    /// Freezes the current state as a copy-on-write snapshot to fork many
+    /// runs from a warm common prefix.
+    pub fn snapshot(&self) -> crate::WorldSnapshot<ConstructionWorld> {
+        crate::WorldSnapshot::new(self.clone())
+    }
+
+    /// Consumes the world and evaluates the safety goals on its current
+    /// state, flushing the tick counter. [`ConstructionWorld::run`] is
+    /// stepping to completion followed by this.
+    pub fn into_outcome(self) -> ConstructionOutcome {
+        self.obs.counter("world.construction.ticks", self.ticks);
+        self.finish()
+    }
+
     /// Runs the world to zone entry (or the horizon) under the given
     /// attacker.
     pub fn run(
@@ -503,25 +586,10 @@ impl ConstructionWorld {
         attacker: &mut dyn AttackerHook<ConstructionWorld>,
     ) -> ConstructionOutcome {
         let span = self.obs.span("world.construction.run_seconds");
-        let horizon = SimTime::ZERO + self.config.horizon;
-        let mut ticks = 0u64;
-        let mut entered_zone = false;
-        while self.now < horizon {
-            let now = self.now;
-            attacker.on_tick(&mut self, now);
-            self.rsu_tick();
-            self.obu_tick();
-            self.driver_and_dynamics_tick();
-            self.now += self.config.tick;
-            ticks += 1;
-            if self.vehicle.position_m() >= self.config.site_position_m {
-                entered_zone = true;
-                break;
-            }
-        }
-        self.obs.counter("world.construction.ticks", ticks);
+        while self.step(attacker) {}
+        self.obs.counter("world.construction.ticks", self.ticks);
         span.finish();
-        self.finish(entered_zone)
+        self.finish()
     }
 
     /// Runs the world without any attacker (the nominal baseline).

@@ -43,6 +43,24 @@ impl<E> Default for EventQueue<E> {
     }
 }
 
+/// Snapshot forking requires queue clones to be *deep*: a fork sharing
+/// `free_slots` or `seq` with its parent would hand both worlds the same
+/// insertion-order counters, breaking FIFO-at-equal-time determinism the
+/// moment they diverge. Every field here is owned data, so the derived
+/// field-by-field clone copies the heap, the slot storage, the free list
+/// and both counters independently.
+impl<E: Clone> Clone for EventQueue<E> {
+    fn clone(&self) -> Self {
+        EventQueue {
+            heap: self.heap.clone(),
+            events: self.events.clone(),
+            free_slots: self.free_slots.clone(),
+            seq: self.seq,
+            popped: self.popped,
+        }
+    }
+}
+
 impl<E> std::fmt::Debug for EventQueue<E> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("EventQueue").field("pending", &self.heap.len()).finish()
@@ -230,6 +248,51 @@ mod tests {
             assert_eq!(buffer.len(), 1);
         }
         assert_eq!(buffer.capacity(), warm_capacity, "steady state reuses the warm buffer");
+    }
+
+    #[test]
+    fn fork_then_diverge_keeps_fifo_determinism() {
+        // A forked queue must own its slot-reuse state: after the fork,
+        // parent and child schedule different event streams, and each
+        // must preserve FIFO order at equal times independently.
+        let mut parent = EventQueue::new();
+        parent.schedule(SimTime::from_millis(10), "shared-a");
+        parent.schedule(SimTime::from_millis(10), "shared-b");
+        // Churn the free list so the fork happens with non-trivial
+        // slot-reuse state.
+        parent.schedule(SimTime::from_millis(1), "early");
+        assert_eq!(parent.pop_due(SimTime::from_millis(1)), vec!["early"]);
+
+        let mut child = parent.clone();
+        assert_eq!(child.len(), parent.len());
+        assert_eq!(child.scheduled_total(), parent.scheduled_total());
+        assert_eq!(child.popped_total(), parent.popped_total());
+
+        // Diverge: both schedule at the same (equal) time, different
+        // payloads. Each queue must order its own insertions after the
+        // shared prefix, unaffected by the other's schedules.
+        parent.schedule(SimTime::from_millis(10), "parent-1");
+        parent.schedule(SimTime::from_millis(10), "parent-2");
+        child.schedule(SimTime::from_millis(10), "child-1");
+        child.schedule(SimTime::from_millis(10), "child-2");
+
+        assert_eq!(
+            parent.pop_due(SimTime::from_millis(10)),
+            vec!["shared-a", "shared-b", "parent-1", "parent-2"]
+        );
+        assert_eq!(
+            child.pop_due(SimTime::from_millis(10)),
+            vec!["shared-a", "shared-b", "child-1", "child-2"]
+        );
+
+        // The forked free lists are independent: popping in the child
+        // must not hand slots back to the parent (and vice versa).
+        parent.schedule(SimTime::from_millis(20), "parent-3");
+        child.schedule(SimTime::from_millis(20), "child-3");
+        assert_eq!(parent.pop_due(SimTime::from_millis(20)), vec!["parent-3"]);
+        assert_eq!(child.pop_due(SimTime::from_millis(20)), vec!["child-3"]);
+        assert!(parent.is_empty());
+        assert!(child.is_empty());
     }
 
     #[test]

@@ -16,10 +16,7 @@
 //! within its availability budget, **SG04** no closing while a person is
 //! entering.
 
-use std::sync::Arc;
-
 use bytes::Bytes;
-use parking_lot::Mutex;
 use saseval_obs::Obs;
 use serde::{Deserialize, Serialize};
 
@@ -29,7 +26,7 @@ use security_controls::controls::{
     ReplayDetector,
 };
 use security_controls::mac::{MacKey, Tag};
-use security_controls::{ControlStack, Envelope, RejectReason, SecurityControl, SecurityLog};
+use security_controls::{ControlStack, Envelope, SecurityControl, SecurityLog};
 use vehicle_net::ble::{BleConfig, BleLink};
 use vehicle_net::can::{CanBus, CanBusConfig, CanFrame, CanId};
 
@@ -97,23 +94,6 @@ impl Command {
             response: word(17),
             tag: word(25),
         })
-    }
-}
-
-/// Wraps a shared control so both the stack and the world (issuing
-/// challenges, authorizing config writes) can reach it.
-struct Shared<T> {
-    name: &'static str,
-    inner: Arc<Mutex<T>>,
-}
-
-impl<T: SecurityControl> SecurityControl for Shared<T> {
-    fn name(&self) -> &str {
-        self.name
-    }
-
-    fn check(&mut self, envelope: &Envelope, now: SimTime) -> Result<(), RejectReason> {
-        self.inner.lock().check(envelope, now)
     }
 }
 
@@ -186,6 +166,13 @@ pub struct KeylessOutcome {
     pub isolated_at: Option<SimTime>,
 }
 
+impl KeylessOutcome {
+    /// Whether any Use Case II safety goal was violated.
+    pub fn any_violation(&self) -> bool {
+        self.sg01_violated || self.sg02_violated || self.sg03_violated || self.sg04_violated
+    }
+}
+
 #[derive(Clone, Copy)]
 enum OwnerAction {
     Open,
@@ -193,6 +180,7 @@ enum OwnerAction {
 }
 
 /// The running keyless world.
+#[derive(Clone)]
 pub struct KeylessWorld {
     config: KeylessConfig,
     now: SimTime,
@@ -201,8 +189,6 @@ pub struct KeylessWorld {
     can: CanBus,
     command_key: MacKey,
     config_key: MacKey,
-    challenge: Option<Arc<Mutex<ChallengeResponse>>>,
-    allow_list: Option<Arc<Mutex<IdAllowList>>>,
     forward_limiter: Option<FloodDetector>,
     owner_script: EventQueue<OwnerAction>,
     /// Reusable scratch buffers for the per-tick link poll and owner
@@ -222,6 +208,7 @@ pub struct KeylessWorld {
     sniffed: Vec<Vec<u8>>,
     trace: TraceRecorder,
     obs: Obs,
+    ticks: u64,
 }
 
 impl std::fmt::Debug for KeylessWorld {
@@ -241,11 +228,8 @@ impl KeylessWorld {
         let config_key = MacKey::new(config.seed ^ 0x434F_4E46); // "CONF"
         let mut stack = ControlStack::new("GW");
         let c = config.controls;
-        let mut allow_list = None;
         if c.allow_list {
-            let shared = Arc::new(Mutex::new(IdAllowList::new([config.owner_key_id], config_key)));
-            allow_list = Some(Arc::clone(&shared));
-            stack.push(Shared { name: "id-allow-list", inner: shared });
+            stack.push(IdAllowList::new([config.owner_key_id], config_key));
         }
         if c.authentication {
             stack.push(MacAuthenticator::new(command_key));
@@ -256,11 +240,8 @@ impl KeylessWorld {
         if c.replay_protection {
             stack.push(ReplayDetector::new(4_096));
         }
-        let mut challenge = None;
         if c.challenge_response {
-            let shared = Arc::new(Mutex::new(ChallengeResponse::new(command_key)));
-            challenge = Some(Arc::clone(&shared));
-            stack.push(Shared { name: "challenge-response", inner: shared });
+            stack.push(ChallengeResponse::new(command_key));
         }
         let forward_limiter = if c.flood_protection {
             // Legitimate companion-app service traffic stays below
@@ -280,8 +261,6 @@ impl KeylessWorld {
             can,
             command_key,
             config_key,
-            challenge,
-            allow_list,
             forward_limiter,
             owner_script: EventQueue::new(),
             frame_buf: Vec::new(),
@@ -298,6 +277,7 @@ impl KeylessWorld {
             sniffed: Vec::new(),
             trace: TraceRecorder::new(),
             obs: Obs::noop(),
+            ticks: 0,
         }
     }
 
@@ -367,7 +347,7 @@ impl KeylessWorld {
     /// (attack AD24). Returns whether the write was accepted; `None` when
     /// no allow-list is deployed.
     pub fn try_allowlist_write(&mut self, id: u64, auth: Tag) -> Option<bool> {
-        self.allow_list.as_ref().map(|list| list.lock().try_add(id, auth))
+        self.stack.control_mut::<IdAllowList>("id-allow-list").map(|list| list.try_add(id, auth))
     }
 
     /// Injects a body-control frame from an exposed CAN stub (attack
@@ -421,9 +401,9 @@ impl KeylessWorld {
 
     /// Builds a fully credentialed command as the owner's phone would.
     pub fn owner_command(&mut self, cmd: u8) -> Command {
-        let response = match &self.challenge {
+        let response = match self.stack.control_mut::<ChallengeResponse>("challenge-response") {
             Some(cr) => {
-                let nonce = cr.lock().issue(OWNER_PHONE);
+                let nonce = cr.issue(OWNER_PHONE);
                 ChallengeResponse::respond(self.command_key, nonce, &[cmd]).raw()
             }
             None => 0,
@@ -565,26 +545,73 @@ impl KeylessWorld {
         }
     }
 
+    /// Whether the run has reached the horizon.
+    pub fn is_done(&self) -> bool {
+        self.now >= SimTime::ZERO + self.config.horizon
+    }
+
+    /// Performs one tick under the given attacker. Returns whether a tick
+    /// was performed (`false` once [`KeylessWorld::is_done`]).
+    pub fn step(&mut self, attacker: &mut dyn AttackerHook<KeylessWorld>) -> bool {
+        if self.is_done() {
+            return false;
+        }
+        let now = self.now;
+        attacker.on_tick(self, now);
+        self.tick_body();
+        true
+    }
+
+    /// The attacker-independent part of one tick: owner-script drain
+    /// (via the allocation-free [`EventQueue::pop_due_into`]), gateway
+    /// admission, lock actuation, time advance.
+    pub(crate) fn tick_body(&mut self) {
+        let mut actions = std::mem::take(&mut self.action_buf);
+        self.owner_script.pop_due_into(self.now, &mut actions);
+        for action in actions.drain(..) {
+            self.perform_owner_action(action);
+        }
+        self.action_buf = actions;
+        self.gateway_tick();
+        self.actuator_tick();
+        self.now += self.config.tick;
+        self.ticks += 1;
+    }
+
+    /// Steps until virtual time reaches `until` (or the run ends).
+    pub fn run_until(&mut self, until: SimTime, attacker: &mut dyn AttackerHook<KeylessWorld>) {
+        while self.now < until && self.step(attacker) {}
+    }
+
+    /// Deep-copies the world; the fork replays bit-identically to a
+    /// from-scratch run brought to the same state, then diverges
+    /// independently (owner script, challenge nonces and replay caches
+    /// included).
+    pub fn fork(&self) -> KeylessWorld {
+        self.clone()
+    }
+
+    /// Freezes the current state as a copy-on-write snapshot to fork many
+    /// runs from a warm common prefix.
+    pub fn snapshot(&self) -> crate::WorldSnapshot<KeylessWorld> {
+        crate::WorldSnapshot::new(self.clone())
+    }
+
+    /// Consumes the world and evaluates the safety goals on its current
+    /// state, flushing the tick/event counters. [`KeylessWorld::run`] is
+    /// stepping to completion followed by this.
+    pub fn into_outcome(self) -> KeylessOutcome {
+        self.obs.counter("world.keyless.ticks", self.ticks);
+        self.obs.counter("sim.events.scheduled", self.owner_script.scheduled_total());
+        self.obs.counter("sim.events.popped", self.owner_script.popped_total());
+        self.finish()
+    }
+
     /// Runs the world to the horizon under the given attacker.
     pub fn run(mut self, attacker: &mut dyn AttackerHook<KeylessWorld>) -> KeylessOutcome {
         let span = self.obs.span("world.keyless.run_seconds");
-        let horizon = SimTime::ZERO + self.config.horizon;
-        let mut ticks = 0u64;
-        while self.now < horizon {
-            let now = self.now;
-            attacker.on_tick(&mut self, now);
-            let mut actions = std::mem::take(&mut self.action_buf);
-            self.owner_script.pop_due_into(self.now, &mut actions);
-            for action in actions.drain(..) {
-                self.perform_owner_action(action);
-            }
-            self.action_buf = actions;
-            self.gateway_tick();
-            self.actuator_tick();
-            self.now += self.config.tick;
-            ticks += 1;
-        }
-        self.obs.counter("world.keyless.ticks", ticks);
+        while self.step(attacker) {}
+        self.obs.counter("world.keyless.ticks", self.ticks);
         self.obs.counter("sim.events.scheduled", self.owner_script.scheduled_total());
         self.obs.counter("sim.events.popped", self.owner_script.popped_total());
         span.finish();

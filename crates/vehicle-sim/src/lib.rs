@@ -29,6 +29,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod config;
 pub mod construction;
 mod error;
@@ -37,9 +38,12 @@ pub mod keyless;
 pub mod trace;
 pub mod vehicle;
 
+pub use batch::{ConstructionBatch, KeylessBatch};
 pub use config::ControlSelection;
 pub use error::SimError;
 pub use trace::{TraceEvent, TraceRecorder};
+
+use std::sync::Arc;
 
 use saseval_types::SimTime;
 
@@ -53,4 +57,35 @@ pub trait AttackerHook<W> {
 
 impl<W> AttackerHook<W> for () {
     fn on_tick(&mut self, _world: &mut W, _now: SimTime) {}
+}
+
+/// A frozen world state at a point in virtual time, shared copy-on-write.
+///
+/// Capturing a snapshot at the attack-activation time lets many mutated
+/// inputs fork from the same warm prefix instead of re-simulating it from
+/// `t = 0`: the frozen state lives once behind an [`Arc`]; each
+/// [`WorldSnapshot::fork`] deep-clones it into an independent world whose
+/// subsequent steps are bit-identical to a from-scratch run brought to
+/// the same state (the snapshot-equivalence property gating this crate's
+/// determinism contract).
+#[derive(Debug, Clone)]
+pub struct WorldSnapshot<W> {
+    state: Arc<W>,
+}
+
+impl<W: Clone> WorldSnapshot<W> {
+    /// Freezes `world` as the shared prefix state.
+    pub fn new(world: W) -> Self {
+        WorldSnapshot { state: Arc::new(world) }
+    }
+
+    /// Deep-clones an independent world out of the frozen prefix.
+    pub fn fork(&self) -> W {
+        (*self.state).clone()
+    }
+
+    /// Read-only access to the frozen state.
+    pub fn get(&self) -> &W {
+        &self.state
+    }
 }
