@@ -1,8 +1,11 @@
 //! Exports the full SaSeVAL validation reports (Markdown), the raw
 //! campaign results (JSON, with the run's metrics snapshot embedded) for
 //! both use cases, the fuzzing throughput grid (`BENCH_fuzz.json`:
-//! serial vs 2/4-shard inputs-per-second on both protocol models), and
-//! the crash-triage minimization statistics (`BENCH_triage.json`).
+//! serial vs 2/4-shard inputs-per-second on both protocol models), the
+//! crash-triage minimization statistics (`BENCH_triage.json`), and the
+//! campaign-server latency/throughput grid (`BENCH_server.json`: cold vs
+//! warm vs cached request latency plus jobs/sec under concurrent
+//! clients).
 //!
 //! ```sh
 //! cargo run -p saseval-bench --bin export_report [out-dir]
@@ -115,6 +118,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         path.display(),
         triage.rows.len(),
         triage.rows.iter().map(|r| r.crashes).sum::<usize>()
+    );
+
+    // Campaign server: cold vs warm vs cached latency over the TCP
+    // protocol and jobs/sec under concurrent clients (the ISSUE 7
+    // acceptance export — cached repeats must be >= 100x faster than a
+    // cold run).
+    let server = saseval_bench::server_bench::measure_server(65_536);
+    let json = serde_json::to_string_pretty(&server)?;
+    let path = out_dir.join("BENCH_server.json");
+    fs::write(&path, &json)?;
+    println!(
+        "wrote {} (cold {:.3}s, cached-memory speedup {:.0}x)",
+        path.display(),
+        server.latency[0].seconds,
+        server.cached_speedup_vs_cold
     );
     Ok(())
 }

@@ -10,6 +10,7 @@
 #![warn(missing_docs)]
 
 pub mod fuzz_bench;
+pub mod server_bench;
 pub mod sim_bench;
 pub mod triage_bench;
 

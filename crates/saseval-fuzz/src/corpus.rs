@@ -33,24 +33,10 @@ use serde::{Deserialize, Serialize};
 
 use crate::fuzzer::TargetResponse;
 
-/// FNV-1a 64-bit hash of `bytes` — the corpus content address. Chosen
-/// over a cryptographic hash because the corpus is a local evidence
-/// store, not an integrity boundary, and FNV needs no dependency.
-pub fn fnv1a64(bytes: &[u8]) -> u64 {
-    const OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
-    const PRIME: u64 = 0x0000_0100_0000_01b3;
-    let mut hash = OFFSET_BASIS;
-    for &byte in bytes {
-        hash ^= u64::from(byte);
-        hash = hash.wrapping_mul(PRIME);
-    }
-    hash
-}
-
-/// The 16-hex-digit content address of `bytes`.
-pub fn content_hash(bytes: &[u8]) -> String {
-    format!("{:016x}", fnv1a64(bytes))
-}
+// The corpus content address is the workspace-shared FNV-1a hash
+// (`saseval-types::hash`), re-exported here so existing callers keep
+// their import paths.
+pub use saseval_types::hash::{content_hash, fnv1a64};
 
 /// Sidecar metadata stored next to each corpus entry.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]

@@ -85,9 +85,7 @@ impl SimOracle {
     /// `config` to `attack_at`, freezes it, and fuzzes BLE payloads from
     /// there.
     pub fn keyless(config: KeylessConfig, attack_at: SimTime) -> Self {
-        let mut world = KeylessWorld::new(config);
-        world.run_until(attack_at, &mut ());
-        Self::keyless_from(world.snapshot())
+        Self::keyless_from(KeylessWorld::warm_snapshot(config, attack_at))
     }
 
     /// Keyless oracle over a caller-prepared snapshot (e.g. a prefix with
@@ -101,9 +99,7 @@ impl SimOracle {
     /// under `config` to `attack_at`, freezes it, and fuzzes V2X payloads
     /// from there.
     pub fn construction(config: ConstructionConfig, attack_at: SimTime) -> Self {
-        let mut world = ConstructionWorld::new(config);
-        world.run_until(attack_at, &mut ());
-        Self::construction_from(world.snapshot())
+        Self::construction_from(ConstructionWorld::warm_snapshot(config, attack_at))
     }
 
     /// Construction oracle over a caller-prepared snapshot. The prefix

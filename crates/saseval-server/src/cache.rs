@@ -1,0 +1,306 @@
+//! Two-tier content-addressed result cache: in-memory LRU in front of
+//! an optional on-disk store.
+//!
+//! Keys are the fnv1a64 job keys of [`crate::job::JobSpec::cache_key`];
+//! values are canonical payload bytes ([`crate::job::JobPayload::to_bytes`]).
+//! Because the key already covers the canonicalized spec, the seed and
+//! the code-version fingerprint, a lookup can never return a stale or
+//! semantically different result — the cache only ever deduplicates
+//! byte-identical recomputation.
+//!
+//! On-disk layout mirrors the fuzz corpus idiom:
+//!
+//! ```text
+//! <dir>/<16-hex-key>.bin    payload bytes
+//! <dir>/<16-hex-key>.json   sidecar (DiskMeta: length, payload hash,
+//!                           code version)
+//! ```
+//!
+//! Writes go through a temp file plus rename, so a crash mid-write
+//! leaves either the old entry or none — never a torn one. Reads verify
+//! the sidecar's payload hash and code version; any mismatch is treated
+//! as a miss and the entry is removed (counted under
+//! [`CacheStats::corrupt`]), so a corrupted store degrades to
+//! recomputation instead of serving bad bytes.
+
+use std::collections::VecDeque;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use saseval_types::hash::content_hash;
+use serde::{Deserialize, Serialize};
+
+use crate::job::code_version;
+
+/// Which tier answered a cache hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheTier {
+    /// In-memory LRU.
+    Memory,
+    /// On-disk store (the hit is promoted to memory).
+    Disk,
+}
+
+impl CacheTier {
+    /// The wire name of the tier (`"memory"` / `"disk"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CacheTier::Memory => "memory",
+            CacheTier::Disk => "disk",
+        }
+    }
+}
+
+/// Monotonic hit/miss counters, readable while the server runs.
+#[derive(Debug, Default)]
+pub struct CacheStats {
+    /// Lookups answered by the in-memory LRU.
+    pub memory_hits: AtomicU64,
+    /// Lookups answered by the on-disk store.
+    pub disk_hits: AtomicU64,
+    /// Lookups answered by neither tier.
+    pub misses: AtomicU64,
+    /// On-disk entries rejected (hash/version mismatch) and removed.
+    pub corrupt: AtomicU64,
+}
+
+/// Sidecar metadata stored next to each on-disk payload.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+struct DiskMeta {
+    /// 16-hex cache key (the file stem).
+    key: String,
+    /// Payload length in bytes.
+    len: usize,
+    /// fnv1a64 content hash of the payload bytes.
+    payload_hash: String,
+    /// Code-version fingerprint that produced the payload.
+    code_version: String,
+}
+
+/// In-memory LRU over payload bytes. Recency is the deque order
+/// (front = coldest); hits splice the entry to the back. Linear scans
+/// are fine at the capacities a result cache runs at (payloads are few
+/// and large, not many and tiny).
+#[derive(Debug, Default)]
+struct Lru {
+    entries: VecDeque<(u64, Vec<u8>)>,
+    capacity: usize,
+}
+
+impl Lru {
+    fn get(&mut self, key: u64) -> Option<Vec<u8>> {
+        let index = self.entries.iter().position(|(k, _)| *k == key)?;
+        let entry = self.entries.remove(index).expect("index from position");
+        let payload = entry.1.clone();
+        self.entries.push_back(entry);
+        Some(payload)
+    }
+
+    fn insert(&mut self, key: u64, payload: Vec<u8>) {
+        if let Some(index) = self.entries.iter().position(|(k, _)| *k == key) {
+            self.entries.remove(index);
+        }
+        self.entries.push_back((key, payload));
+        while self.entries.len() > self.capacity {
+            self.entries.pop_front();
+        }
+    }
+}
+
+/// The two-tier cache. Thread-safe; shared across connection handlers
+/// and workers behind an `Arc`.
+#[derive(Debug)]
+pub struct ResultCache {
+    mem: Mutex<Lru>,
+    disk: Option<PathBuf>,
+    version: String,
+    /// Hit/miss counters.
+    pub stats: CacheStats,
+}
+
+fn key_hex(key: u64) -> String {
+    format!("{key:016x}")
+}
+
+impl ResultCache {
+    /// A cache holding up to `mem_capacity` payloads in memory, backed
+    /// by the on-disk store at `disk` when given. The disk directory is
+    /// created lazily on first insert.
+    pub fn new(mem_capacity: usize, disk: Option<PathBuf>) -> Self {
+        Self::with_version(mem_capacity, disk, code_version())
+    }
+
+    /// [`ResultCache::new`] under an explicit code-version fingerprint
+    /// (tests use this to prove version isolation).
+    pub fn with_version(mem_capacity: usize, disk: Option<PathBuf>, version: String) -> Self {
+        ResultCache {
+            mem: Mutex::new(Lru { entries: VecDeque::new(), capacity: mem_capacity.max(1) }),
+            disk,
+            version,
+            stats: CacheStats::default(),
+        }
+    }
+
+    fn mem(&self) -> std::sync::MutexGuard<'_, Lru> {
+        match self.mem.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Looks `key` up, coldest tier last. Disk hits are verified
+    /// against their sidecar and promoted into memory.
+    pub fn get(&self, key: u64) -> Option<(Vec<u8>, CacheTier)> {
+        if let Some(payload) = self.mem().get(key) {
+            self.stats.memory_hits.fetch_add(1, Ordering::Relaxed);
+            return Some((payload, CacheTier::Memory));
+        }
+        if let Some(payload) = self.disk_get(key) {
+            self.stats.disk_hits.fetch_add(1, Ordering::Relaxed);
+            self.mem().insert(key, payload.clone());
+            return Some((payload, CacheTier::Disk));
+        }
+        self.stats.misses.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    /// Stores `payload` under `key` in both tiers. Disk-write failures
+    /// are swallowed (the memory tier still serves the entry); a result
+    /// cache must never fail the job that filled it.
+    pub fn insert(&self, key: u64, payload: &[u8]) {
+        self.mem().insert(key, payload.to_vec());
+        if self.disk.is_some() {
+            let _ = self.disk_insert(key, payload);
+        }
+    }
+
+    fn disk_get(&self, key: u64) -> Option<Vec<u8>> {
+        let dir = self.disk.as_deref()?;
+        let stem = key_hex(key);
+        let sidecar = dir.join(format!("{stem}.json"));
+        let json = fs::read_to_string(&sidecar).ok()?;
+        let bin = dir.join(format!("{stem}.bin"));
+        let verified = (|| {
+            let meta: DiskMeta = serde_json::from_str(&json).ok()?;
+            if meta.key != stem || meta.code_version != self.version {
+                return None;
+            }
+            let payload = fs::read(&bin).ok()?;
+            if payload.len() != meta.len || content_hash(&payload) != meta.payload_hash {
+                return None;
+            }
+            Some(payload)
+        })();
+        if verified.is_none() {
+            // Corrupt or foreign-version entry: drop it so the slot can
+            // be refilled by a fresh run.
+            self.stats.corrupt.fetch_add(1, Ordering::Relaxed);
+            let _ = fs::remove_file(&sidecar);
+            let _ = fs::remove_file(&bin);
+        }
+        verified
+    }
+
+    fn disk_insert(&self, key: u64, payload: &[u8]) -> io::Result<()> {
+        let dir = self.disk.as_deref().expect("checked by caller");
+        fs::create_dir_all(dir)?;
+        let stem = key_hex(key);
+        let meta = DiskMeta {
+            key: stem.clone(),
+            len: payload.len(),
+            payload_hash: content_hash(payload),
+            code_version: self.version.clone(),
+        };
+        let json = serde_json::to_string_pretty(&meta)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        // Payload first, sidecar last: a reader that sees the sidecar is
+        // guaranteed a complete payload; a crash in between leaves an
+        // unreferenced payload file, not a torn entry.
+        write_atomic(dir, &format!("{stem}.bin"), payload)?;
+        write_atomic(dir, &format!("{stem}.json"), json.as_bytes())?;
+        Ok(())
+    }
+}
+
+fn write_atomic(dir: &Path, name: &str, bytes: &[u8]) -> io::Result<()> {
+    let tmp = dir.join(format!("{name}.tmp"));
+    fs::write(&tmp, bytes)?;
+    fs::rename(&tmp, dir.join(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    static DIR_COUNTER: AtomicUsize = AtomicUsize::new(0);
+
+    fn temp_dir() -> PathBuf {
+        let unique = DIR_COUNTER.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("saseval-cache-test-{}-{unique}", std::process::id()))
+    }
+
+    #[test]
+    fn memory_tier_hits_and_evicts_lru() {
+        let cache = ResultCache::new(2, None);
+        cache.insert(1, b"one");
+        cache.insert(2, b"two");
+        assert_eq!(cache.get(1), Some((b"one".to_vec(), CacheTier::Memory)));
+        // 2 is now coldest; inserting 3 evicts it.
+        cache.insert(3, b"three");
+        assert_eq!(cache.get(2), None);
+        assert_eq!(cache.get(1), Some((b"one".to_vec(), CacheTier::Memory)));
+        assert_eq!(cache.stats.memory_hits.load(Ordering::Relaxed), 2);
+        assert_eq!(cache.stats.misses.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn disk_tier_survives_a_fresh_cache_and_promotes() {
+        let dir = temp_dir();
+        let first = ResultCache::new(4, Some(dir.clone()));
+        first.insert(7, b"payload");
+        drop(first);
+        let second = ResultCache::new(4, Some(dir.clone()));
+        assert_eq!(second.get(7), Some((b"payload".to_vec(), CacheTier::Disk)));
+        // Promoted: the next lookup is a memory hit.
+        assert_eq!(second.get(7), Some((b"payload".to_vec(), CacheTier::Memory)));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupted_disk_entry_is_a_miss_and_removed() {
+        let dir = temp_dir();
+        let cache = ResultCache::new(1, Some(dir.clone()));
+        cache.insert(7, b"payload");
+        // Evict from memory so the next get must go to disk.
+        cache.insert(8, b"other");
+        fs::write(dir.join(format!("{}.bin", key_hex(7))), b"tampered").unwrap();
+        assert_eq!(cache.get(7), None);
+        assert_eq!(cache.stats.corrupt.load(Ordering::Relaxed), 1);
+        assert!(!dir.join(format!("{}.json", key_hex(7))).exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn foreign_version_entries_are_never_served() {
+        let dir = temp_dir();
+        let old = ResultCache::with_version(1, Some(dir.clone()), "v-old".to_owned());
+        old.insert(7, b"stale");
+        drop(old);
+        let new = ResultCache::with_version(1, Some(dir.clone()), "v-new".to_owned());
+        assert_eq!(new.get(7), None);
+        assert_eq!(new.stats.corrupt.load(Ordering::Relaxed), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reinsert_updates_in_place() {
+        let cache = ResultCache::new(2, None);
+        cache.insert(1, b"a");
+        cache.insert(1, b"b");
+        assert_eq!(cache.get(1), Some((b"b".to_vec(), CacheTier::Memory)));
+    }
+}

@@ -1,0 +1,440 @@
+//! Job specifications, canonicalization and content-addressed cache keys.
+//!
+//! A job is a pure function of its specification: PRs 3–6 made every
+//! stage of the validation pipeline deterministic, so the same
+//! [`JobSpec`] always produces the same [`JobPayload`] on the same code
+//! version. The cache key exploits that:
+//!
+//! ```text
+//! key = fnv1a64(canonical_json(spec)) ⧺ 0x00 ⧺ code_version
+//! ```
+//!
+//! *Canonicalization* is a round-trip through the typed spec: the wire
+//! JSON is parsed into [`JobSpec`] (field order disappears, omitted
+//! `#[serde(default)]` fields are filled in, unknown fields are
+//! dropped), sentinel zeros are resolved to their documented defaults by
+//! [`JobSpec::normalized`], execution-tuning knobs that provably cannot
+//! change the payload are erased, and the result is re-serialized with
+//! the deterministic (declaration-order) vendored `serde_json`. Two
+//! requests that differ only in spelling therefore share one key, while
+//! any semantic difference — scenario, iterations, seed, shard count,
+//! suite — produces a different canonical string and hence a different
+//! key.
+//!
+//! The *code-version fingerprint* ([`code_version`]) is chained into the
+//! key so a cache written by one build can never serve results to a
+//! build whose semantics changed: bump [`RESULT_CONTRACT`] whenever job
+//! execution or the payload schema changes observable behaviour.
+
+use attack_engine::builtin;
+use attack_engine::campaign::CampaignReport;
+use attack_engine::executor::TestCase;
+use saseval_types::hash::{fnv1a64, fnv1a64_extend};
+use saseval_types::{Ftti, SimTime};
+use serde::{Deserialize, Serialize};
+use vehicle_sim::construction::ConstructionConfig;
+use vehicle_sim::keyless::KeylessConfig;
+use vehicle_sim::ControlSelection;
+
+use saseval_fuzz::fuzzer::FuzzReport;
+
+/// Version of the job-execution semantics and payload schema. Bump on
+/// any change that can alter a payload for an unchanged spec — the
+/// fingerprint is part of every cache key, so old entries become
+/// unreachable instead of stale.
+pub const RESULT_CONTRACT: u32 = 1;
+
+/// The code-version fingerprint chained into every cache key: crate
+/// version plus [`RESULT_CONTRACT`].
+pub fn code_version() -> String {
+    format!("{}+contract{}", env!("CARGO_PKG_VERSION"), RESULT_CONTRACT)
+}
+
+/// Horizon a scenario runs to when the spec leaves `horizon_ms` at 0.
+pub const DEFAULT_HORIZON_MS: u64 = 2_000;
+
+/// Attack-activation time when the spec leaves `attack_at_ms` at 0 —
+/// the point the warm prefix is frozen at.
+pub const DEFAULT_ATTACK_AT_MS: u64 = 100;
+
+/// Security-control preset deployed in a fuzz scenario's world.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ControlsPreset {
+    /// Every control from the paper's Table VII.
+    #[default]
+    All,
+    /// No controls deployed (the unhardened baseline).
+    None,
+    /// Authentication-family controls only.
+    AuthOnly,
+}
+
+impl ControlsPreset {
+    /// The concrete control selection this preset names.
+    pub fn selection(self) -> ControlSelection {
+        match self {
+            ControlsPreset::All => ControlSelection::all(),
+            ControlsPreset::None => ControlSelection::none(),
+            ControlsPreset::AuthOnly => ControlSelection::auth_only(),
+        }
+    }
+}
+
+/// Keyless-entry (Use Case II) fuzz scenario parameters. Zero means
+/// "use the documented default" so an omitted field and an explicit
+/// default canonicalize identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KeylessScenario {
+    /// Deployed controls.
+    #[serde(default)]
+    pub controls: ControlsPreset,
+    /// Run horizon in milliseconds; 0 → [`DEFAULT_HORIZON_MS`].
+    #[serde(default)]
+    pub horizon_ms: u64,
+    /// Warm-prefix freeze time in milliseconds; 0 →
+    /// [`DEFAULT_ATTACK_AT_MS`].
+    #[serde(default)]
+    pub attack_at_ms: u64,
+}
+
+impl Default for KeylessScenario {
+    fn default() -> Self {
+        KeylessScenario { controls: ControlsPreset::All, horizon_ms: 0, attack_at_ms: 0 }
+    }
+}
+
+/// Construction-site (Use Case I) fuzz scenario parameters; same zero
+/// conventions as [`KeylessScenario`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConstructionScenario {
+    /// Deployed controls.
+    #[serde(default)]
+    pub controls: ControlsPreset,
+    /// Run horizon in milliseconds; 0 → [`DEFAULT_HORIZON_MS`].
+    #[serde(default)]
+    pub horizon_ms: u64,
+    /// Warm-prefix freeze time in milliseconds; 0 →
+    /// [`DEFAULT_ATTACK_AT_MS`].
+    #[serde(default)]
+    pub attack_at_ms: u64,
+}
+
+impl Default for ConstructionScenario {
+    fn default() -> Self {
+        ConstructionScenario { controls: ControlsPreset::All, horizon_ms: 0, attack_at_ms: 0 }
+    }
+}
+
+/// Which demonstrator world a fuzz job runs against, with its
+/// scenario parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScenarioSpec {
+    /// Use Case II: BLE keyless entry.
+    Keyless(KeylessScenario),
+    /// Use Case I: construction-site V2X warnings.
+    Construction(ConstructionScenario),
+}
+
+impl ScenarioSpec {
+    /// The spec with zero sentinels resolved to their defaults.
+    pub fn normalized(self) -> ScenarioSpec {
+        fn resolve(ms: u64, fallback: u64) -> u64 {
+            if ms == 0 {
+                fallback
+            } else {
+                ms
+            }
+        }
+        match self {
+            ScenarioSpec::Keyless(s) => ScenarioSpec::Keyless(KeylessScenario {
+                controls: s.controls,
+                horizon_ms: resolve(s.horizon_ms, DEFAULT_HORIZON_MS),
+                attack_at_ms: resolve(s.attack_at_ms, DEFAULT_ATTACK_AT_MS),
+            }),
+            ScenarioSpec::Construction(s) => ScenarioSpec::Construction(ConstructionScenario {
+                controls: s.controls,
+                horizon_ms: resolve(s.horizon_ms, DEFAULT_HORIZON_MS),
+                attack_at_ms: resolve(s.attack_at_ms, DEFAULT_ATTACK_AT_MS),
+            }),
+        }
+    }
+
+    /// Identifies the warm world prefix this scenario forks from —
+    /// the snapshot-store key. Normalizes first, so semantically equal
+    /// scenarios share one resident snapshot.
+    pub fn prefix_key(self) -> u64 {
+        let canonical =
+            serde_json::to_string(&self.normalized()).expect("scenario specs always serialize");
+        fnv1a64(canonical.as_bytes())
+    }
+
+    /// The world horizon, post-normalization.
+    pub fn horizon(self) -> Ftti {
+        let ms = match self.normalized() {
+            ScenarioSpec::Keyless(s) => s.horizon_ms,
+            ScenarioSpec::Construction(s) => s.horizon_ms,
+        };
+        Ftti::from_millis(ms)
+    }
+
+    /// The warm-prefix freeze time, post-normalization.
+    pub fn attack_at(self) -> SimTime {
+        let ms = match self.normalized() {
+            ScenarioSpec::Keyless(s) => s.attack_at_ms,
+            ScenarioSpec::Construction(s) => s.attack_at_ms,
+        };
+        SimTime::from_millis(ms)
+    }
+
+    /// The keyless world configuration (normalized), if this is a
+    /// keyless scenario.
+    pub fn keyless_config(self) -> Option<KeylessConfig> {
+        match self.normalized() {
+            ScenarioSpec::Keyless(s) => Some(KeylessConfig {
+                horizon: Ftti::from_millis(s.horizon_ms),
+                controls: s.controls.selection(),
+                ..Default::default()
+            }),
+            ScenarioSpec::Construction(_) => None,
+        }
+    }
+
+    /// The construction world configuration (normalized), if this is a
+    /// construction scenario.
+    pub fn construction_config(self) -> Option<ConstructionConfig> {
+        match self.normalized() {
+            ScenarioSpec::Construction(s) => Some(ConstructionConfig {
+                horizon: Ftti::from_millis(s.horizon_ms),
+                controls: s.controls.selection(),
+                ..Default::default()
+            }),
+            ScenarioSpec::Keyless(_) => None,
+        }
+    }
+}
+
+/// A fuzzing job: attack-path-guided protocol fuzzing against a
+/// demonstrator world forked from a warm prefix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FuzzJob {
+    /// Which world, with scenario parameters.
+    pub scenario: ScenarioSpec,
+    /// Number of inputs to execute.
+    pub iterations: usize,
+    /// Base fuzzer seed.
+    pub seed: u64,
+    /// Shard count for the parallel merge; 0 → 1. Part of the cache
+    /// key: different shard counts draw different input streams.
+    #[serde(default)]
+    pub shards: usize,
+    /// Batch size for lockstep world stepping; 0 → 16. *Not* part of
+    /// the cache key — batching is proven report-neutral (the PR 6
+    /// batched-equals-serial property), so canonicalization erases it.
+    #[serde(default)]
+    pub batch: usize,
+}
+
+/// A built-in campaign suite, addressable over the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SuiteName {
+    /// Every built-in attack description.
+    Full,
+    /// AD20 packet-flood cases.
+    Ad20,
+    /// AD08 forged-command cases.
+    Ad08,
+    /// Replay-attack cases.
+    Replay,
+    /// BLE→CAN flood cases.
+    CanFlood,
+    /// Warning-delay cases.
+    Delay,
+    /// Jamming cases.
+    Jamming,
+    /// The control-ablation grid.
+    Ablation,
+}
+
+impl SuiteName {
+    /// The suite's test cases, in canonical order.
+    pub fn cases(self) -> Vec<TestCase> {
+        match self {
+            SuiteName::Full => builtin::full_campaign(),
+            SuiteName::Ad20 => builtin::ad20_cases(),
+            SuiteName::Ad08 => builtin::ad08_cases(),
+            SuiteName::Replay => builtin::replay_cases(),
+            SuiteName::CanFlood => builtin::can_flood_cases(),
+            SuiteName::Delay => builtin::delay_cases(),
+            SuiteName::Jamming => builtin::jamming_cases(),
+            SuiteName::Ablation => builtin::ablation_grid(),
+        }
+    }
+}
+
+/// A campaign job: execute a built-in suite of attack test cases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CampaignJob {
+    /// Which suite to run.
+    pub suite: SuiteName,
+    /// Seed override applied to every case; 0 → keep each case's
+    /// built-in seed.
+    #[serde(default)]
+    pub seed: u64,
+}
+
+/// One validation job, as carried on the wire (externally tagged:
+/// `{"Fuzz": {...}}` or `{"Campaign": {...}}`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobSpec {
+    /// Protocol fuzzing against a demonstrator world.
+    Fuzz(FuzzJob),
+    /// A built-in attack campaign suite.
+    Campaign(CampaignJob),
+}
+
+impl JobSpec {
+    /// The spec with every zero sentinel resolved — the form jobs
+    /// execute under.
+    pub fn normalized(self) -> JobSpec {
+        match self {
+            JobSpec::Fuzz(job) => JobSpec::Fuzz(FuzzJob {
+                scenario: job.scenario.normalized(),
+                iterations: job.iterations,
+                seed: job.seed,
+                shards: job.shards.max(1),
+                batch: if job.batch == 0 { 16 } else { job.batch },
+            }),
+            JobSpec::Campaign(job) => JobSpec::Campaign(job),
+        }
+    }
+
+    /// The canonical spec string the cache key hashes: normalized, with
+    /// payload-neutral tuning knobs erased (`batch` — see [`FuzzJob`]).
+    pub fn canonical_json(self) -> String {
+        let mut canonical = self.normalized();
+        if let JobSpec::Fuzz(job) = &mut canonical {
+            job.batch = 0;
+        }
+        serde_json::to_string(&canonical).expect("job specs always serialize")
+    }
+
+    /// The content-addressed cache key under the given code-version
+    /// fingerprint. Exposed for tests; production callers use
+    /// [`JobSpec::cache_key`].
+    pub fn cache_key_with_version(self, version: &str) -> u64 {
+        let mut key = fnv1a64(self.canonical_json().as_bytes());
+        // Domain separator: a spec string can never collide with a
+        // (spec ⧺ version) string of a different split.
+        key = fnv1a64_extend(key, &[0]);
+        fnv1a64_extend(key, version.as_bytes())
+    }
+
+    /// The content-addressed cache key of this spec on the current code
+    /// version.
+    pub fn cache_key(self) -> u64 {
+        self.cache_key_with_version(&code_version())
+    }
+}
+
+/// The deterministic result of a job — exactly what the cache stores
+/// (serialized) and what a `done` frame carries.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum JobPayload {
+    /// Result of a [`JobSpec::Fuzz`] job.
+    Fuzz(FuzzReport),
+    /// Result of a [`JobSpec::Campaign`] job.
+    Campaign(CampaignReport),
+}
+
+impl JobPayload {
+    /// The canonical payload bytes: deterministic compact JSON. Equal
+    /// payloads serialize to equal bytes — the byte-identity contract
+    /// the cache and its proptest rely on.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        serde_json::to_string(self).expect("job payloads always serialize").into_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keyless_job() -> JobSpec {
+        JobSpec::Fuzz(FuzzJob {
+            scenario: ScenarioSpec::Keyless(KeylessScenario::default()),
+            iterations: 64,
+            seed: 9,
+            shards: 0,
+            batch: 0,
+        })
+    }
+
+    #[test]
+    fn wire_roundtrip_and_defaults() {
+        let parsed: JobSpec = serde_json::from_str(
+            r#"{"Fuzz":{"scenario":{"Keyless":{}},"iterations":64,"seed":9}}"#,
+        )
+        .unwrap();
+        assert_eq!(parsed, keyless_job());
+    }
+
+    #[test]
+    fn canonicalization_is_spelling_invariant() {
+        // Shuffled field order, explicit defaults, unknown field.
+        let spelled: JobSpec = serde_json::from_str(
+            r#"{"Fuzz":{"seed":9,"batch":0,"shards":1,"iterations":64,"note":"x",
+                "scenario":{"Keyless":{"attack_at_ms":100,"horizon_ms":2000,"controls":"All"}}}}"#,
+        )
+        .unwrap();
+        assert_eq!(spelled.canonical_json(), keyless_job().canonical_json());
+        assert_eq!(spelled.cache_key(), keyless_job().cache_key());
+    }
+
+    #[test]
+    fn batch_is_erased_from_the_key_but_shards_are_not() {
+        let base = keyless_job();
+        let JobSpec::Fuzz(mut batched) = base else { unreachable!() };
+        batched.batch = 64;
+        assert_eq!(JobSpec::Fuzz(batched).cache_key(), base.cache_key());
+        let JobSpec::Fuzz(mut sharded) = base else { unreachable!() };
+        sharded.shards = 2;
+        assert_ne!(JobSpec::Fuzz(sharded).cache_key(), base.cache_key());
+    }
+
+    #[test]
+    fn version_fingerprint_changes_the_key() {
+        let job = keyless_job();
+        assert_ne!(
+            job.cache_key_with_version("0.1.0+contract1"),
+            job.cache_key_with_version("0.1.0+contract2")
+        );
+    }
+
+    #[test]
+    fn campaign_suites_resolve_to_cases() {
+        for suite in [
+            SuiteName::Full,
+            SuiteName::Ad20,
+            SuiteName::Ad08,
+            SuiteName::Replay,
+            SuiteName::CanFlood,
+            SuiteName::Delay,
+            SuiteName::Jamming,
+            SuiteName::Ablation,
+        ] {
+            assert!(!suite.cases().is_empty());
+        }
+    }
+
+    #[test]
+    fn scenario_prefix_key_ignores_fuzz_parameters() {
+        let a = keyless_job();
+        let JobSpec::Fuzz(job_a) = a else { unreachable!() };
+        let mut job_b = job_a;
+        job_b.seed = 1234;
+        job_b.iterations = 7;
+        assert_eq!(job_a.scenario.prefix_key(), job_b.scenario.prefix_key());
+        let construction = ScenarioSpec::Construction(ConstructionScenario::default());
+        assert_ne!(job_a.scenario.prefix_key(), construction.prefix_key());
+    }
+}

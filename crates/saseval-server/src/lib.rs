@@ -1,0 +1,47 @@
+//! Campaign server: a long-running validation service over the SaSeVAL
+//! stack.
+//!
+//! The paper's workflow culminates in campaigns — suites of
+//! safety/security test cases executed against simulated systems. Runs
+//! are deterministic by construction, which makes repeat requests pure
+//! waste: the same spec, seed and code always reproduce the same bytes.
+//! This crate turns that determinism into a service with three layers:
+//!
+//! * [`job`] — wire-level job specs ([`job::JobSpec`]) with a
+//!   canonicalization pipeline: spelling differences (field order,
+//!   explicitly-spelled defaults, unknown fields) and payload-neutral
+//!   knobs (batch size) are erased before hashing, and the fnv1a64 key
+//!   is chained with a code-version fingerprint so a stale result can
+//!   never be served across code changes.
+//! * [`cache`] — a two-tier content-addressed store
+//!   ([`cache::ResultCache`]): in-memory LRU in front of an optional
+//!   verified on-disk tier with atomic (temp + rename) writes.
+//! * [`worker`] — a warm pool ([`worker::WorkerPool`]) that keeps
+//!   forked [`vehicle_sim::WorldSnapshot`] prefixes of the demonstrator
+//!   worlds resident ([`worker::SnapshotStore`]), so jobs resume from a
+//!   frozen pre-attack state instead of rebuilding and re-stepping the
+//!   world; progress streams out of `saseval-obs` recorders as
+//!   [`worker::JobEvent`]s.
+//! * [`server`] — a std-only TCP line protocol (one JSON value per
+//!   line) tying the layers together, plus a minimal blocking
+//!   [`server::Client`].
+//!
+//! See `DESIGN.md` §10 for the architecture and the
+//! determinism/caching contract, and `scripts/check.sh` for the smoke
+//! gate that exercises a live server end to end.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod job;
+pub mod server;
+pub mod worker;
+
+pub use cache::{CacheStats, CacheTier, ResultCache};
+pub use job::{
+    code_version, CampaignJob, ControlsPreset, FuzzJob, JobPayload, JobSpec, ScenarioSpec,
+    SuiteName,
+};
+pub use server::{Client, JobOutcome, Server, ServerConfig};
+pub use worker::{FreshStats, JobEvent, QueuedJob, SnapshotStore, WorkerPool};

@@ -1,0 +1,579 @@
+//! The campaign server: a std-only TCP line protocol over the warm
+//! worker pool and result cache, plus a minimal blocking [`Client`].
+//!
+//! One JSON value per `\n`-terminated line, both directions. Requests:
+//!
+//! ```text
+//! {"id":"j1","job":{"Fuzz":{"scenario":{"Keyless":{}},"iterations":256,"seed":7}}}
+//! {"control":"ping"} | {"control":"stats"} | {"control":"shutdown"}
+//! ```
+//!
+//! Responses to a job request, in order:
+//!
+//! ```text
+//! {"id":"j1","event":"accepted","key":"<16-hex>"}
+//! {"id":"j1","event":"progress","metric":"fuzz.shard.inputs_per_sec","value":12345.6}   (0+ times)
+//! {"id":"j1","event":"done","key":"<16-hex>","cache":"miss","stats":{...},"payload":{...}}
+//! ```
+//!
+//! `cache` is `"miss"` (freshly computed — then `stats` reports elapsed
+//! time and throughput), `"memory"` or `"disk"`. The `payload` bytes of
+//! a cached response are byte-identical to the fresh run's — the cache
+//! key covers the canonicalized spec, seed and code-version fingerprint
+//! (see [`crate::job`]), so a hit can never be stale.
+//!
+//! Malformed lines get `{"event":"error","message":...}` (plus `"id"`
+//! when one could be parsed) and the connection stays usable.
+//!
+//! **Shutdown.** The clean path is in-band: `{"control":"shutdown"}`
+//! (or [`Server::shutdown`] from the embedding process) stops the
+//! acceptor, drains queued jobs through the pool and joins the workers.
+//! The workspace forbids `unsafe`, so no signal handler can be
+//! installed: SIGTERM/ctrl-c terminate the process directly, which is
+//! safe by construction — cache writes are temp-file-plus-rename, so an
+//! interrupted server leaves no torn state behind.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use serde::Deserialize;
+use serde_json::JsonValue;
+
+use crate::cache::ResultCache;
+use crate::job::JobSpec;
+use crate::worker::{FreshStats, JobEvent, QueuedJob, SnapshotStore, WorkerPool};
+
+/// Server configuration. `Default` binds an ephemeral localhost port
+/// with two workers, a 128-entry memory tier, no disk tier and
+/// prewarmed demonstrator scenarios.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:0` for an ephemeral port.
+    pub addr: String,
+    /// Worker threads (at least one).
+    pub workers: usize,
+    /// Memory-tier capacity in entries.
+    pub mem_capacity: usize,
+    /// On-disk cache directory; `None` disables the disk tier.
+    pub cache_dir: Option<PathBuf>,
+    /// Whether to freeze the two default demonstrator prefixes at
+    /// startup so the first job on either is already warm.
+    pub prewarm: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 2,
+            mem_capacity: 128,
+            cache_dir: None,
+            prewarm: true,
+        }
+    }
+}
+
+/// A job request line.
+#[derive(Debug, Deserialize)]
+struct JobRequest {
+    id: String,
+    job: JobSpec,
+}
+
+#[derive(Debug)]
+struct ServerState {
+    cache: Arc<ResultCache>,
+    snapshots: Arc<SnapshotStore>,
+    /// Queue sender; taken (closed) when the acceptor stops, which is
+    /// what lets the workers drain and exit.
+    job_tx: Mutex<Option<Sender<QueuedJob>>>,
+    shutdown: AtomicBool,
+    jobs: AtomicU64,
+}
+
+impl ServerState {
+    fn queue_sender(&self) -> Option<Sender<QueuedJob>> {
+        match self.job_tx.lock() {
+            Ok(guard) => guard.clone(),
+            Err(poisoned) => poisoned.into_inner().clone(),
+        }
+    }
+}
+
+/// A running campaign server. Stop it with [`Server::shutdown`] (or an
+/// in-band `{"control":"shutdown"}` line) followed by [`Server::join`].
+#[derive(Debug)]
+pub struct Server {
+    addr: SocketAddr,
+    state: Arc<ServerState>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds, prewarms and starts accepting connections.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn start(config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let cache = Arc::new(ResultCache::new(config.mem_capacity, config.cache_dir));
+        let snapshots = Arc::new(SnapshotStore::new());
+        if config.prewarm {
+            snapshots.prewarm_defaults();
+        }
+        let (job_tx, job_rx) = mpsc::channel();
+        let pool = WorkerPool::spawn(config.workers, job_rx, &cache, &snapshots);
+        let state = Arc::new(ServerState {
+            cache,
+            snapshots,
+            job_tx: Mutex::new(Some(job_tx)),
+            shutdown: AtomicBool::new(false),
+            jobs: AtomicU64::new(0),
+        });
+        let accept_state = state.clone();
+        let accept = std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if accept_state.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let conn_state = accept_state.clone();
+                std::thread::spawn(move || {
+                    let _ = handle_connection(stream, &conn_state, addr);
+                });
+            }
+            // Close the queue: workers finish in-flight jobs and exit.
+            let taken = match accept_state.job_tx.lock() {
+                Ok(mut guard) => guard.take(),
+                Err(poisoned) => poisoned.into_inner().take(),
+            };
+            drop(taken);
+            pool.join();
+        });
+        Ok(Server { addr, state, accept: Some(accept) })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests shutdown: stops accepting, then drains and joins the
+    /// worker pool. Wake the acceptor with a no-op connection.
+    pub fn shutdown(&self) {
+        self.state.shutdown.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+    }
+
+    /// Waits for the acceptor (and through it the worker pool) to
+    /// finish. Call [`Server::shutdown`] first.
+    pub fn join(mut self) {
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn map_field<'a>(value: &'a JsonValue, name: &str) -> Option<&'a JsonValue> {
+    match value {
+        JsonValue::Map(entries) => {
+            entries.iter().find(|(key, _)| key == name).map(|(_, field)| field)
+        }
+        _ => None,
+    }
+}
+
+fn str_field<'a>(value: &'a JsonValue, name: &str) -> Option<&'a str> {
+    match map_field(value, name) {
+        Some(JsonValue::Str(s)) => Some(s),
+        _ => None,
+    }
+}
+
+fn frame(fields: Vec<(&str, JsonValue)>) -> String {
+    let map =
+        JsonValue::Map(fields.into_iter().map(|(key, value)| (key.to_owned(), value)).collect());
+    serde_json::to_string(&map).expect("frames always serialize")
+}
+
+fn error_frame(id: Option<&str>, message: &str) -> String {
+    let mut fields = Vec::new();
+    if let Some(id) = id {
+        fields.push(("id", JsonValue::Str(id.to_owned())));
+    }
+    fields.push(("event", JsonValue::Str("error".to_owned())));
+    fields.push(("message", JsonValue::Str(message.to_owned())));
+    frame(fields)
+}
+
+/// The `done` frame splices the payload bytes in verbatim, so cached
+/// and fresh responses carry bit-for-bit the same payload text.
+fn done_frame(
+    id: &str,
+    key: u64,
+    cache: &str,
+    stats: Option<&FreshStats>,
+    payload: &[u8],
+) -> String {
+    let id_literal = serde_json::to_string(id).expect("strings always serialize");
+    let mut line = format!(
+        "{{\"id\":{id_literal},\"event\":\"done\",\"key\":\"{key:016x}\",\"cache\":\"{cache}\""
+    );
+    if let Some(stats) = stats {
+        line.push_str(",\"stats\":");
+        line.push_str(&serde_json::to_string(stats).expect("stats always serialize"));
+    }
+    line.push_str(",\"payload\":");
+    line.push_str(std::str::from_utf8(payload).expect("payloads are canonical JSON"));
+    line.push('}');
+    line
+}
+
+/// One write per frame (line + newline in a single buffer): split
+/// writes interact with Nagle + delayed ACK on loopback and cost tens
+/// of milliseconds per frame, swamping a cache hit.
+fn write_line(stream: &mut TcpStream, line: &str) -> io::Result<()> {
+    let mut buffer = Vec::with_capacity(line.len() + 1);
+    buffer.extend_from_slice(line.as_bytes());
+    buffer.push(b'\n');
+    stream.write_all(&buffer)?;
+    stream.flush()
+}
+
+fn handle_connection(stream: TcpStream, state: &ServerState, addr: SocketAddr) -> io::Result<()> {
+    let _ = stream.set_nodelay(true);
+    let reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let value: JsonValue = match serde_json::from_str(&line) {
+            Ok(value) => value,
+            Err(e) => {
+                write_line(&mut writer, &error_frame(None, &format!("unparseable line: {e}")))?;
+                continue;
+            }
+        };
+        if let Some(control) = str_field(&value, "control") {
+            match control {
+                "ping" => write_line(
+                    &mut writer,
+                    &frame(vec![("event", JsonValue::Str("pong".to_owned()))]),
+                )?,
+                "stats" => write_line(&mut writer, &stats_frame(state))?,
+                "shutdown" => {
+                    write_line(
+                        &mut writer,
+                        &frame(vec![("event", JsonValue::Str("shutting-down".to_owned()))]),
+                    )?;
+                    state.shutdown.store(true, Ordering::SeqCst);
+                    let _ = TcpStream::connect(addr); // wake the acceptor
+                    return Ok(());
+                }
+                other => write_line(
+                    &mut writer,
+                    &error_frame(None, &format!("unknown control {other:?}")),
+                )?,
+            }
+            continue;
+        }
+        let request_id = str_field(&value, "id").map(str::to_owned);
+        let request: JobRequest = match serde_json::from_value(value) {
+            Ok(request) => request,
+            Err(e) => {
+                write_line(
+                    &mut writer,
+                    &error_frame(request_id.as_deref(), &format!("invalid job request: {e}")),
+                )?;
+                continue;
+            }
+        };
+        serve_job(&mut writer, state, &request)?;
+    }
+    Ok(())
+}
+
+fn stats_frame(state: &ServerState) -> String {
+    let stats = &state.cache.stats;
+    frame(vec![
+        ("event", JsonValue::Str("stats".to_owned())),
+        ("jobs", JsonValue::U64(state.jobs.load(Ordering::Relaxed))),
+        ("resident_prefixes", JsonValue::U64(state.snapshots.len() as u64)),
+        ("cache_memory_hits", JsonValue::U64(stats.memory_hits.load(Ordering::Relaxed))),
+        ("cache_disk_hits", JsonValue::U64(stats.disk_hits.load(Ordering::Relaxed))),
+        ("cache_misses", JsonValue::U64(stats.misses.load(Ordering::Relaxed))),
+        ("cache_corrupt", JsonValue::U64(stats.corrupt.load(Ordering::Relaxed))),
+    ])
+}
+
+fn serve_job(writer: &mut TcpStream, state: &ServerState, request: &JobRequest) -> io::Result<()> {
+    let id = &request.id;
+    let key = request.job.cache_key();
+    state.jobs.fetch_add(1, Ordering::Relaxed);
+    write_line(
+        writer,
+        &frame(vec![
+            ("id", JsonValue::Str(id.clone())),
+            ("event", JsonValue::Str("accepted".to_owned())),
+            ("key", JsonValue::Str(format!("{key:016x}"))),
+        ]),
+    )?;
+    // Answer straight from the cache without touching the queue.
+    if let Some((payload, tier)) = state.cache.get(key) {
+        return write_line(writer, &done_frame(id, key, tier.as_str(), None, &payload));
+    }
+    let Some(queue) = state.queue_sender() else {
+        return write_line(writer, &error_frame(Some(id), "server is shutting down"));
+    };
+    let (events_tx, events_rx) = mpsc::channel();
+    if queue.send(QueuedJob { spec: request.job, key, events: events_tx }).is_err() {
+        return write_line(writer, &error_frame(Some(id), "server is shutting down"));
+    }
+    drop(queue);
+    for event in events_rx {
+        match event {
+            JobEvent::Progress { metric, value } => write_line(
+                writer,
+                &frame(vec![
+                    ("id", JsonValue::Str(id.clone())),
+                    ("event", JsonValue::Str("progress".to_owned())),
+                    ("metric", JsonValue::Str(metric)),
+                    ("value", JsonValue::F64(value)),
+                ]),
+            )?,
+            JobEvent::Done { payload, tier, stats } => {
+                let cache = tier.map_or("miss", |tier| tier.as_str());
+                return write_line(writer, &done_frame(id, key, cache, stats.as_ref(), &payload));
+            }
+        }
+    }
+    write_line(writer, &error_frame(Some(id), "job was dropped during shutdown"))
+}
+
+/// Outcome of one [`Client::submit`] round trip.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobOutcome {
+    /// The job's 16-hex cache key, as reported by the server.
+    pub key: String,
+    /// Which tier answered: `"miss"`, `"memory"` or `"disk"`.
+    pub cache: String,
+    /// The payload, re-serialized from the done frame (deterministic,
+    /// so byte-comparable across responses).
+    pub payload_json: String,
+    /// Progress samples received, in order.
+    pub progress: Vec<(String, f64)>,
+}
+
+/// A minimal blocking client for the line protocol, used by the CLI,
+/// the smoke gate and the end-to-end tests.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a running server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect(addr: &SocketAddr) -> io::Result<Client> {
+        let writer = TcpStream::connect(addr)?;
+        let _ = writer.set_nodelay(true);
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Client { reader, writer })
+    }
+
+    /// Sends one raw protocol line.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write failures.
+    pub fn send_line(&mut self, line: &str) -> io::Result<()> {
+        write_line(&mut self.writer, line)
+    }
+
+    /// Reads the next frame; `None` on a cleanly closed connection.
+    ///
+    /// # Errors
+    ///
+    /// Propagates read failures and unparseable frames.
+    pub fn read_frame(&mut self) -> io::Result<Option<JsonValue>> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Ok(None);
+        }
+        serde_json::from_str(&line)
+            .map(Some)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
+
+    /// Submits the job (given as its wire JSON) under `id` and reads
+    /// frames until the matching `done`, collecting progress samples.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors, an `error` frame, or a connection
+    /// closed before `done`.
+    pub fn submit(&mut self, id: &str, job_json: &str) -> io::Result<JobOutcome> {
+        let id_literal = serde_json::to_string(id)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        self.send_line(&format!("{{\"id\":{id_literal},\"job\":{job_json}}}"))?;
+        let mut progress = Vec::new();
+        loop {
+            let Some(value) = self.read_frame()? else {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed before done",
+                ));
+            };
+            match str_field(&value, "event") {
+                Some("accepted") => {}
+                Some("progress") => {
+                    let metric = str_field(&value, "metric").unwrap_or("").to_owned();
+                    let sample = match map_field(&value, "value") {
+                        Some(JsonValue::F64(v)) => *v,
+                        Some(JsonValue::U64(v)) => *v as f64,
+                        Some(JsonValue::I64(v)) => *v as f64,
+                        _ => 0.0,
+                    };
+                    progress.push((metric, sample));
+                }
+                Some("done") => {
+                    let key = str_field(&value, "key").unwrap_or("").to_owned();
+                    let cache = str_field(&value, "cache").unwrap_or("").to_owned();
+                    let payload = map_field(&value, "payload").ok_or_else(|| {
+                        io::Error::new(io::ErrorKind::InvalidData, "done frame without payload")
+                    })?;
+                    let payload_json = serde_json::to_string(payload)
+                        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+                    return Ok(JobOutcome { key, cache, payload_json, progress });
+                }
+                Some("error") => {
+                    let message = str_field(&value, "message").unwrap_or("unknown error");
+                    return Err(io::Error::other(message.to_owned()));
+                }
+                other => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("unexpected frame event {other:?}"),
+                    ));
+                }
+            }
+        }
+    }
+
+    /// Sends `{"control":"shutdown"}` and waits for the acknowledgment.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures.
+    pub fn request_shutdown(&mut self) -> io::Result<()> {
+        self.send_line("{\"control\":\"shutdown\"}")?;
+        match self.read_frame()? {
+            Some(value) if str_field(&value, "event") == Some("shutting-down") => Ok(()),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unexpected shutdown response: {other:?}"),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_job() -> &'static str {
+        r#"{"Fuzz":{"scenario":{"Keyless":{"controls":"None","horizon_ms":300,"attack_at_ms":100}},"iterations":24,"seed":21}}"#
+    }
+
+    fn start_test_server() -> Server {
+        // Prewarm off: tests exercise the lazy prefix path and stay fast.
+        Server::start(ServerConfig { prewarm: false, ..Default::default() }).expect("bind")
+    }
+
+    #[test]
+    fn fresh_then_memory_hit_with_identical_payload() {
+        let server = start_test_server();
+        let mut client = Client::connect(&server.addr()).unwrap();
+        let first = client.submit("a", tiny_job()).unwrap();
+        assert_eq!(first.cache, "miss");
+        let second = client.submit("b", tiny_job()).unwrap();
+        assert_eq!(second.cache, "memory");
+        assert_eq!(first.payload_json, second.payload_json, "cached payload is byte-identical");
+        assert_eq!(first.key, second.key);
+        server.shutdown();
+        server.join();
+    }
+
+    #[test]
+    fn ping_stats_and_errors_keep_the_connection_usable() {
+        let server = start_test_server();
+        let mut client = Client::connect(&server.addr()).unwrap();
+        client.send_line("{\"control\":\"ping\"}").unwrap();
+        let pong = client.read_frame().unwrap().unwrap();
+        assert_eq!(str_field(&pong, "event"), Some("pong"));
+
+        client.send_line("this is not json").unwrap();
+        let error = client.read_frame().unwrap().unwrap();
+        assert_eq!(str_field(&error, "event"), Some("error"));
+
+        client.send_line("{\"id\":\"x\",\"job\":{\"Fuzz\":{}}}").unwrap();
+        let invalid = client.read_frame().unwrap().unwrap();
+        assert_eq!(str_field(&invalid, "event"), Some("error"));
+
+        client.send_line("{\"control\":\"stats\"}").unwrap();
+        let stats = client.read_frame().unwrap().unwrap();
+        assert_eq!(str_field(&stats, "event"), Some("stats"));
+        assert!(map_field(&stats, "cache_misses").is_some());
+
+        server.shutdown();
+        server.join();
+    }
+
+    #[test]
+    fn in_band_shutdown_acknowledges_and_stops_the_server() {
+        let server = start_test_server();
+        let addr = server.addr();
+        let mut client = Client::connect(&addr).unwrap();
+        client.request_shutdown().unwrap();
+        server.join();
+        // The acceptor is gone: a fresh connection cannot complete a job
+        // round trip (connect may still succeed in the OS backlog, but
+        // no frame ever comes back).
+        if let Ok(mut late) = Client::connect(&addr) {
+            assert!(late.submit("late", tiny_job()).is_err());
+        }
+    }
+
+    #[test]
+    fn concurrent_clients_all_get_answers() {
+        let server = start_test_server();
+        let addr = server.addr();
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let mut client = Client::connect(&addr).unwrap();
+                    client.submit(&format!("c{i}"), tiny_job()).unwrap()
+                })
+            })
+            .collect();
+        let outcomes: Vec<JobOutcome> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for outcome in &outcomes {
+            assert_eq!(outcome.payload_json, outcomes[0].payload_json);
+        }
+        server.shutdown();
+        server.join();
+    }
+}

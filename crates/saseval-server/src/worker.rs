@@ -1,0 +1,440 @@
+//! The warm worker pool: resident world snapshots, deterministic job
+//! execution and progress forwarding.
+//!
+//! Workers reuse the fuzzing stack's two core optimizations end-to-end:
+//! [`Fuzzer::run_parallel_targets`]'s deterministic shard merge drives
+//! every fuzz job, and each job's oracle forks from a
+//! [`WorldSnapshot`] warm prefix held resident in the shared
+//! [`SnapshotStore`] — so a job on a known scenario never pays world
+//! construction, only the forks. Campaign jobs run through the
+//! attack engine's lockstep batch executor.
+//!
+//! [`run_job`] is a pure function of the (normalized) spec: same spec,
+//! same code version → byte-identical [`JobPayload`]. That purity is
+//! what makes the result cache sound, and is pinned by the
+//! cached-equals-fresh proptest.
+
+use std::collections::HashMap;
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use attack_engine::campaign::run_campaign_batched_with_obs;
+use saseval_fuzz::fuzzer::Fuzzer;
+use saseval_fuzz::model::{keyless_command_model, v2x_warning_model};
+use saseval_fuzz::sim_target::SimOracle;
+use saseval_obs::{FieldValue, MemoryRecorder, Obs, Recorder, TeeRecorder};
+use saseval_tara::tree::{AttackTree, TreeNode};
+use saseval_tara::AttackPath;
+use serde::Serialize;
+use vehicle_sim::construction::ConstructionWorld;
+use vehicle_sim::keyless::KeylessWorld;
+use vehicle_sim::WorldSnapshot;
+
+use crate::cache::{CacheTier, ResultCache};
+use crate::job::{CampaignJob, FuzzJob, JobPayload, JobSpec, ScenarioSpec};
+
+/// A warm world prefix resident in the [`SnapshotStore`].
+#[derive(Debug, Clone)]
+enum ResidentPrefix {
+    Keyless(WorldSnapshot<KeylessWorld>),
+    Construction(WorldSnapshot<ConstructionWorld>),
+}
+
+/// Shared store of warm world prefixes, keyed by
+/// [`ScenarioSpec::prefix_key`]. Snapshots are `Arc`-frozen, so handing
+/// one to a job is a pointer clone; only the first job on a new
+/// scenario pays the prefix simulation.
+#[derive(Debug, Default)]
+pub struct SnapshotStore {
+    prefixes: Mutex<HashMap<u64, ResidentPrefix>>,
+}
+
+impl SnapshotStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of resident prefixes.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Whether no prefix is resident yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<u64, ResidentPrefix>> {
+        match self.prefixes.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Simulates and freezes the warm prefixes of the two default
+    /// demonstrator scenarios, so the very first job on either is
+    /// already warm.
+    pub fn prewarm_defaults(&self) {
+        self.oracle(ScenarioSpec::Keyless(Default::default()));
+        self.oracle(ScenarioSpec::Construction(Default::default()));
+    }
+
+    /// A fuzz oracle for `scenario`, forked from the resident warm
+    /// prefix — simulating and freezing it first if this is the first
+    /// job on the scenario.
+    pub fn oracle(&self, scenario: ScenarioSpec) -> SimOracle {
+        let key = scenario.prefix_key();
+        if let Some(resident) = self.lock().get(&key) {
+            return oracle_from(resident.clone());
+        }
+        // Build outside the lock: prefix simulation can take a while and
+        // other scenarios' jobs shouldn't stall behind it. A racing
+        // duplicate build is deterministic, so last-write-wins is fine.
+        let resident = match scenario.normalized() {
+            ScenarioSpec::Keyless(_) => {
+                let config = scenario.keyless_config().expect("keyless scenario");
+                ResidentPrefix::Keyless(KeylessWorld::warm_snapshot(config, scenario.attack_at()))
+            }
+            ScenarioSpec::Construction(_) => {
+                let config = scenario.construction_config().expect("construction scenario");
+                ResidentPrefix::Construction(ConstructionWorld::warm_snapshot(
+                    config,
+                    scenario.attack_at(),
+                ))
+            }
+        };
+        let oracle = oracle_from(resident.clone());
+        self.lock().insert(key, resident);
+        oracle
+    }
+}
+
+fn oracle_from(resident: ResidentPrefix) -> SimOracle {
+    match resident {
+        ResidentPrefix::Keyless(snapshot) => SimOracle::keyless_from(snapshot),
+        ResidentPrefix::Construction(snapshot) => SimOracle::construction_from(snapshot),
+    }
+}
+
+/// The fixed attack paths a fuzz job's sessions cycle through — one
+/// built-in single-leaf tree per demonstrator, matching the interfaces
+/// the TARA names for each use case.
+fn attack_paths(scenario: ScenarioSpec) -> Vec<AttackPath> {
+    let tree = match scenario {
+        ScenarioSpec::Keyless(_) => AttackTree::new(
+            "Open the vehicle",
+            TreeNode::leaf_on("send forged open command", "BLE_PHONE"),
+        ),
+        ScenarioSpec::Construction(_) => {
+            AttackTree::new("Disrupt warnings", TreeNode::leaf_on("spoof signage", "OBU_RSU"))
+        }
+    };
+    tree.expect("built-in trees are well-formed").paths().expect("built-in trees have paths")
+}
+
+fn run_fuzz_job(job: FuzzJob, snapshots: &SnapshotStore, obs: &Obs) -> JobPayload {
+    let oracle = snapshots.oracle(job.scenario);
+    let paths = attack_paths(job.scenario);
+    let model = match job.scenario {
+        ScenarioSpec::Keyless(_) => keyless_command_model(),
+        ScenarioSpec::Construction(_) => v2x_warning_model(),
+    };
+    let fuzzer = Fuzzer::new(model, job.seed).with_batch_size(job.batch).with_obs(obs.clone());
+    let report =
+        fuzzer.run_parallel_targets(&paths, job.iterations, job.shards, |_| oracle.clone());
+    JobPayload::Fuzz(report)
+}
+
+fn run_campaign_job(job: CampaignJob, obs: &Obs) -> JobPayload {
+    let mut cases = job.suite.cases();
+    if job.seed != 0 {
+        for case in &mut cases {
+            case.seed = job.seed;
+        }
+    }
+    JobPayload::Campaign(run_campaign_batched_with_obs(&cases, obs))
+}
+
+/// Executes `spec` to its deterministic payload. Fuzz jobs fork from
+/// the store's resident warm prefix; campaign jobs run the attack
+/// engine's lockstep batch executor. Metrics land on `obs`.
+pub fn run_job(spec: JobSpec, snapshots: &SnapshotStore, obs: &Obs) -> JobPayload {
+    match spec.normalized() {
+        JobSpec::Fuzz(job) => run_fuzz_job(job, snapshots, obs),
+        JobSpec::Campaign(job) => run_campaign_job(job, obs),
+    }
+}
+
+/// Execution statistics of a freshly computed job, summarized from the
+/// job's [`MemoryRecorder`] snapshot. Cache hits have none — timings
+/// vary run to run, so they are deliberately *not* part of the cached
+/// payload.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct FreshStats {
+    /// Wall-clock job duration in seconds.
+    pub elapsed_seconds: f64,
+    /// Average executed inputs per second, for fuzz jobs.
+    pub inputs_per_sec: Option<f64>,
+    /// `campaign.cases` counter, for campaign jobs.
+    pub cases: Option<u64>,
+}
+
+/// A progress signal or completion, sent from a worker to the
+/// connection handler that owns the job.
+#[derive(Debug)]
+pub enum JobEvent {
+    /// A live metric sample (throughput gauge or case verdict).
+    Progress {
+        /// Metric name.
+        metric: String,
+        /// Sampled value.
+        value: f64,
+    },
+    /// The job finished; `tier` is `None` for a fresh computation,
+    /// `Some` when the dequeue-time cache recheck answered it.
+    Done {
+        /// Canonical payload bytes.
+        payload: Vec<u8>,
+        /// Cache tier that answered, if any.
+        tier: Option<CacheTier>,
+        /// Execution statistics, for fresh computations only.
+        stats: Option<FreshStats>,
+    },
+}
+
+/// Forwards selected live metrics from a running job to its connection
+/// as [`JobEvent::Progress`] messages: throughput gauges
+/// (`fuzz.inputs_per_sec`, `fuzz.shard.inputs_per_sec`), rate-limited
+/// to one sample per 25 ms, and per-case campaign verdicts (counted,
+/// unthrottled — suites are small). Dropped receivers are ignored: a
+/// disconnected client must not fail its job.
+struct ProgressForwarder {
+    events: Sender<JobEvent>,
+    last_gauge: Mutex<Option<Instant>>,
+}
+
+const GAUGE_INTERVAL: Duration = Duration::from_millis(25);
+
+impl ProgressForwarder {
+    fn send(&self, metric: &str, value: f64) {
+        let _ = self.events.send(JobEvent::Progress { metric: metric.to_owned(), value });
+    }
+}
+
+impl Recorder for ProgressForwarder {
+    fn gauge(&self, name: &'static str, value: f64) {
+        if !name.ends_with("inputs_per_sec") {
+            return;
+        }
+        let mut last = match self.last_gauge.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let now = Instant::now();
+        if last.is_some_and(|t| now.duration_since(t) < GAUGE_INTERVAL) {
+            return;
+        }
+        *last = Some(now);
+        drop(last);
+        self.send(name, value);
+    }
+
+    fn event(&self, name: &'static str, _fields: &[(&'static str, FieldValue)]) {
+        if name == "case.verdict" {
+            self.send(name, 1.0);
+        }
+    }
+}
+
+/// One job queued for the pool, with the channel its events go back on.
+#[derive(Debug)]
+pub struct QueuedJob {
+    /// The job to run.
+    pub spec: JobSpec,
+    /// Its cache key (computed by the enqueuer, reused for the insert).
+    pub key: u64,
+    /// Where progress and completion are delivered.
+    pub events: Sender<JobEvent>,
+}
+
+/// A fixed pool of warm worker threads draining a shared job queue.
+///
+/// Dropping the pool is a drain-and-join: the queue sender closes, each
+/// worker finishes its in-flight job and exits.
+#[derive(Debug)]
+pub struct WorkerPool {
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` threads (at least one) sharing `queue`,
+    /// `cache` and `snapshots`.
+    pub fn spawn(
+        workers: usize,
+        queue: Receiver<QueuedJob>,
+        cache: &Arc<ResultCache>,
+        snapshots: &Arc<SnapshotStore>,
+    ) -> Self {
+        let queue = Arc::new(Mutex::new(queue));
+        let handles = (0..workers.max(1))
+            .map(|_| {
+                let queue = queue.clone();
+                let cache = cache.clone();
+                let snapshots = snapshots.clone();
+                std::thread::spawn(move || worker_loop(&queue, &cache, &snapshots))
+            })
+            .collect();
+        WorkerPool { handles }
+    }
+
+    /// Joins every worker. Call after dropping all queue senders.
+    pub fn join(self) {
+        for handle in self.handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(queue: &Mutex<Receiver<QueuedJob>>, cache: &ResultCache, snapshots: &SnapshotStore) {
+    loop {
+        let job = {
+            let receiver = match queue.lock() {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            match receiver.recv() {
+                Ok(job) => job,
+                Err(_) => return, // all senders gone: shutdown
+            }
+        };
+        // Recheck the cache at dequeue time: a concurrent identical job
+        // may have landed while this one sat in the queue.
+        if let Some((payload, tier)) = cache.get(job.key) {
+            let _ = job.events.send(JobEvent::Done { payload, tier: Some(tier), stats: None });
+            continue;
+        }
+        // Tee the job's metrics: the memory recorder feeds the done
+        // frame's stats summary, the forwarder streams live progress.
+        let forwarder = Arc::new(ProgressForwarder {
+            events: job.events.clone(),
+            last_gauge: Mutex::new(None),
+        });
+        let memory = Arc::new(MemoryRecorder::default());
+        let obs = Obs::recording(Arc::new(TeeRecorder::new(vec![memory.clone(), forwarder])));
+        let started = Instant::now();
+        let payload = run_job(job.spec, snapshots, &obs).to_bytes();
+        let elapsed_seconds = started.elapsed().as_secs_f64();
+        cache.insert(job.key, &payload);
+        let snapshot = memory.snapshot();
+        let inputs_per_sec = snapshot
+            .counter("fuzz.inputs")
+            .filter(|_| elapsed_seconds > 0.0)
+            .map(|inputs| inputs as f64 / elapsed_seconds);
+        let stats = FreshStats {
+            elapsed_seconds,
+            inputs_per_sec,
+            cases: snapshot.counter("campaign.cases"),
+        };
+        let _ = job.events.send(JobEvent::Done { payload, tier: None, stats: Some(stats) });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{ControlsPreset, KeylessScenario, SuiteName};
+    use std::sync::mpsc;
+
+    fn small_fuzz_spec() -> JobSpec {
+        JobSpec::Fuzz(FuzzJob {
+            scenario: ScenarioSpec::Keyless(KeylessScenario {
+                controls: ControlsPreset::None,
+                horizon_ms: 300,
+                attack_at_ms: 100,
+            }),
+            iterations: 24,
+            seed: 21,
+            shards: 2,
+            batch: 8,
+        })
+    }
+
+    #[test]
+    fn run_job_is_deterministic_and_batch_neutral() {
+        let snapshots = SnapshotStore::new();
+        let first = run_job(small_fuzz_spec(), &snapshots, &Obs::noop()).to_bytes();
+        let second = run_job(small_fuzz_spec(), &snapshots, &Obs::noop()).to_bytes();
+        assert_eq!(first, second);
+        // A different batch size must not change the payload (the knob
+        // canonicalization erases from the cache key).
+        let JobSpec::Fuzz(mut job) = small_fuzz_spec() else { unreachable!() };
+        job.batch = 1;
+        let serial = run_job(JobSpec::Fuzz(job), &snapshots, &Obs::noop()).to_bytes();
+        assert_eq!(first, serial);
+    }
+
+    #[test]
+    fn fuzz_jobs_reuse_the_resident_prefix() {
+        let snapshots = SnapshotStore::new();
+        run_job(small_fuzz_spec(), &snapshots, &Obs::noop());
+        assert_eq!(snapshots.len(), 1);
+        // Same scenario, different fuzz parameters: no new prefix.
+        let JobSpec::Fuzz(mut job) = small_fuzz_spec() else { unreachable!() };
+        job.seed = 99;
+        run_job(JobSpec::Fuzz(job), &snapshots, &Obs::noop());
+        assert_eq!(snapshots.len(), 1);
+    }
+
+    #[test]
+    fn campaign_job_runs_suite_with_seed_override() {
+        let spec = JobSpec::Campaign(CampaignJob { suite: SuiteName::Jamming, seed: 5 });
+        let payload = run_job(spec, &SnapshotStore::new(), &Obs::noop());
+        let JobPayload::Campaign(ref report) = payload else { panic!("campaign payload") };
+        assert_eq!(report.total(), SuiteName::Jamming.cases().len());
+        let again = run_job(spec, &SnapshotStore::new(), &Obs::noop());
+        assert_eq!(payload.to_bytes(), again.to_bytes());
+    }
+
+    #[test]
+    fn pool_computes_then_serves_from_cache() {
+        let cache = Arc::new(ResultCache::new(8, None));
+        let snapshots = Arc::new(SnapshotStore::new());
+        let (job_tx, job_rx) = mpsc::channel();
+        let pool = WorkerPool::spawn(2, job_rx, &cache, &snapshots);
+        let spec = small_fuzz_spec();
+        let key = spec.cache_key();
+
+        let (tx, rx) = mpsc::channel();
+        job_tx.send(QueuedJob { spec, key, events: tx }).unwrap();
+        let fresh = loop {
+            match rx.recv().unwrap() {
+                JobEvent::Progress { .. } => continue,
+                JobEvent::Done { payload, tier, stats } => {
+                    assert_eq!(tier, None, "first run computes");
+                    assert!(stats.is_some_and(|s| s.inputs_per_sec.is_some()));
+                    break payload;
+                }
+            }
+        };
+
+        // Identical job again: answered by the dequeue-time recheck.
+        let (tx, rx) = mpsc::channel();
+        job_tx.send(QueuedJob { spec, key, events: tx }).unwrap();
+        loop {
+            match rx.recv().unwrap() {
+                JobEvent::Progress { .. } => continue,
+                JobEvent::Done { payload, tier, stats } => {
+                    assert_eq!(tier, Some(CacheTier::Memory));
+                    assert!(stats.is_none(), "cache hits carry no stats");
+                    assert_eq!(payload, fresh, "cached bytes are identical");
+                    break;
+                }
+            }
+        }
+        drop(job_tx);
+        pool.join();
+    }
+}

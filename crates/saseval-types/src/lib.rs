@@ -5,7 +5,9 @@
 //! risk-rating vocabulary ([`asil`]), failure-mode guidewords ([`failure`]),
 //! the STRIDE threat model ([`stride`]), the attack-type taxonomy of the
 //! paper's Table IV ([`attack`]), asset classification ([`asset`]),
-//! attacker profiles ([`attacker`]) and simulated time ([`time`]).
+//! attacker profiles ([`attacker`]), simulated time ([`time`]) and the
+//! FNV-1a content-addressing helpers shared by the corpus and result
+//! cache ([`hash`]).
 //!
 //! Everything here is plain data: `Clone`/`Debug`/`Eq`/`Hash`/serde
 //! throughout, no behaviour beyond classification and conversion. The
@@ -30,6 +32,7 @@ pub mod asset;
 pub mod attack;
 pub mod attacker;
 pub mod failure;
+pub mod hash;
 pub mod id;
 pub mod stride;
 pub mod time;

@@ -571,6 +571,19 @@ impl ConstructionWorld {
         crate::WorldSnapshot::new(self.clone())
     }
 
+    /// Builds an attacker-free world under `config`, runs it to `at` and
+    /// freezes it — the warm prefix a long-running service keeps resident
+    /// so repeat jobs over the same scenario never pay world
+    /// construction.
+    pub fn warm_snapshot(
+        config: ConstructionConfig,
+        at: SimTime,
+    ) -> crate::WorldSnapshot<ConstructionWorld> {
+        let mut world = ConstructionWorld::new(config);
+        world.run_until(at, &mut ());
+        world.snapshot()
+    }
+
     /// Consumes the world and evaluates the safety goals on its current
     /// state, flushing the tick counter. [`ConstructionWorld::run`] is
     /// stepping to completion followed by this.

@@ -597,6 +597,16 @@ impl KeylessWorld {
         crate::WorldSnapshot::new(self.clone())
     }
 
+    /// Builds an attacker-free world under `config`, runs it to `at` and
+    /// freezes it — the warm prefix a long-running service keeps resident
+    /// so repeat jobs over the same scenario never pay world
+    /// construction.
+    pub fn warm_snapshot(config: KeylessConfig, at: SimTime) -> crate::WorldSnapshot<KeylessWorld> {
+        let mut world = KeylessWorld::new(config);
+        world.run_until(at, &mut ());
+        world.snapshot()
+    }
+
     /// Consumes the world and evaluates the safety goals on its current
     /// state, flushing the tick/event counters. [`KeylessWorld::run`] is
     /// stepping to completion followed by this.

@@ -19,7 +19,7 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q \
   -p saseval -p saseval-types -p saseval-obs -p saseval-hara -p saseval-tara \
   -p saseval-threat -p saseval-core -p saseval-dsl -p vehicle-net -p vehicle-sim \
   -p security-controls -p attack-engine -p saseval-fuzz -p saseval-bench \
-  -p saseval-lint
+  -p saseval-lint -p saseval-server
 
 echo "==> cargo bench --no-run (benches must compile)"
 cargo bench --workspace --no-run -q
@@ -39,6 +39,55 @@ cargo test -q --test corpus_replay
 
 echo "==> regression corpus smoke: repro_tables --replay-corpus tests/fixtures/corpus"
 cargo run -q --release -p saseval-bench --bin repro_tables -- --replay-corpus tests/fixtures/corpus
+
+echo "==> campaign server smoke: repeat request is a byte-identical cache hit"
+SERVER_BIN=target/release/saseval-server
+SERVER_ADDR=127.0.0.1:7461
+SERVER_CACHE="$(mktemp -d)"
+SERVER_OUT="$(mktemp -d)"
+SERVER_JOB='{"Fuzz":{"scenario":{"Keyless":{"horizon_ms":300,"attack_at_ms":100}},"iterations":256,"seed":7}}'
+"$SERVER_BIN" serve --addr "$SERVER_ADDR" --cache-dir "$SERVER_CACHE" --no-prewarm &
+SERVER_PID=$!
+trap 'kill "$SERVER_PID" 2>/dev/null || true; rm -rf "$SERVER_CACHE" "$SERVER_OUT"' EXIT
+# Wait for the listener (the bin prints its address once bound).
+for _ in $(seq 1 100); do
+  if (exec 3<>"/dev/tcp/127.0.0.1/7461") 2>/dev/null; then exec 3>&- 3<&-; break; fi
+  sleep 0.1
+done
+"$SERVER_BIN" submit --addr "$SERVER_ADDR" --job "$SERVER_JOB" --expect-cache miss > "$SERVER_OUT/first.json"
+"$SERVER_BIN" submit --addr "$SERVER_ADDR" --job "$SERVER_JOB" --expect-cache hit > "$SERVER_OUT/second.json"
+cmp "$SERVER_OUT/first.json" "$SERVER_OUT/second.json"
+echo "    cache hit payload is byte-identical"
+
+echo "==> campaign server smoke: in-band shutdown exits cleanly"
+"$SERVER_BIN" shutdown --addr "$SERVER_ADDR"
+wait "$SERVER_PID"
+echo "    clean exit after {\"control\":\"shutdown\"}"
+
+echo "==> campaign server smoke: SIGTERM terminates (cache stays consistent)"
+"$SERVER_BIN" serve --addr "$SERVER_ADDR" --cache-dir "$SERVER_CACHE" --no-prewarm &
+SERVER_PID=$!
+for _ in $(seq 1 100); do
+  if (exec 3<>"/dev/tcp/127.0.0.1/7461") 2>/dev/null; then exec 3>&- 3<&-; break; fi
+  sleep 0.1
+done
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID" && SERVER_STATUS=0 || SERVER_STATUS=$?
+test "$SERVER_STATUS" -ne 0  # killed by signal, not a clean 0
+# The on-disk tier survives the kill: a fresh server serves the cached job.
+"$SERVER_BIN" serve --addr "$SERVER_ADDR" --cache-dir "$SERVER_CACHE" --no-prewarm &
+SERVER_PID=$!
+for _ in $(seq 1 100); do
+  if (exec 3<>"/dev/tcp/127.0.0.1/7461") 2>/dev/null; then exec 3>&- 3<&-; break; fi
+  sleep 0.1
+done
+"$SERVER_BIN" submit --addr "$SERVER_ADDR" --job "$SERVER_JOB" --expect-cache hit > "$SERVER_OUT/third.json"
+cmp "$SERVER_OUT/first.json" "$SERVER_OUT/third.json"
+"$SERVER_BIN" shutdown --addr "$SERVER_ADDR"
+wait "$SERVER_PID"
+trap - EXIT
+rm -rf "$SERVER_CACHE" "$SERVER_OUT"
+echo "    disk cache survived SIGTERM; payload still byte-identical"
 
 echo "==> saseval-lint --use-cases"
 cargo run -q -p saseval-lint -- --use-cases

@@ -22,6 +22,7 @@
 //! | [`fuzz`] | `saseval-fuzz` | Attack-path-guided protocol fuzzing |
 //! | [`obs`] | `saseval-obs` | Counters/gauges/histograms/spans + JSON/Markdown export |
 //! | [`lint`] | `saseval-lint` | Static analysis: `SASE…` diagnostics over all artifacts |
+//! | [`server`] | `saseval-server` | Campaign server: TCP job protocol, result cache, warm worker pool |
 //!
 //! # Quickstart
 //!
@@ -47,6 +48,7 @@ pub use saseval_fuzz as fuzz;
 pub use saseval_hara as hara;
 pub use saseval_lint as lint;
 pub use saseval_obs as obs;
+pub use saseval_server as server;
 pub use saseval_tara as tara;
 pub use saseval_threat as threat;
 pub use saseval_types as types;
