@@ -365,6 +365,8 @@ impl AttackDescriptionBuilder {
 pub struct Justification {
     threat_scenario: ThreatScenarioId,
     rationale: String,
+    #[serde(default)]
+    superseded_by: Option<ThreatScenarioId>,
 }
 
 impl Justification {
@@ -380,7 +382,22 @@ impl Justification {
         Ok(Justification {
             threat_scenario: ThreatScenarioId::new(threat_scenario.as_ref())?,
             rationale: rationale.into(),
+            superseded_by: None,
         })
+    }
+
+    /// Marks this justification as superseded by the justification
+    /// covering `threat_scenario` (catalog revisions retire a rationale
+    /// by pointing at its replacement instead of deleting history).
+    /// Supersession chains must be acyclic; the trace-graph analyzer
+    /// reports cycles.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Id`] if the threat-scenario ID is malformed.
+    pub fn superseded_by(mut self, threat_scenario: impl AsRef<str>) -> Result<Self, CoreError> {
+        self.superseded_by = Some(ThreatScenarioId::new(threat_scenario.as_ref())?);
+        Ok(self)
     }
 
     /// The justified (deliberately untested) threat scenario.
@@ -391,6 +408,12 @@ impl Justification {
     /// Why the threat is not applied for the given SUT.
     pub fn rationale(&self) -> &str {
         &self.rationale
+    }
+
+    /// The threat scenario whose justification replaces this one, if
+    /// this rationale has been retired.
+    pub fn superseding(&self) -> Option<&ThreatScenarioId> {
+        self.superseded_by.as_ref()
     }
 }
 

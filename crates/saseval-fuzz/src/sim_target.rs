@@ -237,13 +237,13 @@ mod tests {
             controls: ControlSelection::none(),
             ..Default::default()
         };
-        let oracle = SimOracle::keyless(config, SimTime::from_millis(50));
+        let mut oracle = SimOracle::keyless(config, SimTime::from_millis(50));
         let serial =
             Fuzzer::new(keyless_command_model(), 21).run_target(&paths, 40, &mut oracle.clone());
         let batched = Fuzzer::new(keyless_command_model(), 21).with_batch_size(8).run_target(
             &paths,
             40,
-            &mut oracle.clone(),
+            &mut oracle,
         );
         assert_eq!(serial, batched);
         assert_eq!(serial.iterations, 40);
@@ -257,13 +257,13 @@ mod tests {
                 .paths()
                 .unwrap();
         let config = ConstructionConfig { horizon: Ftti::from_millis(300), ..Default::default() };
-        let oracle = SimOracle::construction(config, SimTime::from_millis(50));
+        let mut oracle = SimOracle::construction(config, SimTime::from_millis(50));
         let serial =
             Fuzzer::new(v2x_warning_model(), 3).run_target(&paths, 24, &mut oracle.clone());
         let batched = Fuzzer::new(v2x_warning_model(), 3).with_batch_size(6).run_target(
             &paths,
             24,
-            &mut oracle.clone(),
+            &mut oracle,
         );
         assert_eq!(serial, batched);
     }

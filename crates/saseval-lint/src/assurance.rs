@@ -1,0 +1,543 @@
+//! The ROADMAP-item-5 deliverable: a GSN-style assurance case and an
+//! ISO 26262-flavored traceability matrix derived from the analyzed
+//! trace graph, rendered as deterministic JSON and self-contained HTML.
+//!
+//! The case mirrors the paper's two completeness arguments: a deductive
+//! strategy (every safety goal → its attack descriptions → executed
+//! verdicts) and an inductive strategy (every in-scope threat → attacks
+//! or justification). Element statuses are derived purely from the
+//! graph, so equal inputs render byte-identical reports — the same
+//! contract the lint diagnostics and the server cache keep.
+
+use std::fmt::Write as _;
+
+use serde::Serialize;
+
+use saseval_core::ThreatCoverage;
+
+use crate::context::LintContext;
+use crate::graph::{EdgeKind, NodeKind, TraceGraph};
+use crate::LintReport;
+
+/// One element of the GSN argument tree.
+#[derive(Debug, Clone, Serialize)]
+pub struct GsnElement {
+    /// Element ID (`G0`, `S1`, `G-SG01`, `Sn-AD03`, `J-TS-…`).
+    pub id: String,
+    /// GSN element kind: `goal`, `strategy`, `solution`, `context` or
+    /// `justification`.
+    pub kind: &'static str,
+    /// The claim, strategy or evidence statement.
+    pub statement: String,
+    /// Argument status: `supported`, `partial`, `undeveloped`,
+    /// `contradicted` or `justified`.
+    pub status: &'static str,
+    /// IDs of the supporting child elements, in argument order.
+    pub children: Vec<String>,
+}
+
+/// One row of the traceability matrix: a (goal, attack) pair with its
+/// execution evidence, or a bare goal when no attack addresses it.
+#[derive(Debug, Clone, Serialize)]
+pub struct MatrixRow {
+    /// The safety goal.
+    pub goal: String,
+    /// ASIL of the goal (empty when unrated).
+    pub asil: String,
+    /// The attack description addressing the goal (empty when none).
+    pub attack: String,
+    /// The threat scenario the attack realizes (empty when unresolved).
+    pub threat: String,
+    /// Executed verdicts for the attack.
+    pub verdicts: usize,
+    /// Stored reproduction evidence entries for the attack.
+    pub evidence: usize,
+    /// Row status: `validated`, `evidence-only`, `unexecuted`,
+    /// `contradicted` or `unaddressed`.
+    pub status: &'static str,
+}
+
+/// Headline numbers of the analyzed campaign.
+#[derive(Debug, Clone, Serialize)]
+pub struct CaseSummary {
+    /// Safety goals in the HARA.
+    pub goals: usize,
+    /// Attack descriptions in the catalog.
+    pub attacks: usize,
+    /// Threat scenarios in the library.
+    pub threats: usize,
+    /// Executed verdicts analyzed.
+    pub verdicts: usize,
+    /// Evidence entries analyzed.
+    pub evidence: usize,
+    /// Error-severity lint findings.
+    pub errors: usize,
+    /// Warning-severity lint findings.
+    pub warnings: usize,
+}
+
+/// The assembled assurance case for one lint run.
+#[derive(Debug, Clone, Serialize)]
+pub struct AssuranceCase {
+    /// The run label (catalog name or document set).
+    pub label: String,
+    /// 16-hex content address of the analyzed trace graph.
+    pub fingerprint: String,
+    /// Headline numbers.
+    pub summary: CaseSummary,
+    /// The GSN argument, root first (`G0`).
+    pub gsn: Vec<GsnElement>,
+    /// The goal → attack → threat → verdict traceability matrix, sorted
+    /// by (goal, attack).
+    pub matrix: Vec<MatrixRow>,
+}
+
+/// Per-attack execution facts read off the graph once.
+struct AttackFacts {
+    verdicts: usize,
+    evidence: usize,
+    contradicted: bool,
+}
+
+fn attack_facts(ctx: &LintContext<'_>, graph: &TraceGraph, node: usize) -> AttackFacts {
+    let verdicts = graph.incoming(node, EdgeKind::Executes).count();
+    let evidence = graph.incoming(node, EdgeKind::Reproduces).count();
+    let id = &graph.nodes()[node].id;
+    let mut contradicted = false;
+    if let Some(trace) = ctx.trace {
+        use std::collections::BTreeMap;
+        let mut labels: BTreeMap<&str, (bool, bool)> = BTreeMap::new();
+        for verdict in trace.verdicts.iter().filter(|v| v.attack_id == *id) {
+            let entry = labels.entry(verdict.label.as_str()).or_insert((false, false));
+            entry.0 |= verdict.attack_succeeded;
+            entry.1 |= !verdict.attack_succeeded;
+        }
+        contradicted = labels.values().any(|&(s, f)| s && f);
+    }
+    AttackFacts { verdicts, evidence, contradicted }
+}
+
+fn row_status(facts: &AttackFacts) -> &'static str {
+    if facts.contradicted {
+        "contradicted"
+    } else if facts.verdicts > 0 {
+        "validated"
+    } else if facts.evidence > 0 {
+        "evidence-only"
+    } else {
+        "unexecuted"
+    }
+}
+
+impl AssuranceCase {
+    /// Builds the case for one analyzed run. The graph is rebuilt from
+    /// the context, so the case and the diagnostics describe the same
+    /// inputs by construction.
+    pub fn build(label: &str, ctx: &LintContext<'_>, report: &LintReport) -> AssuranceCase {
+        let graph = TraceGraph::build(ctx);
+        let mut gsn = Vec::new();
+        let mut matrix = Vec::new();
+
+        let (verdict_count, evidence_count) =
+            ctx.trace.map(|t| (t.verdicts.len(), t.evidence.len())).unwrap_or((0, 0));
+        let goal_count = ctx.catalog.map_or(0, |c| c.hara.safety_goal_count());
+        let attack_count = ctx.catalog.map_or(0, |c| c.attacks.len());
+        let threat_count = ctx.library.map_or(0, |l| l.threat_scenarios().count());
+
+        let mut root_children = Vec::new();
+        gsn.push(GsnElement {
+            id: "C1".to_owned(),
+            kind: "context",
+            statement: format!(
+                "Analyzed artifacts: {goal_count} safety goal(s), {attack_count} attack \
+                 description(s), {threat_count} threat scenario(s), {verdict_count} executed \
+                 verdict(s), {evidence_count} evidence entr(ies)."
+            ),
+            status: "supported",
+            children: Vec::new(),
+        });
+        root_children.push("C1".to_owned());
+
+        // Deductive strategy: argue over each safety goal.
+        let mut deductive_children = Vec::new();
+        let mut all_supported = true;
+        let mut any_contradicted = false;
+        if let Some(catalog) = ctx.catalog {
+            for goal in catalog.hara.safety_goals() {
+                let goal_id = goal.id().as_str();
+                let asil =
+                    catalog.hara.goal_asil(goal).map(|a| format!("{a:?}")).unwrap_or_default();
+                let node = graph.node(NodeKind::Goal, goal_id);
+                let attacks: Vec<usize> = node
+                    .map(|n| graph.incoming(n, EdgeKind::Addresses).collect())
+                    .unwrap_or_default();
+
+                let element_id = format!("G-{goal_id}");
+                let mut children = Vec::new();
+                let (mut executed, mut open, mut contradicted) = (0usize, 0usize, false);
+                if attacks.is_empty() {
+                    matrix.push(MatrixRow {
+                        goal: goal_id.to_owned(),
+                        asil: asil.clone(),
+                        attack: String::new(),
+                        threat: String::new(),
+                        verdicts: 0,
+                        evidence: 0,
+                        status: "unaddressed",
+                    });
+                }
+                for attack in attacks {
+                    let attack_id = graph.nodes()[attack].id.clone();
+                    let threat = graph
+                        .outgoing(attack, EdgeKind::Realizes)
+                        .next()
+                        .map(|t| graph.nodes()[t].id.clone())
+                        .unwrap_or_default();
+                    let facts = attack_facts(ctx, &graph, attack);
+                    let status = row_status(&facts);
+                    contradicted |= facts.contradicted;
+                    if facts.verdicts > 0 {
+                        executed += 1;
+                    } else {
+                        open += 1;
+                    }
+                    let solution_id = format!("Sn-{goal_id}-{attack_id}");
+                    gsn.push(GsnElement {
+                        id: solution_id.clone(),
+                        kind: "solution",
+                        statement: format!(
+                            "Attack `{attack_id}` (threat `{threat}`): {} verdict(s), {} \
+                             evidence entr(ies).",
+                            facts.verdicts, facts.evidence
+                        ),
+                        status: match status {
+                            "validated" => "supported",
+                            "contradicted" => "contradicted",
+                            _ => "undeveloped",
+                        },
+                        children: Vec::new(),
+                    });
+                    children.push(solution_id);
+                    matrix.push(MatrixRow {
+                        goal: goal_id.to_owned(),
+                        asil: asil.clone(),
+                        attack: attack_id,
+                        threat,
+                        verdicts: facts.verdicts,
+                        evidence: facts.evidence,
+                        status,
+                    });
+                }
+                let status = if contradicted {
+                    any_contradicted = true;
+                    "contradicted"
+                } else if executed > 0 && open == 0 {
+                    "supported"
+                } else if executed > 0 {
+                    "partial"
+                } else {
+                    "undeveloped"
+                };
+                if status != "supported" {
+                    all_supported = false;
+                }
+                gsn.push(GsnElement {
+                    id: element_id.clone(),
+                    kind: "goal",
+                    statement: format!("Safety goal `{goal_id}` ({}) holds under attack.", {
+                        goal.name()
+                    }),
+                    status,
+                    children,
+                });
+                deductive_children.push(element_id);
+            }
+        }
+        gsn.push(GsnElement {
+            id: "S1".to_owned(),
+            kind: "strategy",
+            statement: "Deductive argument: every safety goal is challenged by derived attack \
+                        descriptions and each description is executed against the SUT."
+                .to_owned(),
+            status: if deductive_children.is_empty() { "undeveloped" } else { "supported" },
+            children: deductive_children,
+        });
+        root_children.push("S1".to_owned());
+
+        // Inductive strategy: argue over each in-scope threat.
+        let mut inductive_children = Vec::new();
+        if let (Some(library), Some(catalog)) = (ctx.library, ctx.catalog) {
+            let coverage = saseval_core::inductive_coverage(
+                library,
+                &catalog.scenarios,
+                &catalog.attacks,
+                &catalog.justifications,
+            );
+            for (threat, status) in &coverage.threats {
+                let element_id = format!("G-{threat}");
+                let (statement, element_status, children) = match status {
+                    ThreatCoverage::Attacked(attacks) => {
+                        let executed = attacks.iter().any(|a| {
+                            graph
+                                .node(NodeKind::Attack, a.as_str())
+                                .map(|n| graph.incoming(n, EdgeKind::Executes).next().is_some())
+                                .unwrap_or(false)
+                        });
+                        (
+                            format!(
+                                "Threat `{threat}` is covered by {} attack description(s).",
+                                attacks.len()
+                            ),
+                            if executed { "supported" } else { "partial" },
+                            Vec::new(),
+                        )
+                    }
+                    ThreatCoverage::Justified(rationale) => {
+                        let justification_id = format!("J-{threat}");
+                        gsn.push(GsnElement {
+                            id: justification_id.clone(),
+                            kind: "justification",
+                            statement: rationale.clone(),
+                            status: "justified",
+                            children: Vec::new(),
+                        });
+                        (
+                            format!("Threat `{threat}` is deliberately untested."),
+                            "justified",
+                            vec![justification_id],
+                        )
+                    }
+                    ThreatCoverage::Uncovered => (
+                        format!("Threat `{threat}` is neither attacked nor justified."),
+                        "undeveloped",
+                        Vec::new(),
+                    ),
+                };
+                gsn.push(GsnElement {
+                    id: element_id.clone(),
+                    kind: "goal",
+                    statement,
+                    status: element_status,
+                    children,
+                });
+                inductive_children.push(element_id);
+            }
+        }
+        gsn.push(GsnElement {
+            id: "S2".to_owned(),
+            kind: "strategy",
+            statement: "Inductive argument: every in-scope threat scenario is either attacked \
+                        or its omission is justified."
+                .to_owned(),
+            status: if inductive_children.is_empty() { "undeveloped" } else { "supported" },
+            children: inductive_children,
+        });
+        root_children.push("S2".to_owned());
+
+        let root_status = if any_contradicted || report.has_errors() {
+            "contradicted"
+        } else if all_supported && verdict_count > 0 {
+            "supported"
+        } else {
+            "partial"
+        };
+        gsn.insert(
+            0,
+            GsnElement {
+                id: "G0".to_owned(),
+                kind: "goal",
+                statement: format!(
+                    "`{label}` is acceptably safe and secure against the analyzed attacks."
+                ),
+                status: root_status,
+                children: root_children,
+            },
+        );
+
+        matrix.sort_by(|a, b| (&a.goal, &a.attack).cmp(&(&b.goal, &b.attack)));
+        AssuranceCase {
+            label: label.to_owned(),
+            fingerprint: format!("{:016x}", graph.fingerprint()),
+            summary: CaseSummary {
+                goals: goal_count,
+                attacks: attack_count,
+                threats: threat_count,
+                verdicts: verdict_count,
+                evidence: evidence_count,
+                errors: report.errors(),
+                warnings: report.warnings(),
+            },
+            gsn,
+            matrix,
+        }
+    }
+
+    /// The deterministic JSON form (pretty-printed, trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = serde_json::to_string_pretty(self).expect("assurance case serializes");
+        out.push('\n');
+        out
+    }
+
+    /// A self-contained HTML report: inline styles, no external assets,
+    /// no timestamps — byte-identical for equal inputs.
+    pub fn to_html(&self) -> String {
+        let mut html = String::new();
+        html.push_str("<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n");
+        let _ = writeln!(html, "<title>Assurance case: {}</title>", escape(&self.label));
+        html.push_str(
+            "<style>\n\
+             body{font-family:sans-serif;margin:2rem;color:#222}\n\
+             table{border-collapse:collapse;margin:1rem 0}\n\
+             th,td{border:1px solid #bbb;padding:.3rem .6rem;text-align:left}\n\
+             th{background:#eee}\n\
+             ul.gsn{list-style:none;padding-left:1.2rem;border-left:2px solid #ddd}\n\
+             .supported{color:#1a7f37}.partial{color:#9a6700}\n\
+             .undeveloped{color:#666}.contradicted{color:#cf222e}\n\
+             .justified{color:#0969da}\n\
+             .kind{font-size:.8em;text-transform:uppercase;color:#888;margin-right:.4rem}\n\
+             code{background:#f6f8fa;padding:0 .2rem}\n\
+             </style>\n</head>\n<body>\n",
+        );
+        let _ = writeln!(html, "<h1>Assurance case: {}</h1>", escape(&self.label));
+        let _ = writeln!(
+            html,
+            "<p>Trace-graph fingerprint <code>{}</code> &mdash; {} goal(s), {} attack(s), {} \
+             threat(s), {} verdict(s), {} evidence entr(ies); {} error(s), {} warning(s).</p>",
+            self.fingerprint,
+            self.summary.goals,
+            self.summary.attacks,
+            self.summary.threats,
+            self.summary.verdicts,
+            self.summary.evidence,
+            self.summary.errors,
+            self.summary.warnings,
+        );
+
+        html.push_str("<h2>GSN argument</h2>\n");
+        if let Some(root) = self.gsn.iter().position(|e| e.id == "G0") {
+            html.push_str("<ul class=\"gsn\">\n");
+            self.render_element(&mut html, root);
+            html.push_str("</ul>\n");
+        }
+
+        html.push_str("<h2>Traceability matrix</h2>\n<table>\n<tr>");
+        for column in ["Safety goal", "ASIL", "Attack", "Threat", "Verdicts", "Evidence", "Status"]
+        {
+            let _ = write!(html, "<th>{column}</th>");
+        }
+        html.push_str("</tr>\n");
+        for row in &self.matrix {
+            let _ = writeln!(
+                html,
+                "<tr><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td>\
+                 <td class=\"{}\">{}</td></tr>",
+                escape(&row.goal),
+                escape(&row.asil),
+                escape(&row.attack),
+                escape(&row.threat),
+                row.verdicts,
+                row.evidence,
+                row.status,
+                row.status,
+            );
+        }
+        html.push_str("</table>\n</body>\n</html>\n");
+        html
+    }
+
+    fn render_element(&self, html: &mut String, index: usize) {
+        let element = &self.gsn[index];
+        let _ = writeln!(
+            html,
+            "<li><span class=\"kind\">{}</span><strong>{}</strong> \
+             <span class=\"{}\">[{}]</span> {}</li>",
+            element.kind,
+            escape(&element.id),
+            element.status,
+            element.status,
+            escape(&element.statement),
+        );
+        if element.children.is_empty() {
+            return;
+        }
+        html.push_str("<ul class=\"gsn\">\n");
+        for child in &element.children {
+            if let Some(position) = self.gsn.iter().position(|e| &e.id == child) {
+                self.render_element(html, position);
+            }
+        }
+        html.push_str("</ul>\n");
+    }
+}
+
+/// Minimal HTML escaping for text content.
+fn escape(text: &str) -> String {
+    text.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LintConfig;
+    use crate::graph::{TraceInputs, VerdictRecord};
+    use crate::run_lint;
+    use saseval_core::catalog::use_case_1;
+    use saseval_obs::Obs;
+    use saseval_threat::builtin::automotive_library;
+
+    #[test]
+    fn case_is_deterministic_and_self_contained() {
+        let library = automotive_library();
+        let catalog = use_case_1();
+        let trace = TraceInputs {
+            verdicts: vec![VerdictRecord {
+                attack_id: "AD20".into(),
+                label: "without message counter".into(),
+                attack_succeeded: true,
+                detected: false,
+                violated_goals: vec!["SG01".into()],
+            }],
+            evidence: Vec::new(),
+        };
+        let ctx = LintContext::for_catalog(&library, &catalog).with_trace(&trace);
+        let report = run_lint(&ctx, &LintConfig::new(), &Obs::noop());
+
+        let a = AssuranceCase::build(&catalog.name, &ctx, &report);
+        let b = AssuranceCase::build(&catalog.name, &ctx, &report);
+        assert_eq!(a.to_json(), b.to_json());
+        assert_eq!(a.to_html(), b.to_html());
+        assert_eq!(a.fingerprint, b.fingerprint);
+
+        let html = a.to_html();
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        assert!(!html.contains("http://") && !html.contains("https://"), "self-contained");
+        assert!(html.contains("Traceability matrix"));
+        let json = a.to_json();
+        assert!(json.contains("\"G0\""));
+        assert!(json.contains("\"fingerprint\""));
+    }
+
+    #[test]
+    fn matrix_classifies_execution_states() {
+        let library = automotive_library();
+        let catalog = use_case_1();
+        let trace = TraceInputs {
+            verdicts: vec![VerdictRecord {
+                attack_id: "AD20".into(),
+                label: "l".into(),
+                attack_succeeded: false,
+                detected: true,
+                violated_goals: Vec::new(),
+            }],
+            evidence: Vec::new(),
+        };
+        let ctx = LintContext::for_catalog(&library, &catalog).with_trace(&trace);
+        let report = run_lint(&ctx, &LintConfig::new(), &Obs::noop());
+        let case = AssuranceCase::build(&catalog.name, &ctx, &report);
+        let validated = case.matrix.iter().filter(|r| r.status == "validated").count();
+        let unexecuted = case.matrix.iter().filter(|r| r.status == "unexecuted").count();
+        assert!(validated >= 1, "AD20 rows are validated");
+        assert!(unexecuted >= 1, "other attacks remain unexecuted");
+    }
+}

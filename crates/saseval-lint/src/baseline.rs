@@ -1,0 +1,125 @@
+//! Baseline suppression files: adopt the deny gate on an imperfect
+//! catalog by recording today's findings and failing only on new ones.
+//!
+//! A baseline is a sorted JSON array of finding keys
+//! (`code|locus|message`). `--write-baseline` records the current run;
+//! `--baseline` filters any finding whose key is recorded. Keys contain
+//! no volatile parts (no timestamps, no counts), so a baseline stays
+//! valid until the underlying artifact actually changes.
+
+use std::collections::BTreeSet;
+
+use crate::diagnostics::Diagnostic;
+use crate::LintReport;
+
+/// A set of known-finding keys loaded from or destined for a baseline
+/// file.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    keys: BTreeSet<String>,
+}
+
+/// The stable identity of a finding inside a baseline.
+fn key(diag: &Diagnostic) -> String {
+    format!("{}|{}|{}", diag.code, diag.locus, diag.message)
+}
+
+impl Baseline {
+    /// An empty baseline (suppresses nothing).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records every finding of the given reports.
+    pub fn record(reports: &[&LintReport]) -> Self {
+        let keys =
+            reports.iter().flat_map(|r| r.diagnostics.iter()).map(key).collect::<BTreeSet<_>>();
+        Baseline { keys }
+    }
+
+    /// Parses a baseline from its JSON form (an array of key strings).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the malformed content.
+    pub fn parse(json: &str) -> Result<Self, String> {
+        let keys: Vec<String> = serde_json::from_str(json)
+            .map_err(|e| format!("baseline must be a JSON array of strings: {e}"))?;
+        Ok(Baseline { keys: keys.into_iter().collect() })
+    }
+
+    /// The canonical JSON form: a sorted, pretty-printed array with a
+    /// trailing newline — byte-identical for equal finding sets.
+    pub fn to_json(&self) -> String {
+        let keys: Vec<&String> = self.keys.iter().collect();
+        let mut out = serde_json::to_string_pretty(&keys).expect("strings serialize");
+        out.push('\n');
+        out
+    }
+
+    /// Number of recorded keys.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether the baseline suppresses nothing.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Removes every baselined finding from the report; returns how many
+    /// were suppressed.
+    pub fn apply(&self, report: &mut LintReport) -> usize {
+        let before = report.diagnostics.len();
+        report.diagnostics.retain(|diag| !self.keys.contains(&key(diag)));
+        before - report.diagnostics.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diagnostics::{Diagnostic, Locus};
+
+    fn report() -> LintReport {
+        LintReport {
+            diagnostics: vec![
+                Diagnostic::new("SASE001", "bad ref", Locus::artifact("x", "1")),
+                Diagnostic::new("SASE006", "gap", Locus::artifact("safety-goal", "SG02")),
+            ],
+        }
+    }
+
+    #[test]
+    fn record_apply_roundtrip_suppresses_known_findings() {
+        let recorded = Baseline::record(&[&report()]);
+        let parsed = Baseline::parse(&recorded.to_json()).unwrap();
+        assert_eq!(recorded, parsed);
+
+        let mut current = report();
+        // A new finding appears on top of the recorded ones.
+        current.diagnostics.push(Diagnostic::new(
+            "SASE003",
+            "dup",
+            Locus::artifact("attack-description", "AD01"),
+        ));
+        let suppressed = parsed.apply(&mut current);
+        assert_eq!(suppressed, 2);
+        assert_eq!(current.diagnostics.len(), 1);
+        assert_eq!(current.diagnostics[0].code, "SASE003");
+    }
+
+    #[test]
+    fn serialization_is_deterministic() {
+        let a = Baseline::record(&[&report()]).to_json();
+        let b = Baseline::record(&[&report()]).to_json();
+        assert_eq!(a, b);
+        assert!(a.ends_with('\n'));
+    }
+
+    #[test]
+    fn parse_rejects_non_arrays() {
+        assert!(Baseline::parse("{}").is_err());
+        assert!(Baseline::parse("[1, 2]").is_err());
+    }
+}

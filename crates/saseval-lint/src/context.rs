@@ -23,7 +23,8 @@ impl SourceDocument {
 
 /// Everything the rules may inspect. Any part may be absent: artifact
 /// rules skip silently without a catalog, library-dependent rules without
-/// a library, DSL rules without documents.
+/// a library, DSL rules without documents, execution-facing graph rules
+/// without trace inputs.
 #[derive(Clone, Copy, Default)]
 pub struct LintContext<'a> {
     /// The threat library cross-references are resolved against.
@@ -32,6 +33,8 @@ pub struct LintContext<'a> {
     pub catalog: Option<&'a UseCaseCatalog>,
     /// Parsed DSL documents under lint.
     pub documents: &'a [SourceDocument],
+    /// Dynamic evidence: executed verdicts and stored reproductions.
+    pub trace: Option<&'a crate::graph::TraceInputs>,
 }
 
 impl<'a> LintContext<'a> {
@@ -42,18 +45,26 @@ impl<'a> LintContext<'a> {
 
     /// A context for checking a catalog against a threat library.
     pub fn for_catalog(library: &'a ThreatLibrary, catalog: &'a UseCaseCatalog) -> Self {
-        LintContext { library: Some(library), catalog: Some(catalog), documents: &[] }
+        LintContext { library: Some(library), catalog: Some(catalog), documents: &[], trace: None }
     }
 
     /// A context for checking parsed DSL documents.
     pub fn for_documents(documents: &'a [SourceDocument]) -> Self {
-        LintContext { library: None, catalog: None, documents }
+        LintContext { library: None, catalog: None, documents, trace: None }
     }
 
     /// Attaches DSL documents to an existing context.
     #[must_use]
     pub fn with_documents(mut self, documents: &'a [SourceDocument]) -> Self {
         self.documents = documents;
+        self
+    }
+
+    /// Attaches dynamic trace inputs (verdicts, evidence) to an existing
+    /// context, enabling the execution-facing graph rules.
+    #[must_use]
+    pub fn with_trace(mut self, trace: &'a crate::graph::TraceInputs) -> Self {
+        self.trace = Some(trace);
         self
     }
 }

@@ -95,9 +95,20 @@ impl fmt::Display for Locus {
     }
 }
 
+/// Another artifact involved in a finding — a member of the broken
+/// traceability chain the primary locus anchors. Rendered as SARIF
+/// `relatedLocations` and as `--> related:` lines in text output.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Related {
+    /// What the related artifact contributes to the finding.
+    pub message: String,
+    /// Where the related artifact is.
+    pub locus: Locus,
+}
+
 /// One finding: a stable rule code, a severity, a human message, the
-/// locus it is anchored to, optional related notes and an optional
-/// suggested fix.
+/// locus it is anchored to, optional related notes, related loci and an
+/// optional suggested fix.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Diagnostic {
     /// Stable rule code (`SASE001`…): never reused, safe to suppress on.
@@ -110,6 +121,9 @@ pub struct Diagnostic {
     pub locus: Locus,
     /// Related context notes (rendered as `= note:` lines).
     pub notes: Vec<String>,
+    /// Other artifacts on the broken chain (SARIF `relatedLocations`).
+    #[serde(default)]
+    pub related: Vec<Related>,
     /// Suggested fix, if the rule has one (rendered as `= help:`).
     pub fix: Option<String>,
 }
@@ -124,6 +138,7 @@ impl Diagnostic {
             message: message.into(),
             locus,
             notes: Vec::new(),
+            related: Vec::new(),
             fix: None,
         }
     }
@@ -132,6 +147,13 @@ impl Diagnostic {
     #[must_use]
     pub fn note(mut self, note: impl Into<String>) -> Self {
         self.notes.push(note.into());
+        self
+    }
+
+    /// Appends a related locus — another artifact on the broken chain.
+    #[must_use]
+    pub fn related(mut self, message: impl Into<String>, locus: Locus) -> Self {
+        self.related.push(Related { message: message.into(), locus });
         self
     }
 

@@ -1,0 +1,563 @@
+//! The whole-campaign trace graph: every SaSeVAL artifact as a typed,
+//! content-addressed node, every cross-reference as a typed edge.
+//!
+//! The paper's completeness argument (§III) is a *path* property — a
+//! safety goal is validated only if it links through an attack
+//! description and a threat scenario to an executed verdict — so the
+//! per-artifact rules of `SASE001`–`SASE015` cannot see its failures.
+//! This module loads the HARA, the threat library, the attack catalog,
+//! the parsed DSL documents and the dynamic evidence (campaign verdicts,
+//! regression-corpus entries) into one directed graph and offers the
+//! fixpoint traversals the graph rules (`SASE016`–`SASE024`) and the
+//! assurance-case renderer are built on.
+//!
+//! Every node carries the [`stable_hash`] of its source artifact;
+//! [`TraceGraph::fingerprint`] folds all nodes and edges into a single
+//! FNV-1a digest, which is the content address the server's lint job
+//! caches under — re-analysis is incremental in the same sense the
+//! campaign cache is: unchanged inputs, unchanged key, cache hit.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use serde::{Deserialize, Serialize};
+
+use saseval_types::hash::{fnv1a64_extend, stable_hash, FNV_OFFSET_BASIS};
+
+use crate::context::LintContext;
+
+/// One executed test-case verdict, decoupled from the attack engine's
+/// result type so lint inputs can come from a live campaign, a stored
+/// report or a hand-written fixture alike.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VerdictRecord {
+    /// The attack description the case implements (catalog-local ID).
+    pub attack_id: String,
+    /// The configuration label distinguishing cases of one attack.
+    pub label: String,
+    /// Whether the attack achieved its safety impact.
+    pub attack_succeeded: bool,
+    /// Whether the SUT's controls produced detection evidence.
+    pub detected: bool,
+    /// Safety goals the case observed violated.
+    pub violated_goals: Vec<String>,
+}
+
+/// One piece of stored reproduction evidence — a regression-corpus entry
+/// or a fuzz finding — linked to the attack it reproduces.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EvidenceRecord {
+    /// Where the evidence lives (`corpus`, `fuzz`).
+    pub source: String,
+    /// The entry's own identifier (typically its content hash).
+    pub id: String,
+    /// The attack description the evidence reproduces.
+    pub link: String,
+}
+
+/// The dynamic inputs of a trace-graph analysis: what actually ran and
+/// what is stored, alongside the static artifacts in [`LintContext`].
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceInputs {
+    /// Executed verdicts, in campaign order.
+    pub verdicts: Vec<VerdictRecord>,
+    /// Stored reproduction evidence, in store order.
+    pub evidence: Vec<EvidenceRecord>,
+}
+
+impl TraceInputs {
+    /// Whether there is nothing dynamic to analyze (the execution-facing
+    /// graph rules stay silent then, so purely static lint runs are not
+    /// flooded with `unexecuted` findings).
+    pub fn is_empty(&self) -> bool {
+        self.verdicts.is_empty() && self.evidence.is_empty()
+    }
+}
+
+/// Which use case a bare (unprefixed) built-in test-case ID belongs to:
+/// Table VI's `AD20` is use case I, Table VII's `AD08` is use case II.
+/// All other built-in cases carry an explicit `UC1-`/`UC2-` prefix.
+fn bare_id_home(id: &str) -> Option<&'static str> {
+    match id {
+        "AD20" => Some("UC1"),
+        "AD08" => Some("UC2"),
+        _ => None,
+    }
+}
+
+/// Converts built-in campaign results into catalog-local verdicts for
+/// the use case tagged `tag` (`UC1` or `UC2`): prefixed test-case IDs
+/// are filtered and stripped, known bare IDs are routed to their home
+/// use case, everything else is dropped.
+pub fn campaign_verdicts(
+    results: &[attack_engine::ExecutionResult],
+    tag: &str,
+) -> Vec<VerdictRecord> {
+    let prefix = format!("{tag}-");
+    results
+        .iter()
+        .filter_map(|result| {
+            let attack_id = if let Some(local) = result.attack_id.strip_prefix(&prefix) {
+                local.to_owned()
+            } else if bare_id_home(&result.attack_id) == Some(tag) {
+                result.attack_id.clone()
+            } else {
+                return None;
+            };
+            Some(VerdictRecord {
+                attack_id,
+                label: result.label.clone(),
+                attack_succeeded: result.attack_succeeded,
+                detected: result.detected,
+                violated_goals: result.violated_goals.clone(),
+            })
+        })
+        .collect()
+}
+
+/// The artifact kinds a trace-graph node can have.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// A HARA safety goal.
+    Goal,
+    /// A threat-library threat scenario.
+    Threat,
+    /// A catalog attack description.
+    Attack,
+    /// A justification for an untested threat.
+    Justification,
+    /// A DSL attack declaration.
+    DslAttack,
+    /// An executed test-case verdict.
+    Verdict,
+    /// Stored reproduction evidence.
+    Evidence,
+}
+
+impl NodeKind {
+    /// The kebab-case kind string, matching diagnostic locus kinds.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            NodeKind::Goal => "safety-goal",
+            NodeKind::Threat => "threat-scenario",
+            NodeKind::Attack => "attack-description",
+            NodeKind::Justification => "justification",
+            NodeKind::DslAttack => "dsl-attack",
+            NodeKind::Verdict => "executed-verdict",
+            NodeKind::Evidence => "evidence",
+        }
+    }
+}
+
+/// One artifact in the trace graph, content-addressed by the FNV-1a hash
+/// of its canonical serialization.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Node {
+    /// The artifact kind.
+    pub kind: NodeKind,
+    /// The artifact's ID (unique per kind).
+    pub id: String,
+    /// [`stable_hash`] of the source artifact.
+    pub hash: u64,
+}
+
+/// The cross-reference kinds edges can carry. Edges point from the
+/// referencing artifact to the referenced one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum EdgeKind {
+    /// Attack description → safety goal it addresses.
+    Addresses,
+    /// Attack description → threat scenario it realizes.
+    Realizes,
+    /// Justification → threat scenario it justifies.
+    Justifies,
+    /// Justification → the justification superseding it.
+    Supersedes,
+    /// Verdict → attack description it executed.
+    Executes,
+    /// Verdict → safety goal it observed violated.
+    Violates,
+    /// Evidence → attack (catalog or DSL) it reproduces.
+    Reproduces,
+    /// DSL attack declaration → catalog attack with the same ID.
+    Declares,
+}
+
+impl EdgeKind {
+    /// The kebab-case edge label used in reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EdgeKind::Addresses => "addresses",
+            EdgeKind::Realizes => "realizes",
+            EdgeKind::Justifies => "justifies",
+            EdgeKind::Supersedes => "supersedes",
+            EdgeKind::Executes => "executes",
+            EdgeKind::Violates => "violates",
+            EdgeKind::Reproduces => "reproduces",
+            EdgeKind::Declares => "declares",
+        }
+    }
+}
+
+/// One directed, typed edge between node indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Edge {
+    /// Index of the referencing node.
+    pub from: usize,
+    /// Index of the referenced node.
+    pub to: usize,
+    /// What the reference means.
+    pub kind: EdgeKind,
+}
+
+/// Which way a traversal follows an edge kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// From `from` to `to` (the reference direction).
+    Forward,
+    /// From `to` to `from` (against the reference direction).
+    Backward,
+}
+
+/// The assembled trace graph. Node order is deterministic (artifact
+/// iteration order of the context), so equal inputs build equal graphs
+/// and equal fingerprints.
+#[derive(Debug, Clone, Default)]
+pub struct TraceGraph {
+    nodes: Vec<Node>,
+    edges: Vec<Edge>,
+    index: BTreeMap<(NodeKind, String), usize>,
+}
+
+impl TraceGraph {
+    /// Builds the graph from everything the context holds. Dangling
+    /// references simply produce no edge — the graph rules read broken
+    /// chains off the *absence* of edges.
+    pub fn build(ctx: &LintContext<'_>) -> TraceGraph {
+        let mut graph = TraceGraph::default();
+
+        if let Some(catalog) = ctx.catalog {
+            for goal in catalog.hara.safety_goals() {
+                graph.add_node(NodeKind::Goal, goal.id().as_str(), stable_hash(goal));
+            }
+        }
+        if let Some(library) = ctx.library {
+            for threat in library.threat_scenarios() {
+                graph.add_node(NodeKind::Threat, threat.id().as_str(), stable_hash(threat));
+            }
+        }
+        if let Some(catalog) = ctx.catalog {
+            for attack in &catalog.attacks {
+                let node =
+                    graph.add_node(NodeKind::Attack, attack.id().as_str(), stable_hash(attack));
+                for goal in attack.safety_goals() {
+                    graph.link(node, NodeKind::Goal, goal.as_str(), EdgeKind::Addresses);
+                }
+                graph.link(
+                    node,
+                    NodeKind::Threat,
+                    attack.threat_scenario().as_str(),
+                    EdgeKind::Realizes,
+                );
+            }
+            for justification in &catalog.justifications {
+                let node = graph.add_node(
+                    NodeKind::Justification,
+                    justification.threat_scenario().as_str(),
+                    stable_hash(justification),
+                );
+                graph.link(
+                    node,
+                    NodeKind::Threat,
+                    justification.threat_scenario().as_str(),
+                    EdgeKind::Justifies,
+                );
+            }
+            // Supersession edges need every justification node in place.
+            for justification in &catalog.justifications {
+                if let Some(target) = justification.superseding() {
+                    let node = graph
+                        .node(NodeKind::Justification, justification.threat_scenario().as_str())
+                        .expect("justification node was just added");
+                    graph.link(node, NodeKind::Justification, target.as_str(), {
+                        EdgeKind::Supersedes
+                    });
+                }
+            }
+        }
+        for document in ctx.documents {
+            for decl in &document.document.attacks {
+                let node = graph.add_node(NodeKind::DslAttack, &decl.id, stable_hash(decl));
+                graph.link(node, NodeKind::Attack, &decl.id, EdgeKind::Declares);
+            }
+        }
+        if let Some(trace) = ctx.trace {
+            for (position, verdict) in trace.verdicts.iter().enumerate() {
+                // Verdict IDs embed the position: one attack commonly has
+                // several verdicts (one per configuration), and even
+                // (attack, label) may repeat — that repetition is exactly
+                // what the contradictory-verdict rule inspects.
+                let id = format!("{}#{}#{position}", verdict.attack_id, verdict.label);
+                let node = graph.add_node(NodeKind::Verdict, id, stable_hash(verdict));
+                graph.link(node, NodeKind::Attack, &verdict.attack_id, EdgeKind::Executes);
+                for goal in &verdict.violated_goals {
+                    graph.link(node, NodeKind::Goal, goal, EdgeKind::Violates);
+                }
+            }
+            for evidence in trace.evidence.iter() {
+                let id = format!("{}/{}", evidence.source, evidence.id);
+                let node = graph.add_node(NodeKind::Evidence, id, stable_hash(evidence));
+                // Evidence may reproduce a catalog attack or, in
+                // DSL-only runs, a declared attack.
+                if !graph.link(node, NodeKind::Attack, &evidence.link, EdgeKind::Reproduces) {
+                    graph.link(node, NodeKind::DslAttack, &evidence.link, EdgeKind::Reproduces);
+                }
+            }
+        }
+        graph
+    }
+
+    fn add_node(&mut self, kind: NodeKind, id: impl Into<String>, hash: u64) -> usize {
+        let id = id.into();
+        if let Some(&existing) = self.index.get(&(kind, id.clone())) {
+            return existing;
+        }
+        let position = self.nodes.len();
+        self.index.insert((kind, id.clone()), position);
+        self.nodes.push(Node { kind, id, hash });
+        position
+    }
+
+    /// Adds an edge to the `(kind, id)` node if it exists; reports
+    /// whether the reference resolved.
+    fn link(&mut self, from: usize, kind: NodeKind, id: &str, edge: EdgeKind) -> bool {
+        match self.index.get(&(kind, id.to_owned())) {
+            Some(&to) => {
+                self.edges.push(Edge { from, to, kind: edge });
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// All nodes, in insertion (artifact) order.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// All edges, in insertion order.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Index of the `(kind, id)` node, if present.
+    pub fn node(&self, kind: NodeKind, id: &str) -> Option<usize> {
+        self.index.get(&(kind, id.to_owned())).copied()
+    }
+
+    /// Nodes `node` references via `kind` edges, in edge order.
+    pub fn outgoing(&self, node: usize, kind: EdgeKind) -> impl Iterator<Item = usize> + '_ {
+        self.edges.iter().filter(move |e| e.from == node && e.kind == kind).map(|e| e.to)
+    }
+
+    /// Nodes referencing `node` via `kind` edges, in edge order.
+    pub fn incoming(&self, node: usize, kind: EdgeKind) -> impl Iterator<Item = usize> + '_ {
+        self.edges.iter().filter(move |e| e.to == node && e.kind == kind).map(|e| e.from)
+    }
+
+    /// Worklist fixpoint: all nodes reachable from `seeds` following the
+    /// given `(edge kind, direction)` steps transitively. The seeds
+    /// themselves are included.
+    ///
+    /// Forward reachability from a goal (`Addresses` backward, then
+    /// `Executes` backward) answers "which verdicts validate this goal";
+    /// backward reachability from a verdict answers "which goals does
+    /// this execution trace to".
+    pub fn reachable(
+        &self,
+        seeds: impl IntoIterator<Item = usize>,
+        follow: &[(EdgeKind, Direction)],
+    ) -> BTreeSet<usize> {
+        let mut reached: BTreeSet<usize> = seeds.into_iter().collect();
+        let mut worklist: Vec<usize> = reached.iter().copied().collect();
+        while let Some(node) = worklist.pop() {
+            for &(kind, direction) in follow {
+                let next: Vec<usize> = match direction {
+                    Direction::Forward => self.outgoing(node, kind).collect(),
+                    Direction::Backward => self.incoming(node, kind).collect(),
+                };
+                for neighbor in next {
+                    if reached.insert(neighbor) {
+                        worklist.push(neighbor);
+                    }
+                }
+            }
+        }
+        reached
+    }
+
+    /// Cycles in the justification supersession chain. Each
+    /// justification has at most one `Supersedes` successor, so the
+    /// subgraph is functional and every cycle is found by pointer
+    /// chasing. Each cycle is returned once, rotated to start at its
+    /// lexicographically smallest member, cycles sorted by that anchor.
+    pub fn justification_cycles(&self) -> Vec<Vec<String>> {
+        // 0 = unvisited, 1 = on the current walk, 2 = resolved.
+        let mut state = vec![0u8; self.nodes.len()];
+        let mut cycles = Vec::new();
+        for start in 0..self.nodes.len() {
+            if self.nodes[start].kind != NodeKind::Justification || state[start] != 0 {
+                continue;
+            }
+            let mut walk: Vec<usize> = Vec::new();
+            let mut node = start;
+            loop {
+                if state[node] == 1 {
+                    // Closed a cycle within this walk: everything from
+                    // `node`'s position in the walk onward is the cycle.
+                    let from = walk.iter().position(|&n| n == node).expect("node is on the walk");
+                    let mut cycle: Vec<String> =
+                        walk[from..].iter().map(|&n| self.nodes[n].id.clone()).collect();
+                    let anchor = cycle
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, id)| id.as_str())
+                        .map(|(i, _)| i)
+                        .expect("cycle is nonempty");
+                    cycle.rotate_left(anchor);
+                    cycles.push(cycle);
+                    break;
+                }
+                if state[node] == 2 {
+                    break;
+                }
+                state[node] = 1;
+                walk.push(node);
+                match self.outgoing(node, EdgeKind::Supersedes).next() {
+                    Some(next) => node = next,
+                    None => break,
+                }
+            }
+            for &n in &walk {
+                state[n] = 2;
+            }
+        }
+        cycles.sort();
+        cycles
+    }
+
+    /// FNV-1a digest over all nodes and edges — the content address of
+    /// the whole analysis input. Two runs over unchanged artifacts get
+    /// the same fingerprint, which is what makes server-side lint jobs
+    /// cacheable.
+    pub fn fingerprint(&self) -> u64 {
+        let mut hash = FNV_OFFSET_BASIS;
+        for node in &self.nodes {
+            hash = fnv1a64_extend(hash, node.kind.as_str().as_bytes());
+            hash = fnv1a64_extend(hash, node.id.as_bytes());
+            hash = fnv1a64_extend(hash, &node.hash.to_le_bytes());
+        }
+        for edge in &self.edges {
+            hash = fnv1a64_extend(hash, &(edge.from as u64).to_le_bytes());
+            hash = fnv1a64_extend(hash, &(edge.to as u64).to_le_bytes());
+            hash = fnv1a64_extend(hash, edge.kind.as_str().as_bytes());
+        }
+        hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saseval_core::catalog::use_case_1;
+    use saseval_threat::builtin::automotive_library;
+
+    fn builtin_ctx<'a>(
+        library: &'a saseval_threat::ThreatLibrary,
+        catalog: &'a saseval_core::catalog::UseCaseCatalog,
+    ) -> LintContext<'a> {
+        LintContext::for_catalog(library, catalog)
+    }
+
+    #[test]
+    fn builtin_catalog_builds_a_connected_graph() {
+        let library = automotive_library();
+        let catalog = use_case_1();
+        let graph = TraceGraph::build(&builtin_ctx(&library, &catalog));
+        assert!(graph.nodes().iter().any(|n| n.kind == NodeKind::Goal));
+        assert!(graph.nodes().iter().any(|n| n.kind == NodeKind::Attack));
+        // Every attack resolves its goal and threat references.
+        for (i, node) in graph.nodes().iter().enumerate() {
+            if node.kind == NodeKind::Attack {
+                assert!(graph.outgoing(i, EdgeKind::Addresses).next().is_some(), "{}", node.id);
+                assert!(graph.outgoing(i, EdgeKind::Realizes).next().is_some(), "{}", node.id);
+            }
+        }
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_input_sensitive() {
+        let library = automotive_library();
+        let catalog = use_case_1();
+        let a = TraceGraph::build(&builtin_ctx(&library, &catalog)).fingerprint();
+        let b = TraceGraph::build(&builtin_ctx(&library, &catalog)).fingerprint();
+        assert_eq!(a, b, "equal inputs must fingerprint equal");
+
+        let mut changed = use_case_1();
+        changed.attacks.pop();
+        let c = TraceGraph::build(&builtin_ctx(&library, &changed)).fingerprint();
+        assert_ne!(a, c, "dropping an artifact must change the fingerprint");
+    }
+
+    #[test]
+    fn verdicts_link_to_attacks_and_goals() {
+        let library = automotive_library();
+        let catalog = use_case_1();
+        let trace = TraceInputs {
+            verdicts: vec![VerdictRecord {
+                attack_id: "AD20".into(),
+                label: "without message counter".into(),
+                attack_succeeded: true,
+                detected: false,
+                violated_goals: vec!["SG01".into()],
+            }],
+            evidence: vec![EvidenceRecord {
+                source: "corpus".into(),
+                id: "deadbeef".into(),
+                link: "AD20".into(),
+            }],
+        };
+        let mut ctx = builtin_ctx(&library, &catalog);
+        ctx.trace = Some(&trace);
+        let graph = TraceGraph::build(&ctx);
+        let verdict = graph.node(NodeKind::Verdict, "AD20#without message counter#0").unwrap();
+        let attack = graph.node(NodeKind::Attack, "AD20").unwrap();
+        assert_eq!(graph.outgoing(verdict, EdgeKind::Executes).next(), Some(attack));
+        assert!(graph.outgoing(verdict, EdgeKind::Violates).next().is_some());
+        let evidence = graph.node(NodeKind::Evidence, "corpus/deadbeef").unwrap();
+        assert_eq!(graph.outgoing(evidence, EdgeKind::Reproduces).next(), Some(attack));
+        // Forward reachability: the goal reaches its executing verdict.
+        let goal = graph.node(NodeKind::Goal, "SG01").unwrap();
+        let reach = graph.reachable(
+            [goal],
+            &[
+                (EdgeKind::Addresses, Direction::Backward),
+                (EdgeKind::Executes, Direction::Backward),
+            ],
+        );
+        assert!(reach.contains(&verdict));
+    }
+
+    #[test]
+    fn supersession_cycle_is_detected_once() {
+        use saseval_core::Justification;
+        let library = automotive_library();
+        let mut catalog = use_case_1();
+        catalog.justifications = vec![
+            Justification::new("TS-2.1.1", "a").unwrap().superseded_by("TS-2.1.2").unwrap(),
+            Justification::new("TS-2.1.2", "b").unwrap().superseded_by("TS-2.1.1").unwrap(),
+        ];
+        let graph = TraceGraph::build(&builtin_ctx(&library, &catalog));
+        let cycles = graph.justification_cycles();
+        assert_eq!(cycles, vec![vec!["TS-2.1.1".to_owned(), "TS-2.1.2".to_owned()]]);
+    }
+}

@@ -15,8 +15,15 @@
 //! * [`mod@registry`] — the [`Rule`] trait and the registry of built-in
 //!   rules with stable `SASE…` codes.
 //! * [`rules`] — the rules themselves: artifact cross-reference and
-//!   completeness checks (`SASE001`–`SASE009`) and DSL semantic checks
-//!   (`SASE010`–`SASE015`).
+//!   completeness checks (`SASE001`–`SASE009`), DSL semantic checks
+//!   (`SASE010`–`SASE015`) and whole-campaign trace-graph checks
+//!   (`SASE016`–`SASE024`).
+//! * [`graph`] — the typed, content-addressed trace graph the graph
+//!   rules and the assurance-case renderer analyze.
+//! * [`assurance`] — the GSN-style assurance case and traceability
+//!   matrix derived from an analyzed graph (deterministic JSON + HTML).
+//! * [`baseline`] — suppression files recording known findings so the
+//!   deny gate only fails on *new* diagnostics.
 //! * [`render`] — text and SARIF-shaped JSON output.
 //!
 //! # Example
@@ -37,16 +44,22 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod assurance;
+pub mod baseline;
 pub mod config;
 pub mod context;
 pub mod diagnostics;
+pub mod graph;
 pub mod registry;
 pub mod render;
 pub mod rules;
 
+pub use assurance::AssuranceCase;
+pub use baseline::Baseline;
 pub use config::LintConfig;
 pub use context::{LintContext, SourceDocument};
-pub use diagnostics::{Diagnostic, Level, Locus, Severity};
+pub use diagnostics::{Diagnostic, Level, Locus, Related, Severity};
+pub use graph::{EvidenceRecord, TraceGraph, TraceInputs, VerdictRecord};
 pub use registry::{registry, Rule};
 pub use render::{render_json, render_text};
 
@@ -90,15 +103,60 @@ impl LintReport {
 /// through `obs` (`lint.rule` events, `lint.findings` counter,
 /// `lint.run_seconds` span).
 pub fn run_lint(ctx: &LintContext<'_>, config: &LintConfig, obs: &Obs) -> LintReport {
+    run_lint_with_jobs(ctx, config, obs, 1)
+}
+
+/// [`run_lint`] with rule-level parallelism: rules are distributed
+/// round-robin over up to `jobs` worker threads. Rules are independent
+/// by contract and findings are merged in registry order before the
+/// global deterministic sort, so the report is byte-identical to the
+/// single-threaded run for any `jobs` value.
+pub fn run_lint_with_jobs(
+    ctx: &LintContext<'_>,
+    config: &LintConfig,
+    obs: &Obs,
+    jobs: usize,
+) -> LintReport {
     let run_span = obs.span("lint.run_seconds");
+    let rule_count = registry().len();
+    let jobs = jobs.clamp(1, rule_count);
+
+    // Per rule index: the rule's outcome (`None` inside = skipped by
+    // `allow`), filled by whichever thread ran it.
+    let mut slots: Vec<Option<RuleOutcome>> = (0..rule_count).map(|_| None).collect();
+    if jobs == 1 {
+        for (index, slot) in slots.iter_mut().enumerate() {
+            *slot = Some(check_rule(ctx, config, index));
+        }
+    } else {
+        let results = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..jobs)
+                .map(|worker| {
+                    scope.spawn(move || {
+                        // Each thread re-creates the registry: `Box<dyn Rule>`
+                        // is not `Send`, and the rules are stateless units.
+                        (worker..rule_count)
+                            .step_by(jobs)
+                            .map(|index| (index, check_rule(ctx, config, index)))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("lint worker panicked"))
+                .collect::<Vec<_>>()
+        });
+        for (index, result) in results {
+            slots[index] = Some(result);
+        }
+    }
+
     let mut diagnostics = Vec::new();
-    for rule in registry() {
-        let level = config.level_for(rule.code(), rule.default_level());
-        let Some(severity) = level.severity() else { continue };
-        let rule_span = obs.span("lint.rule_seconds");
-        let mut found = Vec::new();
-        rule.check(ctx, &mut found);
-        let seconds = rule_span.finish();
+    for (rule, slot) in registry().iter().zip(slots) {
+        let Some((found, seconds)) = slot.expect("every rule index was scheduled") else {
+            continue; // allowed: the rule did not run
+        };
         obs.event(
             "lint.rule",
             &[
@@ -107,15 +165,31 @@ pub fn run_lint(ctx: &LintContext<'_>, config: &LintConfig, obs: &Obs) -> LintRe
                 ("seconds", FieldValue::F64(seconds)),
             ],
         );
-        for mut diag in found {
-            diag.severity = severity;
-            diagnostics.push(diag);
-        }
+        diagnostics.extend(found);
     }
     diagnostics.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
     obs.counter("lint.findings", diagnostics.len() as u64);
     run_span.finish();
     LintReport { diagnostics }
+}
+
+/// What running one rule produced: `None` when the rule is `allow`ed,
+/// otherwise its severity-assigned findings and wall-clock seconds.
+type RuleOutcome = Option<(Vec<Diagnostic>, f64)>;
+
+/// Runs the rule at `index` at its effective level.
+fn check_rule(ctx: &LintContext<'_>, config: &LintConfig, index: usize) -> RuleOutcome {
+    let rule = &registry()[index];
+    let level = config.level_for(rule.code(), rule.default_level());
+    let severity = level.severity()?;
+    let start = std::time::Instant::now();
+    let mut found = Vec::new();
+    rule.check(ctx, &mut found);
+    let seconds = start.elapsed().as_secs_f64();
+    for diag in &mut found {
+        diag.severity = severity;
+    }
+    Some((found, seconds))
 }
 
 #[cfg(test)]

@@ -15,6 +15,9 @@ pub trait Rule {
     fn name(&self) -> &'static str;
     /// One-line description of what the rule reports.
     fn summary(&self) -> &'static str;
+    /// Longer guidance: why the finding matters and how to resolve it.
+    /// Rendered as the SARIF rule `fullDescription`/`help` text.
+    fn help(&self) -> &'static str;
     /// Level the rule runs at when the config has no override.
     fn default_level(&self) -> Level;
     /// Inspects the context and pushes findings.
@@ -42,6 +45,15 @@ pub fn registry() -> Vec<Box<dyn Rule>> {
         Box::new(rules::dsl::DuplicateExecArg),
         Box::new(rules::dsl::ExecArgRange),
         Box::new(rules::dsl::UnknownSignal),
+        Box::new(rules::graph::GoalUnvalidated),
+        Box::new(rules::graph::VerdictUntraceable),
+        Box::new(rules::graph::OrphanEvidence),
+        Box::new(rules::graph::JustificationCycle),
+        Box::new(rules::graph::ContradictoryVerdict),
+        Box::new(rules::graph::UnexecutedAttack),
+        Box::new(rules::graph::UndetectedViolation),
+        Box::new(rules::graph::DeductivePartial),
+        Box::new(rules::graph::InductiveUnconfirmed),
     ]
 }
 
@@ -72,6 +84,17 @@ mod tests {
             assert!(!rule.name().is_empty());
             assert!(!rule.summary().is_empty());
             assert!(rule.name().chars().all(|c| c.is_ascii_lowercase() || c == '-'));
+        }
+    }
+
+    #[test]
+    fn help_is_substantial_prose() {
+        for rule in registry() {
+            assert!(
+                rule.help().len() > rule.summary().len(),
+                "{}: help must say more than the summary",
+                rule.code()
+            );
         }
     }
 }

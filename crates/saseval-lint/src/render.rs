@@ -22,6 +22,10 @@ pub fn render_text(report: &LintReport) -> String {
     for diag in &report.diagnostics {
         writeln!(out, "{}[{}]: {}", diag.severity, diag.code, diag.message).expect("string write");
         writeln!(out, "  --> {}", diag.locus).expect("string write");
+        for related in &diag.related {
+            writeln!(out, "  --> related: {} ({})", related.locus, related.message)
+                .expect("string write");
+        }
         for note in &diag.notes {
             writeln!(out, "  = note: {note}").expect("string write");
         }
@@ -73,6 +77,8 @@ mod sarif {
         pub id: &'static str,
         pub name: &'static str,
         pub shortDescription: Text,
+        pub fullDescription: Text,
+        pub help: Text,
     }
 
     #[derive(Serialize)]
@@ -86,11 +92,13 @@ mod sarif {
         pub level: &'static str,
         pub message: Text,
         pub locations: Vec<Location>,
+        pub relatedLocations: Vec<Location>,
     }
 
     #[derive(Serialize)]
     pub struct Location {
         pub physicalLocation: PhysicalLocation,
+        pub message: Option<Text>,
     }
 
     #[derive(Serialize)]
@@ -111,7 +119,7 @@ mod sarif {
     }
 }
 
-fn sarif_location(locus: &Locus) -> sarif::Location {
+fn sarif_location(locus: &Locus, message: Option<&str>) -> sarif::Location {
     let (uri, region) = match locus {
         Locus::Artifact { kind, id } => (format!("saseval://{kind}/{id}"), None),
         Locus::Source { file, line, column } => (
@@ -124,6 +132,7 @@ fn sarif_location(locus: &Locus) -> sarif::Location {
             artifactLocation: sarif::ArtifactLocation { uri },
             region,
         },
+        message: message.map(|text| sarif::Text { text: text.to_owned() }),
     }
 }
 
@@ -142,7 +151,12 @@ fn sarif_result(diag: &Diagnostic) -> sarif::SarifResult {
             Severity::Error => "error",
         },
         message: sarif::Text { text },
-        locations: vec![sarif_location(&diag.locus)],
+        locations: vec![sarif_location(&diag.locus, None)],
+        relatedLocations: diag
+            .related
+            .iter()
+            .map(|related| sarif_location(&related.locus, Some(&related.message)))
+            .collect(),
     }
 }
 
@@ -158,6 +172,8 @@ fn sarif_run(report: &LintReport) -> sarif::Run {
                         id: rule.code(),
                         name: rule.name(),
                         shortDescription: sarif::Text { text: rule.summary().to_owned() },
+                        fullDescription: sarif::Text { text: rule.help().to_owned() },
+                        help: sarif::Text { text: rule.help().to_owned() },
                     })
                     .collect(),
             },

@@ -66,6 +66,9 @@ impl Rule for DanglingGoalRef {
     fn summary(&self) -> &'static str {
         "attack description references a safety goal the HARA does not define"
     }
+    fn help(&self) -> &'static str {
+        "Every safety-goal reference in an attack description must resolve into the HARA: a dangling reference silently removes the attack from the goal's validation argument. Add the goal to the HARA or correct the reference."
+    }
     fn default_level(&self) -> Level {
         Level::Deny
     }
@@ -108,6 +111,9 @@ impl Rule for DanglingThreatRef {
     fn summary(&self) -> &'static str {
         "attack description references a threat scenario missing from the library"
     }
+    fn help(&self) -> &'static str {
+        "The inductive completeness argument walks from library threats to attacks; an attack pointing at a threat the library lacks is invisible to that walk. Add the threat scenario to the library or fix the reference."
+    }
     fn default_level(&self) -> Level {
         Level::Deny
     }
@@ -142,6 +148,9 @@ impl Rule for DuplicateAttackId {
     }
     fn summary(&self) -> &'static str {
         "two attack descriptions in the catalog share an ID"
+    }
+    fn help(&self) -> &'static str {
+        "Attack-description IDs key verdicts, evidence and traceability rows; a duplicate makes every downstream link ambiguous. Rename one of the descriptions so each ID is unique."
     }
     fn default_level(&self) -> Level {
         Level::Deny
@@ -182,6 +191,9 @@ impl Rule for InductiveOrphan {
     fn summary(&self) -> &'static str {
         "threat scenario in scope has neither an attack description nor a justification"
     }
+    fn help(&self) -> &'static str {
+        "The paper's RQ1 requires every in-scope threat to be either attacked or explicitly justified as not applicable; a threat with neither is an undocumented gap in the completeness claim. Derive an attack description or record a justification."
+    }
     fn default_level(&self) -> Level {
         Level::Deny
     }
@@ -219,6 +231,9 @@ impl Rule for StaleJustification {
     fn summary(&self) -> &'static str {
         "justification exists for a threat that is already covered by attacks"
     }
+    fn help(&self) -> &'static str {
+        "A justification asserts a threat is deliberately untested; once attack descriptions cover the threat, the assertion is false and hides that the rationale is outdated. Retire the justification."
+    }
     fn default_level(&self) -> Level {
         Level::Warn
     }
@@ -251,6 +266,9 @@ impl Rule for DeductiveGap {
     }
     fn summary(&self) -> &'static str {
         "ASIL-rated safety goal has no attack description addressing it"
+    }
+    fn help(&self) -> &'static str {
+        "Deductive (goal-driven) completeness requires every ASIL-rated safety goal to be challenged by at least one attack description; a goal without any has no security validation at all. Derive at least one attack for it."
     }
     fn default_level(&self) -> Level {
         Level::Deny
@@ -290,6 +308,9 @@ impl Rule for MissingFtti {
     fn summary(&self) -> &'static str {
         "ASIL C/D safety goal has no fault-tolerant time interval"
     }
+    fn help(&self) -> &'static str {
+        "Timing pass criteria for high-integrity goals compare against the fault-tolerant time interval; without an FTTI the criteria cannot be evaluated and timing attacks cannot be judged. Record the FTTI in the HARA."
+    }
     fn default_level(&self) -> Level {
         Level::Warn
     }
@@ -325,6 +346,9 @@ impl Rule for StrideMismatch {
     }
     fn summary(&self) -> &'static str {
         "attack description's STRIDE type contradicts its threat scenario's"
+    }
+    fn help(&self) -> &'static str {
+        "The STRIDE type on an attack description documents which threat property the attack exercises; disagreeing with the referenced threat scenario means one of the two artifacts is mis-classified. Align the attack's type with the threat's."
     }
     fn default_level(&self) -> Level {
         Level::Deny
@@ -371,6 +395,9 @@ impl Rule for DanglingJustification {
     }
     fn summary(&self) -> &'static str {
         "justification references a threat scenario missing from the library"
+    }
+    fn help(&self) -> &'static str {
+        "A justification for a threat the library does not contain justifies nothing and usually indicates a renamed or retired threat ID. Remove the justification or fix the threat-scenario reference."
     }
     fn default_level(&self) -> Level {
         Level::Deny

@@ -124,6 +124,9 @@ impl Rule for DuplicateDslAttack {
     fn summary(&self) -> &'static str {
         "two attack declarations in one document share a name"
     }
+    fn help(&self) -> &'static str {
+        "Attack names key the declaration inside a document and the generated test cases; duplicates make later declarations shadow earlier ones silently. Rename the second declaration."
+    }
     fn default_level(&self) -> Level {
         Level::Deny
     }
@@ -159,6 +162,9 @@ impl Rule for UnknownExecutable {
     fn summary(&self) -> &'static str {
         "`execute:` names an attack the engine does not implement"
     }
+    fn help(&self) -> &'static str {
+        "An `execute:` line binds the declaration to a concrete attack implementation; naming one the engine does not ship means the declaration can never run. Use one of the implemented executables or add the implementation."
+    }
     fn default_level(&self) -> Level {
         Level::Deny
     }
@@ -192,6 +198,9 @@ impl Rule for UnknownExecArg {
     }
     fn summary(&self) -> &'static str {
         "`execute:` argument is not accepted by the named executable"
+    }
+    fn help(&self) -> &'static str {
+        "Each executable accepts a fixed argument set; an unknown argument is ignored at run time, so the declaration would silently not do what it says. Remove the argument or use one the executable accepts."
     }
     fn default_level(&self) -> Level {
         Level::Deny
@@ -235,6 +244,9 @@ impl Rule for DuplicateExecArg {
     fn summary(&self) -> &'static str {
         "`execute:` passes the same argument more than once"
     }
+    fn help(&self) -> &'static str {
+        "When the same argument appears twice the last occurrence wins and the first is dead text, which usually means an editing mistake. Keep a single occurrence with the intended value."
+    }
     fn default_level(&self) -> Level {
         Level::Deny
     }
@@ -274,6 +286,9 @@ impl Rule for ExecArgRange {
     }
     fn summary(&self) -> &'static str {
         "`execute:` integer argument is outside its valid range"
+    }
+    fn help(&self) -> &'static str {
+        "Out-of-range integer arguments are clamped or rejected by the engine at run time; the declared intensity would differ from what actually executes. Move the value into the documented range."
     }
     fn default_level(&self) -> Level {
         Level::Deny
@@ -319,6 +334,9 @@ impl Rule for UnknownSignal {
     }
     fn summary(&self) -> &'static str {
         "precondition references an unknown `$signal`"
+    }
+    fn help(&self) -> &'static str {
+        "Preconditions are evaluated over the simulation's published signals; an unknown `$signal` can never become true, so the attack would wait forever. Use one of the published signal names."
     }
     fn default_level(&self) -> Level {
         Level::Warn

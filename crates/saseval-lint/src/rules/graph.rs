@@ -1,0 +1,517 @@
+//! Graph rules: whole-campaign completeness, contradiction and
+//! coverage-classification checks over the trace graph.
+//!
+//! Where the artifact rules (`SASE001`–`SASE009`) verify each link of
+//! the traceability chain in isolation, these rules verify *paths*: a
+//! safety goal must reach an executed verdict (forward reachability), a
+//! verdict must trace back to a catalog attack (backward reachability),
+//! evidence must anchor to a known attack, supersession chains must be
+//! acyclic, and repeated executions must agree. Each rule builds the
+//! [`TraceGraph`] itself — construction is linear in the artifact count
+//! and keeping rules independent is what makes `--jobs` parallelism
+//! trivially deterministic.
+//!
+//! The execution-facing rules (`SASE016`–`SASE018`, `SASE020`–`SASE024`)
+//! stay silent when the context carries no trace inputs: a purely static
+//! lint run should not drown in `unexecuted` findings for a campaign
+//! that has not run yet.
+
+use saseval_core::ThreatCoverage;
+
+use crate::context::LintContext;
+use crate::diagnostics::{Diagnostic, Level, Locus};
+use crate::graph::{Direction, EdgeKind, NodeKind, TraceGraph, TraceInputs};
+use crate::registry::Rule;
+use crate::rules::artifact::kind;
+
+/// Runs `f` when the context has a catalog and nonempty verdicts.
+fn with_verdicts(ctx: &LintContext<'_>, f: impl FnOnce(&TraceInputs, TraceGraph)) {
+    if let Some(trace) = ctx.trace {
+        if !trace.verdicts.is_empty() {
+            f(trace, TraceGraph::build(ctx));
+        }
+    }
+}
+
+/// Whether the attack node has an executed verdict attached.
+fn executed(graph: &TraceGraph, attack: usize) -> bool {
+    graph.incoming(attack, EdgeKind::Executes).next().is_some()
+}
+
+/// `SASE016`: forward reachability — an ASIL-rated safety goal whose
+/// attack descriptions exist but none of which has an executed verdict.
+/// (A goal with *no* attacks at all is `SASE006`'s finding.)
+pub struct GoalUnvalidated;
+
+impl Rule for GoalUnvalidated {
+    fn code(&self) -> &'static str {
+        "SASE016"
+    }
+    fn name(&self) -> &'static str {
+        "goal-unvalidated"
+    }
+    fn summary(&self) -> &'static str {
+        "safety goal has attack descriptions but no executed verdict validates it"
+    }
+    fn help(&self) -> &'static str {
+        "The validation argument for a safety goal is only as strong as its executed \
+         evidence: an attack description that never ran demonstrates nothing. Execute at \
+         least one test case for one of the goal's attack descriptions, or record why the \
+         goal's validation is deferred."
+    }
+    fn default_level(&self) -> Level {
+        Level::Warn
+    }
+    fn check(&self, ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        let Some(catalog) = ctx.catalog else { return };
+        with_verdicts(ctx, |_, graph| {
+            for goal in catalog.hara.safety_goals() {
+                if catalog.hara.goal_asil(goal).is_none() {
+                    continue;
+                }
+                let Some(node) = graph.node(NodeKind::Goal, goal.id().as_str()) else { continue };
+                let attacks: Vec<usize> = graph.incoming(node, EdgeKind::Addresses).collect();
+                if attacks.is_empty() {
+                    continue; // SASE006's finding
+                }
+                let reached = graph.reachable(
+                    [node],
+                    &[
+                        (EdgeKind::Addresses, Direction::Backward),
+                        (EdgeKind::Executes, Direction::Backward),
+                    ],
+                );
+                if reached.iter().any(|&n| graph.nodes()[n].kind == NodeKind::Verdict) {
+                    continue;
+                }
+                let mut diag = Diagnostic::new(
+                    self.code(),
+                    "no executed verdict validates this safety goal",
+                    Locus::artifact(kind::GOAL, goal.id().as_str()),
+                )
+                .fix("execute a test case for one of the goal's attack descriptions");
+                for attack in attacks {
+                    let id = &graph.nodes()[attack].id;
+                    diag = diag.related(
+                        "addressed by unexecuted attack",
+                        Locus::artifact(kind::ATTACK, id),
+                    );
+                }
+                out.push(diag);
+            }
+        });
+    }
+}
+
+/// `SASE017`: backward reachability — an executed verdict whose attack
+/// ID resolves to no catalog attack description. The evidence exists but
+/// supports nothing.
+pub struct VerdictUntraceable;
+
+impl Rule for VerdictUntraceable {
+    fn code(&self) -> &'static str {
+        "SASE017"
+    }
+    fn name(&self) -> &'static str {
+        "verdict-untraceable"
+    }
+    fn summary(&self) -> &'static str {
+        "executed verdict references an attack description the catalog does not define"
+    }
+    fn help(&self) -> &'static str {
+        "A verdict that traces to no attack description is dead evidence: it cannot appear \
+         in any goal's validation argument. Fix the verdict's attack ID, or add the missing \
+         attack description to the catalog."
+    }
+    fn default_level(&self) -> Level {
+        Level::Deny
+    }
+    fn check(&self, ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        if ctx.catalog.is_none() {
+            return;
+        }
+        with_verdicts(ctx, |_, graph| {
+            for (i, node) in graph.nodes().iter().enumerate() {
+                if node.kind == NodeKind::Verdict
+                    && graph.outgoing(i, EdgeKind::Executes).next().is_none()
+                {
+                    out.push(
+                        Diagnostic::new(
+                            self.code(),
+                            "verdict traces to no attack description in the catalog",
+                            Locus::artifact("executed-verdict", node.id.as_str()),
+                        )
+                        .fix("fix the verdict's attack ID or add the attack description"),
+                    );
+                }
+            }
+        });
+    }
+}
+
+/// `SASE018`: orphan detection — stored reproduction evidence whose link
+/// resolves to no known attack (catalog or DSL declaration).
+pub struct OrphanEvidence;
+
+impl Rule for OrphanEvidence {
+    fn code(&self) -> &'static str {
+        "SASE018"
+    }
+    fn name(&self) -> &'static str {
+        "orphan-evidence"
+    }
+    fn summary(&self) -> &'static str {
+        "stored evidence links to an attack that no catalog or DSL document declares"
+    }
+    fn help(&self) -> &'static str {
+        "Corpus and fuzz evidence earns its keep by reproducing a known attack; an entry \
+         whose link dangles will never be replayed by any campaign. Re-link the entry to an \
+         existing attack description or retire it from the store."
+    }
+    fn default_level(&self) -> Level {
+        Level::Warn
+    }
+    fn check(&self, ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        let Some(trace) = ctx.trace else { return };
+        if trace.evidence.is_empty() {
+            return;
+        }
+        let graph = TraceGraph::build(ctx);
+        for (i, node) in graph.nodes().iter().enumerate() {
+            if node.kind == NodeKind::Evidence
+                && graph.outgoing(i, EdgeKind::Reproduces).next().is_none()
+            {
+                out.push(
+                    Diagnostic::new(
+                        self.code(),
+                        "evidence links to an unknown attack",
+                        Locus::artifact("evidence", node.id.as_str()),
+                    )
+                    .fix("re-link the evidence to a declared attack or remove the entry"),
+                );
+            }
+        }
+    }
+}
+
+/// `SASE019`: cycle detection — justification supersession chains that
+/// loop, so no member is actually current.
+pub struct JustificationCycle;
+
+impl Rule for JustificationCycle {
+    fn code(&self) -> &'static str {
+        "SASE019"
+    }
+    fn name(&self) -> &'static str {
+        "justification-cycle"
+    }
+    fn summary(&self) -> &'static str {
+        "justification supersession chain forms a cycle"
+    }
+    fn help(&self) -> &'static str {
+        "Supersession records which rationale replaced which; a cycle means every member \
+         claims to be replaced and none is current, leaving the justified threats without a \
+         live rationale. Break the cycle so each chain ends in one current justification."
+    }
+    fn default_level(&self) -> Level {
+        Level::Deny
+    }
+    fn check(&self, ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        if ctx.catalog.is_none() {
+            return;
+        }
+        let graph = TraceGraph::build(ctx);
+        for cycle in graph.justification_cycles() {
+            let anchor = &cycle[0];
+            let mut diag = Diagnostic::new(
+                self.code(),
+                format!("supersession cycle of {} justification(s)", cycle.len()),
+                Locus::artifact(kind::JUSTIFICATION, anchor.as_str()),
+            )
+            .fix("break the cycle so the chain ends in one current justification");
+            for member in &cycle[1..] {
+                diag = diag.related(
+                    "member of the same supersession cycle",
+                    Locus::artifact(kind::JUSTIFICATION, member.as_str()),
+                );
+            }
+            out.push(diag);
+        }
+    }
+}
+
+/// `SASE020`: contradiction detection — the same attack configuration
+/// judged both succeeded and failed across executed verdicts.
+pub struct ContradictoryVerdict;
+
+impl Rule for ContradictoryVerdict {
+    fn code(&self) -> &'static str {
+        "SASE020"
+    }
+    fn name(&self) -> &'static str {
+        "contradictory-verdict"
+    }
+    fn summary(&self) -> &'static str {
+        "same attack configuration judged both succeeded and failed"
+    }
+    fn help(&self) -> &'static str {
+        "Execution is deterministic per configuration, so two verdicts for the same attack \
+         and label must agree; a contradiction means the SUT configuration drifted between \
+         runs or stale results were mixed into the campaign. Re-run the configuration and \
+         keep exactly one verdict per (attack, label) pair."
+    }
+    fn default_level(&self) -> Level {
+        Level::Deny
+    }
+    fn check(&self, ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        if ctx.catalog.is_none() {
+            return;
+        }
+        with_verdicts(ctx, |trace, graph| {
+            use std::collections::BTreeMap;
+            // (attack, label) -> (any succeeded, any failed, verdict node ids)
+            let mut groups: BTreeMap<(String, String), (bool, bool, Vec<String>)> = BTreeMap::new();
+            for (position, verdict) in trace.verdicts.iter().enumerate() {
+                let entry = groups
+                    .entry((verdict.attack_id.clone(), verdict.label.clone()))
+                    .or_insert((false, false, Vec::new()));
+                entry.0 |= verdict.attack_succeeded;
+                entry.1 |= !verdict.attack_succeeded;
+                entry.2.push(format!("{}#{}#{position}", verdict.attack_id, verdict.label));
+            }
+            for ((attack, label), (succeeded, failed, members)) in groups {
+                if !(succeeded && failed) {
+                    continue;
+                }
+                // Anchor on the attack when it exists, else the first verdict.
+                let locus = if graph.node(NodeKind::Attack, &attack).is_some() {
+                    Locus::artifact(kind::ATTACK, attack.as_str())
+                } else {
+                    Locus::artifact("executed-verdict", members[0].as_str())
+                };
+                let mut diag = Diagnostic::new(
+                    self.code(),
+                    format!("configuration `{label}` judged both succeeded and failed"),
+                    locus,
+                )
+                .fix("re-run the configuration and keep one verdict per (attack, label)");
+                for member in &members {
+                    diag = diag.related(
+                        "conflicting verdict",
+                        Locus::artifact("executed-verdict", member.as_str()),
+                    );
+                }
+                out.push(diag);
+            }
+        });
+    }
+}
+
+/// `SASE021`: a catalog attack description with neither an executed
+/// verdict nor stored reproduction evidence — declared but never
+/// demonstrated.
+pub struct UnexecutedAttack;
+
+impl Rule for UnexecutedAttack {
+    fn code(&self) -> &'static str {
+        "SASE021"
+    }
+    fn name(&self) -> &'static str {
+        "unexecuted-attack"
+    }
+    fn summary(&self) -> &'static str {
+        "attack description has neither an executed verdict nor stored evidence"
+    }
+    fn help(&self) -> &'static str {
+        "Every attack description is a promise of a test; one that never executed and has \
+         no stored reproduction contributes nothing to the completeness argument. Bind the \
+         description to a test case and run it, or record why it cannot run yet."
+    }
+    fn default_level(&self) -> Level {
+        Level::Warn
+    }
+    fn check(&self, ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        let Some(catalog) = ctx.catalog else { return };
+        with_verdicts(ctx, |_, graph| {
+            for attack in &catalog.attacks {
+                let Some(node) = graph.node(NodeKind::Attack, attack.id().as_str()) else {
+                    continue;
+                };
+                if !executed(&graph, node)
+                    && graph.incoming(node, EdgeKind::Reproduces).next().is_none()
+                {
+                    out.push(
+                        Diagnostic::new(
+                            self.code(),
+                            "attack description was never executed",
+                            Locus::artifact(kind::ATTACK, attack.id().as_str()),
+                        )
+                        .fix("bind the description to a test case and run the campaign"),
+                    );
+                }
+            }
+        });
+    }
+}
+
+/// `SASE022`: a verdict where the attack succeeded without any detection
+/// evidence — the violation was silent, the worst outcome of §III-D.
+pub struct UndetectedViolation;
+
+impl Rule for UndetectedViolation {
+    fn code(&self) -> &'static str {
+        "SASE022"
+    }
+    fn name(&self) -> &'static str {
+        "undetected-violation"
+    }
+    fn summary(&self) -> &'static str {
+        "attack succeeded without detection evidence (silent violation)"
+    }
+    fn help(&self) -> &'static str {
+        "A successful attack the SUT did not even notice violates both the safety goal and \
+         the expectation that deployed measures at least detect what they cannot prevent. \
+         Add or fix the detection path for the attacked interface."
+    }
+    fn default_level(&self) -> Level {
+        Level::Warn
+    }
+    fn check(&self, ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        with_verdicts(ctx, |trace, graph| {
+            for (position, verdict) in trace.verdicts.iter().enumerate() {
+                if !verdict.attack_succeeded || verdict.detected {
+                    continue;
+                }
+                let id = format!("{}#{}#{position}", verdict.attack_id, verdict.label);
+                let mut diag = Diagnostic::new(
+                    self.code(),
+                    format!("attack `{}` succeeded without detection", verdict.attack_id),
+                    Locus::artifact("executed-verdict", id),
+                )
+                .fix("add or fix detection for the attacked interface");
+                for goal in &verdict.violated_goals {
+                    if graph.node(NodeKind::Goal, goal).is_some() {
+                        diag = diag
+                            .related("silently violated goal", Locus::artifact(kind::GOAL, goal));
+                    }
+                }
+                out.push(diag);
+            }
+        });
+    }
+}
+
+/// `SASE023`: deductive coverage classification — a safety goal with
+/// *some* executed and *some* unexecuted attack descriptions. The
+/// goal-driven argument is started but not finished.
+pub struct DeductivePartial;
+
+impl Rule for DeductivePartial {
+    fn code(&self) -> &'static str {
+        "SASE023"
+    }
+    fn name(&self) -> &'static str {
+        "deductive-partial"
+    }
+    fn summary(&self) -> &'static str {
+        "safety goal is only partially validated: some attacks executed, some not"
+    }
+    fn help(&self) -> &'static str {
+        "The deductive argument classifies a goal as validated only when every derived \
+         attack description has been exercised; partial execution leaves the remaining \
+         descriptions as open claims. Execute the remaining attacks or fold their intent \
+         into the executed ones."
+    }
+    fn default_level(&self) -> Level {
+        Level::Warn
+    }
+    fn check(&self, ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        let Some(catalog) = ctx.catalog else { return };
+        with_verdicts(ctx, |_, graph| {
+            for goal in catalog.hara.safety_goals() {
+                let Some(node) = graph.node(NodeKind::Goal, goal.id().as_str()) else { continue };
+                let attacks: Vec<usize> = graph.incoming(node, EdgeKind::Addresses).collect();
+                let (done, open): (Vec<usize>, Vec<usize>) =
+                    attacks.into_iter().partition(|&a| executed(&graph, a));
+                if done.is_empty() || open.is_empty() {
+                    continue;
+                }
+                let mut diag = Diagnostic::new(
+                    self.code(),
+                    format!(
+                        "goal is partially validated: {} of {} attack(s) executed",
+                        done.len(),
+                        done.len() + open.len()
+                    ),
+                    Locus::artifact(kind::GOAL, goal.id().as_str()),
+                )
+                .fix("execute the remaining attack descriptions for the goal");
+                for attack in open {
+                    let id = &graph.nodes()[attack].id;
+                    diag = diag.related("unexecuted attack", Locus::artifact(kind::ATTACK, id));
+                }
+                out.push(diag);
+            }
+        });
+    }
+}
+
+/// `SASE024`: inductive coverage classification — an in-scope threat
+/// whose attack descriptions exist but none of which executed, so the
+/// threat-driven argument has no dynamic confirmation.
+pub struct InductiveUnconfirmed;
+
+impl Rule for InductiveUnconfirmed {
+    fn code(&self) -> &'static str {
+        "SASE024"
+    }
+    fn name(&self) -> &'static str {
+        "inductive-unconfirmed"
+    }
+    fn summary(&self) -> &'static str {
+        "in-scope threat is attacked on paper but no attack for it ever executed"
+    }
+    fn help(&self) -> &'static str {
+        "Inductive completeness counts a threat as covered once an attack description \
+         exists, but the paper's argument is only closed by execution: run one of the \
+         threat's attacks so the coverage claim is backed by a verdict."
+    }
+    fn default_level(&self) -> Level {
+        Level::Warn
+    }
+    fn check(&self, ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        let (Some(library), Some(catalog)) = (ctx.library, ctx.catalog) else { return };
+        with_verdicts(ctx, |_, graph| {
+            let report = saseval_core::inductive_coverage(
+                library,
+                &catalog.scenarios,
+                &catalog.attacks,
+                &catalog.justifications,
+            );
+            for (threat, coverage) in &report.threats {
+                let ThreatCoverage::Attacked(attacks) = coverage else { continue };
+                let unconfirmed = attacks.iter().all(|attack| {
+                    graph
+                        .node(NodeKind::Attack, attack.as_str())
+                        .is_none_or(|node| !executed(&graph, node))
+                });
+                if !unconfirmed {
+                    continue;
+                }
+                let mut diag = Diagnostic::new(
+                    self.code(),
+                    "threat coverage is unconfirmed: no attack for it executed",
+                    Locus::artifact(kind::THREAT, threat.as_str()),
+                )
+                .fix("execute one of the threat's attack descriptions");
+                for attack in attacks {
+                    diag = diag.related(
+                        "unexecuted attack for this threat",
+                        Locus::artifact(kind::ATTACK, attack.as_str()),
+                    );
+                }
+                out.push(diag);
+            }
+        });
+    }
+}

@@ -2,3 +2,4 @@
 
 pub mod artifact;
 pub mod dsl;
+pub mod graph;

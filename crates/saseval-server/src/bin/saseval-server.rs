@@ -1,7 +1,8 @@
 //! Command-line entry points for the campaign server.
 //!
 //! ```text
-//! saseval-server serve --addr 127.0.0.1:7461 [--cache-dir DIR] [--workers N] [--no-prewarm]
+//! saseval-server serve --addr 127.0.0.1:7461 [--cache-dir DIR] [--cache-cap-bytes N]
+//!                [--workers N] [--no-prewarm]
 //! saseval-server submit --addr 127.0.0.1:7461 --job '<json>' [--id ID] [--expect-cache hit|miss]
 //! ```
 //!
@@ -19,7 +20,7 @@ use std::process::ExitCode;
 use saseval_server::{Client, Server, ServerConfig};
 
 fn usage() -> &'static str {
-    "usage:\n  saseval-server serve --addr HOST:PORT [--cache-dir DIR] [--workers N] [--no-prewarm]\n  saseval-server submit --addr HOST:PORT --job JSON [--id ID] [--expect-cache hit|miss]"
+    "usage:\n  saseval-server serve --addr HOST:PORT [--cache-dir DIR] [--cache-cap-bytes N] [--workers N] [--no-prewarm]\n  saseval-server submit --addr HOST:PORT --job JSON [--id ID] [--expect-cache hit|miss]"
 }
 
 fn resolve(addr: &str) -> Result<SocketAddr, String> {
@@ -37,6 +38,14 @@ fn serve(args: &[String]) -> Result<(), String> {
             "--addr" => config.addr = it.next().ok_or("--addr needs a value")?.clone(),
             "--cache-dir" => {
                 config.cache_dir = Some(it.next().ok_or("--cache-dir needs a value")?.into());
+            }
+            "--cache-cap-bytes" => {
+                config.cache_cap_bytes = Some(
+                    it.next()
+                        .ok_or("--cache-cap-bytes needs a value")?
+                        .parse()
+                        .map_err(|e| format!("invalid --cache-cap-bytes: {e}"))?,
+                );
             }
             "--workers" => {
                 config.workers = it

@@ -22,6 +22,16 @@
 //! as a miss and the entry is removed (counted under
 //! [`CacheStats::corrupt`]), so a corrupted store degrades to
 //! recomputation instead of serving bad bytes.
+//!
+//! With [`ResultCache::with_disk_cap`], the disk tier enforces a byte
+//! cap on payload bytes: after each insert, whole entries are removed
+//! oldest-first (by a monotonic insertion sequence persisted in the
+//! sidecar) until the store fits. Eviction removes the sidecar before
+//! the payload, so an interrupted eviction leaves an unreferenced
+//! payload file — never a referenced-but-missing one. The newest entry
+//! is always kept, so a single payload larger than the cap still
+//! caches; the cap is a bound on steady-state growth, not a hard
+//! invariant.
 
 use std::collections::VecDeque;
 use std::fs;
@@ -65,6 +75,8 @@ pub struct CacheStats {
     pub misses: AtomicU64,
     /// On-disk entries rejected (hash/version mismatch) and removed.
     pub corrupt: AtomicU64,
+    /// On-disk entries removed by the byte-cap eviction.
+    pub evicted: AtomicU64,
 }
 
 /// Sidecar metadata stored next to each on-disk payload.
@@ -78,6 +90,11 @@ struct DiskMeta {
     payload_hash: String,
     /// Code-version fingerprint that produced the payload.
     code_version: String,
+    /// Monotonic insertion sequence; drives oldest-first eviction.
+    /// Absent in stores written before the cap existed (treated as
+    /// oldest).
+    #[serde(default)]
+    seq: u64,
 }
 
 /// In-memory LRU over payload bytes. Recency is the deque order
@@ -116,6 +133,11 @@ impl Lru {
 pub struct ResultCache {
     mem: Mutex<Lru>,
     disk: Option<PathBuf>,
+    /// Payload-byte cap for the disk tier; `None` = unbounded.
+    disk_cap: Option<u64>,
+    /// Next insertion sequence number, resumed past any sequence
+    /// already on disk so restarts keep evicting oldest-first.
+    seq: AtomicU64,
     version: String,
     /// Hit/miss counters.
     pub stats: CacheStats,
@@ -136,12 +158,22 @@ impl ResultCache {
     /// [`ResultCache::new`] under an explicit code-version fingerprint
     /// (tests use this to prove version isolation).
     pub fn with_version(mem_capacity: usize, disk: Option<PathBuf>, version: String) -> Self {
+        let seq = AtomicU64::new(next_seq(disk.as_deref()));
         ResultCache {
             mem: Mutex::new(Lru { entries: VecDeque::new(), capacity: mem_capacity.max(1) }),
             disk,
+            disk_cap: None,
+            seq,
             version,
             stats: CacheStats::default(),
         }
+    }
+
+    /// Caps the disk tier at `cap` payload bytes (see the module docs
+    /// for the eviction policy); `None` leaves it unbounded.
+    pub fn with_disk_cap(mut self, cap: Option<u64>) -> Self {
+        self.disk_cap = cap;
+        self
     }
 
     fn mem(&self) -> std::sync::MutexGuard<'_, Lru> {
@@ -213,6 +245,7 @@ impl ResultCache {
             len: payload.len(),
             payload_hash: content_hash(payload),
             code_version: self.version.clone(),
+            seq: self.seq.fetch_add(1, Ordering::Relaxed),
         };
         let json = serde_json::to_string_pretty(&meta)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
@@ -221,8 +254,59 @@ impl ResultCache {
         // unreferenced payload file, not a torn entry.
         write_atomic(dir, &format!("{stem}.bin"), payload)?;
         write_atomic(dir, &format!("{stem}.json"), json.as_bytes())?;
+        self.evict(dir);
         Ok(())
     }
+
+    /// Enforces the disk byte cap: removes whole entries oldest-first
+    /// until the payload bytes fit, always keeping the newest entry.
+    /// Sidecar first, then payload — an interrupted eviction leaves an
+    /// unreferenced payload file, never a served-but-missing one.
+    fn evict(&self, dir: &Path) {
+        let Some(cap) = self.disk_cap else { return };
+        let mut entries = sidecar_metas(dir);
+        let mut total: u64 = entries.iter().map(|(_, _, len)| len).sum();
+        // Oldest sequence first; the stem breaks pre-cap-era ties
+        // deterministically.
+        entries.sort();
+        let mut oldest = entries.into_iter().peekable();
+        while total > cap {
+            let Some((_, stem, len)) = oldest.next() else { break };
+            if oldest.peek().is_none() {
+                break; // never evict the entry just written
+            }
+            let _ = fs::remove_file(dir.join(format!("{stem}.json")));
+            let _ = fs::remove_file(dir.join(format!("{stem}.bin")));
+            self.stats.evicted.fetch_add(1, Ordering::Relaxed);
+            total = total.saturating_sub(len);
+        }
+    }
+}
+
+/// All parseable sidecars in `dir` as `(seq, stem, payload_len)`.
+/// Unparsable sidecars are skipped (the verified read path removes
+/// them); orphan payload files are ignored — a payload without a
+/// sidecar is also the transient state of an in-flight insert, so
+/// sweeping them here would race the writer.
+fn sidecar_metas(dir: &Path) -> Vec<(u64, String, u64)> {
+    let Ok(read) = fs::read_dir(dir) else { return Vec::new() };
+    read.flatten()
+        .filter_map(|entry| {
+            let path = entry.path();
+            if path.extension().and_then(|e| e.to_str()) != Some("json") {
+                return None;
+            }
+            let meta: DiskMeta = serde_json::from_str(&fs::read_to_string(&path).ok()?).ok()?;
+            Some((meta.seq, meta.key, meta.len as u64))
+        })
+        .collect()
+}
+
+/// The first unused insertion sequence of an existing store (0 for a
+/// missing or empty directory).
+fn next_seq(dir: Option<&Path>) -> u64 {
+    let Some(dir) = dir else { return 0 };
+    sidecar_metas(dir).into_iter().map(|(seq, _, _)| seq).max().map_or(0, |max| max + 1)
 }
 
 fn write_atomic(dir: &Path, name: &str, bytes: &[u8]) -> io::Result<()> {
@@ -293,6 +377,49 @@ mod tests {
         let new = ResultCache::with_version(1, Some(dir.clone()), "v-new".to_owned());
         assert_eq!(new.get(7), None);
         assert_eq!(new.stats.corrupt.load(Ordering::Relaxed), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn disk_cap_evicts_oldest_first_past_the_cap() {
+        let dir = temp_dir();
+        // Cap fits two 16-byte payloads; the third insert evicts the
+        // oldest. Memory tier is 1 entry so lookups must go to disk.
+        let cache = ResultCache::new(1, Some(dir.clone())).with_disk_cap(Some(40));
+        cache.insert(1, &[1u8; 16]);
+        cache.insert(2, &[2u8; 16]);
+        cache.insert(3, &[3u8; 16]);
+        assert_eq!(cache.stats.evicted.load(Ordering::Relaxed), 1);
+        assert_eq!(cache.get(1), None, "oldest entry was evicted");
+        assert_eq!(cache.get(3).map(|(_, tier)| tier), Some(CacheTier::Memory));
+        assert_eq!(cache.get(2), Some(([2u8; 16].to_vec(), CacheTier::Disk)));
+        // Surviving entries still verify after eviction ran.
+        assert_eq!(cache.stats.corrupt.load(Ordering::Relaxed), 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn oversized_newest_entry_is_kept_and_restarts_resume_the_sequence() {
+        let dir = temp_dir();
+        let cache = ResultCache::new(1, Some(dir.clone())).with_disk_cap(Some(40));
+        cache.insert(1, &[1u8; 16]);
+        cache.insert(2, &[2u8; 16]);
+        // A single payload over the cap evicts everything older but is
+        // itself retained: the cap bounds growth, it never makes the
+        // cache refuse the result that was just computed.
+        cache.insert(9, &[9u8; 100]);
+        assert_eq!(cache.stats.evicted.load(Ordering::Relaxed), 2);
+        drop(cache);
+
+        // A fresh cache resumes the insertion sequence past the
+        // surviving entry, so the pre-restart entry goes first.
+        let fresh = ResultCache::new(1, Some(dir.clone())).with_disk_cap(Some(40));
+        assert_eq!(fresh.get(9), Some(([9u8; 100].to_vec(), CacheTier::Disk)));
+        fresh.insert(10, &[10u8; 16]);
+        assert_eq!(fresh.get(10).map(|(_, tier)| tier), Some(CacheTier::Memory));
+        // 9 was evicted on disk and 10 displaced it from the 1-entry
+        // memory tier, so it is gone entirely.
+        assert_eq!(fresh.get(9), None);
         fs::remove_dir_all(&dir).unwrap();
     }
 

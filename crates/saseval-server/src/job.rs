@@ -29,6 +29,9 @@
 use attack_engine::builtin;
 use attack_engine::campaign::CampaignReport;
 use attack_engine::executor::TestCase;
+use saseval_core::catalog::{use_case_1, use_case_2, UseCaseCatalog};
+use saseval_lint::{Diagnostic, LintContext, TraceGraph};
+use saseval_threat::builtin::automotive_library;
 use saseval_types::hash::{fnv1a64, fnv1a64_extend};
 use saseval_types::{Ftti, SimTime};
 use serde::{Deserialize, Serialize};
@@ -42,7 +45,9 @@ use saseval_fuzz::fuzzer::FuzzReport;
 /// any change that can alter a payload for an unchanged spec — the
 /// fingerprint is part of every cache key, so old entries become
 /// unreachable instead of stale.
-pub const RESULT_CONTRACT: u32 = 1;
+///
+/// Contract 2: the `Lint` job type and its `LintOutcome` payload.
+pub const RESULT_CONTRACT: u32 = 2;
 
 /// The code-version fingerprint chained into every cache key: crate
 /// version plus [`RESULT_CONTRACT`].
@@ -282,14 +287,84 @@ pub struct CampaignJob {
     pub seed: u64,
 }
 
+/// A built-in artifact catalog, addressable over the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CatalogName {
+    /// Use Case I: autonomous driving past a construction site.
+    UseCase1,
+    /// Use Case II: keyless car opener.
+    UseCase2,
+}
+
+impl CatalogName {
+    /// The test-case ID prefix tagging this catalog's campaign results.
+    pub fn tag(self) -> &'static str {
+        match self {
+            CatalogName::UseCase1 => "UC1",
+            CatalogName::UseCase2 => "UC2",
+        }
+    }
+
+    /// Builds the catalog.
+    pub fn catalog(self) -> UseCaseCatalog {
+        match self {
+            CatalogName::UseCase1 => use_case_1(),
+            CatalogName::UseCase2 => use_case_2(),
+        }
+    }
+}
+
+/// A static-analysis job: run the full lint rule set — including the
+/// trace-graph rules SASE016–024 — over a built-in catalog, optionally
+/// executing a campaign suite first so the graph rules see real
+/// verdicts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LintJob {
+    /// Which built-in catalog to analyze.
+    pub catalog: CatalogName,
+    /// Campaign suite whose results feed the trace graph as executed
+    /// verdicts; `None` runs the analysis purely statically.
+    #[serde(default)]
+    pub suite: Option<SuiteName>,
+    /// Trace-graph fingerprint of the analyzed artifacts; 0 → computed
+    /// from the built-in catalog during normalization. Chained into
+    /// the cache key, so a change to the artifact *content* re-keys
+    /// every lint job even within one code version — the incremental
+    /// re-analysis contract.
+    #[serde(default)]
+    pub artifacts: u64,
+}
+
+impl LintJob {
+    /// The job with the artifact fingerprint resolved.
+    pub fn normalized(self) -> LintJob {
+        if self.artifacts != 0 {
+            return self;
+        }
+        LintJob { artifacts: self.artifact_fingerprint(), ..self }
+    }
+
+    /// The static trace-graph fingerprint of the catalog under the
+    /// built-in threat library (no verdicts — those are covered by the
+    /// `suite` field plus the code version).
+    fn artifact_fingerprint(self) -> u64 {
+        let library = automotive_library();
+        let catalog = self.catalog.catalog();
+        let ctx = LintContext::for_catalog(&library, &catalog);
+        TraceGraph::build(&ctx).fingerprint()
+    }
+}
+
 /// One validation job, as carried on the wire (externally tagged:
-/// `{"Fuzz": {...}}` or `{"Campaign": {...}}`).
+/// `{"Fuzz": {...}}`, `{"Campaign": {...}}` or `{"Lint": {...}}`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum JobSpec {
     /// Protocol fuzzing against a demonstrator world.
     Fuzz(FuzzJob),
     /// A built-in attack campaign suite.
     Campaign(CampaignJob),
+    /// Trace-graph static analysis of a built-in catalog.
+    Lint(LintJob),
 }
 
 impl JobSpec {
@@ -305,6 +380,7 @@ impl JobSpec {
                 batch: if job.batch == 0 { 16 } else { job.batch },
             }),
             JobSpec::Campaign(job) => JobSpec::Campaign(job),
+            JobSpec::Lint(job) => JobSpec::Lint(job.normalized()),
         }
     }
 
@@ -336,6 +412,20 @@ impl JobSpec {
     }
 }
 
+/// The deterministic result of a [`JobSpec::Lint`] job.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LintOutcome {
+    /// 16-hex trace-graph fingerprint of the analyzed artifact graph,
+    /// including executed verdicts when a suite ran.
+    pub fingerprint: String,
+    /// Error-severity findings.
+    pub errors: usize,
+    /// Warning-severity findings.
+    pub warnings: usize,
+    /// The findings, in the lint report's stable order.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
 /// The deterministic result of a job — exactly what the cache stores
 /// (serialized) and what a `done` frame carries.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -344,6 +434,8 @@ pub enum JobPayload {
     Fuzz(FuzzReport),
     /// Result of a [`JobSpec::Campaign`] job.
     Campaign(CampaignReport),
+    /// Result of a [`JobSpec::Lint`] job.
+    Lint(LintOutcome),
 }
 
 impl JobPayload {
@@ -424,6 +516,43 @@ mod tests {
         ] {
             assert!(!suite.cases().is_empty());
         }
+    }
+
+    #[test]
+    fn lint_normalization_resolves_the_artifact_fingerprint() {
+        let parsed: JobSpec = serde_json::from_str(r#"{"Lint":{"catalog":"UseCase2"}}"#).unwrap();
+        let JobSpec::Lint(job) = parsed else { panic!("lint spec") };
+        assert_eq!(job, LintJob { catalog: CatalogName::UseCase2, suite: None, artifacts: 0 });
+        let JobSpec::Lint(normalized) = parsed.normalized() else { panic!("lint spec") };
+        assert_ne!(normalized.artifacts, 0, "fingerprint is filled in");
+        // Idempotent: a filled fingerprint is left alone.
+        assert_eq!(normalized.normalized(), normalized);
+        // A spelled-out fingerprint matching the computed one shares the key.
+        let spelled = JobSpec::Lint(LintJob { artifacts: normalized.artifacts, ..job });
+        assert_eq!(spelled.cache_key(), parsed.cache_key());
+    }
+
+    #[test]
+    fn lint_keys_separate_catalogs_suites_and_artifacts() {
+        let base =
+            JobSpec::Lint(LintJob { catalog: CatalogName::UseCase1, suite: None, artifacts: 0 });
+        let other_catalog =
+            JobSpec::Lint(LintJob { catalog: CatalogName::UseCase2, suite: None, artifacts: 0 });
+        assert_ne!(base.cache_key(), other_catalog.cache_key());
+        let with_suite = JobSpec::Lint(LintJob {
+            catalog: CatalogName::UseCase1,
+            suite: Some(SuiteName::Ad20),
+            artifacts: 0,
+        });
+        assert_ne!(base.cache_key(), with_suite.cache_key());
+        // A different artifact fingerprint (changed catalog content)
+        // re-keys the job within the same code version.
+        let other_artifacts = JobSpec::Lint(LintJob {
+            catalog: CatalogName::UseCase1,
+            suite: None,
+            artifacts: 0xDEAD_BEEF,
+        });
+        assert_ne!(base.cache_key(), other_artifacts.cache_key());
     }
 
     #[test]

@@ -15,7 +15,8 @@
 //!   never be served across code changes.
 //! * [`cache`] — a two-tier content-addressed store
 //!   ([`cache::ResultCache`]): in-memory LRU in front of an optional
-//!   verified on-disk tier with atomic (temp + rename) writes.
+//!   verified on-disk tier with atomic (temp + rename) writes and an
+//!   optional byte cap evicting whole entries oldest-first.
 //! * [`worker`] — a warm pool ([`worker::WorkerPool`]) that keeps
 //!   forked [`vehicle_sim::WorldSnapshot`] prefixes of the demonstrator
 //!   worlds resident ([`worker::SnapshotStore`]), so jobs resume from a
@@ -40,8 +41,8 @@ pub mod worker;
 
 pub use cache::{CacheStats, CacheTier, ResultCache};
 pub use job::{
-    code_version, CampaignJob, ControlsPreset, FuzzJob, JobPayload, JobSpec, ScenarioSpec,
-    SuiteName,
+    code_version, CampaignJob, CatalogName, ControlsPreset, FuzzJob, JobPayload, JobSpec, LintJob,
+    LintOutcome, ScenarioSpec, SuiteName,
 };
 pub use server::{Client, JobOutcome, Server, ServerConfig};
 pub use worker::{FreshStats, JobEvent, QueuedJob, SnapshotStore, WorkerPool};

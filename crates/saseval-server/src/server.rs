@@ -61,6 +61,9 @@ pub struct ServerConfig {
     pub mem_capacity: usize,
     /// On-disk cache directory; `None` disables the disk tier.
     pub cache_dir: Option<PathBuf>,
+    /// Byte cap on the disk tier's payload bytes; entries are evicted
+    /// oldest-first past it. `None` leaves the tier unbounded.
+    pub cache_cap_bytes: Option<u64>,
     /// Whether to freeze the two default demonstrator prefixes at
     /// startup so the first job on either is already warm.
     pub prewarm: bool,
@@ -73,6 +76,7 @@ impl Default for ServerConfig {
             workers: 2,
             mem_capacity: 128,
             cache_dir: None,
+            cache_cap_bytes: None,
             prewarm: true,
         }
     }
@@ -123,7 +127,10 @@ impl Server {
     pub fn start(config: ServerConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
-        let cache = Arc::new(ResultCache::new(config.mem_capacity, config.cache_dir));
+        let cache = Arc::new(
+            ResultCache::new(config.mem_capacity, config.cache_dir)
+                .with_disk_cap(config.cache_cap_bytes),
+        );
         let snapshots = Arc::new(SnapshotStore::new());
         if config.prewarm {
             snapshots.prewarm_defaults();
@@ -312,6 +319,7 @@ fn stats_frame(state: &ServerState) -> String {
         ("cache_disk_hits", JsonValue::U64(stats.disk_hits.load(Ordering::Relaxed))),
         ("cache_misses", JsonValue::U64(stats.misses.load(Ordering::Relaxed))),
         ("cache_corrupt", JsonValue::U64(stats.corrupt.load(Ordering::Relaxed))),
+        ("cache_evicted", JsonValue::U64(stats.evicted.load(Ordering::Relaxed))),
     ])
 }
 
@@ -538,6 +546,20 @@ mod tests {
         assert_eq!(str_field(&stats, "event"), Some("stats"));
         assert!(map_field(&stats, "cache_misses").is_some());
 
+        server.shutdown();
+        server.join();
+    }
+
+    #[test]
+    fn lint_job_cache_hits_on_resubmission() {
+        let server = start_test_server();
+        let mut client = Client::connect(&server.addr()).unwrap();
+        let job = r#"{"Lint":{"catalog":"UseCase2"}}"#;
+        let first = client.submit("l1", job).unwrap();
+        assert_eq!(first.cache, "miss");
+        let second = client.submit("l2", job).unwrap();
+        assert_eq!(second.cache, "memory");
+        assert_eq!(first.payload_json, second.payload_json, "cached lint result is identical");
         server.shutdown();
         server.join();
     }

@@ -32,8 +32,12 @@ use vehicle_sim::construction::ConstructionWorld;
 use vehicle_sim::keyless::KeylessWorld;
 use vehicle_sim::WorldSnapshot;
 
+use saseval_lint::graph::campaign_verdicts;
+use saseval_lint::{run_lint, LintConfig, LintContext, TraceGraph, TraceInputs};
+use saseval_threat::builtin::automotive_library;
+
 use crate::cache::{CacheTier, ResultCache};
-use crate::job::{CampaignJob, FuzzJob, JobPayload, JobSpec, ScenarioSpec};
+use crate::job::{CampaignJob, FuzzJob, JobPayload, JobSpec, LintJob, LintOutcome, ScenarioSpec};
 
 /// A warm world prefix resident in the [`SnapshotStore`].
 #[derive(Debug, Clone)]
@@ -158,13 +162,41 @@ fn run_campaign_job(job: CampaignJob, obs: &Obs) -> JobPayload {
     JobPayload::Campaign(run_campaign_batched_with_obs(&cases, obs))
 }
 
+fn run_lint_job(job: LintJob, obs: &Obs) -> JobPayload {
+    let library = automotive_library();
+    let catalog = job.catalog.catalog();
+    // A suite, when given, is executed first so the trace-graph rules
+    // see real verdicts; its results are mapped into catalog-local
+    // attack IDs exactly as the lint CLI does.
+    let trace = job.suite.map(|suite| {
+        let results = attack_engine::execute_batch(&suite.cases());
+        TraceInputs {
+            verdicts: campaign_verdicts(&results, job.catalog.tag()),
+            evidence: Vec::new(),
+        }
+    });
+    let mut ctx = LintContext::for_catalog(&library, &catalog);
+    if let Some(trace) = &trace {
+        ctx = ctx.with_trace(trace);
+    }
+    let report = run_lint(&ctx, &LintConfig::new(), obs);
+    JobPayload::Lint(LintOutcome {
+        fingerprint: format!("{:016x}", TraceGraph::build(&ctx).fingerprint()),
+        errors: report.errors(),
+        warnings: report.warnings(),
+        diagnostics: report.diagnostics,
+    })
+}
+
 /// Executes `spec` to its deterministic payload. Fuzz jobs fork from
 /// the store's resident warm prefix; campaign jobs run the attack
-/// engine's lockstep batch executor. Metrics land on `obs`.
+/// engine's lockstep batch executor; lint jobs run the trace-graph
+/// static analysis. Metrics land on `obs`.
 pub fn run_job(spec: JobSpec, snapshots: &SnapshotStore, obs: &Obs) -> JobPayload {
     match spec.normalized() {
         JobSpec::Fuzz(job) => run_fuzz_job(job, snapshots, obs),
         JobSpec::Campaign(job) => run_campaign_job(job, obs),
+        JobSpec::Lint(job) => run_lint_job(job, obs),
     }
 }
 
@@ -395,6 +427,23 @@ mod tests {
         let JobPayload::Campaign(ref report) = payload else { panic!("campaign payload") };
         assert_eq!(report.total(), SuiteName::Jamming.cases().len());
         let again = run_job(spec, &SnapshotStore::new(), &Obs::noop());
+        assert_eq!(payload.to_bytes(), again.to_bytes());
+    }
+
+    #[test]
+    fn lint_job_is_deterministic_and_error_free_on_builtins() {
+        use crate::job::{CatalogName, LintJob};
+        let spec = JobSpec::Lint(LintJob {
+            catalog: CatalogName::UseCase2,
+            suite: Some(SuiteName::Ad08),
+            artifacts: 0,
+        });
+        let snapshots = SnapshotStore::new();
+        let payload = run_job(spec, &snapshots, &Obs::noop());
+        let JobPayload::Lint(ref outcome) = payload else { panic!("lint payload") };
+        assert_eq!(outcome.errors, 0, "built-in catalogs analyze clean: {:?}", outcome.diagnostics);
+        assert_eq!(outcome.fingerprint.len(), 16);
+        let again = run_job(spec, &snapshots, &Obs::noop());
         assert_eq!(payload.to_bytes(), again.to_bytes());
     }
 

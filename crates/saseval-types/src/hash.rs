@@ -43,6 +43,18 @@ pub fn content_hash(bytes: &[u8]) -> String {
     format!("{:016x}", fnv1a64(bytes))
 }
 
+/// FNV-1a 64-bit hash of a value's canonical JSON serialization.
+///
+/// The vendored `serde_json` serializes struct fields in declaration
+/// order and map keys in `BTreeMap` order, so equal values always hash
+/// equal — the property the trace-graph analyzer relies on to give
+/// every artifact node a stable content address for incremental
+/// re-analysis and cache keying.
+pub fn stable_hash<T: serde::Serialize>(value: &T) -> u64 {
+    let json = serde_json::to_string(value).expect("hashable values always serialize");
+    fnv1a64(json.as_bytes())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -66,5 +78,14 @@ mod tests {
         let chained = fnv1a64_extend(fnv1a64(b"campaign"), b"-key");
         assert_eq!(whole, chained);
         assert_eq!(fnv1a64_extend(FNV_OFFSET_BASIS, b"xyz"), fnv1a64(b"xyz"));
+    }
+
+    #[test]
+    fn stable_hash_matches_json_hash_and_separates_values() {
+        let hash = stable_hash(&("SG01", 7u32));
+        assert_eq!(hash, fnv1a64(br#"["SG01",7]"#));
+        assert_ne!(stable_hash(&("SG01", 7u32)), stable_hash(&("SG01", 8u32)));
+        // Repeatable: the canonical serialization never drifts.
+        assert_eq!(hash, stable_hash(&("SG01", 7u32)));
     }
 }

@@ -95,4 +95,20 @@ cargo run -q -p saseval-lint -- --use-cases
 echo "==> saseval-lint examples/*.sasedsl"
 cargo run -q -p saseval-lint -- examples/*.sasedsl
 
+echo "==> saseval-lint --trace-report: campaign analysis is error-free and deterministic"
+LINT_OUT="$(mktemp -d)"
+trap 'rm -rf "$LINT_OUT"' EXIT
+# Zero deny findings over the built-in catalogs (with executed verdicts)
+# and the example documents, twice; the two report trees must match byte
+# for byte — the analyzer's determinism contract.
+cargo run -q --release -p saseval-lint -- --use-cases examples/*.sasedsl \
+  --trace-report "$LINT_OUT/first" > /dev/null
+cargo run -q --release -p saseval-lint -- --use-cases examples/*.sasedsl \
+  --trace-report "$LINT_OUT/second" > /dev/null
+diff -r "$LINT_OUT/first" "$LINT_OUT/second"
+test -s "$LINT_OUT/first/trace.sarif"
+rm -rf "$LINT_OUT"
+trap - EXIT
+echo "    two trace-report runs are byte-identical"
+
 echo "All checks passed."

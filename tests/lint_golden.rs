@@ -18,8 +18,8 @@ use saseval::core::catalog::UseCaseCatalog;
 use saseval::core::{AttackDescription, Justification};
 use saseval::hara::{Hara, HazardRating, ItemFunction, SafetyGoal};
 use saseval::lint::{
-    registry, render_json, render_text, run_lint, LintConfig, LintContext, LintReport,
-    SourceDocument,
+    registry, render_json, render_text, run_lint, EvidenceRecord, LintConfig, LintContext,
+    LintReport, SourceDocument, TraceInputs, VerdictRecord,
 };
 use saseval::obs::Obs;
 use saseval::threat::{Asset, ThreatLibrary, ThreatScenario};
@@ -130,6 +130,116 @@ fn seeded_catalog() -> UseCaseCatalog {
     }
 }
 
+/// A library for the trace-graph run: `TS-P`/`TS-Q`/`TS-R` are attacked,
+/// `TS-S`/`TS-T` are justified by a mutually-superseding pair (the
+/// seeded `SASE019` cycle).
+fn trace_library() -> ThreatLibrary {
+    let mut library = ThreatLibrary::new();
+    library
+        .add_asset(Asset::builder("NET", "bus").group(AssetGroup::Hardware).build().unwrap())
+        .unwrap();
+    for (id, description, tt) in [
+        ("TS-P", "spoofed control frames", ThreatType::Spoofing),
+        ("TS-Q", "bus flooding", ThreatType::DenialOfService),
+        ("TS-R", "tampered configuration", ThreatType::Tampering),
+        ("TS-S", "replayed diagnostics", ThreatType::Repudiation),
+        ("TS-T", "leaked session keys", ThreatType::InformationDisclosure),
+    ] {
+        library
+            .add_threat_scenario(
+                ThreatScenario::builder(id, description, tt).asset("NET").build().unwrap(),
+            )
+            .unwrap();
+    }
+    library
+}
+
+/// A statically-clean catalog whose *execution* record is seeded so
+/// every graph rule (`SASE016`–`SASE024`) fires exactly once when
+/// paired with [`trace_inputs`].
+fn trace_catalog() -> UseCaseCatalog {
+    let mut hara = Hara::new("seeded trace item");
+    hara.add_function(ItemFunction::new("F1", "drive").unwrap()).unwrap();
+    for (id, mode) in
+        [("R1", FailureMode::No), ("R2", FailureMode::Unintended), ("R3", FailureMode::TooLate)]
+    {
+        hara.add_rating(
+            HazardRating::builder(id, "F1", mode)
+                .hazard("loss of control")
+                .rate(Severity::S3, Exposure::E3, Controllability::C3)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+    }
+    for (id, rating) in [("SG11", "R1"), ("SG12", "R2"), ("SG13", "R3")] {
+        hara.add_safety_goal(
+            SafetyGoal::builder(id, "goal")
+                .covers(rating)
+                .ftti(Ftti::from_millis(500))
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+    }
+    let attacks = vec![
+        // SG11's only attack, reproduced by evidence but never executed
+        // — SASE016 (goal) + SASE024 (TS-P).
+        attack("AD11", "SG11", "TS-P", ThreatType::Spoofing, AttackType::FakeMessages),
+        // Executed (succeeded, undetected — SASE022).
+        attack("AD12", "SG12", "TS-Q", ThreatType::DenialOfService, AttackType::Jamming),
+        // Neither executed nor reproduced — SASE021; splits SG12 — SASE023.
+        attack("AD13", "SG12", "TS-Q", ThreatType::DenialOfService, AttackType::Disable),
+        // Executed with contradictory verdicts — SASE020.
+        attack("AD14", "SG13", "TS-R", ThreatType::Tampering, AttackType::Manipulate),
+    ];
+    let justifications = vec![
+        // SASE019: TS-S and TS-T supersede each other.
+        Justification::new("TS-S", "replay handled by gateway filtering")
+            .unwrap()
+            .superseded_by("TS-T")
+            .unwrap(),
+        Justification::new("TS-T", "keys rotate per drive cycle")
+            .unwrap()
+            .superseded_by("TS-S")
+            .unwrap(),
+    ];
+    UseCaseCatalog {
+        name: "seeded-trace-defects".to_owned(),
+        hara,
+        scenarios: Vec::new(),
+        attacks,
+        justifications,
+    }
+}
+
+/// The seeded dynamic inputs for [`trace_catalog`]: an untraceable
+/// verdict (`SASE017`), orphan evidence (`SASE018`), a contradictory
+/// pair on `AD14` (`SASE020`) and an undetected success on `AD12`
+/// (`SASE022`).
+fn trace_inputs() -> TraceInputs {
+    let verdict =
+        |attack_id: &str, label: &str, ok: bool, detected: bool, goals: &[&str]| VerdictRecord {
+            attack_id: attack_id.to_owned(),
+            label: label.to_owned(),
+            attack_succeeded: ok,
+            detected,
+            violated_goals: goals.iter().map(|g| (*g).to_owned()).collect(),
+        };
+    TraceInputs {
+        verdicts: vec![
+            verdict("AD12", "flood", true, false, &["SG12"]),
+            verdict("AD14", "defended", false, true, &[]),
+            verdict("AD14", "defended", true, true, &["SG13"]),
+            verdict("AD99", "ghost", false, false, &[]),
+        ],
+        evidence: vec![
+            EvidenceRecord { source: "corpus".into(), id: "E1".into(), link: "AD11".into() },
+            EvidenceRecord { source: "corpus".into(), id: "E2".into(), link: "AD-GONE".into() },
+        ],
+    }
+}
+
 fn fixture_documents() -> Vec<SourceDocument> {
     let path = Path::new(env!("CARGO_MANIFEST_DIR")).join(FIXTURE);
     let source = std::fs::read_to_string(path).unwrap();
@@ -144,12 +254,18 @@ fn seeded_reports() -> Vec<(String, LintReport)> {
     let documents = fixture_documents();
     let obs = Obs::noop();
     let config = LintConfig::new();
+    let graph_library = trace_library();
+    let graph_catalog = trace_catalog();
+    let graph_trace = trace_inputs();
+    let graph_ctx =
+        LintContext::for_catalog(&graph_library, &graph_catalog).with_trace(&graph_trace);
     vec![
         (
             catalog.name.clone(),
             run_lint(&LintContext::for_catalog(&library, &catalog), &config, &obs),
         ),
         (FIXTURE.to_owned(), run_lint(&LintContext::for_documents(&documents), &config, &obs)),
+        (graph_catalog.name.clone(), run_lint(&graph_ctx, &config, &obs)),
     ]
 }
 

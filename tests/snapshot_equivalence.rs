@@ -104,7 +104,7 @@ proptest! {
         while fork.step(&mut ()) {}
 
         prop_assert_eq!(fork.trace(), &reference_trace);
-        prop_assert_eq!(json(&fork.into_outcome()), reference_outcome.clone());
+        prop_assert_eq!(json(&fork.into_outcome()), reference_outcome.as_str());
 
         // The frozen prefix never advanced, and a second fork replays
         // identically to the first.
