@@ -121,18 +121,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Campaign server: cold vs warm vs cached latency over the TCP
-    // protocol and jobs/sec under concurrent clients (the ISSUE 7
-    // acceptance export — cached repeats must be >= 100x faster than a
-    // cold run).
+    // protocol, the 1/4/16/64-client serial-vs-pipelined cached sweep,
+    // and the single-flight coalescing burst (the ISSUE 7 acceptance
+    // export — cached repeats must be >= 100x faster than a cold run —
+    // extended by ISSUE 9's concurrency grid).
     let server = saseval_bench::server_bench::measure_server(65_536);
     let json = serde_json::to_string_pretty(&server)?;
     let path = out_dir.join("BENCH_server.json");
     fs::write(&path, &json)?;
     println!(
-        "wrote {} (cold {:.3}s, cached-memory speedup {:.0}x)",
+        "wrote {} (cold {:.3}s, cached-memory speedup {:.0}x, burst {} exec / {} req)",
         path.display(),
         server.latency[0].seconds,
-        server.cached_speedup_vs_cold
+        server.cached_speedup_vs_cold,
+        server.coalescing.executions,
+        server.coalescing.requests
     );
     Ok(())
 }

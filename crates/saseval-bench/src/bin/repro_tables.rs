@@ -7,6 +7,7 @@
 //! cargo run -p saseval-bench --bin repro_tables --fuzz-shards 4  # sharded fuzzing
 //! cargo run -p saseval-bench --bin repro_tables --fuzz-batch 64  # batched fuzzing
 //! cargo run -p saseval-bench --bin repro_tables --replay-corpus tests/fixtures/corpus
+//! cargo run -p saseval-bench --bin repro_tables --server-floor BENCH_server.json
 //! cargo run -p saseval-bench --bin repro_tables --list
 //! ```
 //!
@@ -14,9 +15,17 @@
 //! the regression corpus at `DIR` against the current built-in model
 //! oracles and exits non-zero on any regression (or corpus corruption),
 //! without running the experiments.
+//!
+//! `--server-floor FILE` is a standalone regression guard: it reads the
+//! committed `BENCH_server.json`, measures the campaign server's current
+//! cached-memory round-trip latency (best of 32 repeats at the committed
+//! job size), and exits non-zero when the fresh measurement is more than
+//! 3x slower than the committed row — catching cached-fast-path
+//! regressions without re-running the whole bench grid.
 
 use std::path::PathBuf;
 
+use saseval_bench::server_bench::{current_cached_memory_latency, ServerBenchExport};
 use saseval_bench::triage_bench::replay_corpus_table;
 use saseval_bench::{
     all_experiments, run_experiments_timed, set_fuzz_batch, set_fuzz_shards, timing_table,
@@ -45,25 +54,63 @@ fn take_count_flag(args: &mut Vec<String>, flag: &str) -> Option<usize> {
     }
 }
 
-/// Removes `--replay-corpus DIR` (or `--replay-corpus=DIR`) from `args`
-/// and returns the corpus directory.
-fn take_replay_corpus(args: &mut Vec<String>) -> Option<PathBuf> {
-    let index =
-        args.iter().position(|a| a == "--replay-corpus" || a.starts_with("--replay-corpus="))?;
-    let flag = args.remove(index);
-    match flag.split_once('=') {
+/// Removes `flag PATH` (or `flag=PATH`) from `args` and returns the
+/// path.
+fn take_path_flag(args: &mut Vec<String>, flag: &str, what: &str) -> Option<PathBuf> {
+    let prefix = format!("{flag}=");
+    let index = args.iter().position(|a| a == flag || a.starts_with(&prefix))?;
+    let matched = args.remove(index);
+    match matched.split_once('=') {
         Some((_, value)) => Some(PathBuf::from(value)),
         None if index < args.len() => Some(PathBuf::from(args.remove(index))),
         None => {
-            eprintln!("--replay-corpus requires a corpus directory");
+            eprintln!("{flag} requires {what}");
             std::process::exit(2);
         }
     }
 }
 
+/// The `--server-floor` guard: compare a fresh cached-memory latency
+/// measurement against the committed export, with a 3x allowance for
+/// hardware and load differences.
+fn run_server_floor(file: &PathBuf) -> ! {
+    let text = match std::fs::read_to_string(file) {
+        Ok(text) => text,
+        Err(err) => {
+            eprintln!("cannot read {}: {err}", file.display());
+            std::process::exit(1);
+        }
+    };
+    let committed: ServerBenchExport = match serde_json::from_str(&text) {
+        Ok(committed) => committed,
+        Err(err) => {
+            eprintln!("cannot parse {}: {err}", file.display());
+            std::process::exit(1);
+        }
+    };
+    let Some(floor) = committed.cached_memory_seconds() else {
+        eprintln!("{} has no cached-memory latency row", file.display());
+        std::process::exit(1);
+    };
+    let current = current_cached_memory_latency(committed.job_iterations, 32);
+    let allowed = floor * 3.0;
+    println!(
+        "server floor: committed cached-memory {:.6}s, current best-of-32 {:.6}s (allowed <= {:.6}s)",
+        floor, current, allowed,
+    );
+    if current > allowed {
+        eprintln!("cached-memory latency regressed: {:.6}s > 3x committed {:.6}s", current, floor,);
+        std::process::exit(1);
+    }
+    std::process::exit(0);
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    if let Some(dir) = take_replay_corpus(&mut args) {
+    if let Some(file) = take_path_flag(&mut args, "--server-floor", "a BENCH_server.json path") {
+        run_server_floor(&file);
+    }
+    if let Some(dir) = take_path_flag(&mut args, "--replay-corpus", "a corpus directory") {
         match replay_corpus_table(&dir) {
             Ok((table, clean)) => {
                 print!("{table}");

@@ -612,6 +612,28 @@ impl Fuzzer {
         paths: &[AttackPath],
         iterations: usize,
         shards: usize,
+        target_factory: F,
+    ) -> FuzzReport
+    where
+        F: FnMut(usize) -> T,
+        T: FuzzTarget + Send,
+    {
+        let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+        self.run_parallel_targets_on(paths, iterations, shards, threads, target_factory)
+    }
+
+    /// [`Fuzzer::run_parallel_targets`] with an explicit execution-thread
+    /// cap instead of the `available_parallelism` auto-degrade. Exposed
+    /// so tests (and callers with their own scheduler) can pin the
+    /// thread count; the report is identical for every cap because shard
+    /// streams are keyed off the *requested* shard count, never the
+    /// thread count.
+    pub fn run_parallel_targets_on<T, F>(
+        &self,
+        paths: &[AttackPath],
+        iterations: usize,
+        shards: usize,
+        max_threads: usize,
         mut target_factory: F,
     ) -> FuzzReport
     where
@@ -619,6 +641,17 @@ impl Fuzzer {
         T: FuzzTarget + Send,
     {
         let shards = shards.max(1);
+        // Auto-degrade: more shard *threads* than hardware threads is
+        // pure overhead (BENCH_fuzz.json measured 4-15% on a 1-core
+        // container), so shard jobs are packed onto at most
+        // `max_threads` scoped threads. Everything deterministic —
+        // per-shard seeds, iteration ranges, the merge — stays keyed off
+        // the requested shard count, so clamping can never change the
+        // report.
+        let threads = shards.min(max_threads.max(1));
+        if threads < shards {
+            self.obs.counter("fuzz.shards_clamped", (shards - threads) as u64);
+        }
         let span = self.obs.span("fuzz.run_seconds");
         let jobs: Vec<(usize, Range<usize>, Mutator, T)> = (0..shards)
             .map(|shard| {
@@ -632,9 +665,14 @@ impl Fuzzer {
             .collect();
         let mut outcomes: Vec<ShardOutcome> = Vec::with_capacity(shards);
         std::thread::scope(|scope| {
-            let handles: Vec<_> = jobs
-                .into_iter()
-                .map(|(shard, range, mut mutator, mut target)| {
+            // Contiguous groups keep the joined outcomes in shard order,
+            // which the merge relies on for its (iteration, shard, input)
+            // sort to be reproducible.
+            let chunk = shards.div_ceil(threads);
+            let mut jobs = jobs;
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    let group: Vec<_> = jobs.drain(..chunk.min(jobs.len())).collect();
                     let obs = self.obs.clone();
                     scope.spawn(move || {
                         let shard_obs = ShardObs {
@@ -642,20 +680,25 @@ impl Fuzzer {
                             throughput_gauge: "fuzz.shard.inputs_per_sec",
                             emit_cell_batches: false,
                         };
-                        run_shard(
-                            &mut mutator,
-                            paths,
-                            range,
-                            shard,
-                            &mut target,
-                            self.batch_size,
-                            &shard_obs,
-                        )
+                        group
+                            .into_iter()
+                            .map(|(shard, range, mut mutator, mut target)| {
+                                run_shard(
+                                    &mut mutator,
+                                    paths,
+                                    range,
+                                    shard,
+                                    &mut target,
+                                    self.batch_size,
+                                    &shard_obs,
+                                )
+                            })
+                            .collect::<Vec<_>>()
                     })
                 })
                 .collect();
             for handle in handles {
-                outcomes.push(handle.join().expect("fuzz shard panicked"));
+                outcomes.extend(handle.join().expect("fuzz shard panicked"));
             }
         });
         let (report, cells, out_of_range) = merge_shard_outcomes(outcomes, iterations);
@@ -875,6 +918,33 @@ mod tests {
             };
             assert_eq!(run(), run(), "{shards} shards");
         }
+    }
+
+    #[test]
+    fn thread_clamp_never_changes_the_report_and_is_counted() {
+        // The same 6-shard run on 1, 2 and 6 execution threads must be
+        // bit-identical — shard seeds/ranges/merge key off the requested
+        // shard count, the thread cap only packs shard jobs.
+        let run = |max_threads: usize| {
+            let (obs, recorder) = Obs::memory();
+            let fuzzer = Fuzzer::new(v2x_warning_model(), 17).with_obs(obs);
+            let report = fuzzer.run_parallel_targets_on(&paths(), 3_000, 6, max_threads, |_| {
+                ClosureTarget(crashy_target)
+            });
+            (report, recorder.snapshot())
+        };
+        let (on_one, clamped) = run(1);
+        let (on_two, partially) = run(2);
+        let (on_six, unclamped) = run(6);
+        assert_eq!(on_one, on_two);
+        assert_eq!(on_one, on_six);
+        // The auto-degrade counter reports how many shard jobs were
+        // packed onto already-busy threads.
+        assert_eq!(clamped.counter("fuzz.shards_clamped"), Some(5));
+        assert_eq!(partially.counter("fuzz.shards_clamped"), Some(4));
+        assert_eq!(unclamped.counter("fuzz.shards_clamped"), None);
+        // The merged gauge still reports the requested shard count.
+        assert_eq!(clamped.gauge("fuzz.shards"), Some(6.0));
     }
 
     #[test]

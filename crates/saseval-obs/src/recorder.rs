@@ -222,6 +222,21 @@ impl MemoryRecorder {
         }
     }
 
+    /// The current value of one counter, without building a full
+    /// [`MetricsSnapshot`] — cheap enough to call per request (the
+    /// campaign server's `stats` frame reads its live counters this
+    /// way). `None` if the counter has never been bumped.
+    pub fn counter_value(&self, name: &str) -> Option<u64> {
+        self.state().counters.get(name).copied()
+    }
+
+    /// The current value of one gauge (last write wins); `None` if the
+    /// gauge has never been set. Live companion to
+    /// [`MemoryRecorder::counter_value`].
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        self.state().gauges.get(name).copied()
+    }
+
     /// A point-in-time copy of everything recorded so far, with metric
     /// names in sorted order.
     pub fn snapshot(&self) -> MetricsSnapshot {
@@ -339,6 +354,19 @@ mod tests {
         let snapshot = recorder.snapshot();
         assert_eq!(snapshot.counter("c"), Some(42));
         assert_eq!(snapshot.gauge("g"), Some(2.0));
+    }
+
+    #[test]
+    fn live_single_metric_reads_match_the_snapshot() {
+        let recorder = MemoryRecorder::default();
+        assert_eq!(recorder.counter_value("c"), None);
+        assert_eq!(recorder.gauge_value("g"), None);
+        recorder.counter("c", 2);
+        recorder.counter("c", 3);
+        recorder.gauge("g", 0.75);
+        assert_eq!(recorder.counter_value("c"), Some(5));
+        assert_eq!(recorder.gauge_value("g"), Some(0.75));
+        assert_eq!(recorder.snapshot().counter("c"), recorder.counter_value("c"));
     }
 
     #[test]

@@ -8,7 +8,16 @@
 //! semantically different result — the cache only ever deduplicates
 //! byte-identical recomputation.
 //!
-//! On-disk layout mirrors the fuzz corpus idiom:
+//! The memory tier stores each entry *pre-framed* as a shared
+//! [`FramedPayload`] — the exact `,"payload":<bytes>}\n` tail of a
+//! `done` frame in one `Arc<[u8]>` allocation. A memory hit is an `Arc`
+//! clone; the event loop splices the same allocation into every
+//! interested socket without copying the payload again (see
+//! [`crate::protocol::done_head`] for the byte-identity contract).
+//!
+//! On-disk layout mirrors the fuzz corpus idiom and stores the *raw*
+//! payload bytes (framing is a memory-tier concern; the disk format is
+//! unchanged across versions):
 //!
 //! ```text
 //! <dir>/<16-hex-key>.bin    payload bytes
@@ -21,7 +30,10 @@
 //! the sidecar's payload hash and code version; any mismatch is treated
 //! as a miss and the entry is removed (counted under
 //! [`CacheStats::corrupt`]), so a corrupted store degrades to
-//! recomputation instead of serving bad bytes.
+//! recomputation instead of serving bad bytes. A disk hit streams the
+//! payload straight into its final framed allocation (sidecar JSON goes
+//! through a reusable scratch buffer), so even the cold tier performs
+//! exactly one payload-sized allocation per hit.
 //!
 //! With [`ResultCache::with_disk_cap`], the disk tier enforces a byte
 //! cap on payload bytes: after each insert, whole entries are removed
@@ -35,10 +47,10 @@
 
 use std::collections::VecDeque;
 use std::fs;
-use std::io;
+use std::io::{self, Read};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use saseval_types::hash::content_hash;
 use serde::{Deserialize, Serialize};
@@ -63,6 +75,67 @@ impl CacheTier {
         }
     }
 }
+
+/// A result payload pre-framed as the shared tail of a `done` frame:
+/// one `Arc<[u8]>` holding `,"payload":<canonical payload bytes>}\n`.
+///
+/// Appending [`FramedPayload::tail`] after [`crate::protocol::done_head`]
+/// reproduces the legacy single-buffer frame byte for byte. Cloning is
+/// an `Arc` refcount bump, which is what makes cached serving zero-copy:
+/// every waiter on the same result splices the same allocation.
+#[derive(Debug, Clone)]
+pub struct FramedPayload {
+    bytes: Arc<[u8]>,
+}
+
+impl FramedPayload {
+    /// Framing bytes preceding the payload: `,"payload":`.
+    pub const PREFIX: &'static [u8] = b",\"payload\":";
+    /// Framing bytes following the payload: `}\n` (object close plus
+    /// the line terminator).
+    pub const SUFFIX: &'static [u8] = b"}\n";
+
+    /// Frames raw canonical payload bytes (one allocation, exact size).
+    pub fn frame(payload: &[u8]) -> Self {
+        let mut bytes = Vec::with_capacity(Self::PREFIX.len() + payload.len() + Self::SUFFIX.len());
+        bytes.extend_from_slice(Self::PREFIX);
+        bytes.extend_from_slice(payload);
+        bytes.extend_from_slice(Self::SUFFIX);
+        FramedPayload { bytes: bytes.into() }
+    }
+
+    /// Adopts an already-framed buffer (the disk tier builds the
+    /// framing in place while streaming the payload off disk).
+    fn from_framed(bytes: Vec<u8>) -> Self {
+        debug_assert!(bytes.starts_with(Self::PREFIX) && bytes.ends_with(Self::SUFFIX));
+        FramedPayload { bytes: bytes.into() }
+    }
+
+    /// The full tail bytes (`,"payload":…}\n`), spliced verbatim after
+    /// a done-frame head.
+    pub fn tail(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Shares the tail allocation with a socket writer — an `Arc`
+    /// clone, never a byte copy.
+    pub fn share(&self) -> Arc<[u8]> {
+        Arc::clone(&self.bytes)
+    }
+
+    /// The raw canonical payload bytes inside the framing.
+    pub fn payload(&self) -> &[u8] {
+        &self.bytes[Self::PREFIX.len()..self.bytes.len() - Self::SUFFIX.len()]
+    }
+}
+
+impl PartialEq for FramedPayload {
+    fn eq(&self, other: &Self) -> bool {
+        self.bytes == other.bytes
+    }
+}
+
+impl Eq for FramedPayload {}
 
 /// Monotonic hit/miss counters, readable while the server runs.
 #[derive(Debug, Default)]
@@ -97,38 +170,39 @@ struct DiskMeta {
     seq: u64,
 }
 
-/// In-memory LRU over payload bytes. Recency is the deque order
-/// (front = coldest); hits splice the entry to the back. Linear scans
+/// In-memory LRU over pre-framed payloads. Recency is the deque order
+/// (front = coldest); hits splice the entry to the back and hand back
+/// an `Arc` clone of the framed bytes — no payload copy. Linear scans
 /// are fine at the capacities a result cache runs at (payloads are few
 /// and large, not many and tiny).
 #[derive(Debug, Default)]
 struct Lru {
-    entries: VecDeque<(u64, Vec<u8>)>,
+    entries: VecDeque<(u64, FramedPayload)>,
     capacity: usize,
 }
 
 impl Lru {
-    fn get(&mut self, key: u64) -> Option<Vec<u8>> {
+    fn get(&mut self, key: u64) -> Option<FramedPayload> {
         let index = self.entries.iter().position(|(k, _)| *k == key)?;
         let entry = self.entries.remove(index).expect("index from position");
-        let payload = entry.1.clone();
+        let framed = entry.1.clone();
         self.entries.push_back(entry);
-        Some(payload)
+        Some(framed)
     }
 
-    fn insert(&mut self, key: u64, payload: Vec<u8>) {
+    fn insert(&mut self, key: u64, framed: FramedPayload) {
         if let Some(index) = self.entries.iter().position(|(k, _)| *k == key) {
             self.entries.remove(index);
         }
-        self.entries.push_back((key, payload));
+        self.entries.push_back((key, framed));
         while self.entries.len() > self.capacity {
             self.entries.pop_front();
         }
     }
 }
 
-/// The two-tier cache. Thread-safe; shared across connection handlers
-/// and workers behind an `Arc`.
+/// The two-tier cache. Thread-safe; shared across the event loop and
+/// workers behind an `Arc`.
 #[derive(Debug)]
 pub struct ResultCache {
     mem: Mutex<Lru>,
@@ -139,6 +213,10 @@ pub struct ResultCache {
     /// already on disk so restarts keep evicting oldest-first.
     seq: AtomicU64,
     version: String,
+    /// Reusable sidecar-read scratch: disk hits stream the metadata
+    /// through this buffer instead of allocating a fresh `String` per
+    /// lookup.
+    sidecar_scratch: Mutex<String>,
     /// Hit/miss counters.
     pub stats: CacheStats,
 }
@@ -165,6 +243,7 @@ impl ResultCache {
             disk_cap: None,
             seq,
             version,
+            sidecar_scratch: Mutex::new(String::new()),
             stats: CacheStats::default(),
         }
     }
@@ -183,49 +262,85 @@ impl ResultCache {
         }
     }
 
-    /// Looks `key` up, coldest tier last. Disk hits are verified
-    /// against their sidecar and promoted into memory.
-    pub fn get(&self, key: u64) -> Option<(Vec<u8>, CacheTier)> {
-        if let Some(payload) = self.mem().get(key) {
+    /// Looks `key` up, coldest tier last. Memory hits are `Arc` clones
+    /// of the framed entry; disk hits are verified against their
+    /// sidecar and promoted into memory (the promotion shares the same
+    /// allocation).
+    pub fn get(&self, key: u64) -> Option<(FramedPayload, CacheTier)> {
+        if let Some(framed) = self.mem().get(key) {
             self.stats.memory_hits.fetch_add(1, Ordering::Relaxed);
-            return Some((payload, CacheTier::Memory));
+            return Some((framed, CacheTier::Memory));
         }
-        if let Some(payload) = self.disk_get(key) {
+        if let Some(framed) = self.disk_get(key) {
             self.stats.disk_hits.fetch_add(1, Ordering::Relaxed);
-            self.mem().insert(key, payload.clone());
-            return Some((payload, CacheTier::Disk));
+            self.mem().insert(key, framed.clone());
+            return Some((framed, CacheTier::Disk));
         }
         self.stats.misses.fetch_add(1, Ordering::Relaxed);
         None
     }
 
-    /// Stores `payload` under `key` in both tiers. Disk-write failures
-    /// are swallowed (the memory tier still serves the entry); a result
-    /// cache must never fail the job that filled it.
-    pub fn insert(&self, key: u64, payload: &[u8]) {
-        self.mem().insert(key, payload.to_vec());
+    /// Stores `payload` under `key` in both tiers and returns the
+    /// framed entry (the inserting worker sends the same allocation it
+    /// cached). Disk-write failures are swallowed (the memory tier
+    /// still serves the entry); a result cache must never fail the job
+    /// that filled it.
+    pub fn insert(&self, key: u64, payload: &[u8]) -> FramedPayload {
+        let framed = FramedPayload::frame(payload);
+        self.mem().insert(key, framed.clone());
         if self.disk.is_some() {
             let _ = self.disk_insert(key, payload);
         }
+        framed
     }
 
-    fn disk_get(&self, key: u64) -> Option<Vec<u8>> {
+    fn disk_get(&self, key: u64) -> Option<FramedPayload> {
         let dir = self.disk.as_deref()?;
         let stem = key_hex(key);
         let sidecar = dir.join(format!("{stem}.json"));
-        let json = fs::read_to_string(&sidecar).ok()?;
         let bin = dir.join(format!("{stem}.bin"));
-        let verified = (|| {
-            let meta: DiskMeta = serde_json::from_str(&json).ok()?;
+        // A missing/unreadable sidecar is a plain miss (nothing there);
+        // everything past this point failing means a *present* entry is
+        // bad, which counts as corrupt and removes it.
+        let meta: Option<DiskMeta> = {
+            let mut scratch = match self.sidecar_scratch.lock() {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            scratch.clear();
+            fs::File::open(&sidecar).ok()?.read_to_string(&mut scratch).ok()?;
+            serde_json::from_str(&scratch).ok()
+        };
+        let verified = meta.and_then(|meta| {
             if meta.key != stem || meta.code_version != self.version {
                 return None;
             }
-            let payload = fs::read(&bin).ok()?;
-            if payload.len() != meta.len || content_hash(&payload) != meta.payload_hash {
+            // Bound the framed allocation by the real file size before
+            // trusting the sidecar's length claim.
+            if fs::metadata(&bin).ok()?.len() != meta.len as u64 {
                 return None;
             }
-            Some(payload)
-        })();
+            // Stream the payload straight into its final framed slot:
+            // one exact-size allocation for `,"payload":<bytes>}\n`, no
+            // intermediate payload `Vec`.
+            let mut framed = Vec::with_capacity(
+                FramedPayload::PREFIX.len() + meta.len + FramedPayload::SUFFIX.len(),
+            );
+            framed.extend_from_slice(FramedPayload::PREFIX);
+            let read = fs::File::open(&bin)
+                .ok()?
+                .take(meta.len as u64 + 1)
+                .read_to_end(&mut framed)
+                .ok()?;
+            if read != meta.len {
+                return None;
+            }
+            if content_hash(&framed[FramedPayload::PREFIX.len()..]) != meta.payload_hash {
+                return None;
+            }
+            framed.extend_from_slice(FramedPayload::SUFFIX);
+            Some(FramedPayload::from_framed(framed))
+        });
         if verified.is_none() {
             // Corrupt or foreign-version entry: drop it so the slot can
             // be refilled by a fresh run.
@@ -327,18 +442,43 @@ mod tests {
         std::env::temp_dir().join(format!("saseval-cache-test-{}-{unique}", std::process::id()))
     }
 
+    /// Unframes a lookup back to `(raw payload, tier)` for assertions.
+    fn raw_get(cache: &ResultCache, key: u64) -> Option<(Vec<u8>, CacheTier)> {
+        cache.get(key).map(|(framed, tier)| (framed.payload().to_vec(), tier))
+    }
+
+    #[test]
+    fn framing_round_trips_and_shares_one_allocation() {
+        let framed = FramedPayload::frame(b"{\"x\":1}");
+        assert_eq!(framed.tail(), b",\"payload\":{\"x\":1}}\n");
+        assert_eq!(framed.payload(), b"{\"x\":1}");
+        let a = framed.share();
+        let b = framed.clone().share();
+        assert!(Arc::ptr_eq(&a, &b), "clones share the framed allocation");
+    }
+
     #[test]
     fn memory_tier_hits_and_evicts_lru() {
         let cache = ResultCache::new(2, None);
         cache.insert(1, b"one");
         cache.insert(2, b"two");
-        assert_eq!(cache.get(1), Some((b"one".to_vec(), CacheTier::Memory)));
+        assert_eq!(raw_get(&cache, 1), Some((b"one".to_vec(), CacheTier::Memory)));
         // 2 is now coldest; inserting 3 evicts it.
         cache.insert(3, b"three");
-        assert_eq!(cache.get(2), None);
-        assert_eq!(cache.get(1), Some((b"one".to_vec(), CacheTier::Memory)));
+        assert_eq!(raw_get(&cache, 2), None);
+        assert_eq!(raw_get(&cache, 1), Some((b"one".to_vec(), CacheTier::Memory)));
         assert_eq!(cache.stats.memory_hits.load(Ordering::Relaxed), 2);
         assert_eq!(cache.stats.misses.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn hits_share_the_inserted_allocation() {
+        let cache = ResultCache::new(2, None);
+        let inserted = cache.insert(1, b"one");
+        let (hit_a, _) = cache.get(1).unwrap();
+        let (hit_b, _) = cache.get(1).unwrap();
+        assert!(Arc::ptr_eq(&inserted.share(), &hit_a.share()));
+        assert!(Arc::ptr_eq(&hit_a.share(), &hit_b.share()));
     }
 
     #[test]
@@ -348,9 +488,9 @@ mod tests {
         first.insert(7, b"payload");
         drop(first);
         let second = ResultCache::new(4, Some(dir.clone()));
-        assert_eq!(second.get(7), Some((b"payload".to_vec(), CacheTier::Disk)));
+        assert_eq!(raw_get(&second, 7), Some((b"payload".to_vec(), CacheTier::Disk)));
         // Promoted: the next lookup is a memory hit.
-        assert_eq!(second.get(7), Some((b"payload".to_vec(), CacheTier::Memory)));
+        assert_eq!(raw_get(&second, 7), Some((b"payload".to_vec(), CacheTier::Memory)));
         fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -362,9 +502,22 @@ mod tests {
         // Evict from memory so the next get must go to disk.
         cache.insert(8, b"other");
         fs::write(dir.join(format!("{}.bin", key_hex(7))), b"tampered").unwrap();
-        assert_eq!(cache.get(7), None);
+        assert_eq!(raw_get(&cache, 7), None);
         assert_eq!(cache.stats.corrupt.load(Ordering::Relaxed), 1);
         assert!(!dir.join(format!("{}.json", key_hex(7))).exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_disk_payload_is_a_miss_and_removed() {
+        let dir = temp_dir();
+        let cache = ResultCache::new(1, Some(dir.clone()));
+        cache.insert(7, b"payload");
+        cache.insert(8, b"other");
+        // Same length claim in the sidecar, shorter file on disk.
+        fs::write(dir.join(format!("{}.bin", key_hex(7))), b"pay").unwrap();
+        assert_eq!(raw_get(&cache, 7), None);
+        assert_eq!(cache.stats.corrupt.load(Ordering::Relaxed), 1);
         fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -375,7 +528,7 @@ mod tests {
         old.insert(7, b"stale");
         drop(old);
         let new = ResultCache::with_version(1, Some(dir.clone()), "v-new".to_owned());
-        assert_eq!(new.get(7), None);
+        assert_eq!(raw_get(&new, 7), None);
         assert_eq!(new.stats.corrupt.load(Ordering::Relaxed), 1);
         fs::remove_dir_all(&dir).unwrap();
     }
@@ -390,9 +543,9 @@ mod tests {
         cache.insert(2, &[2u8; 16]);
         cache.insert(3, &[3u8; 16]);
         assert_eq!(cache.stats.evicted.load(Ordering::Relaxed), 1);
-        assert_eq!(cache.get(1), None, "oldest entry was evicted");
+        assert_eq!(raw_get(&cache, 1), None, "oldest entry was evicted");
         assert_eq!(cache.get(3).map(|(_, tier)| tier), Some(CacheTier::Memory));
-        assert_eq!(cache.get(2), Some(([2u8; 16].to_vec(), CacheTier::Disk)));
+        assert_eq!(raw_get(&cache, 2), Some(([2u8; 16].to_vec(), CacheTier::Disk)));
         // Surviving entries still verify after eviction ran.
         assert_eq!(cache.stats.corrupt.load(Ordering::Relaxed), 0);
         fs::remove_dir_all(&dir).unwrap();
@@ -414,12 +567,12 @@ mod tests {
         // A fresh cache resumes the insertion sequence past the
         // surviving entry, so the pre-restart entry goes first.
         let fresh = ResultCache::new(1, Some(dir.clone())).with_disk_cap(Some(40));
-        assert_eq!(fresh.get(9), Some(([9u8; 100].to_vec(), CacheTier::Disk)));
+        assert_eq!(raw_get(&fresh, 9), Some(([9u8; 100].to_vec(), CacheTier::Disk)));
         fresh.insert(10, &[10u8; 16]);
         assert_eq!(fresh.get(10).map(|(_, tier)| tier), Some(CacheTier::Memory));
         // 9 was evicted on disk and 10 displaced it from the 1-entry
         // memory tier, so it is gone entirely.
-        assert_eq!(fresh.get(9), None);
+        assert_eq!(raw_get(&fresh, 9), None);
         fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -428,6 +581,6 @@ mod tests {
         let cache = ResultCache::new(2, None);
         cache.insert(1, b"a");
         cache.insert(1, b"b");
-        assert_eq!(cache.get(1), Some((b"b".to_vec(), CacheTier::Memory)));
+        assert_eq!(raw_get(&cache, 1), Some((b"b".to_vec(), CacheTier::Memory)));
     }
 }

@@ -5,7 +5,7 @@
 //! safety/security test cases executed against simulated systems. Runs
 //! are deterministic by construction, which makes repeat requests pure
 //! waste: the same spec, seed and code always reproduce the same bytes.
-//! This crate turns that determinism into a service with three layers:
+//! This crate turns that determinism into a service:
 //!
 //! * [`job`] — wire-level job specs ([`job::JobSpec`]) with a
 //!   canonicalization pipeline: spelling differences (field order,
@@ -16,33 +16,49 @@
 //! * [`cache`] — a two-tier content-addressed store
 //!   ([`cache::ResultCache`]): in-memory LRU in front of an optional
 //!   verified on-disk tier with atomic (temp + rename) writes and an
-//!   optional byte cap evicting whole entries oldest-first.
+//!   optional byte cap evicting whole entries oldest-first. Memory
+//!   entries are pre-framed done-frame tails ([`cache::FramedPayload`],
+//!   shared `Arc<[u8]>` allocations), so a cached response is spliced
+//!   into the socket without copying the payload.
+//! * [`flight`] — single-flight bookkeeping
+//!   ([`flight::InflightTable`]): concurrent identical submissions
+//!   coalesce onto one execution whose framed result fans out to every
+//!   waiter; [`flight::CancelToken`] carries cooperative cancellation
+//!   and [`flight::KeyMemo`] memoizes canonicalization per unique spec
+//!   text.
 //! * [`worker`] — a warm pool ([`worker::WorkerPool`]) that keeps
 //!   forked [`vehicle_sim::WorldSnapshot`] prefixes of the demonstrator
 //!   worlds resident ([`worker::SnapshotStore`]), so jobs resume from a
 //!   frozen pre-attack state instead of rebuilding and re-stepping the
 //!   world; progress streams out of `saseval-obs` recorders as
-//!   [`worker::JobEvent`]s.
-//! * [`server`] — a std-only TCP line protocol (one JSON value per
-//!   line) tying the layers together, plus a minimal blocking
-//!   [`server::Client`].
+//!   [`worker::PoolEvent`]s tagged with cache key and single-flight
+//!   epoch.
+//! * [`protocol`] + [`server`] — a std-only TCP line protocol (one
+//!   JSON value per line) served by a single multiplexed event-loop
+//!   thread over non-blocking sockets (pipelined requests, bounded
+//!   write backpressure — see the crate-private `mux` module), plus a
+//!   minimal blocking [`server::Client`].
 //!
 //! See `DESIGN.md` §10 for the architecture and the
 //! determinism/caching contract, and `scripts/check.sh` for the smoke
-//! gate that exercises a live server end to end.
+//! gates that exercise a live server end to end.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod flight;
 pub mod job;
+mod mux;
+pub mod protocol;
 pub mod server;
 pub mod worker;
 
-pub use cache::{CacheStats, CacheTier, ResultCache};
+pub use cache::{CacheStats, CacheTier, FramedPayload, ResultCache};
+pub use flight::{CancelToken, Detached, InflightTable, Joined, KeyMemo, Waiter};
 pub use job::{
     code_version, CampaignJob, CatalogName, ControlsPreset, FuzzJob, JobPayload, JobSpec, LintJob,
     LintOutcome, ScenarioSpec, SuiteName,
 };
 pub use server::{Client, JobOutcome, Server, ServerConfig};
-pub use worker::{FreshStats, JobEvent, QueuedJob, SnapshotStore, WorkerPool};
+pub use worker::{FreshStats, PoolEvent, QueuedJob, SnapshotStore, WorkerPool};

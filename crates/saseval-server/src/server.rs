@@ -6,6 +6,7 @@
 //! ```text
 //! {"id":"j1","job":{"Fuzz":{"scenario":{"Keyless":{}},"iterations":256,"seed":7}}}
 //! {"control":"ping"} | {"control":"stats"} | {"control":"shutdown"}
+//! {"control":"cancel","id":"j1"}
 //! ```
 //!
 //! Responses to a job request, in order:
@@ -22,31 +23,53 @@
 //! key covers the canonicalized spec, seed and code-version fingerprint
 //! (see [`crate::job`]), so a hit can never be stale.
 //!
+//! **Pipelining.** Connections are multiplexed by a single event-loop
+//! thread (the private `mux` module): a client may write any number of
+//! requests
+//! before reading responses. Requests answered from the cache reply in
+//! submission order; fresh jobs complete in whatever order the pool
+//! finishes them — the `id` field is the correlation key, and
+//! [`Client::submit_many`] reassembles responses by id. Identical
+//! concurrent submissions are *coalesced*: the job executes once and
+//! every waiter receives the same done-frame bytes (same `cache` field,
+//! same stats, same payload — only the `id` differs).
+//!
+//! **Cancellation.** `{"control":"cancel","id":...}` detaches the
+//! calling connection's waiter from its in-flight job and answers with
+//! a terminal `{"id":...,"event":"cancelled"}` frame. The last waiter
+//! to detach cancels the execution itself (checked by the worker at
+//! dequeue time and again before the cache insert — a cancelled job
+//! never populates the cache); other waiters keep the job alive and
+//! still receive their result. Cancelling an unknown or already
+//! completed id is an `error` frame.
+//!
 //! Malformed lines get `{"event":"error","message":...}` (plus `"id"`
 //! when one could be parsed) and the connection stays usable.
 //!
 //! **Shutdown.** The clean path is in-band: `{"control":"shutdown"}`
-//! (or [`Server::shutdown`] from the embedding process) stops the
-//! acceptor, drains queued jobs through the pool and joins the workers.
-//! The workspace forbids `unsafe`, so no signal handler can be
-//! installed: SIGTERM/ctrl-c terminate the process directly, which is
-//! safe by construction — cache writes are temp-file-plus-rename, so an
-//! interrupted server leaves no torn state behind.
+//! (or [`Server::shutdown`] from the embedding process) stops accepting
+//! new connections, lets in-flight jobs finish, flushes every response
+//! and joins the workers. The workspace forbids `unsafe`, so no signal
+//! handler can be installed: SIGTERM/ctrl-c terminate the process
+//! directly, which is safe by construction — cache writes are
+//! temp-file-plus-rename, so an interrupted server leaves no torn
+//! state behind.
 
+use std::collections::HashMap;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{self, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 
-use serde::Deserialize;
+use saseval_obs::Obs;
 use serde_json::JsonValue;
 
 use crate::cache::ResultCache;
-use crate::job::JobSpec;
-use crate::worker::{FreshStats, JobEvent, QueuedJob, SnapshotStore, WorkerPool};
+use crate::mux::{Metrics, Mux};
+use crate::protocol::{map_field, str_field};
+use crate::worker::{SnapshotStore, WorkerPool};
 
 /// Server configuration. `Default` binds an ephemeral localhost port
 /// with two workers, a 128-entry memory tier, no disk tier and
@@ -55,7 +78,8 @@ use crate::worker::{FreshStats, JobEvent, QueuedJob, SnapshotStore, WorkerPool};
 pub struct ServerConfig {
     /// Bind address, e.g. `127.0.0.1:0` for an ephemeral port.
     pub addr: String,
-    /// Worker threads (at least one).
+    /// Worker threads (at least one; clamped to the host's
+    /// `available_parallelism`).
     pub workers: usize,
     /// Memory-tier capacity in entries.
     pub mem_capacity: usize,
@@ -67,6 +91,12 @@ pub struct ServerConfig {
     /// Whether to freeze the two default demonstrator prefixes at
     /// startup so the first job on either is already warm.
     pub prewarm: bool,
+    /// Observability handle the server's `server.*` metrics are also
+    /// emitted to (`server.jobs`, `server.coalesced`, `server.executed`,
+    /// `server.cancelled`, `server.memo_hits`,
+    /// `server.backpressure_stalls`, gauge `server.inflight`). The
+    /// in-band `stats` frame reads the same counters regardless.
+    pub obs: Obs,
 }
 
 impl Default for ServerConfig {
@@ -78,33 +108,7 @@ impl Default for ServerConfig {
             cache_dir: None,
             cache_cap_bytes: None,
             prewarm: true,
-        }
-    }
-}
-
-/// A job request line.
-#[derive(Debug, Deserialize)]
-struct JobRequest {
-    id: String,
-    job: JobSpec,
-}
-
-#[derive(Debug)]
-struct ServerState {
-    cache: Arc<ResultCache>,
-    snapshots: Arc<SnapshotStore>,
-    /// Queue sender; taken (closed) when the acceptor stops, which is
-    /// what lets the workers drain and exit.
-    job_tx: Mutex<Option<Sender<QueuedJob>>>,
-    shutdown: AtomicBool,
-    jobs: AtomicU64,
-}
-
-impl ServerState {
-    fn queue_sender(&self) -> Option<Sender<QueuedJob>> {
-        match self.job_tx.lock() {
-            Ok(guard) => guard.clone(),
-            Err(poisoned) => poisoned.into_inner().clone(),
+            obs: Obs::noop(),
         }
     }
 }
@@ -114,18 +118,20 @@ impl ServerState {
 #[derive(Debug)]
 pub struct Server {
     addr: SocketAddr,
-    state: Arc<ServerState>,
-    accept: Option<JoinHandle<()>>,
+    shutdown: Arc<AtomicBool>,
+    mux: Option<JoinHandle<()>>,
 }
 
 impl Server {
-    /// Binds, prewarms and starts accepting connections.
+    /// Binds, prewarms, spawns the worker pool and starts the event
+    /// loop.
     ///
     /// # Errors
     ///
     /// Propagates bind failures.
     pub fn start(config: ServerConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let cache = Arc::new(
             ResultCache::new(config.mem_capacity, config.cache_dir)
@@ -137,34 +143,21 @@ impl Server {
         }
         let (job_tx, job_rx) = mpsc::channel();
         let pool = WorkerPool::spawn(config.workers, job_rx, &cache, &snapshots);
-        let state = Arc::new(ServerState {
+        let (pool_tx, pool_rx) = mpsc::channel();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let metrics = Metrics::new(config.obs);
+        let mux = Mux::new(
+            listener,
             cache,
             snapshots,
-            job_tx: Mutex::new(Some(job_tx)),
-            shutdown: AtomicBool::new(false),
-            jobs: AtomicU64::new(0),
-        });
-        let accept_state = state.clone();
-        let accept = std::thread::spawn(move || {
-            for stream in listener.incoming() {
-                if accept_state.shutdown.load(Ordering::SeqCst) {
-                    break;
-                }
-                let Ok(stream) = stream else { continue };
-                let conn_state = accept_state.clone();
-                std::thread::spawn(move || {
-                    let _ = handle_connection(stream, &conn_state, addr);
-                });
-            }
-            // Close the queue: workers finish in-flight jobs and exit.
-            let taken = match accept_state.job_tx.lock() {
-                Ok(mut guard) => guard.take(),
-                Err(poisoned) => poisoned.into_inner().take(),
-            };
-            drop(taken);
-            pool.join();
-        });
-        Ok(Server { addr, state, accept: Some(accept) })
+            metrics,
+            shutdown.clone(),
+            job_tx,
+            pool_tx,
+            pool_rx,
+        );
+        let handle = std::thread::spawn(move || mux.run(pool));
+        Ok(Server { addr, shutdown, mux: Some(handle) })
     }
 
     /// The bound address (useful with an ephemeral port).
@@ -172,75 +165,20 @@ impl Server {
         self.addr
     }
 
-    /// Requests shutdown: stops accepting, then drains and joins the
-    /// worker pool. Wake the acceptor with a no-op connection.
+    /// Requests shutdown: the event loop stops accepting, drains
+    /// in-flight jobs and responses, then joins the worker pool. The
+    /// loop notices the flag within one readiness-wheel sleep (≤ 1 ms).
     pub fn shutdown(&self) {
-        self.state.shutdown.store(true, Ordering::SeqCst);
-        let _ = TcpStream::connect(self.addr);
+        self.shutdown.store(true, Ordering::SeqCst);
     }
 
-    /// Waits for the acceptor (and through it the worker pool) to
+    /// Waits for the event loop (and through it the worker pool) to
     /// finish. Call [`Server::shutdown`] first.
     pub fn join(mut self) {
-        if let Some(handle) = self.accept.take() {
+        if let Some(handle) = self.mux.take() {
             let _ = handle.join();
         }
     }
-}
-
-fn map_field<'a>(value: &'a JsonValue, name: &str) -> Option<&'a JsonValue> {
-    match value {
-        JsonValue::Map(entries) => {
-            entries.iter().find(|(key, _)| key == name).map(|(_, field)| field)
-        }
-        _ => None,
-    }
-}
-
-fn str_field<'a>(value: &'a JsonValue, name: &str) -> Option<&'a str> {
-    match map_field(value, name) {
-        Some(JsonValue::Str(s)) => Some(s),
-        _ => None,
-    }
-}
-
-fn frame(fields: Vec<(&str, JsonValue)>) -> String {
-    let map =
-        JsonValue::Map(fields.into_iter().map(|(key, value)| (key.to_owned(), value)).collect());
-    serde_json::to_string(&map).expect("frames always serialize")
-}
-
-fn error_frame(id: Option<&str>, message: &str) -> String {
-    let mut fields = Vec::new();
-    if let Some(id) = id {
-        fields.push(("id", JsonValue::Str(id.to_owned())));
-    }
-    fields.push(("event", JsonValue::Str("error".to_owned())));
-    fields.push(("message", JsonValue::Str(message.to_owned())));
-    frame(fields)
-}
-
-/// The `done` frame splices the payload bytes in verbatim, so cached
-/// and fresh responses carry bit-for-bit the same payload text.
-fn done_frame(
-    id: &str,
-    key: u64,
-    cache: &str,
-    stats: Option<&FreshStats>,
-    payload: &[u8],
-) -> String {
-    let id_literal = serde_json::to_string(id).expect("strings always serialize");
-    let mut line = format!(
-        "{{\"id\":{id_literal},\"event\":\"done\",\"key\":\"{key:016x}\",\"cache\":\"{cache}\""
-    );
-    if let Some(stats) = stats {
-        line.push_str(",\"stats\":");
-        line.push_str(&serde_json::to_string(stats).expect("stats always serialize"));
-    }
-    line.push_str(",\"payload\":");
-    line.push_str(std::str::from_utf8(payload).expect("payloads are canonical JSON"));
-    line.push('}');
-    line
 }
 
 /// One write per frame (line + newline in a single buffer): split
@@ -252,119 +190,6 @@ fn write_line(stream: &mut TcpStream, line: &str) -> io::Result<()> {
     buffer.push(b'\n');
     stream.write_all(&buffer)?;
     stream.flush()
-}
-
-fn handle_connection(stream: TcpStream, state: &ServerState, addr: SocketAddr) -> io::Result<()> {
-    let _ = stream.set_nodelay(true);
-    let reader = BufReader::new(stream.try_clone()?);
-    let mut writer = stream;
-    for line in reader.lines() {
-        let line = line?;
-        if line.trim().is_empty() {
-            continue;
-        }
-        let value: JsonValue = match serde_json::from_str(&line) {
-            Ok(value) => value,
-            Err(e) => {
-                write_line(&mut writer, &error_frame(None, &format!("unparseable line: {e}")))?;
-                continue;
-            }
-        };
-        if let Some(control) = str_field(&value, "control") {
-            match control {
-                "ping" => write_line(
-                    &mut writer,
-                    &frame(vec![("event", JsonValue::Str("pong".to_owned()))]),
-                )?,
-                "stats" => write_line(&mut writer, &stats_frame(state))?,
-                "shutdown" => {
-                    write_line(
-                        &mut writer,
-                        &frame(vec![("event", JsonValue::Str("shutting-down".to_owned()))]),
-                    )?;
-                    state.shutdown.store(true, Ordering::SeqCst);
-                    let _ = TcpStream::connect(addr); // wake the acceptor
-                    return Ok(());
-                }
-                other => write_line(
-                    &mut writer,
-                    &error_frame(None, &format!("unknown control {other:?}")),
-                )?,
-            }
-            continue;
-        }
-        let request_id = str_field(&value, "id").map(str::to_owned);
-        let request: JobRequest = match serde_json::from_value(value) {
-            Ok(request) => request,
-            Err(e) => {
-                write_line(
-                    &mut writer,
-                    &error_frame(request_id.as_deref(), &format!("invalid job request: {e}")),
-                )?;
-                continue;
-            }
-        };
-        serve_job(&mut writer, state, &request)?;
-    }
-    Ok(())
-}
-
-fn stats_frame(state: &ServerState) -> String {
-    let stats = &state.cache.stats;
-    frame(vec![
-        ("event", JsonValue::Str("stats".to_owned())),
-        ("jobs", JsonValue::U64(state.jobs.load(Ordering::Relaxed))),
-        ("resident_prefixes", JsonValue::U64(state.snapshots.len() as u64)),
-        ("cache_memory_hits", JsonValue::U64(stats.memory_hits.load(Ordering::Relaxed))),
-        ("cache_disk_hits", JsonValue::U64(stats.disk_hits.load(Ordering::Relaxed))),
-        ("cache_misses", JsonValue::U64(stats.misses.load(Ordering::Relaxed))),
-        ("cache_corrupt", JsonValue::U64(stats.corrupt.load(Ordering::Relaxed))),
-        ("cache_evicted", JsonValue::U64(stats.evicted.load(Ordering::Relaxed))),
-    ])
-}
-
-fn serve_job(writer: &mut TcpStream, state: &ServerState, request: &JobRequest) -> io::Result<()> {
-    let id = &request.id;
-    let key = request.job.cache_key();
-    state.jobs.fetch_add(1, Ordering::Relaxed);
-    write_line(
-        writer,
-        &frame(vec![
-            ("id", JsonValue::Str(id.clone())),
-            ("event", JsonValue::Str("accepted".to_owned())),
-            ("key", JsonValue::Str(format!("{key:016x}"))),
-        ]),
-    )?;
-    // Answer straight from the cache without touching the queue.
-    if let Some((payload, tier)) = state.cache.get(key) {
-        return write_line(writer, &done_frame(id, key, tier.as_str(), None, &payload));
-    }
-    let Some(queue) = state.queue_sender() else {
-        return write_line(writer, &error_frame(Some(id), "server is shutting down"));
-    };
-    let (events_tx, events_rx) = mpsc::channel();
-    if queue.send(QueuedJob { spec: request.job, key, events: events_tx }).is_err() {
-        return write_line(writer, &error_frame(Some(id), "server is shutting down"));
-    }
-    drop(queue);
-    for event in events_rx {
-        match event {
-            JobEvent::Progress { metric, value } => write_line(
-                writer,
-                &frame(vec![
-                    ("id", JsonValue::Str(id.clone())),
-                    ("event", JsonValue::Str("progress".to_owned())),
-                    ("metric", JsonValue::Str(metric)),
-                    ("value", JsonValue::F64(value)),
-                ]),
-            )?,
-            JobEvent::Done { payload, tier, stats } => {
-                let cache = tier.map_or("miss", |tier| tier.as_str());
-                return write_line(writer, &done_frame(id, key, cache, stats.as_ref(), &payload));
-            }
-        }
-    }
-    write_line(writer, &error_frame(Some(id), "job was dropped during shutdown"))
 }
 
 /// Outcome of one [`Client::submit`] round trip.
@@ -434,20 +259,53 @@ impl Client {
     /// Fails on transport errors, an `error` frame, or a connection
     /// closed before `done`.
     pub fn submit(&mut self, id: &str, job_json: &str) -> io::Result<JobOutcome> {
-        let id_literal = serde_json::to_string(id)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
-        self.send_line(&format!("{{\"id\":{id_literal},\"job\":{job_json}}}"))?;
-        let mut progress = Vec::new();
-        loop {
+        let outcomes = self.submit_many(&[(id, job_json)])?;
+        Ok(outcomes.into_iter().next().expect("one job in, one outcome out"))
+    }
+
+    /// Submits every `(id, job_json)` pair *pipelined* — all request
+    /// lines go out in one write before any response is read — and
+    /// reassembles the responses by id. Outcomes come back in
+    /// submission order regardless of completion order.
+    ///
+    /// # Errors
+    ///
+    /// Fails on duplicate ids, transport errors, an `error` frame, or a
+    /// connection closed before every `done` arrived.
+    pub fn submit_many(&mut self, jobs: &[(&str, &str)]) -> io::Result<Vec<JobOutcome>> {
+        let mut by_id: HashMap<&str, usize> = HashMap::with_capacity(jobs.len());
+        let mut batch = Vec::new();
+        for (index, &(id, job_json)) in jobs.iter().enumerate() {
+            if by_id.insert(id, index).is_some() {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!("duplicate job id {id:?} in pipeline"),
+                ));
+            }
+            let id_literal = serde_json::to_string(id)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+            batch.extend_from_slice(
+                format!("{{\"id\":{id_literal},\"job\":{job_json}}}\n").as_bytes(),
+            );
+        }
+        self.writer.write_all(&batch)?;
+        self.writer.flush()?;
+
+        let mut outcomes: Vec<Option<JobOutcome>> = vec![None; jobs.len()];
+        let mut progress: Vec<Vec<(String, f64)>> = vec![Vec::new(); jobs.len()];
+        let mut remaining = jobs.len();
+        while remaining > 0 {
             let Some(value) = self.read_frame()? else {
                 return Err(io::Error::new(
                     io::ErrorKind::UnexpectedEof,
                     "connection closed before done",
                 ));
             };
+            let index = str_field(&value, "id").and_then(|id| by_id.get(id).copied());
             match str_field(&value, "event") {
                 Some("accepted") => {}
                 Some("progress") => {
+                    let Some(index) = index else { continue };
                     let metric = str_field(&value, "metric").unwrap_or("").to_owned();
                     let sample = match map_field(&value, "value") {
                         Some(JsonValue::F64(v)) => *v,
@@ -455,9 +313,15 @@ impl Client {
                         Some(JsonValue::I64(v)) => *v as f64,
                         _ => 0.0,
                     };
-                    progress.push((metric, sample));
+                    progress[index].push((metric, sample));
                 }
                 Some("done") => {
+                    let Some(index) = index else {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            "done frame for an unknown id",
+                        ));
+                    };
                     let key = str_field(&value, "key").unwrap_or("").to_owned();
                     let cache = str_field(&value, "cache").unwrap_or("").to_owned();
                     let payload = map_field(&value, "payload").ok_or_else(|| {
@@ -465,7 +329,17 @@ impl Client {
                     })?;
                     let payload_json = serde_json::to_string(payload)
                         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
-                    return Ok(JobOutcome { key, cache, payload_json, progress });
+                    if outcomes[index]
+                        .replace(JobOutcome {
+                            key,
+                            cache,
+                            payload_json,
+                            progress: std::mem::take(&mut progress[index]),
+                        })
+                        .is_none()
+                    {
+                        remaining -= 1;
+                    }
                 }
                 Some("error") => {
                     let message = str_field(&value, "message").unwrap_or("unknown error");
@@ -478,6 +352,37 @@ impl Client {
                     ));
                 }
             }
+        }
+        Ok(outcomes.into_iter().map(|o| o.expect("all outcomes filled")).collect())
+    }
+
+    /// Sends `{"control":"cancel","id":...}`. The caller reads the
+    /// resulting `cancelled` (or `error`) frame itself — it may
+    /// interleave with progress frames of other in-flight jobs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write failures.
+    pub fn cancel(&mut self, id: &str) -> io::Result<()> {
+        let id_literal = serde_json::to_string(id)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        self.send_line(&format!("{{\"control\":\"cancel\",\"id\":{id_literal}}}"))
+    }
+
+    /// Requests the live `stats` frame (job, coalescing, cancellation
+    /// and cache counters).
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors or an unexpected response frame.
+    pub fn stats(&mut self) -> io::Result<JsonValue> {
+        self.send_line("{\"control\":\"stats\"}")?;
+        match self.read_frame()? {
+            Some(value) if str_field(&value, "event") == Some("stats") => Ok(value),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unexpected stats response: {other:?}"),
+            )),
         }
     }
 
@@ -541,10 +446,10 @@ mod tests {
         let invalid = client.read_frame().unwrap().unwrap();
         assert_eq!(str_field(&invalid, "event"), Some("error"));
 
-        client.send_line("{\"control\":\"stats\"}").unwrap();
-        let stats = client.read_frame().unwrap().unwrap();
-        assert_eq!(str_field(&stats, "event"), Some("stats"));
+        let stats = client.stats().unwrap();
         assert!(map_field(&stats, "cache_misses").is_some());
+        assert!(map_field(&stats, "coalesced").is_some());
+        assert!(map_field(&stats, "executed").is_some());
 
         server.shutdown();
         server.join();
@@ -571,9 +476,9 @@ mod tests {
         let mut client = Client::connect(&addr).unwrap();
         client.request_shutdown().unwrap();
         server.join();
-        // The acceptor is gone: a fresh connection cannot complete a job
-        // round trip (connect may still succeed in the OS backlog, but
-        // no frame ever comes back).
+        // The event loop is gone: a fresh connection cannot complete a
+        // job round trip (connect may still succeed in the OS backlog,
+        // but no frame ever comes back).
         if let Ok(mut late) = Client::connect(&addr) {
             assert!(late.submit("late", tiny_job()).is_err());
         }
@@ -593,6 +498,25 @@ mod tests {
             .collect();
         let outcomes: Vec<JobOutcome> = handles.into_iter().map(|h| h.join().unwrap()).collect();
         for outcome in &outcomes {
+            assert_eq!(outcome.payload_json, outcomes[0].payload_json);
+        }
+        server.shutdown();
+        server.join();
+    }
+
+    #[test]
+    fn pipelined_requests_answer_in_submission_order_when_cached() {
+        let server = start_test_server();
+        let mut warm = Client::connect(&server.addr()).unwrap();
+        warm.submit("warm", tiny_job()).unwrap();
+
+        let mut client = Client::connect(&server.addr()).unwrap();
+        let jobs: Vec<(String, &str)> = (0..8).map(|i| (format!("p{i}"), tiny_job())).collect();
+        let pairs: Vec<(&str, &str)> = jobs.iter().map(|(id, job)| (id.as_str(), *job)).collect();
+        let outcomes = client.submit_many(&pairs).unwrap();
+        assert_eq!(outcomes.len(), 8);
+        for outcome in &outcomes {
+            assert_eq!(outcome.cache, "memory");
             assert_eq!(outcome.payload_json, outcomes[0].payload_json);
         }
         server.shutdown();

@@ -13,6 +13,16 @@
 //! same code version → byte-identical [`JobPayload`]. That purity is
 //! what makes the result cache sound, and is pinned by the
 //! cached-equals-fresh proptest.
+//!
+//! The pool talks to the event loop through one shared [`PoolEvent`]
+//! channel. Every event is tagged with the job's cache key and the
+//! single-flight *epoch* ([`crate::flight::InflightTable`]) so a
+//! completion from a cancelled instance can never be mistaken for the
+//! result of a newer resubmission of the same key. Cancellation is
+//! cooperative via [`CancelToken`]: checked at dequeue time (a job
+//! cancelled while queued never executes) and again before the cache
+//! insert (a job whose waiters all detached mid-run never populates the
+//! cache).
 
 use std::collections::HashMap;
 use std::sync::mpsc::{Receiver, Sender};
@@ -36,7 +46,8 @@ use saseval_lint::graph::campaign_verdicts;
 use saseval_lint::{run_lint, LintConfig, LintContext, TraceGraph, TraceInputs};
 use saseval_threat::builtin::automotive_library;
 
-use crate::cache::{CacheTier, ResultCache};
+use crate::cache::{CacheTier, FramedPayload, ResultCache};
+use crate::flight::CancelToken;
 use crate::job::{CampaignJob, FuzzJob, JobPayload, JobSpec, LintJob, LintOutcome, ScenarioSpec};
 
 /// A warm world prefix resident in the [`SnapshotStore`].
@@ -214,12 +225,19 @@ pub struct FreshStats {
     pub cases: Option<u64>,
 }
 
-/// A progress signal or completion, sent from a worker to the
-/// connection handler that owns the job.
+/// A progress signal, completion or abort, sent from a worker to the
+/// event loop over the shared pool channel. Every event carries the
+/// job's cache key and single-flight epoch; the event loop routes it to
+/// the in-flight entry's waiters and discards events whose epoch is
+/// stale (a cancelled instance racing a resubmission).
 #[derive(Debug)]
-pub enum JobEvent {
+pub enum PoolEvent {
     /// A live metric sample (throughput gauge or case verdict).
     Progress {
+        /// Cache key of the job the sample belongs to.
+        key: u64,
+        /// Single-flight epoch of the job instance.
+        epoch: u64,
         /// Metric name.
         metric: String,
         /// Sampled value.
@@ -228,23 +246,38 @@ pub enum JobEvent {
     /// The job finished; `tier` is `None` for a fresh computation,
     /// `Some` when the dequeue-time cache recheck answered it.
     Done {
-        /// Canonical payload bytes.
-        payload: Vec<u8>,
+        /// Cache key of the completed job.
+        key: u64,
+        /// Single-flight epoch of the job instance.
+        epoch: u64,
+        /// The pre-framed done-frame tail, shared with the cache entry.
+        frame: FramedPayload,
         /// Cache tier that answered, if any.
         tier: Option<CacheTier>,
         /// Execution statistics, for fresh computations only.
         stats: Option<FreshStats>,
     },
+    /// The job instance was cancelled: either while queued (never
+    /// executed) or mid-run with every waiter detached (result
+    /// discarded, cache untouched).
+    Aborted {
+        /// Cache key of the aborted job.
+        key: u64,
+        /// Single-flight epoch of the aborted instance.
+        epoch: u64,
+    },
 }
 
-/// Forwards selected live metrics from a running job to its connection
-/// as [`JobEvent::Progress`] messages: throughput gauges
+/// Forwards selected live metrics from a running job to the event loop
+/// as [`PoolEvent::Progress`] messages: throughput gauges
 /// (`fuzz.inputs_per_sec`, `fuzz.shard.inputs_per_sec`), rate-limited
 /// to one sample per 25 ms, and per-case campaign verdicts (counted,
 /// unthrottled — suites are small). Dropped receivers are ignored: a
 /// disconnected client must not fail its job.
 struct ProgressForwarder {
-    events: Sender<JobEvent>,
+    key: u64,
+    epoch: u64,
+    events: Sender<PoolEvent>,
     last_gauge: Mutex<Option<Instant>>,
 }
 
@@ -252,7 +285,12 @@ const GAUGE_INTERVAL: Duration = Duration::from_millis(25);
 
 impl ProgressForwarder {
     fn send(&self, metric: &str, value: f64) {
-        let _ = self.events.send(JobEvent::Progress { metric: metric.to_owned(), value });
+        let _ = self.events.send(PoolEvent::Progress {
+            key: self.key,
+            epoch: self.epoch,
+            metric: metric.to_owned(),
+            value,
+        });
     }
 }
 
@@ -281,15 +319,20 @@ impl Recorder for ProgressForwarder {
     }
 }
 
-/// One job queued for the pool, with the channel its events go back on.
+/// One job queued for the pool, with the shared channel its events go
+/// back on.
 #[derive(Debug)]
 pub struct QueuedJob {
     /// The job to run.
     pub spec: JobSpec,
     /// Its cache key (computed by the enqueuer, reused for the insert).
     pub key: u64,
+    /// Single-flight epoch tagging this instance's events.
+    pub epoch: u64,
+    /// Cooperative cancellation flag, shared with the event loop.
+    pub token: CancelToken,
     /// Where progress and completion are delivered.
-    pub events: Sender<JobEvent>,
+    pub events: Sender<PoolEvent>,
 }
 
 /// A fixed pool of warm worker threads draining a shared job queue.
@@ -302,16 +345,21 @@ pub struct WorkerPool {
 }
 
 impl WorkerPool {
-    /// Spawns `workers` threads (at least one) sharing `queue`,
-    /// `cache` and `snapshots`.
+    /// Spawns worker threads sharing `queue`, `cache` and `snapshots`.
+    /// The requested count is clamped to `available_parallelism` (and
+    /// to at least one): extra workers on an oversubscribed host only
+    /// add context-switch overhead, and job *results* never depend on
+    /// the worker count — only on the specs.
     pub fn spawn(
         workers: usize,
         queue: Receiver<QueuedJob>,
         cache: &Arc<ResultCache>,
         snapshots: &Arc<SnapshotStore>,
     ) -> Self {
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let workers = workers.clamp(1, cores.max(1));
         let queue = Arc::new(Mutex::new(queue));
-        let handles = (0..workers.max(1))
+        let handles = (0..workers)
             .map(|_| {
                 let queue = queue.clone();
                 let cache = cache.clone();
@@ -342,15 +390,28 @@ fn worker_loop(queue: &Mutex<Receiver<QueuedJob>>, cache: &ResultCache, snapshot
                 Err(_) => return, // all senders gone: shutdown
             }
         };
+        // A job cancelled while it sat in the queue is never executed.
+        if job.token.is_cancelled() {
+            let _ = job.events.send(PoolEvent::Aborted { key: job.key, epoch: job.epoch });
+            continue;
+        }
         // Recheck the cache at dequeue time: a concurrent identical job
         // may have landed while this one sat in the queue.
-        if let Some((payload, tier)) = cache.get(job.key) {
-            let _ = job.events.send(JobEvent::Done { payload, tier: Some(tier), stats: None });
+        if let Some((frame, tier)) = cache.get(job.key) {
+            let _ = job.events.send(PoolEvent::Done {
+                key: job.key,
+                epoch: job.epoch,
+                frame,
+                tier: Some(tier),
+                stats: None,
+            });
             continue;
         }
         // Tee the job's metrics: the memory recorder feeds the done
         // frame's stats summary, the forwarder streams live progress.
         let forwarder = Arc::new(ProgressForwarder {
+            key: job.key,
+            epoch: job.epoch,
             events: job.events.clone(),
             last_gauge: Mutex::new(None),
         });
@@ -359,7 +420,13 @@ fn worker_loop(queue: &Mutex<Receiver<QueuedJob>>, cache: &ResultCache, snapshot
         let started = Instant::now();
         let payload = run_job(job.spec, snapshots, &obs).to_bytes();
         let elapsed_seconds = started.elapsed().as_secs_f64();
-        cache.insert(job.key, &payload);
+        // Every waiter detached mid-run: discard the result without
+        // touching the cache — cancelled jobs never populate it.
+        if job.token.is_cancelled() {
+            let _ = job.events.send(PoolEvent::Aborted { key: job.key, epoch: job.epoch });
+            continue;
+        }
+        let frame = cache.insert(job.key, &payload);
         let snapshot = memory.snapshot();
         let inputs_per_sec = snapshot
             .counter("fuzz.inputs")
@@ -370,7 +437,13 @@ fn worker_loop(queue: &Mutex<Receiver<QueuedJob>>, cache: &ResultCache, snapshot
             inputs_per_sec,
             cases: snapshot.counter("campaign.cases"),
         };
-        let _ = job.events.send(JobEvent::Done { payload, tier: None, stats: Some(stats) });
+        let _ = job.events.send(PoolEvent::Done {
+            key: job.key,
+            epoch: job.epoch,
+            frame,
+            tier: None,
+            stats: Some(stats),
+        });
     }
 }
 
@@ -447,42 +520,72 @@ mod tests {
         assert_eq!(payload.to_bytes(), again.to_bytes());
     }
 
+    fn queue_job(
+        job_tx: &mpsc::Sender<QueuedJob>,
+        spec: JobSpec,
+        epoch: u64,
+        token: CancelToken,
+    ) -> mpsc::Receiver<PoolEvent> {
+        let (tx, rx) = mpsc::channel();
+        let key = spec.cache_key();
+        job_tx.send(QueuedJob { spec, key, epoch, token, events: tx }).unwrap();
+        rx
+    }
+
+    fn wait_done(rx: &mpsc::Receiver<PoolEvent>) -> (FramedPayload, Option<CacheTier>, bool) {
+        loop {
+            match rx.recv().unwrap() {
+                PoolEvent::Progress { .. } => continue,
+                PoolEvent::Done { frame, tier, stats, .. } => {
+                    return (frame, tier, stats.is_some())
+                }
+                PoolEvent::Aborted { .. } => panic!("job was not cancelled"),
+            }
+        }
+    }
+
     #[test]
     fn pool_computes_then_serves_from_cache() {
         let cache = Arc::new(ResultCache::new(8, None));
         let snapshots = Arc::new(SnapshotStore::new());
         let (job_tx, job_rx) = mpsc::channel();
         let pool = WorkerPool::spawn(2, job_rx, &cache, &snapshots);
-        let spec = small_fuzz_spec();
-        let key = spec.cache_key();
 
-        let (tx, rx) = mpsc::channel();
-        job_tx.send(QueuedJob { spec, key, events: tx }).unwrap();
-        let fresh = loop {
-            match rx.recv().unwrap() {
-                JobEvent::Progress { .. } => continue,
-                JobEvent::Done { payload, tier, stats } => {
-                    assert_eq!(tier, None, "first run computes");
-                    assert!(stats.is_some_and(|s| s.inputs_per_sec.is_some()));
-                    break payload;
-                }
-            }
-        };
+        let rx = queue_job(&job_tx, small_fuzz_spec(), 0, CancelToken::new());
+        let (fresh, tier, has_stats) = wait_done(&rx);
+        assert_eq!(tier, None, "first run computes");
+        assert!(has_stats);
 
-        // Identical job again: answered by the dequeue-time recheck.
-        let (tx, rx) = mpsc::channel();
-        job_tx.send(QueuedJob { spec, key, events: tx }).unwrap();
-        loop {
-            match rx.recv().unwrap() {
-                JobEvent::Progress { .. } => continue,
-                JobEvent::Done { payload, tier, stats } => {
-                    assert_eq!(tier, Some(CacheTier::Memory));
-                    assert!(stats.is_none(), "cache hits carry no stats");
-                    assert_eq!(payload, fresh, "cached bytes are identical");
-                    break;
-                }
-            }
+        // Identical job again: answered by the dequeue-time recheck,
+        // sharing the cached allocation.
+        let rx = queue_job(&job_tx, small_fuzz_spec(), 1, CancelToken::new());
+        let (cached, tier, has_stats) = wait_done(&rx);
+        assert_eq!(tier, Some(CacheTier::Memory));
+        assert!(!has_stats, "cache hits carry no stats");
+        assert_eq!(cached, fresh, "cached bytes are identical");
+        assert!(Arc::ptr_eq(
+            &cached.share(),
+            &cache.get(small_fuzz_spec().cache_key()).unwrap().0.share()
+        ));
+        drop(job_tx);
+        pool.join();
+    }
+
+    #[test]
+    fn cancelled_queued_jobs_abort_without_touching_the_cache() {
+        let cache = Arc::new(ResultCache::new(8, None));
+        let snapshots = Arc::new(SnapshotStore::new());
+        let (job_tx, job_rx) = mpsc::channel();
+        // No workers yet: cancel strictly before dequeue.
+        let token = CancelToken::new();
+        let rx = queue_job(&job_tx, small_fuzz_spec(), 3, token.clone());
+        token.cancel();
+        let pool = WorkerPool::spawn(1, job_rx, &cache, &snapshots);
+        match rx.recv().unwrap() {
+            PoolEvent::Aborted { epoch, .. } => assert_eq!(epoch, 3),
+            other => panic!("expected abort, got {other:?}"),
         }
+        assert!(cache.get(small_fuzz_spec().cache_key()).is_none(), "cache stays empty");
         drop(job_tx);
         pool.join();
     }

@@ -66,17 +66,20 @@ proptest! {
 
         let dir = temp_dir();
         let cache = ResultCache::new(4, Some(dir.clone()));
-        cache.insert(key, &fresh);
+        let inserted = cache.insert(key, &fresh);
+        prop_assert_eq!(inserted.payload(), &fresh[..]);
         let (from_memory, tier) = cache.get(key).expect("memory hit");
         prop_assert_eq!(tier, CacheTier::Memory);
-        prop_assert_eq!(&from_memory, &fresh);
+        prop_assert_eq!(from_memory.payload(), &fresh[..]);
 
         // A brand-new cache over the same directory sees only the disk
-        // tier — the bytes must still be identical.
+        // tier — the bytes must still be identical, down to the framed
+        // done-frame tail the event loop splices into sockets.
         let reopened = ResultCache::new(4, Some(dir.clone()));
         let (from_disk, tier) = reopened.get(key).expect("disk hit");
         prop_assert_eq!(tier, CacheTier::Disk);
-        prop_assert_eq!(&from_disk, &fresh);
+        prop_assert_eq!(from_disk.payload(), &fresh[..]);
+        prop_assert_eq!(from_disk.tail(), from_memory.tail());
 
         let recomputed = run_job(spec, &snapshots, &Obs::noop()).to_bytes();
         prop_assert_eq!(&recomputed, &fresh);

@@ -59,6 +59,25 @@ done
 cmp "$SERVER_OUT/first.json" "$SERVER_OUT/second.json"
 echo "    cache hit payload is byte-identical"
 
+echo "==> campaign server gate: 16 concurrent identical submits coalesce onto one execution"
+# A long fresh job (~1.5 s) so all 16 CLI submits arrive while it is
+# still in flight; 15 of them must attach to the single execution, and
+# every payload must be byte-identical.
+COALESCE_JOB='{"Fuzz":{"scenario":{"Keyless":{"controls":"All","horizon_ms":300,"attack_at_ms":100}},"iterations":524288,"seed":99}}'
+COALESCE_PIDS=()
+for i in $(seq 1 16); do
+  "$SERVER_BIN" submit --addr "$SERVER_ADDR" --id "burst$i" --job "$COALESCE_JOB" \
+    > "$SERVER_OUT/burst$i.json" 2>/dev/null &
+  COALESCE_PIDS+=($!)
+done
+for pid in "${COALESCE_PIDS[@]}"; do wait "$pid"; done
+for i in $(seq 2 16); do cmp "$SERVER_OUT/burst1.json" "$SERVER_OUT/burst$i.json"; done
+SERVER_STATS="$("$SERVER_BIN" stats --addr "$SERVER_ADDR")"
+COALESCED="$(printf '%s' "$SERVER_STATS" | grep -o '"coalesced":[0-9]*' | cut -d: -f2)"
+EXECUTED="$(printf '%s' "$SERVER_STATS" | grep -o '"executed":[0-9]*' | cut -d: -f2)"
+test "$COALESCED" -ge 15
+echo "    coalesced=$COALESCED executed=$EXECUTED; 16 byte-identical payloads"
+
 echo "==> campaign server smoke: in-band shutdown exits cleanly"
 "$SERVER_BIN" shutdown --addr "$SERVER_ADDR"
 wait "$SERVER_PID"
@@ -88,6 +107,9 @@ wait "$SERVER_PID"
 trap - EXIT
 rm -rf "$SERVER_CACHE" "$SERVER_OUT"
 echo "    disk cache survived SIGTERM; payload still byte-identical"
+
+echo "==> campaign server floor: cached-memory latency within 3x of committed BENCH_server.json"
+cargo run -q --release -p saseval-bench --bin repro_tables -- --server-floor BENCH_server.json
 
 echo "==> saseval-lint --use-cases"
 cargo run -q -p saseval-lint -- --use-cases
