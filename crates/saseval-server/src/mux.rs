@@ -135,8 +135,12 @@ impl WriteQueue {
                 self.chunks.pop_front();
                 n -= front_len;
             } else {
+                // Partially consumed front chunk: its full length stays
+                // in `queued_bytes` (the invariant is queued_bytes =
+                // sum of resident chunk lengths), so add back the `n`
+                // bytes the blanket subtraction above took off for it.
                 self.front_offset = n;
-                self.queued_bytes += front_len - n;
+                self.queued_bytes += n;
                 break;
             }
         }
@@ -374,6 +378,16 @@ impl Mux {
                                 activity += 1;
                                 conn.read_buf.extend_from_slice(&scratch[..n]);
                                 if conn.read_buf.len() > READ_CAP {
+                                    // Over the cap with complete lines
+                                    // buffered is a fast pipelining
+                                    // client, not a violation: stop
+                                    // reading so line processing drains
+                                    // the buffer first. Only a capful
+                                    // of bytes with no newline at all
+                                    // means a peer gone wrong.
+                                    if conn.read_buf.contains(&b'\n') {
+                                        break;
+                                    }
                                     close = true;
                                 }
                             }
@@ -470,7 +484,7 @@ impl Mux {
             self.queue_frame(conn_id, error_frame(None, "cancel requires an id"));
             return;
         };
-        let key = self.conns.get_mut(&conn_id).and_then(|conn| conn.inflight_ids.remove(id));
+        let key = self.conns.get(&conn_id).and_then(|conn| conn.inflight_ids.get(id).copied());
         let Some(key) = key else {
             self.queue_frame(conn_id, error_frame(Some(id), "no in-flight job with this id"));
             return;
@@ -479,10 +493,15 @@ impl Mux {
             Detached::Orphaned(token) => token.cancel(),
             Detached::Remaining => {}
             Detached::NotFound => {
-                // inflight_ids said otherwise; treat as already done.
+                // inflight_ids said otherwise; keep the mapping intact
+                // (the tables disagree — destroying the id→key entry
+                // would only paper over it) and report as already done.
                 self.queue_frame(conn_id, error_frame(Some(id), "no in-flight job with this id"));
                 return;
             }
+        }
+        if let Some(conn) = self.conns.get_mut(&conn_id) {
+            conn.inflight_ids.remove(id);
         }
         self.metrics.counter("server.cancelled", 1);
         self.metrics.gauge("server.inflight", self.inflight.len() as f64);
@@ -736,6 +755,26 @@ mod tests {
         queue.consume(3); // crosses the chunk boundary
         assert_eq!(queue.bytes(), 5);
         queue.consume(5);
+        assert!(queue.is_empty());
+        assert_eq!(queue.bytes(), 0);
+    }
+
+    #[test]
+    fn write_queue_tracks_uneven_partial_consumption() {
+        // Regression: a partial write that is not exactly half the
+        // front chunk must leave bytes() = remaining unwritten bytes
+        // (the old accounting added back front_len - n instead of n,
+        // underflowing queued_bytes on the next boundary crossing).
+        let mut queue = WriteQueue::default();
+        queue.push(Chunk::Owned(b"0123456789".to_vec()));
+        assert_eq!(queue.bytes(), 10);
+        queue.consume(7);
+        assert_eq!(queue.bytes(), 3);
+        queue.push(Chunk::Shared(Arc::from(&b"abcd"[..])));
+        assert_eq!(queue.bytes(), 7);
+        queue.consume(4); // finishes the front chunk, 1 into the next
+        assert_eq!(queue.bytes(), 3);
+        queue.consume(3);
         assert!(queue.is_empty());
         assert_eq!(queue.bytes(), 0);
     }

@@ -21,8 +21,11 @@
 //! result of a newer resubmission of the same key. Cancellation is
 //! cooperative via [`CancelToken`]: checked at dequeue time (a job
 //! cancelled while queued never executes) and again before the cache
-//! insert (a job whose waiters all detached mid-run never populates the
-//! cache).
+//! insert, so a job whose waiters all detached mid-run skips the cache
+//! best-effort. A cancel landing in the narrow window between that
+//! final check and the insert can still populate the cache; this is
+//! harmless because payloads are deterministic — the cached bytes are
+//! exactly what a fresh execution would produce.
 
 use std::collections::HashMap;
 use std::sync::mpsc::{Receiver, Sender};
@@ -421,7 +424,9 @@ fn worker_loop(queue: &Mutex<Receiver<QueuedJob>>, cache: &ResultCache, snapshot
         let payload = run_job(job.spec, snapshots, &obs).to_bytes();
         let elapsed_seconds = started.elapsed().as_secs_f64();
         // Every waiter detached mid-run: discard the result without
-        // touching the cache — cancelled jobs never populate it.
+        // touching the cache. Best-effort — a cancel landing between
+        // this check and the insert still caches the (deterministic,
+        // so harmless) payload; see the module docs.
         if job.token.is_cancelled() {
             let _ = job.events.send(PoolEvent::Aborted { key: job.key, epoch: job.epoch });
             continue;
