@@ -8,6 +8,7 @@
 //! cargo run -p saseval-bench --bin repro_tables --fuzz-batch 64  # batched fuzzing
 //! cargo run -p saseval-bench --bin repro_tables --replay-corpus tests/fixtures/corpus
 //! cargo run -p saseval-bench --bin repro_tables --server-floor BENCH_server.json
+//! cargo run -p saseval-bench --bin repro_tables --scenario-search 96
 //! cargo run -p saseval-bench --bin repro_tables --list
 //! ```
 //!
@@ -22,6 +23,14 @@
 //! job size), and exits non-zero when the fresh measurement is more than
 //! 3x slower than the committed row — catching cached-fast-path
 //! regressions without re-running the whole bench grid.
+//!
+//! `--scenario-search BUDGET` is a standalone determinism and efficacy
+//! smoke: it runs the coverage-guided scenario search (two shards) and
+//! the pure-random baseline over the built-in keyless space at a fixed
+//! seed and the given budget, prints the coverage each reached plus the
+//! guided corpus hash (a stable fingerprint CI can pin), and exits
+//! non-zero unless the guided search discovered strictly more coverage
+//! points than random sampling.
 
 use std::path::PathBuf;
 
@@ -105,10 +114,50 @@ fn run_server_floor(file: &PathBuf) -> ! {
     std::process::exit(0);
 }
 
+/// The `--scenario-search` smoke: a fixed-seed guided-vs-random duel
+/// over the built-in keyless scenario space. Prints machine-pinnable
+/// coverage numbers and corpus hashes, then gates on guided > random.
+fn run_scenario_search(budget: usize) -> ! {
+    use saseval_fuzz::scenario::{ScenarioSearch, ScenarioSpace};
+    const SEED: u64 = 0xC0FFEE;
+    const SHARDS: usize = 2;
+    let search = ScenarioSearch::new(ScenarioSpace::keyless_default(), SEED);
+    let guided = search.run_parallel(budget, SHARDS);
+    let random = search.run_random(budget);
+    println!(
+        "scenario search (seed {SEED:#x}, budget {budget}, {SHARDS} shards): \
+         guided cells={} paths={} corpus={} hash={:#018x}",
+        guided.cells,
+        guided.paths,
+        guided.corpus.len(),
+        guided.corpus_hash(),
+    );
+    println!(
+        "scenario random (seed {SEED:#x}, budget {budget}): \
+         cells={} paths={} corpus={} hash={:#018x}",
+        random.cells,
+        random.paths,
+        random.corpus.len(),
+        random.corpus_hash(),
+    );
+    if guided.coverage_points() <= random.coverage_points() {
+        eprintln!(
+            "guided search did not beat random sampling: {} <= {} coverage points",
+            guided.coverage_points(),
+            random.coverage_points(),
+        );
+        std::process::exit(1);
+    }
+    std::process::exit(0);
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if let Some(file) = take_path_flag(&mut args, "--server-floor", "a BENCH_server.json path") {
         run_server_floor(&file);
+    }
+    if let Some(budget) = take_count_flag(&mut args, "--scenario-search") {
+        run_scenario_search(budget);
     }
     if let Some(dir) = take_path_flag(&mut args, "--replay-corpus", "a corpus directory") {
         match replay_corpus_table(&dir) {

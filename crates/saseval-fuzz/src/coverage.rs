@@ -184,6 +184,11 @@ impl CoverageMap {
     pub fn cells(&self) -> usize {
         self.field_cell_count
     }
+
+    /// Number of distinct in-range path indices exercised.
+    pub fn paths_exercised(&self) -> usize {
+        self.exercised_path_count
+    }
 }
 
 #[cfg(test)]

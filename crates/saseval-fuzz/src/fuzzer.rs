@@ -177,13 +177,13 @@ const OBS_BATCH: usize = 256;
 /// Derives shard `shard`'s RNG seed from the fuzzer's base seed. Shard 0
 /// always fuzzes with the base seed itself, so a one-shard parallel run
 /// replays the serial input stream byte for byte.
-fn shard_seed(base_seed: u64, shard: usize) -> u64 {
+pub(crate) fn shard_seed(base_seed: u64, shard: usize) -> u64 {
     base_seed.wrapping_add((shard as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
 }
 
 /// Contiguous iteration range of shard `shard` out of `shards` over
 /// `iterations` total inputs.
-fn shard_range(iterations: usize, shards: usize, shard: usize) -> Range<usize> {
+pub(crate) fn shard_range(iterations: usize, shards: usize, shard: usize) -> Range<usize> {
     let chunk = iterations.div_ceil(shards);
     let start = (shard * chunk).min(iterations);
     let end = ((shard + 1) * chunk).min(iterations);

@@ -29,6 +29,15 @@
 //!   forks from a copy-on-write world snapshot taken at attack-activation
 //!   time, and batches of forks step in lockstep through the
 //!   `vehicle-sim` batch module,
+//! * [`scenario`] lifts the loop from single messages to whole
+//!   validation scenarios: a parameterized
+//!   [`scenario::ScenarioSpec`] (traffic density, platoon
+//!   shape, RSU count, channel profile, attacker placement, FTTI
+//!   variant, armed controls) with a seeded sampler and mutation
+//!   operators, compiled to world configs and driven by a
+//!   coverage-guided [`scenario::ScenarioSearch`] that
+//!   reuses [`CoverageMap`] over a scenario-dimension model under the
+//!   same sharded determinism contract as the fuzzer,
 //! * [`mod@minimize`] shrinks crash inputs with deterministic delta
 //!   debugging (`ddmin` plus zero-simplification, step-budgeted),
 //! * [`corpus`] persists findings into a content-addressed on-disk
@@ -67,6 +76,7 @@ pub mod fuzzer;
 pub mod minimize;
 pub mod model;
 pub mod mutate;
+pub mod scenario;
 pub mod sim_target;
 
 pub use corpus::{builtin_oracle, Corpus, CorpusEntry, EntryMeta, ReplayReport, Replayer};
@@ -77,4 +87,8 @@ pub use fuzzer::{
 pub use minimize::{minimize, MinimizeConfig, MinimizeResult};
 pub use model::{FieldKind, FieldSpec, ProtocolModel};
 pub use mutate::{GeneratedInput, Mutator, ValueClass};
+pub use scenario::{
+    DimRange, NamedScenario, ScenarioFile, ScenarioRecord, ScenarioSampler, ScenarioSearch,
+    ScenarioSearchReport, ScenarioSpace, ScenarioSpec, ScenarioVerdict,
+};
 pub use sim_target::{SimOracle, FUZZ_SENDER};

@@ -2,6 +2,7 @@
 
 use saseval_core::catalog::UseCaseCatalog;
 use saseval_dsl::ast::Document;
+use saseval_fuzz::scenario::ScenarioFile;
 use saseval_threat::ThreatLibrary;
 
 /// A parsed DSL document together with the name it was loaded from, so
@@ -21,10 +22,27 @@ impl SourceDocument {
     }
 }
 
+/// A parsed scenario data file (`*.scn.json`) together with the name it
+/// was loaded from, so diagnostics can point back to the file.
+#[derive(Debug, Clone)]
+pub struct ScenarioDocument {
+    /// File path or logical name used in diagnostics.
+    pub name: String,
+    /// The parsed scenario file.
+    pub file: ScenarioFile,
+}
+
+impl ScenarioDocument {
+    /// Bundles a parsed scenario file with its display name.
+    pub fn new(name: impl Into<String>, file: ScenarioFile) -> Self {
+        ScenarioDocument { name: name.into(), file }
+    }
+}
+
 /// Everything the rules may inspect. Any part may be absent: artifact
 /// rules skip silently without a catalog, library-dependent rules without
-/// a library, DSL rules without documents, execution-facing graph rules
-/// without trace inputs.
+/// a library, DSL rules without documents, scenario rules without
+/// scenario files, execution-facing graph rules without trace inputs.
 #[derive(Clone, Copy, Default)]
 pub struct LintContext<'a> {
     /// The threat library cross-references are resolved against.
@@ -33,6 +51,8 @@ pub struct LintContext<'a> {
     pub catalog: Option<&'a UseCaseCatalog>,
     /// Parsed DSL documents under lint.
     pub documents: &'a [SourceDocument],
+    /// Parsed scenario data files under lint.
+    pub scenarios: &'a [ScenarioDocument],
     /// Dynamic evidence: executed verdicts and stored reproductions.
     pub trace: Option<&'a crate::graph::TraceInputs>,
 }
@@ -45,12 +65,24 @@ impl<'a> LintContext<'a> {
 
     /// A context for checking a catalog against a threat library.
     pub fn for_catalog(library: &'a ThreatLibrary, catalog: &'a UseCaseCatalog) -> Self {
-        LintContext { library: Some(library), catalog: Some(catalog), documents: &[], trace: None }
+        LintContext { library: Some(library), catalog: Some(catalog), ..Self::default() }
     }
 
     /// A context for checking parsed DSL documents.
     pub fn for_documents(documents: &'a [SourceDocument]) -> Self {
-        LintContext { library: None, catalog: None, documents, trace: None }
+        LintContext { documents, ..Self::default() }
+    }
+
+    /// A context for checking parsed scenario data files.
+    pub fn for_scenarios(scenarios: &'a [ScenarioDocument]) -> Self {
+        LintContext { scenarios, ..Self::default() }
+    }
+
+    /// Attaches scenario data files to an existing context.
+    #[must_use]
+    pub fn with_scenarios(mut self, scenarios: &'a [ScenarioDocument]) -> Self {
+        self.scenarios = scenarios;
+        self
     }
 
     /// Attaches DSL documents to an existing context.

@@ -16,8 +16,9 @@
 //!   rules with stable `SASE…` codes.
 //! * [`rules`] — the rules themselves: artifact cross-reference and
 //!   completeness checks (`SASE001`–`SASE009`), DSL semantic checks
-//!   (`SASE010`–`SASE015`) and whole-campaign trace-graph checks
-//!   (`SASE016`–`SASE024`).
+//!   (`SASE010`–`SASE015`), whole-campaign trace-graph checks
+//!   (`SASE016`–`SASE024`) and scenario-file checks over declared
+//!   search spaces and their concrete scenarios (`SASE025`–`SASE029`).
 //! * [`graph`] — the typed, content-addressed trace graph the graph
 //!   rules and the assurance-case renderer analyze.
 //! * [`assurance`] — the GSN-style assurance case and traceability
@@ -57,7 +58,7 @@ pub mod rules;
 pub use assurance::AssuranceCase;
 pub use baseline::Baseline;
 pub use config::LintConfig;
-pub use context::{LintContext, SourceDocument};
+pub use context::{LintContext, ScenarioDocument, SourceDocument};
 pub use diagnostics::{Diagnostic, Level, Locus, Related, Severity};
 pub use graph::{EvidenceRecord, TraceGraph, TraceInputs, VerdictRecord};
 pub use registry::{registry, Rule};

@@ -3,7 +3,8 @@
 //! ```text
 //! saseval-lint [OPTIONS] [FILES...]
 //!
-//!   FILES                 .sasedsl documents to lint
+//!   FILES                 .sasedsl documents and .scn.json scenario
+//!                         files to lint
 //!   --use-cases           lint the built-in use-case catalogs
 //!   --format text|json    output format (default: text)
 //!   --allow CODE          disable a rule
@@ -27,7 +28,7 @@ use std::process::ExitCode;
 use saseval_core::catalog::{use_case_1, use_case_2};
 use saseval_lint::{
     render_json, render_text, run_lint_with_jobs, AssuranceCase, Baseline, Level, LintConfig,
-    LintContext, LintReport, SourceDocument, TraceInputs, VerdictRecord,
+    LintContext, LintReport, ScenarioDocument, SourceDocument, TraceInputs, VerdictRecord,
 };
 use saseval_obs::Obs;
 use saseval_threat::builtin::automotive_library;
@@ -35,7 +36,8 @@ use saseval_threat::builtin::automotive_library;
 const USAGE: &str = "\
 usage: saseval-lint [OPTIONS] [FILES...]
 
-  FILES                 .sasedsl documents to lint
+  FILES                 .sasedsl documents and .scn.json scenario files
+                        to lint
   --use-cases           lint the built-in use-case catalogs
   --format text|json    output format (default: text)
   --allow CODE          disable a rule
@@ -127,8 +129,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     Ok(options)
 }
 
-/// Loads and parses the given files; exits with a parse diagnostic on
-/// failure.
+/// Loads and parses the given DSL files; exits with a parse diagnostic
+/// on failure.
 fn load_documents(files: &[String]) -> Result<Vec<SourceDocument>, String> {
     let mut documents = Vec::new();
     for file in files {
@@ -140,6 +142,19 @@ fn load_documents(files: &[String]) -> Result<Vec<SourceDocument>, String> {
         documents.push(SourceDocument::new(file.clone(), document));
     }
     Ok(documents)
+}
+
+/// Loads and parses the given `.scn.json` scenario files.
+fn load_scenarios(files: &[String]) -> Result<Vec<ScenarioDocument>, String> {
+    let mut scenarios = Vec::new();
+    for file in files {
+        let source =
+            std::fs::read_to_string(file).map_err(|e| format!("{file}: cannot read: {e}"))?;
+        let parsed = serde_json::from_str(&source)
+            .map_err(|e| format!("{file}: scenario parse error: {e}"))?;
+        scenarios.push(ScenarioDocument::new(file.clone(), parsed));
+    }
+    Ok(scenarios)
 }
 
 /// Executes the full built-in campaign once and converts the results
@@ -185,8 +200,17 @@ fn main() -> ExitCode {
         }
     };
 
-    let documents = match load_documents(&options.files) {
+    let (scenario_files, dsl_files): (Vec<String>, Vec<String>) =
+        options.files.iter().cloned().partition(|f| f.ends_with(".scn.json"));
+    let documents = match load_documents(&dsl_files) {
         Ok(documents) => documents,
+        Err(message) => {
+            eprintln!("saseval-lint: {message}");
+            return ExitCode::from(2);
+        }
+    };
+    let scenarios = match load_scenarios(&scenario_files) {
+        Ok(scenarios) => scenarios,
         Err(message) => {
             eprintln!("saseval-lint: {message}");
             return ExitCode::from(2);
@@ -236,12 +260,16 @@ fn main() -> ExitCode {
             runs.push(Run { label: catalog.name.clone(), report, case });
         }
     }
-    if !documents.is_empty() {
-        let ctx = LintContext::for_documents(&documents);
-        let label = if documents.len() == 1 {
-            documents[0].name.clone()
-        } else {
-            format!("{} documents", documents.len())
+    if !documents.is_empty() || !scenarios.is_empty() {
+        let ctx = LintContext::for_documents(&documents).with_scenarios(&scenarios);
+        let mut names = documents
+            .iter()
+            .map(|d| d.name.as_str())
+            .chain(scenarios.iter().map(|s| s.name.as_str()));
+        let first = names.next().expect("at least one file");
+        let label = match names.count() {
+            0 => first.to_owned(),
+            rest => format!("{} files", rest + 1),
         };
         let mut report = run_lint_with_jobs(&ctx, &options.config, &obs, options.jobs);
         if let Some(baseline) = &baseline {

@@ -54,6 +54,11 @@ pub fn registry() -> Vec<Box<dyn Rule>> {
         Box::new(rules::graph::UndetectedViolation),
         Box::new(rules::graph::DeductivePartial),
         Box::new(rules::graph::InductiveUnconfirmed),
+        Box::new(rules::scenario::ScenarioOutOfRange),
+        Box::new(rules::scenario::InvalidDimRange),
+        Box::new(rules::scenario::InapplicableDimension),
+        Box::new(rules::scenario::ConstantDimension),
+        Box::new(rules::scenario::DuplicateScenario),
     ]
 }
 

@@ -3,3 +3,4 @@
 pub mod artifact;
 pub mod dsl;
 pub mod graph;
+pub mod scenario;

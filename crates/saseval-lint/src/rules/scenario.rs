@@ -1,0 +1,415 @@
+//! Scenario-file rules: checks over parsed scenario data files
+//! (`*.scn.json`) — the declared [`ScenarioSpace`] and its named
+//! concrete scenarios. These files parameterize the coverage-guided
+//! scenario search (`saseval-fuzz`'s `scenario` module); the rules
+//! catch declarations the search would silently clamp, ignore or
+//! duplicate.
+//!
+//! [`ScenarioSpace`]: saseval_fuzz::scenario::ScenarioSpace
+
+use std::collections::BTreeMap;
+
+use saseval_fuzz::scenario::{CONSTRUCTION_ONLY_DIMS, DIM_NAMES};
+use saseval_types::WorldKind;
+
+use crate::context::{LintContext, ScenarioDocument};
+use crate::diagnostics::{Diagnostic, Level, Locus};
+use crate::registry::Rule;
+
+fn scenario_locus(doc: &ScenarioDocument, scenario_name: &str) -> Locus {
+    Locus::artifact("scenario", format!("{}::{scenario_name}", doc.name))
+}
+
+fn space_locus(doc: &ScenarioDocument) -> Locus {
+    Locus::artifact("scenario-space", doc.name.clone())
+}
+
+/// `SASE025`: a scenario's dimension value lies outside the range its
+/// own file declares.
+pub struct ScenarioOutOfRange;
+
+impl Rule for ScenarioOutOfRange {
+    fn code(&self) -> &'static str {
+        "SASE025"
+    }
+    fn name(&self) -> &'static str {
+        "scenario-out-of-range"
+    }
+    fn summary(&self) -> &'static str {
+        "scenario parameter lies outside the file's declared range"
+    }
+    fn help(&self) -> &'static str {
+        "A scenario file declares the space it explores; a concrete scenario outside that space either misstates the file's intent or relies on the sampler's clamping, which would change the scenario silently. Widen the declared range or fix the scenario value."
+    }
+    fn default_level(&self) -> Level {
+        Level::Deny
+    }
+    fn check(&self, ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        for doc in ctx.scenarios {
+            for scenario in &doc.file.scenarios {
+                if scenario.spec.world != doc.file.space.world {
+                    out.push(
+                        Diagnostic::new(
+                            self.code(),
+                            format!(
+                                "scenario `{}` targets the {:?} world but the file declares {:?}",
+                                scenario.name, scenario.spec.world, doc.file.space.world
+                            ),
+                            scenario_locus(doc, &scenario.name),
+                        )
+                        .fix("align the scenario's world with the declared space"),
+                    );
+                }
+                for (dim, name) in DIM_NAMES.iter().enumerate() {
+                    let range = doc.file.space.range(dim);
+                    if range.is_inverted() {
+                        continue; // SASE026's finding
+                    }
+                    let value = scenario.spec.value(dim);
+                    if !range.contains(value) {
+                        out.push(
+                            Diagnostic::new(
+                                self.code(),
+                                format!(
+                                    "scenario `{}` sets `{name}` to {value}, outside the declared \
+                                     range {}..={}",
+                                    scenario.name, range.lo, range.hi
+                                ),
+                                scenario_locus(doc, &scenario.name),
+                            )
+                            .fix("move the value into the declared range or widen the range"),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `SASE026`: a declared dimension range is invalid — inverted
+/// (`lo > hi`) or admitting enum indices that do not exist.
+pub struct InvalidDimRange;
+
+impl Rule for InvalidDimRange {
+    fn code(&self) -> &'static str {
+        "SASE026"
+    }
+    fn name(&self) -> &'static str {
+        "invalid-dim-range"
+    }
+    fn summary(&self) -> &'static str {
+        "declared dimension range is inverted or exceeds the enum's variants"
+    }
+    fn help(&self) -> &'static str {
+        "An inverted range admits no values, so sampling from it is undefined; an enum range past the last variant index relies on clamping, so the declared span overstates what the search can reach. Declare `lo <= hi` and keep enum dimensions within their variant indices (0..=2)."
+    }
+    fn default_level(&self) -> Level {
+        Level::Deny
+    }
+    fn check(&self, ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        for doc in ctx.scenarios {
+            for (dim, name) in DIM_NAMES.iter().enumerate() {
+                let range = doc.file.space.range(dim);
+                if range.is_inverted() {
+                    out.push(
+                        Diagnostic::new(
+                            self.code(),
+                            format!(
+                                "dimension `{name}` declares the inverted range {}..={}",
+                                range.lo, range.hi
+                            ),
+                            space_locus(doc),
+                        )
+                        .fix("swap the bounds so that lo <= hi"),
+                    );
+                } else if matches!(dim, 4 | 5 | 7) && range.hi > 2 {
+                    out.push(
+                        Diagnostic::new(
+                            self.code(),
+                            format!(
+                                "enum dimension `{name}` admits index {} but only 0..=2 exist",
+                                range.hi
+                            ),
+                            space_locus(doc),
+                        )
+                        .note("out-of-range enum indices clamp to the last variant")
+                        .fix("cap the range at the last variant index"),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// `SASE027`: a keyless-world file leaves a construction-only dimension
+/// unpinned, declaring variation the world cannot exhibit.
+pub struct InapplicableDimension;
+
+impl Rule for InapplicableDimension {
+    fn code(&self) -> &'static str {
+        "SASE027"
+    }
+    fn name(&self) -> &'static str {
+        "inapplicable-dimension"
+    }
+    fn summary(&self) -> &'static str {
+        "keyless space leaves a construction-only dimension unpinned"
+    }
+    fn help(&self) -> &'static str {
+        "Traffic density, platoon shape and RSU count only exist in the construction world; a keyless space that declares a range over them promises variation the compiled worlds never exhibit, inflating the declared search space and splitting cache keys between semantically identical searches. Pin the dimension to a single value."
+    }
+    fn default_level(&self) -> Level {
+        Level::Deny
+    }
+    fn check(&self, ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        for doc in ctx.scenarios {
+            if doc.file.space.world != WorldKind::Keyless {
+                continue;
+            }
+            for dim in CONSTRUCTION_ONLY_DIMS {
+                let range = doc.file.space.range(dim);
+                if !range.is_inverted() && !range.is_pinned() {
+                    out.push(
+                        Diagnostic::new(
+                            self.code(),
+                            format!(
+                                "keyless space declares `{}` over {}..={} but the keyless world \
+                                 ignores it",
+                                DIM_NAMES[dim], range.lo, range.hi
+                            ),
+                            space_locus(doc),
+                        )
+                        .fix("pin the dimension (lo == hi) in keyless spaces"),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// `SASE028`: a declared-variable dimension that every scenario in the
+/// file leaves at one value — declared but never exercised.
+pub struct ConstantDimension;
+
+impl Rule for ConstantDimension {
+    fn code(&self) -> &'static str {
+        "SASE028"
+    }
+    fn name(&self) -> &'static str {
+        "constant-dimension"
+    }
+    fn summary(&self) -> &'static str {
+        "declared-variable dimension is never varied by the file's scenarios"
+    }
+    fn help(&self) -> &'static str {
+        "When a file declares a range over a dimension but all of its scenarios use the same value, the declaration overstates what the file exercises — coverage reports over the declared space would show permanently dark cells. Vary the dimension in at least one scenario or pin its range."
+    }
+    fn default_level(&self) -> Level {
+        Level::Warn
+    }
+    fn check(&self, ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        for doc in ctx.scenarios {
+            if doc.file.scenarios.len() < 2 {
+                continue; // one scenario cannot vary anything
+            }
+            for (dim, name) in DIM_NAMES.iter().enumerate() {
+                let range = doc.file.space.range(dim);
+                if range.is_inverted() || range.is_pinned() {
+                    continue;
+                }
+                let first = doc.file.scenarios[0].spec.value(dim);
+                if doc.file.scenarios.iter().all(|s| s.spec.value(dim) == first) {
+                    out.push(
+                        Diagnostic::new(
+                            self.code(),
+                            format!(
+                                "dimension `{name}` is declared over {}..={} but every scenario \
+                                 uses {first}",
+                                range.lo, range.hi
+                            ),
+                            space_locus(doc),
+                        )
+                        .fix("vary the dimension in at least one scenario or pin the range"),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// `SASE029`: two scenarios in one file are duplicates — same name or
+/// same parameters.
+pub struct DuplicateScenario;
+
+impl Rule for DuplicateScenario {
+    fn code(&self) -> &'static str {
+        "SASE029"
+    }
+    fn name(&self) -> &'static str {
+        "duplicate-scenario"
+    }
+    fn summary(&self) -> &'static str {
+        "two scenarios in one file share a name or identical parameters"
+    }
+    fn help(&self) -> &'static str {
+        "Scenario names key reports and cache entries, and two scenarios with identical parameters evaluate to the same verdict — the duplicate adds budget cost without adding coverage. Rename or differentiate the second scenario."
+    }
+    fn default_level(&self) -> Level {
+        Level::Warn
+    }
+    fn check(&self, ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        for doc in ctx.scenarios {
+            let mut names: BTreeMap<&str, usize> = BTreeMap::new();
+            let mut specs: BTreeMap<u64, &str> = BTreeMap::new();
+            for scenario in &doc.file.scenarios {
+                if names.insert(&scenario.name, 1).is_some() {
+                    out.push(
+                        Diagnostic::new(
+                            self.code(),
+                            format!("scenario name `{}` is used more than once", scenario.name),
+                            scenario_locus(doc, &scenario.name),
+                        )
+                        .fix("rename the duplicate scenario"),
+                    );
+                }
+                if let Some(first) = specs.insert(scenario.spec.canonical_hash(), &scenario.name) {
+                    if first != scenario.name {
+                        out.push(
+                            Diagnostic::new(
+                                self.code(),
+                                format!(
+                                    "scenario `{}` has the same parameters as `{first}`",
+                                    scenario.name
+                                ),
+                                scenario_locus(doc, &scenario.name),
+                            )
+                            .fix("differentiate the parameters or remove the duplicate"),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saseval_fuzz::scenario::{NamedScenario, ScenarioFile, ScenarioSpace, ScenarioSpec};
+
+    fn run_rule(rule: &dyn Rule, docs: &[ScenarioDocument]) -> Vec<Diagnostic> {
+        let ctx = LintContext::for_scenarios(docs);
+        let mut out = Vec::new();
+        rule.check(&ctx, &mut out);
+        out
+    }
+
+    fn clean_file() -> ScenarioFile {
+        let mut varied = ScenarioSpec::keyless_demonstrator();
+        varied.ftti_ms = 400;
+        varied.channel = saseval_types::ChannelProfile::Lossy;
+        varied.attacker = saseval_types::AttackerPlacement::Late;
+        varied.controls = saseval_types::ControlsProfile::None;
+        let mut space = ScenarioSpace::keyless_default();
+        space.ftti_ms.hi = 3_000;
+        ScenarioFile {
+            space,
+            scenarios: vec![
+                NamedScenario {
+                    name: "demonstrator".into(),
+                    spec: ScenarioSpec::keyless_demonstrator(),
+                },
+                NamedScenario { name: "degraded".into(), spec: varied },
+            ],
+        }
+    }
+
+    #[test]
+    fn a_clean_file_reports_nothing() {
+        let docs = [ScenarioDocument::new("clean.scn.json", clean_file())];
+        for rule in crate::registry::registry() {
+            if ("SASE025".."SASE030").contains(&rule.code()) {
+                assert!(
+                    run_rule(rule.as_ref(), &docs).is_empty(),
+                    "{} fired on a clean file",
+                    rule.code()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_range_and_world_mismatch_are_reported() {
+        let mut file = clean_file();
+        file.scenarios[1].spec.ftti_ms = 60_000;
+        let docs = [ScenarioDocument::new("f.scn.json", file)];
+        let findings = run_rule(&ScenarioOutOfRange, &docs);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("ftti_ms"));
+
+        let mut mismatched = clean_file();
+        mismatched.scenarios[0].spec.world = WorldKind::Construction;
+        let docs = [ScenarioDocument::new("g.scn.json", mismatched)];
+        assert!(run_rule(&ScenarioOutOfRange, &docs)
+            .iter()
+            .any(|d| d.message.contains("targets the Construction world")));
+    }
+
+    #[test]
+    fn inverted_and_overwide_enum_ranges_are_reported() {
+        let mut file = clean_file();
+        file.space.ftti_ms = saseval_fuzz::scenario::DimRange::new(500, 100);
+        file.space.channel = saseval_fuzz::scenario::DimRange::new(0, 7);
+        let docs = [ScenarioDocument::new("f.scn.json", file)];
+        let findings = run_rule(&InvalidDimRange, &docs);
+        assert_eq!(findings.len(), 2);
+        assert!(findings.iter().any(|d| d.message.contains("inverted")));
+        assert!(findings.iter().any(|d| d.message.contains("only 0..=2 exist")));
+    }
+
+    #[test]
+    fn unpinned_construction_dims_in_keyless_spaces_are_reported() {
+        let mut file = clean_file();
+        file.space.platoon_followers = saseval_fuzz::scenario::DimRange::new(0, 3);
+        let docs = [ScenarioDocument::new("f.scn.json", file)];
+        let findings = run_rule(&InapplicableDimension, &docs);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("platoon_followers"));
+        // The same range is fine in a construction space.
+        let construction =
+            ScenarioFile { space: ScenarioSpace::construction_default(), scenarios: Vec::new() };
+        let docs = [ScenarioDocument::new("c.scn.json", construction)];
+        assert!(run_rule(&InapplicableDimension, &docs).is_empty());
+    }
+
+    #[test]
+    fn constant_declared_dimensions_are_reported() {
+        let mut file = clean_file();
+        // Both scenarios use Midway.
+        file.scenarios[1].spec.attacker = file.scenarios[0].spec.attacker;
+        let docs = [ScenarioDocument::new("f.scn.json", file)];
+        let findings = run_rule(&ConstantDimension, &docs);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("attacker"));
+        // A single-scenario file cannot vary anything: silent.
+        let mut single = clean_file();
+        single.scenarios.truncate(1);
+        let docs = [ScenarioDocument::new("s.scn.json", single)];
+        assert!(run_rule(&ConstantDimension, &docs).is_empty());
+    }
+
+    #[test]
+    fn duplicate_names_and_parameters_are_reported() {
+        let mut file = clean_file();
+        file.scenarios[1].name = "demonstrator".into();
+        let docs = [ScenarioDocument::new("f.scn.json", file)];
+        assert_eq!(run_rule(&DuplicateScenario, &docs).len(), 1);
+
+        let mut file = clean_file();
+        file.scenarios[1].spec = file.scenarios[0].spec;
+        let docs = [ScenarioDocument::new("g.scn.json", file)];
+        let findings = run_rule(&DuplicateScenario, &docs);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("same parameters"));
+    }
+}

@@ -40,6 +40,7 @@ use vehicle_sim::keyless::KeylessConfig;
 use vehicle_sim::ControlSelection;
 
 use saseval_fuzz::fuzzer::FuzzReport;
+use saseval_fuzz::scenario::{ScenarioSearchReport, ScenarioSpace, DEFAULT_EVAL_ITERATIONS};
 
 /// Version of the job-execution semantics and payload schema. Bump on
 /// any change that can alter a payload for an unchanged spec — the
@@ -47,7 +48,8 @@ use saseval_fuzz::fuzzer::FuzzReport;
 /// unreachable instead of stale.
 ///
 /// Contract 2: the `Lint` job type and its `LintOutcome` payload.
-pub const RESULT_CONTRACT: u32 = 2;
+/// Contract 3: the `Scenario` job type and its search-report payload.
+pub const RESULT_CONTRACT: u32 = 3;
 
 /// The code-version fingerprint chained into every cache key: crate
 /// version plus [`RESULT_CONTRACT`].
@@ -355,8 +357,36 @@ impl LintJob {
     }
 }
 
+/// A scenario-search job: coverage-guided search over a declared
+/// scenario space (ROADMAP item 2), reusing the fuzzer's sharded
+/// determinism contract — a fixed `(space, budget, seed, shards,
+/// eval_iterations)` tuple always produces the same report, which is
+/// what makes the result cacheable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScenarioJob {
+    /// The scenario space to search; omitted → the stock keyless space
+    /// ([`ScenarioSpace::keyless_default`]).
+    #[serde(default)]
+    pub space: ScenarioSpace,
+    /// Evaluation budget: how many sampled/mutated specs to try.
+    pub budget: usize,
+    /// Base search seed.
+    pub seed: u64,
+    /// Shard count for the deterministic sharded merge; 0 → 1. Part of
+    /// the cache key: different shard counts draw different sample
+    /// streams.
+    #[serde(default)]
+    pub shards: usize,
+    /// Fuzz inputs per scenario evaluation; 0 →
+    /// [`DEFAULT_EVAL_ITERATIONS`]. Part of the cache key: it changes
+    /// every verdict.
+    #[serde(default)]
+    pub eval_iterations: usize,
+}
+
 /// One validation job, as carried on the wire (externally tagged:
-/// `{"Fuzz": {...}}`, `{"Campaign": {...}}` or `{"Lint": {...}}`).
+/// `{"Fuzz": {...}}`, `{"Campaign": {...}}`, `{"Lint": {...}}` or
+/// `{"Scenario": {...}}`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum JobSpec {
     /// Protocol fuzzing against a demonstrator world.
@@ -365,6 +395,8 @@ pub enum JobSpec {
     Campaign(CampaignJob),
     /// Trace-graph static analysis of a built-in catalog.
     Lint(LintJob),
+    /// Coverage-guided scenario search over a declared space.
+    Scenario(ScenarioJob),
 }
 
 impl JobSpec {
@@ -381,6 +413,17 @@ impl JobSpec {
             }),
             JobSpec::Campaign(job) => JobSpec::Campaign(job),
             JobSpec::Lint(job) => JobSpec::Lint(job.normalized()),
+            JobSpec::Scenario(job) => JobSpec::Scenario(ScenarioJob {
+                space: job.space,
+                budget: job.budget,
+                seed: job.seed,
+                shards: job.shards.max(1),
+                eval_iterations: if job.eval_iterations == 0 {
+                    DEFAULT_EVAL_ITERATIONS
+                } else {
+                    job.eval_iterations
+                },
+            }),
         }
     }
 
@@ -436,6 +479,8 @@ pub enum JobPayload {
     Campaign(CampaignReport),
     /// Result of a [`JobSpec::Lint`] job.
     Lint(LintOutcome),
+    /// Result of a [`JobSpec::Scenario`] job.
+    Scenario(ScenarioSearchReport),
 }
 
 impl JobPayload {
@@ -553,6 +598,47 @@ mod tests {
             artifacts: 0xDEAD_BEEF,
         });
         assert_ne!(base.cache_key(), other_artifacts.cache_key());
+    }
+
+    #[test]
+    fn scenario_job_canonicalization_fills_the_space_and_sentinels() {
+        // An omitted space means the stock keyless space; omitted
+        // shards/eval_iterations resolve to their defaults. All three
+        // spellings share one cache key.
+        let terse: JobSpec =
+            serde_json::from_str(r#"{"Scenario":{"budget":16,"seed":3}}"#).unwrap();
+        let spelled = JobSpec::Scenario(ScenarioJob {
+            space: ScenarioSpace::keyless_default(),
+            budget: 16,
+            seed: 3,
+            shards: 1,
+            eval_iterations: DEFAULT_EVAL_ITERATIONS,
+        });
+        assert_eq!(terse.canonical_json(), spelled.canonical_json());
+        assert_eq!(terse.cache_key(), spelled.cache_key());
+        // Idempotent normalization.
+        assert_eq!(terse.normalized(), terse.normalized().normalized());
+    }
+
+    #[test]
+    fn scenario_job_keys_separate_semantic_parameters() {
+        let base = JobSpec::Scenario(ScenarioJob {
+            space: ScenarioSpace::keyless_default(),
+            budget: 16,
+            seed: 3,
+            shards: 0,
+            eval_iterations: 0,
+        });
+        let JobSpec::Scenario(job) = base else { unreachable!() };
+        let other_space =
+            JobSpec::Scenario(ScenarioJob { space: ScenarioSpace::construction_default(), ..job });
+        assert_ne!(base.cache_key(), other_space.cache_key());
+        let sharded = JobSpec::Scenario(ScenarioJob { shards: 2, ..job });
+        assert_ne!(base.cache_key(), sharded.cache_key());
+        let deeper = JobSpec::Scenario(ScenarioJob { eval_iterations: 24, ..job });
+        assert_ne!(base.cache_key(), deeper.cache_key());
+        let other_seed = JobSpec::Scenario(ScenarioJob { seed: 4, ..job });
+        assert_ne!(base.cache_key(), other_seed.cache_key());
     }
 
     #[test]

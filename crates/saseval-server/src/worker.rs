@@ -51,7 +51,9 @@ use saseval_threat::builtin::automotive_library;
 
 use crate::cache::{CacheTier, FramedPayload, ResultCache};
 use crate::flight::CancelToken;
-use crate::job::{CampaignJob, FuzzJob, JobPayload, JobSpec, LintJob, LintOutcome, ScenarioSpec};
+use crate::job::{
+    CampaignJob, FuzzJob, JobPayload, JobSpec, LintJob, LintOutcome, ScenarioJob, ScenarioSpec,
+};
 
 /// A warm world prefix resident in the [`SnapshotStore`].
 #[derive(Debug, Clone)]
@@ -211,7 +213,19 @@ pub fn run_job(spec: JobSpec, snapshots: &SnapshotStore, obs: &Obs) -> JobPayloa
         JobSpec::Fuzz(job) => run_fuzz_job(job, snapshots, obs),
         JobSpec::Campaign(job) => run_campaign_job(job, obs),
         JobSpec::Lint(job) => run_lint_job(job, obs),
+        JobSpec::Scenario(job) => run_scenario_job(job, obs),
     }
+}
+
+/// Runs a coverage-guided scenario search. The search manages its own
+/// per-spec world prefixes (every evaluated spec compiles to a distinct
+/// config, so the shared [`SnapshotStore`] of fuzz jobs does not apply)
+/// and inherits the job's observability sink for progress frames.
+fn run_scenario_job(job: ScenarioJob, obs: &Obs) -> JobPayload {
+    let search = saseval_fuzz::scenario::ScenarioSearch::new(job.space, job.seed)
+        .with_eval_iterations(job.eval_iterations)
+        .with_obs(obs.clone());
+    JobPayload::Scenario(search.run_parallel(job.budget, job.shards))
 }
 
 /// Execution statistics of a freshly computed job, summarized from the

@@ -5,9 +5,10 @@
 //! risk-rating vocabulary ([`asil`]), failure-mode guidewords ([`failure`]),
 //! the STRIDE threat model ([`stride`]), the attack-type taxonomy of the
 //! paper's Table IV ([`attack`]), asset classification ([`asset`]),
-//! attacker profiles ([`attacker`]), simulated time ([`time`]) and the
+//! attacker profiles ([`attacker`]), simulated time ([`time`]), the
 //! FNV-1a content-addressing helpers shared by the corpus and result
-//! cache ([`hash`]).
+//! cache ([`hash`]) and the enumerated dimensions of the parameterized
+//! validation-scenario model ([`scenario`]).
 //!
 //! Everything here is plain data: `Clone`/`Debug`/`Eq`/`Hash`/serde
 //! throughout, no behaviour beyond classification and conversion. The
@@ -34,6 +35,7 @@ pub mod attacker;
 pub mod failure;
 pub mod hash;
 pub mod id;
+pub mod scenario;
 pub mod stride;
 pub mod time;
 
@@ -46,5 +48,6 @@ pub use id::{
     AssetId, AttackDescriptionId, ControlId, DamageScenarioId, FunctionId, HazardRatingId, IdError,
     InterfaceId, SafetyGoalId, ScenarioId, SubScenarioId, ThreatScenarioId,
 };
+pub use scenario::{AttackerPlacement, ChannelProfile, ControlsProfile, WorldKind};
 pub use stride::ThreatType;
 pub use time::{Ftti, SimTime};

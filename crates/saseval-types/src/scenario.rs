@@ -1,0 +1,176 @@
+//! Scenario-space vocabulary: the enumerated dimensions of the
+//! parameterized validation-scenario model (ROADMAP item 2, paper
+//! §III-A).
+//!
+//! The paper derives its threat library *from driving scenarios*; these
+//! types name the discrete axes along which those scenarios vary —
+//! which demonstrator world runs, how degraded the radio channel is,
+//! when the attacker strikes, and which security controls are armed.
+//! The numeric axes (traffic density, platoon size/spacing, RSU count,
+//! FTTI) are plain integers and live directly in the scenario spec; the
+//! sampler, search loop and compiler over the full model live in
+//! `saseval-fuzz`'s `scenario` module.
+//!
+//! Every enum here carries a stable, serialization-independent
+//! `index()`/`from_index()` pair so the scenario coverage model can
+//! treat enum dimensions exactly like bucketed integer dimensions.
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimTime;
+
+/// Which demonstrator world a scenario runs in.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WorldKind {
+    /// Use Case II: the keyless-entry opener (BLE + CAN).
+    #[default]
+    Keyless,
+    /// Use Case I: the road-works AV warned over V2X.
+    Construction,
+}
+
+/// Degradation profile of the scenario's radio channel (BLE for the
+/// keyless world, V2X for the construction world).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ChannelProfile {
+    /// The demonstrator's default latency/loss figures.
+    #[default]
+    Nominal,
+    /// Elevated loss and latency — a congested or fading channel.
+    Lossy,
+    /// Severe loss and latency — an actively jammed channel.
+    Jammed,
+}
+
+impl ChannelProfile {
+    /// All profiles, in `index()` order.
+    pub const ALL: [ChannelProfile; 3] =
+        [ChannelProfile::Nominal, ChannelProfile::Lossy, ChannelProfile::Jammed];
+
+    /// Stable index of this profile in [`ChannelProfile::ALL`].
+    pub fn index(self) -> u16 {
+        match self {
+            ChannelProfile::Nominal => 0,
+            ChannelProfile::Lossy => 1,
+            ChannelProfile::Jammed => 2,
+        }
+    }
+
+    /// Profile at `index`, clamped to the last profile when out of range.
+    pub fn from_index(index: u16) -> Self {
+        *Self::ALL.get(index as usize).unwrap_or(&ChannelProfile::Jammed)
+    }
+}
+
+/// When, relative to the scenario's timeline, the attacker activates.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AttackerPlacement {
+    /// Attack starts almost immediately (50 ms in).
+    Early,
+    /// Attack starts after the world has settled (100 ms in) — the
+    /// demonstrators' default.
+    #[default]
+    Midway,
+    /// Attack starts late (200 ms in), after nominal traffic is flowing.
+    Late,
+}
+
+impl AttackerPlacement {
+    /// All placements, in `index()` order.
+    pub const ALL: [AttackerPlacement; 3] =
+        [AttackerPlacement::Early, AttackerPlacement::Midway, AttackerPlacement::Late];
+
+    /// Stable index of this placement in [`AttackerPlacement::ALL`].
+    pub fn index(self) -> u16 {
+        match self {
+            AttackerPlacement::Early => 0,
+            AttackerPlacement::Midway => 1,
+            AttackerPlacement::Late => 2,
+        }
+    }
+
+    /// Placement at `index`, clamped to the last placement when out of
+    /// range.
+    pub fn from_index(index: u16) -> Self {
+        *Self::ALL.get(index as usize).unwrap_or(&AttackerPlacement::Late)
+    }
+
+    /// Attack-activation time of this placement.
+    pub fn attack_at(self) -> SimTime {
+        match self {
+            AttackerPlacement::Early => SimTime::from_millis(50),
+            AttackerPlacement::Midway => SimTime::from_millis(100),
+            AttackerPlacement::Late => SimTime::from_millis(200),
+        }
+    }
+}
+
+/// Which security controls the scenario's vehicle arms.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ControlsProfile {
+    /// The full demonstrator control stack.
+    #[default]
+    All,
+    /// No controls at all — the unprotected baseline.
+    None,
+    /// Authentication only (MAC check, nothing else).
+    AuthOnly,
+}
+
+impl ControlsProfile {
+    /// All profiles, in `index()` order.
+    pub const ALL: [ControlsProfile; 3] =
+        [ControlsProfile::All, ControlsProfile::None, ControlsProfile::AuthOnly];
+
+    /// Stable index of this profile in [`ControlsProfile::ALL`].
+    pub fn index(self) -> u16 {
+        match self {
+            ControlsProfile::All => 0,
+            ControlsProfile::None => 1,
+            ControlsProfile::AuthOnly => 2,
+        }
+    }
+
+    /// Profile at `index`, clamped to the last profile when out of range.
+    pub fn from_index(index: u16) -> Self {
+        *Self::ALL.get(index as usize).unwrap_or(&ControlsProfile::AuthOnly)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_round_trip() {
+        for profile in ChannelProfile::ALL {
+            assert_eq!(ChannelProfile::from_index(profile.index()), profile);
+        }
+        for placement in AttackerPlacement::ALL {
+            assert_eq!(AttackerPlacement::from_index(placement.index()), placement);
+        }
+        for controls in ControlsProfile::ALL {
+            assert_eq!(ControlsProfile::from_index(controls.index()), controls);
+        }
+    }
+
+    #[test]
+    fn out_of_range_indices_clamp() {
+        assert_eq!(ChannelProfile::from_index(99), ChannelProfile::Jammed);
+        assert_eq!(AttackerPlacement::from_index(99), AttackerPlacement::Late);
+        assert_eq!(ControlsProfile::from_index(99), ControlsProfile::AuthOnly);
+    }
+
+    #[test]
+    fn placements_activate_in_order() {
+        let times: Vec<_> = AttackerPlacement::ALL.iter().map(|p| p.attack_at()).collect();
+        assert!(times.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn serde_round_trips() {
+        let json = serde_json::to_string(&ChannelProfile::Lossy).unwrap();
+        let back: ChannelProfile = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, ChannelProfile::Lossy);
+    }
+}

@@ -78,6 +78,26 @@ pub struct ConstructionConfig {
     pub v2x: V2xConfig,
     /// RNG seed for the channel.
     pub seed: u64,
+    /// Background traffic: number of other vehicles (`BG-i` senders)
+    /// periodically broadcasting unauthenticated status messages. Zero —
+    /// the default — adds no messages and no channel RNG draws, so
+    /// default-config traces are bit-identical to earlier revisions.
+    #[serde(default)]
+    pub background_senders: u16,
+    /// Platoon followers trailing the ego vehicle. Each follower `i`
+    /// drives at `(i + 1) × platoon_spacing_m` behind the ego position
+    /// and starts broadcasting status messages once it passes the road
+    /// origin. Zero disables the platoon entirely.
+    #[serde(default)]
+    pub platoon_followers: u16,
+    /// Gap between consecutive platoon vehicles in metres.
+    #[serde(default)]
+    pub platoon_spacing_m: f64,
+    /// Additional road-side units (`RSU-2`, `RSU-3`, …) rebroadcasting
+    /// the signed warning/signage pair on the same period. Zero — the
+    /// default — leaves only the single demonstrator RSU.
+    #[serde(default)]
+    pub extra_rsus: u16,
 }
 
 impl Default for ConstructionConfig {
@@ -96,6 +116,10 @@ impl Default for ConstructionConfig {
             controls: ControlSelection::all(),
             v2x: V2xConfig { latency_us: 2_000, jitter_us: 500, loss_prob: 0.01 },
             seed: 42,
+            background_senders: 0,
+            platoon_followers: 0,
+            platoon_spacing_m: 0.0,
+            extra_rsus: 0,
         }
     }
 }
@@ -354,6 +378,68 @@ impl ConstructionWorld {
         );
         self.sniffed.push(signage.clone());
         self.channel.broadcast(signage, self.now);
+        // Additional road-side units rebroadcast the same signed pair
+        // from their own sender identities on the shared period —
+        // infrastructure density as a scenario dimension.
+        for k in 0..self.config.extra_rsus {
+            let sender = format!("RSU-{}", k + 2);
+            let warning = self.signed_message(&sender, &[MSG_ROADWORKS, distance_dm], self.now);
+            self.channel.broadcast(warning, self.now);
+            let signage = self.signed_message(
+                &sender,
+                &[MSG_SIGNAGE, self.config.zone_speed_limit_kmh],
+                self.now,
+            );
+            self.channel.broadcast(signage, self.now);
+        }
+    }
+
+    /// Payload type byte of background-traffic status messages. Not one
+    /// of the `MSG_*` command bytes, so an admitted status message is
+    /// channel load only.
+    const MSG_TRAFFIC: u8 = 0xCA;
+    /// Payload type byte of platoon-follower status messages.
+    const MSG_PLATOON: u8 = 0xCB;
+    /// Ticks between consecutive status broadcasts of one background or
+    /// platoon sender (100 ms at the default 10 ms tick).
+    const STATUS_PERIOD_TICKS: u64 = 10;
+
+    /// Background traffic and platoon followers: unauthenticated status
+    /// broadcasts that load the channel, the OBU ingress queue and — with
+    /// authentication armed — the broken-message isolation counters.
+    /// Follower positions are derived from the ego position (follower `i`
+    /// trails by `(i + 1) × platoon_spacing_m`), so followers only start
+    /// transmitting once they pass the road origin. With both counts at
+    /// zero (the default) this is a no-op that draws no channel RNG.
+    fn traffic_tick(&mut self) {
+        if self.config.background_senders == 0 && self.config.platoon_followers == 0 {
+            return;
+        }
+        if !self.ticks.is_multiple_of(Self::STATUS_PERIOD_TICKS) {
+            return;
+        }
+        for i in 0..self.config.background_senders {
+            let msg = V2xMessage::new(
+                format!("BG-{i}"),
+                u16::from(Self::MSG_TRAFFIC),
+                Bytes::copy_from_slice(&[Self::MSG_TRAFFIC, i as u8]),
+                self.now,
+            );
+            self.channel.broadcast(msg, self.now);
+        }
+        for i in 0..self.config.platoon_followers {
+            let trail = f64::from(i + 1) * self.config.platoon_spacing_m;
+            if self.vehicle.position_m() - trail < 0.0 {
+                continue;
+            }
+            let msg = V2xMessage::new(
+                format!("PLT-{i}"),
+                u16::from(Self::MSG_PLATOON),
+                Bytes::copy_from_slice(&[Self::MSG_PLATOON, i as u8]),
+                self.now,
+            );
+            self.channel.broadcast(msg, self.now);
+        }
     }
 
     fn obu_tick(&mut self) {
@@ -472,6 +558,7 @@ impl ConstructionWorld {
     /// one struct-of-arrays pass.
     pub(crate) fn pre_kinematics_tick(&mut self) {
         self.rsu_tick();
+        self.traffic_tick();
         self.obu_tick();
         self.driver_decision_tick();
     }
@@ -717,6 +804,33 @@ mod tests {
         let outcome = ConstructionWorld::new(config).run_nominal();
         assert!(!outcome.sg01_violated, "no zone entry, no SG01 violation");
         assert!(!outcome.sg04_violated);
+    }
+
+    #[test]
+    fn scenario_traffic_knobs_preserve_nominal_safety() {
+        // Background traffic, a platoon and extra RSUs load the channel
+        // and the OBU, but the nominal hand-over chain still completes:
+        // unauthenticated status spam is rejected (and eventually
+        // isolated), signed rebroadcasts are benign.
+        let config = ConstructionConfig {
+            background_senders: 3,
+            platoon_followers: 2,
+            platoon_spacing_m: 20.0,
+            extra_rsus: 2,
+            ..Default::default()
+        };
+        let outcome = ConstructionWorld::new(config.clone()).run_nominal();
+        assert!(!outcome.any_violation(), "{outcome:?}");
+        assert!(!outcome.service_shutdown);
+        assert!(
+            outcome.isolated_senders.iter().any(|s| s.starts_with("BG-")),
+            "background spam senders get isolated: {:?}",
+            outcome.isolated_senders
+        );
+        // Deterministic under the scenario knobs too.
+        let again = ConstructionWorld::new(config).run_nominal();
+        assert_eq!(outcome.entered_zone_at, again.entered_zone_at);
+        assert_eq!(outcome.entry_speed_mps, again.entry_speed_mps);
     }
 
     #[test]

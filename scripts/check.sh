@@ -133,4 +133,28 @@ rm -rf "$LINT_OUT"
 trap - EXIT
 echo "    two trace-report runs are byte-identical"
 
+echo "==> scenario search smoke: fixed-seed coverage and corpus pinned, guided > random"
+# The bin exits non-zero unless guided coverage beats random at equal
+# budget; on top of that, pin the exact deterministic numbers so any
+# drift in the search loop, sampler or coverage encoding is caught.
+SCN_OUT="$(cargo run -q --release -p saseval-bench --bin repro_tables -- --scenario-search 96)"
+printf '%s\n' "$SCN_OUT"
+printf '%s' "$SCN_OUT" | grep -q 'guided cells=16 paths=44 corpus=35 hash=0xfc6cf6195f50c1ce'
+printf '%s' "$SCN_OUT" | grep -q 'cells=14 paths=44 corpus=18 hash=0xa5c07cdf41dbd83a'
+echo "    guided beat random; coverage cells and corpus hashes match the pinned values"
+
+echo "==> saseval-lint tests/fixtures/scenarios/*.scn.json"
+cargo run -q -p saseval-lint -- tests/fixtures/scenarios/*.scn.json
+
+echo "==> saseval-lint scenario deny gate: the seeded-defect file fails with exit 1"
+SEEDED_SCN=tests/fixtures/scenarios/seeded/defects.scn.json
+if cargo run -q -p saseval-lint -- "$SEEDED_SCN" > /dev/null 2>&1; then
+  echo "seeded scenario defects were not detected" >&2
+  exit 1
+else
+  LINT_STATUS=$?
+  test "$LINT_STATUS" -eq 1  # deny findings, not a usage/parse error
+fi
+echo "    seeded scenario file rejected as expected"
+
 echo "All checks passed."

@@ -1,13 +1,23 @@
 //! Property: the parallel campaign runner is observationally equivalent
 //! to the serial one — same verdicts in the same order — for arbitrary
-//! suites and any worker count.
+//! suites and any worker count; and a scenario-compiled demonstrator
+//! world is observationally equivalent to the hand-built one under an
+//! identical fuzzing campaign.
 
 use proptest::prelude::*;
 
 use saseval::engine::attacks::KeyGuessStrategy;
 use saseval::engine::campaign::{run_campaign, run_campaign_parallel};
 use saseval::engine::executor::{AttackKind, TestCase};
+use saseval::fuzz::fuzzer::Fuzzer;
+use saseval::fuzz::model::{keyless_command_model, v2x_warning_model};
+use saseval::fuzz::scenario::ScenarioSpec;
+use saseval::fuzz::SimOracle;
 use saseval::sim::config::ControlSelection;
+use saseval::sim::construction::ConstructionConfig;
+use saseval::sim::keyless::KeylessConfig;
+use saseval::tara::tree::{AttackTree, TreeNode};
+use saseval::tara::AttackPath;
 
 fn attack_kind() -> impl Strategy<Value = AttackKind> {
     prop_oneof![
@@ -32,6 +42,50 @@ fn test_case() -> impl Strategy<Value = TestCase> {
         controls,
         seed,
     })
+}
+
+fn leaf_paths(goal: &str, step: &str, interface: &str) -> Vec<AttackPath> {
+    AttackTree::new(goal, TreeNode::leaf_on(step, interface)).expect("tree").paths().expect("paths")
+}
+
+/// Both paper demonstrators, compiled from their [`ScenarioSpec`]s,
+/// behave exactly like the hand-built worlds: the same seeded fuzzing
+/// campaign over each pair produces equal reports — counts, coverage
+/// and the full crash list — i.e. the worlds are trace-equivalent.
+#[test]
+fn scenario_compiled_demonstrators_equal_hand_built_worlds() {
+    const ITERATIONS: usize = 200;
+    const SEED: u64 = 17;
+
+    // Use case 2: keyless entry.
+    let spec = ScenarioSpec::keyless_demonstrator();
+    let paths = leaf_paths("Open the vehicle", "send forged open command", "BLE_PHONE");
+    let mut compiled =
+        SimOracle::keyless(spec.keyless_config().expect("compiles"), spec.attack_at());
+    let mut hand_built = SimOracle::keyless(
+        KeylessConfig { horizon: spec.horizon(), ..KeylessConfig::default() },
+        spec.attack_at(),
+    );
+    let from_spec =
+        Fuzzer::new(keyless_command_model(), SEED).run_target(&paths, ITERATIONS, &mut compiled);
+    let from_world =
+        Fuzzer::new(keyless_command_model(), SEED).run_target(&paths, ITERATIONS, &mut hand_built);
+    assert_eq!(from_spec, from_world, "keyless demonstrator worlds are trace-equivalent");
+
+    // Use case 1: construction warnings.
+    let spec = ScenarioSpec::construction_demonstrator();
+    let paths = leaf_paths("Disrupt warnings", "spoof signage", "OBU_RSU");
+    let mut compiled =
+        SimOracle::construction(spec.construction_config().expect("compiles"), spec.attack_at());
+    let mut hand_built = SimOracle::construction(
+        ConstructionConfig { horizon: spec.horizon(), ..ConstructionConfig::default() },
+        spec.attack_at(),
+    );
+    let from_spec =
+        Fuzzer::new(v2x_warning_model(), SEED).run_target(&paths, ITERATIONS, &mut compiled);
+    let from_world =
+        Fuzzer::new(v2x_warning_model(), SEED).run_target(&paths, ITERATIONS, &mut hand_built);
+    assert_eq!(from_spec, from_world, "construction demonstrator worlds are trace-equivalent");
 }
 
 proptest! {

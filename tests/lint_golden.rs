@@ -1,9 +1,9 @@
 //! Golden-file tests for `saseval-lint`.
 //!
-//! A seeded-defect catalog and DSL document trigger every rule in the
-//! registry exactly once; the rendered text and SARIF JSON outputs are
-//! compared byte-for-byte against checked-in golden files, and the run
-//! is repeated to prove the ordering is deterministic.
+//! A seeded-defect catalog, DSL document and scenario file trigger every
+//! rule in the registry exactly once; the rendered text and SARIF JSON
+//! outputs are compared byte-for-byte against checked-in golden files,
+//! and the run is repeated to prove the ordering is deterministic.
 //!
 //! Regenerate the golden files after an intentional output change with:
 //!
@@ -16,10 +16,11 @@ use std::path::Path;
 
 use saseval::core::catalog::UseCaseCatalog;
 use saseval::core::{AttackDescription, Justification};
+use saseval::fuzz::scenario::ScenarioFile;
 use saseval::hara::{Hara, HazardRating, ItemFunction, SafetyGoal};
 use saseval::lint::{
     registry, render_json, render_text, run_lint, EvidenceRecord, LintConfig, LintContext,
-    LintReport, SourceDocument, TraceInputs, VerdictRecord,
+    LintReport, ScenarioDocument, SourceDocument, TraceInputs, VerdictRecord,
 };
 use saseval::obs::Obs;
 use saseval::threat::{Asset, ThreatLibrary, ThreatScenario};
@@ -30,6 +31,10 @@ use saseval::types::{
 /// Relative fixture path; also the document name that appears in loci,
 /// so golden output stays machine-independent.
 const FIXTURE: &str = "tests/fixtures/seeded_defects.sasedsl";
+
+/// The seeded scenario file: each scenario rule (`SASE025`–`SASE029`)
+/// fires exactly once on it.
+const SCENARIO_FIXTURE: &str = "tests/fixtures/scenarios/seeded/defects.scn.json";
 
 fn attack(id: &str, goal: &str, threat: &str, tt: ThreatType, at: AttackType) -> AttackDescription {
     AttackDescription::builder(id, "seeded attack")
@@ -246,12 +251,21 @@ fn fixture_documents() -> Vec<SourceDocument> {
     vec![SourceDocument::new(FIXTURE.to_owned(), saseval::dsl::parse_document(&source).unwrap())]
 }
 
-/// Lints the seeded catalog and the seeded DSL document, returning one
-/// report per run, in a fixed order.
+fn fixture_scenarios() -> Vec<ScenarioDocument> {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join(SCENARIO_FIXTURE);
+    let source = std::fs::read_to_string(path).unwrap();
+    let file: ScenarioFile = serde_json::from_str(&source).unwrap();
+    vec![ScenarioDocument::new(SCENARIO_FIXTURE.to_owned(), file)]
+}
+
+/// Lints the seeded catalog, the seeded DSL document, the seeded trace
+/// graph and the seeded scenario file, returning one report per run, in
+/// a fixed order.
 fn seeded_reports() -> Vec<(String, LintReport)> {
     let library = seeded_library();
     let catalog = seeded_catalog();
     let documents = fixture_documents();
+    let scenarios = fixture_scenarios();
     let obs = Obs::noop();
     let config = LintConfig::new();
     let graph_library = trace_library();
@@ -266,6 +280,10 @@ fn seeded_reports() -> Vec<(String, LintReport)> {
         ),
         (FIXTURE.to_owned(), run_lint(&LintContext::for_documents(&documents), &config, &obs)),
         (graph_catalog.name.clone(), run_lint(&graph_ctx, &config, &obs)),
+        (
+            SCENARIO_FIXTURE.to_owned(),
+            run_lint(&LintContext::for_scenarios(&scenarios), &config, &obs),
+        ),
     ]
 }
 
